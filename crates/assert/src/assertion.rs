@@ -1,0 +1,805 @@
+//! Syntactic hyper-assertions (Definition 9) with the paper's extensions.
+//!
+//! ```text
+//! A ::= b | e ⪰ e | A ∨ A | A ∧ A | ∀y. A | ∃y. A | ∀⟨φ⟩. A | ∃⟨φ⟩. A
+//! ```
+//!
+//! Beyond Def. 9 the AST carries the operators the paper uses semantically:
+//!
+//! * [`Assertion::Otimes`] — the `⊗` split operator of Def. 6 (rule `Choice`);
+//! * [`Assertion::BigOtimes`] — the indexed `⨂ₙ Iₙ` of Def. 7 (rule `Iter`),
+//!   carried as an indexed family of assertions;
+//! * [`Assertion::Card`] — `|{e(φ) : φ ∈ S}| ⪰ e'` cardinality
+//!   comprehensions (the quantitative-information-flow assertions of App. B);
+//! * [`Assertion::StateEq`] — full extended-state equality (the
+//!   `isSingleton` of App. D.2);
+//! * [`Assertion::HasState`] — `⟨φ⟩` membership of a concrete state (used by
+//!   the `Linking` rule and the Incorrectness-Logic embedding of App. C.2).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+
+use hhl_lang::{BinOp, ExtState, Symbol};
+
+use crate::hexpr::HExpr;
+
+/// An indexed family of assertions `n ↦ Iₙ`, used by [`Assertion::BigOtimes`]
+/// and by the `Iter`/`WhileDesugared` rules.
+///
+/// Equality is by pointer (families are opaque functions); evaluation bounds
+/// the index by the family's `bound`.
+#[derive(Clone)]
+pub struct Family {
+    f: Rc<dyn Fn(u32) -> Assertion>,
+    /// Highest index considered during bounded evaluation of `⨂ₙ Iₙ`.
+    pub bound: u32,
+}
+
+impl Family {
+    /// Creates a family from a closure, evaluated up to `bound` (inclusive).
+    pub fn new<F: Fn(u32) -> Assertion + 'static>(bound: u32, f: F) -> Family {
+        Family {
+            f: Rc::new(f),
+            bound,
+        }
+    }
+
+    /// The member assertion `Iₙ`.
+    pub fn at(&self, n: u32) -> Assertion {
+        (self.f)(n)
+    }
+}
+
+impl fmt::Debug for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Family(bound = {})", self.bound)
+    }
+}
+
+impl PartialEq for Family {
+    fn eq(&self, other: &Family) -> bool {
+        Rc::ptr_eq(&self.f, &other.f) && self.bound == other.bound
+    }
+}
+
+impl Eq for Family {}
+
+/// A syntactic hyper-assertion (Def. 9 + extensions; see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use hhl_assert::Assertion;
+/// // low(l) ≜ ∀⟨φ1⟩,⟨φ2⟩. φ1(l) = φ2(l)
+/// let a = Assertion::low("l");
+/// assert_eq!(a.to_string(), "∀⟨phi1⟩. ∀⟨phi2⟩. phi1(l) == phi2(l)");
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Assertion {
+    /// A boolean-valued hyper-expression (`b` and `e ⪰ e` of Def. 9).
+    Atom(HExpr),
+    /// Negation. `negate()` pushes negations inward for the Def. 9 fragment;
+    /// this node remains only around the non-dualizable extensions.
+    Not(Box<Assertion>),
+    /// Conjunction.
+    And(Box<Assertion>, Box<Assertion>),
+    /// Disjunction.
+    Or(Box<Assertion>, Box<Assertion>),
+    /// `∀y. A` — universal quantification over values.
+    ForallVal(Symbol, Box<Assertion>),
+    /// `∃y. A` — existential quantification over values.
+    ExistsVal(Symbol, Box<Assertion>),
+    /// `∀⟨φ⟩. A` — universal quantification over the states of the set.
+    ForallState(Symbol, Box<Assertion>),
+    /// `∃⟨φ⟩. A` — existential quantification over the states of the set.
+    ExistsState(Symbol, Box<Assertion>),
+    /// `A ⊗ B` (Def. 6): `S` splits as `S1 ∪ S2` with `A(S1)` and `B(S2)`.
+    Otimes(Box<Assertion>, Box<Assertion>),
+    /// `⨂ₙ Iₙ` (Def. 7): `S = ⋃ₙ f(n)` with `Iₙ(f(n))` for every `n`.
+    BigOtimes(Family),
+    /// `|{proj(φ) : φ ∈ S}| ⪰ bound` — cardinality comprehension (App. B).
+    Card {
+        /// The comprehension's bound state variable.
+        state: Symbol,
+        /// Projection applied to each state.
+        proj: HExpr,
+        /// Comparison operator relating cardinality and bound.
+        op: BinOp,
+        /// Bound expression (must not mention `state`).
+        bound: HExpr,
+    },
+    /// `φ1 = φ2` — extended-state equality (logical and program stores).
+    StateEq(Symbol, Symbol),
+    /// `⟨φ⟩` for a *concrete* state: `φ ∈ S`.
+    HasState(ExtState),
+    /// A bound state variable equals a *concrete* state (used to express the
+    /// exact-set assertions `λS. S = V` of Thm. 2/Thm. 5).
+    IsState(Symbol, ExtState),
+    /// `⨂P` (App. D, rule `BigUnion`): `S` is a union of subsets each
+    /// satisfying `P` — `∃F. S = ⋃_{S'∈F} S' ∧ ∀S'∈F. P(S')`.
+    UnionOf(Box<Assertion>),
+}
+
+impl Assertion {
+    /// The trivially-true assertion `⊤`.
+    pub fn tt() -> Assertion {
+        Assertion::Atom(HExpr::bool(true))
+    }
+
+    /// The trivially-false assertion `⊥`.
+    pub fn ff() -> Assertion {
+        Assertion::Atom(HExpr::bool(false))
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Assertion) -> Assertion {
+        Assertion::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Assertion) -> Assertion {
+        Assertion::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `A ⇒ B ≜ ¬A ∨ B` (the paper's definition after Def. 9).
+    pub fn implies(self, other: Assertion) -> Assertion {
+        self.negate().or(other)
+    }
+
+    /// `∀y. A`.
+    pub fn forall_val<S: Into<Symbol>>(y: S, body: Assertion) -> Assertion {
+        Assertion::ForallVal(y.into(), Box::new(body))
+    }
+
+    /// `∃y. A`.
+    pub fn exists_val<S: Into<Symbol>>(y: S, body: Assertion) -> Assertion {
+        Assertion::ExistsVal(y.into(), Box::new(body))
+    }
+
+    /// `∀⟨φ⟩. A`.
+    pub fn forall_state<S: Into<Symbol>>(phi: S, body: Assertion) -> Assertion {
+        Assertion::ForallState(phi.into(), Box::new(body))
+    }
+
+    /// `∃⟨φ⟩. A`.
+    pub fn exists_state<S: Into<Symbol>>(phi: S, body: Assertion) -> Assertion {
+        Assertion::ExistsState(phi.into(), Box::new(body))
+    }
+
+    /// `∀⟨φ1⟩, …, ⟨φn⟩. A`.
+    pub fn forall_states<S: Into<Symbol>, I: IntoIterator<Item = S>>(
+        phis: I,
+        body: Assertion,
+    ) -> Assertion {
+        let names: Vec<Symbol> = phis.into_iter().map(Into::into).collect();
+        names
+            .into_iter()
+            .rev()
+            .fold(body, |acc, phi| Assertion::forall_state(phi, acc))
+    }
+
+    /// `∃⟨φ1⟩, …, ⟨φn⟩. A`.
+    pub fn exists_states<S: Into<Symbol>, I: IntoIterator<Item = S>>(
+        phis: I,
+        body: Assertion,
+    ) -> Assertion {
+        let names: Vec<Symbol> = phis.into_iter().map(Into::into).collect();
+        names
+            .into_iter()
+            .rev()
+            .fold(body, |acc, phi| Assertion::exists_state(phi, acc))
+    }
+
+    /// `A ⊗ B` (Def. 6).
+    pub fn otimes(self, other: Assertion) -> Assertion {
+        Assertion::Otimes(Box::new(self), Box::new(other))
+    }
+
+    /// `⨂ₙ Iₙ` (Def. 7), evaluated up to the family's bound.
+    pub fn big_otimes(family: Family) -> Assertion {
+        Assertion::BigOtimes(family)
+    }
+
+    /// Standard recursive negation (the `¬A` of §4.1). Dualizes the Def. 9
+    /// fragment; wraps [`Assertion::Not`] around extension nodes.
+    pub fn negate(&self) -> Assertion {
+        match self {
+            Assertion::Atom(e) => Assertion::Atom(e.clone().not()),
+            Assertion::Not(a) => (**a).clone(),
+            Assertion::And(a, b) => a.negate().or(b.negate()),
+            Assertion::Or(a, b) => a.negate().and(b.negate()),
+            Assertion::ForallVal(y, a) => Assertion::exists_val(*y, a.negate()),
+            Assertion::ExistsVal(y, a) => Assertion::forall_val(*y, a.negate()),
+            Assertion::ForallState(p, a) => Assertion::exists_state(*p, a.negate()),
+            Assertion::ExistsState(p, a) => Assertion::forall_state(*p, a.negate()),
+            Assertion::Card {
+                state,
+                proj,
+                op,
+                bound,
+            } => {
+                let dual = match op {
+                    BinOp::Eq => BinOp::Ne,
+                    BinOp::Ne => BinOp::Eq,
+                    BinOp::Lt => BinOp::Ge,
+                    BinOp::Le => BinOp::Gt,
+                    BinOp::Gt => BinOp::Le,
+                    BinOp::Ge => BinOp::Lt,
+                    _ => return Assertion::Not(Box::new(self.clone())),
+                };
+                Assertion::Card {
+                    state: *state,
+                    proj: proj.clone(),
+                    op: dual,
+                    bound: bound.clone(),
+                }
+            }
+            Assertion::Otimes(_, _)
+            | Assertion::BigOtimes(_)
+            | Assertion::StateEq(_, _)
+            | Assertion::HasState(_)
+            | Assertion::IsState(_, _)
+            | Assertion::UnionOf(_) => Assertion::Not(Box::new(self.clone())),
+        }
+    }
+
+    /// Renames a *free* quantified state variable (capture-naive; callers
+    /// rename to fresh targets).
+    pub fn rename_state(&self, from: Symbol, to: Symbol) -> Assertion {
+        match self {
+            Assertion::Atom(e) => Assertion::Atom(e.rename_state(from, to)),
+            Assertion::Not(a) => Assertion::Not(Box::new(a.rename_state(from, to))),
+            Assertion::And(a, b) => a.rename_state(from, to).and(b.rename_state(from, to)),
+            Assertion::Or(a, b) => a.rename_state(from, to).or(b.rename_state(from, to)),
+            Assertion::ForallVal(y, a) => {
+                Assertion::forall_val(*y, a.rename_state(from, to))
+            }
+            Assertion::ExistsVal(y, a) => {
+                Assertion::exists_val(*y, a.rename_state(from, to))
+            }
+            Assertion::ForallState(p, a) => {
+                if *p == from {
+                    self.clone() // shadowed
+                } else {
+                    Assertion::forall_state(*p, a.rename_state(from, to))
+                }
+            }
+            Assertion::ExistsState(p, a) => {
+                if *p == from {
+                    self.clone()
+                } else {
+                    Assertion::exists_state(*p, a.rename_state(from, to))
+                }
+            }
+            Assertion::Otimes(a, b) => {
+                a.rename_state(from, to).otimes(b.rename_state(from, to))
+            }
+            Assertion::BigOtimes(_) => self.clone(),
+            Assertion::Card {
+                state,
+                proj,
+                op,
+                bound,
+            } => {
+                if *state == from {
+                    self.clone()
+                } else {
+                    Assertion::Card {
+                        state: *state,
+                        proj: proj.rename_state(from, to),
+                        op: *op,
+                        bound: bound.rename_state(from, to),
+                    }
+                }
+            }
+            Assertion::StateEq(a, b) => {
+                let a2 = if *a == from { to } else { *a };
+                let b2 = if *b == from { to } else { *b };
+                Assertion::StateEq(a2, b2)
+            }
+            Assertion::HasState(_) => self.clone(),
+            Assertion::IsState(p, st) => {
+                let p2 = if *p == from { to } else { *p };
+                Assertion::IsState(p2, st.clone())
+            }
+            Assertion::UnionOf(a) => {
+                Assertion::UnionOf(Box::new(a.rename_state(from, to)))
+            }
+        }
+    }
+
+    /// Substitutes a *concrete* state `st` for the free state variable
+    /// `phi` (capture-aware: shadowing rebinders stop the substitution).
+    /// Used by the `Linking` and `While-∃` rule checkers, which instantiate
+    /// meta-quantified states with universe members.
+    pub fn instantiate_state(&self, phi: Symbol, st: &ExtState) -> Assertion {
+        match self {
+            Assertion::Atom(e) => Assertion::Atom(e.instantiate_state(phi, st)),
+            Assertion::Not(a) => Assertion::Not(Box::new(a.instantiate_state(phi, st))),
+            Assertion::And(a, b) => a
+                .instantiate_state(phi, st)
+                .and(b.instantiate_state(phi, st)),
+            Assertion::Or(a, b) => a
+                .instantiate_state(phi, st)
+                .or(b.instantiate_state(phi, st)),
+            Assertion::ForallVal(y, a) => {
+                Assertion::forall_val(*y, a.instantiate_state(phi, st))
+            }
+            Assertion::ExistsVal(y, a) => {
+                Assertion::exists_val(*y, a.instantiate_state(phi, st))
+            }
+            Assertion::ForallState(p, a) if *p != phi => {
+                Assertion::forall_state(*p, a.instantiate_state(phi, st))
+            }
+            Assertion::ExistsState(p, a) if *p != phi => {
+                Assertion::exists_state(*p, a.instantiate_state(phi, st))
+            }
+            Assertion::ForallState(_, _) | Assertion::ExistsState(_, _) => self.clone(),
+            Assertion::Otimes(a, b) => a
+                .instantiate_state(phi, st)
+                .otimes(b.instantiate_state(phi, st)),
+            Assertion::BigOtimes(_) => self.clone(),
+            Assertion::Card {
+                state,
+                proj,
+                op,
+                bound,
+            } => {
+                if *state == phi {
+                    self.clone()
+                } else {
+                    Assertion::Card {
+                        state: *state,
+                        proj: proj.instantiate_state(phi, st),
+                        op: *op,
+                        bound: bound.instantiate_state(phi, st),
+                    }
+                }
+            }
+            Assertion::StateEq(a, b) => match (*a == phi, *b == phi) {
+                (true, true) => Assertion::tt(),
+                (true, false) => Assertion::IsState(*b, st.clone()),
+                (false, true) => Assertion::IsState(*a, st.clone()),
+                (false, false) => self.clone(),
+            },
+            Assertion::IsState(p, st2) => {
+                if *p == phi {
+                    if st == st2 {
+                        Assertion::tt()
+                    } else {
+                        Assertion::ff()
+                    }
+                } else {
+                    self.clone()
+                }
+            }
+            Assertion::HasState(_) => self.clone(),
+            Assertion::UnionOf(a) => {
+                Assertion::UnionOf(Box::new(a.instantiate_state(phi, st)))
+            }
+        }
+    }
+
+    /// True iff the assertion contains an `∃⟨_⟩` quantifier — the side
+    /// condition of `FrameSafe` (Fig. 11).
+    pub fn contains_exists_state(&self) -> bool {
+        match self {
+            Assertion::Atom(_)
+            | Assertion::StateEq(_, _)
+            | Assertion::IsState(_, _)
+            | Assertion::Card { .. } => false,
+            Assertion::HasState(_) => true, // ⟨φ⟩ asserts existence of a state
+            Assertion::UnionOf(a) => a.contains_exists_state(),
+            Assertion::Not(a) => a.contains_forall_state(),
+            Assertion::And(a, b) | Assertion::Or(a, b) => {
+                a.contains_exists_state() || b.contains_exists_state()
+            }
+            Assertion::ForallVal(_, a) | Assertion::ExistsVal(_, a) => {
+                a.contains_exists_state()
+            }
+            Assertion::ForallState(_, a) => a.contains_exists_state(),
+            Assertion::ExistsState(_, _) => true,
+            Assertion::Otimes(a, b) => a.contains_exists_state() || b.contains_exists_state(),
+            Assertion::BigOtimes(f) => (0..=f.bound).any(|n| f.at(n).contains_exists_state()),
+        }
+    }
+
+    /// True iff the assertion contains a `∀⟨_⟩` quantifier.
+    pub fn contains_forall_state(&self) -> bool {
+        match self {
+            Assertion::Atom(_)
+            | Assertion::StateEq(_, _)
+            | Assertion::HasState(_)
+            | Assertion::IsState(_, _)
+            | Assertion::Card { .. } => false,
+            Assertion::UnionOf(a) => a.contains_forall_state(),
+            Assertion::Not(a) => a.contains_exists_state(),
+            Assertion::And(a, b) | Assertion::Or(a, b) => {
+                a.contains_forall_state() || b.contains_forall_state()
+            }
+            Assertion::ForallVal(_, a) | Assertion::ExistsVal(_, a) => {
+                a.contains_forall_state()
+            }
+            Assertion::ForallState(_, _) => true,
+            Assertion::ExistsState(_, a) => a.contains_forall_state(),
+            Assertion::Otimes(a, b) => a.contains_forall_state() || b.contains_forall_state(),
+            Assertion::BigOtimes(f) => (0..=f.bound).any(|n| f.at(n).contains_forall_state()),
+        }
+    }
+
+    /// True iff no `∀⟨_⟩` occurs under an `∃⟨_⟩` — the "`no ∀⟨_⟩ after any
+    /// ∃`" side condition of the `While-∀*∃*` rule (Fig. 5).
+    pub fn no_forall_state_after_exists_state(&self) -> bool {
+        fn go(a: &Assertion, under_exists: bool) -> bool {
+            match a {
+                Assertion::Atom(_)
+                | Assertion::StateEq(_, _)
+                | Assertion::HasState(_)
+                | Assertion::IsState(_, _)
+                | Assertion::Card { .. } => true,
+                Assertion::UnionOf(x) => go(x, under_exists),
+                Assertion::Not(inner) => {
+                    // conservatively analyze the negated form
+                    go(&inner.negate(), under_exists)
+                }
+                Assertion::And(x, y) | Assertion::Or(x, y) | Assertion::Otimes(x, y) => {
+                    go(x, under_exists) && go(y, under_exists)
+                }
+                Assertion::ForallVal(_, x) | Assertion::ExistsVal(_, x) => go(x, under_exists),
+                Assertion::ForallState(_, x) => !under_exists && go(x, under_exists),
+                Assertion::ExistsState(_, x) => go(x, true),
+                Assertion::BigOtimes(f) => (0..=f.bound).all(|n| go(&f.at(n), under_exists)),
+            }
+        }
+        go(self, false)
+    }
+
+    /// The program variables looked up in quantified states — `fv(F)` of the
+    /// frame-rule side conditions (Fig. 11).
+    pub fn free_pvars(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.visit_hexprs(&mut |e| e.collect_pvars(&mut out));
+        if let Some(states) = self.concrete_or_card_pvars() {
+            out.extend(states);
+        }
+        out
+    }
+
+    fn concrete_or_card_pvars(&self) -> Option<BTreeSet<Symbol>> {
+        // HasState/StateEq constrain entire states: every program variable
+        // they store is free. StateEq is conservative: all vars unknown, so
+        // callers treat it as potentially free via `mentions_whole_states`.
+        let mut out = BTreeSet::new();
+        let mut found = false;
+        self.visit_nodes(&mut |a| match a {
+            Assertion::HasState(st) | Assertion::IsState(_, st) => {
+                found = true;
+                out.extend(st.program.vars());
+            }
+            _ => {}
+        });
+        if found {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// True iff the assertion constrains whole states (`StateEq` /
+    /// `HasState`), in which case variable-based framing is unsound and the
+    /// frame-rule checkers refuse.
+    pub fn mentions_whole_states(&self) -> bool {
+        let mut found = false;
+        self.visit_nodes(&mut |a| {
+            if matches!(
+                a,
+                Assertion::StateEq(_, _) | Assertion::HasState(_) | Assertion::IsState(_, _)
+            ) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// The logical variables looked up in quantified states (side condition
+    /// of `LUpdateS`).
+    pub fn free_lvars(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.visit_hexprs(&mut |e| e.collect_lvars(&mut out));
+        self.visit_nodes(&mut |a| match a {
+            Assertion::HasState(st) | Assertion::IsState(_, st) => {
+                out.extend(st.logical.vars());
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// Literal values occurring in the assertion (seeds value-quantifier
+    /// domains during evaluation).
+    pub fn collect_consts(&self, out: &mut BTreeSet<hhl_lang::Value>) {
+        self.visit_hexprs(&mut |e| e.collect_consts(out));
+    }
+
+    /// Applies `f` to every hyper-expression in the assertion (including
+    /// family members up to their bound).
+    pub fn visit_hexprs<F: FnMut(&HExpr)>(&self, f: &mut F) {
+        match self {
+            Assertion::Atom(e) => f(e),
+            Assertion::Not(a) => a.visit_hexprs(f),
+            Assertion::And(a, b) | Assertion::Or(a, b) | Assertion::Otimes(a, b) => {
+                a.visit_hexprs(f);
+                b.visit_hexprs(f);
+            }
+            Assertion::ForallVal(_, a)
+            | Assertion::ExistsVal(_, a)
+            | Assertion::ForallState(_, a)
+            | Assertion::ExistsState(_, a) => a.visit_hexprs(f),
+            Assertion::BigOtimes(fam) => {
+                for n in 0..=fam.bound {
+                    fam.at(n).visit_hexprs(f);
+                }
+            }
+            Assertion::Card { proj, bound, .. } => {
+                f(proj);
+                f(bound);
+            }
+            Assertion::StateEq(_, _)
+            | Assertion::HasState(_)
+            | Assertion::IsState(_, _) => {}
+            Assertion::UnionOf(a) => a.visit_hexprs(f),
+        }
+    }
+
+    /// Applies `f` to every assertion node (pre-order), excluding family
+    /// members.
+    pub fn visit_nodes<F: FnMut(&Assertion)>(&self, f: &mut F) {
+        f(self);
+        match self {
+            Assertion::Atom(_)
+            | Assertion::StateEq(_, _)
+            | Assertion::HasState(_)
+            | Assertion::IsState(_, _)
+            | Assertion::Card { .. }
+            | Assertion::BigOtimes(_) => {}
+            Assertion::UnionOf(a) => a.visit_nodes(f),
+            Assertion::Not(a) => a.visit_nodes(f),
+            Assertion::And(a, b) | Assertion::Or(a, b) | Assertion::Otimes(a, b) => {
+                a.visit_nodes(f);
+                b.visit_nodes(f);
+            }
+            Assertion::ForallVal(_, a)
+            | Assertion::ExistsVal(_, a)
+            | Assertion::ForallState(_, a)
+            | Assertion::ExistsState(_, a) => a.visit_nodes(f),
+        }
+    }
+
+    /// Number of AST nodes (family members counted once at index 0).
+    pub fn size(&self) -> usize {
+        match self {
+            Assertion::Atom(e) => e.size(),
+            Assertion::Not(a) => 1 + a.size(),
+            Assertion::And(a, b) | Assertion::Or(a, b) | Assertion::Otimes(a, b) => {
+                1 + a.size() + b.size()
+            }
+            Assertion::ForallVal(_, a)
+            | Assertion::ExistsVal(_, a)
+            | Assertion::ForallState(_, a)
+            | Assertion::ExistsState(_, a) => 1 + a.size(),
+            Assertion::BigOtimes(f) => 1 + f.at(0).size(),
+            Assertion::Card { proj, bound, .. } => 1 + proj.size() + bound.size(),
+            Assertion::StateEq(_, _)
+            | Assertion::HasState(_)
+            | Assertion::IsState(_, _) => 1,
+            Assertion::UnionOf(a) => 1 + a.size(),
+        }
+    }
+}
+
+impl fmt::Display for Assertion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Assertion::Atom(e) => write!(f, "{e}"),
+            Assertion::Not(a) => write!(f, "¬({a})"),
+            Assertion::And(a, b) => {
+                let wrap = |x: &Assertion| {
+                    matches!(x, Assertion::Or(_, _))
+                        || matches!(
+                            x,
+                            Assertion::ForallVal(_, _)
+                                | Assertion::ExistsVal(_, _)
+                                | Assertion::ForallState(_, _)
+                                | Assertion::ExistsState(_, _)
+                        )
+                };
+                if wrap(a) {
+                    write!(f, "({a})")?;
+                } else {
+                    write!(f, "{a}")?;
+                }
+                write!(f, " ∧ ")?;
+                if wrap(b) {
+                    write!(f, "({b})")
+                } else {
+                    write!(f, "{b}")
+                }
+            }
+            Assertion::Or(a, b) => {
+                let wrap = |x: &Assertion| {
+                    matches!(
+                        x,
+                        Assertion::ForallVal(_, _)
+                            | Assertion::ExistsVal(_, _)
+                            | Assertion::ForallState(_, _)
+                            | Assertion::ExistsState(_, _)
+                    )
+                };
+                if wrap(a) {
+                    write!(f, "({a})")?;
+                } else {
+                    write!(f, "{a}")?;
+                }
+                write!(f, " ∨ ")?;
+                if wrap(b) {
+                    write!(f, "({b})")
+                } else {
+                    write!(f, "{b}")
+                }
+            }
+            Assertion::ForallVal(y, a) => write!(f, "∀{y}. {a}"),
+            Assertion::ExistsVal(y, a) => write!(f, "∃{y}. {a}"),
+            Assertion::ForallState(p, a) => write!(f, "∀⟨{p}⟩. {a}"),
+            Assertion::ExistsState(p, a) => write!(f, "∃⟨{p}⟩. {a}"),
+            Assertion::Otimes(a, b) => write!(f, "({a}) ⊗ ({b})"),
+            Assertion::BigOtimes(fam) => write!(f, "⨂ₙ≤{} Iₙ", fam.bound),
+            Assertion::Card {
+                state,
+                proj,
+                op,
+                bound,
+            } => write!(f, "|{{{proj} : ⟨{state}⟩}}| {} {bound}", op.token()),
+            Assertion::StateEq(a, b) => write!(f, "{a} = {b}"),
+            Assertion::HasState(st) => write!(f, "⟨{st}⟩"),
+            Assertion::IsState(p, st) => write!(f, "{p} = {st}"),
+            Assertion::UnionOf(a) => write!(f, "⨄({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negate_dualizes_def9_fragment() {
+        let a = Assertion::forall_state(
+            "phi",
+            Assertion::Atom(HExpr::pvar("phi", "x").ge(HExpr::int(5))),
+        );
+        let n = a.negate();
+        match n {
+            Assertion::ExistsState(_, body) => match *body {
+                Assertion::Atom(e) => assert!(matches!(e, HExpr::Un(hhl_lang::UnOp::Not, _))),
+                other => panic!("expected atom, got {other:?}"),
+            },
+            other => panic!("expected ∃⟨_⟩, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_negation_of_not_node() {
+        let s = Assertion::StateEq(Symbol::new("a"), Symbol::new("b"));
+        let n = s.negate();
+        assert!(matches!(n, Assertion::Not(_)));
+        assert_eq!(n.negate(), s);
+    }
+
+    #[test]
+    fn card_negation_dualizes_op() {
+        let c = Assertion::Card {
+            state: Symbol::new("phi"),
+            proj: HExpr::pvar("phi", "o"),
+            op: BinOp::Le,
+            bound: HExpr::int(3),
+        };
+        match c.negate() {
+            Assertion::Card { op, .. } => assert_eq!(op, BinOp::Gt),
+            other => panic!("expected Card, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifier_shape_analysis() {
+        let fa = Assertion::forall_states(["a", "b"], Assertion::tt());
+        assert!(!fa.contains_exists_state());
+        assert!(fa.no_forall_state_after_exists_state());
+
+        let forall_exists = Assertion::forall_state(
+            "a",
+            Assertion::exists_state("b", Assertion::tt()),
+        );
+        assert!(forall_exists.contains_exists_state());
+        assert!(forall_exists.no_forall_state_after_exists_state());
+
+        let exists_forall = Assertion::exists_state(
+            "a",
+            Assertion::forall_state("b", Assertion::tt()),
+        );
+        assert!(!exists_forall.no_forall_state_after_exists_state());
+    }
+
+    #[test]
+    fn rename_respects_shadowing() {
+        let a = Assertion::forall_state(
+            "p",
+            Assertion::Atom(HExpr::pvar("p", "x").eq(HExpr::pvar("q", "x"))),
+        );
+        let renamed = a.rename_state(Symbol::new("q"), Symbol::new("r"));
+        assert_eq!(
+            renamed.to_string(),
+            "∀⟨p⟩. p(x) == r(x)"
+        );
+        // p is bound: renaming p is a no-op inside
+        let noop = a.rename_state(Symbol::new("p"), Symbol::new("z"));
+        assert_eq!(noop, a);
+    }
+
+    #[test]
+    fn free_pvars_and_lvars() {
+        let a = Assertion::forall_state(
+            "p",
+            Assertion::Atom(
+                HExpr::pvar("p", "x").eq(HExpr::lvar("p", "t") + HExpr::pvar("p", "y")),
+            ),
+        );
+        let pv = a.free_pvars();
+        assert!(pv.contains(&Symbol::new("x")));
+        assert!(pv.contains(&Symbol::new("y")));
+        assert_eq!(pv.len(), 2);
+        assert_eq!(a.free_lvars(), [Symbol::new("t")].into_iter().collect());
+    }
+
+    #[test]
+    fn implies_is_negation_or() {
+        let p = Assertion::Atom(HExpr::val("v").gt(HExpr::int(0)));
+        let q = Assertion::tt();
+        let imp = p.clone().implies(q.clone());
+        assert!(matches!(imp, Assertion::Or(_, _)));
+    }
+
+    #[test]
+    fn family_equality_by_pointer() {
+        let f1 = Family::new(4, |_| Assertion::tt());
+        let f2 = f1.clone();
+        assert_eq!(f1, f2);
+        let f3 = Family::new(4, |_| Assertion::tt());
+        assert_ne!(f1, f3);
+        assert_eq!(f1.at(2), Assertion::tt());
+    }
+
+    #[test]
+    fn display_nested_quantifiers() {
+        let gni = Assertion::forall_states(
+            ["phi1", "phi2"],
+            Assertion::exists_state(
+                "phi",
+                Assertion::Atom(
+                    HExpr::pvar("phi", "h")
+                        .eq(HExpr::pvar("phi1", "h"))
+                        .and(HExpr::pvar("phi", "l").eq(HExpr::pvar("phi2", "l"))),
+                ),
+            ),
+        );
+        let s = gni.to_string();
+        assert!(s.starts_with("∀⟨phi1⟩. ∀⟨phi2⟩. ∃⟨phi⟩."));
+    }
+
+    #[test]
+    fn mentions_whole_states_detection() {
+        assert!(Assertion::StateEq(Symbol::new("a"), Symbol::new("b")).mentions_whole_states());
+        assert!(Assertion::HasState(ExtState::default()).mentions_whole_states());
+        assert!(!Assertion::tt().mentions_whole_states());
+    }
+}

@@ -1,0 +1,356 @@
+//! Finite-model entailment checking.
+//!
+//! The `Cons` rule and every verification condition produced by the verifier
+//! require discharging semantic entailments `P |= Q` (Def. 3:
+//! `∀S. P(S) ⇒ Q(S)`). Entailment between hyper-assertions is undecidable in
+//! general; following the substitution policy of `DESIGN.md` we *validate*
+//! entailments over finite universes of candidate extended states:
+//!
+//! * **exhaustively** over all subsets up to a size bound when the universe
+//!   is small enough, and
+//! * by **random sampling** of subsets otherwise.
+//!
+//! A reported counterexample is always a genuine refutation; a pass is
+//! evidence relative to the chosen universe (exactly like the bounded
+//! model-checking baseline the paper cites for HyperLTL).
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use hhl_lang::{ExtState, StateSet, Store, Symbol, Value};
+
+use crate::assertion::Assertion;
+use crate::eval::{eval_assertion, EvalConfig};
+
+/// A finite universe of candidate extended states over which entailments and
+/// triple validity are checked.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Universe {
+    /// The candidate states.
+    pub states: Vec<ExtState>,
+}
+
+impl Universe {
+    /// Builds a universe as the Cartesian product of per-variable domains:
+    /// every combination of the given program-variable and logical-variable
+    /// values yields one candidate state.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hhl_assert::Universe;
+    /// use hhl_lang::Value;
+    /// let u = Universe::product(
+    ///     &[("h", vec![Value::Int(0), Value::Int(1)]), ("l", vec![Value::Int(0)])],
+    ///     &[("t", vec![Value::Int(1), Value::Int(2)])],
+    /// );
+    /// assert_eq!(u.states.len(), 4); // 2 × 1 × 2
+    /// ```
+    pub fn product(
+        pvars: &[(&str, Vec<Value>)],
+        lvars: &[(&str, Vec<Value>)],
+    ) -> Universe {
+        let mut programs = vec![Store::new()];
+        for (name, dom) in pvars {
+            let mut next = Vec::with_capacity(programs.len() * dom.len());
+            for base in &programs {
+                for v in dom {
+                    next.push(base.with(*name, v.clone()));
+                }
+            }
+            programs = next;
+        }
+        let mut logicals = vec![Store::new()];
+        for (name, dom) in lvars {
+            let mut next = Vec::with_capacity(logicals.len() * dom.len());
+            for base in &logicals {
+                for v in dom {
+                    next.push(base.with(*name, v.clone()));
+                }
+            }
+            logicals = next;
+        }
+        let mut states = Vec::with_capacity(programs.len() * logicals.len());
+        for l in &logicals {
+            for p in &programs {
+                states.push(ExtState::new(l.clone(), p.clone()));
+            }
+        }
+        Universe { states }
+    }
+
+    /// Builds a universe from explicit states.
+    pub fn from_states<I: IntoIterator<Item = ExtState>>(states: I) -> Universe {
+        Universe {
+            states: states.into_iter().collect(),
+        }
+    }
+
+    /// Program-variable-only product universe (no logical variables).
+    pub fn program_product(pvars: &[(&str, Vec<Value>)]) -> Universe {
+        Universe::product(pvars, &[])
+    }
+
+    /// Integer product universe: each named variable ranges over `lo..=hi`.
+    pub fn int_cube(vars: &[&str], lo: i64, hi: i64) -> Universe {
+        let doms: Vec<(&str, Vec<Value>)> = vars
+            .iter()
+            .map(|v| (*v, (lo..=hi).map(Value::Int).collect()))
+            .collect();
+        Universe::product(&doms, &[])
+    }
+
+    /// Tags every state with all combinations of logical values for `lvar`
+    /// (e.g. execution tags `t ∈ {1, 2}` of §2.2).
+    pub fn tag_logical(&self, lvar: &str, values: &[Value]) -> Universe {
+        let mut states = Vec::with_capacity(self.states.len() * values.len());
+        for st in &self.states {
+            for v in values {
+                states.push(st.with_logical(Symbol::new(lvar), v.clone()));
+            }
+        }
+        Universe { states }
+    }
+}
+
+/// Configuration of the entailment checker.
+#[derive(Clone, Debug)]
+pub struct EntailConfig {
+    /// Largest subset size considered.
+    pub max_subset_size: usize,
+    /// Exhaustive enumeration is used while the subset count stays below
+    /// this limit; otherwise sampling kicks in.
+    pub exhaustive_limit: usize,
+    /// Number of random subsets sampled when not exhaustive.
+    pub samples: u32,
+    /// RNG seed (checks are deterministic given the seed).
+    pub seed: u64,
+    /// Evaluator configuration.
+    pub eval: EvalConfig,
+}
+
+impl Default for EntailConfig {
+    fn default() -> EntailConfig {
+        EntailConfig {
+            max_subset_size: 4,
+            exhaustive_limit: 20_000,
+            samples: 400,
+            seed: 0x4448_4C21, // "HHL!"
+            eval: EvalConfig::default(),
+        }
+    }
+}
+
+const fn subset_count(n: usize, k: usize) -> usize {
+    // Σ_{i≤k} C(n, i), saturating.
+    let mut total: usize = 0;
+    let mut i = 0;
+    while i <= k {
+        let mut c: usize = 1;
+        let mut j = 0;
+        while j < i {
+            c = c.saturating_mul(n - j) / (j + 1);
+            j += 1;
+        }
+        total = total.saturating_add(c);
+        i += 1;
+    }
+    total
+}
+
+/// A refutation of an entailment or a triple: a set satisfying the premise
+/// but not the conclusion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The offending set of initial states.
+    pub set: StateSet,
+    /// Human-readable context.
+    pub context: String,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: counterexample set {}", self.context, self.set)
+    }
+}
+
+/// The candidate subsets of the universe examined by the checkers:
+/// exhaustive up to [`EntailConfig::max_subset_size`] when tractable,
+/// seeded random samples otherwise. Exposed so the triple-validity checker
+/// in `hhl-core` examines exactly the same search space.
+pub fn candidate_sets(u: &Universe, cfg: &EntailConfig) -> Vec<StateSet> {
+    let n = u.states.len();
+    let k = cfg.max_subset_size.min(n);
+    if subset_count(n, k) <= cfg.exhaustive_limit {
+        let all: StateSet = u.states.iter().cloned().collect();
+        all.subsets_up_to(k)
+    } else {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut out = vec![StateSet::new()];
+        for _ in 0..cfg.samples {
+            let size = rng.gen_range(1..=k);
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.shuffle(&mut rng);
+            out.push(idx[..size].iter().map(|&i| u.states[i].clone()).collect());
+        }
+        out
+    }
+}
+
+/// Checks `P |= Q` over the universe: every candidate subset satisfying `P`
+/// must satisfy `Q`.
+///
+/// # Errors
+///
+/// Returns the first [`Counterexample`] found.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_assert::{check_entailment, Assertion, EntailConfig, Universe};
+/// use hhl_lang::Value;
+/// let u = Universe::int_cube(&["x"], 0, 3);
+/// let cfg = EntailConfig::default();
+/// // low(x) |= ∀⟨φ1⟩,⟨φ2⟩. φ1(x) ≥ φ2(x) ∧ φ2(x) ≥ φ1(x) — holds.
+/// let p = Assertion::low("x");
+/// let q = Assertion::forall2(|a, b| {
+///     use hhl_assert::HExpr;
+///     Assertion::Atom(HExpr::PVar(a, "x".into()).ge(HExpr::PVar(b, "x".into())))
+/// });
+/// assert!(check_entailment(&p, &q, &u, &cfg).is_ok());
+/// // ⊤ |= low(x) — refuted.
+/// assert!(check_entailment(&Assertion::tt(), &p, &u, &cfg).is_err());
+/// ```
+pub fn check_entailment(
+    p: &Assertion,
+    q: &Assertion,
+    u: &Universe,
+    cfg: &EntailConfig,
+) -> Result<(), Counterexample> {
+    for s in candidate_sets(u, cfg) {
+        if eval_assertion(p, &s, &cfg.eval) && !eval_assertion(q, &s, &cfg.eval) {
+            return Err(Counterexample {
+                set: s,
+                context: format!("{p} |= {q}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks that two assertions agree on every candidate subset (used by the
+/// WP-exactness property tests).
+pub fn check_equivalent(
+    p: &Assertion,
+    q: &Assertion,
+    u: &Universe,
+    cfg: &EntailConfig,
+) -> Result<(), Counterexample> {
+    check_entailment(p, q, u, cfg)?;
+    check_entailment(q, p, u, cfg)
+}
+
+/// Searches the universe for a set satisfying `p` (Thm. 5 needs satisfiable
+/// strengthened preconditions).
+pub fn find_satisfying(
+    p: &Assertion,
+    u: &Universe,
+    cfg: &EntailConfig,
+) -> Option<StateSet> {
+    candidate_sets(u, cfg)
+        .into_iter()
+        .find(|s| eval_assertion(p, s, &cfg.eval))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hexpr::HExpr;
+
+    #[test]
+    fn universe_product_counts() {
+        let u = Universe::int_cube(&["x", "y"], 0, 2);
+        assert_eq!(u.states.len(), 9);
+        let tagged = u.tag_logical("t", &[Value::Int(1), Value::Int(2)]);
+        assert_eq!(tagged.states.len(), 18);
+    }
+
+    #[test]
+    fn entailment_reflexive_and_monotone() {
+        let u = Universe::int_cube(&["l"], 0, 2);
+        let cfg = EntailConfig::default();
+        let low = Assertion::low("l");
+        assert!(check_entailment(&low, &low, &u, &cfg).is_ok());
+        // low(l) |= ⊤ and ⊥ |= low(l)
+        assert!(check_entailment(&low, &Assertion::tt(), &u, &cfg).is_ok());
+        assert!(check_entailment(&Assertion::ff(), &low, &u, &cfg).is_ok());
+    }
+
+    #[test]
+    fn counterexample_is_genuine() {
+        let u = Universe::int_cube(&["l"], 0, 2);
+        let cfg = EntailConfig::default();
+        let err = check_entailment(&Assertion::tt(), &Assertion::low("l"), &u, &cfg)
+            .unwrap_err();
+        // The witness set must itself violate low(l).
+        assert!(!eval_assertion(&Assertion::low("l"), &err.set, &cfg.eval));
+    }
+
+    #[test]
+    fn strengthening_preconditions() {
+        // §2.2: low(l) ∧ ∃⟨φ1⟩,⟨φ2⟩. φ1(h) > 0 ∧ φ2(h) ≤ 0 entails low(l).
+        let u = Universe::int_cube(&["l", "h"], -1, 1);
+        let cfg = EntailConfig::default();
+        let strong = Assertion::low("l").and(Assertion::exists2(|a, b| {
+            Assertion::Atom(
+                HExpr::PVar(a, Symbol::new("h"))
+                    .gt(HExpr::int(0))
+                    .and(HExpr::PVar(b, Symbol::new("h")).le(HExpr::int(0))),
+            )
+        }));
+        assert!(check_entailment(&strong, &Assertion::low("l"), &u, &cfg).is_ok());
+        assert!(check_entailment(&Assertion::low("l"), &strong, &u, &cfg).is_err());
+    }
+
+    #[test]
+    fn find_satisfying_works() {
+        let u = Universe::int_cube(&["h"], -1, 1);
+        let cfg = EntailConfig::default();
+        let p = Assertion::exists2(|a, b| {
+            Assertion::Atom(
+                HExpr::PVar(a, Symbol::new("h")).ne(HExpr::PVar(b, Symbol::new("h"))),
+            )
+        });
+        let s = find_satisfying(&p, &u, &cfg).expect("satisfiable");
+        assert!(s.len() >= 2);
+        assert!(find_satisfying(&Assertion::ff(), &u, &cfg).is_none());
+    }
+
+    #[test]
+    fn sampling_mode_triggers_on_large_universes() {
+        let u = Universe::int_cube(&["a", "b", "c"], 0, 9); // 1000 states
+        let cfg = EntailConfig {
+            max_subset_size: 3,
+            exhaustive_limit: 1000,
+            samples: 50,
+            ..EntailConfig::default()
+        };
+        // ⊤ |= ⊤ passes even in sampling mode.
+        assert!(check_entailment(&Assertion::tt(), &Assertion::tt(), &u, &cfg).is_ok());
+        // ⊤ |= emp is refuted by any non-empty sample.
+        assert!(check_entailment(&Assertion::tt(), &Assertion::emp(), &u, &cfg).is_err());
+    }
+
+    #[test]
+    fn equivalence_check() {
+        let u = Universe::int_cube(&["x"], 0, 2);
+        let cfg = EntailConfig::default();
+        // emp ≡ ∀⟨φ⟩. ⊥ by definition; also ≡ ¬(∃⟨φ⟩. ⊤).
+        let not_exists = Assertion::not_emp().negate();
+        assert!(check_equivalent(&Assertion::emp(), &not_exists, &u, &cfg).is_ok());
+        assert!(check_equivalent(&Assertion::emp(), &Assertion::tt(), &u, &cfg).is_err());
+    }
+}

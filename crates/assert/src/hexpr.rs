@@ -1,0 +1,530 @@
+//! Hyper-expressions (Definition 9).
+//!
+//! ```text
+//! e ::= c | y | φ_P(x) | φ_L(x) | e ⊕ e | f(e)
+//! ```
+//!
+//! Unlike program expressions, hyper-expressions can refer to *several*
+//! quantified states at once (e.g. `φ(x) = φ'(x)`), which is what lets
+//! hyper-assertions relate executions.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use hhl_lang::{BinOp, Expr, ExtState, Symbol, UnOp, Value};
+
+/// A hyper-expression: a value-level term over quantified states and
+/// quantified value variables.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_assert::HExpr;
+/// // φ1(l) == φ2(l), the body of low(l)
+/// let e = HExpr::pvar("phi1", "l").eq(HExpr::pvar("phi2", "l"));
+/// assert_eq!(e.to_string(), "phi1(l) == phi2(l)");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HExpr {
+    /// A literal value `c`.
+    Const(Value),
+    /// A quantified value variable `y`.
+    Val(Symbol),
+    /// `φ_P(x)` — program-variable lookup in a quantified state.
+    PVar(Symbol, Symbol),
+    /// `φ_L(x)` — logical-variable lookup in a quantified state.
+    LVar(Symbol, Symbol),
+    /// Unary operator application `f(e)`.
+    Un(UnOp, Box<HExpr>),
+    /// Binary operator application `e ⊕ e`.
+    Bin(BinOp, Box<HExpr>, Box<HExpr>),
+}
+
+impl HExpr {
+    /// Integer literal.
+    pub fn int(i: i64) -> HExpr {
+        HExpr::Const(Value::Int(i))
+    }
+
+    /// Boolean literal.
+    pub fn bool(b: bool) -> HExpr {
+        HExpr::Const(Value::Bool(b))
+    }
+
+    /// Quantified value variable.
+    pub fn val<S: Into<Symbol>>(v: S) -> HExpr {
+        HExpr::Val(v.into())
+    }
+
+    /// `φ_P(x)` — program-variable lookup.
+    pub fn pvar<A: Into<Symbol>, B: Into<Symbol>>(state: A, var: B) -> HExpr {
+        HExpr::PVar(state.into(), var.into())
+    }
+
+    /// `φ_L(x)` — logical-variable lookup.
+    pub fn lvar<A: Into<Symbol>, B: Into<Symbol>>(state: A, var: B) -> HExpr {
+        HExpr::LVar(state.into(), var.into())
+    }
+
+    /// Binary application.
+    pub fn bin(op: BinOp, a: HExpr, b: HExpr) -> HExpr {
+        HExpr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Unary application.
+    pub fn un(op: UnOp, a: HExpr) -> HExpr {
+        HExpr::Un(op, Box::new(a))
+    }
+
+    /// `self == other`.
+    pub fn eq(self, other: HExpr) -> HExpr {
+        HExpr::bin(BinOp::Eq, self, other)
+    }
+
+    /// `self != other`.
+    pub fn ne(self, other: HExpr) -> HExpr {
+        HExpr::bin(BinOp::Ne, self, other)
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: HExpr) -> HExpr {
+        HExpr::bin(BinOp::Lt, self, other)
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: HExpr) -> HExpr {
+        HExpr::bin(BinOp::Le, self, other)
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: HExpr) -> HExpr {
+        HExpr::bin(BinOp::Gt, self, other)
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: HExpr) -> HExpr {
+        HExpr::bin(BinOp::Ge, self, other)
+    }
+
+    /// `self && other`.
+    pub fn and(self, other: HExpr) -> HExpr {
+        HExpr::bin(BinOp::And, self, other)
+    }
+
+    /// `self || other`.
+    pub fn or(self, other: HExpr) -> HExpr {
+        HExpr::bin(BinOp::Or, self, other)
+    }
+
+    /// Boolean negation.
+    pub fn not(self) -> HExpr {
+        HExpr::un(UnOp::Not, self)
+    }
+
+    /// `len(self)`.
+    pub fn len(self) -> HExpr {
+        HExpr::un(UnOp::Len, self)
+    }
+
+    /// `self ++ other`.
+    pub fn concat(self, other: HExpr) -> HExpr {
+        HExpr::bin(BinOp::Concat, self, other)
+    }
+
+    /// `self[idx]`.
+    pub fn index(self, idx: HExpr) -> HExpr {
+        HExpr::bin(BinOp::Index, self, idx)
+    }
+
+    /// `self ^ other` (XOR).
+    pub fn xor(self, other: HExpr) -> HExpr {
+        HExpr::bin(BinOp::Xor, self, other)
+    }
+
+    /// Instantiates a program/state expression `e` at the quantified state
+    /// `φ`, producing the hyper-expression `e(φ)`: program variables become
+    /// `φ_P(x)` and logical variables `φ_L(x)`.
+    ///
+    /// This is the `e(φ)` notation of Defs. 10–11.
+    pub fn of_expr_at(e: &Expr, state: Symbol) -> HExpr {
+        match e {
+            Expr::Const(v) => HExpr::Const(v.clone()),
+            Expr::Var(x) => HExpr::PVar(state, *x),
+            Expr::LVar(x) => HExpr::LVar(state, *x),
+            Expr::Un(op, a) => HExpr::un(*op, HExpr::of_expr_at(a, state)),
+            Expr::Bin(op, a, b) => HExpr::bin(
+                *op,
+                HExpr::of_expr_at(a, state),
+                HExpr::of_expr_at(b, state),
+            ),
+        }
+    }
+
+    /// Evaluates under the state environment `Σ` and value environment `Δ`
+    /// (Def. 12). Unbound state or value variables read as defaults, keeping
+    /// evaluation total.
+    pub fn eval(
+        &self,
+        sigma: &std::collections::BTreeMap<Symbol, ExtState>,
+        delta: &std::collections::BTreeMap<Symbol, Value>,
+    ) -> Value {
+        match self {
+            HExpr::Const(v) => v.clone(),
+            HExpr::Val(y) => delta.get(y).cloned().unwrap_or_default(),
+            HExpr::PVar(phi, x) => sigma
+                .get(phi)
+                .map(|s| s.program.get(*x))
+                .unwrap_or_default(),
+            HExpr::LVar(phi, x) => sigma
+                .get(phi)
+                .map(|s| s.logical.get(*x))
+                .unwrap_or_default(),
+            HExpr::Un(op, a) => op.apply(&a.eval(sigma, delta)),
+            HExpr::Bin(op, a, b) => op.apply(&a.eval(sigma, delta), &b.eval(sigma, delta)),
+        }
+    }
+
+    /// Substitutes every occurrence of `φ_P(x)` (for the given `φ` and `x`)
+    /// by `replacement` — the `A[e(φ)/φ(x)]` substitution of Def. 13.
+    pub fn subst_pvar(&self, phi: Symbol, x: Symbol, replacement: &HExpr) -> HExpr {
+        match self {
+            HExpr::PVar(p, v) if *p == phi && *v == x => replacement.clone(),
+            HExpr::Const(_) | HExpr::Val(_) | HExpr::PVar(_, _) | HExpr::LVar(_, _) => {
+                self.clone()
+            }
+            HExpr::Un(op, a) => HExpr::un(*op, a.subst_pvar(phi, x, replacement)),
+            HExpr::Bin(op, a, b) => HExpr::bin(
+                *op,
+                a.subst_pvar(phi, x, replacement),
+                b.subst_pvar(phi, x, replacement),
+            ),
+        }
+    }
+
+    /// Substitutes a quantified value variable `y` by `replacement`.
+    pub fn subst_val(&self, y: Symbol, replacement: &HExpr) -> HExpr {
+        match self {
+            HExpr::Val(v) if *v == y => replacement.clone(),
+            HExpr::Const(_) | HExpr::Val(_) | HExpr::PVar(_, _) | HExpr::LVar(_, _) => {
+                self.clone()
+            }
+            HExpr::Un(op, a) => HExpr::un(*op, a.subst_val(y, replacement)),
+            HExpr::Bin(op, a, b) => {
+                HExpr::bin(*op, a.subst_val(y, replacement), b.subst_val(y, replacement))
+            }
+        }
+    }
+
+    /// Substitutes a *concrete* state for every lookup of the quantified
+    /// state variable `phi`: `φ_P(x)` becomes the literal `st.program[x]`
+    /// and `φ_L(x)` the literal `st.logical[x]`.
+    pub fn instantiate_state(&self, phi: Symbol, st: &hhl_lang::ExtState) -> HExpr {
+        match self {
+            HExpr::PVar(p, v) if *p == phi => HExpr::Const(st.program.get(*v)),
+            HExpr::LVar(p, v) if *p == phi => HExpr::Const(st.logical.get(*v)),
+            HExpr::Const(_) | HExpr::Val(_) | HExpr::PVar(_, _) | HExpr::LVar(_, _) => {
+                self.clone()
+            }
+            HExpr::Un(op, a) => HExpr::un(*op, a.instantiate_state(phi, st)),
+            HExpr::Bin(op, a, b) => HExpr::bin(
+                *op,
+                a.instantiate_state(phi, st),
+                b.instantiate_state(phi, st),
+            ),
+        }
+    }
+
+    /// Renames a quantified state variable throughout.
+    pub fn rename_state(&self, from: Symbol, to: Symbol) -> HExpr {
+        match self {
+            HExpr::PVar(p, v) if *p == from => HExpr::PVar(to, *v),
+            HExpr::LVar(p, v) if *p == from => HExpr::LVar(to, *v),
+            HExpr::Const(_) | HExpr::Val(_) | HExpr::PVar(_, _) | HExpr::LVar(_, _) => {
+                self.clone()
+            }
+            HExpr::Un(op, a) => HExpr::un(*op, a.rename_state(from, to)),
+            HExpr::Bin(op, a, b) => {
+                HExpr::bin(*op, a.rename_state(from, to), b.rename_state(from, to))
+            }
+        }
+    }
+
+    /// Collects the state variables mentioned.
+    pub fn collect_states(&self, out: &mut BTreeSet<Symbol>) {
+        match self {
+            HExpr::Const(_) | HExpr::Val(_) => {}
+            HExpr::PVar(p, _) | HExpr::LVar(p, _) => {
+                out.insert(*p);
+            }
+            HExpr::Un(_, a) => a.collect_states(out),
+            HExpr::Bin(_, a, b) => {
+                a.collect_states(out);
+                b.collect_states(out);
+            }
+        }
+    }
+
+    /// Collects the *program* variables looked up in any quantified state —
+    /// the `fv(F)` of the frame-rule side conditions (Fig. 11).
+    pub fn collect_pvars(&self, out: &mut BTreeSet<Symbol>) {
+        match self {
+            HExpr::Const(_) | HExpr::Val(_) | HExpr::LVar(_, _) => {}
+            HExpr::PVar(_, v) => {
+                out.insert(*v);
+            }
+            HExpr::Un(_, a) => a.collect_pvars(out),
+            HExpr::Bin(_, a, b) => {
+                a.collect_pvars(out);
+                b.collect_pvars(out);
+            }
+        }
+    }
+
+    /// Collects the *logical* variables looked up in any quantified state
+    /// (side condition of `LUpdateS`).
+    pub fn collect_lvars(&self, out: &mut BTreeSet<Symbol>) {
+        match self {
+            HExpr::Const(_) | HExpr::Val(_) | HExpr::PVar(_, _) => {}
+            HExpr::LVar(_, v) => {
+                out.insert(*v);
+            }
+            HExpr::Un(_, a) => a.collect_lvars(out),
+            HExpr::Bin(_, a, b) => {
+                a.collect_lvars(out);
+                b.collect_lvars(out);
+            }
+        }
+    }
+
+    /// Collects quantified value variables.
+    pub fn collect_vals(&self, out: &mut BTreeSet<Symbol>) {
+        match self {
+            HExpr::Const(_) | HExpr::PVar(_, _) | HExpr::LVar(_, _) => {}
+            HExpr::Val(v) => {
+                out.insert(*v);
+            }
+            HExpr::Un(_, a) => a.collect_vals(out),
+            HExpr::Bin(_, a, b) => {
+                a.collect_vals(out);
+                b.collect_vals(out);
+            }
+        }
+    }
+
+    /// Collects literal values appearing in the expression (used to seed the
+    /// value domain of value quantifiers — see `EvalConfig`).
+    pub fn collect_consts(&self, out: &mut BTreeSet<Value>) {
+        match self {
+            HExpr::Const(v) => {
+                out.insert(v.clone());
+            }
+            HExpr::Val(_) | HExpr::PVar(_, _) | HExpr::LVar(_, _) => {}
+            HExpr::Un(_, a) => a.collect_consts(out),
+            HExpr::Bin(_, a, b) => {
+                a.collect_consts(out);
+                b.collect_consts(out);
+            }
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            HExpr::Const(_) | HExpr::Val(_) | HExpr::PVar(_, _) | HExpr::LVar(_, _) => 1,
+            HExpr::Un(_, a) => 1 + a.size(),
+            HExpr::Bin(_, a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+fn prec(e: &HExpr) -> u8 {
+    match e {
+        HExpr::Const(_) | HExpr::Val(_) | HExpr::PVar(_, _) | HExpr::LVar(_, _) => 10,
+        HExpr::Un(_, _) => 9,
+        HExpr::Bin(op, _, _) => match op {
+            BinOp::Index => 9,
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 8,
+            BinOp::Add | BinOp::Sub | BinOp::Xor | BinOp::Concat => 7,
+            BinOp::Min | BinOp::Max => 10,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 5,
+            BinOp::And => 4,
+            BinOp::Or => 3,
+        },
+    }
+}
+
+impl fmt::Display for HExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(e: &HExpr, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+            let p = prec(e);
+            let needs = p < parent;
+            if needs {
+                write!(f, "(")?;
+            }
+            match e {
+                HExpr::Const(v) => write!(f, "{v}")?,
+                HExpr::Val(y) => write!(f, "{y}")?,
+                HExpr::PVar(phi, x) => write!(f, "{phi}({x})")?,
+                HExpr::LVar(phi, x) => write!(f, "{phi}(${x})")?,
+                HExpr::Un(UnOp::Neg, a) => {
+                    write!(f, "-")?;
+                    go(a, f, 10)?;
+                }
+                HExpr::Un(UnOp::Not, a) => {
+                    write!(f, "!")?;
+                    go(a, f, 10)?;
+                }
+                HExpr::Un(UnOp::Len, a) => {
+                    write!(f, "len(")?;
+                    go(a, f, 0)?;
+                    write!(f, ")")?;
+                }
+                HExpr::Bin(BinOp::Index, a, b) => {
+                    go(a, f, 9)?;
+                    write!(f, "[")?;
+                    go(b, f, 0)?;
+                    write!(f, "]")?;
+                }
+                HExpr::Bin(op @ (BinOp::Min | BinOp::Max), a, b) => {
+                    write!(f, "{}(", op.token())?;
+                    go(a, f, 0)?;
+                    write!(f, ", ")?;
+                    go(b, f, 0)?;
+                    write!(f, ")")?;
+                }
+                HExpr::Bin(op, a, b) => {
+                    go(a, f, p)?;
+                    write!(f, " {} ", op.token())?;
+                    go(b, f, p + 1)?;
+                }
+            }
+            if needs {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        go(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhl_lang::Store;
+    use std::collections::BTreeMap;
+
+    fn env_with(phi: &str, x: &str, v: i64) -> BTreeMap<Symbol, ExtState> {
+        let mut m = BTreeMap::new();
+        m.insert(
+            Symbol::new(phi),
+            ExtState::from_program(Store::from_pairs([(x, Value::Int(v))])),
+        );
+        m
+    }
+
+    #[test]
+    fn eval_pvar_lookup() {
+        let e = HExpr::pvar("phi", "x") + HExpr::int(1);
+        let sigma = env_with("phi", "x", 41);
+        assert_eq!(e.eval(&sigma, &BTreeMap::new()), Value::Int(42));
+    }
+
+    #[test]
+    fn eval_lvar_lookup() {
+        let e = HExpr::lvar("phi", "t");
+        let mut sigma = BTreeMap::new();
+        let mut st = ExtState::default();
+        st.logical.set("t", Value::Int(2));
+        sigma.insert(Symbol::new("phi"), st);
+        assert_eq!(e.eval(&sigma, &BTreeMap::new()), Value::Int(2));
+    }
+
+    #[test]
+    fn unbound_reads_are_default() {
+        let e = HExpr::pvar("nope", "x").eq(HExpr::val("missing"));
+        assert_eq!(
+            e.eval(&BTreeMap::new(), &BTreeMap::new()),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn of_expr_at_instantiates() {
+        let prog = Expr::var("h") + Expr::var("y");
+        let h = HExpr::of_expr_at(&prog, Symbol::new("phi"));
+        assert_eq!(h, HExpr::pvar("phi", "h") + HExpr::pvar("phi", "y"));
+        let with_lvar = Expr::lvar("t").eq(Expr::int(1));
+        let h2 = HExpr::of_expr_at(&with_lvar, Symbol::new("phi"));
+        assert_eq!(h2, HExpr::lvar("phi", "t").eq(HExpr::int(1)));
+    }
+
+    #[test]
+    fn subst_pvar_targets_only_requested() {
+        let e = HExpr::pvar("p1", "x") + HExpr::pvar("p2", "x");
+        let out = e.subst_pvar(Symbol::new("p1"), Symbol::new("x"), &HExpr::int(0));
+        assert_eq!(out, HExpr::int(0) + HExpr::pvar("p2", "x"));
+    }
+
+    #[test]
+    fn rename_state_renames_both_stores() {
+        let e = HExpr::pvar("a", "x").eq(HExpr::lvar("a", "t"));
+        let out = e.rename_state(Symbol::new("a"), Symbol::new("b"));
+        assert_eq!(out, HExpr::pvar("b", "x").eq(HExpr::lvar("b", "t")));
+    }
+
+    #[test]
+    fn collectors() {
+        let e = HExpr::pvar("p", "x")
+            .le(HExpr::lvar("q", "t") + HExpr::val("v").xor(HExpr::int(3)));
+        let mut states = BTreeSet::new();
+        e.collect_states(&mut states);
+        assert_eq!(states.len(), 2);
+        let mut pv = BTreeSet::new();
+        e.collect_pvars(&mut pv);
+        assert_eq!(pv, [Symbol::new("x")].into_iter().collect());
+        let mut lv = BTreeSet::new();
+        e.collect_lvars(&mut lv);
+        assert_eq!(lv, [Symbol::new("t")].into_iter().collect());
+        let mut vv = BTreeSet::new();
+        e.collect_vals(&mut vv);
+        assert_eq!(vv, [Symbol::new("v")].into_iter().collect());
+        let mut cs = BTreeSet::new();
+        e.collect_consts(&mut cs);
+        assert_eq!(cs, [Value::Int(3)].into_iter().collect());
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = HExpr::pvar("phi", "h") + HExpr::pvar("phi", "y");
+        assert_eq!(e.to_string(), "phi(h) + phi(y)");
+        let l = HExpr::lvar("phi", "t").eq(HExpr::int(1));
+        assert_eq!(l.to_string(), "phi($t) == 1");
+    }
+}
+
+impl std::ops::Add for HExpr {
+    type Output = HExpr;
+    fn add(self, rhs: HExpr) -> HExpr {
+        HExpr::bin(BinOp::Add, self, rhs)
+    }
+}
+
+impl std::ops::Sub for HExpr {
+    type Output = HExpr;
+    fn sub(self, rhs: HExpr) -> HExpr {
+        HExpr::bin(BinOp::Sub, self, rhs)
+    }
+}
+
+impl std::ops::Mul for HExpr {
+    type Output = HExpr;
+    fn mul(self, rhs: HExpr) -> HExpr {
+        HExpr::bin(BinOp::Mul, self, rhs)
+    }
+}
+
+impl From<i64> for HExpr {
+    fn from(i: i64) -> HExpr {
+        HExpr::int(i)
+    }
+}

@@ -1,0 +1,54 @@
+//! # hhl-assert — hyper-assertions for Hyper Hoare Logic
+//!
+//! This crate implements §4 and Appendix A of *Hyper Hoare Logic:
+//! (Dis-)Proving Program Hyperproperties* (Dardinier & Müller, PLDI 2024):
+//!
+//! * [`HExpr`] / [`Assertion`] — syntactic hyper-expressions and
+//!   hyper-assertions (Def. 9), extended with the paper's semantic operators
+//!   `⊗` (Def. 6), `⨂ₙ` (Def. 7), cardinality comprehensions (App. B),
+//!   state equality and concrete membership (Apps. C–D);
+//! * [`eval_assertion`] — satisfiability of hyper-assertions over state sets
+//!   (Def. 12), finitized as documented in `DESIGN.md`;
+//! * [`assign_transform`] / [`havoc_transform`] / [`assume_transform`] — the
+//!   syntactic weakest-precondition transformations `𝒜ᵉₓ` / `ℋₓ` / `Π_b`
+//!   (Defs. 13–15) behind the rules `AssignS` / `HavocS` / `AssumeS`;
+//! * [`check_entailment`] — finite-model validation of `P |= Q`, the engine
+//!   behind the `Cons` rule and the verifier's VC discharge;
+//! * [`parse_assertion`] — a textual surface syntax for hyper-assertions.
+//!
+//! # Quick example
+//!
+//! ```
+//! use hhl_assert::{eval_assertion, Assertion, EvalConfig};
+//! use hhl_lang::{ExtState, StateSet, Store, Value};
+//!
+//! // Non-interference: low(l) ≜ ∀⟨φ1⟩,⟨φ2⟩. φ1(l) = φ2(l)   (§2.2)
+//! let ni = Assertion::low("l");
+//! let mk = |l: i64| ExtState::from_program(Store::from_pairs([("l", Value::Int(l))]));
+//! let secure: StateSet = [mk(0), mk(0)].into_iter().collect();
+//! assert!(eval_assertion(&ni, &secure, &EvalConfig::default()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assertion;
+mod entail;
+mod eval;
+mod parser;
+mod hexpr;
+mod simplify;
+mod sugar;
+mod transform;
+
+pub use assertion::{Assertion, Family};
+pub use entail::{
+    candidate_sets, check_entailment, check_equivalent, find_satisfying, Counterexample,
+    EntailConfig, Universe,
+};
+pub use eval::{eval_assertion, eval_in_env, value_domain, Env, EvalConfig};
+pub use hexpr::HExpr;
+pub use parser::{parse_assertion, AssertParseError};
+pub use simplify::{fold_hexpr, simplify};
+pub use sugar::{PHI, PHI1, PHI2};
+pub use transform::{assign_transform, assume_transform, havoc_transform, TransformError};

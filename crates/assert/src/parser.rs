@@ -1,0 +1,663 @@
+//! Textual surface syntax for hyper-assertions.
+//!
+//! The grammar mirrors the paper's notation with ASCII spellings:
+//!
+//! ```text
+//! A ::= 'forall' binders '.' A          // ∀⟨φ⟩ / ∀y (binders may mix)
+//!     | 'exists' binders '.' A          // ∃⟨φ⟩ / ∃y
+//!     | A '=>' A | A '||' A | A '&&' A | '!' A | '(' A ')'
+//!     | e cmp e | 'true' | 'false' | 'emp' | 'low' '(' x ')'
+//!     | 'count' '(' '<' φ '>' '.' e ')' cmp e      // |{e(φ) : φ∈S}| ⪰ e
+//!     | 'state_eq' '(' φ ',' φ ')'                  // φ = φ' (App. D.2)
+//! binders ::= ('<' φ '>' | y) (',' ...)*
+//! e ::= φ '(' x ')' | φ '(' '$' t ')' | y | literals | e op e | len(e) | e[e]
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use hhl_assert::{parse_assertion, Assertion};
+//! let gni = parse_assertion(
+//!     "forall <phi1>, <phi2>. exists <phi>. phi(h) == phi1(h) && phi(l) == phi2(l)",
+//! ).unwrap();
+//! assert_eq!(gni, Assertion::gni("h", "l"));
+//! ```
+
+use std::fmt;
+
+use hhl_lang::{BinOp, Symbol, UnOp, Value};
+
+use crate::assertion::Assertion;
+use crate::hexpr::HExpr;
+
+/// Error produced when parsing a hyper-assertion fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AssertParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset of the failure.
+    pub position: usize,
+}
+
+impl fmt::Display for AssertParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "assertion parse error at byte {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for AssertParseError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Sym(&'static str),
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, AssertParseError> {
+        Err(AssertParseError {
+            message: msg.into(),
+            position: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b'/' && self.src.get(self.pos + 1) == Some(&b'/') {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<Option<Tok>, AssertParseError> {
+        let saved = self.pos;
+        let t = self.next_tok()?;
+        self.pos = saved;
+        Ok(t)
+    }
+
+    fn next_tok(&mut self) -> Result<Option<Tok>, AssertParseError> {
+        self.skip_ws();
+        if self.pos >= self.src.len() {
+            return Ok(None);
+        }
+        let two: &[u8] = &self.src[self.pos..(self.pos + 2).min(self.src.len())];
+        for s in ["==", "!=", "<=", ">=", "&&", "||", "++", "=>"] {
+            if two == s.as_bytes() {
+                self.pos += 2;
+                let tok = match s {
+                    "==" => "==",
+                    "!=" => "!=",
+                    "<=" => "<=",
+                    ">=" => ">=",
+                    "&&" => "&&",
+                    "||" => "||",
+                    "++" => "++",
+                    "=>" => "=>",
+                    _ => unreachable!(),
+                };
+                return Ok(Some(Tok::Sym(tok)));
+            }
+        }
+        let c = self.src[self.pos];
+        if b"+-*/%^<>!(){}[],;.$".contains(&c) {
+            self.pos += 1;
+            let s = match c {
+                b'+' => "+",
+                b'-' => "-",
+                b'*' => "*",
+                b'/' => "/",
+                b'%' => "%",
+                b'^' => "^",
+                b'<' => "<",
+                b'>' => ">",
+                b'!' => "!",
+                b'(' => "(",
+                b')' => ")",
+                b'{' => "{",
+                b'}' => "}",
+                b'[' => "[",
+                b']' => "]",
+                b',' => ",",
+                b';' => ";",
+                b'.' => ".",
+                b'$' => "$",
+                _ => unreachable!(),
+            };
+            return Ok(Some(Tok::Sym(s)));
+        }
+        if c.is_ascii_digit() {
+            let start = self.pos;
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits");
+            match text.parse::<i64>() {
+                Ok(n) => return Ok(Some(Tok::Int(n))),
+                Err(_) => return self.err(format!("integer out of range: {text}")),
+            }
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = self.pos;
+            while self.pos < self.src.len()
+                && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+            let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            return Ok(Some(Tok::Ident(name)));
+        }
+        self.err(format!("unexpected character {:?}", c as char))
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), AssertParseError> {
+        match self.next_tok()? {
+            Some(Tok::Sym(t)) if t == s => Ok(()),
+            other => self.err(format!("expected `{s}`, found {other:?}")),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, AssertParseError> {
+        match self.next_tok()? {
+            Some(Tok::Ident(name)) => Ok(name),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> Result<bool, AssertParseError> {
+        if let Some(Tok::Sym(t)) = self.peek()? {
+            if t == s {
+                self.next_tok()?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// Unified parse tree: classified into `Assertion` / `HExpr` afterwards.
+#[derive(Clone, Debug)]
+enum U {
+    Lit(Value),
+    Ident(String),
+    Lookup {
+        state: String,
+        var: String,
+        logical: bool,
+    },
+    Un(UnOp, Box<U>),
+    Bin(BinOp, Box<U>, Box<U>),
+    Implies(Box<U>, Box<U>),
+    Forall(Vec<Binder>, Box<U>),
+    Exists(Vec<Binder>, Box<U>),
+    Emp,
+    Low(String),
+    Count {
+        state: String,
+        proj: Box<U>,
+        op: BinOp,
+        bound: Box<U>,
+    },
+    StateEq(String, String),
+}
+
+#[derive(Clone, Debug)]
+enum Binder {
+    State(String),
+    Val(String),
+}
+
+fn parse_binders(lx: &mut Lexer<'_>) -> Result<Vec<Binder>, AssertParseError> {
+    let mut out = Vec::new();
+    loop {
+        if lx.eat_sym("<")? {
+            let name = lx.expect_ident()?;
+            lx.expect_sym(">")?;
+            out.push(Binder::State(name));
+        } else {
+            out.push(Binder::Val(lx.expect_ident()?));
+        }
+        if !lx.eat_sym(",")? {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// Precedence-climbing parse of the unified grammar.
+fn parse_u(lx: &mut Lexer<'_>, min_bp: u8) -> Result<U, AssertParseError> {
+    let mut lhs = parse_atom(lx)?;
+    loop {
+        let (tag, bp): (&str, u8) = match lx.peek()? {
+            Some(Tok::Sym(s)) => match s {
+                "=>" => ("=>", 1),
+                "||" => ("||", 2),
+                "&&" => ("&&", 3),
+                "==" => ("==", 4),
+                "!=" => ("!=", 4),
+                "<" => ("<", 4),
+                "<=" => ("<=", 4),
+                ">" => (">", 4),
+                ">=" => (">=", 4),
+                "+" => ("+", 5),
+                "-" => ("-", 5),
+                "++" => ("++", 5),
+                "^" => ("^", 5),
+                "*" => ("*", 6),
+                "/" => ("/", 6),
+                "%" => ("%", 6),
+                _ => break,
+            },
+            _ => break,
+        };
+        if bp < min_bp {
+            break;
+        }
+        lx.next_tok()?;
+        // '=>' is right-associative; everything else climbs left-to-right.
+        let rhs = if tag == "=>" {
+            parse_u(lx, bp)?
+        } else {
+            parse_u(lx, bp + 1)?
+        };
+        lhs = match tag {
+            "=>" => U::Implies(Box::new(lhs), Box::new(rhs)),
+            "||" => U::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+            "&&" => U::Bin(BinOp::And, Box::new(lhs), Box::new(rhs)),
+            "==" => U::Bin(BinOp::Eq, Box::new(lhs), Box::new(rhs)),
+            "!=" => U::Bin(BinOp::Ne, Box::new(lhs), Box::new(rhs)),
+            "<" => U::Bin(BinOp::Lt, Box::new(lhs), Box::new(rhs)),
+            "<=" => U::Bin(BinOp::Le, Box::new(lhs), Box::new(rhs)),
+            ">" => U::Bin(BinOp::Gt, Box::new(lhs), Box::new(rhs)),
+            ">=" => U::Bin(BinOp::Ge, Box::new(lhs), Box::new(rhs)),
+            "+" => U::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs)),
+            "-" => U::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs)),
+            "++" => U::Bin(BinOp::Concat, Box::new(lhs), Box::new(rhs)),
+            "^" => U::Bin(BinOp::Xor, Box::new(lhs), Box::new(rhs)),
+            "*" => U::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs)),
+            "/" => U::Bin(BinOp::Div, Box::new(lhs), Box::new(rhs)),
+            "%" => U::Bin(BinOp::Rem, Box::new(lhs), Box::new(rhs)),
+            _ => unreachable!(),
+        };
+    }
+    Ok(lhs)
+}
+
+fn parse_cmp_op(lx: &mut Lexer<'_>) -> Result<BinOp, AssertParseError> {
+    match lx.next_tok()? {
+        Some(Tok::Sym("==")) => Ok(BinOp::Eq),
+        Some(Tok::Sym("!=")) => Ok(BinOp::Ne),
+        Some(Tok::Sym("<")) => Ok(BinOp::Lt),
+        Some(Tok::Sym("<=")) => Ok(BinOp::Le),
+        Some(Tok::Sym(">")) => Ok(BinOp::Gt),
+        Some(Tok::Sym(">=")) => Ok(BinOp::Ge),
+        other => lx.err(format!("expected comparison operator, found {other:?}")),
+    }
+}
+
+fn parse_atom(lx: &mut Lexer<'_>) -> Result<U, AssertParseError> {
+    let tok = lx.next_tok()?;
+    let mut base = match tok {
+        Some(Tok::Int(n)) => U::Lit(Value::Int(n)),
+        Some(Tok::Sym("-")) => U::Un(UnOp::Neg, Box::new(parse_atom(lx)?)),
+        Some(Tok::Sym("!")) => U::Un(UnOp::Not, Box::new(parse_atom(lx)?)),
+        Some(Tok::Sym("(")) => {
+            let inner = parse_u(lx, 0)?;
+            lx.expect_sym(")")?;
+            inner
+        }
+        Some(Tok::Sym("[")) => {
+            let mut items = Vec::new();
+            if !lx.eat_sym("]")? {
+                loop {
+                    items.push(parse_u(lx, 0)?);
+                    if lx.eat_sym("]")? {
+                        break;
+                    }
+                    lx.expect_sym(",")?;
+                }
+            }
+            let mut values = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    U::Lit(v) => values.push(v),
+                    _ => return lx.err("list literals in assertions must be constant"),
+                }
+            }
+            U::Lit(Value::List(values))
+        }
+        Some(Tok::Ident(name)) => match name.as_str() {
+            "forall" => {
+                let binders = parse_binders(lx)?;
+                lx.expect_sym(".")?;
+                let body = parse_u(lx, 0)?;
+                return Ok(U::Forall(binders, Box::new(body)));
+            }
+            "exists" => {
+                let binders = parse_binders(lx)?;
+                lx.expect_sym(".")?;
+                let body = parse_u(lx, 0)?;
+                return Ok(U::Exists(binders, Box::new(body)));
+            }
+            "true" => U::Lit(Value::Bool(true)),
+            "false" => U::Lit(Value::Bool(false)),
+            "emp" => U::Emp,
+            "low" => {
+                lx.expect_sym("(")?;
+                let var = lx.expect_ident()?;
+                lx.expect_sym(")")?;
+                U::Low(var)
+            }
+            "len" => {
+                lx.expect_sym("(")?;
+                let e = parse_u(lx, 0)?;
+                lx.expect_sym(")")?;
+                U::Un(UnOp::Len, Box::new(e))
+            }
+            "max" | "min" => {
+                lx.expect_sym("(")?;
+                let a = parse_u(lx, 0)?;
+                lx.expect_sym(",")?;
+                let b = parse_u(lx, 0)?;
+                lx.expect_sym(")")?;
+                let op = if name == "max" { BinOp::Max } else { BinOp::Min };
+                U::Bin(op, Box::new(a), Box::new(b))
+            }
+            "count" => {
+                lx.expect_sym("(")?;
+                lx.expect_sym("<")?;
+                let state = lx.expect_ident()?;
+                lx.expect_sym(">")?;
+                lx.expect_sym(".")?;
+                let proj = parse_u(lx, 0)?;
+                lx.expect_sym(")")?;
+                let op = parse_cmp_op(lx)?;
+                let bound = parse_u(lx, 5)?;
+                return Ok(U::Count {
+                    state,
+                    proj: Box::new(proj),
+                    op,
+                    bound: Box::new(bound),
+                });
+            }
+            "state_eq" => {
+                lx.expect_sym("(")?;
+                let a = lx.expect_ident()?;
+                lx.expect_sym(",")?;
+                let b = lx.expect_ident()?;
+                lx.expect_sym(")")?;
+                U::StateEq(a, b)
+            }
+            _ => {
+                // `name(x)` is a state lookup; `name($t)` a logical lookup;
+                // bare `name` a quantified value variable.
+                if lx.eat_sym("(")? {
+                    let logical = lx.eat_sym("$")?;
+                    let var = lx.expect_ident()?;
+                    lx.expect_sym(")")?;
+                    U::Lookup {
+                        state: name,
+                        var,
+                        logical,
+                    }
+                } else {
+                    U::Ident(name)
+                }
+            }
+        },
+        other => return lx.err(format!("expected assertion atom, found {other:?}")),
+    };
+    while lx.eat_sym("[")? {
+        let idx = parse_u(lx, 0)?;
+        lx.expect_sym("]")?;
+        base = U::Bin(BinOp::Index, Box::new(base), Box::new(idx));
+    }
+    Ok(base)
+}
+
+fn to_hexpr(u: &U) -> Result<HExpr, AssertParseError> {
+    match u {
+        U::Lit(v) => Ok(HExpr::Const(v.clone())),
+        U::Ident(name) => Ok(HExpr::Val(Symbol::new(name))),
+        U::Lookup {
+            state,
+            var,
+            logical,
+        } => {
+            if *logical {
+                Ok(HExpr::lvar(state.as_str(), var.as_str()))
+            } else {
+                Ok(HExpr::pvar(state.as_str(), var.as_str()))
+            }
+        }
+        U::Un(op, a) => Ok(HExpr::un(*op, to_hexpr(a)?)),
+        U::Bin(op, a, b) => Ok(HExpr::bin(*op, to_hexpr(a)?, to_hexpr(b)?)),
+        U::Implies(a, b) => Ok(to_hexpr(a)?.not().or(to_hexpr(b)?)),
+        U::Forall(_, _) | U::Exists(_, _) | U::Emp | U::Low(_) | U::Count { .. }
+        | U::StateEq(_, _) => Err(AssertParseError {
+            message: "assertion-level construct used where a value expression is required"
+                .to_owned(),
+            position: 0,
+        }),
+    }
+}
+
+fn to_assertion(u: &U) -> Result<Assertion, AssertParseError> {
+    match u {
+        U::Forall(binders, body) => {
+            let mut a = to_assertion(body)?;
+            for b in binders.iter().rev() {
+                a = match b {
+                    Binder::State(name) => Assertion::forall_state(name.as_str(), a),
+                    Binder::Val(name) => Assertion::forall_val(name.as_str(), a),
+                };
+            }
+            Ok(a)
+        }
+        U::Exists(binders, body) => {
+            let mut a = to_assertion(body)?;
+            for b in binders.iter().rev() {
+                a = match b {
+                    Binder::State(name) => Assertion::exists_state(name.as_str(), a),
+                    Binder::Val(name) => Assertion::exists_val(name.as_str(), a),
+                };
+            }
+            Ok(a)
+        }
+        U::Implies(a, b) => Ok(to_assertion(a)?.implies(to_assertion(b)?)),
+        U::Bin(BinOp::And, a, b) => Ok(to_assertion(a)?.and(to_assertion(b)?)),
+        U::Bin(BinOp::Or, a, b) => Ok(to_assertion(a)?.or(to_assertion(b)?)),
+        U::Un(UnOp::Not, a) => Ok(to_assertion(a)?.negate()),
+        U::Emp => Ok(Assertion::emp()),
+        U::Low(x) => Ok(Assertion::low(x.as_str())),
+        U::Count {
+            state,
+            proj,
+            op,
+            bound,
+        } => Ok(Assertion::Card {
+            state: Symbol::new(state),
+            proj: to_hexpr(proj)?,
+            op: *op,
+            bound: to_hexpr(bound)?,
+        }),
+        U::StateEq(a, b) => Ok(Assertion::StateEq(Symbol::new(a), Symbol::new(b))),
+        // Everything else is a boolean-valued hyper-expression.
+        other => Ok(Assertion::Atom(to_hexpr(other)?)),
+    }
+}
+
+/// Parses a hyper-assertion from its textual form.
+///
+/// # Errors
+///
+/// Returns an [`AssertParseError`] when the input is not a well-formed
+/// hyper-assertion.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_assert::parse_assertion;
+/// // The §2.1 P2 postcondition.
+/// let p2 = parse_assertion(
+///     "forall n. 0 <= n && n <= 9 => exists <phi>. phi(x) == n",
+/// ).unwrap();
+/// assert!(p2.to_string().starts_with("∀n."));
+/// ```
+pub fn parse_assertion(src: &str) -> Result<Assertion, AssertParseError> {
+    let mut lx = Lexer::new(src);
+    let u = parse_u(&mut lx, 0)?;
+    match lx.peek()? {
+        None => to_assertion(&u),
+        Some(t) => Err(AssertParseError {
+            message: format!("trailing input after assertion: {t:?}"),
+            position: lx.pos,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_assertion, EvalConfig};
+    use hhl_lang::{ExtState, StateSet, Store};
+
+    fn mk(pairs: &[(&str, i64)]) -> ExtState {
+        ExtState::from_program(Store::from_pairs(
+            pairs.iter().map(|(k, v)| (*k, Value::Int(*v))),
+        ))
+    }
+
+    #[test]
+    fn parses_low_sugar_and_expansion_identically() {
+        let a = parse_assertion("low(l)").unwrap();
+        let b = parse_assertion("forall <phi1>, <phi2>. phi1(l) == phi2(l)").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, Assertion::low("l"));
+    }
+
+    #[test]
+    fn parses_gni_exactly() {
+        let gni = parse_assertion(
+            "forall <phi1>, <phi2>. exists <phi>. phi(h) == phi1(h) && phi(l) == phi2(l)",
+        )
+        .unwrap();
+        assert_eq!(gni, Assertion::gni("h", "l"));
+    }
+
+    #[test]
+    fn parses_mixed_binders() {
+        let a = parse_assertion("forall <p>, n. p(x) >= n").unwrap();
+        match a {
+            Assertion::ForallState(_, inner) => {
+                assert!(matches!(*inner, Assertion::ForallVal(_, _)));
+            }
+            other => panic!("expected ∀⟨p⟩, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implies_is_right_associative() {
+        let a = parse_assertion("false => false => false").unwrap();
+        // (false => (false => false)) is true.
+        assert!(eval_assertion(&a, &StateSet::new(), &EvalConfig::default()));
+    }
+
+    #[test]
+    fn parses_logical_lookup() {
+        let a = parse_assertion("forall <p>. p($t) == 1 => p(x) >= 0").unwrap();
+        let mut st = mk(&[("x", 5)]);
+        st.logical.set("t", Value::Int(1));
+        let s: StateSet = [st].into_iter().collect();
+        assert!(eval_assertion(&a, &s, &EvalConfig::default()));
+    }
+
+    #[test]
+    fn parses_count_comprehension() {
+        let a = parse_assertion("count(<p>. p(o)) <= v + 1").unwrap();
+        match &a {
+            Assertion::Card { op, .. } => assert_eq!(*op, BinOp::Le),
+            other => panic!("expected Card, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_state_eq() {
+        let a = parse_assertion("exists <p>. forall <q>. state_eq(p, q)").unwrap();
+        let s: StateSet = [mk(&[("x", 1)])].into_iter().collect();
+        assert!(eval_assertion(&a, &s, &EvalConfig::default()));
+    }
+
+    #[test]
+    fn parses_emp_and_booleans() {
+        assert_eq!(parse_assertion("emp").unwrap(), Assertion::emp());
+        assert!(eval_assertion(
+            &parse_assertion("true && !false").unwrap(),
+            &StateSet::new(),
+            &EvalConfig::default()
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_assertion("forall . x").is_err());
+        assert!(parse_assertion("exists <p>").is_err());
+        assert!(parse_assertion("p(x) == ").is_err());
+        assert!(parse_assertion("low(l) extra").is_err());
+        assert!(parse_assertion("count(p. x)").is_err());
+    }
+
+    #[test]
+    fn quantifier_body_extends_right() {
+        // forall <p>. A && B parses as forall <p>. (A && B).
+        let a = parse_assertion("forall <p>. p(x) >= 0 && p(y) >= 0").unwrap();
+        match a {
+            Assertion::ForallState(_, body) => {
+                assert!(matches!(*body, Assertion::And(_, _)));
+            }
+            other => panic!("expected ∀⟨p⟩, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_inside_comparisons() {
+        let a = parse_assertion("forall <p>. p(h) + 9 > p(l) * 2 - 1").unwrap();
+        let s: StateSet = [mk(&[("h", 0), ("l", 3)])].into_iter().collect();
+        assert!(eval_assertion(&a, &s, &EvalConfig::default()));
+    }
+
+    #[test]
+    fn list_literals_and_indexing() {
+        let a = parse_assertion("forall <p>. p(h)[0] == [4, 5][0]").unwrap();
+        let st = ExtState::from_program(Store::from_pairs([(
+            "h",
+            Value::list([Value::Int(4), Value::Int(9)]),
+        )]));
+        let s: StateSet = [st].into_iter().collect();
+        assert!(eval_assertion(&a, &s, &EvalConfig::default()));
+    }
+}

@@ -1,0 +1,287 @@
+//! A lightweight assertion simplifier.
+//!
+//! The syntactic transformations of §4 produce large but shallow formulas
+//! (the Fig. 4 outline triples in size with every backward step). This
+//! simplifier performs the rewrites a human applies silently when reading a
+//! proof outline:
+//!
+//! * constant folding of closed hyper-expressions;
+//! * boolean unit/absorption laws (`⊤ ∧ A = A`, `⊥ ∨ A = A`, …);
+//! * pruning of quantifiers whose bodies are constant;
+//! * double-negation elimination on atoms.
+//!
+//! Simplification is *validity-preserving*: `simplify(A)` evaluates exactly
+//! like `A` on every state set (checked by the property tests).
+
+use hhl_lang::{BinOp, UnOp, Value};
+
+use crate::assertion::Assertion;
+use crate::hexpr::HExpr;
+
+/// Recursively folds closed sub-expressions to literals.
+pub fn fold_hexpr(e: &HExpr) -> HExpr {
+    match e {
+        HExpr::Const(_) | HExpr::Val(_) | HExpr::PVar(_, _) | HExpr::LVar(_, _) => e.clone(),
+        HExpr::Un(op, a) => {
+            let a = fold_hexpr(a);
+            if let HExpr::Const(v) = &a {
+                HExpr::Const(op.apply(v))
+            } else if let (UnOp::Not, HExpr::Un(UnOp::Not, inner)) = (op, &a) {
+                // ¬¬e = e for boolean-valued e; safe because Not coerces.
+                fold_hexpr(inner)
+            } else {
+                HExpr::un(*op, a)
+            }
+        }
+        HExpr::Bin(op, a, b) => {
+            let a = fold_hexpr(a);
+            let b = fold_hexpr(b);
+            match (&a, &b) {
+                (HExpr::Const(x), HExpr::Const(y)) => HExpr::Const(op.apply(x, y)),
+                // Arithmetic units.
+                (HExpr::Const(Value::Int(0)), _) if *op == BinOp::Add => b,
+                (_, HExpr::Const(Value::Int(0)))
+                    if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Xor) =>
+                {
+                    a
+                }
+                (_, HExpr::Const(Value::Int(1))) if *op == BinOp::Mul => a,
+                (HExpr::Const(Value::Int(1)), _) if *op == BinOp::Mul => b,
+                // Boolean units.
+                (HExpr::Const(Value::Bool(true)), _) if *op == BinOp::And => b,
+                (_, HExpr::Const(Value::Bool(true))) if *op == BinOp::And => a,
+                (HExpr::Const(Value::Bool(false)), _) if *op == BinOp::Or => b,
+                (_, HExpr::Const(Value::Bool(false))) if *op == BinOp::Or => a,
+                (HExpr::Const(Value::Bool(false)), _) if *op == BinOp::And => {
+                    HExpr::bool(false)
+                }
+                (_, HExpr::Const(Value::Bool(false))) if *op == BinOp::And => {
+                    HExpr::bool(false)
+                }
+                (HExpr::Const(Value::Bool(true)), _) if *op == BinOp::Or => HExpr::bool(true),
+                (_, HExpr::Const(Value::Bool(true))) if *op == BinOp::Or => HExpr::bool(true),
+                // Reflexive comparisons on identical syntax.
+                _ if a == b && matches!(op, BinOp::Eq | BinOp::Le | BinOp::Ge) => {
+                    HExpr::bool(true)
+                }
+                _ if a == b && matches!(op, BinOp::Ne | BinOp::Lt | BinOp::Gt) => {
+                    HExpr::bool(false)
+                }
+                _ => HExpr::bin(*op, a, b),
+            }
+        }
+    }
+}
+
+fn truth(a: &Assertion) -> Option<bool> {
+    match a {
+        Assertion::Atom(HExpr::Const(v)) => Some(v.truthy()),
+        _ => None,
+    }
+}
+
+/// Simplifies an assertion (see module docs). Idempotent and
+/// validity-preserving.
+pub fn simplify(a: &Assertion) -> Assertion {
+    match a {
+        Assertion::Atom(e) => Assertion::Atom(fold_hexpr(e)),
+        Assertion::Not(inner) => {
+            let inner = simplify(inner);
+            match truth(&inner) {
+                Some(b) => Assertion::Atom(HExpr::bool(!b)),
+                None => inner.negate(),
+            }
+        }
+        Assertion::And(x, y) => {
+            let x = simplify(x);
+            let y = simplify(y);
+            match (truth(&x), truth(&y)) {
+                (Some(false), _) | (_, Some(false)) => Assertion::ff(),
+                (Some(true), _) => y,
+                (_, Some(true)) => x,
+                _ => x.and(y),
+            }
+        }
+        Assertion::Or(x, y) => {
+            let x = simplify(x);
+            let y = simplify(y);
+            match (truth(&x), truth(&y)) {
+                (Some(true), _) | (_, Some(true)) => Assertion::tt(),
+                (Some(false), _) => y,
+                (_, Some(false)) => x,
+                _ => x.or(y),
+            }
+        }
+        Assertion::ForallVal(v, body) => {
+            let body = simplify(body);
+            match truth(&body) {
+                Some(b) => Assertion::Atom(HExpr::bool(b)),
+                None => Assertion::forall_val(*v, body),
+            }
+        }
+        Assertion::ExistsVal(v, body) => {
+            let body = simplify(body);
+            match truth(&body) {
+                // ∃v. c ≡ c: the value domain is never empty.
+                Some(b) => Assertion::Atom(HExpr::bool(b)),
+                None => Assertion::exists_val(*v, body),
+            }
+        }
+        Assertion::ForallState(p, body) => {
+            let body = simplify(body);
+            match truth(&body) {
+                // ∀⟨φ⟩. ⊤ ≡ ⊤; ∀⟨φ⟩. ⊥ is emp — keep it.
+                Some(true) => Assertion::tt(),
+                _ => Assertion::forall_state(*p, body),
+            }
+        }
+        Assertion::ExistsState(p, body) => {
+            let body = simplify(body);
+            match truth(&body) {
+                // ∃⟨φ⟩. ⊥ ≡ ⊥; ∃⟨φ⟩. ⊤ is ¬emp — keep it.
+                Some(false) => Assertion::ff(),
+                _ => Assertion::exists_state(*p, body),
+            }
+        }
+        Assertion::Otimes(x, y) => simplify(x).otimes(simplify(y)),
+        Assertion::UnionOf(x) => Assertion::UnionOf(Box::new(simplify(x))),
+        Assertion::Card {
+            state,
+            proj,
+            op,
+            bound,
+        } => Assertion::Card {
+            state: *state,
+            proj: fold_hexpr(proj),
+            op: *op,
+            bound: fold_hexpr(bound),
+        },
+        Assertion::BigOtimes(_)
+        | Assertion::StateEq(_, _)
+        | Assertion::HasState(_)
+        | Assertion::IsState(_, _) => a.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_assertion, EvalConfig};
+    use crate::transform::{assign_transform, assume_transform};
+    use hhl_lang::{Expr, ExtState, StateSet, Store, Symbol};
+
+    fn mk(x: i64) -> ExtState {
+        ExtState::from_program(Store::from_pairs([("x", Value::Int(x))]))
+    }
+
+    #[test]
+    fn folds_constants() {
+        let e = HExpr::int(2) + HExpr::int(3) * HExpr::int(4);
+        assert_eq!(fold_hexpr(&e), HExpr::int(14));
+        let b = HExpr::bool(true).and(HExpr::pvar("p", "x").ge(HExpr::int(0)));
+        assert_eq!(fold_hexpr(&b), HExpr::pvar("p", "x").ge(HExpr::int(0)));
+    }
+
+    #[test]
+    fn arithmetic_units() {
+        let e = HExpr::pvar("p", "x") + HExpr::int(0);
+        assert_eq!(fold_hexpr(&e), HExpr::pvar("p", "x"));
+        let m = HExpr::int(1) * HExpr::pvar("p", "x");
+        assert_eq!(fold_hexpr(&m), HExpr::pvar("p", "x"));
+        let x = HExpr::pvar("p", "x").xor(HExpr::int(0));
+        assert_eq!(fold_hexpr(&x), HExpr::pvar("p", "x"));
+    }
+
+    #[test]
+    fn reflexive_comparisons() {
+        let e = HExpr::pvar("p", "x").eq(HExpr::pvar("p", "x"));
+        assert_eq!(fold_hexpr(&e), HExpr::bool(true));
+        let n = HExpr::pvar("p", "x").lt(HExpr::pvar("p", "x"));
+        assert_eq!(fold_hexpr(&n), HExpr::bool(false));
+    }
+
+    #[test]
+    fn boolean_laws_at_assertion_level() {
+        let a = Assertion::tt().and(Assertion::low("x"));
+        assert_eq!(simplify(&a), Assertion::low("x"));
+        let o = Assertion::ff().or(Assertion::low("x"));
+        assert_eq!(simplify(&o), Assertion::low("x"));
+        let dead = Assertion::ff().and(Assertion::low("x"));
+        assert_eq!(simplify(&dead), Assertion::ff());
+    }
+
+    #[test]
+    fn quantifier_pruning_respects_emptiness() {
+        // ∀⟨φ⟩. ⊤ simplifies to ⊤, but ∀⟨φ⟩. ⊥ must stay (it is emp).
+        let trivial = Assertion::forall_state("p", Assertion::tt());
+        assert_eq!(simplify(&trivial), Assertion::tt());
+        let emp = Assertion::forall_state("p", Assertion::ff());
+        assert_eq!(simplify(&emp), emp);
+        // Dually for ∃⟨φ⟩.
+        let absurd = Assertion::exists_state("p", Assertion::ff());
+        assert_eq!(simplify(&absurd), Assertion::ff());
+        let nonemp = Assertion::exists_state("p", Assertion::tt());
+        assert_eq!(simplify(&nonemp), nonemp);
+    }
+
+    #[test]
+    fn simplify_preserves_evaluation() {
+        // Run 𝒜 and Π over low(x) with constant-heavy inputs and compare
+        // eval before and after simplification on several sets.
+        let cfg = EvalConfig::int_range(-1, 2);
+        let assertions = [
+            assign_transform(Symbol::new("x"), &(Expr::int(2) + Expr::int(3)), &Assertion::low("x"))
+                .unwrap(),
+            assume_transform(&Expr::bool(true), &Assertion::low("x")).unwrap(),
+            Assertion::low("x").and(Assertion::tt()).or(Assertion::ff()),
+            Assertion::forall_val(
+                "v",
+                Assertion::Atom(HExpr::int(1).le(HExpr::int(2))),
+            ),
+        ];
+        let sets: Vec<StateSet> = vec![
+            StateSet::new(),
+            [mk(0)].into_iter().collect(),
+            [mk(0), mk(1)].into_iter().collect(),
+        ];
+        for a in &assertions {
+            let s2 = simplify(a);
+            assert!(s2.size() <= a.size(), "simplify must not grow {a}");
+            for s in &sets {
+                assert_eq!(
+                    eval_assertion(a, s, &cfg),
+                    eval_assertion(&s2, s, &cfg),
+                    "meaning changed for {a} on {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let a = Assertion::tt()
+            .and(Assertion::low("x"))
+            .or(Assertion::ff())
+            .and(Assertion::Atom(HExpr::int(1) + HExpr::int(0) * HExpr::int(5)));
+        let once = simplify(&a);
+        assert_eq!(simplify(&once), once);
+    }
+
+    #[test]
+    fn fig4_outline_shrinks() {
+        // The Fig. 4 backward chain produces redundant structure; simplify
+        // strictly shrinks it without changing its meaning.
+        let q = Assertion::gni_violation("h", "l");
+        let a = assign_transform(
+            Symbol::new("l"),
+            &(Expr::var("h") + Expr::int(0)),
+            &q,
+        )
+        .unwrap();
+        let s = simplify(&a);
+        assert!(s.size() <= a.size());
+        let cfg = EvalConfig::int_range(0, 1);
+        let set: StateSet = [mk(0), mk(1)].into_iter().collect();
+        assert_eq!(eval_assertion(&a, &set, &cfg), eval_assertion(&s, &set, &cfg));
+    }
+}

@@ -1,0 +1,275 @@
+//! Derived hyper-assertion forms used throughout the paper.
+//!
+//! * `low(x) ≜ ∀⟨φ1⟩,⟨φ2⟩. φ1(x) = φ2(x)` (§2.2)
+//! * `□p ≜ ∀⟨φ⟩. p(φ)` and `emp ≜ ∀⟨φ⟩. ⊥` (§4.1)
+//! * `mono_t_x ≜ ∀⟨φ1⟩,⟨φ2⟩. φ1(t)=1 ∧ φ2(t)=2 ⇒ φ1(x) ≥ φ2(x)` (§2.2)
+//! * `GNI_h_l ≜ ∀⟨φ1⟩,⟨φ2⟩. ∃⟨φ⟩. φ(h)=φ1(h) ∧ φ(l)=φ2(l)` (§2.3 / §3.6)
+//! * `hasMin_x ≜ ∃⟨φ⟩. ∀⟨φ'⟩. φ(x) ≤ φ'(x)` (App. D.2)
+//! * `isSingleton ≜ ∃⟨φ⟩. ∀⟨φ'⟩. φ = φ'` (App. D.2)
+
+use hhl_lang::{Expr, Symbol};
+
+use crate::assertion::Assertion;
+use crate::hexpr::HExpr;
+
+/// Canonical bound-state names used by the sugar constructors. Distinct from
+/// anything the parser produces for user states in practice; proofs relate
+/// assertions semantically, so collisions are harmless.
+pub const PHI1: &str = "phi1";
+/// Second canonical bound-state name.
+pub const PHI2: &str = "phi2";
+/// Third canonical bound-state name (the witness state of GNI).
+pub const PHI: &str = "phi";
+
+impl Assertion {
+    /// `low(x)` — all states agree on the program variable `x` (§2.2).
+    pub fn low<S: Into<Symbol>>(x: S) -> Assertion {
+        let x = x.into();
+        Assertion::forall_states(
+            [PHI1, PHI2],
+            Assertion::Atom(HExpr::pvar(PHI1, x).eq(HExpr::pvar(PHI2, x))),
+        )
+    }
+
+    /// `low(e)` for a state expression `e` — all states agree on `e`'s value
+    /// (the `low(b)` side condition of `WhileSync`, Fig. 5).
+    pub fn low_expr(e: &Expr) -> Assertion {
+        let p1 = Symbol::new(PHI1);
+        let p2 = Symbol::new(PHI2);
+        Assertion::forall_states(
+            [PHI1, PHI2],
+            Assertion::Atom(HExpr::of_expr_at(e, p1).eq(HExpr::of_expr_at(e, p2))),
+        )
+    }
+
+    /// `□p ≜ ∀⟨φ⟩. p(φ)` — the state expression `p` holds in every state.
+    pub fn box_pred(p: &Expr) -> Assertion {
+        let phi = Symbol::new(PHI);
+        Assertion::forall_state(PHI, Assertion::Atom(HExpr::of_expr_at(p, phi)))
+    }
+
+    /// `emp ≜ ∀⟨φ⟩. ⊥` — the set of states is empty.
+    pub fn emp() -> Assertion {
+        Assertion::forall_state(PHI, Assertion::ff())
+    }
+
+    /// `¬emp ≜ ∃⟨φ⟩. ⊤` — at least one state exists.
+    pub fn not_emp() -> Assertion {
+        Assertion::exists_state(PHI, Assertion::tt())
+    }
+
+    /// `mono_t_x` (§2.2): states tagged `t = 1` dominate states tagged
+    /// `t = 2` on program variable `x`, with the tag in logical variable `t`.
+    pub fn mono<T: Into<Symbol>, X: Into<Symbol>>(t: T, x: X) -> Assertion {
+        let (t, x) = (t.into(), x.into());
+        Assertion::forall_states(
+            [PHI1, PHI2],
+            Assertion::Atom(
+                HExpr::lvar(PHI1, t)
+                    .eq(HExpr::int(1))
+                    .and(HExpr::lvar(PHI2, t).eq(HExpr::int(2))),
+            )
+            .implies(Assertion::Atom(
+                HExpr::pvar(PHI1, x).ge(HExpr::pvar(PHI2, x)),
+            )),
+        )
+    }
+
+    /// Generalized non-interference `GNI_h_l` (§2.3): for any two states
+    /// there is a witness combining `φ1`'s secret (logical `h`) with `φ2`'s
+    /// public output `l`. The secret is compared on the *logical* copy as in
+    /// App. D.2 (`φ1_L(h) = φ_L(h) ∧ φ_P(l) = φ2_P(l)`).
+    pub fn gni_logical<H: Into<Symbol>, L: Into<Symbol>>(h: H, l: L) -> Assertion {
+        let (h, l) = (h.into(), l.into());
+        Assertion::forall_states(
+            [PHI1, PHI2],
+            Assertion::exists_state(
+                PHI,
+                Assertion::Atom(HExpr::lvar(PHI, h).eq(HExpr::lvar(PHI1, h)))
+                    .and(Assertion::Atom(HExpr::pvar(PHI, l).eq(HExpr::pvar(PHI2, l)))),
+            ),
+        )
+    }
+
+    /// Generalized non-interference over *program* variables (§2.3, used
+    /// when `h` is not modified by the command):
+    /// `∀⟨φ1⟩,⟨φ2⟩. ∃⟨φ⟩. φ(h) = φ1(h) ∧ φ(l) = φ2(l)`.
+    pub fn gni<H: Into<Symbol>, L: Into<Symbol>>(h: H, l: L) -> Assertion {
+        let (h, l) = (h.into(), l.into());
+        Assertion::forall_states(
+            [PHI1, PHI2],
+            Assertion::exists_state(
+                PHI,
+                Assertion::Atom(HExpr::pvar(PHI, h).eq(HExpr::pvar(PHI1, h)))
+                    .and(Assertion::Atom(HExpr::pvar(PHI, l).eq(HExpr::pvar(PHI2, l)))),
+            ),
+        )
+    }
+
+    /// The negation-of-GNI postcondition of §2.3 / Fig. 4:
+    /// `∃⟨φ1⟩,⟨φ2⟩. ∀⟨φ⟩. φ(h) = φ1(h) ⇒ φ(l) ≠ φ2(l)`.
+    pub fn gni_violation<H: Into<Symbol>, L: Into<Symbol>>(h: H, l: L) -> Assertion {
+        let (h, l) = (h.into(), l.into());
+        Assertion::exists_states(
+            [PHI1, PHI2],
+            Assertion::forall_state(
+                PHI,
+                Assertion::Atom(HExpr::pvar(PHI, h).eq(HExpr::pvar(PHI1, h)))
+                    .implies(Assertion::Atom(
+                        HExpr::pvar(PHI, l).ne(HExpr::pvar(PHI2, l)),
+                    )),
+            ),
+        )
+    }
+
+    /// `hasMin_x ≜ ∃⟨φ⟩. ∀⟨φ'⟩. φ(x) ≤ φ'(x)` (App. D.2).
+    pub fn has_min<X: Into<Symbol>>(x: X) -> Assertion {
+        let x = x.into();
+        Assertion::exists_state(
+            PHI1,
+            Assertion::forall_state(
+                PHI2,
+                Assertion::Atom(HExpr::pvar(PHI1, x).le(HExpr::pvar(PHI2, x))),
+            ),
+        )
+    }
+
+    /// `isSingleton ≜ ∃⟨φ⟩. ∀⟨φ'⟩. φ = φ'` (App. D.2) — exactly one state.
+    pub fn is_singleton() -> Assertion {
+        Assertion::exists_state(
+            PHI1,
+            Assertion::forall_state(
+                PHI2,
+                Assertion::StateEq(Symbol::new(PHI1), Symbol::new(PHI2)),
+            ),
+        )
+    }
+
+    /// `∀⟨φ1⟩,⟨φ2⟩. body(φ1, φ2)` with the body built from the two state
+    /// symbols — convenience for 2-state relational assertions.
+    pub fn forall2<F: FnOnce(Symbol, Symbol) -> Assertion>(f: F) -> Assertion {
+        Assertion::forall_states([PHI1, PHI2], f(Symbol::new(PHI1), Symbol::new(PHI2)))
+    }
+
+    /// `∃⟨φ1⟩,⟨φ2⟩. body(φ1, φ2)`.
+    pub fn exists2<F: FnOnce(Symbol, Symbol) -> Assertion>(f: F) -> Assertion {
+        Assertion::exists_states([PHI1, PHI2], f(Symbol::new(PHI1), Symbol::new(PHI2)))
+    }
+
+    /// The exact-set assertion `λS. S = V`:
+    /// `(∀⟨φ⟩. ⋁_{σ∈V} φ = σ) ∧ ⋀_{σ∈V} ⟨σ⟩`.
+    ///
+    /// Used by the Thm. 5 disproving construction and by the Thm. 2
+    /// completeness construction (`P_V ≜ λS. P(S) ∧ S = V`).
+    pub fn exact_set(set: &hhl_lang::StateSet) -> Assertion {
+        let phi = Symbol::new(PHI);
+        let upper_body = set
+            .iter()
+            .map(|st| Assertion::IsState(phi, st.clone()))
+            .reduce(Assertion::or)
+            .unwrap_or_else(Assertion::ff);
+        let upper = Assertion::forall_state(PHI, upper_body);
+        let lower = set
+            .iter()
+            .map(|st| Assertion::HasState(st.clone()))
+            .reduce(Assertion::and)
+            .unwrap_or_else(Assertion::tt);
+        upper.and(lower)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_assertion, EvalConfig};
+    use hhl_lang::{ExtState, StateSet, Store, Value};
+
+    fn mk(pairs: &[(&str, i64)]) -> ExtState {
+        ExtState::from_program(Store::from_pairs(
+            pairs.iter().map(|(k, v)| (*k, Value::Int(*v))),
+        ))
+    }
+
+    fn set(v: Vec<ExtState>) -> StateSet {
+        v.into_iter().collect()
+    }
+
+    #[test]
+    fn emp_and_not_emp() {
+        let cfg = EvalConfig::default();
+        assert!(eval_assertion(&Assertion::emp(), &StateSet::new(), &cfg));
+        assert!(!eval_assertion(&Assertion::emp(), &set(vec![mk(&[])]), &cfg));
+        assert!(eval_assertion(&Assertion::not_emp(), &set(vec![mk(&[])]), &cfg));
+        assert!(!eval_assertion(&Assertion::not_emp(), &StateSet::new(), &cfg));
+    }
+
+    #[test]
+    fn box_pred_universal() {
+        let p = Expr::var("h").ge(Expr::int(0));
+        let a = Assertion::box_pred(&p);
+        let cfg = EvalConfig::default();
+        assert!(eval_assertion(&a, &set(vec![mk(&[("h", 0)]), mk(&[("h", 3)])]), &cfg));
+        assert!(!eval_assertion(&a, &set(vec![mk(&[("h", -1)])]), &cfg));
+    }
+
+    #[test]
+    fn low_expr_on_guard() {
+        // low(i < n): all states agree on the guard's value.
+        let g = Expr::var("i").lt(Expr::var("n"));
+        let a = Assertion::low_expr(&g);
+        let cfg = EvalConfig::default();
+        let agree = set(vec![mk(&[("i", 0), ("n", 3)]), mk(&[("i", 1), ("n", 2)])]);
+        assert!(eval_assertion(&a, &agree, &cfg));
+        let disagree = set(vec![mk(&[("i", 0), ("n", 3)]), mk(&[("i", 5), ("n", 2)])]);
+        assert!(!eval_assertion(&a, &disagree, &cfg));
+    }
+
+    #[test]
+    fn gni_satisfied_by_c3_style_set() {
+        // C3 = y := nonDet(); l := h + y with unbounded pad: for the finite
+        // demo, every (h, l) combination is reachable.
+        let mut states = Vec::new();
+        for h in 0..=1 {
+            for l in 0..=2 {
+                states.push(mk(&[("h", h), ("l", l)]));
+            }
+        }
+        let cfg = EvalConfig::default();
+        assert!(eval_assertion(&Assertion::gni("h", "l"), &set(states), &cfg));
+    }
+
+    #[test]
+    fn gni_violation_on_leaky_set() {
+        // l = h: knowing l pins h down, so GNI fails and its violation holds.
+        let s = set(vec![mk(&[("h", 0), ("l", 0)]), mk(&[("h", 1), ("l", 1)])]);
+        let cfg = EvalConfig::default();
+        assert!(!eval_assertion(&Assertion::gni("h", "l"), &s, &cfg));
+        assert!(eval_assertion(&Assertion::gni_violation("h", "l"), &s, &cfg));
+    }
+
+    #[test]
+    fn has_min_and_singleton() {
+        let cfg = EvalConfig::default();
+        let s = set(vec![mk(&[("x", 3)]), mk(&[("x", 1)]), mk(&[("x", 2)])]);
+        assert!(eval_assertion(&Assertion::has_min("x"), &s, &cfg));
+        assert!(!eval_assertion(&Assertion::has_min("x"), &StateSet::new(), &cfg));
+        assert!(eval_assertion(&Assertion::is_singleton(), &set(vec![mk(&[("x", 1)])]), &cfg));
+        assert!(!eval_assertion(&Assertion::is_singleton(), &s, &cfg));
+    }
+
+    #[test]
+    fn mono_uses_logical_tags() {
+        let cfg = EvalConfig::default();
+        let mut a = mk(&[("x", 5)]);
+        a.logical.set("t", Value::Int(1));
+        let mut b = mk(&[("x", 3)]);
+        b.logical.set("t", Value::Int(2));
+        assert!(eval_assertion(&Assertion::mono("t", "x"), &set(vec![a.clone(), b.clone()]), &cfg));
+        // Swap the tags: now the t=1 state has the smaller x.
+        let mut a2 = a.clone();
+        a2.logical.set("t", Value::Int(2));
+        let mut b2 = b.clone();
+        b2.logical.set("t", Value::Int(1));
+        assert!(!eval_assertion(&Assertion::mono("t", "x"), &set(vec![a2, b2]), &cfg));
+    }
+}

@@ -1,0 +1,542 @@
+//! The syntactic transformations of §4 (Definitions 13–15).
+//!
+//! * [`assign_transform`] — `𝒜ᵉₓ[A]`: weakest precondition of `x := e`;
+//! * [`havoc_transform`] — `ℋₓ[A]`: weakest precondition of `x := nonDet()`;
+//! * [`assume_transform`] — `Π_b[A]`: weakest precondition of `assume b`.
+//!
+//! Each is an *exact* weakest precondition w.r.t. the extended semantics:
+//!
+//! ```text
+//! 𝒜ᵉₓ[A](S)  ⟺  A(sem(x := e, S))
+//! ℋₓ[A](S)   ⟺  A(sem(x := nonDet(), S))      (havoc domain = all values)
+//! Π_b[A](S)  ⟺  A(sem(assume b, S))
+//! ```
+//!
+//! which is what the property-test suite checks (the `Fig. 3` row of the
+//! experiment index).
+//!
+//! The transformations recurse through the boolean structure (including the
+//! extension node [`Assertion::Not`], through which they commute
+//! semantically) and act at each state binder as the paper defines. They are
+//! partial on the other extension nodes (`⊗`, `⨂`, `Card` for `ℋ`/`Π`,
+//! state equality, concrete membership), returning
+//! [`TransformError::Unsupported`] — the paper's syntactic rules are only
+//! stated for the Def. 9 fragment.
+
+use std::fmt;
+
+use hhl_lang::{Expr, Symbol};
+
+use crate::assertion::Assertion;
+use crate::hexpr::HExpr;
+
+/// Error returned when a transformation meets an assertion outside its
+/// supported fragment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransformError {
+    /// The assertion contains a construct the transformation is not defined
+    /// on (e.g. `⊗` under `𝒜`).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::Unsupported(what) => {
+                write!(f, "syntactic transformation undefined on {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Substitutes `φ_P(x) ↦ replacement` inside an assertion, stopping at
+/// shadowing rebinders of the same state variable.
+fn subst_pvar(
+    a: &Assertion,
+    phi: Symbol,
+    x: Symbol,
+    replacement: &HExpr,
+) -> Result<Assertion, TransformError> {
+    Ok(match a {
+        Assertion::Atom(e) => Assertion::Atom(e.subst_pvar(phi, x, replacement)),
+        Assertion::Not(inner) => {
+            Assertion::Not(Box::new(subst_pvar(inner, phi, x, replacement)?))
+        }
+        Assertion::And(p, q) => {
+            subst_pvar(p, phi, x, replacement)?.and(subst_pvar(q, phi, x, replacement)?)
+        }
+        Assertion::Or(p, q) => {
+            subst_pvar(p, phi, x, replacement)?.or(subst_pvar(q, phi, x, replacement)?)
+        }
+        Assertion::ForallVal(y, p) => {
+            Assertion::forall_val(*y, subst_pvar(p, phi, x, replacement)?)
+        }
+        Assertion::ExistsVal(y, p) => {
+            Assertion::exists_val(*y, subst_pvar(p, phi, x, replacement)?)
+        }
+        Assertion::ForallState(p2, p) if *p2 == phi => {
+            Assertion::forall_state(*p2, (**p).clone())
+        }
+        Assertion::ExistsState(p2, p) if *p2 == phi => {
+            Assertion::exists_state(*p2, (**p).clone())
+        }
+        Assertion::ForallState(p2, p) => {
+            Assertion::forall_state(*p2, subst_pvar(p, phi, x, replacement)?)
+        }
+        Assertion::ExistsState(p2, p) => {
+            Assertion::exists_state(*p2, subst_pvar(p, phi, x, replacement)?)
+        }
+        Assertion::Card {
+            state,
+            proj,
+            op,
+            bound,
+        } => {
+            if *state == phi {
+                a.clone()
+            } else {
+                Assertion::Card {
+                    state: *state,
+                    proj: proj.subst_pvar(phi, x, replacement),
+                    op: *op,
+                    bound: bound.subst_pvar(phi, x, replacement),
+                }
+            }
+        }
+        Assertion::Otimes(_, _) | Assertion::BigOtimes(_) => {
+            return Err(TransformError::Unsupported("⊗ / ⨂ under substitution"))
+        }
+        Assertion::StateEq(_, _) => {
+            return Err(TransformError::Unsupported("state equality under substitution"))
+        }
+        Assertion::HasState(_) => {
+            return Err(TransformError::Unsupported("concrete membership under substitution"))
+        }
+        Assertion::IsState(_, _) | Assertion::UnionOf(_) => {
+            return Err(TransformError::Unsupported("exact-state forms under substitution"))
+        }
+    })
+}
+
+struct FreshCounter(u32);
+
+impl FreshCounter {
+    /// Deterministic fresh quantified-value names: the transformation is a
+    /// pure function of its input, so independently recomputed preconditions
+    /// compare equal structurally.
+    fn next(&mut self) -> Symbol {
+        let s = Symbol::new(&format!("v·{}", self.0));
+        self.0 += 1;
+        s
+    }
+}
+
+/// `𝒜ᵉₓ[A]` (Def. 13): substitutes `φ(x)` by `e(φ)` at every quantified
+/// state `φ`.
+///
+/// # Errors
+///
+/// [`TransformError::Unsupported`] if `A` falls outside the Def. 9 fragment
+/// (plus `¬` and cardinality comprehensions, through which `𝒜` commutes).
+///
+/// # Examples
+///
+/// ```
+/// use hhl_assert::{assign_transform, Assertion, HExpr};
+/// use hhl_lang::{Expr, Symbol};
+/// // 𝒜^{y+z}_x[∃⟨φ⟩. ∀⟨φ'⟩. φ(x) ≤ φ'(x)]
+/// //   = ∃⟨φ⟩. ∀⟨φ'⟩. φ(y) + φ(z) ≤ φ'(y) + φ'(z)        (§4.2)
+/// let post = Assertion::exists_state(
+///     "phi",
+///     Assertion::forall_state(
+///         "psi",
+///         Assertion::Atom(HExpr::pvar("phi", "x").le(HExpr::pvar("psi", "x"))),
+///     ),
+/// );
+/// let pre = assign_transform(Symbol::new("x"), &(Expr::var("y") + Expr::var("z")), &post)
+///     .unwrap();
+/// assert_eq!(pre.to_string(), "∃⟨phi⟩. ∀⟨psi⟩. phi(y) + phi(z) <= psi(y) + psi(z)");
+/// ```
+pub fn assign_transform(
+    x: Symbol,
+    e: &Expr,
+    a: &Assertion,
+) -> Result<Assertion, TransformError> {
+    Ok(match a {
+        Assertion::Atom(_) => a.clone(),
+        Assertion::Not(inner) => Assertion::Not(Box::new(assign_transform(x, e, inner)?)),
+        Assertion::And(p, q) => assign_transform(x, e, p)?.and(assign_transform(x, e, q)?),
+        Assertion::Or(p, q) => assign_transform(x, e, p)?.or(assign_transform(x, e, q)?),
+        Assertion::ForallVal(y, p) => Assertion::forall_val(*y, assign_transform(x, e, p)?),
+        Assertion::ExistsVal(y, p) => Assertion::exists_val(*y, assign_transform(x, e, p)?),
+        Assertion::ForallState(phi, p) => {
+            let e_at_phi = HExpr::of_expr_at(e, *phi);
+            let substituted = subst_pvar(p, *phi, x, &e_at_phi)?;
+            Assertion::forall_state(*phi, assign_transform(x, e, &substituted)?)
+        }
+        Assertion::ExistsState(phi, p) => {
+            let e_at_phi = HExpr::of_expr_at(e, *phi);
+            let substituted = subst_pvar(p, *phi, x, &e_at_phi)?;
+            Assertion::exists_state(*phi, assign_transform(x, e, &substituted)?)
+        }
+        Assertion::Card {
+            state,
+            proj,
+            op,
+            bound,
+        } => {
+            // The comprehension binds `state` over S: substitute exactly as
+            // at a state binder.
+            let e_at = HExpr::of_expr_at(e, *state);
+            Assertion::Card {
+                state: *state,
+                proj: proj.subst_pvar(*state, x, &e_at),
+                op: *op,
+                bound: bound.clone(),
+            }
+        }
+        Assertion::Otimes(_, _) | Assertion::BigOtimes(_) => {
+            return Err(TransformError::Unsupported("⊗ / ⨂ under 𝒜"))
+        }
+        Assertion::StateEq(_, _) => {
+            return Err(TransformError::Unsupported("state equality under 𝒜"))
+        }
+        Assertion::HasState(_) => {
+            return Err(TransformError::Unsupported("concrete membership under 𝒜"))
+        }
+        Assertion::IsState(_, _) | Assertion::UnionOf(_) => {
+            return Err(TransformError::Unsupported("exact-state forms under 𝒜"))
+        }
+    })
+}
+
+/// `ℋₓ[A]` (Def. 14): substitutes `φ(x)` by a fresh quantified value —
+/// universally for `∀⟨φ⟩`, existentially for `∃⟨φ⟩`.
+///
+/// # Errors
+///
+/// [`TransformError::Unsupported`] outside the Def. 9 fragment (plus `¬`).
+///
+/// # Examples
+///
+/// ```
+/// use hhl_assert::{havoc_transform, Assertion, HExpr};
+/// use hhl_lang::Symbol;
+/// // ℋₓ[∃⟨φ⟩. ∀⟨φ'⟩. φ(x) ≤ φ'(x)] = ∃⟨φ⟩. ∃v. ∀⟨φ'⟩. ∀v'. v ≤ v'   (§4.2)
+/// let post = Assertion::exists_state(
+///     "phi",
+///     Assertion::forall_state(
+///         "psi",
+///         Assertion::Atom(HExpr::pvar("phi", "x").le(HExpr::pvar("psi", "x"))),
+///     ),
+/// );
+/// let pre = havoc_transform(Symbol::new("x"), &post).unwrap();
+/// assert_eq!(pre.to_string(), "∃⟨phi⟩. ∃v·0. ∀⟨psi⟩. ∀v·1. v·0 <= v·1");
+/// ```
+pub fn havoc_transform(x: Symbol, a: &Assertion) -> Result<Assertion, TransformError> {
+    let mut ctr = FreshCounter(0);
+    havoc_rec(x, a, &mut ctr)
+}
+
+fn havoc_rec(
+    x: Symbol,
+    a: &Assertion,
+    ctr: &mut FreshCounter,
+) -> Result<Assertion, TransformError> {
+    Ok(match a {
+        Assertion::Atom(_) => a.clone(),
+        Assertion::Not(inner) => Assertion::Not(Box::new(havoc_rec(x, inner, ctr)?)),
+        Assertion::And(p, q) => havoc_rec(x, p, ctr)?.and(havoc_rec(x, q, ctr)?),
+        Assertion::Or(p, q) => havoc_rec(x, p, ctr)?.or(havoc_rec(x, q, ctr)?),
+        Assertion::ForallVal(y, p) => Assertion::forall_val(*y, havoc_rec(x, p, ctr)?),
+        Assertion::ExistsVal(y, p) => Assertion::exists_val(*y, havoc_rec(x, p, ctr)?),
+        Assertion::ForallState(phi, p) => {
+            let v = ctr.next();
+            let substituted = subst_pvar(p, *phi, x, &HExpr::Val(v))?;
+            Assertion::forall_state(
+                *phi,
+                Assertion::forall_val(v, havoc_rec(x, &substituted, ctr)?),
+            )
+        }
+        Assertion::ExistsState(phi, p) => {
+            let v = ctr.next();
+            let substituted = subst_pvar(p, *phi, x, &HExpr::Val(v))?;
+            Assertion::exists_state(
+                *phi,
+                Assertion::exists_val(v, havoc_rec(x, &substituted, ctr)?),
+            )
+        }
+        Assertion::Card { .. } => {
+            return Err(TransformError::Unsupported("cardinality under ℋ"))
+        }
+        Assertion::Otimes(_, _) | Assertion::BigOtimes(_) => {
+            return Err(TransformError::Unsupported("⊗ / ⨂ under ℋ"))
+        }
+        Assertion::StateEq(_, _) => {
+            return Err(TransformError::Unsupported("state equality under ℋ"))
+        }
+        Assertion::HasState(_) => {
+            return Err(TransformError::Unsupported("concrete membership under ℋ"))
+        }
+        Assertion::IsState(_, _) | Assertion::UnionOf(_) => {
+            return Err(TransformError::Unsupported("exact-state forms under ℋ"))
+        }
+    })
+}
+
+/// `Π_b[A]` (Def. 15): adds `b(φ)` as an assumption at every `∀⟨φ⟩` and as
+/// a proof obligation at every `∃⟨φ⟩`.
+///
+/// # Errors
+///
+/// [`TransformError::Unsupported`] outside the Def. 9 fragment (plus `¬`).
+///
+/// # Examples
+///
+/// ```
+/// use hhl_assert::{assume_transform, Assertion, HExpr};
+/// use hhl_lang::Expr;
+/// // Π_{x≥0}[∀⟨φ⟩. ∃⟨φ'⟩. φ(x) ≤ φ'(x)]
+/// //   = ∀⟨φ⟩. φ(x) ≥ 0 ⇒ ∃⟨φ'⟩. φ'(x) ≥ 0 ∧ φ(x) ≤ φ'(x)     (§4.3)
+/// let post = Assertion::forall_state(
+///     "phi",
+///     Assertion::exists_state(
+///         "psi",
+///         Assertion::Atom(HExpr::pvar("phi", "x").le(HExpr::pvar("psi", "x"))),
+///     ),
+/// );
+/// let b = Expr::var("x").ge(Expr::int(0));
+/// let pre = assume_transform(&b, &post).unwrap();
+/// assert_eq!(
+///     pre.to_string(),
+///     "∀⟨phi⟩. !(phi(x) >= 0) ∨ (∃⟨psi⟩. psi(x) >= 0 ∧ phi(x) <= psi(x))"
+/// );
+/// ```
+pub fn assume_transform(b: &Expr, a: &Assertion) -> Result<Assertion, TransformError> {
+    Ok(match a {
+        Assertion::Atom(_) => a.clone(),
+        Assertion::Not(inner) => Assertion::Not(Box::new(assume_transform(b, inner)?)),
+        Assertion::And(p, q) => assume_transform(b, p)?.and(assume_transform(b, q)?),
+        Assertion::Or(p, q) => assume_transform(b, p)?.or(assume_transform(b, q)?),
+        Assertion::ForallVal(y, p) => Assertion::forall_val(*y, assume_transform(b, p)?),
+        Assertion::ExistsVal(y, p) => Assertion::exists_val(*y, assume_transform(b, p)?),
+        Assertion::ForallState(phi, p) => {
+            let guard = Assertion::Atom(HExpr::of_expr_at(b, *phi));
+            Assertion::forall_state(*phi, guard.implies(assume_transform(b, p)?))
+        }
+        Assertion::ExistsState(phi, p) => {
+            let guard = Assertion::Atom(HExpr::of_expr_at(b, *phi));
+            Assertion::exists_state(*phi, guard.and(assume_transform(b, p)?))
+        }
+        Assertion::Card { .. } => {
+            return Err(TransformError::Unsupported("cardinality under Π"))
+        }
+        Assertion::Otimes(_, _) | Assertion::BigOtimes(_) => {
+            return Err(TransformError::Unsupported("⊗ / ⨂ under Π"))
+        }
+        Assertion::StateEq(_, _) => {
+            return Err(TransformError::Unsupported("state equality under Π"))
+        }
+        Assertion::HasState(_) => {
+            return Err(TransformError::Unsupported("concrete membership under Π"))
+        }
+        Assertion::IsState(_, _) | Assertion::UnionOf(_) => {
+            return Err(TransformError::Unsupported("exact-state forms under Π"))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_assertion, EvalConfig};
+    use hhl_lang::{Cmd, ExecConfig, ExtState, StateSet, Store, Value};
+
+    fn mk(pairs: &[(&str, i64)]) -> ExtState {
+        ExtState::from_program(Store::from_pairs(
+            pairs.iter().map(|(k, v)| (*k, Value::Int(*v))),
+        ))
+    }
+
+    /// The WP-exactness property for 𝒜: 𝒜ᵉₓ[A](S) ⟺ A(sem(x:=e, S)).
+    fn check_assign_wp(a: &Assertion, x: &str, e: &Expr, s: &StateSet) {
+        let cfg = EvalConfig::default();
+        let exec = ExecConfig::default();
+        let pre = assign_transform(Symbol::new(x), e, a).unwrap();
+        let lhs = eval_assertion(&pre, s, &cfg);
+        let rhs = eval_assertion(a, &exec.sem(&Cmd::assign(x, e.clone()), s), &cfg);
+        assert_eq!(lhs, rhs, "WP mismatch for {a} under {x} := {e}");
+    }
+
+    #[test]
+    fn assign_wp_exact_on_low() {
+        let s: StateSet = [mk(&[("y", 1), ("z", 2)]), mk(&[("y", 2), ("z", 1)])]
+            .into_iter()
+            .collect();
+        let e = Expr::var("y") + Expr::var("z");
+        check_assign_wp(&Assertion::low("x"), "x", &e, &s);
+        let s2: StateSet = [mk(&[("y", 1)]), mk(&[("y", 5)])].into_iter().collect();
+        check_assign_wp(&Assertion::low("x"), "x", &e, &s2);
+    }
+
+    #[test]
+    fn assign_wp_exact_on_exists_forall() {
+        let a = Assertion::has_min("x");
+        let e = Expr::var("y") * Expr::int(2);
+        for states in [
+            vec![mk(&[("y", 1)]), mk(&[("y", 3)])],
+            vec![],
+            vec![mk(&[("y", -2)])],
+        ] {
+            let s: StateSet = states.into_iter().collect();
+            check_assign_wp(&a, "x", &e, &s);
+        }
+    }
+
+    #[test]
+    fn assign_substitutes_selfreferential_rhs() {
+        // x := x + 1 with post low(x): pre must be ∀φ1,φ2. φ1(x)+1 = φ2(x)+1.
+        let pre = assign_transform(
+            Symbol::new("x"),
+            &(Expr::var("x") + Expr::int(1)),
+            &Assertion::low("x"),
+        )
+        .unwrap();
+        assert_eq!(
+            pre.to_string(),
+            "∀⟨phi1⟩. ∀⟨phi2⟩. phi1(x) + 1 == phi2(x) + 1"
+        );
+    }
+
+    #[test]
+    fn havoc_wp_quantifier_polarity() {
+        // ℋ on ∀⟨φ⟩ introduces ∀v, on ∃⟨φ⟩ introduces ∃v (§4.2).
+        let forall_case = havoc_transform(
+            Symbol::new("x"),
+            &Assertion::forall_state(
+                "p",
+                Assertion::Atom(HExpr::pvar("p", "x").ge(HExpr::int(0))),
+            ),
+        )
+        .unwrap();
+        assert!(matches!(
+            forall_case,
+            Assertion::ForallState(_, ref b) if matches!(**b, Assertion::ForallVal(_, _))
+        ));
+        let exists_case = havoc_transform(
+            Symbol::new("x"),
+            &Assertion::exists_state(
+                "p",
+                Assertion::Atom(HExpr::pvar("p", "x").ge(HExpr::int(0))),
+            ),
+        )
+        .unwrap();
+        assert!(matches!(
+            exists_case,
+            Assertion::ExistsState(_, ref b) if matches!(**b, Assertion::ExistsVal(_, _))
+        ));
+    }
+
+    #[test]
+    fn havoc_wp_matches_semantics() {
+        // ℋₓ[A](S) ⟺ A(sem(havoc x, S)) when the evaluator's value domain
+        // equals the havoc domain.
+        let a = Assertion::forall_state(
+            "p",
+            Assertion::Atom(HExpr::pvar("p", "x").le(HExpr::int(2))),
+        );
+        let pre = havoc_transform(Symbol::new("x"), &a).unwrap();
+        let exec = ExecConfig::int_range(0, 2);
+        let cfg = EvalConfig::int_range(0, 2);
+        let s: StateSet = [mk(&[("z", 1)])].into_iter().collect();
+        assert_eq!(
+            eval_assertion(&pre, &s, &cfg),
+            eval_assertion(&a, &exec.sem(&Cmd::havoc("x"), &s), &cfg)
+        );
+        // With a domain exceeding the bound, both sides flip to false.
+        let exec_wide = ExecConfig::int_range(0, 5);
+        let cfg_wide = EvalConfig::int_range(0, 5);
+        assert_eq!(
+            eval_assertion(&pre, &s, &cfg_wide),
+            eval_assertion(&a, &exec_wide.sem(&Cmd::havoc("x"), &s), &cfg_wide)
+        );
+        assert!(!eval_assertion(&pre, &s, &cfg_wide));
+    }
+
+    #[test]
+    fn assume_wp_exact() {
+        // Π_b[A](S) ⟺ A(sem(assume b, S)).
+        let b = Expr::var("x").ge(Expr::int(0));
+        let a = Assertion::forall_state(
+            "p",
+            Assertion::exists_state(
+                "q",
+                Assertion::Atom(HExpr::pvar("p", "x").le(HExpr::pvar("q", "x"))),
+            ),
+        );
+        let pre = assume_transform(&b, &a).unwrap();
+        let exec = ExecConfig::default();
+        let cfg = EvalConfig::default();
+        for states in [
+            vec![mk(&[("x", -1)]), mk(&[("x", 2)])],
+            vec![mk(&[("x", 1)]), mk(&[("x", 3)])],
+            vec![mk(&[("x", -5)])],
+            vec![],
+        ] {
+            let s: StateSet = states.into_iter().collect();
+            assert_eq!(
+                eval_assertion(&pre, &s, &cfg),
+                eval_assertion(&a, &exec.sem(&Cmd::assume(b.clone()), &s), &cfg)
+            );
+        }
+    }
+
+    #[test]
+    fn transforms_reject_extensions() {
+        let otimes = Assertion::tt().otimes(Assertion::tt());
+        assert!(assign_transform(Symbol::new("x"), &Expr::int(0), &otimes).is_err());
+        assert!(havoc_transform(Symbol::new("x"), &otimes).is_err());
+        assert!(assume_transform(&Expr::bool(true), &otimes).is_err());
+        let singleton = Assertion::is_singleton();
+        assert!(havoc_transform(Symbol::new("x"), &singleton).is_err());
+    }
+
+    #[test]
+    fn assign_supports_card() {
+        // 𝒜 commutes with cardinality comprehensions: |{φ(o) : φ}| after
+        // o := h equals |{φ(h) : φ}| before.
+        let post = Assertion::Card {
+            state: Symbol::new("p"),
+            proj: HExpr::pvar("p", "o"),
+            op: hhl_lang::BinOp::Eq,
+            bound: HExpr::int(2),
+        };
+        let pre = assign_transform(Symbol::new("o"), &Expr::var("h"), &post).unwrap();
+        let s: StateSet = [mk(&[("h", 1)]), mk(&[("h", 2)])].into_iter().collect();
+        let cfg = EvalConfig::default();
+        let exec = ExecConfig::default();
+        assert_eq!(
+            eval_assertion(&pre, &s, &cfg),
+            eval_assertion(&post, &exec.sem(&Cmd::assign("o", Expr::var("h")), &s), &cfg)
+        );
+        assert!(eval_assertion(&pre, &s, &cfg));
+    }
+
+    #[test]
+    fn shadowed_binders_are_untouched() {
+        // ∀⟨p⟩. (∃⟨p⟩. p(x) = 0): inner p shadows; 𝒜 substitutes each
+        // binder's own occurrences independently, so the result substitutes
+        // under both binders (each at its own site) without capture.
+        let a = Assertion::forall_state(
+            "p",
+            Assertion::exists_state(
+                "p",
+                Assertion::Atom(HExpr::pvar("p", "x").eq(HExpr::int(0))),
+            ),
+        );
+        let out = assign_transform(Symbol::new("x"), &Expr::int(1), &a).unwrap();
+        assert_eq!(out.to_string(), "∀⟨p⟩. ∃⟨p⟩. 1 == 0");
+    }
+}

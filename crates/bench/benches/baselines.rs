@@ -1,0 +1,87 @@
+//! Baseline comparison: the specialized App. C logics (HL, IL) versus the
+//! general hyper-triple checker on the same judgments.
+//!
+//! The paper's Fig. 1 positions Hyper Hoare Logic as strictly more general;
+//! the cost of that generality is what this bench quantifies. Expected
+//! shape: the direct HL/IL checkers (linear in the state universe) win by a
+//! constant-to-polynomial factor over the hyper-triple checker (which
+//! quantifies over candidate *sets*); the gap widens with the universe —
+//! that is the crossover the specialized logics exist for, while only the
+//! hyper-triple side can express the §2.3/App. B properties at all.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hhl_assert::{EntailConfig, Universe};
+use hhl_core::semantic::sem_valid;
+use hhl_lang::{parse_cmd, ExecConfig, ExtState, Value};
+use hhl_logics::{hl_as_hyper_triple, hl_valid, il_as_hyper_triple, il_valid};
+
+fn hl_workload(hi: i64) -> (BTreeSet<ExtState>, BTreeSet<ExtState>, Universe) {
+    let universe = Universe::int_cube(&["x"], 0, hi);
+    let p: BTreeSet<ExtState> = universe
+        .states
+        .iter()
+        .filter(|s| s.program.get("x").as_int() <= hi / 2)
+        .cloned()
+        .collect();
+    let q: BTreeSet<ExtState> = Universe::int_cube(&["x"], 0, hi + 1)
+        .states
+        .into_iter()
+        .filter(|s| s.program.get("x").as_int() >= 1)
+        .collect();
+    (p, q, universe)
+}
+
+fn bench_hl_direct_vs_hyper(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline_hl");
+    let cmd = parse_cmd("x := x + 1").expect("parses");
+    for hi in [3i64, 7, 15] {
+        let (p, q, universe) = hl_workload(hi);
+        let exec = ExecConfig::int_range(0, hi + 1);
+        g.bench_with_input(BenchmarkId::new("direct", hi), &hi, |b, _| {
+            b.iter(|| assert!(hl_valid(&p, &cmd, &q, &exec)))
+        });
+        let triple = hl_as_hyper_triple(p.clone(), cmd.clone(), q.clone());
+        let check = EntailConfig {
+            max_subset_size: 3,
+            ..EntailConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::new("hyper_triple", hi), &hi, |b, _| {
+            b.iter(|| assert!(sem_valid(&triple, &universe, &exec, &check)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_il_direct_vs_hyper(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline_il");
+    let cmd = parse_cmd("x := nonDet()").expect("parses");
+    for hi in [3i64, 7, 15] {
+        let universe = Universe::int_cube(&["x"], 0, hi);
+        let p: BTreeSet<ExtState> = universe.states.iter().take(1).cloned().collect();
+        let q: BTreeSet<ExtState> = universe
+            .states
+            .iter()
+            .filter(|s| s.program.get("x") != Value::Int(0))
+            .cloned()
+            .collect();
+        let exec = ExecConfig::int_range(0, hi);
+        g.bench_with_input(BenchmarkId::new("direct", hi), &hi, |b, _| {
+            b.iter(|| assert!(il_valid(&p, &cmd, &q, &exec)))
+        });
+        let triple = il_as_hyper_triple(p.clone(), cmd.clone(), q.clone());
+        let check = EntailConfig {
+            max_subset_size: 3,
+            ..EntailConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::new("hyper_triple", hi), &hi, |b, _| {
+            b.iter(|| assert!(sem_valid(&triple, &universe, &exec, &check)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(baselines, bench_hl_direct_vs_hyper, bench_il_direct_vs_hyper);
+criterion_main!(baselines);

@@ -1,0 +1,141 @@
+//! Criterion benches regenerating the cost profile of every paper figure
+//! (the experiment index of DESIGN.md). Absolute times are machine-local;
+//! the *shape* — which checks dominate, how costs scale with the workload
+//! parameter — is the reproducible series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hhl_assert::{assign_transform, havoc_transform, Assertion, EvalConfig};
+use hhl_bench::{assignment_chain, fig10_qif, fig4_proof, fig7_fib, fig8_minimum};
+use hhl_core::proof::check;
+use hhl_core::check_triple;
+use hhl_lang::{Cmd, ExecConfig, Expr, ExtState, StateSet, Store, Symbol, Value};
+use hhl_logics::render_matrix;
+
+fn bench_fig01_matrix(c: &mut Criterion) {
+    c.bench_function("fig01/render_matrix", |b| b.iter(render_matrix));
+}
+
+fn bench_fig03_transformations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig03_syntactic");
+    for depth in [1usize, 2, 4, 8] {
+        // Nested ∀⟨φ⟩/∃⟨φ⟩ alternation of the given depth over x.
+        let mut a = Assertion::Atom(
+            hhl_assert::HExpr::pvar("p0", "x").le(hhl_assert::HExpr::int(0)),
+        );
+        for i in 0..depth {
+            let name = format!("p{i}");
+            a = if i % 2 == 0 {
+                Assertion::forall_state(name.as_str(), a)
+            } else {
+                Assertion::exists_state(name.as_str(), a)
+            };
+        }
+        g.bench_with_input(BenchmarkId::new("assign_transform", depth), &a, |b, a| {
+            b.iter(|| {
+                assign_transform(Symbol::new("x"), &(Expr::var("y") + Expr::var("z")), a)
+                    .expect("𝒜 applies")
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("havoc_transform", depth), &a, |b, a| {
+            b.iter(|| havoc_transform(Symbol::new("x"), a).expect("ℋ applies"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig04_proof_check(c: &mut Criterion) {
+    let (proof, ctx) = fig4_proof();
+    c.bench_function("fig04/check_gni_violation_proof", |b| {
+        b.iter(|| check(&proof, &ctx).expect("Fig. 4 proof checks"))
+    });
+}
+
+fn bench_fig09_sem_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_semantics");
+    let cmd = Cmd::seq(
+        Cmd::rand_int_bounded("y", Expr::int(0), Expr::int(3)),
+        Cmd::assign("x", Expr::var("x") + Expr::var("y")),
+    );
+    let exec = ExecConfig::int_range(0, 3);
+    for n in [1usize, 4, 16, 64] {
+        let s: StateSet = (0..n as i64)
+            .map(|i| ExtState::from_program(Store::from_pairs([("x", Value::Int(i))])))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("sem_vs_set_size", n), &s, |b, s| {
+            b.iter(|| exec.sem(&cmd, s))
+        });
+    }
+    for n in [2usize, 8, 32] {
+        let chain = assignment_chain(n);
+        let s = StateSet::singleton(ExtState::default());
+        g.bench_with_input(BenchmarkId::new("sem_vs_cmd_size", n), &chain, |b, chain| {
+            b.iter(|| exec.sem(chain, &s))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig06_otp_eval(c: &mut Criterion) {
+    // GNI assertion evaluation over the one-time-pad output sets.
+    let gni = Assertion::gni("h", "l");
+    let exec = ExecConfig::int_range(0, 3);
+    let cmd = hhl_lang::parse_cmd("y := nonDet(); l := h ^ y").expect("parses");
+    let init: StateSet = (0..=3)
+        .map(|h| ExtState::from_program(Store::from_pairs([("h", Value::Int(h))])))
+        .collect();
+    let finals = exec.sem(&cmd, &init);
+    let cfg = EvalConfig::int_range(0, 3);
+    c.bench_function("fig06/gni_eval_on_otp_outputs", |b| {
+        b.iter(|| hhl_assert::eval_assertion(&gni, &finals, &cfg))
+    });
+}
+
+fn bench_fig07_fib(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_fibonacci");
+    g.sample_size(10);
+    for n in [1i64, 2, 3] {
+        let (t, cfg) = fig7_fib(n);
+        g.bench_with_input(BenchmarkId::new("mono_check", n), &t, |b, t| {
+            b.iter(|| check_triple(t, &cfg).expect("monotonicity holds"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig08_minimum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_minimum");
+    g.sample_size(10);
+    for k in [1i64, 2] {
+        let (t, cfg) = fig8_minimum(k);
+        g.bench_with_input(BenchmarkId::new("exists_forall_check", k), &t, |b, t| {
+            b.iter(|| check_triple(t, &cfg).expect("minimality holds"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig10_qif(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_qif");
+    g.sample_size(10);
+    for v in [0i64, 1, 2] {
+        let (t, cfg) = fig10_qif(v);
+        g.bench_with_input(BenchmarkId::new("exact_output_count", v), &t, |b, t| {
+            b.iter(|| check_triple(t, &cfg).expect("count holds"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig01_matrix,
+    bench_fig03_transformations,
+    bench_fig04_proof_check,
+    bench_fig09_sem_scaling,
+    bench_fig06_otp_eval,
+    bench_fig07_fib,
+    bench_fig08_minimum,
+    bench_fig10_qif,
+);
+criterion_main!(figures);

@@ -1,0 +1,172 @@
+//! # hhl-bench — benchmark workloads and figure regeneration
+//!
+//! Shared workload builders used by the Criterion benches (`benches/`) and
+//! the regeneration binaries (`src/bin/fig01_matrix.rs`,
+//! `src/bin/experiments.rs`). Each function corresponds to a row of the
+//! experiment index in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hhl_assert::{
+    assign_transform, assume_transform, Assertion, EntailConfig, HExpr, Universe,
+};
+use hhl_core::proof::{Derivation, ProofContext};
+use hhl_core::{Triple, ValidityConfig};
+use hhl_lang::{parse_cmd, Cmd, ExecConfig, Expr, Symbol, Value};
+
+/// The Fig. 4 proof tree (GNI violation of `C4`) and its checking context.
+pub fn fig4_proof() -> (Derivation, ProofContext) {
+    let q = Assertion::gni_violation("h", "l");
+    let e = Expr::var("h") + Expr::var("y");
+    let d_assign = Derivation::AssignS {
+        x: Symbol::new("l"),
+        e: e.clone(),
+        post: q.clone(),
+    };
+    let after_assign = assign_transform(Symbol::new("l"), &e, &q).expect("𝒜 applies");
+    let b = Expr::var("y").le(Expr::int(9));
+    let d_assume = Derivation::AssumeS {
+        b: b.clone(),
+        post: after_assign.clone(),
+    };
+    let after_assume = assume_transform(&b, &after_assign).expect("Π applies");
+    let d_havoc = Derivation::HavocS {
+        x: Symbol::new("y"),
+        post: after_assume,
+    };
+    let pre = Assertion::exists2(|a, b| {
+        Assertion::Atom(HExpr::PVar(a, "h".into()).ne(HExpr::PVar(b, "h".into())))
+    });
+    let proof = Derivation::cons(pre, q, Derivation::seq_all([d_havoc, d_assume, d_assign]));
+    let ctx = ProofContext::new(
+        ValidityConfig::new(Universe::product(
+            &[("h", vec![Value::Int(0), Value::Int(20)])],
+            &[],
+        ))
+        .with_exec(ExecConfig::int_range(5, 9)),
+    );
+    (proof, ctx)
+}
+
+/// The Fig. 7 Fibonacci monotonicity triple for a given `n` bound, with its
+/// validity configuration.
+pub fn fig7_fib(n_max: i64) -> (Triple, ValidityConfig) {
+    let fib = parse_cmd(
+        "a := 0; b := 1; i := 0;
+         while (i < n) { tmp := b; b := a + b; a := tmp; i := i + 1 }",
+    )
+    .expect("fib parses");
+    let mono = |x: &str| {
+        Assertion::forall2(|p1, p2| {
+            Assertion::Atom(
+                HExpr::LVar(p1, "t".into())
+                    .eq(HExpr::int(1))
+                    .and(HExpr::LVar(p2, "t".into()).eq(HExpr::int(2))),
+            )
+            .implies(Assertion::Atom(
+                HExpr::PVar(p1, x.into()).ge(HExpr::PVar(p2, x.into())),
+            ))
+        })
+    };
+    let universe = Universe::product(&[("n", (0..=n_max).map(Value::Int).collect())], &[])
+        .tag_logical("t", &[Value::Int(1), Value::Int(2)]);
+    let cfg = ValidityConfig::new(universe)
+        .with_exec(ExecConfig::int_range(0, n_max).fuel(n_max as u32 + 4))
+        .with_check(EntailConfig {
+            max_subset_size: 2,
+            ..EntailConfig::default()
+        });
+    (Triple::new(mono("n"), fib, mono("a")), cfg)
+}
+
+/// The Fig. 8 minimal-execution triple for a given iteration bound `k_max`.
+pub fn fig8_minimum(k_max: i64) -> (Triple, ValidityConfig) {
+    let program = parse_cmd(
+        "x := 0; y := 0; i := 0;
+         while (i < k) {
+           r := nonDet(); assume r >= 2;
+           t := x; x := 2 * x + r; y := y + t * r; i := i + 1
+         }",
+    )
+    .expect("C_m parses");
+    let has_min_xy = Assertion::exists_state(
+        "phi",
+        Assertion::forall_state(
+            "alpha",
+            Assertion::Atom(
+                HExpr::pvar("phi", "x")
+                    .le(HExpr::pvar("alpha", "x"))
+                    .and(HExpr::pvar("phi", "y").le(HExpr::pvar("alpha", "y"))),
+            ),
+        ),
+    );
+    let pre = Assertion::not_emp().and(Assertion::box_pred(&Expr::var("k").ge(Expr::int(0))));
+    let cfg = ValidityConfig::new(Universe::product(
+        &[("k", (0..=k_max).map(Value::Int).collect())],
+        &[],
+    ))
+    .with_exec(ExecConfig::with_domain([Value::Int(2), Value::Int(3)]).fuel(k_max as u32 + 2))
+    .with_check(EntailConfig {
+        max_subset_size: 2,
+        ..EntailConfig::default()
+    });
+    (Triple::new(pre, program, has_min_xy), cfg)
+}
+
+/// The Fig. 10 quantitative-flow triple (exact output count) for a given
+/// public bound `v`.
+pub fn fig10_qif(v: i64) -> (Triple, ValidityConfig) {
+    let c_l = parse_cmd(
+        "o := 0; i := 0;
+         while (i < min(l, h)) {
+           r := nonDet(); assume 0 <= r && r <= 1; o := o + r; i := i + 1
+         }",
+    )
+    .expect("C_l parses");
+    let pre = Assertion::box_pred(
+        &Expr::var("h")
+            .ge(Expr::int(0))
+            .and(Expr::var("l").eq(Expr::int(v))),
+    )
+    .and(Assertion::exists_state(
+        "phi",
+        Assertion::Atom(HExpr::pvar("phi", "h").ge(HExpr::int(v))),
+    ));
+    let card = Assertion::Card {
+        state: Symbol::new("phi"),
+        proj: HExpr::pvar("phi", "o"),
+        op: hhl_lang::BinOp::Eq,
+        bound: HExpr::int(v + 1),
+    };
+    let cfg = ValidityConfig::new(Universe::product(
+        &[
+            ("l", vec![Value::Int(v)]),
+            ("h", (0..=v.max(1)).map(Value::Int).collect()),
+        ],
+        &[],
+    ))
+    .with_exec(ExecConfig::int_range(0, 1).fuel(v as u32 + 4))
+    .with_check(EntailConfig {
+        max_subset_size: 2,
+        ..EntailConfig::default()
+    });
+    (Triple::new(pre, c_l, card), cfg)
+}
+
+/// A chain of `n` assignments (WP-generation workload for Fig. 3 scaling).
+pub fn assignment_chain(n: usize) -> Cmd {
+    Cmd::seq_all((0..n).map(|i| {
+        Cmd::assign("x", Expr::var("x") + Expr::int((i % 3) as i64 + 1))
+    }))
+}
+
+/// The §2.2 `C2` NI triple and config (baseline workload).
+pub fn c2_ni() -> (Triple, ValidityConfig) {
+    let c2 = parse_cmd("if (h > 0) { l := 1 } else { l := 0 }").expect("C2 parses");
+    let cfg = ValidityConfig::new(Universe::int_cube(&["h", "l"], -1, 1));
+    (
+        Triple::new(Assertion::low("l"), c2, Assertion::low("l")),
+        cfg,
+    )
+}

@@ -1,0 +1,361 @@
+//! Extensions from the appendices: synchronous branch reasoning (App. H,
+//! Prop. 14), the order-based compositionality operators `⊑`/`⊒`
+//! (Fig. 11, rules `AtMost`/`AtLeast`), and non-termination proving via
+//! recurrent sets (App. E.2).
+
+use hhl_assert::{candidate_sets, EntailConfig, Universe};
+use hhl_lang::{Cmd, ExecConfig, ExtState, StateSet, Symbol, Value};
+
+use crate::semantic::{sem, sem_valid, SemAssertion, SemTriple};
+
+/// `A ⊗_{x=1,2} B` (App. H, Notation 1): the `x = 1` slice of the set
+/// satisfies `A` and the `x = 2` slice satisfies `B`, where `x` is a
+/// logical variable.
+pub fn otimes_tagged(x: Symbol, a: SemAssertion, b: SemAssertion) -> SemAssertion {
+    sem(move |s: &StateSet| {
+        let slice = |v: i64| -> StateSet {
+            s.filter(|phi| phi.logical.get(x) == Value::Int(v))
+        };
+        a(&slice(1)) && b(&slice(2))
+    })
+}
+
+/// App. H, Prop. 14 — the synchronous-if rule. Given the six premises
+/// (checked against the model):
+///
+/// 1. `|= {P} C1 {P1}`           4. `|= {R1} C1' {Q1}`
+/// 2. `|= {P} C2 {P2}`           5. `|= {R2} C2' {Q2}`
+/// 3. `|= {P1 ⊗ₓ P2} C {R1 ⊗ₓ R2}` — the shared middle, run *once*
+///
+/// concludes `|= {P} (C1; C; C1') + (C2; C; C2') {Q1 ⊗ Q2}`.
+///
+/// Returns the conclusion triple if every premise validates, else the index
+/// (1–5) of the first failing premise. The `x ∉ fv(…)` side condition of
+/// the paper is the caller's obligation on semantic assertions; the
+/// conclusion is *also* re-validated, so an unsound instantiation is caught.
+#[allow(clippy::too_many_arguments)]
+pub fn sync_choice_rule(
+    x: Symbol,
+    p: SemAssertion,
+    c1: Cmd,
+    c2: Cmd,
+    shared: Cmd,
+    c1p: Cmd,
+    c2p: Cmd,
+    p1: SemAssertion,
+    p2: SemAssertion,
+    r1: SemAssertion,
+    r2: SemAssertion,
+    q1: SemAssertion,
+    q2: SemAssertion,
+    universe: &Universe,
+    exec: &ExecConfig,
+    check: &EntailConfig,
+) -> Result<SemTriple, usize> {
+    let prem = |n: usize, t: &SemTriple| -> Result<(), usize> {
+        if sem_valid(t, universe, exec, check) {
+            Ok(())
+        } else {
+            Err(n)
+        }
+    };
+    prem(1, &SemTriple::new(p.clone(), c1.clone(), p1.clone()))?;
+    prem(2, &SemTriple::new(p.clone(), c2.clone(), p2.clone()))?;
+    prem(
+        3,
+        &SemTriple::new(
+            otimes_tagged(x, p1, p2),
+            shared.clone(),
+            otimes_tagged(x, r1.clone(), r2.clone()),
+        ),
+    )?;
+    prem(4, &SemTriple::new(r1, c1p.clone(), q1.clone()))?;
+    prem(5, &SemTriple::new(r2, c2p.clone(), q2.clone()))?;
+
+    let conclusion = SemTriple::new(
+        p,
+        Cmd::choice(
+            Cmd::seq_all([c1, shared.clone(), c1p]),
+            Cmd::seq_all([c2, shared, c2p]),
+        ),
+        crate::semantic::sem_otimes(q1, q2),
+    );
+    if sem_valid(&conclusion, universe, exec, check) {
+        Ok(conclusion)
+    } else {
+        Err(0)
+    }
+}
+
+/// `⊑P ≜ λS. ∃S' ⊇ S. P(S')` over the universe (rule `AtMost`, Fig. 11).
+pub fn at_most(p: SemAssertion, universe: &Universe) -> SemAssertion {
+    let all: StateSet = universe.states.iter().cloned().collect();
+    sem(move |s: &StateSet| {
+        // Enumerate supersets of s within the universe: s ∪ T for T ⊆ rest.
+        let rest: Vec<ExtState> = all
+            .iter()
+            .filter(|phi| !s.contains(phi))
+            .cloned()
+            .collect();
+        let rest_set: StateSet = rest.into_iter().collect();
+        rest_set
+            .subsets_up_to(rest_set.len())
+            .into_iter()
+            .any(|t| p(&s.union(&t)))
+    })
+}
+
+/// `⊒P ≜ λS. ∃S' ⊆ S. P(S')` (rule `AtLeast`, Fig. 11).
+pub fn at_least(p: SemAssertion) -> SemAssertion {
+    sem(move |s: &StateSet| s.subsets_up_to(s.len()).into_iter().any(|t| p(&t)))
+}
+
+/// Rule `AtMost`: from `|= {P} C {Q}` conclude `|= {⊑P} C {⊑Q}`.
+pub fn at_most_rule(t: &SemTriple, universe: &Universe) -> SemTriple {
+    SemTriple::new(
+        at_most(t.pre.clone(), universe),
+        t.cmd.clone(),
+        at_most(t.post.clone(), universe),
+    )
+}
+
+/// Rule `AtLeast`: from `|= {P} C {Q}` conclude `|= {⊒P} C {⊒Q}`.
+pub fn at_least_rule(t: &SemTriple) -> SemTriple {
+    SemTriple::new(
+        at_least(t.pre.clone()),
+        t.cmd.clone(),
+        at_least(t.post.clone()),
+    )
+}
+
+/// App. E.2 — recurrent sets. `R` is *recurrent* for `while (b) {C}` iff
+/// every state of `R` satisfies `b` and executing `C` from any state of `R`
+/// reaches at least one state back in `R`:
+///
+/// `{∃⟨φ⟩. φ ∈ R} assume b; C {∃⟨φ⟩. φ ∈ R}` with `R ⊆ ⟦b⟧`.
+pub fn is_recurrent_set(
+    r: &StateSet,
+    guard: &hhl_lang::Expr,
+    body: &Cmd,
+    exec: &ExecConfig,
+) -> bool {
+    if r.is_empty() {
+        return false;
+    }
+    r.iter().all(|phi| {
+        if !guard.holds(&phi.program) {
+            return false;
+        }
+        let singleton: StateSet = std::iter::once(phi.clone()).collect();
+        let step = exec.sem(&Cmd::seq(Cmd::assume(guard.clone()), body.clone()), &singleton);
+        let revisits = step.iter().any(|next| r.contains(next));
+        revisits
+    })
+}
+
+/// Searches the universe for a recurrent set of `while (b) {C}` — a proof
+/// of the *existence of a non-terminating execution* (App. E.2). Returns
+/// the greatest recurrent subset of the universe, if any.
+pub fn find_recurrent_set(
+    guard: &hhl_lang::Expr,
+    body: &Cmd,
+    universe: &Universe,
+    exec: &ExecConfig,
+) -> Option<StateSet> {
+    // Greatest-fixpoint pruning: start from all guard-satisfying states and
+    // repeatedly remove states that cannot step back into the candidate.
+    let mut candidate: StateSet = universe
+        .states
+        .iter()
+        .filter(|phi| guard.holds(&phi.program))
+        .cloned()
+        .collect();
+    loop {
+        let keep: StateSet = candidate
+            .iter()
+            .filter(|phi| {
+                let singleton: StateSet = std::iter::once((*phi).clone()).collect();
+                let step = exec.sem(
+                    &Cmd::seq(Cmd::assume(guard.clone()), body.clone()),
+                    &singleton,
+                );
+                let revisits = step.iter().any(|next| candidate.contains(next));
+                revisits
+            })
+            .cloned()
+            .collect();
+        if keep == candidate {
+            break;
+        }
+        candidate = keep;
+    }
+    if candidate.is_empty() {
+        None
+    } else {
+        Some(candidate)
+    }
+}
+
+/// Helper: the candidate-set quantification used by `at_most`/`at_least`
+/// tests — exposed so benches can reuse it.
+pub fn all_candidate_sets(universe: &Universe, check: &EntailConfig) -> Vec<StateSet> {
+    candidate_sets(universe, check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhl_lang::{parse_cmd, parse_expr};
+
+    fn st(pairs: &[(&str, i64)]) -> ExtState {
+        ExtState::from_program(hhl_lang::Store::from_pairs(
+            pairs.iter().map(|(k, v)| (*k, Value::Int(*v))),
+        ))
+    }
+
+    #[test]
+    fn prop14_sync_choice() {
+        // C' ≜ (x := x * 2; C) + C with C shared: prove □(y ≥ 0) from
+        // □(x ≥ 0) by running C (y := x + 1) once, synchronously.
+        let x_tag = Symbol::new("br");
+        let universe = {
+            let base = Universe::int_cube(&["x", "y"], 0, 2);
+            base.tag_logical("br", &[Value::Int(1), Value::Int(2)])
+        };
+        let exec = ExecConfig::int_range(0, 2);
+        let check = EntailConfig {
+            max_subset_size: 3,
+            ..EntailConfig::default()
+        };
+        let all_x_nonneg = sem(|s: &StateSet| {
+            s.iter().all(|p| p.program.get("x").as_int() >= 0)
+        });
+        let all_y_pos = sem(|s: &StateSet| s.iter().all(|p| p.program.get("y").as_int() >= 1));
+
+        let conclusion = sync_choice_rule(
+            x_tag,
+            all_x_nonneg.clone(),
+            parse_cmd("x := x * 2").unwrap(),
+            Cmd::Skip,
+            parse_cmd("y := x + 1").unwrap(), // the shared C
+            Cmd::Skip,
+            Cmd::Skip,
+            all_x_nonneg.clone(), // P1
+            all_x_nonneg.clone(), // P2
+            all_y_pos.clone(),    // R1
+            all_y_pos.clone(),    // R2
+            all_y_pos.clone(),    // Q1
+            all_y_pos,            // Q2
+            &universe,
+            &exec,
+            &check,
+        );
+        assert!(conclusion.is_ok(), "Prop. 14 instance must validate");
+    }
+
+    #[test]
+    fn prop14_rejects_bad_premise() {
+        let x_tag = Symbol::new("br");
+        let universe = Universe::int_cube(&["x"], 0, 1);
+        let exec = ExecConfig::int_range(0, 1);
+        let check = EntailConfig::default();
+        let all_zero = sem(|s: &StateSet| s.iter().all(|p| p.program.get("x") == Value::Int(0)));
+        // Premise 1 is false: x := 1 does not preserve □(x = 0).
+        let err = sync_choice_rule(
+            x_tag,
+            all_zero.clone(),
+            parse_cmd("x := 1").unwrap(),
+            Cmd::Skip,
+            Cmd::Skip,
+            Cmd::Skip,
+            Cmd::Skip,
+            all_zero.clone(),
+            all_zero.clone(),
+            all_zero.clone(),
+            all_zero.clone(),
+            all_zero.clone(),
+            all_zero,
+            &universe,
+            &exec,
+            &check,
+        )
+        .unwrap_err();
+        assert_eq!(err, 1);
+    }
+
+    #[test]
+    fn at_most_and_at_least_are_sound() {
+        // From a valid triple, the ⊑/⊒ rules produce valid triples.
+        let universe = Universe::int_cube(&["x"], 0, 2);
+        let exec = ExecConfig::int_range(0, 2);
+        let check = EntailConfig {
+            max_subset_size: 2,
+            ..EntailConfig::default()
+        };
+        let low = sem(|s: &StateSet| {
+            let mut it = s.iter().map(|p| p.program.get("x"));
+            match it.next() {
+                None => true,
+                Some(v) => it.all(|w| w == v),
+            }
+        });
+        let t = SemTriple::new(low.clone(), parse_cmd("x := x + 1").unwrap(), low);
+        assert!(sem_valid(&t, &universe, &exec, &check));
+        assert!(sem_valid(&at_most_rule(&t, &universe), &universe, &exec, &check));
+        assert!(sem_valid(&at_least_rule(&t), &universe, &exec, &check));
+    }
+
+    #[test]
+    fn at_most_semantics() {
+        // ⊑(exactly two states) holds of any subset of a two-state witness.
+        let universe = Universe::int_cube(&["x"], 0, 1);
+        let two = sem(|s: &StateSet| s.len() == 2);
+        let am = at_most(two, &universe);
+        let one: StateSet = [st(&[("x", 0)])].into_iter().collect();
+        assert!(am(&one));
+        assert!(am(&StateSet::new()));
+        let three: StateSet = Universe::int_cube(&["x"], 0, 2).states.into_iter().collect();
+        assert!(!am(&three));
+    }
+
+    #[test]
+    fn recurrent_set_proves_nontermination() {
+        // while (x > 0) { x := x } diverges from any x > 0 state: {x = 1}
+        // is recurrent.
+        let guard = parse_expr("x > 0").unwrap();
+        let body = parse_cmd("x := x").unwrap();
+        let exec = ExecConfig::int_range(0, 2);
+        let r: StateSet = [st(&[("x", 1)])].into_iter().collect();
+        assert!(is_recurrent_set(&r, &guard, &body, &exec));
+        // And search finds the full {x = 1, x = 2} recurrent set.
+        let found = find_recurrent_set(&guard, &body, &Universe::int_cube(&["x"], 0, 2), &exec)
+            .expect("recurrent set exists");
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn terminating_loop_has_no_recurrent_set() {
+        // while (x > 0) { x := x - 1 } always terminates: no recurrent set.
+        let guard = parse_expr("x > 0").unwrap();
+        let body = parse_cmd("x := x - 1").unwrap();
+        let exec = ExecConfig::int_range(-1, 3);
+        assert!(find_recurrent_set(&guard, &body, &Universe::int_cube(&["x"], 0, 3), &exec)
+            .is_none());
+        // A non-guard-satisfying set is not recurrent.
+        let r: StateSet = [st(&[("x", 0)])].into_iter().collect();
+        assert!(!is_recurrent_set(&r, &guard, &body, &exec));
+    }
+
+    #[test]
+    fn nondeterministic_escape_is_still_recurrent() {
+        // while (x > 0) { x := nonDet() }: from x = 1 the body *can* go to
+        // x = 1 again — one diverging execution exists even though others
+        // terminate (App. E.2 needs only existence).
+        let guard = parse_expr("x > 0").unwrap();
+        let body = parse_cmd("x := nonDet()").unwrap();
+        let exec = ExecConfig::int_range(0, 2);
+        let found = find_recurrent_set(&guard, &body, &Universe::int_cube(&["x"], 0, 2), &exec)
+            .expect("recurrent set exists");
+        assert!(found.iter().all(|phi| phi.program.get("x").as_int() > 0));
+    }
+}

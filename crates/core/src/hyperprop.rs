@@ -1,0 +1,271 @@
+//! Program hyperproperties (Definition 8) and the expressivity theorems
+//! (Theorems 3 and 4).
+//!
+//! A *program hyperproperty* is a set of sets of pairs of program states —
+//! equivalently a predicate over `𝒫(PStates × PStates)`. A command satisfies
+//! it iff its full input/output relation `{(σ, σ') | ⟨C, σ⟩ → σ'}` is a
+//! member. Over the finite state universes of this reproduction the relation
+//! is computable, and both directions of the hyper-triple ↔ hyperproperty
+//! correspondence become executable checks.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use hhl_lang::{Cmd, ExecConfig, ExtState, StateSet, Store, Symbol};
+
+use crate::semantic::{sem, SemAssertion};
+
+/// The input/output relation of a command over a finite set of initial
+/// program states: `{(σ, σ') | σ ∈ inits, ⟨C, σ⟩ → σ'}`.
+pub type Relation = BTreeSet<(Store, Store)>;
+
+/// A program hyperproperty (Def. 8): a predicate over I/O relations.
+pub type Hyperproperty = Rc<dyn Fn(&Relation) -> bool>;
+
+/// Builds a [`Hyperproperty`] from a closure.
+pub fn hyperprop<F: Fn(&Relation) -> bool + 'static>(f: F) -> Hyperproperty {
+    Rc::new(f)
+}
+
+/// Computes the I/O relation of `cmd` over the given initial program states.
+pub fn io_relation(cmd: &Cmd, inits: &[Store], exec: &ExecConfig) -> Relation {
+    let mut rel = BTreeSet::new();
+    for sigma in inits {
+        for sigma_p in exec.exec(cmd, sigma) {
+            rel.insert((sigma.clone(), sigma_p));
+        }
+    }
+    rel
+}
+
+/// `C ∈ H` (Def. 8): the command's I/O relation over the initial-state
+/// universe is a member of the hyperproperty.
+pub fn satisfies(cmd: &Cmd, h: &Hyperproperty, inits: &[Store], exec: &ExecConfig) -> bool {
+    h(&io_relation(cmd, inits, exec))
+}
+
+/// Theorem 3: every program hyperproperty `H` is expressed by a hyper-triple.
+///
+/// Construction (finitized): the precondition fixes the set of initial
+/// extended states to *all* initial program states, each tagged by logical
+/// variables recording its program variables (`t_x` for each `x`); the
+/// postcondition decodes the pre/post pairs from the final set and asks `H`.
+///
+/// Returns `(P, Q)` such that for every command `C` (over the universe):
+/// `C ∈ H ⟺ |= {P} C {Q}`.
+pub fn triple_of_hyperproperty(
+    h: Hyperproperty,
+    pvars: &[Symbol],
+    inits: &[Store],
+) -> (SemAssertion, SemAssertion) {
+    let tag = |x: Symbol| Symbol::new(&format!("t_{x}"));
+
+    // The canonical initial set: every initial program state, with logical
+    // snapshot of all its program variables.
+    let canonical: StateSet = inits
+        .iter()
+        .map(|sigma| {
+            let mut logical = Store::new();
+            for x in pvars {
+                logical.set(tag(*x), sigma.get(*x));
+            }
+            ExtState::new(logical, sigma.clone())
+        })
+        .collect();
+
+    let pre = {
+        let canonical = canonical.clone();
+        sem(move |s: &StateSet| *s == canonical)
+    };
+
+    let pvars: Vec<Symbol> = pvars.to_vec();
+    let post = sem(move |s: &StateSet| {
+        // Decode each final extended state back into the (pre, post) pair it
+        // witnesses: the logical snapshot is the pre-state, the program
+        // store the post-state.
+        let rel: Relation = s
+            .iter()
+            .map(|phi| {
+                let mut pre_state = Store::new();
+                for x in &pvars {
+                    pre_state.set(*x, phi.logical.get(tag(*x)));
+                }
+                (pre_state, phi.program.clone())
+            })
+            .collect();
+        h(&rel)
+    });
+    (pre, post)
+}
+
+/// Theorem 4: every hyper-triple `{P} C {Q}` expresses a hyperproperty.
+///
+/// Construction: `H ≜ {Σ | ∀S. P(S) ⇒ Q({(l, σ') | ∃σ. (l, σ) ∈ S ∧
+/// (σ, σ') ∈ Σ})}` — quantifying `S` over the candidate sets built from the
+/// given universe of extended states.
+pub fn hyperproperty_of_triple(
+    p: SemAssertion,
+    q: SemAssertion,
+    candidate_sets: Vec<StateSet>,
+) -> Hyperproperty {
+    hyperprop(move |rel: &Relation| {
+        candidate_sets.iter().all(|s| {
+            if !p(s) {
+                return true;
+            }
+            let image: StateSet = s
+                .iter()
+                .flat_map(|phi| {
+                    rel.iter()
+                        .filter(|(sig, _)| *sig == phi.program)
+                        .map(|(_, sig_p)| ExtState::new(phi.logical.clone(), sig_p.clone()))
+                })
+                .collect();
+            q(&image)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhl_assert::{candidate_sets, EntailConfig, Universe};
+    use hhl_lang::{parse_cmd, Value};
+
+    use crate::semantic::{sem_valid, SemTriple};
+
+    fn inits() -> Vec<Store> {
+        (0..=1)
+            .flat_map(|h| {
+                (0..=1).map(move |l| {
+                    Store::from_pairs([("h", Value::Int(h)), ("l", Value::Int(l))])
+                })
+            })
+            .collect()
+    }
+
+    fn exec() -> ExecConfig {
+        ExecConfig::int_range(0, 1)
+    }
+
+    /// Determinism as a hyperproperty: every pre-state has at most one
+    /// post-state.
+    fn determinism() -> Hyperproperty {
+        hyperprop(|rel: &Relation| {
+            rel.iter().all(|(s1, t1)| {
+                rel.iter().all(|(s2, t2)| s1 != s2 || t1 == t2)
+            })
+        })
+    }
+
+    #[test]
+    fn satisfies_detects_determinism() {
+        let det = parse_cmd("l := h").unwrap();
+        let nondet = parse_cmd("l := nonDet()").unwrap();
+        let h = determinism();
+        assert!(satisfies(&det, &h, &inits(), &exec()));
+        assert!(!satisfies(&nondet, &h, &inits(), &exec()));
+    }
+
+    #[test]
+    fn thm3_triple_characterizes_membership() {
+        // For several commands, C ∈ H ⟺ |= {P} C {Q} with (P, Q) from the
+        // Thm. 3 construction.
+        let h = determinism();
+        let pvars: Vec<Symbol> = vec![Symbol::new("h"), Symbol::new("l")];
+        let (p, q) = triple_of_hyperproperty(h.clone(), &pvars, &inits());
+        for (src, expect) in [
+            ("l := h", true),
+            ("skip", true),
+            ("l := nonDet()", false),
+            ("{ l := 0 } + { l := 1 }", false),
+            ("if (h > 0) { l := 1 } else { l := 0 }", true),
+        ] {
+            let cmd = parse_cmd(src).unwrap();
+            assert_eq!(
+                satisfies(&cmd, &h, &inits(), &exec()),
+                expect,
+                "membership for {src}"
+            );
+            // Validity needs only the canonical set (P pins S down).
+            let canonical_holds = {
+                let out = {
+                    let s: Vec<StateSet> = vec![];
+                    let _ = s;
+                    // Build the canonical set by probing P over the tagged
+                    // universe is unnecessary: replay the construction.
+                    let tag = |x: Symbol| Symbol::new(&format!("t_{x}"));
+                    let canonical: StateSet = inits()
+                        .iter()
+                        .map(|sigma| {
+                            let mut logical = Store::new();
+                            for x in &pvars {
+                                logical.set(tag(*x), sigma.get(*x));
+                            }
+                            ExtState::new(logical, sigma.clone())
+                        })
+                        .collect();
+                    assert!(p(&canonical));
+                    exec().sem(&cmd, &canonical)
+                };
+                q(&out)
+            };
+            assert_eq!(canonical_holds, expect, "triple validity for {src}");
+        }
+    }
+
+    #[test]
+    fn thm4_hyperproperty_of_triple_roundtrip() {
+        // H built from the NI triple {low(l)} · {low(l)} holds exactly of
+        // commands satisfying NI over the universe.
+        let low = |s: &StateSet| {
+            let mut it = s.iter().map(|p| p.program.get("l"));
+            match it.next() {
+                None => true,
+                Some(v0) => it.all(|v| v == v0),
+            }
+        };
+        let p = sem(low);
+        let q = sem(low);
+        let universe = Universe::int_cube(&["h", "l"], 0, 1);
+        let sets = candidate_sets(&universe, &EntailConfig::default());
+        let h = hyperproperty_of_triple(p.clone(), q.clone(), sets);
+
+        for (src, expect) in [
+            ("l := l + 1", true),
+            ("l := h", false),
+            ("if (h > 0) { l := 1 } else { l := 0 }", false),
+            ("h := l", true),
+        ] {
+            let cmd = parse_cmd(src).unwrap();
+            // Membership via Thm. 4's H…
+            let member = satisfies(
+                &cmd,
+                &h,
+                &Universe::int_cube(&["h", "l"], 0, 1)
+                    .states
+                    .iter()
+                    .map(|e| e.program.clone())
+                    .collect::<Vec<_>>(),
+                &exec(),
+            );
+            // …agrees with direct triple validity.
+            let t = SemTriple::new(p.clone(), cmd, q.clone());
+            let valid = sem_valid(&t, &universe, &exec(), &EntailConfig::default());
+            assert_eq!(member, valid, "round-trip for {src}");
+            assert_eq!(member, expect, "expected NI status for {src}");
+        }
+    }
+
+    #[test]
+    fn complement_hyperproperty_is_checkable() {
+        // §3.5: if C ∉ H then C satisfies the complement of H — which is
+        // also a hyperproperty, so violations are provable too.
+        let h = determinism();
+        let h2 = h.clone();
+        let complement: Hyperproperty = hyperprop(move |rel| !h2(rel));
+        let nondet = parse_cmd("l := nonDet()").unwrap();
+        assert!(!satisfies(&nondet, &h, &inits(), &exec()));
+        assert!(satisfies(&nondet, &complement, &inits(), &exec()));
+    }
+}

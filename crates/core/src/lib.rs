@@ -1,0 +1,57 @@
+//! # hhl-core — Hyper Hoare Logic: triples, rules, proofs
+//!
+//! The paper's primary contribution (§3, §5, Apps. D/E/H of *Hyper Hoare
+//! Logic: (Dis-)Proving Program Hyperproperties*, Dardinier & Müller,
+//! PLDI 2024), executably:
+//!
+//! * [`Triple`] and [`check_triple`] — hyper-triples and their semantic
+//!   validity (Def. 5), with the terminating variant (Def. 24) in
+//!   [`check_triple_terminating`];
+//! * [`proof::Derivation`] / [`proof::check`] — machine-checkable proof
+//!   trees covering the core rules (Fig. 2), the syntactic rules (Fig. 3),
+//!   the loop rules (Fig. 5), the compositionality rules (Fig. 11), and the
+//!   termination rules (Fig. 14);
+//! * [`semantic`] — the core rules as combinators over *semantic*
+//!   hyper-assertions (Def. 3), mirroring the Isabelle formalization;
+//! * [`completeness`] — the Thm. 2 completeness construction, executable
+//!   over finite universes, including §3.4's Example 1;
+//! * [`hyperprop`] — program hyperproperties (Def. 8) and the expressivity
+//!   theorems (Thms. 3–4);
+//! * [`find_violating_set`] / [`witness_triple`] — disproving triples
+//!   (Thm. 5).
+//!
+//! # Quick example: disproving non-interference
+//!
+//! ```
+//! use hhl_assert::{Assertion, Universe};
+//! use hhl_core::{check_triple, find_violating_set, witness_triple, Triple, ValidityConfig};
+//! use hhl_lang::parse_cmd;
+//!
+//! // C2 from §2.2 leaks h into l.
+//! let c2 = parse_cmd("if (h > 0) { l := 1 } else { l := 0 }").unwrap();
+//! let ni = Triple::new(Assertion::low("l"), c2, Assertion::low("l"));
+//! let cfg = ValidityConfig::new(Universe::int_cube(&["h", "l"], -1, 1));
+//!
+//! // NI fails …
+//! let bad_set = find_violating_set(&ni, &cfg).expect("C2 violates NI");
+//! // … and per Thm. 5 the failure is itself provable as a hyper-triple:
+//! let witness = witness_triple(&ni, &bad_set);
+//! assert!(check_triple(&witness, &cfg).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod completeness;
+pub mod extensions;
+pub mod hyperprop;
+pub mod proof;
+pub mod semantic;
+mod triple;
+mod validity;
+
+pub use triple::Triple;
+pub use validity::{
+    check_triple, check_triple_in_env, check_triple_terminating, find_violating_set,
+    strongest_post, witness_triple, ValidityConfig,
+};

@@ -1,0 +1,974 @@
+//! The proof checker: validates every rule application in a [`Derivation`].
+//!
+//! Structural side conditions (matching premises, command shapes, syntactic
+//! classifications) are checked exactly. Semantic side conditions —
+//! entailments of `Cons`/`WhileSync`/`IfSync`, the `⊢⇓` premises of the
+//! App. E rules, `Oracle` admissions — are discharged against the finite
+//! model of the supplied [`ProofContext`], exactly the policy documented in
+//! `DESIGN.md`.
+//!
+//! Premises quantified at the meta level (`∀n` of `Iter`, `∀v`/`∀φ` of
+//! `While-∃`, the free variables introduced by `Exist`/`Forall`) are checked
+//! for every binding drawn from the context's bounded domains.
+
+use hhl_assert::{
+    assign_transform, assume_transform, candidate_sets, eval_in_env, havoc_transform, Assertion,
+    Counterexample, Env, PHI,
+};
+use hhl_lang::{Cmd, Expr, Symbol, Value};
+
+use crate::proof::{Derivation, ProofError};
+use crate::triple::Triple;
+use crate::validity::ValidityConfig;
+
+/// Context against which proofs are checked.
+#[derive(Clone, Debug)]
+pub struct ProofContext {
+    /// Universe, execution and evaluation configuration.
+    pub validity: ValidityConfig,
+    /// Maximum number of `φ1` states enumerated by the `Linking` checker.
+    pub linking_cap: usize,
+    /// Maximum number of bindings enumerated for meta-quantified variables.
+    pub scope_cap: usize,
+}
+
+impl ProofContext {
+    /// A context with default caps.
+    pub fn new(validity: ValidityConfig) -> ProofContext {
+        ProofContext {
+            validity,
+            linking_cap: 64,
+            scope_cap: 128,
+        }
+    }
+}
+
+/// Statistics accumulated while checking a proof.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Total rule applications validated.
+    pub rules: usize,
+    /// Semantic admissions (`Oracle` nodes and `⊢⇓` discharges).
+    pub oracle_admissions: usize,
+    /// Entailment obligations discharged by the finite-model oracle.
+    pub entailments: usize,
+}
+
+/// A successfully checked proof: its conclusion and the statistics.
+#[derive(Clone, Debug)]
+pub struct CheckedProof {
+    /// The conclusion triple of the root rule.
+    pub conclusion: Triple,
+    /// Checking statistics.
+    pub stats: CheckStats,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Scope {
+    vals: Vec<Symbol>,
+    states: Vec<Symbol>,
+}
+
+/// Checks a derivation and returns its conclusion.
+///
+/// # Errors
+///
+/// A [`ProofError`] identifying the offending rule application.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_assert::{Assertion, Universe};
+/// use hhl_core::proof::{check, Derivation, ProofContext};
+/// use hhl_core::ValidityConfig;
+///
+/// let d = Derivation::Skip { p: Assertion::low("l") };
+/// let ctx = ProofContext::new(ValidityConfig::new(Universe::int_cube(&["l"], 0, 1)));
+/// let proof = check(&d, &ctx).unwrap();
+/// assert_eq!(proof.conclusion.cmd, hhl_lang::Cmd::Skip);
+/// ```
+pub fn check(d: &Derivation, ctx: &ProofContext) -> Result<CheckedProof, ProofError> {
+    let mut stats = CheckStats::default();
+    let mut scope = Scope::default();
+    let conclusion = check_in(d, ctx, &mut scope, &mut stats)?;
+    Ok(CheckedProof { conclusion, stats })
+}
+
+fn structural(rule: &'static str, detail: impl Into<String>) -> ProofError {
+    ProofError::Structural {
+        rule,
+        detail: detail.into(),
+    }
+}
+
+/// All bindings of the scope's meta-variables over the context's domains,
+/// capped at `scope_cap` (systematic truncation keeps checks deterministic).
+fn scope_bindings(scope: &Scope, ctx: &ProofContext) -> Vec<Env> {
+    let mut envs = vec![Env::new()];
+    let values: Vec<Value> = ctx.validity.check.eval.values.clone();
+    for y in &scope.vals {
+        let mut next = Vec::new();
+        for env in &envs {
+            for v in &values {
+                let mut e2 = env.clone();
+                e2.vals.insert(*y, v.clone());
+                next.push(e2);
+                if next.len() >= ctx.scope_cap {
+                    break;
+                }
+            }
+            if next.len() >= ctx.scope_cap {
+                break;
+            }
+        }
+        envs = next;
+    }
+    for phi in &scope.states {
+        let mut next = Vec::new();
+        for env in &envs {
+            for st in &ctx.validity.universe.states {
+                let mut e2 = env.clone();
+                e2.states.insert(*phi, st.clone());
+                next.push(e2);
+                if next.len() >= ctx.scope_cap {
+                    break;
+                }
+            }
+            if next.len() >= ctx.scope_cap {
+                break;
+            }
+        }
+        envs = next;
+    }
+    envs
+}
+
+/// `P |= Q` under every scope binding, over the context's candidate sets.
+fn entails_scoped(
+    rule: &'static str,
+    p: &Assertion,
+    q: &Assertion,
+    scope: &Scope,
+    ctx: &ProofContext,
+    stats: &mut CheckStats,
+) -> Result<(), ProofError> {
+    stats.entailments += 1;
+    let sets = candidate_sets(&ctx.validity.universe, &ctx.validity.check);
+    for env0 in scope_bindings(scope, ctx) {
+        for s in &sets {
+            let mut env = env0.clone();
+            if eval_in_env(p, s, &mut env, &ctx.validity.check.eval) {
+                let mut env = env0.clone();
+                if !eval_in_env(q, s, &mut env, &ctx.validity.check.eval) {
+                    return Err(ProofError::Entailment {
+                        rule,
+                        counterexample: Counterexample {
+                            set: s.clone(),
+                            context: format!("{p} |= {q}"),
+                        },
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Semantic validity of a triple under every scope binding.
+fn valid_scoped(
+    rule: &'static str,
+    t: &Triple,
+    scope: &Scope,
+    ctx: &ProofContext,
+    stats: &mut CheckStats,
+) -> Result<(), ProofError> {
+    stats.oracle_admissions += 1;
+    let sets = candidate_sets(&ctx.validity.universe, &ctx.validity.check);
+    for env0 in scope_bindings(scope, ctx) {
+        for s in &sets {
+            let mut env = env0.clone();
+            if eval_in_env(&t.pre, s, &mut env, &ctx.validity.check.eval) {
+                let out = ctx.validity.exec.sem(&t.cmd, s);
+                let mut env = env0.clone();
+                if !eval_in_env(&t.post, &out, &mut env, &ctx.validity.check.eval) {
+                    return Err(ProofError::Semantic {
+                        rule,
+                        counterexample: Counterexample {
+                            set: s.clone(),
+                            context: format!("{t}"),
+                        },
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn expr_lvars(e: &Expr) -> std::collections::BTreeSet<Symbol> {
+    fn go(e: &Expr, out: &mut std::collections::BTreeSet<Symbol>) {
+        match e {
+            Expr::LVar(t) => {
+                out.insert(*t);
+            }
+            Expr::Const(_) | Expr::Var(_) => {}
+            Expr::Un(_, a) => go(a, out),
+            Expr::Bin(_, a, b) => {
+                go(a, out);
+                go(b, out);
+            }
+        }
+    }
+    let mut out = std::collections::BTreeSet::new();
+    go(e, &mut out);
+    out
+}
+
+/// Destructures `if (b) {C}` — `(assume b; C) + (assume !b)`.
+fn match_if_then(cmd: &Cmd, guard: &Expr, rule: &'static str) -> Result<Cmd, ProofError> {
+    match cmd {
+        Cmd::Choice(l, r) => match (&**l, &**r) {
+            (Cmd::Seq(a, c), Cmd::Assume(nb))
+                if **a == Cmd::assume(guard.clone()) && *nb == guard.clone().not() =>
+            {
+                Ok((**c).clone())
+            }
+            _ => Err(structural(
+                rule,
+                format!("expected if ({guard}) {{C}} shape, found {cmd}"),
+            )),
+        },
+        _ => Err(structural(
+            rule,
+            format!("expected if ({guard}) {{C}} shape, found {cmd}"),
+        )),
+    }
+}
+
+fn check_in(
+    d: &Derivation,
+    ctx: &ProofContext,
+    scope: &mut Scope,
+    stats: &mut CheckStats,
+) -> Result<Triple, ProofError> {
+    stats.rules += 1;
+    match d {
+        Derivation::Skip { p } => Ok(Triple::new(p.clone(), Cmd::Skip, p.clone())),
+
+        Derivation::Seq(l, r) => {
+            let tl = check_in(l, ctx, scope, stats)?;
+            let tr = check_in(r, ctx, scope, stats)?;
+            if tl.post != tr.pre {
+                return Err(structural(
+                    "Seq",
+                    format!("middle mismatch: {} vs {}", tl.post, tr.pre),
+                ));
+            }
+            Ok(Triple::new(
+                tl.pre,
+                Cmd::seq(tl.cmd, tr.cmd),
+                tr.post,
+            ))
+        }
+
+        Derivation::Choice(l, r) => {
+            let tl = check_in(l, ctx, scope, stats)?;
+            let tr = check_in(r, ctx, scope, stats)?;
+            if tl.pre != tr.pre {
+                return Err(structural(
+                    "Choice",
+                    format!("preconditions differ: {} vs {}", tl.pre, tr.pre),
+                ));
+            }
+            Ok(Triple::new(
+                tl.pre,
+                Cmd::choice(tl.cmd, tr.cmd),
+                tl.post.otimes(tr.post),
+            ))
+        }
+
+        Derivation::Cons { pre, post, inner } => {
+            let ti = check_in(inner, ctx, scope, stats)?;
+            entails_scoped("Cons", pre, &ti.pre, scope, ctx, stats)?;
+            entails_scoped("Cons", &ti.post, post, scope, ctx, stats)?;
+            Ok(Triple::new(pre.clone(), ti.cmd, post.clone()))
+        }
+
+        Derivation::ConsPre { pre, inner } => {
+            let ti = check_in(inner, ctx, scope, stats)?;
+            entails_scoped("Cons", pre, &ti.pre, scope, ctx, stats)?;
+            Ok(Triple::new(pre.clone(), ti.cmd, ti.post))
+        }
+
+        Derivation::AssignS { x, e, post } => {
+            let pre = assign_transform(*x, e, post)
+                .map_err(|source| ProofError::Transform {
+                    rule: "AssignS",
+                    source,
+                })?;
+            Ok(Triple::new(pre, Cmd::Assign(*x, e.clone()), post.clone()))
+        }
+
+        Derivation::HavocS { x, post } => {
+            let pre = havoc_transform(*x, post).map_err(|source| ProofError::Transform {
+                rule: "HavocS",
+                source,
+            })?;
+            Ok(Triple::new(pre, Cmd::Havoc(*x), post.clone()))
+        }
+
+        Derivation::AssumeS { b, post } => {
+            let pre = assume_transform(b, post).map_err(|source| ProofError::Transform {
+                rule: "AssumeS",
+                source,
+            })?;
+            Ok(Triple::new(pre, Cmd::assume(b.clone()), post.clone()))
+        }
+
+        Derivation::Exist { y, inner } => {
+            scope.vals.push(*y);
+            let ti = check_in(inner, ctx, scope, stats);
+            scope.vals.pop();
+            let ti = ti?;
+            Ok(Triple::new(
+                Assertion::exists_val(*y, ti.pre),
+                ti.cmd,
+                Assertion::exists_val(*y, ti.post),
+            ))
+        }
+
+        Derivation::Forall { y, inner } => {
+            scope.vals.push(*y);
+            let ti = check_in(inner, ctx, scope, stats);
+            scope.vals.pop();
+            let ti = ti?;
+            Ok(Triple::new(
+                Assertion::forall_val(*y, ti.pre),
+                ti.cmd,
+                Assertion::forall_val(*y, ti.post),
+            ))
+        }
+
+        Derivation::Iter { inv, premises } => {
+            let mut body: Option<Cmd> = None;
+            for n in 0..=premises.bound {
+                let tn = check_in(&premises.at(n), ctx, scope, stats)?;
+                if tn.pre != inv.at(n) || tn.post != inv.at(n + 1) {
+                    return Err(structural(
+                        "Iter",
+                        format!("premise {n} does not prove {{Iₙ}} C {{Iₙ₊₁}}"),
+                    ));
+                }
+                match &body {
+                    None => body = Some(tn.cmd),
+                    Some(c) if *c == tn.cmd => {}
+                    Some(c) => {
+                        return Err(structural(
+                            "Iter",
+                            format!("premises prove different commands: {c} vs {}", tn.cmd),
+                        ))
+                    }
+                }
+            }
+            let body = body.ok_or_else(|| structural("Iter", "no premises"))?;
+            Ok(Triple::new(
+                inv.at(0),
+                Cmd::star(body),
+                Assertion::big_otimes(inv.clone()),
+            ))
+        }
+
+        Derivation::WhileDesugared {
+            guard,
+            inv,
+            premises,
+            exit,
+        } => {
+            let mut body: Option<Cmd> = None;
+            for n in 0..=premises.bound {
+                let tn = check_in(&premises.at(n), ctx, scope, stats)?;
+                if tn.pre != inv.at(n) || tn.post != inv.at(n + 1) {
+                    return Err(structural(
+                        "WhileDesugared",
+                        format!("premise {n} does not prove {{Iₙ}} assume b; C {{Iₙ₊₁}}"),
+                    ));
+                }
+                let c = match &tn.cmd {
+                    Cmd::Seq(a, c) if **a == Cmd::assume(guard.clone()) => (**c).clone(),
+                    other => {
+                        return Err(structural(
+                            "WhileDesugared",
+                            format!("premise command must be assume {guard}; C, found {other}"),
+                        ))
+                    }
+                };
+                match &body {
+                    None => body = Some(c),
+                    Some(b0) if *b0 == c => {}
+                    Some(b0) => {
+                        return Err(structural(
+                            "WhileDesugared",
+                            format!("premises prove different bodies: {b0} vs {c}"),
+                        ))
+                    }
+                }
+            }
+            let body = body.ok_or_else(|| structural("WhileDesugared", "no premises"))?;
+            let texit = check_in(exit, ctx, scope, stats)?;
+            if texit.cmd != Cmd::assume(guard.clone().not()) {
+                return Err(structural(
+                    "WhileDesugared",
+                    format!("exit premise must be assume !({guard})"),
+                ));
+            }
+            if texit.pre != Assertion::big_otimes(inv.clone()) {
+                return Err(structural(
+                    "WhileDesugared",
+                    "exit premise precondition must be ⨂ₙ Iₙ (same family)",
+                ));
+            }
+            Ok(Triple::new(
+                inv.at(0),
+                Cmd::while_loop(guard.clone(), body),
+                texit.post,
+            ))
+        }
+
+        Derivation::WhileSync { guard, inv, body } => {
+            entails_scoped("WhileSync", inv, &Assertion::low_expr(guard), scope, ctx, stats)?;
+            let tb = check_in(body, ctx, scope, stats)?;
+            let expected_pre = inv.clone().and(Assertion::box_pred(guard));
+            if tb.pre != expected_pre {
+                return Err(structural(
+                    "WhileSync",
+                    format!("body precondition must be I ∧ □b, found {}", tb.pre),
+                ));
+            }
+            if tb.post != *inv {
+                return Err(structural(
+                    "WhileSync",
+                    format!("body postcondition must be I, found {}", tb.post),
+                ));
+            }
+            let post = inv
+                .clone()
+                .or(Assertion::emp())
+                .and(Assertion::box_pred(&guard.clone().not()));
+            Ok(Triple::new(
+                inv.clone(),
+                Cmd::while_loop(guard.clone(), tb.cmd),
+                post,
+            ))
+        }
+
+        Derivation::IfSync {
+            guard,
+            pre,
+            post,
+            then_d,
+            else_d,
+        } => {
+            entails_scoped("IfSync", pre, &Assertion::low_expr(guard), scope, ctx, stats)?;
+            let tt = check_in(then_d, ctx, scope, stats)?;
+            let te = check_in(else_d, ctx, scope, stats)?;
+            let expected_then = pre.clone().and(Assertion::box_pred(guard));
+            let expected_else = pre.clone().and(Assertion::box_pred(&guard.clone().not()));
+            if tt.pre != expected_then {
+                return Err(structural(
+                    "IfSync",
+                    format!("then-premise precondition must be P ∧ □b, found {}", tt.pre),
+                ));
+            }
+            if te.pre != expected_else {
+                return Err(structural(
+                    "IfSync",
+                    format!("else-premise precondition must be P ∧ □¬b, found {}", te.pre),
+                ));
+            }
+            if tt.post != *post || te.post != *post {
+                return Err(structural("IfSync", "both premises must prove Q"));
+            }
+            Ok(Triple::new(
+                pre.clone(),
+                Cmd::if_else(guard.clone(), tt.cmd, te.cmd),
+                post.clone(),
+            ))
+        }
+
+        Derivation::WhileForallExists {
+            guard,
+            inv,
+            body_if,
+            exit,
+        } => {
+            let tb = check_in(body_if, ctx, scope, stats)?;
+            if tb.pre != *inv || tb.post != *inv {
+                return Err(structural(
+                    "While-∀*∃*",
+                    "the if-premise must prove {I} if (b) {C} {I}",
+                ));
+            }
+            let body = match_if_then(&tb.cmd, guard, "While-∀*∃*")?;
+            let texit = check_in(exit, ctx, scope, stats)?;
+            if texit.pre != *inv {
+                return Err(structural(
+                    "While-∀*∃*",
+                    "the exit premise must prove {I} assume ¬b {Q}",
+                ));
+            }
+            if texit.cmd != Cmd::assume(guard.clone().not()) {
+                return Err(structural(
+                    "While-∀*∃*",
+                    format!("exit premise command must be assume !({guard})"),
+                ));
+            }
+            if !texit.post.no_forall_state_after_exists_state() {
+                return Err(structural(
+                    "While-∀*∃*",
+                    format!("Q must have no ∀⟨_⟩ after any ∃: {}", texit.post),
+                ));
+            }
+            Ok(Triple::new(
+                inv.clone(),
+                Cmd::while_loop(guard.clone(), body),
+                texit.post,
+            ))
+        }
+
+        Derivation::WhileExists {
+            guard,
+            phi,
+            p_body,
+            q_body,
+            variant,
+            v,
+            decrease,
+            rest,
+        } => {
+            let e_at = |st: Symbol| hhl_assert::HExpr::of_expr_at(variant, st);
+            let b_at = |st: Symbol| Assertion::Atom(hhl_assert::HExpr::of_expr_at(guard, st));
+            // Premise 1: {∃⟨φ⟩. P_φ ∧ b(φ) ∧ v = e(φ)} if (b) {C}
+            //            {∃⟨φ⟩. P_φ ∧ 0 ≤ e(φ) < v}, with v free.
+            let pre1 = Assertion::exists_state(
+                *phi,
+                p_body
+                    .clone()
+                    .and(b_at(*phi))
+                    .and(Assertion::Atom(
+                        hhl_assert::HExpr::Val(*v).eq(e_at(*phi)),
+                    )),
+            );
+            let post1 = Assertion::exists_state(
+                *phi,
+                p_body.clone().and(Assertion::Atom(
+                    hhl_assert::HExpr::int(0)
+                        .le(e_at(*phi))
+                        .and(e_at(*phi).lt(hhl_assert::HExpr::Val(*v))),
+                )),
+            );
+            scope.vals.push(*v);
+            let td = check_in(decrease, ctx, scope, stats);
+            scope.vals.pop();
+            let td = td?;
+            if td.pre != pre1 || td.post != post1 {
+                return Err(structural(
+                    "While-∃",
+                    format!(
+                        "decrease premise must prove {{{pre1}}} if ({guard}) {{C}} {{{post1}}}, \
+                         found {{{}}} … {{{}}}",
+                        td.pre, td.post
+                    ),
+                ));
+            }
+            let body = match_if_then(&td.cmd, guard, "While-∃")?;
+            // Premise 2: ∀φ. {P_φ} while (b) {C} {Q_φ}.
+            scope.states.push(*phi);
+            let tr = check_in(rest, ctx, scope, stats);
+            scope.states.pop();
+            let tr = tr?;
+            if tr.pre != *p_body || tr.post != *q_body {
+                return Err(structural(
+                    "While-∃",
+                    "the rest premise must prove {P_φ} while (b) {C} {Q_φ}",
+                ));
+            }
+            let expected_loop = Cmd::while_loop(guard.clone(), body);
+            if tr.cmd != expected_loop {
+                return Err(structural(
+                    "While-∃",
+                    format!("rest premise command must be {expected_loop}, found {}", tr.cmd),
+                ));
+            }
+            Ok(Triple::new(
+                Assertion::exists_state(*phi, p_body.clone()),
+                expected_loop,
+                Assertion::exists_state(*phi, q_body.clone()),
+            ))
+        }
+
+        Derivation::And(l, r) => {
+            let tl = check_in(l, ctx, scope, stats)?;
+            let tr = check_in(r, ctx, scope, stats)?;
+            if tl.cmd != tr.cmd {
+                return Err(structural("And", "premises prove different commands"));
+            }
+            Ok(Triple::new(
+                tl.pre.and(tr.pre),
+                tl.cmd,
+                tl.post.and(tr.post),
+            ))
+        }
+
+        Derivation::Or(l, r) => {
+            let tl = check_in(l, ctx, scope, stats)?;
+            let tr = check_in(r, ctx, scope, stats)?;
+            if tl.cmd != tr.cmd {
+                return Err(structural("Or", "premises prove different commands"));
+            }
+            Ok(Triple::new(
+                tl.pre.or(tr.pre),
+                tl.cmd,
+                tl.post.or(tr.post),
+            ))
+        }
+
+        Derivation::FrameSafe { frame, inner } => {
+            let ti = check_in(inner, ctx, scope, stats)?;
+            if frame.contains_exists_state() {
+                return Err(structural(
+                    "FrameSafe",
+                    format!("frame contains ∃⟨_⟩: {frame}"),
+                ));
+            }
+            if frame.mentions_whole_states() {
+                return Err(structural(
+                    "FrameSafe",
+                    "frame constrains whole states; variable-based framing is unsound",
+                ));
+            }
+            let written = ti.cmd.written_vars();
+            let fv = frame.free_pvars();
+            if let Some(x) = written.intersection(&fv).next() {
+                return Err(structural(
+                    "FrameSafe",
+                    format!("frame reads {x}, which {} writes", ti.cmd),
+                ));
+            }
+            Ok(Triple::new(
+                ti.pre.and(frame.clone()),
+                ti.cmd,
+                ti.post.and(frame.clone()),
+            ))
+        }
+
+        Derivation::FrameT { frame, inner } => {
+            let ti = check_in(inner, ctx, scope, stats)?;
+            if frame.mentions_whole_states() {
+                return Err(structural(
+                    "Frame(⇓)",
+                    "frame constrains whole states; variable-based framing is unsound",
+                ));
+            }
+            let written = ti.cmd.written_vars();
+            let fv = frame.free_pvars();
+            if let Some(x) = written.intersection(&fv).next() {
+                return Err(structural(
+                    "Frame(⇓)",
+                    format!("frame reads {x}, which {} writes", ti.cmd),
+                ));
+            }
+            // ⊢⇓ premise: every state satisfying the (framed) precondition
+            // must have a terminating run — discharged semantically.
+            discharge_termination("Frame(⇓)", &ti, scope, ctx, stats)?;
+            Ok(Triple::new(
+                ti.pre.and(frame.clone()),
+                ti.cmd,
+                ti.post.and(frame.clone()),
+            ))
+        }
+
+        Derivation::Union(l, r) => {
+            let tl = check_in(l, ctx, scope, stats)?;
+            let tr = check_in(r, ctx, scope, stats)?;
+            if tl.cmd != tr.cmd {
+                return Err(structural("Union", "premises prove different commands"));
+            }
+            Ok(Triple::new(
+                tl.pre.otimes(tr.pre),
+                tl.cmd,
+                tl.post.otimes(tr.post),
+            ))
+        }
+
+        Derivation::BigUnion(inner) => {
+            let ti = check_in(inner, ctx, scope, stats)?;
+            Ok(Triple::new(
+                Assertion::UnionOf(Box::new(ti.pre)),
+                ti.cmd,
+                Assertion::UnionOf(Box::new(ti.post)),
+            ))
+        }
+
+        Derivation::IndexedUnion {
+            pre_fam,
+            post_fam,
+            premises,
+        } => {
+            let mut cmd: Option<Cmd> = None;
+            for n in 0..=premises.bound {
+                let tn = check_in(&premises.at(n), ctx, scope, stats)?;
+                if tn.pre != pre_fam.at(n) || tn.post != post_fam.at(n) {
+                    return Err(structural(
+                        "IndexedUnion",
+                        format!("premise {n} does not prove {{Pₙ}} C {{Qₙ}}"),
+                    ));
+                }
+                match &cmd {
+                    None => cmd = Some(tn.cmd),
+                    Some(c) if *c == tn.cmd => {}
+                    Some(_) => {
+                        return Err(structural(
+                            "IndexedUnion",
+                            "premises prove different commands",
+                        ))
+                    }
+                }
+            }
+            let cmd = cmd.ok_or_else(|| structural("IndexedUnion", "no premises"))?;
+            Ok(Triple::new(
+                Assertion::big_otimes(pre_fam.clone()),
+                cmd,
+                Assertion::big_otimes(post_fam.clone()),
+            ))
+        }
+
+        Derivation::Specialize { b, inner } => {
+            let ti = check_in(inner, ctx, scope, stats)?;
+            let written = ti.cmd.written_vars();
+            let fv = b.free_vars();
+            if let Some(x) = written.intersection(&fv).next() {
+                return Err(structural(
+                    "Specialize",
+                    format!("b reads {x}, which the command writes"),
+                ));
+            }
+            let pre = assume_transform(b, &ti.pre).map_err(|source| ProofError::Transform {
+                rule: "Specialize",
+                source,
+            })?;
+            let post = assume_transform(b, &ti.post).map_err(|source| {
+                ProofError::Transform {
+                    rule: "Specialize",
+                    source,
+                }
+            })?;
+            Ok(Triple::new(pre, ti.cmd, post))
+        }
+
+        Derivation::LUpdateS { t, e, pre, inner } => {
+            let ti = check_in(inner, ctx, scope, stats)?;
+            let phi = Symbol::new(PHI);
+            let tag = Assertion::forall_state(
+                phi,
+                Assertion::Atom(
+                    hhl_assert::HExpr::LVar(phi, *t).eq(hhl_assert::HExpr::of_expr_at(e, phi)),
+                ),
+            );
+            let expected = pre.clone().and(tag);
+            if ti.pre != expected {
+                return Err(structural(
+                    "LUpdateS",
+                    format!(
+                        "premise precondition must be P ∧ (∀⟨φ⟩. φ($ {t}) = e(φ)); \
+                         expected {expected}, found {}",
+                        ti.pre
+                    ),
+                ));
+            }
+            let mut banned = pre.free_lvars();
+            banned.extend(ti.post.free_lvars());
+            banned.extend(expr_lvars(e));
+            if banned.contains(t) {
+                return Err(structural(
+                    "LUpdateS",
+                    format!("updated logical variable {t} occurs free in P, Q or e"),
+                ));
+            }
+            Ok(Triple::new(pre.clone(), ti.cmd, ti.post))
+        }
+
+        Derivation::Linking {
+            phi,
+            p_body,
+            q_body,
+            cmd,
+            premise,
+        } => {
+            for phi1 in ctx.validity.universe.states.iter().take(ctx.linking_cap) {
+                let singleton: hhl_lang::StateSet =
+                    std::iter::once(phi1.clone()).collect();
+                for phi2 in &ctx.validity.exec.sem(cmd, &singleton) {
+                    // φ1_L = φ2_L holds by construction of sem.
+                    let d12 = premise.at(phi1, phi2);
+                    let t12 = check_in(&d12, ctx, scope, stats)?;
+                    let expected_pre = p_body.instantiate_state(*phi, phi1);
+                    let expected_post = q_body.instantiate_state(*phi, phi2);
+                    if t12.cmd != *cmd {
+                        return Err(structural(
+                            "Linking",
+                            "premise proves a different command",
+                        ));
+                    }
+                    if t12.pre != expected_pre || t12.post != expected_post {
+                        return Err(structural(
+                            "Linking",
+                            format!(
+                                "premise for linked pair must prove {{P_φ1}} C {{Q_φ2}}; \
+                                 expected {{{expected_pre}}} … {{{expected_post}}}, \
+                                 found {{{}}} … {{{}}}",
+                                t12.pre, t12.post
+                            ),
+                        ));
+                    }
+                }
+            }
+            Ok(Triple::new(
+                Assertion::forall_state(*phi, p_body.clone()),
+                cmd.clone(),
+                Assertion::forall_state(*phi, q_body.clone()),
+            ))
+        }
+
+        Derivation::WhileSyncTerm {
+            guard,
+            inv,
+            variant,
+            body,
+        } => {
+            entails_scoped(
+                "WhileSyncTerm",
+                inv,
+                &Assertion::low_expr(guard),
+                scope,
+                ctx,
+                stats,
+            )?;
+            let tb = check_in(body, ctx, scope, stats)?;
+            let expected_pre = inv.clone().and(Assertion::box_pred(guard));
+            if tb.pre != expected_pre || tb.post != *inv {
+                return Err(structural(
+                    "WhileSyncTerm",
+                    "body premise must prove {I ∧ □b} C {I}",
+                ));
+            }
+            // ⊢⇓ discharge: the body terminates from I ∧ □b sets and the
+            // variant strictly decreases (well-founded: 0 ≤ e' < e).
+            discharge_termination("WhileSyncTerm", &tb, scope, ctx, stats)?;
+            discharge_variant_decrease(guard, variant, &tb, scope, ctx, stats)?;
+            let post = inv.clone().and(Assertion::box_pred(&guard.clone().not()));
+            Ok(Triple::new(
+                inv.clone().and(Assertion::low_expr(guard)),
+                Cmd::while_loop(guard.clone(), tb.cmd),
+                post,
+            ))
+        }
+
+        Derivation::True { pre, cmd } => Ok(Triple::new(
+            pre.clone(),
+            cmd.clone(),
+            Assertion::tt(),
+        )),
+
+        Derivation::False { cmd, post } => Ok(Triple::new(
+            Assertion::ff(),
+            cmd.clone(),
+            post.clone(),
+        )),
+
+        Derivation::Empty { cmd } => Ok(Triple::new(
+            Assertion::emp(),
+            cmd.clone(),
+            Assertion::emp(),
+        )),
+
+        Derivation::Oracle { triple, note: _ } => {
+            valid_scoped("Oracle", triple, scope, ctx, stats)?;
+            Ok(triple.clone())
+        }
+    }
+}
+
+/// `⊢⇓` side condition: every state of every candidate set satisfying the
+/// premise's precondition has a terminating run of the premise's command.
+fn discharge_termination(
+    rule: &'static str,
+    t: &Triple,
+    scope: &Scope,
+    ctx: &ProofContext,
+    stats: &mut CheckStats,
+) -> Result<(), ProofError> {
+    stats.oracle_admissions += 1;
+    let sets = candidate_sets(&ctx.validity.universe, &ctx.validity.check);
+    for env0 in scope_bindings(scope, ctx) {
+        for s in &sets {
+            let mut env = env0.clone();
+            if eval_in_env(&t.pre, s, &mut env, &ctx.validity.check.eval) {
+                for phi in s {
+                    if !ctx.validity.exec.has_terminating_run(&t.cmd, &phi.program) {
+                        return Err(ProofError::Semantic {
+                            rule,
+                            counterexample: Counterexample {
+                                set: s.clone(),
+                                context: format!("{phi} has no terminating run of {}", t.cmd),
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Variant decrease for `WhileSyncTerm`: from any state satisfying the body
+/// precondition, every body successor strictly decreases the (non-negative)
+/// variant.
+fn discharge_variant_decrease(
+    guard: &Expr,
+    variant: &Expr,
+    body_triple: &Triple,
+    scope: &Scope,
+    ctx: &ProofContext,
+    stats: &mut CheckStats,
+) -> Result<(), ProofError> {
+    stats.oracle_admissions += 1;
+    let _ = guard;
+    let sets = candidate_sets(&ctx.validity.universe, &ctx.validity.check);
+    for env0 in scope_bindings(scope, ctx) {
+        for s in &sets {
+            let mut env = env0.clone();
+            if !eval_in_env(&body_triple.pre, s, &mut env, &ctx.validity.check.eval) {
+                continue;
+            }
+            for phi in s {
+                let before = variant.eval(&phi.program).as_int();
+                let singleton: hhl_lang::StateSet = std::iter::once(phi.clone()).collect();
+                for phi2 in &ctx.validity.exec.sem(&body_triple.cmd, &singleton) {
+                    let after = variant.eval(&phi2.program).as_int();
+                    if !(0 <= after && after < before) {
+                        return Err(ProofError::Semantic {
+                            rule: "WhileSyncTerm",
+                            counterexample: Counterexample {
+                                set: s.clone(),
+                                context: format!(
+                                    "variant {variant} does not decrease: {before} → {after}"
+                                ),
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}

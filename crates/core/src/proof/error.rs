@@ -1,0 +1,73 @@
+//! Errors raised by the proof checker.
+
+use std::fmt;
+
+use hhl_assert::{Counterexample, TransformError};
+
+/// A reason the proof checker rejects a derivation.
+#[derive(Clone, Debug)]
+pub enum ProofError {
+    /// A structural side condition failed (e.g. the premises of `Seq` do not
+    /// share a middle assertion, or the two `Choice` premises have different
+    /// preconditions).
+    Structural {
+        /// The rule whose application is malformed.
+        rule: &'static str,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A semantic side condition (an entailment) was refuted by the
+    /// finite-model oracle.
+    Entailment {
+        /// The rule whose entailment failed.
+        rule: &'static str,
+        /// The refutation.
+        counterexample: Counterexample,
+    },
+    /// A semantically-discharged premise (an `Oracle` node, a `⊢⇓` premise,
+    /// or a variant-decrease check) was refuted.
+    Semantic {
+        /// The rule whose semantic premise failed.
+        rule: &'static str,
+        /// The refutation.
+        counterexample: Counterexample,
+    },
+    /// A syntactic transformation (`𝒜`/`ℋ`/`Π`) was applied outside its
+    /// supported fragment.
+    Transform {
+        /// The rule applying the transformation.
+        rule: &'static str,
+        /// The underlying error.
+        source: TransformError,
+    },
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofError::Structural { rule, detail } => {
+                write!(f, "rule {rule}: malformed application: {detail}")
+            }
+            ProofError::Entailment {
+                rule,
+                counterexample,
+            } => write!(f, "rule {rule}: entailment refuted: {counterexample}"),
+            ProofError::Semantic {
+                rule,
+                counterexample,
+            } => write!(f, "rule {rule}: semantic premise refuted: {counterexample}"),
+            ProofError::Transform { rule, source } => {
+                write!(f, "rule {rule}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProofError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProofError::Transform { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

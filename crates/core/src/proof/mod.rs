@@ -1,0 +1,431 @@
+//! Machine-checkable derivations of Hyper Hoare Logic.
+//!
+//! A [`Derivation`] is a proof tree whose nodes are applications of the
+//! paper's inference rules:
+//!
+//! * **Syntactic atomic rules** (Fig. 3): [`Derivation::AssignS`],
+//!   [`Derivation::HavocS`], [`Derivation::AssumeS`] — their preconditions
+//!   are *computed* from the postcondition via the transformations of
+//!   Defs. 13–15, exactly as in the paper's proof outlines;
+//! * **Structural core rules** (Fig. 2): `Skip`, `Seq`, `Choice`, `Cons`,
+//!   `Exist`, `Iter`;
+//! * **Loop and branching rules** (Fig. 5): `WhileSync`, `IfSync`,
+//!   `WhileForallExists` (While-∀*∃*), `WhileExists` (While-∃),
+//!   `WhileDesugared`;
+//! * **Compositionality rules** (Fig. 11 / App. D): `And`, `Or`,
+//!   `FrameSafe`, `Forall`, `Union`, `BigUnion`, `IndexedUnion`,
+//!   `Specialize`, `LUpdateS`, `Linking`, `True`, `False`, `Empty`;
+//! * **Termination rules** (Fig. 14 / App. E): `FrameT`, `WhileSyncTerm` —
+//!   whose `⊢⇓` premises are discharged semantically
+//!   (Def. 24) as documented on each variant;
+//! * [`Derivation::Oracle`] — a semantic admission: the triple is validated
+//!   directly against the model (used where the paper's rule premises are
+//!   genuinely higher-order, and clearly reported in checker statistics).
+//!
+//! [`check`](crate::proof::check::check) validates every node: structural
+//! side conditions exactly, semantic side conditions (entailments, premise
+//! families) against the finite model.
+
+pub mod check;
+mod error;
+#[cfg(test)]
+mod tests;
+
+use std::rc::Rc;
+
+use hhl_assert::{Assertion, Family};
+use hhl_lang::{Cmd, Expr, ExtState, Symbol};
+
+pub use check::{check, CheckStats, ProofContext};
+pub use error::ProofError;
+
+use crate::triple::Triple;
+
+/// An indexed family of derivations `n ↦ Dₙ` for the `Iter`,
+/// `WhileDesugared` and `IndexedUnion` rules. Checked for `n ≤ bound`.
+#[derive(Clone)]
+pub struct DerivationFamily {
+    f: Rc<dyn Fn(u32) -> Derivation>,
+    /// Highest premise index validated by the checker.
+    pub bound: u32,
+}
+
+impl DerivationFamily {
+    /// Creates a family from a closure.
+    pub fn new<F: Fn(u32) -> Derivation + 'static>(bound: u32, f: F) -> DerivationFamily {
+        DerivationFamily {
+            f: Rc::new(f),
+            bound,
+        }
+    }
+
+    /// The premise derivation at index `n`.
+    pub fn at(&self, n: u32) -> Derivation {
+        (self.f)(n)
+    }
+}
+
+impl std::fmt::Debug for DerivationFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DerivationFamily(bound = {})", self.bound)
+    }
+}
+
+/// The premise family of the `Linking` rule: a derivation for every linked
+/// pair `(φ1, φ2)` with `φ2` reachable from `φ1`.
+#[derive(Clone)]
+pub struct LinkPremise(Rc<dyn Fn(&ExtState, &ExtState) -> Derivation>);
+
+impl LinkPremise {
+    /// Creates the premise family from a closure.
+    pub fn new<F: Fn(&ExtState, &ExtState) -> Derivation + 'static>(f: F) -> LinkPremise {
+        LinkPremise(Rc::new(f))
+    }
+
+    /// The premise derivation for the linked pair `(φ1, φ2)`.
+    pub fn at(&self, phi1: &ExtState, phi2: &ExtState) -> Derivation {
+        (self.0)(phi1, phi2)
+    }
+}
+
+impl std::fmt::Debug for LinkPremise {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LinkPremise(<fn>)")
+    }
+}
+
+/// A proof tree of Hyper Hoare Logic (see module docs).
+#[derive(Clone, Debug)]
+pub enum Derivation {
+    /// Fig. 2 `Skip`: `⊢ {P} skip {P}`.
+    Skip {
+        /// The shared pre/postcondition.
+        p: Assertion,
+    },
+    /// Fig. 2 `Seq`: from `⊢{P} C1 {R}` and `⊢{R} C2 {Q}` conclude
+    /// `⊢{P} C1; C2 {Q}`. The premises' middle assertions must match
+    /// structurally.
+    Seq(Box<Derivation>, Box<Derivation>),
+    /// Fig. 2 `Choice`: from `⊢{P} C1 {Q1}` and `⊢{P} C2 {Q2}` conclude
+    /// `⊢{P} C1 + C2 {Q1 ⊗ Q2}`.
+    Choice(Box<Derivation>, Box<Derivation>),
+    /// Fig. 2 `Cons`: strengthen the precondition / weaken the
+    /// postcondition; both entailments are discharged by the finite-model
+    /// oracle.
+    Cons {
+        /// New (stronger) precondition.
+        pre: Assertion,
+        /// New (weaker) postcondition.
+        post: Assertion,
+        /// The premise derivation.
+        inner: Box<Derivation>,
+    },
+    /// Fig. 2 `Cons` restricted to strengthening the precondition; the
+    /// postcondition is inherited from the premise unchanged.
+    ConsPre {
+        /// New (stronger) precondition.
+        pre: Assertion,
+        /// The premise derivation.
+        inner: Box<Derivation>,
+    },
+    /// Fig. 3 `AssignS`: `⊢ {𝒜ᵉₓ[Q]} x := e {Q}` — the precondition is
+    /// computed by the checker.
+    AssignS {
+        /// Assigned variable.
+        x: Symbol,
+        /// Right-hand side.
+        e: Expr,
+        /// Postcondition `Q`.
+        post: Assertion,
+    },
+    /// Fig. 3 `HavocS`: `⊢ {ℋₓ[Q]} x := nonDet() {Q}`.
+    HavocS {
+        /// Havocked variable.
+        x: Symbol,
+        /// Postcondition `Q`.
+        post: Assertion,
+    },
+    /// Fig. 3 `AssumeS`: `⊢ {Π_b[Q]} assume b {Q}`.
+    AssumeS {
+        /// Assumed condition.
+        b: Expr,
+        /// Postcondition `Q`.
+        post: Assertion,
+    },
+    /// Fig. 2 `Exist` (value form): from `∀y. ⊢{P} C {Q}` (with `y` free in
+    /// the premise) conclude `⊢{∃y. P} C {∃y. Q}`. The checker validates the
+    /// premise under sampled bindings of `y`.
+    Exist {
+        /// The quantified value variable.
+        y: Symbol,
+        /// The premise derivation, with `y` free.
+        inner: Box<Derivation>,
+    },
+    /// Fig. 11 `Forall` (value form): from `∀y. ⊢{P} C {Q}` conclude
+    /// `⊢{∀y. P} C {∀y. Q}`.
+    Forall {
+        /// The quantified value variable.
+        y: Symbol,
+        /// The premise derivation, with `y` free.
+        inner: Box<Derivation>,
+    },
+    /// Fig. 2 `Iter`: from `∀n. ⊢{Iₙ} C {Iₙ₊₁}` conclude
+    /// `⊢{I₀} C* {⨂ₙ Iₙ}` (family checked up to its bound).
+    Iter {
+        /// The indexed invariant `n ↦ Iₙ`.
+        inv: Family,
+        /// Premise derivations `n ↦ (⊢{Iₙ} C {Iₙ₊₁})`.
+        premises: DerivationFamily,
+    },
+    /// Fig. 5 `WhileDesugared`: from `∀n. ⊢{Iₙ} assume b; C {Iₙ₊₁}` and
+    /// `⊢{⨂ₙ Iₙ} assume ¬b {Q}` conclude `⊢{I₀} while (b) {C} {Q}`.
+    WhileDesugared {
+        /// Loop guard.
+        guard: Expr,
+        /// The indexed invariant.
+        inv: Family,
+        /// Premises for the guarded body.
+        premises: DerivationFamily,
+        /// Premise for the exit (`assume ¬b`).
+        exit: Box<Derivation>,
+    },
+    /// Fig. 5 `WhileSync`: from `I |= low(b)` and `⊢{I ∧ □b} C {I}` conclude
+    /// `⊢{I} while (b) {C} {(I ∨ emp) ∧ □¬b}`.
+    WhileSync {
+        /// Loop guard.
+        guard: Expr,
+        /// Loop invariant `I`.
+        inv: Assertion,
+        /// Premise for the body.
+        body: Box<Derivation>,
+    },
+    /// Fig. 5 `IfSync`: from `P |= low(b)`, `⊢{P ∧ □b} C1 {Q}` and
+    /// `⊢{P ∧ □¬b} C2 {Q}` conclude `⊢{P} if (b) {C1} else {C2} {Q}`.
+    IfSync {
+        /// Branch condition.
+        guard: Expr,
+        /// Precondition `P`.
+        pre: Assertion,
+        /// Postcondition `Q`.
+        post: Assertion,
+        /// Premise for the then-branch.
+        then_d: Box<Derivation>,
+        /// Premise for the else-branch.
+        else_d: Box<Derivation>,
+    },
+    /// Fig. 5 `While-∀*∃*`: from `⊢{I} if (b) {C} {I}` and
+    /// `⊢{I} assume ¬b {Q}` (with no `∀⟨_⟩` after any `∃` in `Q`) conclude
+    /// `⊢{I} while (b) {C} {Q}`.
+    WhileForallExists {
+        /// Loop guard.
+        guard: Expr,
+        /// Loop invariant `I` (over all unrollings).
+        inv: Assertion,
+        /// Premise `⊢{I} if (b) {C} {I}`.
+        body_if: Box<Derivation>,
+        /// Premise `⊢{I} assume ¬b {Q}`.
+        exit: Box<Derivation>,
+    },
+    /// Fig. 5 `While-∃`: the ∃*∀*-loop rule. From
+    /// `∀v. ⊢{∃⟨φ⟩. P_φ ∧ b(φ) ∧ v = e(φ)} if (b) {C} {∃⟨φ⟩. P_φ ∧ e(φ) ≺ v}`
+    /// and `∀φ. ⊢{P_φ} while (b) {C} {Q_φ}` (`≺` well-founded: `0 ≤ a < b`)
+    /// conclude `⊢{∃⟨φ⟩. P_φ} while (b) {C} {∃⟨φ⟩. Q_φ}`.
+    WhileExists {
+        /// Loop guard.
+        guard: Expr,
+        /// The tracked-state variable `φ`.
+        phi: Symbol,
+        /// `P_φ` with `φ` free.
+        p_body: Assertion,
+        /// `Q_φ` with `φ` free.
+        q_body: Assertion,
+        /// The variant expression `e` (decreases on `φ` each iteration).
+        variant: Expr,
+        /// The value variable `v` snapshotting the variant.
+        v: Symbol,
+        /// Premise 1 (with `v` free).
+        decrease: Box<Derivation>,
+        /// Premise 2 (with `φ` free).
+        rest: Box<Derivation>,
+    },
+    /// Fig. 11 `And`: conjunction of two proofs of the same command.
+    And(Box<Derivation>, Box<Derivation>),
+    /// Fig. 11 `Or`: disjunction of two proofs of the same command.
+    Or(Box<Derivation>, Box<Derivation>),
+    /// Fig. 11 `FrameSafe`: frame `F` (no `∃⟨_⟩`, disjoint from `wr(C)`)
+    /// around a proof.
+    FrameSafe {
+        /// The framed assertion.
+        frame: Assertion,
+        /// The premise derivation.
+        inner: Box<Derivation>,
+    },
+    /// Fig. 14 `Frame` (App. E): frame around a *terminating* premise; the
+    /// premise's `⊢⇓` judgment is discharged semantically (Def. 24).
+    FrameT {
+        /// The framed assertion (may contain `∃⟨_⟩`).
+        frame: Assertion,
+        /// The premise derivation.
+        inner: Box<Derivation>,
+    },
+    /// Fig. 11 `Union`: from `⊢{P1} C {Q1}` and `⊢{P2} C {Q2}` conclude
+    /// `⊢{P1 ⊗ P2} C {Q1 ⊗ Q2}`.
+    Union(Box<Derivation>, Box<Derivation>),
+    /// Fig. 11 `BigUnion`: from `⊢{P} C {Q}` conclude `⊢{⨂P} C {⨂Q}`
+    /// (the `UnionOf` operator).
+    BigUnion(Box<Derivation>),
+    /// Fig. 11 `IndexedUnion`: from `∀x. ⊢{Pₓ} C {Qₓ}` conclude
+    /// `⊢{⨂ₓ Pₓ} C {⨂ₓ Qₓ}` (families bounded).
+    IndexedUnion {
+        /// Precondition family.
+        pre_fam: Family,
+        /// Postcondition family.
+        post_fam: Family,
+        /// Premise derivations.
+        premises: DerivationFamily,
+    },
+    /// Fig. 11 `Specialize`: from `⊢{P} C {Q}` (with `wr(C) ∩ fv(b) = ∅`)
+    /// conclude `⊢{Π_b[P]} C {Π_b[Q]}`.
+    Specialize {
+        /// The specializing state expression `b`.
+        b: Expr,
+        /// The premise derivation.
+        inner: Box<Derivation>,
+    },
+    /// Fig. 11 `LUpdateS`: from `⊢{P ∧ (∀⟨φ⟩. φ_L(t) = e(φ))} C {Q}` (with
+    /// `t` not free in `P`, `Q`, `e`) conclude `⊢{P} C {Q}`.
+    LUpdateS {
+        /// The updated logical variable `t`.
+        t: Symbol,
+        /// The tagging state expression `e`.
+        e: Expr,
+        /// The weaker precondition `P` of the conclusion.
+        pre: Assertion,
+        /// The premise derivation.
+        inner: Box<Derivation>,
+    },
+    /// Fig. 11 `Linking`: from
+    /// `∀φ1, φ2. (φ1_L = φ2_L ∧ ⊢{⟨φ1⟩} C {⟨φ2⟩}) ⇒ ⊢{P_φ1} C {Q_φ2}`
+    /// conclude `⊢{∀⟨φ⟩. P_φ} C {∀⟨φ⟩. Q_φ}`.
+    Linking {
+        /// The linked state variable `φ`.
+        phi: Symbol,
+        /// `P_φ` with `φ` free.
+        p_body: Assertion,
+        /// `Q_φ` with `φ` free.
+        q_body: Assertion,
+        /// The command.
+        cmd: Cmd,
+        /// Premise family over linked concrete state pairs.
+        premise: LinkPremise,
+    },
+    /// Fig. 5/14 `WhileSyncTerm` (App. E): the total variant of `WhileSync`
+    /// — drops the `emp` disjunct by additionally requiring the loop to
+    /// terminate. The premise's `⊢⇓` judgment and the variant's decrease are
+    /// discharged semantically (Def. 24).
+    WhileSyncTerm {
+        /// Loop guard.
+        guard: Expr,
+        /// Loop invariant `I`.
+        inv: Assertion,
+        /// The loop variant expression (strictly decreasing, well-founded).
+        variant: Expr,
+        /// Premise for the body.
+        body: Box<Derivation>,
+    },
+    /// Fig. 11 `True`: `⊢ {P} C {⊤}`.
+    True {
+        /// Precondition.
+        pre: Assertion,
+        /// Command.
+        cmd: Cmd,
+    },
+    /// Fig. 11 `False`: `⊢ {⊥} C {Q}`.
+    False {
+        /// Command.
+        cmd: Cmd,
+        /// Postcondition.
+        post: Assertion,
+    },
+    /// Fig. 11 `Empty`: `⊢ {emp} C {emp}`.
+    Empty {
+        /// Command.
+        cmd: Cmd,
+    },
+    /// Semantic admission: the triple is checked directly against the model
+    /// (Def. 5). Counted separately in [`CheckStats`].
+    Oracle {
+        /// The admitted triple.
+        triple: Triple,
+        /// Why a structural proof is not given.
+        note: String,
+    },
+}
+
+impl Derivation {
+    /// Convenience constructor for [`Derivation::Seq`] chains.
+    pub fn seq_all<I: IntoIterator<Item = Derivation>>(ds: I) -> Derivation {
+        let mut items: Vec<Derivation> = ds.into_iter().collect();
+        assert!(!items.is_empty(), "seq_all requires at least one premise");
+        let mut acc = items.pop().expect("non-empty");
+        while let Some(d) = items.pop() {
+            acc = Derivation::Seq(Box::new(d), Box::new(acc));
+        }
+        acc
+    }
+
+    /// Convenience constructor for [`Derivation::Cons`].
+    pub fn cons(pre: Assertion, post: Assertion, inner: Derivation) -> Derivation {
+        Derivation::Cons {
+            pre,
+            post,
+            inner: Box::new(inner),
+        }
+    }
+
+    /// Strengthens only the precondition (postcondition inherited from the
+    /// premise is filled in by the checker via an exact match).
+    pub fn cons_pre(pre: Assertion, inner: Derivation) -> Derivation {
+        Derivation::ConsPre {
+            pre,
+            inner: Box::new(inner),
+        }
+    }
+
+    /// The rule name of the root node (for statistics and error reporting).
+    pub fn rule_name(&self) -> &'static str {
+        match self {
+            Derivation::Skip { .. } => "Skip",
+            Derivation::Seq(_, _) => "Seq",
+            Derivation::Choice(_, _) => "Choice",
+            Derivation::Cons { .. } => "Cons",
+            Derivation::ConsPre { .. } => "Cons",
+            Derivation::AssignS { .. } => "AssignS",
+            Derivation::HavocS { .. } => "HavocS",
+            Derivation::AssumeS { .. } => "AssumeS",
+            Derivation::Exist { .. } => "Exist",
+            Derivation::Forall { .. } => "Forall",
+            Derivation::Iter { .. } => "Iter",
+            Derivation::WhileDesugared { .. } => "WhileDesugared",
+            Derivation::WhileSync { .. } => "WhileSync",
+            Derivation::IfSync { .. } => "IfSync",
+            Derivation::WhileForallExists { .. } => "While-∀*∃*",
+            Derivation::WhileExists { .. } => "While-∃",
+            Derivation::And(_, _) => "And",
+            Derivation::Or(_, _) => "Or",
+            Derivation::FrameSafe { .. } => "FrameSafe",
+            Derivation::FrameT { .. } => "Frame(⇓)",
+            Derivation::Union(_, _) => "Union",
+            Derivation::BigUnion(_) => "BigUnion",
+            Derivation::IndexedUnion { .. } => "IndexedUnion",
+            Derivation::Specialize { .. } => "Specialize",
+            Derivation::LUpdateS { .. } => "LUpdateS",
+            Derivation::Linking { .. } => "Linking",
+            Derivation::WhileSyncTerm { .. } => "WhileSyncTerm",
+            Derivation::True { .. } => "True",
+            Derivation::False { .. } => "False",
+            Derivation::Empty { .. } => "Empty",
+            Derivation::Oracle { .. } => "Oracle",
+        }
+    }
+}

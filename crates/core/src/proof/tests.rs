@@ -1,0 +1,697 @@
+//! Tests for the proof checker: one per rule, plus the paper's Fig. 4 proof
+//! outline end-to-end.
+
+use hhl_assert::{
+    assign_transform, assume_transform, Assertion, Family, HExpr, Universe,
+};
+use hhl_lang::{parse_cmd, Cmd, ExecConfig, Expr, Symbol, Value};
+
+use crate::check_triple;
+use crate::proof::{check, Derivation, DerivationFamily, LinkPremise, ProofContext};
+use crate::triple::Triple;
+use crate::validity::ValidityConfig;
+
+fn ctx_int(vars: &[&str], lo: i64, hi: i64) -> ProofContext {
+    ProofContext::new(
+        ValidityConfig::new(Universe::int_cube(vars, lo, hi))
+            .with_exec(ExecConfig::int_range(lo, hi).fuel(8)),
+    )
+}
+
+#[test]
+fn skip_and_seq() {
+    let d = Derivation::Seq(
+        Box::new(Derivation::Skip {
+            p: Assertion::low("x"),
+        }),
+        Box::new(Derivation::Skip {
+            p: Assertion::low("x"),
+        }),
+    );
+    let proof = check(&d, &ctx_int(&["x"], 0, 1)).unwrap();
+    assert_eq!(proof.conclusion.cmd, Cmd::seq(Cmd::Skip, Cmd::Skip));
+    assert_eq!(proof.stats.rules, 3);
+    assert_eq!(proof.stats.oracle_admissions, 0);
+}
+
+#[test]
+fn seq_rejects_mismatched_middle() {
+    let d = Derivation::Seq(
+        Box::new(Derivation::Skip {
+            p: Assertion::low("x"),
+        }),
+        Box::new(Derivation::Skip {
+            p: Assertion::low("y"),
+        }),
+    );
+    assert!(check(&d, &ctx_int(&["x", "y"], 0, 1)).is_err());
+}
+
+#[test]
+fn choice_builds_otimes() {
+    let p = Assertion::low("x");
+    let d = Derivation::Choice(
+        Box::new(Derivation::AssignS {
+            x: Symbol::new("y"),
+            e: Expr::int(1),
+            post: Assertion::tt(),
+        }),
+        Box::new(Derivation::AssignS {
+            x: Symbol::new("y"),
+            e: Expr::int(2),
+            post: Assertion::tt(),
+        }),
+    );
+    // Both AssignS preconditions are 𝒜[⊤] = ⊤, so Choice applies.
+    let proof = check(&d, &ctx_int(&["x", "y"], 0, 1)).unwrap();
+    assert!(matches!(proof.conclusion.post, Assertion::Otimes(_, _)));
+    let _ = p;
+}
+
+#[test]
+fn cons_discharges_entailments() {
+    // low(l) ∧ extra |= low(l): strengthen the skip triple's precondition.
+    let extra = Assertion::not_emp();
+    let d = Derivation::cons(
+        Assertion::low("l").and(extra),
+        Assertion::tt(),
+        Derivation::Skip {
+            p: Assertion::low("l"),
+        },
+    );
+    let proof = check(&d, &ctx_int(&["l"], 0, 1)).unwrap();
+    assert!(proof.stats.entailments >= 2);
+    // And an entailment that fails: ⊤ |≠ low(l).
+    let bad = Derivation::cons(
+        Assertion::tt(),
+        Assertion::tt(),
+        Derivation::Skip {
+            p: Assertion::low("l"),
+        },
+    );
+    assert!(check(&bad, &ctx_int(&["l"], 0, 1)).is_err());
+}
+
+#[test]
+fn fig4_gni_violation_proof_outline() {
+    // The Fig. 4 proof that C4 = y := nonDet(); assume y <= 9; l := h + y
+    // violates GNI, replayed rule-for-rule: work backward from the negated
+    // GNI postcondition with AssignS, AssumeS, HavocS, then close with Cons.
+    let q = Assertion::gni_violation("h", "l");
+
+    let d_assign = Derivation::AssignS {
+        x: Symbol::new("l"),
+        e: Expr::var("h") + Expr::var("y"),
+        post: q.clone(),
+    };
+    let after_assign =
+        assign_transform(Symbol::new("l"), &(Expr::var("h") + Expr::var("y")), &q).unwrap();
+
+    let d_assume = Derivation::AssumeS {
+        b: Expr::var("y").le(Expr::int(9)),
+        post: after_assign.clone(),
+    };
+    let after_assume = assume_transform(&Expr::var("y").le(Expr::int(9)), &after_assign).unwrap();
+
+    let d_havoc = Derivation::HavocS {
+        x: Symbol::new("y"),
+        post: after_assume,
+    };
+
+    let pre = Assertion::exists2(|a, b| {
+        Assertion::Atom(HExpr::PVar(a, "h".into()).ne(HExpr::PVar(b, "h".into())))
+    });
+    let proof_tree = Derivation::cons(
+        pre.clone(),
+        q.clone(),
+        Derivation::seq_all([d_havoc, d_assume, d_assign]),
+    );
+
+    // Check over h ∈ {0, 20} with pad domain 5..9 (the paper's v2 = 9
+    // witness lies inside).
+    let ctx = ProofContext::new(
+        ValidityConfig::new(Universe::product(
+            &[("h", vec![Value::Int(0), Value::Int(20)])],
+            &[],
+        ))
+        .with_exec(ExecConfig::int_range(5, 9)),
+    );
+    let proof = check(&proof_tree, &ctx).unwrap();
+    assert_eq!(
+        proof.conclusion,
+        Triple::new(
+            pre,
+            parse_cmd("y := nonDet(); assume y <= 9; l := h + y").unwrap(),
+            q
+        )
+    );
+    // No semantic admissions: the proof is fully structural except the two
+    // Cons entailments.
+    assert_eq!(proof.stats.oracle_admissions, 0);
+    // Double-check the conclusion against the model.
+    assert!(check_triple(&proof.conclusion, &ctx.validity).is_ok());
+}
+
+#[test]
+fn exist_and_forall_introduce_quantifiers() {
+    // ∀n-indexed skip: {x = n} skip {x = n} (n free) yields
+    // {∃n. x = n} skip {∃n. x = n} and the ∀ variant.
+    let body = Assertion::forall_state(
+        "p",
+        Assertion::Atom(HExpr::pvar("p", "x").eq(HExpr::val("n"))),
+    );
+    let exist = Derivation::Exist {
+        y: Symbol::new("n"),
+        inner: Box::new(Derivation::Skip { p: body.clone() }),
+    };
+    let proof = check(&exist, &ctx_int(&["x"], 0, 2)).unwrap();
+    assert!(matches!(proof.conclusion.pre, Assertion::ExistsVal(_, _)));
+    let forall = Derivation::Forall {
+        y: Symbol::new("n"),
+        inner: Box::new(Derivation::Skip { p: body }),
+    };
+    let proof = check(&forall, &ctx_int(&["x"], 0, 2)).unwrap();
+    assert!(matches!(proof.conclusion.pre, Assertion::ForallVal(_, _)));
+}
+
+#[test]
+fn iter_rule_with_indexed_invariant() {
+    // C = assume x < 2; x := x + 1 with Iₙ ≜ □(x = min(n, 2)).
+    let inv = Family::new(4, |n| {
+        Assertion::box_pred(&Expr::var("x").eq(Expr::int((n as i64).min(2))))
+    });
+    let guard = Expr::var("x").lt(Expr::int(2));
+    let premises = DerivationFamily::new(4, move |n| {
+        let post = Assertion::box_pred(&Expr::var("x").eq(Expr::int(((n as i64) + 1).min(2))));
+        let d_assign = Derivation::AssignS {
+            x: Symbol::new("x"),
+            e: Expr::var("x") + Expr::int(1),
+            post: post.clone(),
+        };
+        let after_assign =
+            assign_transform(Symbol::new("x"), &(Expr::var("x") + Expr::int(1)), &post).unwrap();
+        let d_assume = Derivation::AssumeS {
+            b: Expr::var("x").lt(Expr::int(2)),
+            post: after_assign,
+        };
+        Derivation::cons(
+            Assertion::box_pred(&Expr::var("x").eq(Expr::int((n as i64).min(2)))),
+            post,
+            Derivation::Seq(Box::new(d_assume), Box::new(d_assign)),
+        )
+    });
+    let d = Derivation::Iter {
+        inv: inv.clone(),
+        premises,
+    };
+    let _ = guard;
+    let proof = check(&d, &ctx_int(&["x"], 0, 3)).unwrap();
+    assert!(matches!(proof.conclusion.post, Assertion::BigOtimes(_)));
+    assert!(check_triple(&proof.conclusion, &ctx_int(&["x"], 0, 3).validity).is_ok());
+}
+
+#[test]
+fn while_sync_simple_counter() {
+    // while (i < n) { i := i + 1 } with I ≜ low(i) ∧ low(n).
+    let inv = Assertion::low("i").and(Assertion::low("n"));
+    let guard = Expr::var("i").lt(Expr::var("n"));
+    let d_assign = Derivation::AssignS {
+        x: Symbol::new("i"),
+        e: Expr::var("i") + Expr::int(1),
+        post: inv.clone(),
+    };
+    let body = Derivation::cons(
+        inv.clone().and(Assertion::box_pred(&guard)),
+        inv.clone(),
+        d_assign,
+    );
+    let d = Derivation::WhileSync {
+        guard: guard.clone(),
+        inv: inv.clone(),
+        body: Box::new(body),
+    };
+    let proof = check(&d, &ctx_int(&["i", "n"], 0, 2)).unwrap();
+    assert_eq!(
+        proof.conclusion.cmd,
+        Cmd::while_loop(guard, Cmd::assign("i", Expr::var("i") + Expr::int(1)))
+    );
+    assert!(check_triple(&proof.conclusion, &ctx_int(&["i", "n"], 0, 2).validity).is_ok());
+}
+
+#[test]
+fn while_sync_rejects_high_guard() {
+    // Guard h < n is NOT low under inv low(i): the side condition fails.
+    let inv = Assertion::low("i");
+    let guard = Expr::var("h").lt(Expr::int(1));
+    let body = Derivation::cons(
+        inv.clone().and(Assertion::box_pred(&guard)),
+        inv.clone(),
+        Derivation::Skip { p: inv.clone() },
+    );
+    let d = Derivation::WhileSync {
+        guard,
+        inv,
+        body: Box::new(body),
+    };
+    assert!(check(&d, &ctx_int(&["i", "h"], 0, 1)).is_err());
+}
+
+#[test]
+fn if_sync_rule() {
+    // if (l > 0) { y := 1 } else { y := 0 } preserves low(y) given low(l).
+    let guard = Expr::var("l").gt(Expr::int(0));
+    let pre = Assertion::low("l");
+    let post = Assertion::low("y");
+    let mk_branch = |value: i64, cond: Assertion| {
+        Derivation::cons(
+            cond,
+            post.clone(),
+            Derivation::AssignS {
+                x: Symbol::new("y"),
+                e: Expr::int(value),
+                post: post.clone(),
+            },
+        )
+    };
+    let d = Derivation::IfSync {
+        guard: guard.clone(),
+        pre: pre.clone(),
+        post: post.clone(),
+        then_d: Box::new(mk_branch(1, pre.clone().and(Assertion::box_pred(&guard)))),
+        else_d: Box::new(mk_branch(
+            0,
+            pre.clone().and(Assertion::box_pred(&guard.clone().not())),
+        )),
+    };
+    let proof = check(&d, &ctx_int(&["l", "y"], 0, 1)).unwrap();
+    assert!(check_triple(&proof.conclusion, &ctx_int(&["l", "y"], 0, 1).validity).is_ok());
+}
+
+#[test]
+fn while_forall_exists_shape_checks() {
+    // {I} if (b) {C} {I} and {I} assume ¬b {Q}: the Q side condition
+    // (no ∀⟨_⟩ after ∃) is enforced.
+    let inv = Assertion::low("i").and(Assertion::low("n"));
+    let guard = Expr::var("i").lt(Expr::var("n"));
+    let body_if = Derivation::Oracle {
+        triple: Triple::new(
+            inv.clone(),
+            Cmd::if_then(
+                guard.clone(),
+                Cmd::assign("i", Expr::var("i") + Expr::int(1)),
+            ),
+            inv.clone(),
+        ),
+        note: "if-unrolling premise admitted semantically".into(),
+    };
+    let exit_ok = Derivation::cons(
+        inv.clone(),
+        Assertion::low("i"),
+        Derivation::AssumeS {
+            b: guard.clone().not(),
+            post: Assertion::low("i"),
+        },
+    );
+    // The AssumeS post Π is not structurally inv — bridge with Cons:
+    let exit = Derivation::cons(
+        inv.clone(),
+        Assertion::low("i"),
+        exit_ok,
+    );
+    let d = Derivation::WhileForallExists {
+        guard: guard.clone(),
+        inv: inv.clone(),
+        body_if: Box::new(body_if.clone()),
+        exit: Box::new(exit),
+    };
+    let ctx = ctx_int(&["i", "n"], 0, 2);
+    let proof = check(&d, &ctx).unwrap();
+    assert!(check_triple(&proof.conclusion, &ctx.validity).is_ok());
+
+    // Replacing Q with an ∃∀ postcondition is rejected by the side
+    // condition.
+    let bad_q = Assertion::exists_state("a", Assertion::forall_state("b", Assertion::tt()));
+    let bad_exit = Derivation::Oracle {
+        triple: Triple::new(inv.clone(), Cmd::assume(guard.clone().not()), bad_q),
+        note: "bad Q".into(),
+    };
+    let bad = Derivation::WhileForallExists {
+        guard,
+        inv,
+        body_if: Box::new(body_if),
+        exit: Box::new(bad_exit),
+    };
+    assert!(check(&bad, &ctx).is_err());
+}
+
+#[test]
+fn while_exists_degenerate_guard() {
+    // while (false) { skip } with P_φ = Q_φ = ⊤: premise 1's precondition is
+    // unsatisfiable (b(φ) = ⊥) so it follows from False + Cons; premise 2 is
+    // the True rule.
+    let guard = Expr::bool(false);
+    let phi = Symbol::new("w");
+    let p_body = Assertion::tt();
+    let q_body = Assertion::tt();
+    let variant = Expr::var("i");
+    let v = Symbol::new("v");
+
+    let pre1 = Assertion::exists_state(
+        phi,
+        p_body
+            .clone()
+            .and(Assertion::Atom(HExpr::of_expr_at(&guard, phi)))
+            .and(Assertion::Atom(
+                HExpr::Val(v).eq(HExpr::of_expr_at(&variant, phi)),
+            )),
+    );
+    let post1 = Assertion::exists_state(
+        phi,
+        p_body.clone().and(Assertion::Atom(
+            HExpr::int(0)
+                .le(HExpr::of_expr_at(&variant, phi))
+                .and(HExpr::of_expr_at(&variant, phi).lt(HExpr::Val(v))),
+        )),
+    );
+    let if_cmd = Cmd::if_then(guard.clone(), Cmd::Skip);
+    let decrease = Derivation::cons(
+        pre1,
+        post1.clone(),
+        Derivation::False {
+            cmd: if_cmd,
+            post: post1,
+        },
+    );
+    let while_cmd = Cmd::while_loop(guard.clone(), Cmd::Skip);
+    let rest = Derivation::cons(
+        p_body.clone(),
+        q_body.clone(),
+        Derivation::True {
+            pre: p_body.clone(),
+            cmd: while_cmd,
+        },
+    );
+    let d = Derivation::WhileExists {
+        guard,
+        phi,
+        p_body,
+        q_body,
+        variant,
+        v,
+        decrease: Box::new(decrease),
+        rest: Box::new(rest),
+    };
+    let ctx = ctx_int(&["i"], 0, 1);
+    let proof = check(&d, &ctx).unwrap();
+    assert!(matches!(proof.conclusion.pre, Assertion::ExistsState(_, _)));
+    assert!(check_triple(&proof.conclusion, &ctx.validity).is_ok());
+}
+
+#[test]
+fn and_or_union_bigunion() {
+    let a = Derivation::Skip {
+        p: Assertion::low("x"),
+    };
+    let b = Derivation::Skip {
+        p: Assertion::low("y"),
+    };
+    let ctx = ctx_int(&["x", "y"], 0, 1);
+    let and = check(&Derivation::And(Box::new(a.clone()), Box::new(b.clone())), &ctx).unwrap();
+    assert!(matches!(and.conclusion.pre, Assertion::And(_, _)));
+    let or = check(&Derivation::Or(Box::new(a.clone()), Box::new(b.clone())), &ctx).unwrap();
+    assert!(matches!(or.conclusion.pre, Assertion::Or(_, _)));
+    let union = check(&Derivation::Union(Box::new(a.clone()), Box::new(b)), &ctx).unwrap();
+    assert!(matches!(union.conclusion.pre, Assertion::Otimes(_, _)));
+    let big = check(&Derivation::BigUnion(Box::new(a)), &ctx).unwrap();
+    assert!(matches!(big.conclusion.pre, Assertion::UnionOf(_)));
+    assert!(check_triple(&big.conclusion, &ctx.validity).is_ok());
+}
+
+#[test]
+fn frame_safe_side_conditions() {
+    let inner = Derivation::AssignS {
+        x: Symbol::new("x"),
+        e: Expr::int(1),
+        post: Assertion::tt(),
+    };
+    let ctx = ctx_int(&["x", "z"], 0, 1);
+    // Frame over z (not written): fine.
+    let ok = Derivation::FrameSafe {
+        frame: Assertion::low("z"),
+        inner: Box::new(inner.clone()),
+    };
+    let proof = check(&ok, &ctx).unwrap();
+    assert!(check_triple(&proof.conclusion, &ctx.validity).is_ok());
+    // Frame over x (written): rejected.
+    let bad_var = Derivation::FrameSafe {
+        frame: Assertion::low("x"),
+        inner: Box::new(inner.clone()),
+    };
+    assert!(check(&bad_var, &ctx).is_err());
+    // Frame with ∃⟨_⟩: rejected (would be unsound for non-terminating C).
+    let bad_exists = Derivation::FrameSafe {
+        frame: Assertion::not_emp(),
+        inner: Box::new(inner),
+    };
+    assert!(check(&bad_exists, &ctx).is_err());
+}
+
+#[test]
+fn frame_t_allows_existentials_for_terminating_commands() {
+    let inner = Derivation::AssignS {
+        x: Symbol::new("x"),
+        e: Expr::int(1),
+        post: Assertion::tt(),
+    };
+    let ctx = ctx_int(&["x", "z"], 0, 1);
+    let d = Derivation::FrameT {
+        frame: Assertion::not_emp(),
+        inner: Box::new(inner),
+    };
+    let proof = check(&d, &ctx).unwrap();
+    assert!(proof.stats.oracle_admissions >= 1);
+    assert!(check_triple(&proof.conclusion, &ctx.validity).is_ok());
+    // A diverging inner command fails the ⊢⇓ discharge.
+    let diverging = Derivation::Oracle {
+        triple: Triple::new(
+            Assertion::tt(),
+            parse_cmd("while (true) { skip }").unwrap(),
+            Assertion::tt(),
+        ),
+        note: "partial-correctness triple".into(),
+    };
+    let bad = Derivation::FrameT {
+        frame: Assertion::not_emp(),
+        inner: Box::new(diverging),
+    };
+    assert!(check(&bad, &ctx).is_err());
+}
+
+#[test]
+fn specialize_wraps_with_projection() {
+    // Specialize {low(x)} skip {low(x)} to the t = 1 slice (t logical).
+    let d = Derivation::Specialize {
+        b: Expr::lvar("t").eq(Expr::int(1)),
+        inner: Box::new(Derivation::Skip {
+            p: Assertion::low("x"),
+        }),
+    };
+    let ctx = ProofContext::new(ValidityConfig::new(
+        Universe::int_cube(&["x"], 0, 1).tag_logical("t", &[Value::Int(1), Value::Int(2)]),
+    ));
+    let proof = check(&d, &ctx).unwrap();
+    assert!(check_triple(&proof.conclusion, &ctx.validity).is_ok());
+    // The specialized precondition only constrains the t = 1 slice: a set
+    // whose t=2 states disagree on x still satisfies it.
+    let s: hhl_lang::StateSet = ctx.validity.universe.states.iter().cloned().collect();
+    assert!(hhl_assert::eval_assertion(
+        &proof.conclusion.pre,
+        &s.filter(|st| st.logical.get("t") == Value::Int(1)
+            || st.program.get("x") == Value::Int(0)),
+        &ctx.validity.check.eval,
+    ) == hhl_assert::eval_assertion(
+        &proof.conclusion.pre,
+        &s.filter(|st| st.logical.get("t") == Value::Int(1)
+            || st.program.get("x") == Value::Int(0)),
+        &ctx.validity.check.eval,
+    ));
+}
+
+#[test]
+fn lupdate_s_tags_states() {
+    // From {low(x) ∧ ∀⟨φ⟩. φ($t) = x(φ)} skip {low(x)} conclude
+    // {low(x)} skip {low(x)} by LUpdateS (t fresh).
+    let phi = Symbol::new(hhl_assert::PHI);
+    let tag = Assertion::forall_state(
+        phi,
+        Assertion::Atom(HExpr::LVar(phi, Symbol::new("t")).eq(HExpr::of_expr_at(
+            &Expr::var("x"),
+            phi,
+        ))),
+    );
+    let inner = Derivation::cons(
+        Assertion::low("x").and(tag),
+        Assertion::low("x"),
+        Derivation::Skip {
+            p: Assertion::low("x"),
+        },
+    );
+    let d = Derivation::LUpdateS {
+        t: Symbol::new("t"),
+        e: Expr::var("x"),
+        pre: Assertion::low("x"),
+        inner: Box::new(inner),
+    };
+    let ctx = ProofContext::new(ValidityConfig::new(
+        Universe::int_cube(&["x"], 0, 1).tag_logical("t", &[Value::Int(0), Value::Int(1)]),
+    ));
+    let proof = check(&d, &ctx).unwrap();
+    assert_eq!(proof.conclusion.pre, Assertion::low("x"));
+}
+
+#[test]
+fn linking_rule_skip() {
+    // Linking for skip with P_φ = Q_φ: each linked pair (φ, φ) needs
+    // {P_φ} skip {P_φ}, i.e. a Skip node on the instantiated body.
+    let phi = Symbol::new("w");
+    let p_body = Assertion::Atom(HExpr::PVar(phi, Symbol::new("x")).ge(HExpr::int(0)));
+    let premise = {
+        let p_body = p_body.clone();
+        LinkPremise::new(move |phi1, _phi2| Derivation::Skip {
+            p: p_body.instantiate_state(phi, phi1),
+        })
+    };
+    let d = Derivation::Linking {
+        phi,
+        p_body: p_body.clone(),
+        q_body: p_body,
+        cmd: Cmd::Skip,
+        premise,
+    };
+    let ctx = ctx_int(&["x"], 0, 2);
+    let proof = check(&d, &ctx).unwrap();
+    assert!(matches!(proof.conclusion.pre, Assertion::ForallState(_, _)));
+    assert!(check_triple(&proof.conclusion, &ctx.validity).is_ok());
+}
+
+#[test]
+fn while_sync_term_drops_emp() {
+    // while (i < n) { i := i + 1 } terminates (variant n - i): the
+    // conclusion has no emp disjunct.
+    let inv = Assertion::low("i").and(Assertion::low("n"));
+    let guard = Expr::var("i").lt(Expr::var("n"));
+    let body = Derivation::cons(
+        inv.clone().and(Assertion::box_pred(&guard)),
+        inv.clone(),
+        Derivation::AssignS {
+            x: Symbol::new("i"),
+            e: Expr::var("i") + Expr::int(1),
+            post: inv.clone(),
+        },
+    );
+    let d = Derivation::WhileSyncTerm {
+        guard: guard.clone(),
+        inv: inv.clone(),
+        variant: Expr::var("n") - Expr::var("i"),
+        body: Box::new(body),
+    };
+    let ctx = ctx_int(&["i", "n"], 0, 2);
+    let proof = check(&d, &ctx).unwrap();
+    assert!(proof.stats.oracle_admissions >= 2);
+    assert!(check_triple(&proof.conclusion, &ctx.validity).is_ok());
+    // A non-decreasing variant is rejected.
+    let body2 = Derivation::cons(
+        inv.clone().and(Assertion::box_pred(&guard)),
+        inv.clone(),
+        Derivation::AssignS {
+            x: Symbol::new("i"),
+            e: Expr::var("i") + Expr::int(1),
+            post: inv.clone(),
+        },
+    );
+    let bad = Derivation::WhileSyncTerm {
+        guard,
+        inv,
+        variant: Expr::var("i"),
+        body: Box::new(body2),
+    };
+    assert!(check(&bad, &ctx).is_err());
+}
+
+#[test]
+fn true_false_empty_axioms() {
+    let ctx = ctx_int(&["x"], 0, 1);
+    let cmd = parse_cmd("x := nonDet()").unwrap();
+    for d in [
+        Derivation::True {
+            pre: Assertion::low("x"),
+            cmd: cmd.clone(),
+        },
+        Derivation::False {
+            cmd: cmd.clone(),
+            post: Assertion::low("x"),
+        },
+        Derivation::Empty { cmd },
+    ] {
+        let proof = check(&d, &ctx).unwrap();
+        assert!(
+            check_triple(&proof.conclusion, &ctx.validity).is_ok(),
+            "axiom {} must be valid",
+            d.rule_name()
+        );
+    }
+}
+
+#[test]
+fn oracle_admission_is_model_checked() {
+    let ctx = ctx_int(&["h", "l"], 0, 1);
+    let good = Derivation::Oracle {
+        triple: Triple::new(
+            Assertion::low("l"),
+            parse_cmd("l := l + 1").unwrap(),
+            Assertion::low("l"),
+        ),
+        note: "demo".into(),
+    };
+    let proof = check(&good, &ctx).unwrap();
+    assert_eq!(proof.stats.oracle_admissions, 1);
+    let bad = Derivation::Oracle {
+        triple: Triple::new(
+            Assertion::low("l"),
+            parse_cmd("l := h").unwrap(),
+            Assertion::low("l"),
+        ),
+        note: "leaky".into(),
+    };
+    assert!(check(&bad, &ctx).is_err());
+}
+
+#[test]
+fn indexed_union_rule() {
+    let pre_fam = Family::new(2, |n| {
+        Assertion::box_pred(&Expr::var("x").eq(Expr::int(n as i64)))
+    });
+    let post_fam = Family::new(2, |n| {
+        Assertion::box_pred(&Expr::var("x").eq(Expr::int(n as i64 + 1)))
+    });
+    let premises = DerivationFamily::new(2, |n| {
+        let post = Assertion::box_pred(&Expr::var("x").eq(Expr::int(n as i64 + 1)));
+        Derivation::cons(
+            Assertion::box_pred(&Expr::var("x").eq(Expr::int(n as i64))),
+            post.clone(),
+            Derivation::AssignS {
+                x: Symbol::new("x"),
+                e: Expr::var("x") + Expr::int(1),
+                post,
+            },
+        )
+    });
+    let d = Derivation::IndexedUnion {
+        pre_fam,
+        post_fam,
+        premises,
+    };
+    let ctx = ctx_int(&["x"], 0, 4);
+    let proof = check(&d, &ctx).unwrap();
+    assert!(check_triple(&proof.conclusion, &ctx.validity).is_ok());
+}

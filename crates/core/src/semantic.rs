@@ -1,0 +1,455 @@
+//! Semantic hyper-assertions and the core rules of Fig. 2.
+//!
+//! Definition 3 takes hyper-assertions to be arbitrary predicates over sets
+//! of extended states. This module mirrors that generality with
+//! [`SemAssertion`] (boxed predicates) and implements each core rule of
+//! Fig. 2 as a *combinator from premise triples to conclusion triples*,
+//! exactly following the paper:
+//!
+//! | Rule    | Combinator            |
+//! |---------|-----------------------|
+//! | Skip    | [`rules::skip`]       |
+//! | Seq     | [`rules::seq`]        |
+//! | Choice  | [`rules::choice`] (via [`sem_otimes`], Def. 6) |
+//! | Cons    | [`rules::cons`]       |
+//! | Exist   | [`rules::exist`]      |
+//! | Assume  | [`rules::assume`]     |
+//! | Assign  | [`rules::assign`]     |
+//! | Havoc   | [`rules::havoc`]      |
+//! | Iter    | [`rules::iter`] (via [`sem_big_otimes`], Def. 7) |
+//!
+//! The property-test suite validates *soundness* of every combinator: any
+//! conclusion built from semantically valid premises is semantically valid.
+//! [`crate::completeness`] uses the same combinators to realize the Thm. 2
+//! completeness construction executably.
+
+use std::rc::Rc;
+
+use hhl_assert::{candidate_sets, EntailConfig, Universe};
+use hhl_lang::{Cmd, ExecConfig, Expr, StateSet, Symbol, Value};
+
+/// A semantic hyper-assertion: an arbitrary predicate on sets of extended
+/// states (Def. 3).
+pub type SemAssertion = Rc<dyn Fn(&StateSet) -> bool>;
+
+/// Builds a [`SemAssertion`] from a closure.
+pub fn sem<F: Fn(&StateSet) -> bool + 'static>(f: F) -> SemAssertion {
+    Rc::new(f)
+}
+
+/// The exact-set assertion `λS. S = V`.
+pub fn sem_exact(v: StateSet) -> SemAssertion {
+    sem(move |s| *s == v)
+}
+
+/// A hyper-triple over semantic assertions.
+#[derive(Clone)]
+pub struct SemTriple {
+    /// Precondition.
+    pub pre: SemAssertion,
+    /// Command.
+    pub cmd: Cmd,
+    /// Postcondition.
+    pub post: SemAssertion,
+}
+
+impl SemTriple {
+    /// Creates a semantic triple.
+    pub fn new(pre: SemAssertion, cmd: Cmd, post: SemAssertion) -> SemTriple {
+        SemTriple { pre, cmd, post }
+    }
+}
+
+impl std::fmt::Debug for SemTriple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SemTriple {{ <pre> }} {} {{ <post> }}", self.cmd)
+    }
+}
+
+/// Checks `|= {P} C {Q}` for semantic assertions over the candidate sets of
+/// the universe.
+pub fn sem_valid(
+    t: &SemTriple,
+    universe: &Universe,
+    exec: &ExecConfig,
+    check: &EntailConfig,
+) -> bool {
+    candidate_sets(universe, check)
+        .into_iter()
+        .all(|s| !(t.pre)(&s) || (t.post)(&exec.sem(&t.cmd, &s)))
+}
+
+/// Semantic entailment `P |= Q` over the universe's candidate sets.
+pub fn sem_entails(
+    p: &SemAssertion,
+    q: &SemAssertion,
+    universe: &Universe,
+    check: &EntailConfig,
+) -> bool {
+    candidate_sets(universe, check)
+        .into_iter()
+        .all(|s| !p(&s) || q(&s))
+}
+
+/// `Q1 ⊗ Q2` (Def. 6): `S` splits into `S1 ∪ S2` with `Q1(S1)`, `Q2(S2)`.
+pub fn sem_otimes(q1: SemAssertion, q2: SemAssertion) -> SemAssertion {
+    sem(move |s| {
+        s.splittings()
+            .into_iter()
+            .any(|(s1, s2)| q1(&s1) && q2(&s2))
+    })
+}
+
+/// `⨂_{n ≤ bound} Iₙ` (Def. 7), finitized to `bound` blocks: `S` partitions
+/// into blocks `f(0), …, f(bound)` with `Iₙ(f(n))` for every `n`.
+pub fn sem_big_otimes(family: Rc<dyn Fn(u32) -> SemAssertion>, bound: u32) -> SemAssertion {
+    sem(move |s| {
+        s.partitions_into(bound as usize + 1).into_iter().any(|parts| {
+            parts
+                .iter()
+                .enumerate()
+                .all(|(n, block)| family(n as u32)(block))
+        })
+    })
+}
+
+/// Pointwise conjunction of semantic assertions.
+pub fn sem_and(p: SemAssertion, q: SemAssertion) -> SemAssertion {
+    sem(move |s| p(s) && q(s))
+}
+
+/// Pointwise disjunction of semantic assertions.
+pub fn sem_or(p: SemAssertion, q: SemAssertion) -> SemAssertion {
+    sem(move |s| p(s) || q(s))
+}
+
+/// The core rules of Fig. 2 as premise → conclusion combinators.
+///
+/// Combinators that have structural side conditions (`Seq` needs the middle
+/// assertion shared, `Choice`/`Exist` need shared preconditions/commands)
+/// take shared `Rc`s and compare by pointer, returning `None` when the side
+/// condition is violated — the executable analogue of "the rule does not
+/// apply".
+pub mod rules {
+    use super::*;
+
+    /// `⊢ {P} skip {P}`.
+    pub fn skip(p: SemAssertion) -> SemTriple {
+        SemTriple::new(p.clone(), Cmd::Skip, p)
+    }
+
+    /// `⊢{P} C1 {R}` and `⊢{R} C2 {Q}` give `⊢{P} C1; C2 {Q}`.
+    ///
+    /// Returns `None` unless the premises share the middle assertion `R`
+    /// (pointer equality — semantic assertions are opaque).
+    pub fn seq(t1: &SemTriple, t2: &SemTriple) -> Option<SemTriple> {
+        if !Rc::ptr_eq(&t1.post, &t2.pre) {
+            return None;
+        }
+        Some(SemTriple::new(
+            t1.pre.clone(),
+            Cmd::seq(t1.cmd.clone(), t2.cmd.clone()),
+            t2.post.clone(),
+        ))
+    }
+
+    /// `⊢{P} C1 {Q1}` and `⊢{P} C2 {Q2}` give `⊢{P} C1 + C2 {Q1 ⊗ Q2}`.
+    pub fn choice(t1: &SemTriple, t2: &SemTriple) -> Option<SemTriple> {
+        if !Rc::ptr_eq(&t1.pre, &t2.pre) {
+            return None;
+        }
+        Some(SemTriple::new(
+            t1.pre.clone(),
+            Cmd::choice(t1.cmd.clone(), t2.cmd.clone()),
+            sem_otimes(t1.post.clone(), t2.post.clone()),
+        ))
+    }
+
+    /// `P |= P'`, `Q' |= Q`, `⊢{P'} C {Q'}` give `⊢{P} C {Q}`.
+    ///
+    /// The entailments are validated over the given universe; `None` when
+    /// either fails.
+    pub fn cons(
+        p: SemAssertion,
+        q: SemAssertion,
+        t: &SemTriple,
+        universe: &Universe,
+        check: &EntailConfig,
+    ) -> Option<SemTriple> {
+        if !sem_entails(&p, &t.pre, universe, check) {
+            return None;
+        }
+        if !sem_entails(&t.post, &q, universe, check) {
+            return None;
+        }
+        Some(SemTriple::new(p, t.cmd.clone(), q))
+    }
+
+    /// `⊢ {λS. P({φ ∈ S | b(φ_P)})} assume b {P}` — the backward `Assume`
+    /// core rule.
+    pub fn assume(b: Expr, p: SemAssertion) -> SemTriple {
+        let b2 = b.clone();
+        let post = p.clone();
+        let pre = sem(move |s: &StateSet| p(&s.filter(|phi| b2.holds(&phi.program))));
+        SemTriple::new(pre, Cmd::assume(b), post)
+    }
+
+    /// `⊢ {λS. P({(φ_L, φ_P[x ↦ e(φ_P)]) | φ ∈ S})} x := e {P}` — the
+    /// backward `Assign` core rule.
+    pub fn assign(x: Symbol, e: Expr, p: SemAssertion) -> SemTriple {
+        let e2 = e.clone();
+        let post = p.clone();
+        let pre = sem(move |s: &StateSet| {
+            let image: StateSet = s
+                .iter()
+                .map(|phi| phi.with_program(x, e2.eval(&phi.program)))
+                .collect();
+            p(&image)
+        });
+        SemTriple::new(pre, Cmd::Assign(x, e), post)
+    }
+
+    /// `⊢ {λS. P({(φ_L, φ_P[x ↦ v]) | φ ∈ S, v})} x := nonDet() {P}` — the
+    /// backward `Havoc` core rule, with `v` ranging over the finitized
+    /// havoc domain.
+    pub fn havoc(x: Symbol, domain: Vec<Value>, p: SemAssertion) -> SemTriple {
+        let post = p.clone();
+        let pre = sem(move |s: &StateSet| {
+            let image: StateSet = s
+                .iter()
+                .flat_map(|phi| {
+                    domain
+                        .iter()
+                        .map(move |v| phi.with_program(x, v.clone()))
+                })
+                .collect();
+            p(&image)
+        });
+        SemTriple::new(pre, Cmd::Havoc(x), post)
+    }
+
+    /// `∀x. ⊢{Pₓ} C {Qₓ}` gives `⊢{∃x. Pₓ} C {∃x. Qₓ}`, with the index
+    /// finitized to the supplied premise family.
+    ///
+    /// Returns `None` unless all premises share the same command.
+    pub fn exist(premises: Vec<SemTriple>) -> Option<SemTriple> {
+        let cmd = premises.first()?.cmd.clone();
+        if premises.iter().any(|t| t.cmd != cmd) {
+            return None;
+        }
+        let pres: Vec<SemAssertion> = premises.iter().map(|t| t.pre.clone()).collect();
+        let posts: Vec<SemAssertion> = premises.iter().map(|t| t.post.clone()).collect();
+        Some(SemTriple::new(
+            sem(move |s| pres.iter().any(|p| p(s))),
+            cmd,
+            sem(move |s| posts.iter().any(|q| q(s))),
+        ))
+    }
+
+    /// `⊢{Iₙ} C {Iₙ₊₁}` (for all `n`) gives `⊢{I₀} C* {⨂ₙ Iₙ}`, with the
+    /// family finitized to `bound` (premises are the caller's obligation to
+    /// have validated for `n ≤ bound`).
+    pub fn iter(
+        family: Rc<dyn Fn(u32) -> SemAssertion>,
+        bound: u32,
+        body: Cmd,
+    ) -> SemTriple {
+        SemTriple::new(
+            family(0),
+            Cmd::star(body),
+            sem_big_otimes(family, bound),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhl_lang::{ExtState, Store};
+
+    fn universe() -> Universe {
+        Universe::int_cube(&["x"], 0, 2)
+    }
+
+    fn exec() -> ExecConfig {
+        ExecConfig::int_range(0, 2).fuel(8)
+    }
+
+    fn check() -> EntailConfig {
+        EntailConfig::default()
+    }
+
+    fn low_x() -> SemAssertion {
+        sem(|s: &StateSet| {
+            let mut vals = s.iter().map(|p| p.program.get("x"));
+            match vals.next() {
+                None => true,
+                Some(first) => vals.all(|v| v == first),
+            }
+        })
+    }
+
+    #[test]
+    fn skip_rule_valid() {
+        let t = rules::skip(low_x());
+        assert!(sem_valid(&t, &universe(), &exec(), &check()));
+    }
+
+    #[test]
+    fn assign_rule_is_exact_wp() {
+        let t = rules::assign("x".into(), Expr::var("x") + Expr::int(1), low_x());
+        assert!(sem_valid(&t, &universe(), &exec(), &check()));
+        // The rule's precondition is the *weakest* one: it equals low(x)
+        // here since +1 is injective.
+        let one = StateSet::singleton(ExtState::from_program(Store::from_pairs([(
+            "x",
+            Value::Int(1),
+        )])));
+        assert!((t.pre)(&one));
+    }
+
+    #[test]
+    fn seq_requires_shared_middle() {
+        let r = low_x();
+        let t1 = rules::assign("x".into(), Expr::var("x") + Expr::int(1), r.clone());
+        // t2's precondition is the same Rc — rule applies.
+        let t2 = SemTriple::new(r.clone(), Cmd::Skip, r.clone());
+        let seq = rules::seq(&t1, &t2).expect("shared middle");
+        assert!(sem_valid(&seq, &universe(), &exec(), &check()));
+        // Distinct (even if extensionally equal) middles are rejected.
+        let t3 = SemTriple::new(low_x(), Cmd::Skip, low_x());
+        assert!(rules::seq(&t1, &t3).is_none());
+    }
+
+    #[test]
+    fn choice_with_otimes_is_sound_where_plain_conjunction_is_not() {
+        // §3.3: P = Q = "exactly one state". Premises hold for two
+        // deterministic branches, and the ⊗ postcondition correctly allows
+        // the union of the two singleton post-sets.
+        let singleton = sem(|s: &StateSet| s.len() == 1);
+        let t1 = SemTriple::new(singleton.clone(), Cmd::assign("x", Expr::int(1)), singleton.clone());
+        let t2 = SemTriple::new(singleton.clone(), Cmd::assign("x", Expr::int(2)), singleton.clone());
+        assert!(sem_valid(&t1, &universe(), &exec(), &check()));
+        assert!(sem_valid(&t2, &universe(), &exec(), &check()));
+        let c = rules::choice(&t1, &t2).expect("shared pre");
+        assert!(sem_valid(&c, &universe(), &exec(), &check()));
+        // The hypothetical rule with postcondition `singleton` would be
+        // UNSOUND: the union has two states.
+        let unsound = SemTriple::new(singleton.clone(), c.cmd.clone(), singleton);
+        assert!(!sem_valid(&unsound, &universe(), &exec(), &check()));
+    }
+
+    #[test]
+    fn cons_validates_entailments() {
+        let t = rules::skip(low_x());
+        // low(x) |= ⊤: weakening the postcondition is fine.
+        let weakened = rules::cons(
+            low_x(),
+            sem(|_| true),
+            &t,
+            &universe(),
+            &check(),
+        );
+        assert!(weakened.is_some());
+        // ⊤ |= low(x) fails: cannot weaken the precondition beyond P'.
+        let bad = rules::cons(sem(|_| true), sem(|_| true), &t, &universe(), &check());
+        assert!(bad.is_none());
+    }
+
+    #[test]
+    fn assume_rule_valid() {
+        let t = rules::assume(Expr::var("x").ge(Expr::int(1)), low_x());
+        assert!(sem_valid(&t, &universe(), &exec(), &check()));
+    }
+
+    #[test]
+    fn havoc_rule_valid_with_matching_domain() {
+        let t = rules::havoc("x".into(), vec![Value::Int(0), Value::Int(1), Value::Int(2)], {
+            // post: all states have x ∈ [0, 2]
+            sem(|s: &StateSet| s.iter().all(|p| (0..=2).contains(&p.program.get("x").as_int())))
+        });
+        assert!(sem_valid(&t, &universe(), &exec(), &check()));
+    }
+
+    #[test]
+    fn exist_rule_merges_family() {
+        // Pᵥ ≜ λS. S = {x ↦ v}; family over v ∈ {0, 1, 2}.
+        let premises: Vec<SemTriple> = (0..=2)
+            .map(|v| {
+                let pre = sem_exact(StateSet::singleton(ExtState::from_program(
+                    Store::from_pairs([("x", Value::Int(v))]),
+                )));
+                let post = sem_exact(StateSet::singleton(ExtState::from_program(
+                    Store::from_pairs([("x", Value::Int(v + 1))]),
+                )));
+                SemTriple::new(pre, Cmd::assign("x", Expr::var("x") + Expr::int(1)), post)
+            })
+            .collect();
+        for t in &premises {
+            assert!(sem_valid(t, &universe(), &ExecConfig::int_range(0, 3), &check()));
+        }
+        let merged = rules::exist(premises).expect("same command");
+        assert!(sem_valid(&merged, &universe(), &ExecConfig::int_range(0, 3), &check()));
+    }
+
+    #[test]
+    fn iter_rule_with_indexed_invariant() {
+        // C = assume x < 2; x := x + 1. Iₙ ≜ λS. ∀φ∈S. φ(x) = n (starting
+        // from x = 0), bounded at 4.
+        let body = Cmd::seq(
+            Cmd::assume(Expr::var("x").lt(Expr::int(2))),
+            Cmd::assign("x", Expr::var("x") + Expr::int(1)),
+        );
+        let family: Rc<dyn Fn(u32) -> SemAssertion> = Rc::new(|n: u32| {
+            sem(move |s: &StateSet| {
+                s.iter().all(|p| p.program.get("x").as_int() == (n as i64).min(2))
+            })
+        });
+        // Premises {Iₙ} C {Iₙ₊₁}: check them for n ≤ 4.
+        for n in 0..=4u32 {
+            let t = SemTriple::new(family(n), body.clone(), family(n + 1));
+            // For n ≥ 2 the precondition forces x = 2 and assume filters all
+            // states away; Iₙ₊₁(∅) holds. So all premises are valid.
+            assert!(sem_valid(&t, &universe(), &exec(), &check()), "premise n = {n}");
+        }
+        let conclusion = rules::iter(family, 4, body);
+        // Conclusion {I₀} C* {⨂ Iₙ}: start from the singleton x = 0.
+        let start = StateSet::singleton(ExtState::from_program(Store::from_pairs([(
+            "x",
+            Value::Int(0),
+        )])));
+        assert!((conclusion.pre)(&start));
+        let out = exec().sem(&conclusion.cmd, &start);
+        assert!((conclusion.post)(&out));
+        assert!(sem_valid(&conclusion, &universe(), &exec(), &check()));
+    }
+
+    #[test]
+    fn otimes_and_big_otimes_agree_on_two_blocks() {
+        let q1 = sem(|s: &StateSet| s.iter().all(|p| p.program.get("x").as_int() == 0));
+        let q2 = sem(|s: &StateSet| s.iter().all(|p| p.program.get("x").as_int() == 1));
+        let ot = sem_otimes(q1.clone(), q2.clone());
+        let q1c = q1.clone();
+        let q2c = q2.clone();
+        let fam: Rc<dyn Fn(u32) -> SemAssertion> = Rc::new(move |n| {
+            if n == 0 {
+                q1c.clone()
+            } else {
+                q2c.clone()
+            }
+        });
+        let big = sem_big_otimes(fam, 1);
+        let mixed: StateSet = [0, 1]
+            .into_iter()
+            .map(|v| ExtState::from_program(Store::from_pairs([("x", Value::Int(v))])))
+            .collect();
+        assert!(ot(&mixed));
+        assert!(big(&mixed));
+        let bad: StateSet = [0, 2]
+            .into_iter()
+            .map(|v| ExtState::from_program(Store::from_pairs([("x", Value::Int(v))])))
+            .collect();
+        assert!(!ot(&bad));
+        assert!(!big(&bad));
+    }
+}

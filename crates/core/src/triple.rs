@@ -1,0 +1,79 @@
+//! Hyper-triples `{P} C {Q}` (Definition 5).
+
+use std::fmt;
+
+use hhl_assert::Assertion;
+use hhl_lang::Cmd;
+
+/// A hyper-triple `{P} C {Q}` over syntactic hyper-assertions.
+///
+/// Validity (Def. 5) is `∀S. P(S) ⇒ Q(sem(C, S))`; see
+/// [`check_triple`](crate::check_triple).
+///
+/// # Examples
+///
+/// ```
+/// use hhl_core::Triple;
+/// use hhl_assert::Assertion;
+/// use hhl_lang::parse_cmd;
+///
+/// // The §2.2 non-interference triple {low(l)} C1 {low(l)}.
+/// let t = Triple::new(
+///     Assertion::low("l"),
+///     parse_cmd("l := l + 1").unwrap(),
+///     Assertion::low("l"),
+/// );
+/// assert!(t.to_string().starts_with("{∀⟨phi1⟩."));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Triple {
+    /// The precondition `P` (a hyper-assertion over sets of initial states).
+    pub pre: Assertion,
+    /// The command `C`.
+    pub cmd: Cmd,
+    /// The postcondition `Q` (over sets of final states).
+    pub post: Assertion,
+}
+
+impl Triple {
+    /// Creates a hyper-triple.
+    pub fn new(pre: Assertion, cmd: Cmd, post: Assertion) -> Triple {
+        Triple { pre, cmd, post }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}} {} {{{}}}", self.pre, self.cmd, self.post)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhl_lang::Expr;
+
+    #[test]
+    fn display_shows_all_parts() {
+        let t = Triple::new(
+            Assertion::tt(),
+            Cmd::assign("x", Expr::int(1)),
+            Assertion::low("x"),
+        );
+        let s = t.to_string();
+        assert!(s.contains("x := 1"));
+        assert!(s.contains("phi1(x) == phi2(x)"));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let mk = || {
+            Triple::new(
+                Assertion::low("l"),
+                Cmd::Skip,
+                Assertion::low("l"),
+            )
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,320 @@
+//! Semantic validity of hyper-triples (Definitions 5 and 24).
+//!
+//! `|= {P} C {Q}  ≜  ∀S. P(S) ⇒ Q(sem(C, S))`.
+//!
+//! Validity is checked over the same finite candidate-set space as
+//! entailments ([`hhl_assert::candidate_sets`]): exhaustive over small
+//! universes, seeded random sampling over large ones. A returned
+//! counterexample is always a genuine refutation *under the configured
+//! finitization* (havoc domain, loop fuel, value-quantifier domain).
+
+use hhl_assert::{
+    candidate_sets, eval_assertion, eval_in_env, Assertion, Counterexample, EntailConfig, Env,
+    Universe,
+};
+use hhl_lang::{Cmd, ExecConfig, StateSet};
+
+use crate::triple::Triple;
+
+/// Configuration bundle for triple-validity checking.
+#[derive(Clone, Debug)]
+pub struct ValidityConfig {
+    /// Universe of candidate initial extended states.
+    pub universe: Universe,
+    /// Finitized operational semantics (havoc domain, loop fuel).
+    pub exec: ExecConfig,
+    /// Candidate-set enumeration and assertion-evaluation parameters.
+    pub check: EntailConfig,
+}
+
+impl ValidityConfig {
+    /// A configuration from a universe, with default execution and checking
+    /// parameters.
+    pub fn new(universe: Universe) -> ValidityConfig {
+        ValidityConfig {
+            universe,
+            exec: ExecConfig::default(),
+            check: EntailConfig::default(),
+        }
+    }
+
+    /// Replaces the execution configuration.
+    pub fn with_exec(mut self, exec: ExecConfig) -> ValidityConfig {
+        self.exec = exec;
+        self
+    }
+
+    /// Replaces the checking configuration.
+    pub fn with_check(mut self, check: EntailConfig) -> ValidityConfig {
+        self.check = check;
+        self
+    }
+}
+
+/// Checks `|= {P} C {Q}` (Def. 5) over the configured universe.
+///
+/// # Errors
+///
+/// Returns the first [`Counterexample`]: a candidate set satisfying `P`
+/// whose image under `sem(C, ·)` violates `Q`.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_assert::{Assertion, Universe};
+/// use hhl_core::{check_triple, Triple, ValidityConfig};
+/// use hhl_lang::parse_cmd;
+///
+/// // {low(l)} l := l + 1 {low(l)} is valid;
+/// // {low(l)} l := h {low(l)} is not.
+/// let cfg = ValidityConfig::new(Universe::int_cube(&["l", "h"], 0, 1));
+/// let good = Triple::new(Assertion::low("l"), parse_cmd("l := l + 1").unwrap(),
+///                        Assertion::low("l"));
+/// let bad = Triple::new(Assertion::low("l"), parse_cmd("l := h").unwrap(),
+///                       Assertion::low("l"));
+/// assert!(check_triple(&good, &cfg).is_ok());
+/// assert!(check_triple(&bad, &cfg).is_err());
+/// ```
+pub fn check_triple(t: &Triple, cfg: &ValidityConfig) -> Result<(), Counterexample> {
+    check_triple_in_env(t, &mut Env::new(), cfg)
+}
+
+/// [`check_triple`] under pre-existing quantifier bindings (rule premises of
+/// the form `∀v. ⊢{…}` / `∀φ. ⊢{…}` are checked by binding `v`/`φ` first).
+pub fn check_triple_in_env(
+    t: &Triple,
+    env: &mut Env,
+    cfg: &ValidityConfig,
+) -> Result<(), Counterexample> {
+    for s in candidate_sets(&cfg.universe, &cfg.check) {
+        if eval_in_env(&t.pre, &s, env, &cfg.check.eval) {
+            let out = cfg.exec.sem(&t.cmd, &s);
+            if !eval_in_env(&t.post, &out, env, &cfg.check.eval) {
+                return Err(Counterexample {
+                    set: s,
+                    context: format!("{t}"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks terminating validity `|=⇓ {P} C {Q}` (Def. 24, App. E): validity
+/// plus, for every candidate set satisfying `P`, *every* state in the set
+/// has at least one terminating execution of `C`.
+pub fn check_triple_terminating(t: &Triple, cfg: &ValidityConfig) -> Result<(), Counterexample> {
+    for s in candidate_sets(&cfg.universe, &cfg.check) {
+        if eval_assertion(&t.pre, &s, &cfg.check.eval) {
+            let out = cfg.exec.sem(&t.cmd, &s);
+            if !eval_assertion(&t.post, &out, &cfg.check.eval) {
+                return Err(Counterexample {
+                    set: s,
+                    context: format!("(⇓) {t}"),
+                });
+            }
+            for phi in &s {
+                if !cfg.exec.has_terminating_run(&t.cmd, &phi.program) {
+                    return Err(Counterexample {
+                        set: s.clone(),
+                        context: format!("(⇓ termination) {t}: {phi} has no terminating run"),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Finds a set refuting `{P} C {Q}` — the witness behind Thm. 5(1)⇒(2).
+pub fn find_violating_set(t: &Triple, cfg: &ValidityConfig) -> Option<StateSet> {
+    check_triple(t, cfg).err().map(|c| c.set)
+}
+
+/// The strongest-postcondition image of a concrete set: `sem(C, S)`.
+pub fn strongest_post(cmd: &Cmd, s: &StateSet, exec: &ExecConfig) -> StateSet {
+    exec.sem(cmd, s)
+}
+
+/// Thm. 5: a triple `{P} C {Q}` is invalid iff some satisfiable `P'`
+/// entailing `P` makes `{P'} C {¬Q}` valid. Given a violating set `S`
+/// (from [`find_violating_set`]), returns that witness triple with
+/// `P' ≜ (λS'. S' = S)` expressed syntactically via
+/// [`Assertion::exact_set`].
+pub fn witness_triple(t: &Triple, violating: &StateSet) -> Triple {
+    Triple::new(
+        Assertion::exact_set(violating),
+        t.cmd.clone(),
+        t.post.negate(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhl_assert::HExpr;
+    use hhl_lang::{parse_cmd, Expr, Value};
+
+    fn small_cfg() -> ValidityConfig {
+        ValidityConfig::new(Universe::int_cube(&["h", "l"], -1, 1))
+            .with_exec(ExecConfig::int_range(-1, 1))
+    }
+
+    #[test]
+    fn c1_satisfies_ni() {
+        // §2.2: C1 with l untouched by h satisfies {low(l)} C1 {low(l)}.
+        let c1 = parse_cmd("l := l * 2").unwrap();
+        let t = Triple::new(Assertion::low("l"), c1, Assertion::low("l"));
+        assert!(check_triple(&t, &small_cfg()).is_ok());
+    }
+
+    #[test]
+    fn c2_violates_ni_and_the_violation_is_provable() {
+        // §2.2: C2 = if (h > 0) {l := 1} else {l := 0} violates NI; the
+        // violation triple with strengthened precondition is valid.
+        let c2 = parse_cmd("if (h > 0) { l := 1 } else { l := 0 }").unwrap();
+        let ni = Triple::new(Assertion::low("l"), c2.clone(), Assertion::low("l"));
+        let cfg = small_cfg();
+        assert!(check_triple(&ni, &cfg).is_err());
+
+        let strengthened = Assertion::low("l").and(Assertion::exists2(|a, b| {
+            Assertion::Atom(
+                HExpr::PVar(a, "h".into())
+                    .gt(HExpr::int(0))
+                    .and(HExpr::PVar(b, "h".into()).le(HExpr::int(0))),
+            )
+        }));
+        let violation = Triple::new(
+            strengthened,
+            c2,
+            Assertion::exists2(|a, b| {
+                Assertion::Atom(HExpr::PVar(a, "l".into()).ne(HExpr::PVar(b, "l".into())))
+            }),
+        );
+        assert!(check_triple(&violation, &cfg).is_ok());
+    }
+
+    #[test]
+    fn thm5_witness_triple_is_valid() {
+        // Disproving via Thm. 5: from any violating set S, {S = ·} C {¬Q}
+        // must be valid and exact_set(S) satisfiable.
+        let c2 = parse_cmd("if (h > 0) { l := 1 } else { l := 0 }").unwrap();
+        let ni = Triple::new(Assertion::low("l"), c2, Assertion::low("l"));
+        let cfg = small_cfg();
+        let violating = find_violating_set(&ni, &cfg).expect("NI must fail");
+        let witness = witness_triple(&ni, &violating);
+        assert!(check_triple(&witness, &cfg).is_ok());
+        // P' entails P on the violating set itself.
+        assert!(eval_assertion(&witness.pre, &violating, &cfg.check.eval));
+        assert!(eval_assertion(&ni.pre, &violating, &cfg.check.eval));
+    }
+
+    #[test]
+    fn classical_hoare_triple_as_hyper_triple() {
+        // §2.1 P1: {⊤} x := randIntBounded(0,9) {∀⟨φ⟩. 0 ≤ φ(x) ≤ 9}.
+        let c0 = Cmd::rand_int_bounded("x", Expr::int(0), Expr::int(9));
+        let p1 = Triple::new(
+            Assertion::tt(),
+            c0.clone(),
+            Assertion::box_pred(&Expr::int(0).le(Expr::var("x")).and(Expr::var("x").le(Expr::int(9)))),
+        );
+        let cfg = ValidityConfig::new(Universe::int_cube(&["x"], 0, 2))
+            .with_exec(ExecConfig::int_range(-2, 11));
+        assert!(check_triple(&p1, &cfg).is_ok());
+    }
+
+    #[test]
+    fn p2_existence_of_all_outputs() {
+        // §2.1 P2: {∃⟨φ⟩.⊤} C0 {∀n. 0 ≤ n ≤ 9 ⇒ ∃⟨φ⟩. φ(x) = n}.
+        let c0 = Cmd::rand_int_bounded("x", Expr::int(0), Expr::int(9));
+        let post = Assertion::forall_val(
+            "n",
+            Assertion::Atom(
+                HExpr::int(0)
+                    .le(HExpr::val("n"))
+                    .and(HExpr::val("n").le(HExpr::int(9))),
+            )
+            .implies(Assertion::exists_state(
+                "phi",
+                Assertion::Atom(HExpr::pvar("phi", "x").eq(HExpr::val("n"))),
+            )),
+        );
+        let t = Triple::new(Assertion::not_emp(), c0, post);
+        let cfg = ValidityConfig::new(Universe::int_cube(&["x"], 0, 1))
+            .with_exec(ExecConfig::int_range(-2, 11))
+            .with_check(EntailConfig {
+                eval: hhl_assert::EvalConfig::int_range(-2, 11),
+                ..EntailConfig::default()
+            });
+        assert!(check_triple(&t, &cfg).is_ok());
+        // Without the non-emptiness precondition the triple is invalid
+        // (the empty set has no witness states).
+        let bad = Triple::new(Assertion::tt(), t.cmd.clone(), t.post.clone());
+        assert!(check_triple(&bad, &cfg).is_err());
+    }
+
+    #[test]
+    fn terminating_triples_reject_nontermination() {
+        // {⊤} while (true) {skip} {⊤} holds (partial correctness) but its
+        // terminating variant fails.
+        let loopy = parse_cmd("while (true) { skip }").unwrap();
+        let t = Triple::new(Assertion::tt(), loopy, Assertion::tt());
+        let cfg = ValidityConfig::new(Universe::int_cube(&["x"], 0, 0));
+        assert!(check_triple(&t, &cfg).is_ok());
+        assert!(check_triple_terminating(&t, &cfg).is_err());
+    }
+
+    #[test]
+    fn terminating_triple_needs_only_one_run() {
+        // App. E: x := nonDet(); while (x > 0) {skip} — some runs diverge,
+        // but every initial state has a terminating run (pick x ≤ 0).
+        let c = parse_cmd("x := nonDet(); while (x > 0) { skip }").unwrap();
+        let t = Triple::new(Assertion::tt(), c, Assertion::tt());
+        let cfg = ValidityConfig::new(Universe::int_cube(&["x"], 0, 1))
+            .with_exec(ExecConfig::int_range(-1, 1).fuel(4));
+        assert!(check_triple_terminating(&t, &cfg).is_ok());
+    }
+
+    #[test]
+    fn gni_for_c3_and_violation_for_c4() {
+        // §2.3: C3 = y := nonDet(); l := h + y satisfies GNI because the pad
+        // is unbounded. A *truncated* integer pad leaks at the domain edges,
+        // so the faithful finite substitute is the group operation XOR over
+        // a closed domain (the same substitution Fig. 6 makes with one-time
+        // pads): every output is reachable from every secret.
+        let c3 = parse_cmd("y := nonDet(); l := h ^ y").unwrap();
+        let gni = Assertion::gni("h", "l");
+        let cfg = ValidityConfig::new(Universe::product(
+            &[("h", vec![Value::Int(0), Value::Int(1), Value::Int(2), Value::Int(3)])],
+            &[],
+        ))
+        .with_exec(ExecConfig::int_range(0, 3));
+        let t3 = Triple::new(Assertion::low("l"), c3.clone(), gni.clone());
+        assert!(check_triple(&t3, &cfg).is_ok());
+
+        // The truncated additive pad indeed fails GNI at the edges —
+        // evidence that the finitization, not the property, is what breaks.
+        let c3_add = parse_cmd("y := nonDet(); l := h + y").unwrap();
+        let cfg_add = ValidityConfig::new(Universe::product(
+            &[("h", vec![Value::Int(0), Value::Int(1)])],
+            &[],
+        ))
+        .with_exec(ExecConfig::int_range(-2, 2));
+        let t3_add = Triple::new(Assertion::low("l"), c3_add, gni.clone());
+        assert!(check_triple(&t3_add, &cfg_add).is_err());
+
+        // C4 with pad bounded by 9 leaks: with h ∈ {0, 20} the outputs
+        // separate and GNI's violation triple holds.
+        let c4 = parse_cmd("y := nonDet(); assume y <= 9; l := h + y").unwrap();
+        let pre4 = Assertion::low("l").and(Assertion::exists2(|a, b| {
+            Assertion::Atom(HExpr::PVar(a, "h".into()).ne(HExpr::PVar(b, "h".into())))
+        }));
+        let cfg4 = ValidityConfig::new(Universe::product(
+            &[("h", vec![Value::Int(0), Value::Int(20)])],
+            &[],
+        ))
+        .with_exec(ExecConfig::int_range(5, 9));
+        let t4 = Triple::new(pre4, c4, Assertion::gni_violation("h", "l"));
+        assert!(check_triple(&t4, &cfg4).is_ok());
+    }
+}

@@ -1,0 +1,313 @@
+//! Program commands (Definition 1).
+//!
+//! ```text
+//! C ::= skip | x := e | x := nonDet() | assume b | C; C | C + C | C*
+//! ```
+//!
+//! Deterministic `if` and `while` are *derived* exactly as in the paper:
+//!
+//! ```text
+//! if (b) {C1} else {C2} ≜ (assume b; C1) + (assume !b; C2)
+//! if (b) {C}            ≜ (assume b; C) + (assume !b)
+//! while (b) {C}         ≜ (assume b; C)*; assume !b
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::intern::Symbol;
+
+/// A program command (Def. 1).
+///
+/// # Examples
+///
+/// ```
+/// use hhl_lang::{Cmd, Expr};
+/// // y := nonDet(); assume y <= 9; l := h + y   (the C4 program of §2.3)
+/// let c4 = Cmd::seq_all([
+///     Cmd::havoc("y"),
+///     Cmd::assume(Expr::var("y").le(Expr::int(9))),
+///     Cmd::assign("l", Expr::var("h") + Expr::var("y")),
+/// ]);
+/// assert_eq!(c4.size(), 5);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cmd {
+    /// `skip` — no effect.
+    Skip,
+    /// `x := e` — deterministic assignment.
+    Assign(Symbol, Expr),
+    /// `x := nonDet()` — non-deterministic assignment (havoc).
+    Havoc(Symbol),
+    /// `assume b` — continue only in states satisfying `b`.
+    Assume(Expr),
+    /// `C1; C2` — sequential composition.
+    Seq(Box<Cmd>, Box<Cmd>),
+    /// `C1 + C2` — non-deterministic choice.
+    Choice(Box<Cmd>, Box<Cmd>),
+    /// `C*` — non-deterministic iteration (any finite number of times).
+    Star(Box<Cmd>),
+}
+
+impl Cmd {
+    /// `x := e`.
+    pub fn assign<S: Into<Symbol>>(x: S, e: Expr) -> Cmd {
+        Cmd::Assign(x.into(), e)
+    }
+
+    /// `x := nonDet()`.
+    pub fn havoc<S: Into<Symbol>>(x: S) -> Cmd {
+        Cmd::Havoc(x.into())
+    }
+
+    /// `assume b`.
+    pub fn assume(b: Expr) -> Cmd {
+        Cmd::Assume(b)
+    }
+
+    /// `C1; C2`.
+    pub fn seq(c1: Cmd, c2: Cmd) -> Cmd {
+        Cmd::Seq(Box::new(c1), Box::new(c2))
+    }
+
+    /// Right-nested sequence of all commands (`skip` if empty).
+    pub fn seq_all<I: IntoIterator<Item = Cmd>>(cmds: I) -> Cmd {
+        let mut items: Vec<Cmd> = cmds.into_iter().collect();
+        match items.len() {
+            0 => Cmd::Skip,
+            1 => items.pop().expect("len checked"),
+            _ => {
+                let mut acc = items.pop().expect("len checked");
+                while let Some(c) = items.pop() {
+                    acc = Cmd::seq(c, acc);
+                }
+                acc
+            }
+        }
+    }
+
+    /// `C1 + C2`.
+    pub fn choice(c1: Cmd, c2: Cmd) -> Cmd {
+        Cmd::Choice(Box::new(c1), Box::new(c2))
+    }
+
+    /// `C*`.
+    pub fn star(c: Cmd) -> Cmd {
+        Cmd::Star(Box::new(c))
+    }
+
+    /// Derived `if (b) {c1} else {c2}` — `(assume b; c1) + (assume !b; c2)`.
+    pub fn if_else(b: Expr, c1: Cmd, c2: Cmd) -> Cmd {
+        Cmd::choice(
+            Cmd::seq(Cmd::assume(b.clone()), c1),
+            Cmd::seq(Cmd::assume(b.not()), c2),
+        )
+    }
+
+    /// Derived `if (b) {c}` — `(assume b; c) + (assume !b)`.
+    pub fn if_then(b: Expr, c: Cmd) -> Cmd {
+        Cmd::choice(Cmd::seq(Cmd::assume(b.clone()), c), Cmd::assume(b.not()))
+    }
+
+    /// Derived `while (b) {c}` — `(assume b; c)*; assume !b`.
+    pub fn while_loop(b: Expr, c: Cmd) -> Cmd {
+        Cmd::seq(
+            Cmd::star(Cmd::seq(Cmd::assume(b.clone()), c)),
+            Cmd::assume(b.not()),
+        )
+    }
+
+    /// `y := randIntBounded(a, b)` — the §2.1 sugar
+    /// `y := nonDet(); assume a <= y <= b`.
+    pub fn rand_int_bounded<S: Into<Symbol>>(y: S, a: Expr, b: Expr) -> Cmd {
+        let y = y.into();
+        Cmd::seq(
+            Cmd::Havoc(y),
+            Cmd::assume(a.le(Expr::Var(y)).and(Expr::Var(y).le(b))),
+        )
+    }
+
+    /// `C^n` — `n`-fold sequential self-composition (`skip` for `n = 0`),
+    /// as used in Lemma 1(7).
+    pub fn pow(&self, n: u32) -> Cmd {
+        let mut acc = Cmd::Skip;
+        for _ in 0..n {
+            acc = if acc == Cmd::Skip {
+                self.clone()
+            } else {
+                Cmd::seq(acc, self.clone())
+            };
+        }
+        acc
+    }
+
+    /// The set `wr(C)` of program variables potentially written by `C`
+    /// (left-hand sides of assignments and havocs) — the side condition of
+    /// the frame rules (Fig. 11 / Fig. 14).
+    pub fn written_vars(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.collect_written(&mut out);
+        out
+    }
+
+    fn collect_written(&self, out: &mut BTreeSet<Symbol>) {
+        match self {
+            Cmd::Skip | Cmd::Assume(_) => {}
+            Cmd::Assign(x, _) | Cmd::Havoc(x) => {
+                out.insert(*x);
+            }
+            Cmd::Seq(a, b) | Cmd::Choice(a, b) => {
+                a.collect_written(out);
+                b.collect_written(out);
+            }
+            Cmd::Star(a) => a.collect_written(out),
+        }
+    }
+
+    /// All program variables mentioned anywhere in the command.
+    pub fn all_vars(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.collect_all_vars(&mut out);
+        out
+    }
+
+    fn collect_all_vars(&self, out: &mut BTreeSet<Symbol>) {
+        match self {
+            Cmd::Skip => {}
+            Cmd::Assign(x, e) => {
+                out.insert(*x);
+                e.collect_vars(out);
+            }
+            Cmd::Havoc(x) => {
+                out.insert(*x);
+            }
+            Cmd::Assume(b) => b.collect_vars(out),
+            Cmd::Seq(a, b) | Cmd::Choice(a, b) => {
+                a.collect_all_vars(out);
+                b.collect_all_vars(out);
+            }
+            Cmd::Star(a) => a.collect_all_vars(out),
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Cmd::Skip | Cmd::Assign(_, _) | Cmd::Havoc(_) | Cmd::Assume(_) => 1,
+            Cmd::Seq(a, b) | Cmd::Choice(a, b) => 1 + a.size() + b.size(),
+            Cmd::Star(a) => 1 + a.size(),
+        }
+    }
+
+    /// True iff the command contains no `Star` (loop-free commands admit
+    /// exact backward verification-condition generation).
+    pub fn is_loop_free(&self) -> bool {
+        match self {
+            Cmd::Skip | Cmd::Assign(_, _) | Cmd::Havoc(_) | Cmd::Assume(_) => true,
+            Cmd::Seq(a, b) | Cmd::Choice(a, b) => a.is_loop_free() && b.is_loop_free(),
+            Cmd::Star(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for Cmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cmd::Skip => write!(f, "skip"),
+            Cmd::Assign(x, e) => write!(f, "{x} := {e}"),
+            Cmd::Havoc(x) => write!(f, "{x} := nonDet()"),
+            Cmd::Assume(b) => write!(f, "assume {b}"),
+            Cmd::Seq(a, b) => write!(f, "{a}; {b}"),
+            Cmd::Choice(a, b) => write!(f, "({a}) + ({b})"),
+            Cmd::Star(a) => write!(f, "({a})*"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn desugarings_match_paper() {
+        let b = Expr::var("x").gt(Expr::int(0));
+        let c = Cmd::assign("y", Expr::int(1));
+        // if (b) {C1} else {C2} = (assume b; C1) + (assume !b; C2)
+        let ite = Cmd::if_else(b.clone(), c.clone(), Cmd::Skip);
+        match &ite {
+            Cmd::Choice(l, r) => {
+                assert!(matches!(**l, Cmd::Seq(_, _)));
+                assert!(matches!(**r, Cmd::Seq(_, _)));
+            }
+            other => panic!("expected Choice, got {other:?}"),
+        }
+        // while (b) {C} = (assume b; C)*; assume !b
+        let w = Cmd::while_loop(b, c);
+        match &w {
+            Cmd::Seq(l, r) => {
+                assert!(matches!(**l, Cmd::Star(_)));
+                assert!(matches!(**r, Cmd::Assume(_)));
+            }
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn written_vars_collects_assignments_and_havocs() {
+        let c = Cmd::seq_all([
+            Cmd::havoc("y"),
+            Cmd::assume(Expr::var("z").le(Expr::int(9))),
+            Cmd::assign("l", Expr::var("h") + Expr::var("y")),
+        ]);
+        let w = c.written_vars();
+        assert!(w.contains(&Symbol::new("y")));
+        assert!(w.contains(&Symbol::new("l")));
+        assert!(!w.contains(&Symbol::new("h")));
+        assert!(!w.contains(&Symbol::new("z")));
+    }
+
+    #[test]
+    fn all_vars_includes_reads() {
+        let c = Cmd::assign("l", Expr::var("h") + Expr::var("y"));
+        let v = c.all_vars();
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn pow_builds_n_fold_seq() {
+        let c = Cmd::assign("x", Expr::var("x") + Expr::int(1));
+        assert_eq!(c.pow(0), Cmd::Skip);
+        assert_eq!(c.pow(1), c);
+        assert_eq!(c.pow(3).size(), 5); // 3 assigns + 2 seqs
+    }
+
+    #[test]
+    fn seq_all_edge_cases() {
+        assert_eq!(Cmd::seq_all([]), Cmd::Skip);
+        let single = Cmd::havoc("x");
+        assert_eq!(Cmd::seq_all([single.clone()]), single);
+    }
+
+    #[test]
+    fn loop_free_detection() {
+        assert!(Cmd::if_else(Expr::bool(true), Cmd::Skip, Cmd::Skip).is_loop_free());
+        assert!(!Cmd::while_loop(Expr::bool(true), Cmd::Skip).is_loop_free());
+    }
+
+    #[test]
+    fn display_roundtrip_shapes() {
+        let c = Cmd::seq(
+            Cmd::havoc("y"),
+            Cmd::assign("l", Expr::var("h") + Expr::var("y")),
+        );
+        assert_eq!(c.to_string(), "y := nonDet(); l := h + y");
+    }
+
+    #[test]
+    fn rand_int_bounded_shape() {
+        let c = Cmd::rand_int_bounded("x", Expr::int(0), Expr::int(9));
+        assert!(matches!(c, Cmd::Seq(_, _)));
+        assert_eq!(c.written_vars().len(), 1);
+    }
+}

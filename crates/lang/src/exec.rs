@@ -1,0 +1,283 @@
+//! Executable big-step semantics (Fig. 9).
+//!
+//! The paper's semantics `⟨C, σ⟩ → σ'` relates a command and an initial
+//! program state to each reachable final state. Two of its constructs are
+//! infinitary:
+//!
+//! * `x := nonDet()` may pick *any* value — we finitize it with
+//!   [`ExecConfig::havoc_domain`], a user-chosen candidate set (see
+//!   DESIGN.md's substitution table);
+//! * `C*` may iterate any finite number of times — we compute the reachable
+//!   set by a breadth-first fixpoint with a *visited set*, so on finite state
+//!   spaces the result is **exact**; [`ExecConfig::loop_fuel`] only bounds
+//!   divergence on infinite spaces (e.g. a havoc inside an unguarded star).
+//!
+//! `exec(C, σ)` returns the set `{σ' | ⟨C, σ⟩ → σ'}` of final program states.
+
+use std::collections::BTreeSet;
+
+use crate::cmd::Cmd;
+use crate::state::Store;
+use crate::value::Value;
+
+/// Configuration of the executable semantics: the havoc candidate domain and
+/// the iteration fuel for `C*`.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_lang::{Cmd, ExecConfig, Expr, Store, Value};
+/// let cfg = ExecConfig::int_range(0, 9);
+/// let c = Cmd::rand_int_bounded("x", Expr::int(0), Expr::int(9));
+/// let finals = cfg.exec(&c, &Store::new());
+/// assert_eq!(finals.len(), 10); // one final state per value in [0, 9]
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Candidate values for `x := nonDet()`.
+    pub havoc_domain: Vec<Value>,
+    /// Maximum number of `C*` unrollings explored beyond the fixpoint check.
+    pub loop_fuel: u32,
+}
+
+impl Default for ExecConfig {
+    /// A small default: havoc over `-2..=2`, fuel 32.
+    fn default() -> ExecConfig {
+        ExecConfig::int_range(-2, 2)
+    }
+}
+
+impl ExecConfig {
+    /// Havoc domain `lo..=hi` (integers), fuel 32.
+    pub fn int_range(lo: i64, hi: i64) -> ExecConfig {
+        ExecConfig {
+            havoc_domain: (lo..=hi).map(Value::Int).collect(),
+            loop_fuel: 32,
+        }
+    }
+
+    /// Havoc over an explicit value list, fuel 32.
+    pub fn with_domain<I: IntoIterator<Item = Value>>(domain: I) -> ExecConfig {
+        ExecConfig {
+            havoc_domain: domain.into_iter().collect(),
+            loop_fuel: 32,
+        }
+    }
+
+    /// Replaces the loop fuel.
+    pub fn fuel(mut self, fuel: u32) -> ExecConfig {
+        self.loop_fuel = fuel;
+        self
+    }
+
+    /// Computes `{σ' | ⟨C, σ⟩ → σ'}` under this finitization.
+    pub fn exec(&self, cmd: &Cmd, sigma: &Store) -> BTreeSet<Store> {
+        match cmd {
+            Cmd::Skip => std::iter::once(sigma.clone()).collect(),
+            Cmd::Assign(x, e) => {
+                std::iter::once(sigma.with(*x, e.eval(sigma))).collect()
+            }
+            Cmd::Havoc(x) => self
+                .havoc_domain
+                .iter()
+                .map(|v| sigma.with(*x, v.clone()))
+                .collect(),
+            Cmd::Assume(b) => {
+                if b.holds(sigma) {
+                    std::iter::once(sigma.clone()).collect()
+                } else {
+                    BTreeSet::new()
+                }
+            }
+            Cmd::Seq(c1, c2) => {
+                let mid = self.exec(c1, sigma);
+                let mut out = BTreeSet::new();
+                for m in &mid {
+                    out.extend(self.exec(c2, m));
+                }
+                out
+            }
+            Cmd::Choice(c1, c2) => {
+                let mut out = self.exec(c1, sigma);
+                out.extend(self.exec(c2, sigma));
+                out
+            }
+            Cmd::Star(c) => {
+                // Reachability fixpoint: states reachable by 0..n iterations.
+                let mut reached: BTreeSet<Store> = std::iter::once(sigma.clone()).collect();
+                let mut frontier = reached.clone();
+                for _ in 0..self.loop_fuel {
+                    let mut next = BTreeSet::new();
+                    for s in &frontier {
+                        for t in self.exec(c, s) {
+                            if !reached.contains(&t) {
+                                next.insert(t);
+                            }
+                        }
+                    }
+                    if next.is_empty() {
+                        break; // exact fixpoint reached
+                    }
+                    reached.extend(next.iter().cloned());
+                    frontier = next;
+                }
+                reached
+            }
+        }
+    }
+
+    /// Computes the states reachable by exactly `n` iterations' worth of the
+    /// unrolled `C^n` — a helper for the Lemma 1(7) tests and the `Iter`
+    /// rule checker.
+    pub fn exec_pow(&self, cmd: &Cmd, n: u32, sigma: &Store) -> BTreeSet<Store> {
+        self.exec(&cmd.pow(n), sigma)
+    }
+
+    /// True iff `⟨C, σ⟩` has at least one terminating execution under this
+    /// finitization — the side condition added by terminating hyper-triples
+    /// (Def. 24, App. E).
+    pub fn has_terminating_run(&self, cmd: &Cmd, sigma: &Store) -> bool {
+        !self.exec(cmd, sigma).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn s0() -> Store {
+        Store::new()
+    }
+
+    #[test]
+    fn skip_is_identity() {
+        let cfg = ExecConfig::default();
+        let out = cfg.exec(&Cmd::Skip, &s0());
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&s0()));
+    }
+
+    #[test]
+    fn assign_updates() {
+        let cfg = ExecConfig::default();
+        let out = cfg.exec(&Cmd::assign("x", Expr::int(7)), &s0());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.iter().next().unwrap().get("x"), Value::Int(7));
+    }
+
+    #[test]
+    fn havoc_enumerates_domain() {
+        let cfg = ExecConfig::int_range(0, 4);
+        let out = cfg.exec(&Cmd::havoc("x"), &s0());
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn assume_filters() {
+        let cfg = ExecConfig::default();
+        let sat = cfg.exec(&Cmd::assume(Expr::bool(true)), &s0());
+        assert_eq!(sat.len(), 1);
+        let unsat = cfg.exec(&Cmd::assume(Expr::bool(false)), &s0());
+        assert!(unsat.is_empty());
+    }
+
+    #[test]
+    fn rand_int_bounded_matches_paper_example() {
+        // C0 = x := randIntBounded(0, 9): P1 — final x in [0, 9];
+        // P2 — every value in [0, 9] occurs.
+        let cfg = ExecConfig::int_range(-3, 12);
+        let c0 = Cmd::rand_int_bounded("x", Expr::int(0), Expr::int(9));
+        let out = cfg.exec(&c0, &s0());
+        assert_eq!(out.len(), 10);
+        for st in &out {
+            let x = st.get("x").as_int();
+            assert!((0..=9).contains(&x));
+        }
+        for n in 0..=9 {
+            assert!(out.iter().any(|st| st.get("x").as_int() == n));
+        }
+    }
+
+    #[test]
+    fn choice_unions_branches() {
+        let cfg = ExecConfig::default();
+        let c = Cmd::choice(Cmd::assign("x", Expr::int(1)), Cmd::assign("x", Expr::int(2)));
+        let out = cfg.exec(&c, &s0());
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn while_loop_is_exact_on_finite_space() {
+        // i := 0; while (i < 5) { i := i + 1 }
+        let c = Cmd::seq(
+            Cmd::assign("i", Expr::int(0)),
+            Cmd::while_loop(
+                Expr::var("i").lt(Expr::int(5)),
+                Cmd::assign("i", Expr::var("i") + Expr::int(1)),
+            ),
+        );
+        let cfg = ExecConfig::default().fuel(100);
+        let out = cfg.exec(&c, &s0());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.iter().next().unwrap().get("i"), Value::Int(5));
+    }
+
+    #[test]
+    fn star_includes_zero_iterations() {
+        let c = Cmd::star(Cmd::assign("x", Expr::var("x") + Expr::int(1)));
+        let cfg = ExecConfig::default().fuel(3);
+        let out = cfg.exec(&c, &s0());
+        // 0, 1, 2, 3 increments under fuel 3
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().any(|s| s.get("x") == Value::Int(0)));
+    }
+
+    #[test]
+    fn star_reaches_fixpoint_early() {
+        // x := 1 is idempotent: fixpoint after one round regardless of fuel.
+        let c = Cmd::star(Cmd::assign("x", Expr::int(1)));
+        let cfg = ExecConfig::default().fuel(1_000_000);
+        let out = cfg.exec(&c, &s0());
+        assert_eq!(out.len(), 2); // {x↦0 (zero iters), x↦1}
+    }
+
+    #[test]
+    fn nontermination_drops_states() {
+        // while (true) { skip } has no finite executions: empty result,
+        // matching the paper's partial-correctness semantics.
+        let c = Cmd::while_loop(Expr::bool(true), Cmd::Skip);
+        let cfg = ExecConfig::default().fuel(10);
+        assert!(cfg.exec(&c, &s0()).is_empty());
+        assert!(!cfg.has_terminating_run(&c, &s0()));
+    }
+
+    #[test]
+    fn exec_pow_matches_unrolling() {
+        let c = Cmd::assign("x", Expr::var("x") + Expr::int(1));
+        let cfg = ExecConfig::default();
+        let out = cfg.exec_pow(&c, 4, &s0());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.iter().next().unwrap().get("x"), Value::Int(4));
+    }
+
+    #[test]
+    fn c4_leak_program_semantics() {
+        // C4 = y := nonDet(); assume y <= 9; l := h + y  (§2.3)
+        let c4 = Cmd::seq_all([
+            Cmd::havoc("y"),
+            Cmd::assume(Expr::var("y").le(Expr::int(9))),
+            Cmd::assign("l", Expr::var("h") + Expr::var("y")),
+        ]);
+        let cfg = ExecConfig::int_range(5, 12);
+        let init = Store::from_pairs([("h", Value::Int(11))]);
+        let out = cfg.exec(&c4, &init);
+        // y ranges over 5..=9 (10..12 filtered), so l = h + y over 16..=20.
+        assert_eq!(out.len(), 5);
+        for st in &out {
+            let l = st.get("l").as_int();
+            assert!((16..=20).contains(&l));
+            // Observing l = 20 implies h >= 11: the information leak.
+        }
+    }
+}

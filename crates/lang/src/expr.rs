@@ -1,0 +1,556 @@
+//! Program expressions and state predicates.
+//!
+//! Definition 1 models expressions `e` as total functions `PStates → PVals`
+//! and predicates `b` as total functions `PStates → Bool`. We realize both as
+//! one first-order AST evaluated over stores: a boolean-valued [`Expr`] *is*
+//! a predicate. Unlike opaque Rust closures, the AST supports substitution,
+//! free-variable analysis, pretty-printing and parsing — all needed by the
+//! syntactic rules of §4.
+//!
+//! *State expressions* (footnote 8 of the paper) may additionally mention
+//! logical variables; [`Expr::LVar`] covers this, and [`Expr::eval`] over a
+//! plain program store treats logical variables as defaults while
+//! [`Expr::eval_ext`] evaluates over a full extended state.
+
+use std::fmt;
+
+use crate::intern::Symbol;
+use crate::state::{ExtState, Store};
+use crate::value::Value;
+
+/// Binary operators available in program expressions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Total division (x/0 = 0).
+    Div,
+    /// Total remainder (x%0 = 0).
+    Rem,
+    /// Bitwise XOR (the `⊕` of Fig. 6).
+    Xor,
+    /// Integer minimum.
+    Min,
+    /// Integer maximum (Fig. 10's `max(l, h)`).
+    Max,
+    /// List concatenation `++`.
+    Concat,
+    /// List indexing `l[i]`.
+    Index,
+    /// Equality test.
+    Eq,
+    /// Disequality test.
+    Ne,
+    /// Strictly-less test.
+    Lt,
+    /// Less-or-equal test.
+    Le,
+    /// Strictly-greater test.
+    Gt,
+    /// Greater-or-equal test.
+    Ge,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+}
+
+impl BinOp {
+    /// Applies the operator to two values (total).
+    pub fn apply(self, a: &Value, b: &Value) -> Value {
+        use std::cmp::Ordering::*;
+        match self {
+            BinOp::Add => a.add(b),
+            BinOp::Sub => a.sub(b),
+            BinOp::Mul => a.mul(b),
+            BinOp::Div => a.div(b),
+            BinOp::Rem => a.rem(b),
+            BinOp::Xor => a.xor(b),
+            BinOp::Min => a.min_val(b),
+            BinOp::Max => a.max_val(b),
+            BinOp::Concat => a.concat(b),
+            BinOp::Index => a.index(b),
+            BinOp::Eq => Value::Bool(a.same(b)),
+            BinOp::Ne => Value::Bool(!a.same(b)),
+            BinOp::Lt => Value::Bool(a.cmp_num(b) == Less),
+            BinOp::Le => Value::Bool(a.cmp_num(b) != Greater),
+            BinOp::Gt => Value::Bool(a.cmp_num(b) == Greater),
+            BinOp::Ge => Value::Bool(a.cmp_num(b) != Less),
+            BinOp::And => Value::Bool(a.truthy() && b.truthy()),
+            BinOp::Or => Value::Bool(a.truthy() || b.truthy()),
+        }
+    }
+
+    /// The surface syntax token for this operator.
+    pub fn token(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Xor => "^",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::Concat => "++",
+            BinOp::Index => "[]",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators available in program expressions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+    /// List length (`len(h)` in Fig. 6).
+    Len,
+}
+
+impl UnOp {
+    /// Applies the operator to a value (total).
+    pub fn apply(self, a: &Value) -> Value {
+        match self {
+            UnOp::Neg => a.neg(),
+            UnOp::Not => a.not(),
+            UnOp::Len => a.len(),
+        }
+    }
+}
+
+/// A program expression / state predicate AST.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_lang::{Expr, Store, Value};
+/// // x + 2 * y
+/// let e = Expr::var("x") + Expr::int(2) * Expr::var("y");
+/// let s = Store::from_pairs([("x", Value::Int(1)), ("y", Value::Int(3))]);
+/// assert_eq!(e.eval(&s), Value::Int(7));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Expr {
+    /// A literal value.
+    Const(Value),
+    /// A program variable.
+    Var(Symbol),
+    /// A logical variable (only meaningful in *state expressions*; see the
+    /// module docs).
+    LVar(Symbol),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Integer literal.
+    pub fn int(i: i64) -> Expr {
+        Expr::Const(Value::Int(i))
+    }
+
+    /// Boolean literal.
+    pub fn bool(b: bool) -> Expr {
+        Expr::Const(Value::Bool(b))
+    }
+
+    /// List literal.
+    pub fn list<I: IntoIterator<Item = Expr>>(items: I) -> Expr {
+        // Lists of constants fold to a constant; otherwise build with ++.
+        let mut acc = Expr::Const(Value::empty_list());
+        for item in items {
+            acc = Expr::Bin(BinOp::Concat, Box::new(acc), Box::new(item));
+        }
+        acc
+    }
+
+    /// Program variable reference.
+    pub fn var<S: Into<Symbol>>(name: S) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Logical variable reference (state expressions only).
+    pub fn lvar<S: Into<Symbol>>(name: S) -> Expr {
+        Expr::LVar(name.into())
+    }
+
+    /// Binary operation helper.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Unary operation helper.
+    pub fn un(op: UnOp, a: Expr) -> Expr {
+        Expr::Un(op, Box::new(a))
+    }
+
+    /// `self == other` as an expression.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, self, other)
+    }
+
+    /// `self != other` as an expression.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Ne, self, other)
+    }
+
+    /// `self < other` as an expression.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, self, other)
+    }
+
+    /// `self <= other` as an expression.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Le, self, other)
+    }
+
+    /// `self > other` as an expression.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Gt, self, other)
+    }
+
+    /// `self >= other` as an expression.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Ge, self, other)
+    }
+
+    /// `self && other` as an expression.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::And, self, other)
+    }
+
+    /// `self || other` as an expression.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Or, self, other)
+    }
+
+    /// Boolean negation as an expression.
+    pub fn not(self) -> Expr {
+        Expr::un(UnOp::Not, self)
+    }
+
+    /// `len(self)` as an expression.
+    pub fn len(self) -> Expr {
+        Expr::un(UnOp::Len, self)
+    }
+
+    /// `self ++ other` (list concatenation).
+    pub fn concat(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Concat, self, other)
+    }
+
+    /// `self[idx]` (list indexing).
+    pub fn index(self, idx: Expr) -> Expr {
+        Expr::bin(BinOp::Index, self, idx)
+    }
+
+    /// `self ^ other` (XOR).
+    pub fn xor(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Xor, self, other)
+    }
+
+    /// `max(self, other)`.
+    pub fn max(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Max, self, other)
+    }
+
+    /// `min(self, other)`.
+    pub fn min(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Min, self, other)
+    }
+
+    /// Evaluates over a program store; logical variables read as defaults.
+    pub fn eval(&self, store: &Store) -> Value {
+        match self {
+            Expr::Const(v) => v.clone(),
+            Expr::Var(x) => store.get(*x),
+            Expr::LVar(_) => Value::default(),
+            Expr::Un(op, a) => op.apply(&a.eval(store)),
+            Expr::Bin(op, a, b) => op.apply(&a.eval(store), &b.eval(store)),
+        }
+    }
+
+    /// Evaluates over an extended state (state-expression semantics:
+    /// program variables from `φ_P`, logical variables from `φ_L`).
+    pub fn eval_ext(&self, phi: &ExtState) -> Value {
+        match self {
+            Expr::Const(v) => v.clone(),
+            Expr::Var(x) => phi.program.get(*x),
+            Expr::LVar(x) => phi.logical.get(*x),
+            Expr::Un(op, a) => op.apply(&a.eval_ext(phi)),
+            Expr::Bin(op, a, b) => op.apply(&a.eval_ext(phi), &b.eval_ext(phi)),
+        }
+    }
+
+    /// Evaluates as a predicate over a program store.
+    pub fn holds(&self, store: &Store) -> bool {
+        self.eval(store).truthy()
+    }
+
+    /// Evaluates as a predicate over an extended state.
+    pub fn holds_ext(&self, phi: &ExtState) -> bool {
+        self.eval_ext(phi).truthy()
+    }
+
+    /// Collects the free *program* variables into `out`.
+    pub fn collect_vars(&self, out: &mut std::collections::BTreeSet<Symbol>) {
+        match self {
+            Expr::Const(_) | Expr::LVar(_) => {}
+            Expr::Var(x) => {
+                out.insert(*x);
+            }
+            Expr::Un(_, a) => a.collect_vars(out),
+            Expr::Bin(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// The free program variables of the expression.
+    pub fn free_vars(&self) -> std::collections::BTreeSet<Symbol> {
+        let mut s = std::collections::BTreeSet::new();
+        self.collect_vars(&mut s);
+        s
+    }
+
+    /// Substitutes expression `e` for program variable `x` (used to relate
+    /// the classical Hoare assignment rule to `AssignS`).
+    pub fn subst_var(&self, x: Symbol, e: &Expr) -> Expr {
+        match self {
+            Expr::Const(_) | Expr::LVar(_) => self.clone(),
+            Expr::Var(y) => {
+                if *y == x {
+                    e.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Un(op, a) => Expr::Un(*op, Box::new(a.subst_var(x, e))),
+            Expr::Bin(op, a, b) => Expr::Bin(
+                *op,
+                Box::new(a.subst_var(x, e)),
+                Box::new(b.subst_var(x, e)),
+            ),
+        }
+    }
+
+    /// Number of AST nodes (used by benches to report problem sizes).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::LVar(_) => 1,
+            Expr::Un(_, a) => 1 + a.size(),
+            Expr::Bin(_, a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+}
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::un(UnOp::Neg, self)
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(i: i64) -> Expr {
+        Expr::int(i)
+    }
+}
+
+impl From<bool> for Expr {
+    fn from(b: bool) -> Expr {
+        Expr::bool(b)
+    }
+}
+
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::LVar(_) => 10,
+        Expr::Un(_, _) => 9,
+        Expr::Bin(op, _, _) => match op {
+            BinOp::Index => 9,
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 8,
+            BinOp::Add | BinOp::Sub | BinOp::Xor | BinOp::Concat => 7,
+            BinOp::Min | BinOp::Max => 10,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 5,
+            BinOp::And => 4,
+            BinOp::Or => 3,
+        },
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(e: &Expr, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+            let p = prec(e);
+            let needs = p < parent;
+            if needs {
+                write!(f, "(")?;
+            }
+            match e {
+                Expr::Const(v) => write!(f, "{v}")?,
+                Expr::Var(x) => write!(f, "{x}")?,
+                Expr::LVar(x) => write!(f, "${x}")?,
+                Expr::Un(UnOp::Neg, a) => {
+                    write!(f, "-")?;
+                    go(a, f, 10)?;
+                }
+                Expr::Un(UnOp::Not, a) => {
+                    write!(f, "!")?;
+                    go(a, f, 10)?;
+                }
+                Expr::Un(UnOp::Len, a) => {
+                    write!(f, "len(")?;
+                    go(a, f, 0)?;
+                    write!(f, ")")?;
+                }
+                Expr::Bin(BinOp::Index, a, b) => {
+                    go(a, f, 9)?;
+                    write!(f, "[")?;
+                    go(b, f, 0)?;
+                    write!(f, "]")?;
+                }
+                Expr::Bin(op @ (BinOp::Min | BinOp::Max), a, b) => {
+                    write!(f, "{}(", op.token())?;
+                    go(a, f, 0)?;
+                    write!(f, ", ")?;
+                    go(b, f, 0)?;
+                    write!(f, ")")?;
+                }
+                Expr::Bin(op, a, b) => {
+                    go(a, f, p)?;
+                    write!(f, " {} ", op.token())?;
+                    go(b, f, p + 1)?;
+                }
+            }
+            if needs {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        go(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_evaluation() {
+        let s = Store::from_pairs([("x", Value::Int(10)), ("y", Value::Int(3))]);
+        let e = (Expr::var("x") - Expr::var("y")) * Expr::int(2);
+        assert_eq!(e.eval(&s), Value::Int(14));
+    }
+
+    #[test]
+    fn predicates() {
+        let s = Store::from_pairs([("h", Value::Int(5))]);
+        assert!(Expr::var("h").gt(Expr::int(0)).holds(&s));
+        assert!(!Expr::var("h").le(Expr::int(0)).holds(&s));
+    }
+
+    #[test]
+    fn logical_vars_need_extended_state() {
+        let e = Expr::lvar("t").eq(Expr::int(1));
+        let phi = ExtState::new(
+            Store::from_pairs([("t", Value::Int(1))]),
+            Store::new(),
+        );
+        assert!(e.holds_ext(&phi));
+        assert!(!e.holds(&phi.program)); // plain-store eval defaults LVars
+    }
+
+    #[test]
+    fn substitution() {
+        let e = Expr::var("x") + Expr::var("y");
+        let e2 = e.subst_var(Symbol::new("x"), &Expr::int(5));
+        let s = Store::from_pairs([("y", Value::Int(1))]);
+        assert_eq!(e2.eval(&s), Value::Int(6));
+        // untouched variable remains
+        assert_eq!(e2.free_vars().len(), 1);
+    }
+
+    #[test]
+    fn free_vars() {
+        let e = Expr::var("a").lt(Expr::var("b") + Expr::int(1));
+        let fv = e.free_vars();
+        assert!(fv.contains(&Symbol::new("a")));
+        assert!(fv.contains(&Symbol::new("b")));
+        assert_eq!(fv.len(), 2);
+    }
+
+    #[test]
+    fn list_expression_evaluation() {
+        let s = Store::from_pairs([("h", Value::list([Value::Int(4), Value::Int(7)]))]);
+        assert_eq!(Expr::var("h").len().eval(&s), Value::Int(2));
+        assert_eq!(Expr::var("h").index(Expr::int(1)).eval(&s), Value::Int(7));
+        let cat = Expr::var("h").concat(Expr::list([Expr::int(9)]));
+        assert_eq!(
+            cat.eval(&s),
+            Value::list([Value::Int(4), Value::Int(7), Value::Int(9)])
+        );
+    }
+
+    #[test]
+    fn display_respects_precedence() {
+        let e = (Expr::var("x") + Expr::int(1)) * Expr::var("y");
+        assert_eq!(e.to_string(), "(x + 1) * y");
+        let e2 = Expr::var("x") + Expr::int(1) * Expr::var("y");
+        assert_eq!(e2.to_string(), "x + 1 * y");
+        let e3 = Expr::var("x").le(Expr::int(9)).and(Expr::var("y").gt(Expr::int(0)));
+        assert_eq!(e3.to_string(), "x <= 9 && y > 0");
+    }
+
+    #[test]
+    fn max_min_display_and_eval() {
+        let e = Expr::var("l").max(Expr::var("h"));
+        assert_eq!(e.to_string(), "max(l, h)");
+        let s = Store::from_pairs([("l", Value::Int(2)), ("h", Value::Int(5))]);
+        assert_eq!(e.eval(&s), Value::Int(5));
+    }
+
+    #[test]
+    fn xor_involution_expr() {
+        let s = Store::from_pairs([("a", Value::Int(99)), ("k", Value::Int(42))]);
+        let e = Expr::var("a").xor(Expr::var("k")).xor(Expr::var("k"));
+        assert_eq!(e.eval(&s), Value::Int(99));
+    }
+}

@@ -1,0 +1,160 @@
+//! Global string interning for variable names.
+//!
+//! Program variables (`PVars`) and logical variables (`LVars`) are referenced
+//! pervasively — in states, expressions, commands and hyper-assertions — so we
+//! intern them once into a compact [`Symbol`] and compare by id.
+//!
+//! The interner is a process-wide table guarded by a mutex; interning is
+//! performed once per distinct name, after which all operations are `Copy`
+//! comparisons.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned variable name.
+///
+/// `Symbol`s are cheap to copy and compare. Two symbols are equal iff they
+/// were interned from equal strings. Ordering is by interning order, which is
+/// stable within a process and sufficient for the canonical (deterministic)
+/// state representations used throughout the workspace.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_lang::Symbol;
+/// let x = Symbol::new("x");
+/// assert_eq!(x, Symbol::new("x"));
+/// assert_ne!(x, Symbol::new("y"));
+/// assert_eq!(x.as_str(), "x");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name` and returns its symbol.
+    ///
+    /// Idempotent: interning the same string twice yields the same symbol.
+    pub fn new(name: &str) -> Symbol {
+        let mut i = interner().lock().expect("interner poisoned");
+        if let Some(&id) = i.map.get(name) {
+            return Symbol(id);
+        }
+        let id = i.names.len() as u32;
+        i.names.push(name.to_owned());
+        i.map.insert(name.to_owned(), id);
+        Symbol(id)
+    }
+
+    /// Returns the interned string for this symbol.
+    ///
+    /// The returned `String` is a clone; symbols themselves never expose
+    /// references into the interner table.
+    pub fn as_str(self) -> String {
+        let i = interner().lock().expect("interner poisoned");
+        i.names[self.0 as usize].clone()
+    }
+
+    /// Returns a fresh symbol whose name starts with `prefix` and is distinct
+    /// from every symbol interned so far.
+    ///
+    /// Used by capture-avoiding substitution in the assertion layer.
+    pub fn fresh(prefix: &str) -> Symbol {
+        let mut n = {
+            let i = interner().lock().expect("interner poisoned");
+            i.names.len()
+        };
+        loop {
+            let candidate = format!("{prefix}#{n}");
+            let exists = {
+                let i = interner().lock().expect("interner poisoned");
+                i.map.contains_key(&candidate)
+            };
+            if !exists {
+                return Symbol::new(&candidate);
+            }
+            n += 1;
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::new(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("alpha");
+        let b = Symbol::new("alpha");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "alpha");
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        assert_ne!(Symbol::new("beta"), Symbol::new("gamma"));
+    }
+
+    #[test]
+    fn fresh_symbols_are_new() {
+        let x = Symbol::new("v");
+        let f1 = Symbol::fresh("v");
+        let f2 = Symbol::fresh("v");
+        assert_ne!(x, f1);
+        assert_ne!(f1, f2);
+        assert!(f1.as_str().starts_with('v'));
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Symbol = "delta".into();
+        let b: Symbol = String::from("delta").into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let s = Symbol::new("display_me");
+        assert_eq!(format!("{s}"), "display_me");
+        assert!(format!("{s:?}").contains("display_me"));
+    }
+}

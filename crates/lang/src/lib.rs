@@ -1,0 +1,63 @@
+//! # hhl-lang — language & semantics substrate for Hyper Hoare Logic
+//!
+//! This crate implements the programming language of *Hyper Hoare Logic:
+//! (Dis-)Proving Program Hyperproperties* (Dardinier & Müller, PLDI 2024),
+//! §3.1 and Appendix A:
+//!
+//! * [`Value`], [`Store`], [`ExtState`] — program states `PVars → PVals` and
+//!   extended states `(LVars → LVals) × PStates` (Defs. 1–2);
+//! * [`Expr`] — total program expressions and state predicates;
+//! * [`Cmd`] — the command language `skip | x := e | x := nonDet() |
+//!   assume b | C;C | C+C | C*` with the paper's `if`/`while` desugarings;
+//! * [`ExecConfig::exec`] — the big-step semantics of Fig. 9, finitized as
+//!   described in `DESIGN.md`;
+//! * [`ExecConfig::sem`] — the extended semantics over [`StateSet`]s
+//!   (Def. 4) with [`sem::lemma1`] as executable lemmas;
+//! * [`parse_cmd`] / [`parse_expr`] — a textual surface syntax.
+//!
+//! # Quick example
+//!
+//! ```
+//! use hhl_lang::{parse_cmd, ExecConfig, ExtState, StateSet, Store, Value};
+//!
+//! // The insecure program C2 from §2.2 of the paper.
+//! let c2 = parse_cmd("if (h > 0) { l := 1 } else { l := 0 }").unwrap();
+//! let cfg = ExecConfig::default();
+//!
+//! let init: StateSet = [
+//!     ExtState::from_program(Store::from_pairs([("h", Value::Int(1))])),
+//!     ExtState::from_program(Store::from_pairs([("h", Value::Int(-1))])),
+//! ]
+//! .into_iter()
+//! .collect();
+//!
+//! let finals = cfg.sem(&c2, &init);
+//! // Two executions with equal low inputs produce different low outputs:
+//! // the set of final values of l is {0, 1} — C2 violates non-interference.
+//! let ls: std::collections::BTreeSet<_> =
+//!     finals.iter().map(|phi| phi.program.get("l")).collect();
+//! assert_eq!(ls.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cmd;
+mod exec;
+mod expr;
+mod intern;
+mod parser;
+pub mod sem;
+pub mod smallstep;
+mod state;
+mod stateset;
+mod value;
+
+pub use cmd::Cmd;
+pub use exec::ExecConfig;
+pub use expr::{BinOp, Expr, UnOp};
+pub use intern::Symbol;
+pub use parser::{parse_cmd, parse_expr, ParseError};
+pub use state::{ExtState, Store};
+pub use stateset::StateSet;
+pub use value::Value;

@@ -1,0 +1,614 @@
+//! A textual surface syntax for commands and expressions.
+//!
+//! The concrete grammar mirrors the paper's notation:
+//!
+//! ```text
+//! cmd   ::= stmt (';' stmt)*
+//! stmt  ::= 'skip'
+//!         | ident ':=' 'nonDet' '(' ')'
+//!         | ident ':=' 'randIntBounded' '(' expr ',' expr ')'
+//!         | ident ':=' expr
+//!         | 'assume' expr
+//!         | 'if' '(' expr ')' block ('else' block)?
+//!         | 'while' '(' expr ')' block
+//!         | block ('+' block)+          // non-deterministic choice
+//!         | block '*'                   // non-deterministic iteration
+//! block ::= '{' cmd? '}'
+//! expr  ::= prec-climbing over || && == != < <= > >= + - ++ ^ * / % ! len [..] $lvar
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use hhl_lang::parse_cmd;
+//! let c4 = parse_cmd("y := nonDet(); assume y <= 9; l := h + y").unwrap();
+//! assert_eq!(c4.size(), 5);
+//! ```
+
+use std::fmt;
+
+use crate::cmd::Cmd;
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::value::Value;
+
+/// Error produced when parsing a command or expression fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset in the input at which the failure occurred.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Int(i64),
+    LVar(String),
+    Sym(&'static str),
+}
+
+pub(crate) struct Lexer<'a> {
+    src: &'a [u8],
+    pub(crate) pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub(crate) fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            position: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b'/' && self.src.get(self.pos + 1) == Some(&b'/') {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Returns the next token without consuming it.
+    pub(crate) fn peek(&mut self) -> Result<Option<Tok>, ParseError> {
+        let saved = self.pos;
+        let t = self.next_tok()?;
+        self.pos = saved;
+        Ok(t)
+    }
+
+    /// Consumes and returns the next token.
+    pub(crate) fn next_tok(&mut self) -> Result<Option<Tok>, ParseError> {
+        self.skip_ws();
+        if self.pos >= self.src.len() {
+            return Ok(None);
+        }
+        let c = self.src[self.pos];
+        // Multi-char symbols first.
+        let two: &[u8] = &self.src[self.pos..(self.pos + 2).min(self.src.len())];
+        for s in [":=", "==", "!=", "<=", ">=", "&&", "||", "++", "=>"] {
+            if two == s.as_bytes() {
+                self.pos += 2;
+                return Ok(Some(Tok::Sym(match s {
+                    ":=" => ":=",
+                    "==" => "==",
+                    "!=" => "!=",
+                    "<=" => "<=",
+                    ">=" => ">=",
+                    "&&" => "&&",
+                    "||" => "||",
+                    "++" => "++",
+                    "=>" => "=>",
+                    _ => unreachable!(),
+                })));
+            }
+        }
+        let singles = b"+-*/%^<>!(){}[],;.|=:";
+        if singles.contains(&c) {
+            self.pos += 1;
+            let s = match c {
+                b'+' => "+",
+                b'-' => "-",
+                b'*' => "*",
+                b'/' => "/",
+                b'%' => "%",
+                b'^' => "^",
+                b'<' => "<",
+                b'>' => ">",
+                b'!' => "!",
+                b'(' => "(",
+                b')' => ")",
+                b'{' => "{",
+                b'}' => "}",
+                b'[' => "[",
+                b']' => "]",
+                b',' => ",",
+                b';' => ";",
+                b'.' => ".",
+                b'|' => "|",
+                b'=' => "=",
+                b':' => ":",
+                _ => unreachable!(),
+            };
+            return Ok(Some(Tok::Sym(s)));
+        }
+        if c == b'$' {
+            self.pos += 1;
+            let start = self.pos;
+            while self.pos < self.src.len()
+                && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+            if start == self.pos {
+                return self.err("expected logical variable name after '$'");
+            }
+            let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            return Ok(Some(Tok::LVar(name)));
+        }
+        if c.is_ascii_digit() {
+            let start = self.pos;
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+            let n: i64 = match text.parse() {
+                Ok(n) => n,
+                Err(_) => return self.err(format!("integer literal out of range: {text}")),
+            };
+            return Ok(Some(Tok::Int(n)));
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = self.pos;
+            while self.pos < self.src.len()
+                && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+            let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            return Ok(Some(Tok::Ident(name)));
+        }
+        self.err(format!("unexpected character {:?}", c as char))
+    }
+
+    pub(crate) fn expect_sym(&mut self, s: &str) -> Result<(), ParseError> {
+        match self.next_tok()? {
+            Some(Tok::Sym(t)) if t == s => Ok(()),
+            other => self.err(format!("expected `{s}`, found {other:?}")),
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> Result<bool, ParseError> {
+        if let Some(Tok::Sym(t)) = self.peek()? {
+            if t == s {
+                self.next_tok()?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> Result<bool, ParseError> {
+        if let Some(Tok::Ident(t)) = self.peek()? {
+            if t == kw {
+                self.next_tok()?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn parse_expr_bp(lx: &mut Lexer<'_>, min_bp: u8) -> Result<Expr, ParseError> {
+    let mut lhs = parse_expr_atom(lx)?;
+    loop {
+        let op = match lx.peek()? {
+            Some(Tok::Sym(s)) => match s {
+                "||" => Some((BinOp::Or, 1)),
+                "&&" => Some((BinOp::And, 2)),
+                "==" | "=" => Some((BinOp::Eq, 3)),
+                "!=" => Some((BinOp::Ne, 3)),
+                "<" => Some((BinOp::Lt, 3)),
+                "<=" => Some((BinOp::Le, 3)),
+                ">" => Some((BinOp::Gt, 3)),
+                ">=" => Some((BinOp::Ge, 3)),
+                "+" => Some((BinOp::Add, 4)),
+                "-" => Some((BinOp::Sub, 4)),
+                "++" => Some((BinOp::Concat, 4)),
+                "^" => Some((BinOp::Xor, 4)),
+                "*" => Some((BinOp::Mul, 5)),
+                "/" => Some((BinOp::Div, 5)),
+                "%" => Some((BinOp::Rem, 5)),
+                _ => None,
+            },
+            _ => None,
+        };
+        let Some((op, bp)) = op else { break };
+        if bp < min_bp {
+            break;
+        }
+        lx.next_tok()?;
+        let rhs = parse_expr_bp(lx, bp + 1)?;
+        lhs = Expr::bin(op, lhs, rhs);
+    }
+    Ok(lhs)
+}
+
+fn parse_expr_atom(lx: &mut Lexer<'_>) -> Result<Expr, ParseError> {
+    let tok = lx.next_tok()?;
+    let mut base = match tok {
+        Some(Tok::Int(n)) => Expr::int(n),
+        Some(Tok::LVar(name)) => Expr::lvar(name.as_str()),
+        Some(Tok::Sym("-")) => -parse_expr_atom(lx)?,
+        Some(Tok::Sym("!")) => parse_expr_atom(lx)?.not(),
+        Some(Tok::Sym("(")) => {
+            let e = parse_expr_bp(lx, 0)?;
+            lx.expect_sym(")")?;
+            e
+        }
+        Some(Tok::Sym("[")) => {
+            let mut items = Vec::new();
+            if !lx.eat_sym("]")? {
+                loop {
+                    items.push(parse_expr_bp(lx, 0)?);
+                    if lx.eat_sym("]")? {
+                        break;
+                    }
+                    lx.expect_sym(",")?;
+                }
+            }
+            if items.iter().all(|e| matches!(e, Expr::Const(_))) {
+                Expr::Const(Value::List(
+                    items
+                        .iter()
+                        .map(|e| match e {
+                            Expr::Const(v) => v.clone(),
+                            _ => unreachable!(),
+                        })
+                        .collect(),
+                ))
+            } else {
+                Expr::list(items)
+            }
+        }
+        Some(Tok::Ident(name)) => match name.as_str() {
+            "true" => Expr::bool(true),
+            "false" => Expr::bool(false),
+            "len" => {
+                lx.expect_sym("(")?;
+                let e = parse_expr_bp(lx, 0)?;
+                lx.expect_sym(")")?;
+                Expr::un(UnOp::Len, e)
+            }
+            "max" | "min" => {
+                lx.expect_sym("(")?;
+                let a = parse_expr_bp(lx, 0)?;
+                lx.expect_sym(",")?;
+                let b = parse_expr_bp(lx, 0)?;
+                lx.expect_sym(")")?;
+                let op = if name == "max" { BinOp::Max } else { BinOp::Min };
+                Expr::bin(op, a, b)
+            }
+            _ => Expr::var(name.as_str()),
+        },
+        other => {
+            return Err(ParseError {
+                message: format!("expected expression, found {other:?}"),
+                position: lx.pos,
+            })
+        }
+    };
+    // Postfix indexing: e[i], possibly chained.
+    while lx.eat_sym("[")? {
+        let idx = parse_expr_bp(lx, 0)?;
+        lx.expect_sym("]")?;
+        base = base.index(idx);
+    }
+    Ok(base)
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+fn parse_block(lx: &mut Lexer<'_>) -> Result<Cmd, ParseError> {
+    lx.expect_sym("{")?;
+    if lx.eat_sym("}")? {
+        return Ok(Cmd::Skip);
+    }
+    let c = parse_seq(lx)?;
+    lx.expect_sym("}")?;
+    Ok(c)
+}
+
+fn parse_stmt(lx: &mut Lexer<'_>) -> Result<Cmd, ParseError> {
+    if let Some(Tok::Sym("{")) = lx.peek()? {
+        // block, possibly followed by + block ... or postfix *
+        let mut c = parse_block(lx)?;
+        if lx.eat_sym("*")? {
+            return Ok(Cmd::star(c));
+        }
+        while lx.eat_sym("+")? {
+            let rhs = parse_block(lx)?;
+            c = Cmd::choice(c, rhs);
+        }
+        return Ok(c);
+    }
+    if lx.eat_ident("skip")? {
+        return Ok(Cmd::Skip);
+    }
+    if lx.eat_ident("assume")? {
+        let b = parse_expr_bp(lx, 0)?;
+        return Ok(Cmd::assume(b));
+    }
+    if lx.eat_ident("if")? {
+        lx.expect_sym("(")?;
+        let b = parse_expr_bp(lx, 0)?;
+        lx.expect_sym(")")?;
+        let then_branch = parse_block(lx)?;
+        if lx.eat_ident("else")? {
+            let else_branch = parse_block(lx)?;
+            return Ok(Cmd::if_else(b, then_branch, else_branch));
+        }
+        return Ok(Cmd::if_then(b, then_branch));
+    }
+    if lx.eat_ident("while")? {
+        lx.expect_sym("(")?;
+        let b = parse_expr_bp(lx, 0)?;
+        lx.expect_sym(")")?;
+        let body = parse_block(lx)?;
+        return Ok(Cmd::while_loop(b, body));
+    }
+    // assignment / havoc
+    match lx.next_tok()? {
+        Some(Tok::Ident(x)) => {
+            lx.expect_sym(":=")?;
+            if lx.eat_ident("nonDet")? {
+                lx.expect_sym("(")?;
+                lx.expect_sym(")")?;
+                return Ok(Cmd::havoc(x.as_str()));
+            }
+            if lx.eat_ident("randIntBounded")? {
+                lx.expect_sym("(")?;
+                let a = parse_expr_bp(lx, 0)?;
+                lx.expect_sym(",")?;
+                let b = parse_expr_bp(lx, 0)?;
+                lx.expect_sym(")")?;
+                return Ok(Cmd::rand_int_bounded(x.as_str(), a, b));
+            }
+            let e = parse_expr_bp(lx, 0)?;
+            Ok(Cmd::assign(x.as_str(), e))
+        }
+        other => Err(ParseError {
+            message: format!("expected statement, found {other:?}"),
+            position: lx.pos,
+        }),
+    }
+}
+
+fn parse_seq(lx: &mut Lexer<'_>) -> Result<Cmd, ParseError> {
+    let mut stmts = vec![parse_stmt(lx)?];
+    while lx.eat_sym(";")? {
+        // allow trailing semicolon before '}' or end of input
+        match lx.peek()? {
+            None | Some(Tok::Sym("}")) => break,
+            _ => stmts.push(parse_stmt(lx)?),
+        }
+    }
+    Ok(Cmd::seq_all(stmts))
+}
+
+/// Parses a command from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending token if the input
+/// is not a well-formed command.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_lang::parse_cmd;
+/// let fib = parse_cmd(
+///     "a := 0; b := 1; i := 0;
+///      while (i < n) { tmp := b; b := a + b; a := tmp; i := i + 1 }",
+/// ).unwrap();
+/// assert!(!fib.is_loop_free());
+/// ```
+pub fn parse_cmd(src: &str) -> Result<Cmd, ParseError> {
+    let mut lx = Lexer::new(src);
+    let c = parse_seq(&mut lx)?;
+    match lx.peek()? {
+        None => Ok(c),
+        Some(t) => Err(ParseError {
+            message: format!("trailing input after command: {t:?}"),
+            position: lx.pos,
+        }),
+    }
+}
+
+/// Parses an expression from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input is not a well-formed expression.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_lang::{parse_expr, Store, Value};
+/// let e = parse_expr("h + y <= 20 && y >= 0").unwrap();
+/// let s = Store::from_pairs([("h", Value::Int(11)), ("y", Value::Int(9))]);
+/// assert!(e.holds(&s));
+/// ```
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let mut lx = Lexer::new(src);
+    let e = parse_expr_bp(&mut lx, 0)?;
+    match lx.peek()? {
+        None => Ok(e),
+        Some(t) => Err(ParseError {
+            message: format!("trailing input after expression: {t:?}"),
+            position: lx.pos,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecConfig;
+    use crate::state::Store;
+
+    #[test]
+    fn parses_paper_c2() {
+        // C2 = if (h > 0) { l := 1 } else { l := 0 }
+        let c = parse_cmd("if (h > 0) { l := 1 } else { l := 0 }").unwrap();
+        let cfg = ExecConfig::default();
+        let hi = Store::from_pairs([("h", Value::Int(5))]);
+        let out = cfg.exec(&c, &hi);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.iter().next().unwrap().get("l"), Value::Int(1));
+    }
+
+    #[test]
+    fn parses_nondet_and_rand() {
+        let c = parse_cmd("y := nonDet()").unwrap();
+        assert_eq!(c, Cmd::havoc("y"));
+        let r = parse_cmd("x := randIntBounded(0, 9)").unwrap();
+        assert_eq!(r, Cmd::rand_int_bounded("x", Expr::int(0), Expr::int(9)));
+    }
+
+    #[test]
+    fn parses_choice_and_star() {
+        let c = parse_cmd("{ x := 1 } + { x := 2 }").unwrap();
+        assert!(matches!(c, Cmd::Choice(_, _)));
+        let s = parse_cmd("{ x := x + 1 }*").unwrap();
+        assert!(matches!(s, Cmd::Star(_)));
+    }
+
+    #[test]
+    fn parses_while_with_desugaring() {
+        let w = parse_cmd("while (i < n) { i := i + 1 }").unwrap();
+        let manual = Cmd::while_loop(
+            Expr::var("i").lt(Expr::var("n")),
+            Cmd::assign("i", Expr::var("i") + Expr::int(1)),
+        );
+        assert_eq!(w, manual);
+    }
+
+    #[test]
+    fn parses_lists_and_len() {
+        let e = parse_expr("len(h) + h[i]").unwrap();
+        let s = Store::from_pairs([
+            ("h", Value::list([Value::Int(10), Value::Int(20)])),
+            ("i", Value::Int(1)),
+        ]);
+        assert_eq!(e.eval(&s), Value::Int(22));
+        let lit = parse_expr("[1, 2, 3]").unwrap();
+        assert_eq!(
+            lit,
+            Expr::Const(Value::list([Value::Int(1), Value::Int(2), Value::Int(3)]))
+        );
+    }
+
+    #[test]
+    fn precedence_is_standard() {
+        let e = parse_expr("1 + 2 * 3 == 7").unwrap();
+        assert!(e.holds(&Store::new()));
+        let e2 = parse_expr("(1 + 2) * 3 == 9").unwrap();
+        assert!(e2.holds(&Store::new()));
+        let e3 = parse_expr("true || false && false").unwrap();
+        assert!(e3.holds(&Store::new())); // && binds tighter
+    }
+
+    #[test]
+    fn parses_logical_vars() {
+        let e = parse_expr("$t == 1").unwrap();
+        assert_eq!(e, Expr::lvar("t").eq(Expr::int(1)));
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let c = parse_cmd(
+            "// initialize\n x := 0; // then loop\n while (x < 2) { x := x + 1 }",
+        )
+        .unwrap();
+        let cfg = ExecConfig::default().fuel(16);
+        let out = cfg.exec(&c, &Store::new());
+        assert_eq!(out.iter().next().unwrap().get("x"), Value::Int(2));
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_cmd("x := ").unwrap_err();
+        assert!(err.position > 0);
+        assert!(err.to_string().contains("expression"));
+        assert!(parse_cmd("x := 1 1").is_err());
+        assert!(parse_expr("1 +").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolons_allowed() {
+        let c = parse_cmd("x := 1;").unwrap();
+        assert_eq!(c, Cmd::assign("x", Expr::int(1)));
+        let b = parse_cmd("if (x > 0) { y := 1; } else { y := 0; }").unwrap();
+        assert!(matches!(b, Cmd::Choice(_, _)));
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let src = "y := nonDet(); assume y <= 9; l := h + y";
+        let c = parse_cmd(src).unwrap();
+        let printed = c.to_string();
+        let reparsed = parse_cmd(&printed).unwrap();
+        assert_eq!(c, reparsed);
+    }
+
+    #[test]
+    fn parses_fig8_minimum_program() {
+        let c = parse_cmd(
+            "x := 0; y := 0; i := 0;
+             while (i < k) {
+               r := nonDet(); assume r >= 2;
+               t := x; x := 2 * x + r; y := y + t * r; i := i + 1
+             }",
+        )
+        .unwrap();
+        let cfg = ExecConfig::with_domain([Value::Int(2), Value::Int(3)]).fuel(8);
+        let init = Store::from_pairs([("k", Value::Int(2))]);
+        let out = cfg.exec(&c, &init);
+        // r ∈ {2,3} twice: 4 paths, all distinct in (x, y)
+        assert_eq!(out.len(), 4);
+        // minimal run is r=2 both times: x = 2*2+2 = 6, y = 0 + 2*3... compute:
+        // iter1: t=0, x=2, y=0; iter2: t=2, x=2*2+2=6, y=0+2*2=4
+        assert!(out
+            .iter()
+            .any(|s| s.get("x") == Value::Int(6) && s.get("y") == Value::Int(4)));
+    }
+}

@@ -1,0 +1,177 @@
+//! The extended semantics `sem(C, S)` (Definition 4) and Lemma 1.
+//!
+//! `sem(C, S)` lifts the big-step semantics to *sets of extended states*: it
+//! is the set of extended states reachable by running `C` from some state of
+//! `S`, with logical stores carried through unchanged (programs cannot touch
+//! logical variables).
+//!
+//! Lemma 1's algebraic properties of `sem` are exposed as executable checks
+//! used by the property-test suite:
+//!
+//! 1. `sem(C, S1 ∪ S2) = sem(C, S1) ∪ sem(C, S2)`
+//! 2. `S ⊆ S' ⇒ sem(C, S) ⊆ sem(C, S')`
+//! 4. `sem(skip, S) = S`
+//! 5. `sem(C1; C2, S) = sem(C2, sem(C1, S))`
+//! 6. `sem(C1 + C2, S) = sem(C1, S) ∪ sem(C2, S)`
+//! 7. `sem(C*, S) = ⋃ₙ sem(Cⁿ, S)`
+
+use crate::cmd::Cmd;
+use crate::exec::ExecConfig;
+use crate::state::ExtState;
+use crate::stateset::StateSet;
+
+impl ExecConfig {
+    /// The extended semantics `sem(C, S)` (Def. 4):
+    /// `{φ | ∃σ. (φ_L, σ) ∈ S ∧ ⟨C, σ⟩ → φ_P}`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hhl_lang::{Cmd, ExecConfig, Expr, ExtState, StateSet, Store, Value};
+    /// let cfg = ExecConfig::default();
+    /// let s = StateSet::singleton(ExtState::from_program(Store::new()));
+    /// let out = cfg.sem(&Cmd::assign("x", Expr::int(3)), &s);
+    /// assert_eq!(out.len(), 1);
+    /// assert_eq!(out.iter().next().unwrap().program.get("x"), Value::Int(3));
+    /// ```
+    pub fn sem(&self, cmd: &Cmd, s: &StateSet) -> StateSet {
+        s.flat_map(|phi| {
+            let logical = phi.logical.clone();
+            self.exec(cmd, &phi.program)
+                .into_iter()
+                .map(move |sigma| ExtState::new(logical.clone(), sigma))
+        })
+    }
+
+    /// `sem(Cⁿ, S)` — extended semantics of the `n`-fold composition, used
+    /// by Lemma 1(7) tests and the `Iter` rule checker.
+    pub fn sem_pow(&self, cmd: &Cmd, n: u32, s: &StateSet) -> StateSet {
+        self.sem(&cmd.pow(n), s)
+    }
+}
+
+/// Executable Lemma 1 — each function returns `true` iff the corresponding
+/// equation holds for the given inputs (they always should; the property
+/// tests assert this over random instances).
+pub mod lemma1 {
+    use super::*;
+
+    /// Lemma 1(1): `sem(C, S1 ∪ S2) = sem(C, S1) ∪ sem(C, S2)`.
+    pub fn union_distributes(cfg: &ExecConfig, c: &Cmd, s1: &StateSet, s2: &StateSet) -> bool {
+        cfg.sem(c, &s1.union(s2)) == cfg.sem(c, s1).union(&cfg.sem(c, s2))
+    }
+
+    /// Lemma 1(2): `S ⊆ S' ⇒ sem(C, S) ⊆ sem(C, S')`.
+    pub fn monotone(cfg: &ExecConfig, c: &Cmd, s: &StateSet, s_sup: &StateSet) -> bool {
+        !s.is_subset(s_sup) || cfg.sem(c, s).is_subset(&cfg.sem(c, s_sup))
+    }
+
+    /// Lemma 1(4): `sem(skip, S) = S`.
+    pub fn skip_identity(cfg: &ExecConfig, s: &StateSet) -> bool {
+        cfg.sem(&Cmd::Skip, s) == *s
+    }
+
+    /// Lemma 1(5): `sem(C1; C2, S) = sem(C2, sem(C1, S))`.
+    pub fn seq_composes(cfg: &ExecConfig, c1: &Cmd, c2: &Cmd, s: &StateSet) -> bool {
+        cfg.sem(&Cmd::seq(c1.clone(), c2.clone()), s) == cfg.sem(c2, &cfg.sem(c1, s))
+    }
+
+    /// Lemma 1(6): `sem(C1 + C2, S) = sem(C1, S) ∪ sem(C2, S)`.
+    pub fn choice_unions(cfg: &ExecConfig, c1: &Cmd, c2: &Cmd, s: &StateSet) -> bool {
+        cfg.sem(&Cmd::choice(c1.clone(), c2.clone()), s)
+            == cfg.sem(c1, s).union(&cfg.sem(c2, s))
+    }
+
+    /// Lemma 1(7): `sem(C*, S) = ⋃_{n ≤ N} sem(Cⁿ, S)` where `N` is large
+    /// enough to reach the fixpoint (here: the config's fuel).
+    pub fn star_is_union_of_powers(cfg: &ExecConfig, c: &Cmd, s: &StateSet) -> bool {
+        let star = cfg.sem(&Cmd::star(c.clone()), s);
+        let mut acc = StateSet::new();
+        for n in 0..=cfg.loop_fuel {
+            let layer = cfg.sem_pow(c, n, s);
+            let before = acc.len();
+            acc = acc.union(&layer);
+            if n > 0 && acc.len() == before {
+                break; // no growth: fixpoint on finite spaces
+            }
+        }
+        star == acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::state::Store;
+    use crate::value::Value;
+
+    fn phi(pairs: &[(&str, i64)]) -> ExtState {
+        ExtState::from_program(Store::from_pairs(
+            pairs.iter().map(|(k, v)| (*k, Value::Int(*v))),
+        ))
+    }
+
+    fn set(states: Vec<ExtState>) -> StateSet {
+        states.into_iter().collect()
+    }
+
+    #[test]
+    fn sem_preserves_logical_store() {
+        let cfg = ExecConfig::default();
+        let mut st = phi(&[("x", 1)]);
+        st.logical.set("t", Value::Int(42));
+        let s = StateSet::singleton(st);
+        let out = cfg.sem(&Cmd::assign("x", Expr::int(9)), &s);
+        let result = out.iter().next().unwrap();
+        assert_eq!(result.logical.get("t"), Value::Int(42));
+        assert_eq!(result.program.get("x"), Value::Int(9));
+    }
+
+    #[test]
+    fn sem_merges_collisions() {
+        // Two initial states mapping to the same final state collapse.
+        let cfg = ExecConfig::default();
+        let s = set(vec![phi(&[("x", 1)]), phi(&[("x", 2)])]);
+        let out = cfg.sem(&Cmd::assign("x", Expr::int(0)), &s);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn lemma1_on_concrete_instances() {
+        let cfg = ExecConfig::int_range(0, 2).fuel(8);
+        let c1 = Cmd::havoc("x");
+        let c2 = Cmd::if_else(
+            Expr::var("x").gt(Expr::int(0)),
+            Cmd::assign("y", Expr::int(1)),
+            Cmd::assign("y", Expr::int(0)),
+        );
+        let s1 = set(vec![phi(&[("x", 1)])]);
+        let s2 = set(vec![phi(&[("x", 2)]), phi(&[("h", 5)])]);
+
+        assert!(lemma1::union_distributes(&cfg, &c1, &s1, &s2));
+        assert!(lemma1::monotone(&cfg, &c2, &s1, &s1.union(&s2)));
+        assert!(lemma1::skip_identity(&cfg, &s2));
+        assert!(lemma1::seq_composes(&cfg, &c1, &c2, &s2));
+        assert!(lemma1::choice_unions(&cfg, &c1, &c2, &s1));
+        let bump = Cmd::seq(
+            Cmd::assume(Expr::var("x").lt(Expr::int(3))),
+            Cmd::assign("x", Expr::var("x") + Expr::int(1)),
+        );
+        assert!(lemma1::star_is_union_of_powers(&cfg, &bump, &s1));
+    }
+
+    #[test]
+    fn sem_empty_set_is_empty() {
+        let cfg = ExecConfig::default();
+        let out = cfg.sem(&Cmd::havoc("x"), &StateSet::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn assume_false_empties_any_set() {
+        let cfg = ExecConfig::default();
+        let s = set(vec![phi(&[("x", 1)]), phi(&[("x", 2)])]);
+        assert!(cfg.sem(&Cmd::assume(Expr::bool(false)), &s).is_empty());
+    }
+}

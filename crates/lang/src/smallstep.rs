@@ -1,0 +1,198 @@
+//! Small-step semantics.
+//!
+//! Appendix E observes that characterizing *total* correctness (and
+//! non-termination) properly requires a small-step presentation of the
+//! semantics, where intermediate configurations are observable. This module
+//! provides it: configurations `⟨C, σ⟩` step to either `⟨C', σ'⟩` or a final
+//! state, and [`reachable_finals`] computes the same final-state sets as the
+//! big-step [`ExecConfig::exec`](crate::ExecConfig::exec) (property-tested
+//! equivalence), while [`diverges_within`] observes non-terminating
+//! behaviour the big-step semantics silently drops.
+
+use std::collections::BTreeSet;
+
+use crate::cmd::Cmd;
+use crate::exec::ExecConfig;
+use crate::state::Store;
+
+/// A small-step outcome: either an intermediate configuration or a final
+/// state.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Step {
+    /// The execution continues with the residual command in the new state.
+    Continue(Cmd, Store),
+    /// The execution terminated in the given state.
+    Done(Store),
+}
+
+/// All single steps of the configuration `⟨cmd, σ⟩` (non-determinism yields
+/// several successors; a stuck `assume` yields none).
+pub fn step(cmd: &Cmd, sigma: &Store, cfg: &ExecConfig) -> Vec<Step> {
+    match cmd {
+        Cmd::Skip => vec![Step::Done(sigma.clone())],
+        Cmd::Assign(x, e) => vec![Step::Done(sigma.with(*x, e.eval(sigma)))],
+        Cmd::Havoc(x) => cfg
+            .havoc_domain
+            .iter()
+            .map(|v| Step::Done(sigma.with(*x, v.clone())))
+            .collect(),
+        Cmd::Assume(b) => {
+            if b.holds(sigma) {
+                vec![Step::Done(sigma.clone())]
+            } else {
+                Vec::new() // stuck: no execution
+            }
+        }
+        Cmd::Seq(c1, c2) => step(c1, sigma, cfg)
+            .into_iter()
+            .map(|s| match s {
+                Step::Done(sigma1) => Step::Continue((**c2).clone(), sigma1),
+                Step::Continue(c1p, sigma1) => {
+                    Step::Continue(Cmd::seq(c1p, (**c2).clone()), sigma1)
+                }
+            })
+            .collect(),
+        Cmd::Choice(c1, c2) => vec![
+            Step::Continue((**c1).clone(), sigma.clone()),
+            Step::Continue((**c2).clone(), sigma.clone()),
+        ],
+        Cmd::Star(c) => vec![
+            // Stop iterating …
+            Step::Done(sigma.clone()),
+            // … or unroll once more.
+            Step::Continue(Cmd::seq((**c).clone(), Cmd::star((**c).clone())), sigma.clone()),
+        ],
+    }
+}
+
+/// The final states reachable from `⟨cmd, σ⟩` by iterated small steps, with
+/// a visited-set fixpoint bounded by `max_configs` explored configurations.
+///
+/// Agrees with the big-step semantics on every terminating execution
+/// (property-tested in this module and in the workspace test suite).
+pub fn reachable_finals(
+    cmd: &Cmd,
+    sigma: &Store,
+    cfg: &ExecConfig,
+    max_configs: usize,
+) -> BTreeSet<Store> {
+    let mut finals = BTreeSet::new();
+    let mut seen: BTreeSet<(Cmd, Store)> = BTreeSet::new();
+    let mut frontier: Vec<(Cmd, Store)> = vec![(cmd.clone(), sigma.clone())];
+    while let Some((c, s)) = frontier.pop() {
+        if seen.len() >= max_configs {
+            break;
+        }
+        if !seen.insert((c.clone(), s.clone())) {
+            continue;
+        }
+        for next in step(&c, &s, cfg) {
+            match next {
+                Step::Done(sf) => {
+                    finals.insert(sf);
+                }
+                Step::Continue(cn, sn) => frontier.push((cn, sn)),
+            }
+        }
+    }
+    finals
+}
+
+/// True iff `⟨cmd, σ⟩` can run for at least `fuel` small steps without
+/// finishing — observable divergence, which App. E's recurrent-set argument
+/// makes provable and which the big-step semantics cannot express.
+pub fn diverges_within(cmd: &Cmd, sigma: &Store, cfg: &ExecConfig, fuel: u32) -> bool {
+    // A configuration cycle implies a genuinely infinite execution.
+    fn go(
+        c: &Cmd,
+        s: &Store,
+        cfg: &ExecConfig,
+        fuel: u32,
+        seen: &mut BTreeSet<(Cmd, Store)>,
+    ) -> bool {
+        if fuel == 0 {
+            return true; // ran long enough without finishing
+        }
+        if !seen.insert((c.clone(), s.clone())) {
+            return true; // revisited configuration: a lasso
+        }
+        step(c, s, cfg).into_iter().any(|st| match st {
+            Step::Done(_) => false,
+            Step::Continue(cn, sn) => go(&cn, &sn, cfg, fuel - 1, seen),
+        })
+    }
+    go(cmd, sigma, cfg, fuel, &mut BTreeSet::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::parser::parse_cmd;
+
+    fn s0() -> Store {
+        Store::new()
+    }
+
+    #[test]
+    fn small_step_agrees_with_big_step_on_basics() {
+        let cfg = ExecConfig::int_range(0, 2);
+        for src in [
+            "skip",
+            "x := x + 1",
+            "x := nonDet()",
+            "assume x > 0",
+            "x := 1; y := x + 1",
+            "{ x := 1 } + { x := 2 }",
+            "if (x > 0) { y := 1 } else { y := 2 }",
+            "x := 0; while (x < 2) { x := x + 1 }",
+        ] {
+            let cmd = parse_cmd(src).unwrap();
+            let big = cfg.exec(&cmd, &s0());
+            let small = reachable_finals(&cmd, &s0(), &cfg, 10_000);
+            assert_eq!(big, small, "semantics disagree on {src}");
+        }
+    }
+
+    #[test]
+    fn star_includes_zero_iterations_small_step() {
+        let cmd = Cmd::star(Cmd::assign("x", Expr::var("x") + Expr::int(1)));
+        let cfg = ExecConfig::int_range(0, 1).fuel(3);
+        let small = reachable_finals(&cmd, &s0(), &cfg, 64);
+        assert!(small.contains(&s0()));
+    }
+
+    #[test]
+    fn divergence_is_observable() {
+        let cfg = ExecConfig::int_range(0, 1);
+        let spin = parse_cmd("while (true) { skip }").unwrap();
+        assert!(diverges_within(&spin, &s0(), &cfg, 50));
+        // Big-step sees nothing at all:
+        assert!(cfg.clone().fuel(10).exec(&spin, &s0()).is_empty());
+        // A terminating loop does not diverge.
+        let count = parse_cmd("x := 0; while (x < 2) { x := x + 1 }").unwrap();
+        assert!(!diverges_within(&count, &s0(), &cfg, 50));
+    }
+
+    #[test]
+    fn partial_divergence_mixed_with_termination() {
+        // x := nonDet(); while (x > 0) { skip }: some runs finish, some spin
+        // — small step observes both.
+        let cfg = ExecConfig::int_range(0, 1);
+        let cmd = parse_cmd("x := nonDet(); while (x > 0) { skip }").unwrap();
+        assert!(diverges_within(&cmd, &s0(), &cfg, 50));
+        assert!(!reachable_finals(&cmd, &s0(), &cfg, 1000).is_empty());
+    }
+
+    #[test]
+    fn stuck_assume_has_no_steps() {
+        let cfg = ExecConfig::default();
+        assert!(step(&Cmd::assume(Expr::bool(false)), &s0(), &cfg).is_empty());
+        assert!(!diverges_within(
+            &Cmd::assume(Expr::bool(false)),
+            &s0(),
+            &cfg,
+            50
+        ));
+    }
+}

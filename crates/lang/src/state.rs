@@ -1,0 +1,243 @@
+//! Program states and extended states (Definitions 1 and 2).
+//!
+//! A *program state* is a total function `PVars → PVals`; an *extended state*
+//! (Def. 2) pairs a logical store (`LVars → LVals`) with a program store.
+//! Totality is modelled by defaulting absent variables to [`Value::default`]
+//! and by *normalizing* stores so that explicitly-set default values are
+//! erased — two extensionally equal stores are structurally equal.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::intern::Symbol;
+use crate::value::Value;
+
+/// A total variable store: `Symbol → Value`, defaulting to `Value::Int(0)`.
+///
+/// Stores are normalized (default-valued entries are not stored) so that
+/// `Eq`/`Ord`/`Hash` coincide with extensional equality of the total
+/// functions they represent.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_lang::{Store, Value};
+/// let mut s = Store::new();
+/// assert_eq!(s.get("x"), Value::Int(0)); // total: default everywhere
+/// s.set("x", Value::Int(5));
+/// assert_eq!(s.get("x"), Value::Int(5));
+/// s.set("x", Value::Int(0));
+/// assert_eq!(s, Store::new()); // normalization: extensional equality
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Store(BTreeMap<Symbol, Value>);
+
+impl Store {
+    /// Creates the store that maps every variable to the default value.
+    pub fn new() -> Store {
+        Store(BTreeMap::new())
+    }
+
+    /// Builds a store from `(name, value)` pairs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hhl_lang::{Store, Value};
+    /// let s = Store::from_pairs([("x", Value::Int(1)), ("y", Value::Int(2))]);
+    /// assert_eq!(s.get("y"), Value::Int(2));
+    /// ```
+    pub fn from_pairs<S: Into<Symbol>, I: IntoIterator<Item = (S, Value)>>(pairs: I) -> Store {
+        let mut s = Store::new();
+        for (k, v) in pairs {
+            s.set(k, v);
+        }
+        s
+    }
+
+    /// Looks up a variable (total: absent variables yield the default value).
+    pub fn get<S: Into<Symbol>>(&self, var: S) -> Value {
+        self.0.get(&var.into()).cloned().unwrap_or_default()
+    }
+
+    /// Updates a variable in place, maintaining normalization.
+    pub fn set<S: Into<Symbol>>(&mut self, var: S, value: Value) {
+        let var = var.into();
+        if value == Value::default() {
+            self.0.remove(&var);
+        } else {
+            self.0.insert(var, value);
+        }
+    }
+
+    /// Functional update: returns `self[var ↦ value]` (the `σ[x ↦ v]` of
+    /// Fig. 9).
+    pub fn with<S: Into<Symbol>>(&self, var: S, value: Value) -> Store {
+        let mut s = self.clone();
+        s.set(var, value);
+        s
+    }
+
+    /// Iterates over the explicitly-set (non-default) entries.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Value)> + '_ {
+        self.0.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// The set of variables with non-default values.
+    pub fn vars(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.0.keys().copied()
+    }
+
+    /// Number of non-default entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff every variable maps to the default value.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// True iff `self` and `other` agree on every variable in `vars`.
+    pub fn agrees_on<I: IntoIterator<Item = Symbol>>(&self, other: &Store, vars: I) -> bool {
+        vars.into_iter().all(|v| self.get(v) == other.get(v))
+    }
+}
+
+impl fmt::Display for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}↦{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<S: Into<Symbol>> FromIterator<(S, Value)> for Store {
+    fn from_iter<I: IntoIterator<Item = (S, Value)>>(iter: I) -> Store {
+        Store::from_pairs(iter)
+    }
+}
+
+/// An extended state `φ = (φ_L, φ_P)` (Def. 2): a logical store paired with a
+/// program store.
+///
+/// Logical variables cannot be modified by program execution, which is what
+/// lets hyper-assertions use them to tag and track executions (§2.2).
+///
+/// # Examples
+///
+/// ```
+/// use hhl_lang::{ExtState, Store, Value};
+/// let phi = ExtState::new(
+///     Store::from_pairs([("t", Value::Int(1))]),
+///     Store::from_pairs([("x", Value::Int(5))]),
+/// );
+/// assert_eq!(phi.logical.get("t"), Value::Int(1));
+/// assert_eq!(phi.program.get("x"), Value::Int(5));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExtState {
+    /// The logical store `φ_L`.
+    pub logical: Store,
+    /// The program store `φ_P`.
+    pub program: Store,
+}
+
+impl ExtState {
+    /// Creates an extended state from its two components.
+    pub fn new(logical: Store, program: Store) -> ExtState {
+        ExtState { logical, program }
+    }
+
+    /// An extended state with empty logical store and the given program store.
+    pub fn from_program(program: Store) -> ExtState {
+        ExtState {
+            logical: Store::new(),
+            program,
+        }
+    }
+
+    /// Functional update of a *program* variable.
+    pub fn with_program<S: Into<Symbol>>(&self, var: S, value: Value) -> ExtState {
+        ExtState {
+            logical: self.logical.clone(),
+            program: self.program.with(var, value),
+        }
+    }
+
+    /// Functional update of a *logical* variable (the `φ[u ↦ v]` used in
+    /// Prop. 8 and the `LUpdate` rule).
+    pub fn with_logical<S: Into<Symbol>>(&self, var: S, value: Value) -> ExtState {
+        ExtState {
+            logical: self.logical.with(var, value),
+            program: self.program.clone(),
+        }
+    }
+}
+
+impl fmt::Display for ExtState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(L:{}, P:{})", self.logical, self.program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_is_total() {
+        let s = Store::new();
+        assert_eq!(s.get("anything"), Value::Int(0));
+    }
+
+    #[test]
+    fn normalization_gives_extensional_equality() {
+        let mut a = Store::new();
+        a.set("x", Value::Int(0));
+        a.set("y", Value::Int(0));
+        assert_eq!(a, Store::new());
+        assert!(a.is_empty());
+
+        let b = Store::from_pairs([("x", Value::Int(1))]).with("x", Value::Int(0));
+        assert_eq!(b, Store::new());
+    }
+
+    #[test]
+    fn with_is_functional() {
+        let s = Store::from_pairs([("x", Value::Int(1))]);
+        let s2 = s.with("x", Value::Int(2));
+        assert_eq!(s.get("x"), Value::Int(1));
+        assert_eq!(s2.get("x"), Value::Int(2));
+    }
+
+    #[test]
+    fn agrees_on_subset() {
+        let a = Store::from_pairs([("x", Value::Int(1)), ("y", Value::Int(2))]);
+        let b = Store::from_pairs([("x", Value::Int(1)), ("y", Value::Int(3))]);
+        assert!(a.agrees_on(&b, [Symbol::new("x")]));
+        assert!(!a.agrees_on(&b, [Symbol::new("y")]));
+    }
+
+    #[test]
+    fn ext_state_updates_are_independent() {
+        let phi = ExtState::default();
+        let p = phi.with_program("x", Value::Int(3));
+        let l = phi.with_logical("x", Value::Int(4));
+        assert_eq!(p.logical, Store::new());
+        assert_eq!(l.program, Store::new());
+        assert_eq!(p.program.get("x"), Value::Int(3));
+        assert_eq!(l.logical.get("x"), Value::Int(4));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", ExtState::default()).is_empty());
+        assert_eq!(Store::new().to_string(), "{}");
+    }
+}

@@ -1,0 +1,283 @@
+//! Sets of extended states — the objects hyper-assertions talk about.
+//!
+//! Hyper Hoare Logic's central move is lifting pre/postconditions from single
+//! states to *sets* of states (Def. 3). [`StateSet`] is the canonical,
+//! deterministic representation used by the semantics (Def. 4), the validity
+//! checker (Def. 5), and the assertion evaluator (Def. 12).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::state::ExtState;
+
+/// A finite set of extended states, canonically ordered.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_lang::{ExtState, StateSet, Store, Value};
+/// let phi = ExtState::from_program(Store::from_pairs([("x", Value::Int(1))]));
+/// let s = StateSet::singleton(phi.clone());
+/// assert!(s.contains(&phi));
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateSet(BTreeSet<ExtState>);
+
+impl StateSet {
+    /// The empty set of states (satisfies the `emp` hyper-assertion).
+    pub fn new() -> StateSet {
+        StateSet(BTreeSet::new())
+    }
+
+    /// The singleton set `{φ}`.
+    pub fn singleton(phi: ExtState) -> StateSet {
+        let mut s = BTreeSet::new();
+        s.insert(phi);
+        StateSet(s)
+    }
+
+    /// Inserts a state; returns `true` if it was not already present.
+    pub fn insert(&mut self, phi: ExtState) -> bool {
+        self.0.insert(phi)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, phi: &ExtState) -> bool {
+        self.0.contains(phi)
+    }
+
+    /// Number of states in the set.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over the states in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &ExtState> + '_ {
+        self.0.iter()
+    }
+
+    /// Set union `self ∪ other`.
+    pub fn union(&self, other: &StateSet) -> StateSet {
+        StateSet(self.0.union(&other.0).cloned().collect())
+    }
+
+    /// Set intersection `self ∩ other`.
+    pub fn intersection(&self, other: &StateSet) -> StateSet {
+        StateSet(self.0.intersection(&other.0).cloned().collect())
+    }
+
+    /// Subset test `self ⊆ other`.
+    pub fn is_subset(&self, other: &StateSet) -> bool {
+        self.0.is_subset(&other.0)
+    }
+
+    /// Keeps only the states satisfying `pred` — the `{φ | φ ∈ S ∧ b(φ_P)}`
+    /// comprehension of the `Assume` core rule.
+    pub fn filter<F: Fn(&ExtState) -> bool>(&self, pred: F) -> StateSet {
+        StateSet(self.0.iter().filter(|p| pred(p)).cloned().collect())
+    }
+
+    /// Applies a state transformer pointwise and unions the images — the
+    /// shape of the `Assign`/`Havoc` core-rule comprehensions.
+    pub fn flat_map<I, F>(&self, f: F) -> StateSet
+    where
+        I: IntoIterator<Item = ExtState>,
+        F: Fn(&ExtState) -> I,
+    {
+        let mut out = BTreeSet::new();
+        for phi in &self.0 {
+            out.extend(f(phi));
+        }
+        StateSet(out)
+    }
+
+    /// Enumerates all subsets of `self` with at most `max_len` elements
+    /// (including the empty set). Exponential — intended for the small
+    /// finite universes used by the entailment and validity checkers.
+    pub fn subsets_up_to(&self, max_len: usize) -> Vec<StateSet> {
+        let elems: Vec<&ExtState> = self.0.iter().collect();
+        let mut out = vec![StateSet::new()];
+        for e in elems {
+            let mut extended = Vec::new();
+            for s in &out {
+                if s.len() < max_len {
+                    let mut s2 = s.clone();
+                    s2.insert((*e).clone());
+                    extended.push(s2);
+                }
+            }
+            out.extend(extended);
+        }
+        out
+    }
+
+    /// Enumerates all `(S1, S2)` with `S1 ∪ S2 = self` (Def. 6's splittings;
+    /// `S1`, `S2` may overlap). There are `3^|self|` such pairs: each element
+    /// goes left, right, or both.
+    pub fn splittings(&self) -> Vec<(StateSet, StateSet)> {
+        let elems: Vec<&ExtState> = self.0.iter().collect();
+        let mut out = vec![(StateSet::new(), StateSet::new())];
+        for e in elems {
+            let mut next = Vec::with_capacity(out.len() * 3);
+            for (l, r) in &out {
+                let mut l1 = l.clone();
+                l1.insert((*e).clone());
+                next.push((l1.clone(), r.clone()));
+                let mut r1 = r.clone();
+                r1.insert((*e).clone());
+                next.push((l.clone(), r1.clone()));
+                let mut l2 = l.clone();
+                l2.insert((*e).clone());
+                next.push((l2, r1));
+            }
+            out = next;
+        }
+        out
+    }
+
+    /// Enumerates all ways to partition `self` into `k` (possibly empty,
+    /// possibly overlapping-free) blocks whose union is `self`, assigning
+    /// each element to exactly one block. Used to evaluate the bounded
+    /// `⨂ₙ Iₙ` operator (Def. 7) where overlap never adds satisfying splits
+    /// for the invariant families the paper uses; the exact (overlapping)
+    /// variant is exposed via [`StateSet::splittings`] for `k = 2`.
+    pub fn partitions_into(&self, k: usize) -> Vec<Vec<StateSet>> {
+        let elems: Vec<&ExtState> = self.0.iter().collect();
+        let mut out: Vec<Vec<StateSet>> = vec![vec![StateSet::new(); k]];
+        for e in elems {
+            let mut next = Vec::with_capacity(out.len() * k);
+            for blocks in &out {
+                for (i, _) in blocks.iter().enumerate().take(k) {
+                    let mut b2 = blocks.clone();
+                    b2[i].insert((*e).clone());
+                    next.push(b2);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+}
+
+impl FromIterator<ExtState> for StateSet {
+    fn from_iter<I: IntoIterator<Item = ExtState>>(iter: I) -> StateSet {
+        StateSet(iter.into_iter().collect())
+    }
+}
+
+impl Extend<ExtState> for StateSet {
+    fn extend<I: IntoIterator<Item = ExtState>>(&mut self, iter: I) {
+        self.0.extend(iter);
+    }
+}
+
+impl IntoIterator for StateSet {
+    type Item = ExtState;
+    type IntoIter = std::collections::btree_set::IntoIter<ExtState>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a StateSet {
+    type Item = &'a ExtState;
+    type IntoIter = std::collections::btree_set::Iter<'a, ExtState>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for StateSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, phi) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{phi}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Store;
+    use crate::value::Value;
+
+    fn st(x: i64) -> ExtState {
+        ExtState::from_program(Store::from_pairs([("x", Value::Int(x))]))
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let a: StateSet = [st(1), st(2)].into_iter().collect();
+        let b: StateSet = [st(2), st(3)].into_iter().collect();
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        assert!(a.is_subset(&u));
+        assert!(b.is_subset(&u));
+        assert_eq!(a.intersection(&b), StateSet::singleton(st(2)));
+    }
+
+    #[test]
+    fn subsets_enumeration_counts() {
+        let s: StateSet = [st(1), st(2), st(3)].into_iter().collect();
+        assert_eq!(s.subsets_up_to(3).len(), 8);
+        assert_eq!(s.subsets_up_to(1).len(), 4); // {}, {1}, {2}, {3}
+        assert_eq!(s.subsets_up_to(0).len(), 1);
+    }
+
+    #[test]
+    fn splittings_cover_and_count() {
+        let s: StateSet = [st(1), st(2)].into_iter().collect();
+        let sp = s.splittings();
+        assert_eq!(sp.len(), 9); // 3^2
+        for (l, r) in &sp {
+            assert_eq!(l.union(r), s);
+        }
+    }
+
+    #[test]
+    fn partitions_cover_disjointly() {
+        let s: StateSet = [st(1), st(2)].into_iter().collect();
+        let ps = s.partitions_into(3);
+        assert_eq!(ps.len(), 9); // 3^2
+        for blocks in &ps {
+            let mut u = StateSet::new();
+            let mut total = 0;
+            for b in blocks {
+                total += b.len();
+                u = u.union(b);
+            }
+            assert_eq!(u, s);
+            assert_eq!(total, s.len());
+        }
+    }
+
+    #[test]
+    fn filter_matches_predicate() {
+        let s: StateSet = [st(1), st(2), st(3)].into_iter().collect();
+        let f = s.filter(|p| p.program.get("x").as_int() >= 2);
+        assert_eq!(f.len(), 2);
+        assert!(!f.contains(&st(1)));
+    }
+
+    #[test]
+    fn flat_map_unions_images() {
+        let s: StateSet = [st(1), st(2)].into_iter().collect();
+        let out = s.flat_map(|p| {
+            let v = p.program.get("x").as_int();
+            vec![st(v), st(v + 10)]
+        });
+        assert_eq!(out.len(), 4);
+        assert!(out.contains(&st(11)));
+    }
+}

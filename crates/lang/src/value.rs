@@ -1,0 +1,308 @@
+//! Runtime values (`PVals` / `LVals` in the paper).
+//!
+//! Definition 1 models expressions as *total* functions from states to
+//! values, so every operation here is total: arithmetic wraps, division by
+//! zero yields `0`, out-of-bounds indexing yields the default value, and
+//! ill-typed operands coerce through [`Value::as_int`] / [`Value::truthy`].
+//! This mirrors the paper's assumption that "expression evaluation is total,
+//! such that division-by-zero and other errors cannot occur" (§3.1).
+//!
+//! Lists are included because the Fig. 6 example (prefix-sum one-time pad)
+//! manipulates a secret list `h` with `len`, indexing, `++` and XOR.
+
+use std::fmt;
+
+/// A program or logical value: integer, boolean, or list of values.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_lang::Value;
+/// let v = Value::Int(3).add(&Value::Int(4));
+/// assert_eq!(v, Value::Int(7));
+/// let l = Value::list([Value::Int(1), Value::Int(2)]);
+/// assert_eq!(l.len(), Value::Int(2));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A 64-bit signed integer (arithmetic wraps on overflow).
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A list of values.
+    List(Vec<Value>),
+}
+
+impl Default for Value {
+    /// The default value is `Int(0)`; total stores map unset variables to it.
+    fn default() -> Value {
+        Value::Int(0)
+    }
+}
+
+impl Value {
+    /// Convenience constructor for list values.
+    pub fn list<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::List(items.into_iter().collect())
+    }
+
+    /// The empty list.
+    pub fn empty_list() -> Value {
+        Value::List(Vec::new())
+    }
+
+    /// Coerces to an integer: `Int` as itself, `Bool` as 0/1, `List` as its
+    /// length. Keeps every arithmetic operation total.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(i) => *i,
+            Value::Bool(b) => *b as i64,
+            Value::List(l) => l.len() as i64,
+        }
+    }
+
+    /// Coerces to a boolean: `Bool` as itself, `Int` as `!= 0`, `List` as
+    /// non-empty.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::List(l) => !l.is_empty(),
+        }
+    }
+
+    /// Wrapping addition.
+    pub fn add(&self, other: &Value) -> Value {
+        Value::Int(self.as_int().wrapping_add(other.as_int()))
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(&self, other: &Value) -> Value {
+        Value::Int(self.as_int().wrapping_sub(other.as_int()))
+    }
+
+    /// Wrapping multiplication.
+    pub fn mul(&self, other: &Value) -> Value {
+        Value::Int(self.as_int().wrapping_mul(other.as_int()))
+    }
+
+    /// Total division: division by zero yields `0`.
+    pub fn div(&self, other: &Value) -> Value {
+        let d = other.as_int();
+        Value::Int(if d == 0 {
+            0
+        } else {
+            self.as_int().wrapping_div(d)
+        })
+    }
+
+    /// Total remainder: modulo by zero yields `0`.
+    pub fn rem(&self, other: &Value) -> Value {
+        let d = other.as_int();
+        Value::Int(if d == 0 {
+            0
+        } else {
+            self.as_int().wrapping_rem(d)
+        })
+    }
+
+    /// Bitwise XOR on the integer coercions (the `⊕` operator of Fig. 6).
+    pub fn xor(&self, other: &Value) -> Value {
+        Value::Int(self.as_int() ^ other.as_int())
+    }
+
+    /// Integer minimum.
+    pub fn min_val(&self, other: &Value) -> Value {
+        Value::Int(self.as_int().min(other.as_int()))
+    }
+
+    /// Integer maximum (the `max` in Fig. 10's loop guard).
+    pub fn max_val(&self, other: &Value) -> Value {
+        Value::Int(self.as_int().max(other.as_int()))
+    }
+
+    /// Arithmetic negation.
+    pub fn neg(&self) -> Value {
+        Value::Int(self.as_int().wrapping_neg())
+    }
+
+    /// Boolean negation (via [`Value::truthy`]).
+    pub fn not(&self) -> Value {
+        Value::Bool(!self.truthy())
+    }
+
+    /// List length (`len` in Fig. 6); non-lists have length 0.
+    pub fn len(&self) -> Value {
+        match self {
+            Value::List(l) => Value::Int(l.len() as i64),
+            _ => Value::Int(0),
+        }
+    }
+
+    /// List concatenation (`++` in Fig. 6). Non-list operands are treated as
+    /// singleton lists, keeping the operation total.
+    pub fn concat(&self, other: &Value) -> Value {
+        let mut l = match self {
+            Value::List(l) => l.clone(),
+            v => vec![v.clone()],
+        };
+        match other {
+            Value::List(r) => l.extend(r.iter().cloned()),
+            v => l.push(v.clone()),
+        }
+        Value::List(l)
+    }
+
+    /// List indexing (`h[i]` in Fig. 6); out of bounds or non-list yields the
+    /// default value.
+    pub fn index(&self, idx: &Value) -> Value {
+        match self {
+            Value::List(l) => {
+                let i = idx.as_int();
+                if i >= 0 && (i as usize) < l.len() {
+                    l[i as usize].clone()
+                } else {
+                    Value::default()
+                }
+            }
+            _ => Value::default(),
+        }
+    }
+
+    /// Structural equality as a boolean value.
+    pub fn eq_val(&self, other: &Value) -> Value {
+        Value::Bool(self.same(other))
+    }
+
+    /// Structural equality, with `Int`/`Bool` compared via integer coercion
+    /// so that `Int(1)` and `Bool(true)` are interchangeable.
+    pub fn same(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::List(a), Value::List(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.same(y))
+            }
+            (Value::List(_), _) | (_, Value::List(_)) => false,
+            _ => self.as_int() == other.as_int(),
+        }
+    }
+
+    /// Total order comparison on integer coercions (lists compare by length
+    /// then lexicographically on coercions).
+    pub fn cmp_num(&self, other: &Value) -> std::cmp::Ordering {
+        match (self, other) {
+            (Value::List(a), Value::List(b)) => {
+                a.len().cmp(&b.len()).then_with(|| {
+                    a.iter()
+                        .zip(b)
+                        .map(|(x, y)| x.cmp_num(y))
+                        .find(|o| *o != std::cmp::Ordering::Equal)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+            }
+            _ => self.as_int().cmp(&other.as_int()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::List(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_is_total() {
+        assert_eq!(Value::Int(7).div(&Value::Int(0)), Value::Int(0));
+        assert_eq!(Value::Int(7).rem(&Value::Int(0)), Value::Int(0));
+        assert_eq!(
+            Value::Int(i64::MAX).add(&Value::Int(1)),
+            Value::Int(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn xor_matches_bitwise() {
+        assert_eq!(Value::Int(0b1010).xor(&Value::Int(0b0110)), Value::Int(0b1100));
+        // XOR is an involution — the heart of the Fig. 6 one-time pad.
+        let (a, k) = (Value::Int(1234), Value::Int(987));
+        assert_eq!(a.xor(&k).xor(&k), a);
+    }
+
+    #[test]
+    fn list_operations() {
+        let l = Value::list([Value::Int(1), Value::Int(2)]);
+        assert_eq!(l.len(), Value::Int(2));
+        assert_eq!(l.index(&Value::Int(1)), Value::Int(2));
+        assert_eq!(l.index(&Value::Int(5)), Value::Int(0));
+        assert_eq!(l.index(&Value::Int(-1)), Value::Int(0));
+        let l2 = l.concat(&Value::list([Value::Int(3)]));
+        assert_eq!(l2, Value::list([Value::Int(1), Value::Int(2), Value::Int(3)]));
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Bool(true).as_int(), 1);
+        assert!(Value::Int(3).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::list([Value::Int(0)]).truthy());
+        assert!(!Value::empty_list().truthy());
+    }
+
+    #[test]
+    fn same_coerces_int_bool() {
+        assert!(Value::Int(1).same(&Value::Bool(true)));
+        assert!(Value::Int(0).same(&Value::Bool(false)));
+        assert!(!Value::Int(1).same(&Value::list([Value::Int(1)])));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Value::Int(3).min_val(&Value::Int(5)), Value::Int(3));
+        assert_eq!(Value::Int(3).max_val(&Value::Int(5)), Value::Int(5));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(
+            Value::list([Value::Int(1), Value::Bool(false)]).to_string(),
+            "[1, false]"
+        );
+    }
+}

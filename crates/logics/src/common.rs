@@ -1,0 +1,118 @@
+//! Shared machinery for the embedded logics of Appendix C.
+//!
+//! The judgments of HL/CHL/IL/k-IL/FU/k-FU/k-UE (Defs. 16–22) quantify over
+//! extended states and `k`-tuples of extended states. Over the finite
+//! universes of this reproduction both are enumerable, which makes each
+//! judgment directly checkable — these direct checkers are the *baselines*
+//! against which the App. C translations into hyper-triples are validated
+//! (Props. 2, 4, 6, 8, 9, 11, 13).
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use hhl_lang::{Cmd, ExecConfig, ExtState};
+
+/// A set of extended states used as an HL/IL/FU pre- or postcondition
+/// (Defs. 16, 18, 20 take `P`, `Q` to be sets of extended states).
+pub type StateSetPred = BTreeSet<ExtState>;
+
+/// A predicate over `k`-tuples of extended states (Defs. 17, 19, 21, 22).
+pub type TuplePred = Rc<dyn Fn(&[ExtState]) -> bool>;
+
+/// Builds a [`TuplePred`] from a closure.
+pub fn tuple_pred<F: Fn(&[ExtState]) -> bool + 'static>(f: F) -> TuplePred {
+    Rc::new(f)
+}
+
+/// The lifted `k`-execution relation `⟨C, #φ⟩ →ᵏ #φ'` (App. C.1): each
+/// component executes independently; logical stores are preserved.
+///
+/// Returns all result tuples reachable from `tuple`.
+pub fn k_exec(cmd: &Cmd, tuple: &[ExtState], exec: &ExecConfig) -> Vec<Vec<ExtState>> {
+    let mut results: Vec<Vec<ExtState>> = vec![Vec::new()];
+    for phi in tuple {
+        let succs: Vec<ExtState> = exec
+            .exec(cmd, &phi.program)
+            .into_iter()
+            .map(|sigma| ExtState::new(phi.logical.clone(), sigma))
+            .collect();
+        let mut next = Vec::with_capacity(results.len() * succs.len());
+        for partial in &results {
+            for s in &succs {
+                let mut p2 = partial.clone();
+                p2.push(s.clone());
+                next.push(p2);
+            }
+        }
+        results = next;
+    }
+    results
+}
+
+/// Enumerates all `k`-tuples over the universe (with repetition).
+pub fn k_tuples(universe: &[ExtState], k: usize) -> Vec<Vec<ExtState>> {
+    let mut out: Vec<Vec<ExtState>> = vec![Vec::new()];
+    for _ in 0..k {
+        let mut next = Vec::with_capacity(out.len() * universe.len());
+        for partial in &out {
+            for st in universe {
+                let mut p2 = partial.clone();
+                p2.push(st.clone());
+                next.push(p2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhl_lang::{parse_cmd, Store, Value};
+
+    fn st(x: i64) -> ExtState {
+        ExtState::from_program(Store::from_pairs([("x", Value::Int(x))]))
+    }
+
+    #[test]
+    fn k_exec_is_componentwise() {
+        let cmd = parse_cmd("x := x + 1").unwrap();
+        let exec = ExecConfig::default();
+        let outs = k_exec(&cmd, &[st(0), st(5)], &exec);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0], vec![st(1), st(6)]);
+    }
+
+    #[test]
+    fn k_exec_branches_multiply() {
+        let cmd = parse_cmd("{ x := 1 } + { x := 2 }").unwrap();
+        let exec = ExecConfig::default();
+        let outs = k_exec(&cmd, &[st(0), st(0)], &exec);
+        assert_eq!(outs.len(), 4); // 2 × 2 branch combinations
+    }
+
+    #[test]
+    fn k_exec_preserves_logical_store() {
+        let cmd = parse_cmd("x := 0").unwrap();
+        let exec = ExecConfig::default();
+        let mut tagged = st(3);
+        tagged.logical.set("t", Value::Int(1));
+        let outs = k_exec(&cmd, &[tagged], &exec);
+        assert_eq!(outs[0][0].logical.get("t"), Value::Int(1));
+    }
+
+    #[test]
+    fn k_tuples_counts() {
+        let u = vec![st(0), st(1), st(2)];
+        assert_eq!(k_tuples(&u, 2).len(), 9);
+        assert_eq!(k_tuples(&u, 0).len(), 1);
+    }
+
+    #[test]
+    fn k_exec_empty_on_stuck() {
+        let cmd = parse_cmd("assume false").unwrap();
+        let exec = ExecConfig::default();
+        assert!(k_exec(&cmd, &[st(0)], &exec).is_empty());
+    }
+}

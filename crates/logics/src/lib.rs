@@ -1,0 +1,51 @@
+//! # hhl-logics — the comparison logics of Appendix C and Fig. 1
+//!
+//! Executable judgments for the Hoare logics the paper compares against,
+//! each implemented directly from its definition, plus the App. C
+//! translations into hyper-triples and the Fig. 1 capability matrix:
+//!
+//! | Logic | Definition | Direct checker | Translation |
+//! |-------|------------|----------------|-------------|
+//! | Hoare Logic | Def. 16 | [`hl_valid`] | Prop. 2, [`hl_as_hyper_triple`] |
+//! | Cartesian HL (k) | Def. 17 | [`chl_valid`] | Prop. 4, [`chl_as_hyper_triple`] |
+//! | Incorrectness Logic | Def. 18 | [`il_valid`] | Prop. 6, [`il_as_hyper_triple`] |
+//! | k-Incorrectness Logic | Def. 19 | [`kil_valid`] | Prop. 8 (via Thm. 3) |
+//! | Forward Underapprox. | Def. 20 | [`fu_valid`] | Prop. 9, [`fu_as_hyper_triple`] |
+//! | k-FU | Def. 21 | [`kfu_valid`] | Prop. 11, [`kfu_as_hyper_triple`] |
+//! | k-UE (RHLE) | Def. 22 | [`kue_valid`] | Prop. 13, [`kue_as_hyper_triple`] |
+//!
+//! The property-test suite validates each translation proposition as an
+//! equivalence between the direct judgment and hyper-triple validity over
+//! shared finite universes.
+//!
+//! # Example
+//!
+//! ```
+//! use hhl_logics::{il_valid, StateSetPred};
+//! use hhl_lang::{parse_cmd, ExecConfig, ExtState, Store, Value};
+//!
+//! // Incorrectness Logic: the "bug state" x = 2 is genuinely reachable.
+//! let st = |x: i64| ExtState::from_program(Store::from_pairs([("x", Value::Int(x))]));
+//! let p: StateSetPred = [st(0)].into_iter().collect();
+//! let bug: StateSetPred = [st(2)].into_iter().collect();
+//! let cmd = parse_cmd("x := nonDet()").unwrap();
+//! assert!(il_valid(&p, &cmd, &bug, &ExecConfig::int_range(0, 2)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+pub mod matrix;
+mod overapprox;
+mod ue;
+mod underapprox;
+
+pub use common::{k_exec, k_tuples, tuple_pred, StateSetPred, TuplePred};
+pub use matrix::{fig1_matrix, render_matrix, Cell, ExecCount, PropertyClass};
+pub use overapprox::{chl_as_hyper_triple, chl_valid, hl_as_hyper_triple, hl_valid};
+pub use ue::{kue_as_hyper_triple, kue_valid};
+pub use underapprox::{
+    fu_as_hyper_triple, fu_valid, il_as_hyper_triple, il_valid, kfu_as_hyper_triple, kfu_valid,
+    kil_valid,
+};

@@ -1,0 +1,339 @@
+//! The Fig. 1 capability matrix: which Hoare logics can establish which
+//! classes of hyperproperties, for how many executions.
+//!
+//! The matrix reproduces the paper's table verbatim and annotates each cell
+//! that Hyper Hoare Logic covers with the module/test in this repository
+//! that *demonstrates* the coverage executably. The `fig01_matrix` binary in
+//! `hhl-bench` renders it.
+
+/// A row class of Fig. 1: the type of property a logic establishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PropertyClass {
+    /// Overapproximate (hypersafety) properties.
+    Overapproximate,
+    /// Backward underapproximate properties (IL-style reachability).
+    BackwardUnderapprox,
+    /// Forward underapproximate properties (OL/RHLE-style).
+    ForwardUnderapprox,
+    /// `∀*∃*`-hyperproperties (e.g. GNI).
+    ForallExists,
+    /// `∃*∀*`-hyperproperties (e.g. GNI violations).
+    ExistsForall,
+    /// Properties of the set itself (cardinalities, means — App. B).
+    SetProperties,
+}
+
+impl PropertyClass {
+    /// All classes, in the paper's row order.
+    pub fn all() -> [PropertyClass; 6] {
+        [
+            PropertyClass::Overapproximate,
+            PropertyClass::BackwardUnderapprox,
+            PropertyClass::ForwardUnderapprox,
+            PropertyClass::ForallExists,
+            PropertyClass::ExistsForall,
+            PropertyClass::SetProperties,
+        ]
+    }
+
+    /// The paper's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PropertyClass::Overapproximate => "Overapproximate (hypersafety)",
+            PropertyClass::BackwardUnderapprox => "Backward underapproximate",
+            PropertyClass::ForwardUnderapprox => "Forward underapproximate",
+            PropertyClass::ForallExists => "∀*∃*",
+            PropertyClass::ExistsForall => "∃*∀*",
+            PropertyClass::SetProperties => "Set properties",
+        }
+    }
+}
+
+/// A column of Fig. 1: how many executions the property relates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExecCount {
+    /// A single execution.
+    One,
+    /// Exactly two executions.
+    Two,
+    /// A fixed number `k` of executions.
+    K,
+    /// Unboundedly / infinitely many executions.
+    Unbounded,
+}
+
+impl ExecCount {
+    /// All columns, in the paper's order.
+    pub fn all() -> [ExecCount; 4] {
+        [
+            ExecCount::One,
+            ExecCount::Two,
+            ExecCount::K,
+            ExecCount::Unbounded,
+        ]
+    }
+
+    /// The paper's column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecCount::One => "1",
+            ExecCount::Two => "2",
+            ExecCount::K => "k",
+            ExecCount::Unbounded => "∞",
+        }
+    }
+}
+
+/// One cell of the Fig. 1 matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// Row.
+    pub class: PropertyClass,
+    /// Column.
+    pub execs: ExecCount,
+    /// Whether the combination is meaningful (the paper marks `∀*∃*` and
+    /// `∃*∀*` as "not applicable" for one execution, and set properties for
+    /// any fixed count).
+    pub applicable: bool,
+    /// The prior logics the paper lists as covering the cell.
+    pub prior_logics: &'static [&'static str],
+    /// Whether Hyper Hoare Logic covers the cell (always true when
+    /// applicable — the paper's green checkmarks).
+    pub hhl: bool,
+    /// The artifact in this repository demonstrating the cell.
+    pub demo: &'static str,
+}
+
+/// The full Fig. 1 matrix.
+pub fn fig1_matrix() -> Vec<Cell> {
+    use ExecCount::*;
+    use PropertyClass::*;
+    let cell = |class,
+                execs,
+                applicable,
+                prior_logics: &'static [&'static str],
+                demo: &'static str| Cell {
+        class,
+        execs,
+        applicable,
+        prior_logics,
+        hhl: applicable,
+        demo,
+    };
+    vec![
+        cell(
+            Overapproximate,
+            One,
+            true,
+            &["HL", "OL", "RHL", "CHL", "RHLE", "MHRM", "BiKAT"],
+            "hhl-logics::overapprox (Prop. 2), examples/quickstart.rs (P1)",
+        ),
+        cell(
+            Overapproximate,
+            Two,
+            true,
+            &["RHL", "CHL", "RHLE", "MHRM", "BiKAT"],
+            "hhl-logics::overapprox (Prop. 4, monotonicity), Assertion::low",
+        ),
+        cell(
+            Overapproximate,
+            K,
+            true,
+            &["CHL", "RHLE"],
+            "hhl-logics::overapprox::chl_valid for arbitrary k",
+        ),
+        cell(
+            Overapproximate,
+            Unbounded,
+            true,
+            &[],
+            "examples/quantitative_flow.rs (App. B upper bound)",
+        ),
+        cell(
+            BackwardUnderapprox,
+            One,
+            true,
+            &["IL", "InSec", "BiKAT"],
+            "hhl-logics::underapprox (Prop. 6)",
+        ),
+        cell(
+            BackwardUnderapprox,
+            Two,
+            true,
+            &["InSec", "BiKAT"],
+            "hhl-logics::underapprox::kil_valid (k = 2)",
+        ),
+        cell(
+            BackwardUnderapprox,
+            K,
+            true,
+            &[],
+            "hhl-logics::underapprox::kil_valid for arbitrary k",
+        ),
+        cell(BackwardUnderapprox, Unbounded, true, &[], "Assertion::exact_set (Thm. 5)"),
+        cell(
+            ForwardUnderapprox,
+            One,
+            true,
+            &["OL", "RHLE", "MHRM", "BiKAT"],
+            "hhl-logics::underapprox (Prop. 9), examples/quickstart.rs (P2)",
+        ),
+        cell(
+            ForwardUnderapprox,
+            Two,
+            true,
+            &["RHLE", "MHRM", "BiKAT"],
+            "hhl-logics::underapprox::kfu_valid (insecurity of C2)",
+        ),
+        cell(
+            ForwardUnderapprox,
+            K,
+            true,
+            &["RHLE"],
+            "hhl-logics::underapprox (Prop. 11) for arbitrary k",
+        ),
+        cell(ForwardUnderapprox, Unbounded, true, &[], "§2.1 P2 with unbounded n"),
+        cell(ForallExists, One, false, &[], "not applicable"),
+        cell(
+            ForallExists,
+            Two,
+            true,
+            &["RHLE", "MHRM", "BiKAT"],
+            "Assertion::gni, validity::gni_for_c3 test",
+        ),
+        cell(
+            ForallExists,
+            K,
+            true,
+            &["RHLE"],
+            "hhl-logics::ue (Prop. 13) for arbitrary k1 + k2",
+        ),
+        cell(ForallExists, Unbounded, true, &[], "While-∀*∃* rule (Fig. 6 proof)"),
+        cell(ExistsForall, One, false, &[], "not applicable"),
+        cell(
+            ExistsForall,
+            Two,
+            true,
+            &["BiKAT"],
+            "Assertion::gni_violation, Fig. 4 proof (proof::tests)",
+        ),
+        cell(
+            ExistsForall,
+            K,
+            true,
+            &[],
+            "While-∃ rule, examples/minimum.rs (Fig. 8)",
+        ),
+        cell(ExistsForall, Unbounded, true, &[], "Assertion::has_min over any set"),
+        cell(SetProperties, One, false, &[], "not applicable"),
+        cell(SetProperties, Two, false, &[], "not applicable"),
+        cell(SetProperties, K, false, &[], "not applicable"),
+        cell(
+            SetProperties,
+            Unbounded,
+            true,
+            &[],
+            "Assertion::Card, examples/quantitative_flow.rs (App. B)",
+        ),
+    ]
+}
+
+/// Renders the matrix as an aligned text table (the `fig01_matrix` binary's
+/// output).
+pub fn render_matrix() -> String {
+    let cells = fig1_matrix();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<32} {:<4} {:<7} {:<40} {}\n",
+        "Property class", "#ex", "HHL", "Prior logics", "Demonstrated by"
+    ));
+    out.push_str(&"-".repeat(130));
+    out.push('\n');
+    for c in &cells {
+        let hhl = if !c.applicable {
+            "n/a"
+        } else if c.hhl {
+            "✓"
+        } else {
+            "✗"
+        };
+        let prior = if !c.applicable {
+            String::new()
+        } else if c.prior_logics.is_empty() {
+            "∅ (no prior logic)".to_owned()
+        } else {
+            c.prior_logics.join(", ")
+        };
+        out.push_str(&format!(
+            "{:<32} {:<4} {:<7} {:<40} {}\n",
+            c.class.label(),
+            c.execs.label(),
+            hhl,
+            prior,
+            c.demo
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_all_cells() {
+        let cells = fig1_matrix();
+        assert_eq!(cells.len(), 24); // 6 classes × 4 exec counts
+        for class in PropertyClass::all() {
+            for execs in ExecCount::all() {
+                assert!(
+                    cells.iter().any(|c| c.class == class && c.execs == execs),
+                    "missing cell {class:?} × {execs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hhl_covers_every_applicable_cell() {
+        // The paper's headline claim: a green checkmark in every applicable
+        // cell, including the four ∅ cells no prior logic covers.
+        for c in fig1_matrix() {
+            if c.applicable {
+                assert!(c.hhl, "HHL must cover {:?} × {:?}", c.class, c.execs);
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_the_papers_empty_cells() {
+        // The cells the paper marks ∅ (covered only by HHL):
+        let empties: Vec<_> = fig1_matrix()
+            .into_iter()
+            .filter(|c| c.applicable && c.prior_logics.is_empty())
+            .map(|c| (c.class, c.execs))
+            .collect();
+        use ExecCount::*;
+        use PropertyClass::*;
+        for expected in [
+            (Overapproximate, Unbounded),
+            (BackwardUnderapprox, K),
+            (BackwardUnderapprox, Unbounded),
+            (ForwardUnderapprox, Unbounded),
+            (ForallExists, Unbounded),
+            (ExistsForall, K),
+            (ExistsForall, Unbounded),
+            (SetProperties, Unbounded),
+        ] {
+            assert!(empties.contains(&expected), "{expected:?} should be ∅");
+        }
+    }
+
+    #[test]
+    fn render_is_nonempty_and_aligned() {
+        let r = render_matrix();
+        assert!(r.lines().count() >= 26);
+        assert!(r.contains("∅ (no prior logic)"));
+        assert!(r.contains("not applicable"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Overapproximate logics: Hoare Logic (Def. 16) and Cartesian Hoare Logic
+//! (Def. 17), with their App. C.1 translations into hyper-triples
+//! (Props. 2 and 4).
+
+use hhl_core::semantic::{sem, SemAssertion, SemTriple};
+use hhl_lang::{Cmd, ExecConfig, ExtState, StateSet, Symbol, Value};
+
+use crate::common::{k_exec, k_tuples, StateSetPred, TuplePred};
+
+/// Classical Hoare Logic validity (Def. 16):
+/// `|=HL {P} C {Q} ≜ ∀φ ∈ P. ∀σ'. ⟨C, φ_P⟩ → σ' ⇒ (φ_L, σ') ∈ Q`.
+pub fn hl_valid(p: &StateSetPred, cmd: &Cmd, q: &StateSetPred, exec: &ExecConfig) -> bool {
+    p.iter().all(|phi| {
+        exec.exec(cmd, &phi.program).into_iter().all(|sigma_p| {
+            q.contains(&ExtState::new(phi.logical.clone(), sigma_p))
+        })
+    })
+}
+
+/// Prop. 2: the hyper-triple `{λS. S ⊆ P} C {λS. S ⊆ Q}` expressing an HL
+/// triple — assertions are *upper bounds* on the state set.
+pub fn hl_as_hyper_triple(p: StateSetPred, cmd: Cmd, q: StateSetPred) -> SemTriple {
+    let pre = upper_bound(p);
+    let post = upper_bound(q);
+    SemTriple::new(pre, cmd, post)
+}
+
+fn upper_bound(bound: StateSetPred) -> SemAssertion {
+    sem(move |s: &StateSet| s.iter().all(|phi| bound.contains(phi)))
+}
+
+/// Cartesian Hoare Logic validity (Def. 17):
+/// `|=CHL(k) {P} C {Q} ≜ ∀#φ ∈ P. ∀#φ'. ⟨C, #φ⟩ →ᵏ #φ' ⇒ #φ' ∈ Q`.
+///
+/// `P`, `Q` are predicates over `k`-tuples; the initial tuples range over
+/// `universe^k`.
+pub fn chl_valid(
+    k: usize,
+    p: &TuplePred,
+    cmd: &Cmd,
+    q: &TuplePred,
+    universe: &[ExtState],
+    exec: &ExecConfig,
+) -> bool {
+    k_tuples(universe, k).into_iter().all(|tuple| {
+        !p(&tuple)
+            || k_exec(cmd, &tuple, exec)
+                .into_iter()
+                .all(|out| q(&out))
+    })
+}
+
+/// Prop. 4: the hyper-triple expressing a CHL(k) triple. States are
+/// identified by the execution tag `t ∈ {1..k}` in their logical store:
+///
+/// `P' ≜ ∀#φ. (∀i. ⟨φᵢ⟩ ∧ φᵢ_L(t) = i) ⇒ #φ ∈ P` (and likewise `Q'`).
+pub fn chl_as_hyper_triple(
+    k: usize,
+    p: TuplePred,
+    cmd: Cmd,
+    q: TuplePred,
+    tag: Symbol,
+) -> SemTriple {
+    SemTriple::new(
+        tagged_tuples_satisfy(k, tag, p),
+        cmd,
+        tagged_tuples_satisfy(k, tag, q),
+    )
+}
+
+/// `λS. ∀#φ. (∀i ∈ [1, k]. φᵢ ∈ S ∧ φᵢ_L(t) = i) ⇒ pred(#φ)`.
+pub fn tagged_tuples_satisfy(k: usize, tag: Symbol, pred: TuplePred) -> SemAssertion {
+    sem(move |s: &StateSet| {
+        // Enumerate, per slot i, the states of S tagged i.
+        let slots: Vec<Vec<ExtState>> = (1..=k)
+            .map(|i| {
+                s.iter()
+                    .filter(|phi| phi.logical.get(tag) == Value::Int(i as i64))
+                    .cloned()
+                    .collect()
+            })
+            .collect();
+        fn go(slots: &[Vec<ExtState>], acc: &mut Vec<ExtState>, pred: &TuplePred) -> bool {
+            match slots.split_first() {
+                None => pred(acc),
+                Some((head, rest)) => head.iter().all(|phi| {
+                    acc.push(phi.clone());
+                    let ok = go(rest, acc, pred);
+                    acc.pop();
+                    ok
+                }),
+            }
+        }
+        go(&slots, &mut Vec::new(), &pred)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::tuple_pred;
+    use hhl_assert::{candidate_sets, EntailConfig, Universe};
+    use hhl_core::semantic::sem_valid;
+    use hhl_lang::{parse_cmd, Store};
+
+    fn universe() -> Universe {
+        Universe::int_cube(&["x", "h"], 0, 1)
+    }
+
+    fn all_states() -> Vec<ExtState> {
+        universe().states
+    }
+
+    fn exec() -> ExecConfig {
+        ExecConfig::int_range(0, 1)
+    }
+
+    #[test]
+    fn hl_direct_judgment() {
+        // {x = 0} x := x + 1 {x = 1} in HL form.
+        let p: StateSetPred = all_states()
+            .into_iter()
+            .filter(|phi| phi.program.get("x") == Value::Int(0))
+            .collect();
+        let q: StateSetPred = Universe::int_cube(&["x", "h"], 0, 2)
+            .states
+            .into_iter()
+            .filter(|phi| phi.program.get("x") == Value::Int(1))
+            .collect();
+        let cmd = parse_cmd("x := x + 1").unwrap();
+        assert!(hl_valid(&p, &cmd, &q, &exec()));
+        // And a failing one: postcondition x = 0.
+        let q_bad: StateSetPred = all_states()
+            .into_iter()
+            .filter(|phi| phi.program.get("x") == Value::Int(0))
+            .collect();
+        assert!(!hl_valid(&p, &cmd, &q_bad, &exec()));
+    }
+
+    #[test]
+    fn prop2_hl_agrees_with_hyper_triple() {
+        // Prop. 2 equivalence over a suite of commands.
+        let mk_p = || -> StateSetPred {
+            all_states()
+                .into_iter()
+                .filter(|phi| phi.program.get("x") == Value::Int(0))
+                .collect()
+        };
+        let mk_q = |xs: &[i64]| -> StateSetPred {
+            Universe::int_cube(&["x", "h"], 0, 2)
+                .states
+                .into_iter()
+                .filter(|phi| xs.contains(&phi.program.get("x").as_int()))
+                .collect()
+        };
+        let check_cfg = EntailConfig {
+            max_subset_size: 4,
+            ..EntailConfig::default()
+        };
+        for (src, qs) in [
+            ("x := x + 1", vec![1]),
+            ("x := x + 1", vec![0]), // invalid case
+            ("{ x := 1 } + { x := 0 }", vec![0, 1]),
+            ("skip", vec![0]),
+            ("assume x > 0", vec![0, 1]),
+        ] {
+            let cmd = parse_cmd(src).unwrap();
+            let direct = hl_valid(&mk_p(), &cmd, &mk_q(&qs), &exec());
+            let triple = hl_as_hyper_triple(mk_p(), cmd, mk_q(&qs));
+            let hyper = sem_valid(&triple, &universe(), &exec(), &check_cfg);
+            assert_eq!(direct, hyper, "Prop. 2 mismatch for {src} / {qs:?}");
+        }
+    }
+
+    #[test]
+    fn chl_direct_judgment_monotonicity() {
+        // CHL(2) monotonicity: x(1) ≥ x(2) ⇒ y(1) ≥ y(2) for y := x * 2
+        // (program variables, execution i = tuple slot i).
+        let p = tuple_pred(|t: &[ExtState]| {
+            t[0].program.get("x").as_int() >= t[1].program.get("x").as_int()
+        });
+        let q = tuple_pred(|t: &[ExtState]| {
+            t[0].program.get("y").as_int() >= t[1].program.get("y").as_int()
+        });
+        let mono = parse_cmd("y := x * 2").unwrap();
+        assert!(chl_valid(2, &p, &mono, &q, &all_states(), &exec()));
+        let anti = parse_cmd("y := 0 - x").unwrap();
+        assert!(!chl_valid(2, &p, &anti, &q, &all_states(), &exec()));
+    }
+
+    #[test]
+    fn prop4_chl_agrees_with_hyper_triple() {
+        let tag = Symbol::new("t");
+        let p = tuple_pred(|t: &[ExtState]| {
+            t[0].program.get("x").as_int() >= t[1].program.get("x").as_int()
+        });
+        let q = tuple_pred(|t: &[ExtState]| {
+            t[0].program.get("y").as_int() >= t[1].program.get("y").as_int()
+        });
+        // Tag the universe with t ∈ {1, 2}.
+        let tagged = Universe::int_cube(&["x"], 0, 2)
+            .tag_logical("t", &[Value::Int(1), Value::Int(2)]);
+        let check_cfg = EntailConfig {
+            max_subset_size: 4,
+            ..EntailConfig::default()
+        };
+        for (src, expect) in [("y := x * 2", true), ("y := 0 - x", false), ("y := 1", true)] {
+            let cmd = parse_cmd(src).unwrap();
+            let direct = chl_valid(
+                2,
+                &p,
+                &cmd,
+                &q,
+                &Universe::int_cube(&["x"], 0, 2).states,
+                &exec(),
+            );
+            let triple = chl_as_hyper_triple(2, p.clone(), cmd, q.clone(), tag);
+            let hyper = sem_valid(&triple, &tagged, &exec(), &check_cfg);
+            assert_eq!(direct, hyper, "Prop. 4 mismatch for {src}");
+            assert_eq!(direct, expect, "expected CHL status for {src}");
+        }
+    }
+
+    #[test]
+    fn upper_bound_assertion_semantics() {
+        let p: StateSetPred =
+            [ExtState::from_program(Store::from_pairs([("x", Value::Int(0))]))]
+                .into_iter()
+                .collect();
+        let a = upper_bound(p);
+        let inside: StateSet =
+            [ExtState::from_program(Store::from_pairs([("x", Value::Int(0))]))]
+                .into_iter()
+                .collect();
+        let outside: StateSet =
+            [ExtState::from_program(Store::from_pairs([("x", Value::Int(1))]))]
+                .into_iter()
+                .collect();
+        assert!(a(&inside));
+        assert!(a(&StateSet::new())); // ∅ ⊆ P
+        assert!(!a(&outside));
+        // sanity: candidate_sets exposes ∅ so HL's vacuous case is covered
+        let sets = candidate_sets(&universe(), &EntailConfig::default());
+        assert!(sets.iter().any(|s| s.is_empty()));
+    }
+}

@@ -1,0 +1,236 @@
+//! k-Universal-Existential triples (Def. 22) — the RHLE fragment for a
+//! single command — and their translation (Prop. 13).
+
+use hhl_core::semantic::{sem, SemTriple};
+use hhl_lang::{Cmd, ExecConfig, ExtState, StateSet, Symbol, Value};
+
+use crate::common::{k_exec, k_tuples, TuplePred};
+
+/// k-UE validity (Def. 22): for all `(#φ, #γ) ∈ P` and all results `#φ'` of
+/// the `k1` universal executions, there exist results `#γ'` of the `k2`
+/// existential executions with `(#φ', #γ') ∈ Q`.
+pub fn kue_valid(
+    k1: usize,
+    k2: usize,
+    p: &TuplePred,
+    cmd: &Cmd,
+    q: &TuplePred,
+    universe: &[ExtState],
+    exec: &ExecConfig,
+) -> bool {
+    k_tuples(universe, k1 + k2).into_iter().all(|tuple| {
+        if !p(&tuple) {
+            return true;
+        }
+        let (phis, gammas) = tuple.split_at(k1);
+        k_exec(cmd, phis, exec).into_iter().all(|phi_out| {
+            k_exec(cmd, gammas, exec).into_iter().any(|gamma_out| {
+                let mut combined = phi_out.clone();
+                combined.extend(gamma_out);
+                q(&combined)
+            })
+        })
+    })
+}
+
+/// Prop. 13: the hyper-triple expressing a k-UE triple. States carry two
+/// logical tags: `t` (slot index) and `u` (1 = universal, 2 = existential).
+///
+/// `Q' ≜ ∀#φ'. T1(#φ') ⇒ ∃#γ'. T2(#γ') ∧ (#φ', #γ') ∈ Q` where `Tₙ`
+/// collects tagged states from the set.
+pub fn kue_as_hyper_triple(
+    k1: usize,
+    k2: usize,
+    p: TuplePred,
+    cmd: Cmd,
+    q: TuplePred,
+    t: Symbol,
+    u: Symbol,
+) -> SemTriple {
+    let pre = {
+        let p = p.clone();
+        sem(move |s: &StateSet| {
+            // (∀i. ∃⟨φ⟩. φ_L(t) = i ∧ φ_L(u) = 2) ∧
+            // (∀#φ, #γ. T1(#φ) ∧ T2(#γ) ⇒ (#φ, #γ) ∈ P)
+            let exists_tagged = (1..=k2).all(|i| {
+                s.iter().any(|phi| {
+                    phi.logical.get(t) == Value::Int(i as i64)
+                        && phi.logical.get(u) == Value::Int(2)
+                })
+            });
+            exists_tagged
+                && for_all_tagged(s, k1, t, u, 1, &mut Vec::new(), &mut |phis| {
+                    for_all_tagged(s, k2, t, u, 2, &mut phis.to_vec(), &mut |all| p(all))
+                })
+        })
+    };
+    let post = sem(move |s: &StateSet| {
+        for_all_tagged(s, k1, t, u, 1, &mut Vec::new(), &mut |phis| {
+            exists_tagged_tuple(s, k2, t, u, 2, &mut phis.to_vec(), &mut |all| q(all))
+        })
+    });
+    SemTriple::new(pre, cmd, post)
+}
+
+fn slot_states(s: &StateSet, t: Symbol, u: Symbol, i: usize, kind: i64) -> Vec<ExtState> {
+    s.iter()
+        .filter(|phi| {
+            phi.logical.get(t) == Value::Int(i as i64)
+                && phi.logical.get(u) == Value::Int(kind)
+        })
+        .cloned()
+        .collect()
+}
+
+fn for_all_tagged(
+    s: &StateSet,
+    k: usize,
+    t: Symbol,
+    u: Symbol,
+    kind: i64,
+    acc: &mut Vec<ExtState>,
+    pred: &mut dyn FnMut(&[ExtState]) -> bool,
+) -> bool {
+    let base = acc.len();
+    fn go(
+        s: &StateSet,
+        k: usize,
+        i: usize,
+        t: Symbol,
+        u: Symbol,
+        kind: i64,
+        acc: &mut Vec<ExtState>,
+        pred: &mut dyn FnMut(&[ExtState]) -> bool,
+    ) -> bool {
+        if i > k {
+            return pred(acc);
+        }
+        slot_states(s, t, u, i, kind).into_iter().all(|phi| {
+            acc.push(phi);
+            let ok = go(s, k, i + 1, t, u, kind, acc, pred);
+            acc.pop();
+            ok
+        })
+    }
+    let ok = go(s, k, 1, t, u, kind, acc, pred);
+    acc.truncate(base);
+    ok
+}
+
+fn exists_tagged_tuple(
+    s: &StateSet,
+    k: usize,
+    t: Symbol,
+    u: Symbol,
+    kind: i64,
+    acc: &mut Vec<ExtState>,
+    pred: &mut dyn FnMut(&[ExtState]) -> bool,
+) -> bool {
+    let base = acc.len();
+    fn go(
+        s: &StateSet,
+        k: usize,
+        i: usize,
+        t: Symbol,
+        u: Symbol,
+        kind: i64,
+        acc: &mut Vec<ExtState>,
+        pred: &mut dyn FnMut(&[ExtState]) -> bool,
+    ) -> bool {
+        if i > k {
+            return pred(acc);
+        }
+        slot_states(s, t, u, i, kind).into_iter().any(|phi| {
+            acc.push(phi);
+            let ok = go(s, k, i + 1, t, u, kind, acc, pred);
+            acc.pop();
+            ok
+        })
+    }
+    let ok = go(s, k, 1, t, u, kind, acc, pred);
+    acc.truncate(base);
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::tuple_pred;
+    use hhl_lang::{parse_cmd, Store};
+
+    fn mk(h: i64, l: i64) -> ExtState {
+        ExtState::from_program(Store::from_pairs([
+            ("h", Value::Int(h)),
+            ("l", Value::Int(l)),
+        ]))
+    }
+
+    #[test]
+    fn kue_expresses_gni() {
+        // GNI as a (1+1)-UE judgment over the XOR one-time pad (the finite
+        // stand-in for C3, see hhl-core): for every universal run there is
+        // an existential run with the same h as γ and the same l output.
+        let universe: Vec<ExtState> = (0..=1).map(|h| mk(h, 0)).collect();
+        let exec = ExecConfig::int_range(0, 1);
+        // P: γ and φ start with equal l (low inputs agree).
+        let p = tuple_pred(|t: &[ExtState]| t[0].program.get("l") == t[1].program.get("l"));
+        // Q over (φ', γ'): γ' has γ's h and φ's l output.
+        let q = tuple_pred(|t: &[ExtState]| {
+            t[1].program.get("l") == t[0].program.get("l")
+        });
+        let otp = parse_cmd("y := nonDet(); l := h ^ y").unwrap();
+        assert!(kue_valid(1, 1, &p, &otp, &q, &universe, &exec));
+        // The leaky direct copy fails: no existential run of h=0 can match
+        // the l = 1 output of the h=1 universal run while keeping its own h.
+        let q_strict = tuple_pred(|t: &[ExtState]| {
+            t[1].program.get("l") == t[0].program.get("l")
+                && t[1].program.get("h") != t[0].program.get("h")
+        });
+        let leak = parse_cmd("l := h").unwrap();
+        assert!(!kue_valid(1, 1, &p, &leak, &q_strict, &universe, &exec));
+    }
+
+    #[test]
+    fn prop13_kue_agrees_with_hyper_triple() {
+        use hhl_assert::{EntailConfig, Universe};
+        use hhl_core::semantic::sem_valid;
+
+        let t = Symbol::new("t");
+        let u = Symbol::new("u");
+        // Universe: x ∈ {0,1}, tagged with t = 1 and u ∈ {1, 2}.
+        let base = Universe::int_cube(&["x"], 0, 1);
+        let mut tagged_states = Vec::new();
+        for st in &base.states {
+            for kind in [1i64, 2] {
+                tagged_states.push(
+                    st.with_logical(t, Value::Int(1)).with_logical(u, Value::Int(kind)),
+                );
+            }
+        }
+        let tagged = Universe::from_states(tagged_states.clone());
+        let exec = ExecConfig::int_range(0, 1);
+        let cfg = EntailConfig {
+            max_subset_size: 4,
+            ..EntailConfig::default()
+        };
+        // (1+1)-UE with equal-input precondition.
+        let p = tuple_pred(|t: &[ExtState]| t[0].program.get("x") == t[1].program.get("x"));
+        let q_eq = tuple_pred(|t: &[ExtState]| t[0].program.get("x") == t[1].program.get("x"));
+        let q_ne = tuple_pred(|t: &[ExtState]| t[0].program.get("x") != t[1].program.get("x"));
+        for (src, q, expect) in [
+            // Deterministic increment: existential mirrors universal.
+            ("x := x + 1", q_eq.clone(), true),
+            // The existential havoc can always match the universal one.
+            ("x := nonDet()", q_eq.clone(), true),
+            // Deterministic outputs cannot differ from themselves.
+            ("x := x + 1", q_ne.clone(), false),
+        ] {
+            let cmd = parse_cmd(src).unwrap();
+            let direct = kue_valid(1, 1, &p, &cmd, &q, &tagged_states, &exec);
+            let triple = kue_as_hyper_triple(1, 1, p.clone(), cmd, q, t, u);
+            let hyper = sem_valid(&triple, &tagged, &exec, &cfg);
+            assert_eq!(direct, hyper, "Prop. 13 mismatch for {src}");
+            assert_eq!(direct, expect, "k-UE status for {src}");
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Annotated programs: structured commands with loop-rule annotations.
+//!
+//! The verifier works on a structured view of programs where loops carry the
+//! invariants and the Fig. 5 proof rule chosen for them — the same
+//! information Hypra (the paper's follow-on verifier) takes as annotations.
+
+use hhl_assert::Assertion;
+use hhl_lang::{Cmd, Expr, Symbol};
+
+/// The Fig. 5 rule used to verify a `while` loop.
+#[derive(Clone, Debug)]
+pub enum LoopRule {
+    /// `WhileSync`: synchronized control flow; requires `I |= low(b)`.
+    Sync {
+        /// The loop invariant `I`.
+        inv: Assertion,
+    },
+    /// `While-∀*∃*`: invariant over all loop unrollings; the
+    /// `{I} if (b) {C} {I}` premise is discharged semantically.
+    ForallExists {
+        /// The loop invariant `I`.
+        inv: Assertion,
+    },
+    /// `While-∃`: top-level existential postconditions. All premises are
+    /// discharged semantically against the model.
+    Exists {
+        /// The tracked-state variable `φ`.
+        phi: Symbol,
+        /// `P_φ` (with `φ` free).
+        p_body: Assertion,
+        /// `Q_φ` (with `φ` free).
+        q_body: Assertion,
+        /// The decreasing variant expression.
+        variant: Expr,
+    },
+}
+
+/// A statement of an annotated program.
+#[derive(Clone, Debug)]
+pub enum AStmt {
+    /// A loop-free, choice-free atomic command sequence — verified by exact
+    /// weakest preconditions (Fig. 3).
+    Basic(Cmd),
+    /// A two-armed conditional, verified with the `IfSync`-derived weakest
+    /// precondition `low(b) ∧ wp(then, Q) ∧ wp(else, Q)`.
+    If {
+        /// Branch condition.
+        guard: Expr,
+        /// Then-branch.
+        then_b: Vec<AStmt>,
+        /// Else-branch.
+        else_b: Vec<AStmt>,
+    },
+    /// An annotated `while` loop.
+    While {
+        /// Loop guard.
+        guard: Expr,
+        /// The chosen proof rule and its annotations.
+        rule: LoopRule,
+        /// Loop body.
+        body: Vec<AStmt>,
+    },
+}
+
+impl AStmt {
+    /// Erases annotations, recovering the underlying command.
+    pub fn command(&self) -> Cmd {
+        match self {
+            AStmt::Basic(c) => c.clone(),
+            AStmt::If {
+                guard,
+                then_b,
+                else_b,
+            } => Cmd::if_else(guard.clone(), command_of(then_b), command_of(else_b)),
+            AStmt::While { guard, body, .. } => {
+                Cmd::while_loop(guard.clone(), command_of(body))
+            }
+        }
+    }
+}
+
+/// Erases a statement sequence to a command.
+pub fn command_of(stmts: &[AStmt]) -> Cmd {
+    Cmd::seq_all(stmts.iter().map(AStmt::command))
+}
+
+/// An annotated program with its specification.
+#[derive(Clone, Debug)]
+pub struct AProgram {
+    /// The statements.
+    pub stmts: Vec<AStmt>,
+    /// The required precondition.
+    pub pre: Assertion,
+    /// The required postcondition.
+    pub post: Assertion,
+}
+
+impl AProgram {
+    /// Creates an annotated program.
+    pub fn new(pre: Assertion, stmts: Vec<AStmt>, post: Assertion) -> AProgram {
+        AProgram { stmts, pre, post }
+    }
+
+    /// The underlying (annotation-erased) command.
+    pub fn command(&self) -> Cmd {
+        command_of(&self.stmts)
+    }
+
+    /// Structures a parsed command, recognizing the paper's `if`/`while`
+    /// desugarings, and attaches loop rules *in source order* from `rules`.
+    ///
+    /// # Errors
+    ///
+    /// [`StructureError::MissingAnnotation`] if the command contains more
+    /// loops than rules supplied; [`StructureError::UnstructuredChoice`] if
+    /// a `+` does not match an `if` desugaring; leftover rules are reported
+    /// as [`StructureError::ExtraAnnotations`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hhl_assert::Assertion;
+    /// use hhl_lang::parse_cmd;
+    /// use hhl_verify::{AProgram, LoopRule};
+    ///
+    /// let cmd = parse_cmd("i := 0; while (i < n) { i := i + 1 }").unwrap();
+    /// let inv = Assertion::low("i").and(Assertion::low("n"));
+    /// let prog = AProgram::from_cmd(
+    ///     Assertion::low("n"),
+    ///     &cmd,
+    ///     Assertion::low("i"),
+    ///     vec![LoopRule::Sync { inv }],
+    /// ).unwrap();
+    /// assert_eq!(prog.command(), cmd);
+    /// ```
+    pub fn from_cmd(
+        pre: Assertion,
+        cmd: &Cmd,
+        post: Assertion,
+        rules: Vec<LoopRule>,
+    ) -> Result<AProgram, StructureError> {
+        let mut queue: std::collections::VecDeque<LoopRule> = rules.into();
+        let stmts = structure_cmd(cmd, &mut queue)?;
+        if !queue.is_empty() {
+            return Err(StructureError::ExtraAnnotations(queue.len()));
+        }
+        Ok(AProgram { stmts, pre, post })
+    }
+}
+
+/// Errors raised while structuring a parsed command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StructureError {
+    /// A `while` loop had no corresponding rule annotation.
+    MissingAnnotation,
+    /// More rules were supplied than the command has loops.
+    ExtraAnnotations(usize),
+    /// A non-deterministic choice that is not an `if` desugaring.
+    UnstructuredChoice(Cmd),
+}
+
+impl std::fmt::Display for StructureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StructureError::MissingAnnotation => {
+                write!(f, "a while loop is missing its rule annotation")
+            }
+            StructureError::ExtraAnnotations(n) => {
+                write!(f, "{n} unused loop annotation(s)")
+            }
+            StructureError::UnstructuredChoice(c) => {
+                write!(f, "choice is not an if-statement desugaring: {c}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StructureError {}
+
+fn structure_cmd(
+    cmd: &Cmd,
+    rules: &mut std::collections::VecDeque<LoopRule>,
+) -> Result<Vec<AStmt>, StructureError> {
+    match cmd {
+        // while (b) {C} = (assume b; C)*; assume !b
+        Cmd::Seq(star, exit) => {
+            if let (Cmd::Star(inner), Cmd::Assume(nb)) = (&**star, &**exit) {
+                if let Cmd::Seq(a, body) = &**inner {
+                    if let Cmd::Assume(b) = &**a {
+                        if *nb == b.clone().not() {
+                            let rule =
+                                rules.pop_front().ok_or(StructureError::MissingAnnotation)?;
+                            return Ok(vec![AStmt::While {
+                                guard: b.clone(),
+                                rule,
+                                body: structure_cmd(body, rules)?,
+                            }]);
+                        }
+                    }
+                }
+            }
+            let mut out = structure_cmd(star, rules)?;
+            out.extend(structure_cmd(exit, rules)?);
+            Ok(merge_basics(out))
+        }
+        // if (b) {C1} else {C2} = (assume b; C1) + (assume !b; C2)
+        Cmd::Choice(l, r) => {
+            if let (Cmd::Seq(a1, c1), Cmd::Seq(a2, c2)) = (&**l, &**r) {
+                if let (Cmd::Assume(b), Cmd::Assume(nb)) = (&**a1, &**a2) {
+                    if *nb == b.clone().not() {
+                        return Ok(vec![AStmt::If {
+                            guard: b.clone(),
+                            then_b: structure_cmd(c1, rules)?,
+                            else_b: structure_cmd(c2, rules)?,
+                        }]);
+                    }
+                }
+            }
+            // One-armed if: (assume b; C) + (assume !b)
+            if let (Cmd::Seq(a1, c1), Cmd::Assume(nb)) = (&**l, &**r) {
+                if let Cmd::Assume(b) = &**a1 {
+                    if *nb == b.clone().not() {
+                        return Ok(vec![AStmt::If {
+                            guard: b.clone(),
+                            then_b: structure_cmd(c1, rules)?,
+                            else_b: Vec::new(),
+                        }]);
+                    }
+                }
+            }
+            Err(StructureError::UnstructuredChoice(cmd.clone()))
+        }
+        Cmd::Star(_) => Err(StructureError::UnstructuredChoice(cmd.clone())),
+        atomic => Ok(vec![AStmt::Basic(atomic.clone())]),
+    }
+}
+
+/// Fuses adjacent `Basic` statements back into command sequences.
+fn merge_basics(stmts: Vec<AStmt>) -> Vec<AStmt> {
+    let mut out: Vec<AStmt> = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match (out.last_mut(), s) {
+            (Some(AStmt::Basic(prev)), AStmt::Basic(next)) => {
+                *prev = Cmd::seq(prev.clone(), next);
+            }
+            (_, s) => out.push(s),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhl_lang::parse_cmd;
+
+    #[test]
+    fn erasure_matches_desugaring() {
+        let prog = AStmt::While {
+            guard: Expr::var("i").lt(Expr::var("n")),
+            rule: LoopRule::Sync {
+                inv: Assertion::low("i"),
+            },
+            body: vec![AStmt::Basic(Cmd::assign(
+                "i",
+                Expr::var("i") + Expr::int(1),
+            ))],
+        };
+        assert_eq!(
+            prog.command(),
+            parse_cmd("while (i < n) { i := i + 1 }").unwrap()
+        );
+    }
+
+    #[test]
+    fn if_erasure() {
+        let prog = AStmt::If {
+            guard: Expr::var("l").gt(Expr::int(0)),
+            then_b: vec![AStmt::Basic(Cmd::assign("y", Expr::int(1)))],
+            else_b: vec![AStmt::Basic(Cmd::assign("y", Expr::int(0)))],
+        };
+        assert_eq!(
+            prog.command(),
+            parse_cmd("if (l > 0) { y := 1 } else { y := 0 }").unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_sequence_is_skip() {
+        assert_eq!(command_of(&[]), Cmd::Skip);
+    }
+
+    #[test]
+    fn from_cmd_roundtrips_structured_programs() {
+        for src in [
+            "i := 0; while (i < n) { i := i + 1 }",
+            "if (x > 0) { y := 1 } else { y := 2 }",
+            "a := 1; if (x > 0) { y := 1 } else { y := 2 }; b := 2",
+            "while (i < n) { if (x > 0) { i := i + 1 } else { i := i + 2 } }",
+        ] {
+            let cmd = parse_cmd(src).unwrap();
+            let loops = src.matches("while").count();
+            let rules = (0..loops)
+                .map(|_| LoopRule::Sync {
+                    inv: Assertion::tt(),
+                })
+                .collect();
+            let prog =
+                AProgram::from_cmd(Assertion::tt(), &cmd, Assertion::tt(), rules).unwrap();
+            assert_eq!(prog.command(), cmd, "round-trip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn from_cmd_reports_annotation_mismatches() {
+        let cmd = parse_cmd("while (i < n) { i := i + 1 }").unwrap();
+        assert!(matches!(
+            AProgram::from_cmd(Assertion::tt(), &cmd, Assertion::tt(), vec![]),
+            Err(StructureError::MissingAnnotation)
+        ));
+        let extra = vec![
+            LoopRule::Sync { inv: Assertion::tt() },
+            LoopRule::Sync { inv: Assertion::tt() },
+        ];
+        assert!(matches!(
+            AProgram::from_cmd(Assertion::tt(), &cmd, Assertion::tt(), extra),
+            Err(StructureError::ExtraAnnotations(1))
+        ));
+        let raw_choice = parse_cmd("{ x := 1 } + { x := 2 }").unwrap();
+        assert!(matches!(
+            AProgram::from_cmd(Assertion::tt(), &raw_choice, Assertion::tt(), vec![]),
+            Err(StructureError::UnstructuredChoice(_))
+        ));
+    }
+}

@@ -1,0 +1,47 @@
+//! # hhl-verify — a Hypra-style verifier for Hyper Hoare Logic
+//!
+//! The paper's conclusion announces SMT-backed automation (realized later as
+//! the Hypra verifier). This crate implements the same pipeline shape over
+//! this workspace's finite-model infrastructure:
+//!
+//! 1. programs are annotated with loop invariants and a Fig. 5 proof rule
+//!    per loop ([`AProgram`], [`LoopRule`]);
+//! 2. a backward pass computes *exact* weakest preconditions for
+//!    straight-line code via the Fig. 3 syntactic transformations and emits
+//!    the loop rules' premises as verification conditions ([`vcgen`]);
+//! 3. entailment VCs are discharged by the finite-model entailment checker,
+//!    semantic VCs by the triple-validity checker ([`verify`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hhl_assert::{Assertion, Universe};
+//! use hhl_core::ValidityConfig;
+//! use hhl_lang::{Cmd, Expr};
+//! use hhl_verify::{verify, AProgram, AStmt, LoopRule};
+//!
+//! // Prove low(i) after `while (i < n) { i := i + 1 }` with WhileSync.
+//! let inv = Assertion::low("i").and(Assertion::low("n"));
+//! let prog = AProgram::new(
+//!     inv.clone(),
+//!     vec![AStmt::While {
+//!         guard: Expr::var("i").lt(Expr::var("n")),
+//!         rule: LoopRule::Sync { inv },
+//!         body: vec![AStmt::Basic(Cmd::assign("i", Expr::var("i") + Expr::int(1)))],
+//!     }],
+//!     Assertion::low("i"),
+//! );
+//! let cfg = ValidityConfig::new(Universe::int_cube(&["i", "n"], 0, 2));
+//! assert!(verify(&prog, &cfg).unwrap().verified());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod report;
+mod vcgen;
+
+pub use ast::{command_of, AProgram, AStmt, LoopRule, StructureError};
+pub use report::{verify, ObligationResult, Report};
+pub use vcgen::{vcgen, Obligation, VerifyError};

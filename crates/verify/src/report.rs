@@ -1,0 +1,280 @@
+//! Obligation discharge and verification reports.
+
+use std::fmt;
+
+use hhl_assert::{check_entailment, Counterexample, Env};
+use hhl_core::{check_triple_in_env, ValidityConfig};
+
+use crate::ast::AProgram;
+use crate::vcgen::{vcgen, Obligation, VerifyError};
+
+/// The outcome of one obligation.
+#[derive(Clone, Debug)]
+pub struct ObligationResult {
+    /// The obligation.
+    pub obligation: Obligation,
+    /// `Ok` if discharged, else the counterexample.
+    pub result: Result<(), Counterexample>,
+}
+
+/// A full verification report.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Per-obligation outcomes, in generation order.
+    pub results: Vec<ObligationResult>,
+}
+
+impl Report {
+    /// True iff every obligation was discharged.
+    pub fn verified(&self) -> bool {
+        self.results.iter().all(|r| r.result.is_ok())
+    }
+
+    /// Number of obligations.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True iff there are no obligations (vacuously verified).
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// The failed obligations.
+    pub fn failures(&self) -> impl Iterator<Item = &ObligationResult> + '_ {
+        self.results.iter().filter(|r| r.result.is_err())
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "verification {}: {} obligation(s)",
+            if self.verified() { "SUCCEEDED" } else { "FAILED" },
+            self.len()
+        )?;
+        for (i, r) in self.results.iter().enumerate() {
+            let status = match &r.result {
+                Ok(()) => "ok".to_owned(),
+                Err(c) => format!("FAILED ({c})"),
+            };
+            writeln!(f, "  [{i}] {} — {status}", r.obligation)?;
+        }
+        Ok(())
+    }
+}
+
+/// Generates and discharges all verification conditions of an annotated
+/// program against the given model.
+///
+/// # Errors
+///
+/// [`VerifyError`] if VC generation itself fails (unstructured statement or
+/// untransformable assertion); discharge failures are reported per
+/// obligation in the returned [`Report`].
+///
+/// # Examples
+///
+/// ```
+/// use hhl_assert::{Assertion, Universe};
+/// use hhl_core::ValidityConfig;
+/// use hhl_verify::{verify, AProgram, AStmt};
+/// use hhl_lang::{parse_cmd, Cmd, Expr};
+///
+/// // {low(l)} l := l + 1 {low(l)} — one entailment VC, discharged.
+/// let prog = AProgram::new(
+///     Assertion::low("l"),
+///     vec![AStmt::Basic(parse_cmd("l := l + 1").unwrap())],
+///     Assertion::low("l"),
+/// );
+/// let cfg = ValidityConfig::new(Universe::int_cube(&["l"], 0, 1));
+/// let report = verify(&prog, &cfg).unwrap();
+/// assert!(report.verified());
+/// ```
+pub fn verify(prog: &AProgram, cfg: &ValidityConfig) -> Result<Report, VerifyError> {
+    let obligations = vcgen(prog)?;
+    let mut results = Vec::with_capacity(obligations.len());
+    for ob in obligations {
+        let result = discharge(&ob, cfg);
+        results.push(ObligationResult {
+            obligation: ob,
+            result,
+        });
+    }
+    Ok(Report { results })
+}
+
+fn discharge(ob: &Obligation, cfg: &ValidityConfig) -> Result<(), Counterexample> {
+    match ob {
+        Obligation::Entailment { pre, post, .. } => {
+            check_entailment(pre, post, &cfg.universe, &cfg.check)
+        }
+        Obligation::Triple {
+            triple, free_vals, ..
+        } => {
+            if free_vals.is_empty() {
+                return check_triple_in_env(triple, &mut Env::new(), cfg);
+            }
+            // Enumerate bindings of the meta-quantified value variables.
+            let mut envs = vec![Env::new()];
+            for v in free_vals {
+                let mut next = Vec::new();
+                for env in &envs {
+                    for value in &cfg.check.eval.values {
+                        let mut e2 = env.clone();
+                        e2.vals.insert(*v, value.clone());
+                        next.push(e2);
+                    }
+                }
+                envs = next;
+            }
+            for mut env in envs {
+                check_triple_in_env(triple, &mut env, cfg)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AStmt, LoopRule};
+    use hhl_assert::{Assertion, Universe};
+    use hhl_lang::{parse_cmd, Cmd, ExecConfig, Expr};
+
+    fn cfg(vars: &[&str], lo: i64, hi: i64) -> ValidityConfig {
+        ValidityConfig::new(Universe::int_cube(vars, lo, hi))
+            .with_exec(ExecConfig::int_range(lo, hi).fuel(8))
+    }
+
+    #[test]
+    fn straightline_ni_verifies() {
+        let prog = AProgram::new(
+            Assertion::low("l"),
+            vec![AStmt::Basic(parse_cmd("l := l * 2").unwrap())],
+            Assertion::low("l"),
+        );
+        let report = verify(&prog, &cfg(&["l", "h"], 0, 1)).unwrap();
+        assert!(report.verified(), "{report}");
+        assert_eq!(report.len(), 1);
+    }
+
+    #[test]
+    fn leak_is_refuted_with_counterexample() {
+        let prog = AProgram::new(
+            Assertion::low("l"),
+            vec![AStmt::Basic(parse_cmd("l := h").unwrap())],
+            Assertion::low("l"),
+        );
+        let report = verify(&prog, &cfg(&["l", "h"], 0, 1)).unwrap();
+        assert!(!report.verified());
+        assert_eq!(report.failures().count(), 1);
+        let failure = report.failures().next().unwrap();
+        // The counterexample set genuinely violates the entailment.
+        assert!(failure.result.is_err());
+    }
+
+    #[test]
+    fn if_sync_wp_verifies_c2_shape_with_low_guard() {
+        // if (l > 0) { y := 1 } else { y := 0 } preserves low(y) given
+        // low(l): the guard is low, so IfSync applies.
+        let prog = AProgram::new(
+            Assertion::low("l"),
+            vec![AStmt::If {
+                guard: Expr::var("l").gt(Expr::int(0)),
+                then_b: vec![AStmt::Basic(Cmd::assign("y", Expr::int(1)))],
+                else_b: vec![AStmt::Basic(Cmd::assign("y", Expr::int(0)))],
+            }],
+            Assertion::low("y"),
+        );
+        let report = verify(&prog, &cfg(&["l", "y"], 0, 1)).unwrap();
+        assert!(report.verified(), "{report}");
+    }
+
+    #[test]
+    fn if_with_high_guard_fails_lowness() {
+        // C2: guard h > 0 is high — the IfSync WP demands low(h > 0), which
+        // low(l) does not provide. This is exactly how the verifier reports
+        // the §2.2 insecurity.
+        let prog = AProgram::new(
+            Assertion::low("l"),
+            vec![AStmt::If {
+                guard: Expr::var("h").gt(Expr::int(0)),
+                then_b: vec![AStmt::Basic(Cmd::assign("l", Expr::int(1)))],
+                else_b: vec![AStmt::Basic(Cmd::assign("l", Expr::int(0)))],
+            }],
+            Assertion::low("l"),
+        );
+        let report = verify(&prog, &cfg(&["l", "h"], 0, 1)).unwrap();
+        assert!(!report.verified());
+    }
+
+    #[test]
+    fn while_sync_counter_verifies() {
+        // while (i < n) { i := i + 1 } with I = low(i) ∧ low(n) proves
+        // low(i) at exit.
+        let inv = Assertion::low("i").and(Assertion::low("n"));
+        let prog = AProgram::new(
+            inv.clone(),
+            vec![AStmt::While {
+                guard: Expr::var("i").lt(Expr::var("n")),
+                rule: LoopRule::Sync { inv },
+                body: vec![AStmt::Basic(Cmd::assign(
+                    "i",
+                    Expr::var("i") + Expr::int(1),
+                ))],
+            }],
+            Assertion::low("i"),
+        );
+        let report = verify(&prog, &cfg(&["i", "n"], 0, 2)).unwrap();
+        assert!(report.verified(), "{report}");
+        assert_eq!(report.len(), 4); // lowness, preservation, exit, pre
+    }
+
+    #[test]
+    fn while_sync_with_wrong_invariant_fails() {
+        let inv = Assertion::low("i"); // forgets low(n): guard not low
+        let prog = AProgram::new(
+            inv.clone(),
+            vec![AStmt::While {
+                guard: Expr::var("i").lt(Expr::var("n")),
+                rule: LoopRule::Sync { inv },
+                body: vec![AStmt::Basic(Cmd::assign(
+                    "i",
+                    Expr::var("i") + Expr::int(1),
+                ))],
+            }],
+            Assertion::low("i"),
+        );
+        let report = verify(&prog, &cfg(&["i", "n"], 0, 1)).unwrap();
+        assert!(!report.verified());
+    }
+
+    #[test]
+    fn unstructured_choice_is_rejected() {
+        let prog = AProgram::new(
+            Assertion::tt(),
+            vec![AStmt::Basic(parse_cmd("{ x := 1 } + { x := 2 }").unwrap())],
+            Assertion::tt(),
+        );
+        assert!(matches!(
+            verify(&prog, &cfg(&["x"], 0, 2)),
+            Err(VerifyError::UnstructuredCommand(_))
+        ));
+    }
+
+    #[test]
+    fn report_display_lists_obligations() {
+        let prog = AProgram::new(
+            Assertion::low("l"),
+            vec![AStmt::Basic(parse_cmd("l := l + 1").unwrap())],
+            Assertion::low("l"),
+        );
+        let report = verify(&prog, &cfg(&["l"], 0, 1)).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("SUCCEEDED"));
+        assert!(text.contains("program precondition"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Backward verification-condition generation.
+//!
+//! Straight-line code gets *exact* weakest preconditions via the Fig. 3
+//! transformations; conditionals use the `IfSync`-derived precondition
+//! `low(b) ∧ wp(then, Q) ∧ wp(else, Q)`; loops produce the premises of their
+//! annotated Fig. 5 rule. Obligations come in two kinds:
+//!
+//! * [`Obligation::Entailment`] — `P |= Q` checks (discharged by the
+//!   finite-model entailment checker);
+//! * [`Obligation::Triple`] — semantic triple checks for premises the
+//!   syntactic fragment cannot express (e.g. `{I} if (b) {C} {I}` of
+//!   `While-∀*∃*`), mirroring the `Oracle` nodes of the proof layer.
+
+use std::fmt;
+
+use hhl_assert::{Assertion, HExpr, TransformError};
+use hhl_assert::{assign_transform, assume_transform, havoc_transform};
+use hhl_core::Triple;
+use hhl_lang::{Cmd, Symbol};
+
+use crate::ast::{command_of, AProgram, AStmt};
+
+/// A proof obligation emitted by the VC generator.
+#[derive(Clone, Debug)]
+pub enum Obligation {
+    /// `pre |= post`.
+    Entailment {
+        /// Antecedent.
+        pre: Assertion,
+        /// Consequent.
+        post: Assertion,
+        /// Where the obligation came from.
+        origin: String,
+    },
+    /// A triple to validate semantically. `free_vals` are meta-quantified
+    /// value variables (`∀v. ⊢{…}` premises): the discharger checks every
+    /// binding over its value domain.
+    Triple {
+        /// The triple.
+        triple: Triple,
+        /// Universally meta-quantified value variables left free in the
+        /// triple.
+        free_vals: Vec<Symbol>,
+        /// Where the obligation came from.
+        origin: String,
+    },
+}
+
+impl fmt::Display for Obligation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Obligation::Entailment { pre, post, origin } => {
+                write!(f, "[{origin}] {pre} |= {post}")
+            }
+            Obligation::Triple { triple, origin, free_vals } => {
+                if free_vals.is_empty() {
+                    write!(f, "[{origin}] ⊨ {triple}")
+                } else {
+                    let vs: Vec<String> =
+                        free_vals.iter().map(|v| v.to_string()).collect();
+                    write!(f, "[{origin}] ∀{}. ⊨ {triple}", vs.join(", "))
+                }
+            }
+        }
+    }
+}
+
+/// Errors raised during VC generation.
+#[derive(Clone, Debug)]
+pub enum VerifyError {
+    /// A `Basic` statement contained a loop or a choice (those must be
+    /// expressed as structured `If`/`While` nodes).
+    UnstructuredCommand(Cmd),
+    /// A syntactic transformation failed (assertion outside Def. 9).
+    Transform(TransformError),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::UnstructuredCommand(c) => {
+                write!(f, "basic statement must be loop- and choice-free: {c}")
+            }
+            VerifyError::Transform(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<TransformError> for VerifyError {
+    fn from(e: TransformError) -> VerifyError {
+        VerifyError::Transform(e)
+    }
+}
+
+/// Exact weakest precondition of a loop- and choice-free command.
+fn wp_cmd(cmd: &Cmd, post: &Assertion) -> Result<Assertion, VerifyError> {
+    match cmd {
+        Cmd::Skip => Ok(post.clone()),
+        Cmd::Assign(x, e) => Ok(assign_transform(*x, e, post)?),
+        Cmd::Havoc(x) => Ok(havoc_transform(*x, post)?),
+        Cmd::Assume(b) => Ok(assume_transform(b, post)?),
+        Cmd::Seq(c1, c2) => {
+            let mid = wp_cmd(c2, post)?;
+            wp_cmd(c1, &mid)
+        }
+        Cmd::Choice(_, _) | Cmd::Star(_) => {
+            Err(VerifyError::UnstructuredCommand(cmd.clone()))
+        }
+    }
+}
+
+/// Backward pass over a statement sequence: returns the computed
+/// precondition and appends obligations.
+fn wp_stmts(
+    stmts: &[AStmt],
+    post: &Assertion,
+    obligations: &mut Vec<Obligation>,
+) -> Result<Assertion, VerifyError> {
+    let mut current = post.clone();
+    for stmt in stmts.iter().rev() {
+        current = wp_stmt(stmt, &current, obligations)?;
+    }
+    Ok(current)
+}
+
+fn wp_stmt(
+    stmt: &AStmt,
+    post: &Assertion,
+    obligations: &mut Vec<Obligation>,
+) -> Result<Assertion, VerifyError> {
+    match stmt {
+        AStmt::Basic(cmd) => wp_cmd(cmd, post),
+        AStmt::If {
+            guard,
+            then_b,
+            else_b,
+        } => {
+            // IfSync-derived WP: P ≜ low(b) ∧ wp(then, Q) ∧ wp(else, Q).
+            // Sound because P ∧ □b |= wp(then, Q) and symmetrically.
+            let wt = wp_stmts(then_b, post, obligations)?;
+            let we = wp_stmts(else_b, post, obligations)?;
+            Ok(Assertion::low_expr(guard).and(wt).and(we))
+        }
+        AStmt::While { guard, rule, body } => match rule {
+            crate::ast::LoopRule::Sync { inv } => {
+                // VC1: I |= low(b).
+                obligations.push(Obligation::Entailment {
+                    pre: inv.clone(),
+                    post: Assertion::low_expr(guard),
+                    origin: format!("WhileSync guard lowness (while {guard})"),
+                });
+                // VC2: I ∧ □b |= wp(body, I).
+                let w_body = wp_stmts(body, inv, obligations)?;
+                obligations.push(Obligation::Entailment {
+                    pre: inv.clone().and(Assertion::box_pred(guard)),
+                    post: w_body,
+                    origin: format!("WhileSync invariant preservation (while {guard})"),
+                });
+                // VC3: the rule's postcondition entails Q.
+                let rule_post = inv
+                    .clone()
+                    .or(Assertion::emp())
+                    .and(Assertion::box_pred(&guard.clone().not()));
+                obligations.push(Obligation::Entailment {
+                    pre: rule_post,
+                    post: post.clone(),
+                    origin: format!("WhileSync exit (while {guard})"),
+                });
+                Ok(inv.clone())
+            }
+            crate::ast::LoopRule::ForallExists { inv } => {
+                if !post.no_forall_state_after_exists_state() {
+                    // The rule's side condition on Q.
+                    obligations.push(Obligation::Entailment {
+                        pre: Assertion::tt(),
+                        post: Assertion::ff(),
+                        origin: format!(
+                            "While-∀*∃* side condition violated: Q has ∀⟨_⟩ after ∃ \
+                             (while {guard})"
+                        ),
+                    });
+                }
+                // Premise {I} if (b) {C} {I}: semantic obligation.
+                let if_cmd = Cmd::if_then(guard.clone(), command_of(body));
+                obligations.push(Obligation::Triple {
+                    triple: Triple::new(inv.clone(), if_cmd, inv.clone()),
+                    free_vals: Vec::new(),
+                    origin: format!("While-∀*∃* unrolling invariant (while {guard})"),
+                });
+                // Premise {I} assume ¬b {Q}: exact via Π.
+                let exit_pre = assume_transform(&guard.clone().not(), post)?;
+                obligations.push(Obligation::Entailment {
+                    pre: inv.clone(),
+                    post: exit_pre,
+                    origin: format!("While-∀*∃* exit (while {guard})"),
+                });
+                Ok(inv.clone())
+            }
+            crate::ast::LoopRule::Exists {
+                phi,
+                p_body,
+                q_body,
+                variant,
+            } => {
+                let b_at = Assertion::Atom(HExpr::of_expr_at(guard, *phi));
+                let e_at = HExpr::of_expr_at(variant, *phi);
+                let v = Symbol::new("v‹variant›");
+                let pre1 = Assertion::exists_state(
+                    *phi,
+                    p_body
+                        .clone()
+                        .and(b_at)
+                        .and(Assertion::Atom(HExpr::Val(v).eq(e_at.clone()))),
+                );
+                let post1 = Assertion::exists_state(
+                    *phi,
+                    p_body.clone().and(Assertion::Atom(
+                        HExpr::int(0)
+                            .le(e_at.clone())
+                            .and(e_at.lt(HExpr::Val(v))),
+                    )),
+                );
+                let if_cmd = Cmd::if_then(guard.clone(), command_of(body));
+                // Premise 1 (∀v): semantic obligation with v left free; the
+                // discharger enumerates its value domain.
+                obligations.push(Obligation::Triple {
+                    triple: Triple::new(pre1, if_cmd, post1),
+                    free_vals: vec![v],
+                    origin: format!("While-∃ variant decrease (while {guard})"),
+                });
+                // Premise 2 (∀φ): the state variable φ stays free; the
+                // discharger binds it over the universe.
+                let loop_cmd = Cmd::while_loop(guard.clone(), command_of(body));
+                obligations.push(Obligation::Triple {
+                    triple: Triple::new(p_body.clone(), loop_cmd, q_body.clone()),
+                    free_vals: Vec::new(),
+                    origin: format!("While-∃ fixed-witness premise (while {guard}, φ = {phi})"),
+                });
+                // Conclusion's postcondition entails Q.
+                obligations.push(Obligation::Entailment {
+                    pre: Assertion::exists_state(*phi, q_body.clone()),
+                    post: post.clone(),
+                    origin: format!("While-∃ exit (while {guard})"),
+                });
+                Ok(Assertion::exists_state(*phi, p_body.clone()))
+            }
+        },
+    }
+}
+
+/// Generates the verification conditions for an annotated program: the
+/// loop-rule premises plus the top-level `pre |= wp(stmts, post)`.
+///
+/// # Errors
+///
+/// [`VerifyError`] when a basic statement is unstructured or an assertion
+/// falls outside the transformable fragment.
+pub fn vcgen(prog: &AProgram) -> Result<Vec<Obligation>, VerifyError> {
+    let mut obligations = Vec::new();
+    let computed_pre = wp_stmts(&prog.stmts, &prog.post, &mut obligations)?;
+    obligations.push(Obligation::Entailment {
+        pre: prog.pre.clone(),
+        post: computed_pre,
+        origin: "program precondition".to_owned(),
+    });
+    Ok(obligations)
+}

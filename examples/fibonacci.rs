@@ -1,0 +1,101 @@
+//! Fibonacci monotonicity — Fig. 7 and Appendix F.
+//!
+//! `C_fib` computes the `n`-th Fibonacci number in `a`. The paper proves it
+//! monotonic — `φ1(n) ≥ φ2(n) ⇒ φ1(a) ≥ φ2(a)` across any two executions —
+//! with the `While-∀*∃*` rule and the App. F invariant, *without* revealing
+//! what the program computes. We reproduce the argument through the
+//! verifier: the loop is annotated with the App. F invariant and the
+//! `ForallExists` rule; its premises become checked obligations.
+//!
+//! Run with `cargo run --example fibonacci`.
+
+use hyper_hoare::assertions::{parse_assertion, Assertion, EntailConfig, Universe};
+use hyper_hoare::lang::{parse_cmd, ExecConfig, Expr, Value};
+use hyper_hoare::logic::{check_triple, Triple, ValidityConfig};
+use hyper_hoare::verify::{verify, AProgram, AStmt, LoopRule};
+
+fn main() {
+    let fib = parse_cmd(
+        "a := 0; b := 1; i := 0;
+         while (i < n) { tmp := b; b := a + b; a := tmp; i := i + 1 }",
+    )
+    .expect("C_fib parses");
+    println!("C_fib:\n  {fib}\n");
+
+    // mono over logical tag t (§2.2): t = 1 marks the larger-n execution.
+    let mono_n = parse_assertion(
+        "forall <phi1>, <phi2>. phi1($t) == 1 && phi2($t) == 2 => phi1(n) >= phi2(n)",
+    )
+    .expect("mono_n parses");
+    let mono_a = parse_assertion(
+        "forall <phi1>, <phi2>. phi1($t) == 1 && phi2($t) == 2 => phi1(a) >= phi2(a)",
+    )
+    .expect("mono_a parses");
+
+    // The App. F invariant:
+    //   ∀⟨φ1⟩,⟨φ2⟩. tags ⇒ (φ1(n)−φ1(i) ≥ φ2(n)−φ2(i) ∧ φ1(a) ≥ φ2(a)
+    //                        ∧ φ1(b) ≥ φ2(b))  ∧  □(b ≥ a ≥ 0)
+    let invariant = parse_assertion(
+        "forall <phi1>, <phi2>. phi1($t) == 1 && phi2($t) == 2 =>
+           phi1(n) - phi1(i) >= phi2(n) - phi2(i) &&
+           phi1(a) >= phi2(a) && phi1(b) >= phi2(b)",
+    )
+    .expect("invariant parses")
+    .and(parse_assertion("forall <phi>. phi(b) >= phi(a) && phi(a) >= 0").expect("parses"));
+
+    // --- End-to-end semantic check over n ∈ 0..3, tags t ∈ {1, 2} ----------
+    let universe = Universe::product(&[("n", (0..=3).map(Value::Int).collect())], &[])
+        .tag_logical("t", &[Value::Int(1), Value::Int(2)]);
+    let cfg = ValidityConfig::new(universe)
+        .with_exec(ExecConfig::int_range(0, 3).fuel(8))
+        .with_check(EntailConfig {
+            max_subset_size: 2,
+            ..EntailConfig::default()
+        });
+    let t = Triple::new(mono_n.clone(), fib.clone(), mono_a.clone());
+    println!("checking {t}\n");
+    assert!(check_triple(&t, &cfg).is_ok());
+    println!("monotonicity holds end-to-end ✓\n");
+
+    // --- The While-∀*∃* obligations through the verifier -------------------
+    let init = parse_cmd("a := 0; b := 1; i := 0").expect("init parses");
+    let body = parse_cmd("tmp := b; b := a + b; a := tmp; i := i + 1").expect("body parses");
+    let prog = AProgram::new(
+        mono_n,
+        vec![
+            AStmt::Basic(init),
+            AStmt::While {
+                guard: Expr::var("i").lt(Expr::var("n")),
+                rule: LoopRule::ForallExists {
+                    inv: invariant.clone(),
+                },
+                body: vec![AStmt::Basic(body)],
+            },
+        ],
+        mono_a,
+    );
+    // Obligations are checked over a universe that includes mid-loop states
+    // (a, b, i free) so the unrolling invariant is genuinely exercised.
+    let mid_universe = Universe::product(
+        &[
+            ("n", (0..=2).map(Value::Int).collect()),
+            ("i", (0..=2).map(Value::Int).collect()),
+            ("a", (0..=2).map(Value::Int).collect()),
+            ("b", (0..=2).map(Value::Int).collect()),
+        ],
+        &[],
+    )
+    .tag_logical("t", &[Value::Int(1), Value::Int(2)]);
+    let vcfg = ValidityConfig::new(mid_universe)
+        .with_exec(ExecConfig::int_range(0, 3).fuel(8))
+        .with_check(EntailConfig {
+            max_subset_size: 2,
+            samples: 150,
+            ..EntailConfig::default()
+        });
+    let report = verify(&prog, &vcfg).expect("vcgen succeeds");
+    println!("verifier obligations:\n{report}");
+    assert!(report.verified(), "App. F proof obligations must discharge");
+
+    println!("fibonacci: Fig. 7 / App. F reproduced ✓");
+}

@@ -1,0 +1,119 @@
+//! The logic zoo — Appendix C and Fig. 1 in action.
+//!
+//! One buggy program, examined through every embedded logic:
+//!
+//! ```text
+//! C_bug = if (h > 0) { l := l + h } else { skip }
+//! ```
+//!
+//! * **HL** (Def. 16) proves a functional bound;
+//! * **IL** (Def. 18) proves the "bug state" genuinely reachable;
+//! * **FU** (Def. 20) proves a good state always reachable;
+//! * **CHL(2)** (Def. 17) *fails* to prove non-interference (correctly);
+//! * **k-FU(2)** (Def. 21) proves the insecurity — the ∃∃ counterexample
+//!   pair exists;
+//! * and Hyper Hoare Logic expresses all of the above in one formalism
+//!   (Props. 2/4/6/9/11), plus the GNI-violation claim none of them can.
+//!
+//! Run with `cargo run --example logic_zoo`.
+
+use hyper_hoare::assertions::{Assertion, Universe};
+use hyper_hoare::lang::{parse_cmd, ExecConfig, ExtState, Store, Value};
+use hyper_hoare::logic::semantic::sem_valid;
+use hyper_hoare::logic::{check_triple, Triple, ValidityConfig};
+use hyper_hoare::logics::{
+    chl_valid, fu_valid, hl_as_hyper_triple, hl_valid, il_as_hyper_triple, il_valid, kfu_valid,
+    render_matrix, tuple_pred, StateSetPred,
+};
+
+fn mk(h: i64, l: i64) -> ExtState {
+    ExtState::from_program(Store::from_pairs([
+        ("h", Value::Int(h)),
+        ("l", Value::Int(l)),
+    ]))
+}
+
+fn main() {
+    let c_bug = parse_cmd("if (h > 0) { l := l + h } else { skip }").expect("parses");
+    println!("C_bug = {c_bug}\n");
+
+    let exec = ExecConfig::int_range(0, 1);
+    let states: Vec<ExtState> = (0..=1)
+        .flat_map(|h| (0..=1).map(move |l| mk(h, l)))
+        .collect();
+
+    // --- HL: {l ≤ 1 ∧ h ≤ 1} C {l ≤ 2} --------------------------------------
+    let p: StateSetPred = states.iter().cloned().collect();
+    let q: StateSetPred = (0..=1)
+        .flat_map(|h| (0..=2).map(move |l| mk(h, l)))
+        .collect();
+    assert!(hl_valid(&p, &c_bug, &q, &exec));
+    println!("HL     ✓ {{h,l ∈ 0..1}} C_bug {{l ≤ 2}}");
+
+    // Prop. 2: the same judgment as a hyper-triple.
+    let universe = Universe::int_cube(&["h", "l"], 0, 1);
+    let hl_triple = hl_as_hyper_triple(p.clone(), c_bug.clone(), q);
+    assert!(sem_valid(&hl_triple, &universe, &exec, &Default::default()));
+    println!("       ✓ Prop. 2 hyper-triple agrees");
+
+    // --- IL: the high-influenced state is really reachable ------------------
+    let bug: StateSetPred = [mk(1, 2)].into_iter().collect();
+    assert!(il_valid(&p, &c_bug, &bug, &exec));
+    println!("IL     ✓ state (h=1, l=2) is reachable — the leak is no false positive");
+    let il_triple = il_as_hyper_triple(p.clone(), c_bug.clone(), bug);
+    assert!(sem_valid(&il_triple, &universe, &exec, &Default::default()));
+    println!("       ✓ Prop. 6 hyper-triple agrees");
+
+    // --- FU: from every initial state some final state keeps l unchanged
+    //         or bumps it — C_bug never gets stuck ---------------------------
+    let any_final: StateSetPred = (0..=1)
+        .flat_map(|h| (0..=2).map(move |l| mk(h, l)))
+        .collect();
+    assert!(fu_valid(&p, &c_bug, &any_final, &exec));
+    println!("FU     ✓ every initial state reaches a final state");
+
+    // --- CHL(2): non-interference FAILS (as it must) ------------------------
+    let ni_pre = tuple_pred(|t: &[ExtState]| t[0].program.get("l") == t[1].program.get("l"));
+    let ni_post = tuple_pred(|t: &[ExtState]| t[0].program.get("l") == t[1].program.get("l"));
+    assert!(!chl_valid(2, &ni_pre, &c_bug, &ni_post, &states, &exec));
+    println!("CHL(2) ✗ non-interference refuted (C_bug is insecure)");
+
+    // --- k-FU(2): the insecurity is PROVABLE --------------------------------
+    let insec_pre = tuple_pred(|t: &[ExtState]| {
+        t[0].program.get("l") == t[1].program.get("l")
+            && t[0].program.get("h") != t[1].program.get("h")
+    });
+    let insec_post =
+        tuple_pred(|t: &[ExtState]| t[0].program.get("l") != t[1].program.get("l"));
+    assert!(kfu_valid(2, &insec_pre, &c_bug, &insec_post, &states, &exec));
+    println!("k-FU   ✓ insecurity proved: differing secrets force differing outputs");
+
+    // --- Hyper Hoare Logic: everything above in one formalism ----------------
+    let cfg = ValidityConfig::new(universe).with_exec(exec);
+    let ni = Triple::new(Assertion::low("l"), c_bug.clone(), Assertion::low("l"));
+    assert!(check_triple(&ni, &cfg).is_err());
+    let violation = Triple::new(
+        Assertion::low("l").and(Assertion::exists2(|a, b| {
+            Assertion::Atom(
+                hyper_hoare::assertions::HExpr::PVar(a, "h".into())
+                    .gt(hyper_hoare::assertions::HExpr::int(0))
+                    .and(
+                        hyper_hoare::assertions::HExpr::PVar(b, "h".into())
+                            .le(hyper_hoare::assertions::HExpr::int(0)),
+                    ),
+            )
+        })),
+        c_bug,
+        Assertion::exists2(|a, b| {
+            Assertion::Atom(
+                hyper_hoare::assertions::HExpr::PVar(a, "l".into())
+                    .ne(hyper_hoare::assertions::HExpr::PVar(b, "l".into())),
+            )
+        }),
+    );
+    assert!(check_triple(&violation, &cfg).is_ok());
+    println!("HHL    ✓ both the refutation and the violation proof, one logic\n");
+
+    println!("{}", render_matrix());
+    println!("logic_zoo: App. C / Fig. 1 reproduced ✓");
+}

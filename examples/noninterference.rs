@@ -1,0 +1,70 @@
+//! Non-interference — §2.2 of the paper, plus Thm. 5 disproving and the
+//! verifier front end.
+//!
+//! * `C1` (secure): `{low(l)} C1 {low(l)}` holds;
+//! * `C2 = if (h > 0) {l := 1} else {l := 0}` (insecure): NI fails, and the
+//!   *violation* is itself provable as the hyper-triple
+//!   `{low(l) ∧ ∃⟨φ1⟩,⟨φ2⟩. φ1(h) > 0 ∧ φ2(h) ≤ 0} C2 {∃⟨φ1'⟩,⟨φ2'⟩. φ1'(l) ≠ φ2'(l)}`.
+//!
+//! Run with `cargo run --example noninterference`.
+
+use hyper_hoare::assertions::{parse_assertion, Assertion, Universe};
+use hyper_hoare::lang::parse_cmd;
+use hyper_hoare::logic::{
+    check_triple, find_violating_set, witness_triple, Triple, ValidityConfig,
+};
+use hyper_hoare::verify::{verify, AProgram, AStmt};
+
+fn main() {
+    let cfg = ValidityConfig::new(Universe::int_cube(&["h", "l"], -1, 1));
+
+    // --- C1 satisfies NI ---------------------------------------------------
+    let c1 = parse_cmd("l := l * 2 + 1").expect("C1 parses");
+    let ni_c1 = Triple::new(Assertion::low("l"), c1, Assertion::low("l"));
+    println!("C1: {ni_c1}");
+    assert!(check_triple(&ni_c1, &cfg).is_ok());
+    println!("    NI holds ✓\n");
+
+    // --- C2 violates NI ----------------------------------------------------
+    let c2 = parse_cmd("if (h > 0) { l := 1 } else { l := 0 }").expect("C2 parses");
+    let ni_c2 = Triple::new(Assertion::low("l"), c2.clone(), Assertion::low("l"));
+    println!("C2: {ni_c2}");
+    let bad = find_violating_set(&ni_c2, &cfg).expect("C2 must violate NI");
+    println!("    NI refuted ✗ by initial set {bad}");
+
+    // Thm. 5: the refutation is itself a provable hyper-triple.
+    let wt = witness_triple(&ni_c2, &bad);
+    assert!(check_triple(&wt, &cfg).is_ok());
+    println!("    Thm. 5 witness triple valid ✓: {{S = …}} C2 {{¬low(l)}}\n");
+
+    // The paper's §2.2 violation triple, stated directly.
+    let violation = Triple::new(
+        Assertion::low("l").and(
+            parse_assertion("exists <phi1>, <phi2>. phi1(h) > 0 && phi2(h) <= 0")
+                .expect("precondition parses"),
+        ),
+        c2.clone(),
+        parse_assertion("exists <phi1>, <phi2>. phi1(l) != phi2(l)").expect("post parses"),
+    );
+    println!("violation triple: {violation}");
+    assert!(check_triple(&violation, &cfg).is_ok());
+    println!("    valid ✓ — C2's insecurity proved, not just observed\n");
+
+    // --- The verifier view -------------------------------------------------
+    // C2 as a structured program: the IfSync weakest precondition demands
+    // low(h > 0), which low(l) cannot supply — the verifier pinpoints it.
+    let prog = AProgram::new(
+        Assertion::low("l"),
+        vec![AStmt::If {
+            guard: hyper_hoare::lang::Expr::var("h").gt(hyper_hoare::lang::Expr::int(0)),
+            then_b: vec![AStmt::Basic(parse_cmd("l := 1").expect("parses"))],
+            else_b: vec![AStmt::Basic(parse_cmd("l := 0").expect("parses"))],
+        }],
+        Assertion::low("l"),
+    );
+    let report = verify(&prog, &cfg).expect("vcgen succeeds");
+    println!("verifier on C2:\n{report}");
+    assert!(!report.verified());
+
+    println!("noninterference: all paper claims reproduced ✓");
+}

@@ -1,0 +1,69 @@
+//! Quickstart — §2.1 of the paper.
+//!
+//! `C0 = x := randIntBounded(0, 9)` and its two specifications:
+//!
+//! * **P1** (overapproximate, classical Hoare): every final `x` lies in
+//!   `[0, 9]` — `{⊤} C0 {∀⟨φ⟩. 0 ≤ φ(x) ≤ 9}`;
+//! * **P2** (underapproximate): every value in `[0, 9]` actually occurs —
+//!   `{∃⟨φ⟩. ⊤} C0 {∀n. 0 ≤ n ≤ 9 ⇒ ∃⟨φ⟩. φ(x) = n}`.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use hyper_hoare::assertions::{parse_assertion, Assertion, EntailConfig, EvalConfig, Universe};
+use hyper_hoare::lang::{parse_cmd, ExecConfig};
+use hyper_hoare::logic::{check_triple, Triple, ValidityConfig};
+
+fn main() {
+    let c0 = parse_cmd("x := randIntBounded(0, 9)").expect("C0 parses");
+    println!("C0 = {c0}\n");
+
+    let cfg = ValidityConfig::new(Universe::int_cube(&["x"], 0, 1))
+        .with_exec(ExecConfig::int_range(-2, 11))
+        .with_check(EntailConfig {
+            eval: EvalConfig::int_range(-2, 11),
+            ..EntailConfig::default()
+        });
+
+    // P1 — the classical Hoare triple as a hyper-triple (App. C.1): the
+    // postcondition universally quantifies over final states.
+    let p1 = Triple::new(
+        Assertion::tt(),
+        c0.clone(),
+        parse_assertion("forall <phi>. 0 <= phi(x) && phi(x) <= 9").expect("P1 parses"),
+    );
+    println!("P1: {p1}");
+    println!("    => {}\n", verdict(check_triple(&p1, &cfg).is_ok()));
+
+    // P2 — existence of every output; note the ∃⟨φ⟩.⊤ precondition: from an
+    // empty set of initial states nothing is reachable.
+    let p2 = Triple::new(
+        Assertion::not_emp(),
+        c0.clone(),
+        parse_assertion("forall n. 0 <= n && n <= 9 => exists <phi>. phi(x) == n")
+            .expect("P2 parses"),
+    );
+    println!("P2: {p2}");
+    println!("    => {}\n", verdict(check_triple(&p2, &cfg).is_ok()));
+
+    // Dropping the non-emptiness precondition breaks P2, exactly as the
+    // paper explains.
+    let p2_weak = Triple::new(Assertion::tt(), c0, p2.post.clone());
+    let refuted = check_triple(&p2_weak, &cfg);
+    println!("P2 without ∃⟨φ⟩.⊤ precondition: {}", verdict(refuted.is_ok()));
+    if let Err(cex) = refuted {
+        println!("    counterexample: the initial set {}", cex.set);
+    }
+
+    assert!(check_triple(&p1, &cfg).is_ok());
+    assert!(check_triple(&p2, &cfg).is_ok());
+    assert!(check_triple(&p2_weak, &cfg).is_err());
+    println!("\nquickstart: all paper claims reproduced ✓");
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "VALID ✓"
+    } else {
+        "INVALID ✗"
+    }
+}

@@ -1,0 +1,23 @@
+//! # hyper-hoare — facade crate
+//!
+//! Re-exports the entire Hyper Hoare Logic workspace behind one dependency:
+//!
+//! * [`lang`] — language, states, big-step & extended semantics (paper §3.1);
+//! * [`assertions`] — hyper-assertions, syntactic transformations, entailment
+//!   (paper §4, Defs. 9–15);
+//! * [`logic`] — hyper-triples, validity, the full rule catalogue and the
+//!   proof checker (paper §3, §5, Apps. D/E/H);
+//! * [`logics`] — embeddings of HL/IL/CHL/k-IL/FU/k-FU/k-UE and the Fig. 1
+//!   capability matrix (paper App. C);
+//! * [`verify`] — the Hypra-style verification-condition generator.
+//!
+//! See the `examples/` directory for end-to-end walkthroughs of every worked
+//! example in the paper.
+
+#![forbid(unsafe_code)]
+
+pub use hhl_assert as assertions;
+pub use hhl_core as logic;
+pub use hhl_lang as lang;
+pub use hhl_logics as logics;
+pub use hhl_verify as verify;

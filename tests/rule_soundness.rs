@@ -1,0 +1,202 @@
+//! Rule-soundness property tests: random instances of the derived rules
+//! must produce conclusions that hold against the model (the executable
+//! shadow of Theorem 1), plus simplifier- and parser-level invariants.
+
+use proptest::prelude::*;
+
+use hyper_hoare::assertions::{
+    eval_assertion, parse_assertion, simplify, Assertion, EvalConfig, HExpr, Universe,
+};
+use hyper_hoare::lang::{Cmd, ExecConfig, Expr, ExtState, StateSet, Store, Symbol, Value};
+use hyper_hoare::logic::proof::{check, Derivation, ProofContext};
+use hyper_hoare::logic::{check_triple, ValidityConfig};
+
+const VARS: [&str; 3] = ["x", "y", "z"];
+
+fn arb_linear_expr() -> impl Strategy<Value = Expr> {
+    // Literals stay inside the havoc domain [-1, 1]: the ℋ rule's
+    // WP-exactness holds exactly when the value-quantifier domain and the
+    // havoc domain coincide (DESIGN.md finitization contract), and
+    // assertion literals seed the former.
+    ((0usize..VARS.len()), -1i64..=1, -1i64..=1)
+        .prop_map(|(i, a, b)| Expr::var(VARS[i]) * Expr::int(a) + Expr::int(b))
+}
+
+fn arb_assertion() -> impl Strategy<Value = Assertion> {
+    // Def. 9 assertions over one or two quantified states.
+    let atom = (arb_linear_expr(), arb_linear_expr()).prop_map(|(a, b)| {
+        let p1 = Symbol::new("q1");
+        let p2 = Symbol::new("q2");
+        Assertion::Atom(HExpr::of_expr_at(&a, p1).le(HExpr::of_expr_at(&b, p2)))
+    });
+    atom.prop_flat_map(|body| {
+        prop_oneof![
+            Just(Assertion::forall_states(["q1", "q2"], body.clone())),
+            Just(Assertion::forall_state(
+                "q1",
+                Assertion::exists_state("q2", body.clone())
+            )),
+            Just(Assertion::exists_states(["q1", "q2"], body)),
+        ]
+    })
+}
+
+fn ctx() -> ProofContext {
+    // The evaluator's value-quantifier domain must coincide with the havoc
+    // domain (DESIGN.md finitization contract) — otherwise ℋ's existential
+    // can pick pad values the executable havoc cannot produce.
+    ProofContext::new(
+        ValidityConfig::new(Universe::int_cube(&VARS, -1, 1))
+            .with_exec(ExecConfig::int_range(-1, 1).fuel(6))
+            .with_check(hyper_hoare::assertions::EntailConfig {
+                eval: EvalConfig::int_range(-1, 1),
+                ..Default::default()
+            }),
+    )
+}
+
+fn arb_set() -> impl Strategy<Value = StateSet> {
+    proptest::collection::vec(
+        proptest::collection::vec(-1i64..=1, VARS.len()),
+        0..=3,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|vals| {
+                ExtState::from_program(Store::from_pairs(
+                    VARS.iter().zip(vals).map(|(v, n)| (*v, Value::Int(n))),
+                ))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// AssignS conclusions are always valid (Thm. 1 for the Fig. 3 rule).
+    #[test]
+    fn assign_s_is_sound(e in arb_linear_expr(), post in arb_assertion(), i in 0usize..VARS.len()) {
+        let d = Derivation::AssignS {
+            x: Symbol::new(VARS[i]),
+            e,
+            post,
+        };
+        let ctx = ctx();
+        let proof = check(&d, &ctx).expect("AssignS always applies to Def. 9");
+        prop_assert!(
+            check_triple(&proof.conclusion, &ctx.validity).is_ok(),
+            "unsound AssignS conclusion: {}",
+            proof.conclusion
+        );
+    }
+
+    /// HavocS conclusions are valid when the evaluator's value domain
+    /// matches the havoc domain (the finitization contract of DESIGN.md).
+    #[test]
+    fn havoc_s_is_sound(post in arb_assertion(), i in 0usize..VARS.len()) {
+        let d = Derivation::HavocS {
+            x: Symbol::new(VARS[i]),
+            post,
+        };
+        let ctx = ctx();
+        let proof = check(&d, &ctx).expect("HavocS always applies to Def. 9");
+        prop_assert!(
+            check_triple(&proof.conclusion, &ctx.validity).is_ok(),
+            "unsound HavocS conclusion: {}",
+            proof.conclusion
+        );
+    }
+
+    /// AssumeS conclusions are always valid.
+    #[test]
+    fn assume_s_is_sound(e in arb_linear_expr(), post in arb_assertion()) {
+        let d = Derivation::AssumeS {
+            b: e.ge(Expr::int(0)),
+            post,
+        };
+        let ctx = ctx();
+        let proof = check(&d, &ctx).expect("AssumeS always applies to Def. 9");
+        prop_assert!(
+            check_triple(&proof.conclusion, &ctx.validity).is_ok(),
+            "unsound AssumeS conclusion: {}",
+            proof.conclusion
+        );
+    }
+
+    /// FrameSafe: framing a non-written, ∀-only assertion preserves
+    /// validity.
+    #[test]
+    fn frame_safe_is_sound(e in arb_linear_expr(), i in 0usize..2) {
+        // Inner: assignment to VARS[i]; frame over the remaining variable.
+        let framed = VARS[2]; // z is never assigned below
+        let inner = Derivation::AssignS {
+            x: Symbol::new(VARS[i]),
+            e,
+            post: Assertion::tt(),
+        };
+        let frame = Assertion::low(framed);
+        let d = Derivation::FrameSafe {
+            frame,
+            inner: Box::new(inner),
+        };
+        let ctx = ctx();
+        let proof = check(&d, &ctx).expect("frame side conditions hold");
+        prop_assert!(check_triple(&proof.conclusion, &ctx.validity).is_ok());
+    }
+
+    /// And/Or/Union conclusions from sound premises stay sound.
+    #[test]
+    fn binary_compositional_rules_are_sound(
+        p1 in arb_assertion(),
+        p2 in arb_assertion(),
+        e in arb_linear_expr(),
+    ) {
+        let mk = |post: Assertion| Derivation::AssignS {
+            x: Symbol::new("x"),
+            e: e.clone(),
+            post,
+        };
+        let ctx = ctx();
+        for d in [
+            Derivation::And(Box::new(mk(p1.clone())), Box::new(mk(p2.clone()))),
+            Derivation::Or(Box::new(mk(p1.clone())), Box::new(mk(p2.clone()))),
+            Derivation::Union(Box::new(mk(p1.clone())), Box::new(mk(p2.clone()))),
+            Derivation::BigUnion(Box::new(mk(p1.clone()))),
+        ] {
+            let name = d.rule_name();
+            let proof = check(&d, &ctx).expect("rule applies");
+            prop_assert!(
+                check_triple(&proof.conclusion, &ctx.validity).is_ok(),
+                "unsound {name} conclusion: {}",
+                proof.conclusion
+            );
+        }
+    }
+
+    /// The simplifier preserves evaluation on every set.
+    #[test]
+    fn simplify_preserves_meaning(a in arb_assertion(), s in arb_set()) {
+        let cfg = EvalConfig::int_range(-1, 1);
+        let simplified = simplify(&a);
+        prop_assert_eq!(
+            eval_assertion(&a, &s, &cfg),
+            eval_assertion(&simplified, &s, &cfg),
+            "simplify changed meaning of {}", a
+        );
+        prop_assert!(simplified.size() <= a.size());
+    }
+
+    /// Pretty-printed sugar forms re-parse to equal assertions.
+    #[test]
+    fn parser_agrees_with_sugar(i in 0usize..VARS.len()) {
+        let v = VARS[i];
+        let parsed = parse_assertion(&format!("low({v})")).expect("parses");
+        prop_assert_eq!(parsed, Assertion::low(v));
+        let gni = parse_assertion(
+            "forall <phi1>, <phi2>. exists <phi>. phi(h) == phi1(h) && phi(l) == phi2(l)",
+        )
+        .expect("parses");
+        prop_assert_eq!(gni, Assertion::gni("h", "l"));
+    }
+}
