@@ -252,12 +252,8 @@ impl Assertion {
             Assertion::Not(a) => Assertion::Not(Box::new(a.rename_state(from, to))),
             Assertion::And(a, b) => a.rename_state(from, to).and(b.rename_state(from, to)),
             Assertion::Or(a, b) => a.rename_state(from, to).or(b.rename_state(from, to)),
-            Assertion::ForallVal(y, a) => {
-                Assertion::forall_val(*y, a.rename_state(from, to))
-            }
-            Assertion::ExistsVal(y, a) => {
-                Assertion::exists_val(*y, a.rename_state(from, to))
-            }
+            Assertion::ForallVal(y, a) => Assertion::forall_val(*y, a.rename_state(from, to)),
+            Assertion::ExistsVal(y, a) => Assertion::exists_val(*y, a.rename_state(from, to)),
             Assertion::ForallState(p, a) => {
                 if *p == from {
                     self.clone() // shadowed
@@ -272,9 +268,7 @@ impl Assertion {
                     Assertion::exists_state(*p, a.rename_state(from, to))
                 }
             }
-            Assertion::Otimes(a, b) => {
-                a.rename_state(from, to).otimes(b.rename_state(from, to))
-            }
+            Assertion::Otimes(a, b) => a.rename_state(from, to).otimes(b.rename_state(from, to)),
             Assertion::BigOtimes(_) => self.clone(),
             Assertion::Card {
                 state,
@@ -303,9 +297,7 @@ impl Assertion {
                 let p2 = if *p == from { to } else { *p };
                 Assertion::IsState(p2, st.clone())
             }
-            Assertion::UnionOf(a) => {
-                Assertion::UnionOf(Box::new(a.rename_state(from, to)))
-            }
+            Assertion::UnionOf(a) => Assertion::UnionOf(Box::new(a.rename_state(from, to))),
         }
     }
 
@@ -323,12 +315,8 @@ impl Assertion {
             Assertion::Or(a, b) => a
                 .instantiate_state(phi, st)
                 .or(b.instantiate_state(phi, st)),
-            Assertion::ForallVal(y, a) => {
-                Assertion::forall_val(*y, a.instantiate_state(phi, st))
-            }
-            Assertion::ExistsVal(y, a) => {
-                Assertion::exists_val(*y, a.instantiate_state(phi, st))
-            }
+            Assertion::ForallVal(y, a) => Assertion::forall_val(*y, a.instantiate_state(phi, st)),
+            Assertion::ExistsVal(y, a) => Assertion::exists_val(*y, a.instantiate_state(phi, st)),
             Assertion::ForallState(p, a) if *p != phi => {
                 Assertion::forall_state(*p, a.instantiate_state(phi, st))
             }
@@ -375,9 +363,7 @@ impl Assertion {
                 }
             }
             Assertion::HasState(_) => self.clone(),
-            Assertion::UnionOf(a) => {
-                Assertion::UnionOf(Box::new(a.instantiate_state(phi, st)))
-            }
+            Assertion::UnionOf(a) => Assertion::UnionOf(Box::new(a.instantiate_state(phi, st))),
         }
     }
 
@@ -395,9 +381,7 @@ impl Assertion {
             Assertion::And(a, b) | Assertion::Or(a, b) => {
                 a.contains_exists_state() || b.contains_exists_state()
             }
-            Assertion::ForallVal(_, a) | Assertion::ExistsVal(_, a) => {
-                a.contains_exists_state()
-            }
+            Assertion::ForallVal(_, a) | Assertion::ExistsVal(_, a) => a.contains_exists_state(),
             Assertion::ForallState(_, a) => a.contains_exists_state(),
             Assertion::ExistsState(_, _) => true,
             Assertion::Otimes(a, b) => a.contains_exists_state() || b.contains_exists_state(),
@@ -418,9 +402,7 @@ impl Assertion {
             Assertion::And(a, b) | Assertion::Or(a, b) => {
                 a.contains_forall_state() || b.contains_forall_state()
             }
-            Assertion::ForallVal(_, a) | Assertion::ExistsVal(_, a) => {
-                a.contains_forall_state()
-            }
+            Assertion::ForallVal(_, a) | Assertion::ExistsVal(_, a) => a.contains_forall_state(),
             Assertion::ForallState(_, _) => true,
             Assertion::ExistsState(_, a) => a.contains_forall_state(),
             Assertion::Otimes(a, b) => a.contains_forall_state() || b.contains_forall_state(),
@@ -545,9 +527,7 @@ impl Assertion {
                 f(proj);
                 f(bound);
             }
-            Assertion::StateEq(_, _)
-            | Assertion::HasState(_)
-            | Assertion::IsState(_, _) => {}
+            Assertion::StateEq(_, _) | Assertion::HasState(_) | Assertion::IsState(_, _) => {}
             Assertion::UnionOf(a) => a.visit_hexprs(f),
         }
     }
@@ -590,9 +570,7 @@ impl Assertion {
             | Assertion::ExistsState(_, a) => 1 + a.size(),
             Assertion::BigOtimes(f) => 1 + f.at(0).size(),
             Assertion::Card { proj, bound, .. } => 1 + proj.size() + bound.size(),
-            Assertion::StateEq(_, _)
-            | Assertion::HasState(_)
-            | Assertion::IsState(_, _) => 1,
+            Assertion::StateEq(_, _) | Assertion::HasState(_) | Assertion::IsState(_, _) => 1,
             Assertion::UnionOf(a) => 1 + a.size(),
         }
     }
@@ -716,17 +694,13 @@ mod tests {
         assert!(!fa.contains_exists_state());
         assert!(fa.no_forall_state_after_exists_state());
 
-        let forall_exists = Assertion::forall_state(
-            "a",
-            Assertion::exists_state("b", Assertion::tt()),
-        );
+        let forall_exists =
+            Assertion::forall_state("a", Assertion::exists_state("b", Assertion::tt()));
         assert!(forall_exists.contains_exists_state());
         assert!(forall_exists.no_forall_state_after_exists_state());
 
-        let exists_forall = Assertion::exists_state(
-            "a",
-            Assertion::forall_state("b", Assertion::tt()),
-        );
+        let exists_forall =
+            Assertion::exists_state("a", Assertion::forall_state("b", Assertion::tt()));
         assert!(!exists_forall.no_forall_state_after_exists_state());
     }
 
@@ -737,10 +711,7 @@ mod tests {
             Assertion::Atom(HExpr::pvar("p", "x").eq(HExpr::pvar("q", "x"))),
         );
         let renamed = a.rename_state(Symbol::new("q"), Symbol::new("r"));
-        assert_eq!(
-            renamed.to_string(),
-            "∀⟨p⟩. p(x) == r(x)"
-        );
+        assert_eq!(renamed.to_string(), "∀⟨p⟩. p(x) == r(x)");
         // p is bound: renaming p is a no-op inside
         let noop = a.rename_state(Symbol::new("p"), Symbol::new("z"));
         assert_eq!(noop, a);

@@ -16,10 +16,7 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
+use hhl_lang::rng::Rng;
 use hhl_lang::{ExtState, StateSet, Store, Symbol, Value};
 
 use crate::assertion::Assertion;
@@ -49,10 +46,7 @@ impl Universe {
     /// );
     /// assert_eq!(u.states.len(), 4); // 2 × 1 × 2
     /// ```
-    pub fn product(
-        pvars: &[(&str, Vec<Value>)],
-        lvars: &[(&str, Vec<Value>)],
-    ) -> Universe {
+    pub fn product(pvars: &[(&str, Vec<Value>)], lvars: &[(&str, Vec<Value>)]) -> Universe {
         let mut programs = vec![Store::new()];
         for (name, dom) in pvars {
             let mut next = Vec::with_capacity(programs.len() * dom.len());
@@ -188,12 +182,12 @@ pub fn candidate_sets(u: &Universe, cfg: &EntailConfig) -> Vec<StateSet> {
         let all: StateSet = u.states.iter().cloned().collect();
         all.subsets_up_to(k)
     } else {
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = Rng::seed_from_u64(cfg.seed);
         let mut out = vec![StateSet::new()];
         for _ in 0..cfg.samples {
-            let size = rng.gen_range(1..=k);
+            let size = rng.gen_range_inclusive(1, k as u64) as usize;
             let mut idx: Vec<usize> = (0..n).collect();
-            idx.shuffle(&mut rng);
+            rng.shuffle(&mut idx);
             out.push(idx[..size].iter().map(|&i| u.states[i].clone()).collect());
         }
         out
@@ -255,11 +249,7 @@ pub fn check_equivalent(
 
 /// Searches the universe for a set satisfying `p` (Thm. 5 needs satisfiable
 /// strengthened preconditions).
-pub fn find_satisfying(
-    p: &Assertion,
-    u: &Universe,
-    cfg: &EntailConfig,
-) -> Option<StateSet> {
+pub fn find_satisfying(p: &Assertion, u: &Universe, cfg: &EntailConfig) -> Option<StateSet> {
     candidate_sets(u, cfg)
         .into_iter()
         .find(|s| eval_assertion(p, s, &cfg.eval))
@@ -293,8 +283,7 @@ mod tests {
     fn counterexample_is_genuine() {
         let u = Universe::int_cube(&["l"], 0, 2);
         let cfg = EntailConfig::default();
-        let err = check_entailment(&Assertion::tt(), &Assertion::low("l"), &u, &cfg)
-            .unwrap_err();
+        let err = check_entailment(&Assertion::tt(), &Assertion::low("l"), &u, &cfg).unwrap_err();
         // The witness set must itself violate low(l).
         assert!(!eval_assertion(&Assertion::low("l"), &err.set, &cfg.eval));
     }
@@ -320,9 +309,7 @@ mod tests {
         let u = Universe::int_cube(&["h"], -1, 1);
         let cfg = EntailConfig::default();
         let p = Assertion::exists2(|a, b| {
-            Assertion::Atom(
-                HExpr::PVar(a, Symbol::new("h")).ne(HExpr::PVar(b, Symbol::new("h"))),
-            )
+            Assertion::Atom(HExpr::PVar(a, Symbol::new("h")).ne(HExpr::PVar(b, Symbol::new("h"))))
         });
         let s = find_satisfying(&p, &u, &cfg).expect("satisfiable");
         assert!(s.len() >= 2);

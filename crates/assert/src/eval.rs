@@ -209,9 +209,7 @@ fn eval_rec(
         Assertion::And(x, y) => {
             eval_rec(x, s, env, domain, cfg) && eval_rec(y, s, env, domain, cfg)
         }
-        Assertion::Or(x, y) => {
-            eval_rec(x, s, env, domain, cfg) || eval_rec(y, s, env, domain, cfg)
-        }
+        Assertion::Or(x, y) => eval_rec(x, s, env, domain, cfg) || eval_rec(y, s, env, domain, cfg),
         Assertion::ForallVal(y, body) => {
             let saved = env.vals.get(y).cloned();
             let ok = domain.iter().all(|v| {
@@ -253,9 +251,7 @@ fn eval_rec(
         Assertion::Otimes(x, y) => s
             .splittings()
             .into_iter()
-            .any(|(s1, s2)| {
-                eval_in_subset(x, &s1, env, cfg) && eval_in_subset(y, &s2, env, cfg)
-            }),
+            .any(|(s1, s2)| eval_in_subset(x, &s1, env, cfg) && eval_in_subset(y, &s2, env, cfg)),
         Assertion::BigOtimes(fam) => {
             let blocks = fam.bound as usize + 1;
             // Every block beyond the bound must be empty and satisfy Iₙ(∅).
@@ -410,7 +406,11 @@ mod tests {
         };
         let a = all_eq(1).otimes(all_eq(2));
         let cfg = EvalConfig::default();
-        assert!(eval_assertion(&a, &set(vec![mk(&[("x", 1)]), mk(&[("x", 2)])]), &cfg));
+        assert!(eval_assertion(
+            &a,
+            &set(vec![mk(&[("x", 1)]), mk(&[("x", 2)])]),
+            &cfg
+        ));
         assert!(!eval_assertion(
             &a,
             &set(vec![mk(&[("x", 1)]), mk(&[("x", 3)])]),
@@ -432,7 +432,11 @@ mod tests {
         });
         let a = Assertion::big_otimes(fam);
         let cfg = EvalConfig::default();
-        assert!(eval_assertion(&a, &set(vec![mk(&[("x", 0)]), mk(&[("x", 2)])]), &cfg));
+        assert!(eval_assertion(
+            &a,
+            &set(vec![mk(&[("x", 0)]), mk(&[("x", 2)])]),
+            &cfg
+        ));
         assert!(!eval_assertion(&a, &set(vec![mk(&[("x", 5)])]), &cfg));
     }
 
@@ -442,7 +446,11 @@ mod tests {
         let fam = Family::new(1, |_| Assertion::exists_state("p", Assertion::tt()));
         let a = Assertion::big_otimes(fam);
         let cfg = EvalConfig::default();
-        assert!(!eval_assertion(&a, &set(vec![mk(&[("x", 0)]), mk(&[("x", 1)])]), &cfg));
+        assert!(!eval_assertion(
+            &a,
+            &set(vec![mk(&[("x", 0)]), mk(&[("x", 1)])]),
+            &cfg
+        ));
     }
 
     #[test]
@@ -455,7 +463,11 @@ mod tests {
             bound: HExpr::int(2),
         };
         let cfg = EvalConfig::default();
-        let two: StateSet = set(vec![mk(&[("o", 1)]), mk(&[("o", 2)]), mk(&[("o", 1), ("z", 9)])]);
+        let two: StateSet = set(vec![
+            mk(&[("o", 1)]),
+            mk(&[("o", 2)]),
+            mk(&[("o", 1), ("z", 9)]),
+        ]);
         assert!(eval_assertion(&a, &two, &cfg));
         let three: StateSet = set(vec![mk(&[("o", 1)]), mk(&[("o", 2)]), mk(&[("o", 3)])]);
         assert!(!eval_assertion(&a, &three, &cfg));
@@ -500,8 +512,7 @@ mod tests {
                 Assertion::Atom(HExpr::pvar("p1", "a").ne(HExpr::int(0)))
                     .and(Assertion::Atom(HExpr::pvar("p2", "b").ne(HExpr::int(0))))
                     .and(Assertion::Atom(
-                        HExpr::val("v")
-                            .eq(HExpr::pvar("p1", "a").xor(HExpr::pvar("p2", "b"))),
+                        HExpr::val("v").eq(HExpr::pvar("p1", "a").xor(HExpr::pvar("p2", "b"))),
                     )),
             ),
         );
@@ -515,10 +526,7 @@ mod tests {
     #[test]
     fn env_bindings_shadow_and_restore() {
         // ∃v. (v = 1 ∧ ∃v. v = 2) ∧ v = 1 — inner binding must not leak.
-        let inner = Assertion::exists_val(
-            "v",
-            Assertion::Atom(HExpr::val("v").eq(HExpr::int(2))),
-        );
+        let inner = Assertion::exists_val("v", Assertion::Atom(HExpr::val("v").eq(HExpr::int(2))));
         let a = Assertion::exists_val(
             "v",
             Assertion::Atom(HExpr::val("v").eq(HExpr::int(1)))

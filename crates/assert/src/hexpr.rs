@@ -117,6 +117,7 @@ impl HExpr {
     }
 
     /// Boolean negation.
+    #[allow(clippy::should_implement_trait)] // mirrors `Expr::not`; `!e` would read as Rust negation
     pub fn not(self) -> HExpr {
         HExpr::un(UnOp::Not, self)
     }
@@ -189,9 +190,7 @@ impl HExpr {
     pub fn subst_pvar(&self, phi: Symbol, x: Symbol, replacement: &HExpr) -> HExpr {
         match self {
             HExpr::PVar(p, v) if *p == phi && *v == x => replacement.clone(),
-            HExpr::Const(_) | HExpr::Val(_) | HExpr::PVar(_, _) | HExpr::LVar(_, _) => {
-                self.clone()
-            }
+            HExpr::Const(_) | HExpr::Val(_) | HExpr::PVar(_, _) | HExpr::LVar(_, _) => self.clone(),
             HExpr::Un(op, a) => HExpr::un(*op, a.subst_pvar(phi, x, replacement)),
             HExpr::Bin(op, a, b) => HExpr::bin(
                 *op,
@@ -205,13 +204,13 @@ impl HExpr {
     pub fn subst_val(&self, y: Symbol, replacement: &HExpr) -> HExpr {
         match self {
             HExpr::Val(v) if *v == y => replacement.clone(),
-            HExpr::Const(_) | HExpr::Val(_) | HExpr::PVar(_, _) | HExpr::LVar(_, _) => {
-                self.clone()
-            }
+            HExpr::Const(_) | HExpr::Val(_) | HExpr::PVar(_, _) | HExpr::LVar(_, _) => self.clone(),
             HExpr::Un(op, a) => HExpr::un(*op, a.subst_val(y, replacement)),
-            HExpr::Bin(op, a, b) => {
-                HExpr::bin(*op, a.subst_val(y, replacement), b.subst_val(y, replacement))
-            }
+            HExpr::Bin(op, a, b) => HExpr::bin(
+                *op,
+                a.subst_val(y, replacement),
+                b.subst_val(y, replacement),
+            ),
         }
     }
 
@@ -222,9 +221,7 @@ impl HExpr {
         match self {
             HExpr::PVar(p, v) if *p == phi => HExpr::Const(st.program.get(*v)),
             HExpr::LVar(p, v) if *p == phi => HExpr::Const(st.logical.get(*v)),
-            HExpr::Const(_) | HExpr::Val(_) | HExpr::PVar(_, _) | HExpr::LVar(_, _) => {
-                self.clone()
-            }
+            HExpr::Const(_) | HExpr::Val(_) | HExpr::PVar(_, _) | HExpr::LVar(_, _) => self.clone(),
             HExpr::Un(op, a) => HExpr::un(*op, a.instantiate_state(phi, st)),
             HExpr::Bin(op, a, b) => HExpr::bin(
                 *op,
@@ -239,9 +236,7 @@ impl HExpr {
         match self {
             HExpr::PVar(p, v) if *p == from => HExpr::PVar(to, *v),
             HExpr::LVar(p, v) if *p == from => HExpr::LVar(to, *v),
-            HExpr::Const(_) | HExpr::Val(_) | HExpr::PVar(_, _) | HExpr::LVar(_, _) => {
-                self.clone()
-            }
+            HExpr::Const(_) | HExpr::Val(_) | HExpr::PVar(_, _) | HExpr::LVar(_, _) => self.clone(),
             HExpr::Un(op, a) => HExpr::un(*op, a.rename_state(from, to)),
             HExpr::Bin(op, a, b) => {
                 HExpr::bin(*op, a.rename_state(from, to), b.rename_state(from, to))
@@ -407,6 +402,33 @@ impl fmt::Display for HExpr {
     }
 }
 
+impl std::ops::Add for HExpr {
+    type Output = HExpr;
+    fn add(self, rhs: HExpr) -> HExpr {
+        HExpr::bin(BinOp::Add, self, rhs)
+    }
+}
+
+impl std::ops::Sub for HExpr {
+    type Output = HExpr;
+    fn sub(self, rhs: HExpr) -> HExpr {
+        HExpr::bin(BinOp::Sub, self, rhs)
+    }
+}
+
+impl std::ops::Mul for HExpr {
+    type Output = HExpr;
+    fn mul(self, rhs: HExpr) -> HExpr {
+        HExpr::bin(BinOp::Mul, self, rhs)
+    }
+}
+
+impl From<i64> for HExpr {
+    fn from(i: i64) -> HExpr {
+        HExpr::int(i)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,8 +496,8 @@ mod tests {
 
     #[test]
     fn collectors() {
-        let e = HExpr::pvar("p", "x")
-            .le(HExpr::lvar("q", "t") + HExpr::val("v").xor(HExpr::int(3)));
+        let e =
+            HExpr::pvar("p", "x").le(HExpr::lvar("q", "t") + HExpr::val("v").xor(HExpr::int(3)));
         let mut states = BTreeSet::new();
         e.collect_states(&mut states);
         assert_eq!(states.len(), 2);
@@ -499,32 +521,5 @@ mod tests {
         assert_eq!(e.to_string(), "phi(h) + phi(y)");
         let l = HExpr::lvar("phi", "t").eq(HExpr::int(1));
         assert_eq!(l.to_string(), "phi($t) == 1");
-    }
-}
-
-impl std::ops::Add for HExpr {
-    type Output = HExpr;
-    fn add(self, rhs: HExpr) -> HExpr {
-        HExpr::bin(BinOp::Add, self, rhs)
-    }
-}
-
-impl std::ops::Sub for HExpr {
-    type Output = HExpr;
-    fn sub(self, rhs: HExpr) -> HExpr {
-        HExpr::bin(BinOp::Sub, self, rhs)
-    }
-}
-
-impl std::ops::Mul for HExpr {
-    type Output = HExpr;
-    fn mul(self, rhs: HExpr) -> HExpr {
-        HExpr::bin(BinOp::Mul, self, rhs)
-    }
-}
-
-impl From<i64> for HExpr {
-    fn from(i: i64) -> HExpr {
-        HExpr::int(i)
     }
 }

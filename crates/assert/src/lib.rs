@@ -35,8 +35,8 @@
 mod assertion;
 mod entail;
 mod eval;
-mod parser;
 mod hexpr;
+mod parser;
 mod simplify;
 mod sugar;
 mod transform;

@@ -249,6 +249,7 @@ fn parse_binders(lx: &mut Lexer<'_>) -> Result<Vec<Binder>, AssertParseError> {
 }
 
 /// Precedence-climbing parse of the unified grammar.
+#[allow(clippy::while_let_loop)] // the nested binding-power match doesn't fit a `while let` head
 fn parse_u(lx: &mut Lexer<'_>, min_bp: u8) -> Result<U, AssertParseError> {
     let mut lhs = parse_atom(lx)?;
     loop {
@@ -384,7 +385,11 @@ fn parse_atom(lx: &mut Lexer<'_>) -> Result<U, AssertParseError> {
                 lx.expect_sym(",")?;
                 let b = parse_u(lx, 0)?;
                 lx.expect_sym(")")?;
-                let op = if name == "max" { BinOp::Max } else { BinOp::Min };
+                let op = if name == "max" {
+                    BinOp::Max
+                } else {
+                    BinOp::Min
+                };
                 U::Bin(op, Box::new(a), Box::new(b))
             }
             "count" => {
@@ -457,7 +462,11 @@ fn to_hexpr(u: &U) -> Result<HExpr, AssertParseError> {
         U::Un(op, a) => Ok(HExpr::un(*op, to_hexpr(a)?)),
         U::Bin(op, a, b) => Ok(HExpr::bin(*op, to_hexpr(a)?, to_hexpr(b)?)),
         U::Implies(a, b) => Ok(to_hexpr(a)?.not().or(to_hexpr(b)?)),
-        U::Forall(_, _) | U::Exists(_, _) | U::Emp | U::Low(_) | U::Count { .. }
+        U::Forall(_, _)
+        | U::Exists(_, _)
+        | U::Emp
+        | U::Low(_)
+        | U::Count { .. }
         | U::StateEq(_, _) => Err(AssertParseError {
             message: "assertion-level construct used where a value expression is required"
                 .to_owned(),

@@ -52,18 +52,12 @@ pub fn fold_hexpr(e: &HExpr) -> HExpr {
                 (_, HExpr::Const(Value::Bool(true))) if *op == BinOp::And => a,
                 (HExpr::Const(Value::Bool(false)), _) if *op == BinOp::Or => b,
                 (_, HExpr::Const(Value::Bool(false))) if *op == BinOp::Or => a,
-                (HExpr::Const(Value::Bool(false)), _) if *op == BinOp::And => {
-                    HExpr::bool(false)
-                }
-                (_, HExpr::Const(Value::Bool(false))) if *op == BinOp::And => {
-                    HExpr::bool(false)
-                }
+                (HExpr::Const(Value::Bool(false)), _) if *op == BinOp::And => HExpr::bool(false),
+                (_, HExpr::Const(Value::Bool(false))) if *op == BinOp::And => HExpr::bool(false),
                 (HExpr::Const(Value::Bool(true)), _) if *op == BinOp::Or => HExpr::bool(true),
                 (_, HExpr::Const(Value::Bool(true))) if *op == BinOp::Or => HExpr::bool(true),
                 // Reflexive comparisons on identical syntax.
-                _ if a == b && matches!(op, BinOp::Eq | BinOp::Le | BinOp::Ge) => {
-                    HExpr::bool(true)
-                }
+                _ if a == b && matches!(op, BinOp::Eq | BinOp::Le | BinOp::Ge) => HExpr::bool(true),
                 _ if a == b && matches!(op, BinOp::Ne | BinOp::Lt | BinOp::Gt) => {
                     HExpr::bool(false)
                 }
@@ -230,14 +224,15 @@ mod tests {
         // eval before and after simplification on several sets.
         let cfg = EvalConfig::int_range(-1, 2);
         let assertions = [
-            assign_transform(Symbol::new("x"), &(Expr::int(2) + Expr::int(3)), &Assertion::low("x"))
-                .unwrap(),
+            assign_transform(
+                Symbol::new("x"),
+                &(Expr::int(2) + Expr::int(3)),
+                &Assertion::low("x"),
+            )
+            .unwrap(),
             assume_transform(&Expr::bool(true), &Assertion::low("x")).unwrap(),
             Assertion::low("x").and(Assertion::tt()).or(Assertion::ff()),
-            Assertion::forall_val(
-                "v",
-                Assertion::Atom(HExpr::int(1).le(HExpr::int(2))),
-            ),
+            Assertion::forall_val("v", Assertion::Atom(HExpr::int(1).le(HExpr::int(2)))),
         ];
         let sets: Vec<StateSet> = vec![
             StateSet::new(),
@@ -262,7 +257,9 @@ mod tests {
         let a = Assertion::tt()
             .and(Assertion::low("x"))
             .or(Assertion::ff())
-            .and(Assertion::Atom(HExpr::int(1) + HExpr::int(0) * HExpr::int(5)));
+            .and(Assertion::Atom(
+                HExpr::int(1) + HExpr::int(0) * HExpr::int(5),
+            ));
         let once = simplify(&a);
         assert_eq!(simplify(&once), once);
     }
@@ -272,16 +269,14 @@ mod tests {
         // The Fig. 4 backward chain produces redundant structure; simplify
         // strictly shrinks it without changing its meaning.
         let q = Assertion::gni_violation("h", "l");
-        let a = assign_transform(
-            Symbol::new("l"),
-            &(Expr::var("h") + Expr::int(0)),
-            &q,
-        )
-        .unwrap();
+        let a = assign_transform(Symbol::new("l"), &(Expr::var("h") + Expr::int(0)), &q).unwrap();
         let s = simplify(&a);
         assert!(s.size() <= a.size());
         let cfg = EvalConfig::int_range(0, 1);
         let set: StateSet = [mk(0), mk(1)].into_iter().collect();
-        assert_eq!(eval_assertion(&a, &set, &cfg), eval_assertion(&s, &set, &cfg));
+        assert_eq!(
+            eval_assertion(&a, &set, &cfg),
+            eval_assertion(&s, &set, &cfg)
+        );
     }
 }

@@ -85,8 +85,9 @@ impl Assertion {
             [PHI1, PHI2],
             Assertion::exists_state(
                 PHI,
-                Assertion::Atom(HExpr::lvar(PHI, h).eq(HExpr::lvar(PHI1, h)))
-                    .and(Assertion::Atom(HExpr::pvar(PHI, l).eq(HExpr::pvar(PHI2, l)))),
+                Assertion::Atom(HExpr::lvar(PHI, h).eq(HExpr::lvar(PHI1, h))).and(Assertion::Atom(
+                    HExpr::pvar(PHI, l).eq(HExpr::pvar(PHI2, l)),
+                )),
             ),
         )
     }
@@ -100,8 +101,9 @@ impl Assertion {
             [PHI1, PHI2],
             Assertion::exists_state(
                 PHI,
-                Assertion::Atom(HExpr::pvar(PHI, h).eq(HExpr::pvar(PHI1, h)))
-                    .and(Assertion::Atom(HExpr::pvar(PHI, l).eq(HExpr::pvar(PHI2, l)))),
+                Assertion::Atom(HExpr::pvar(PHI, h).eq(HExpr::pvar(PHI1, h))).and(Assertion::Atom(
+                    HExpr::pvar(PHI, l).eq(HExpr::pvar(PHI2, l)),
+                )),
             ),
         )
     }
@@ -114,10 +116,9 @@ impl Assertion {
             [PHI1, PHI2],
             Assertion::forall_state(
                 PHI,
-                Assertion::Atom(HExpr::pvar(PHI, h).eq(HExpr::pvar(PHI1, h)))
-                    .implies(Assertion::Atom(
-                        HExpr::pvar(PHI, l).ne(HExpr::pvar(PHI2, l)),
-                    )),
+                Assertion::Atom(HExpr::pvar(PHI, h).eq(HExpr::pvar(PHI1, h))).implies(
+                    Assertion::Atom(HExpr::pvar(PHI, l).ne(HExpr::pvar(PHI2, l))),
+                ),
             ),
         )
     }
@@ -198,9 +199,21 @@ mod tests {
     fn emp_and_not_emp() {
         let cfg = EvalConfig::default();
         assert!(eval_assertion(&Assertion::emp(), &StateSet::new(), &cfg));
-        assert!(!eval_assertion(&Assertion::emp(), &set(vec![mk(&[])]), &cfg));
-        assert!(eval_assertion(&Assertion::not_emp(), &set(vec![mk(&[])]), &cfg));
-        assert!(!eval_assertion(&Assertion::not_emp(), &StateSet::new(), &cfg));
+        assert!(!eval_assertion(
+            &Assertion::emp(),
+            &set(vec![mk(&[])]),
+            &cfg
+        ));
+        assert!(eval_assertion(
+            &Assertion::not_emp(),
+            &set(vec![mk(&[])]),
+            &cfg
+        ));
+        assert!(!eval_assertion(
+            &Assertion::not_emp(),
+            &StateSet::new(),
+            &cfg
+        ));
     }
 
     #[test]
@@ -208,7 +221,11 @@ mod tests {
         let p = Expr::var("h").ge(Expr::int(0));
         let a = Assertion::box_pred(&p);
         let cfg = EvalConfig::default();
-        assert!(eval_assertion(&a, &set(vec![mk(&[("h", 0)]), mk(&[("h", 3)])]), &cfg));
+        assert!(eval_assertion(
+            &a,
+            &set(vec![mk(&[("h", 0)]), mk(&[("h", 3)])]),
+            &cfg
+        ));
         assert!(!eval_assertion(&a, &set(vec![mk(&[("h", -1)])]), &cfg));
     }
 
@@ -235,7 +252,11 @@ mod tests {
             }
         }
         let cfg = EvalConfig::default();
-        assert!(eval_assertion(&Assertion::gni("h", "l"), &set(states), &cfg));
+        assert!(eval_assertion(
+            &Assertion::gni("h", "l"),
+            &set(states),
+            &cfg
+        ));
     }
 
     #[test]
@@ -244,7 +265,11 @@ mod tests {
         let s = set(vec![mk(&[("h", 0), ("l", 0)]), mk(&[("h", 1), ("l", 1)])]);
         let cfg = EvalConfig::default();
         assert!(!eval_assertion(&Assertion::gni("h", "l"), &s, &cfg));
-        assert!(eval_assertion(&Assertion::gni_violation("h", "l"), &s, &cfg));
+        assert!(eval_assertion(
+            &Assertion::gni_violation("h", "l"),
+            &s,
+            &cfg
+        ));
     }
 
     #[test]
@@ -252,8 +277,16 @@ mod tests {
         let cfg = EvalConfig::default();
         let s = set(vec![mk(&[("x", 3)]), mk(&[("x", 1)]), mk(&[("x", 2)])]);
         assert!(eval_assertion(&Assertion::has_min("x"), &s, &cfg));
-        assert!(!eval_assertion(&Assertion::has_min("x"), &StateSet::new(), &cfg));
-        assert!(eval_assertion(&Assertion::is_singleton(), &set(vec![mk(&[("x", 1)])]), &cfg));
+        assert!(!eval_assertion(
+            &Assertion::has_min("x"),
+            &StateSet::new(),
+            &cfg
+        ));
+        assert!(eval_assertion(
+            &Assertion::is_singleton(),
+            &set(vec![mk(&[("x", 1)])]),
+            &cfg
+        ));
         assert!(!eval_assertion(&Assertion::is_singleton(), &s, &cfg));
     }
 
@@ -264,12 +297,20 @@ mod tests {
         a.logical.set("t", Value::Int(1));
         let mut b = mk(&[("x", 3)]);
         b.logical.set("t", Value::Int(2));
-        assert!(eval_assertion(&Assertion::mono("t", "x"), &set(vec![a.clone(), b.clone()]), &cfg));
+        assert!(eval_assertion(
+            &Assertion::mono("t", "x"),
+            &set(vec![a.clone(), b.clone()]),
+            &cfg
+        ));
         // Swap the tags: now the t=1 state has the smaller x.
         let mut a2 = a.clone();
         a2.logical.set("t", Value::Int(2));
         let mut b2 = b.clone();
         b2.logical.set("t", Value::Int(1));
-        assert!(!eval_assertion(&Assertion::mono("t", "x"), &set(vec![a2, b2]), &cfg));
+        assert!(!eval_assertion(
+            &Assertion::mono("t", "x"),
+            &set(vec![a2, b2]),
+            &cfg
+        ));
     }
 }

@@ -61,9 +61,7 @@ fn subst_pvar(
 ) -> Result<Assertion, TransformError> {
     Ok(match a {
         Assertion::Atom(e) => Assertion::Atom(e.subst_pvar(phi, x, replacement)),
-        Assertion::Not(inner) => {
-            Assertion::Not(Box::new(subst_pvar(inner, phi, x, replacement)?))
-        }
+        Assertion::Not(inner) => Assertion::Not(Box::new(subst_pvar(inner, phi, x, replacement)?)),
         Assertion::And(p, q) => {
             subst_pvar(p, phi, x, replacement)?.and(subst_pvar(q, phi, x, replacement)?)
         }
@@ -76,12 +74,8 @@ fn subst_pvar(
         Assertion::ExistsVal(y, p) => {
             Assertion::exists_val(*y, subst_pvar(p, phi, x, replacement)?)
         }
-        Assertion::ForallState(p2, p) if *p2 == phi => {
-            Assertion::forall_state(*p2, (**p).clone())
-        }
-        Assertion::ExistsState(p2, p) if *p2 == phi => {
-            Assertion::exists_state(*p2, (**p).clone())
-        }
+        Assertion::ForallState(p2, p) if *p2 == phi => Assertion::forall_state(*p2, (**p).clone()),
+        Assertion::ExistsState(p2, p) if *p2 == phi => Assertion::exists_state(*p2, (**p).clone()),
         Assertion::ForallState(p2, p) => {
             Assertion::forall_state(*p2, subst_pvar(p, phi, x, replacement)?)
         }
@@ -109,13 +103,19 @@ fn subst_pvar(
             return Err(TransformError::Unsupported("⊗ / ⨂ under substitution"))
         }
         Assertion::StateEq(_, _) => {
-            return Err(TransformError::Unsupported("state equality under substitution"))
+            return Err(TransformError::Unsupported(
+                "state equality under substitution",
+            ))
         }
         Assertion::HasState(_) => {
-            return Err(TransformError::Unsupported("concrete membership under substitution"))
+            return Err(TransformError::Unsupported(
+                "concrete membership under substitution",
+            ))
         }
         Assertion::IsState(_, _) | Assertion::UnionOf(_) => {
-            return Err(TransformError::Unsupported("exact-state forms under substitution"))
+            return Err(TransformError::Unsupported(
+                "exact-state forms under substitution",
+            ))
         }
     })
 }
@@ -159,11 +159,7 @@ impl FreshCounter {
 ///     .unwrap();
 /// assert_eq!(pre.to_string(), "∃⟨phi⟩. ∀⟨psi⟩. phi(y) + phi(z) <= psi(y) + psi(z)");
 /// ```
-pub fn assign_transform(
-    x: Symbol,
-    e: &Expr,
-    a: &Assertion,
-) -> Result<Assertion, TransformError> {
+pub fn assign_transform(x: Symbol, e: &Expr, a: &Assertion) -> Result<Assertion, TransformError> {
     Ok(match a {
         Assertion::Atom(_) => a.clone(),
         Assertion::Not(inner) => Assertion::Not(Box::new(assign_transform(x, e, inner)?)),
@@ -268,9 +264,7 @@ fn havoc_rec(
                 Assertion::exists_val(v, havoc_rec(x, &substituted, ctr)?),
             )
         }
-        Assertion::Card { .. } => {
-            return Err(TransformError::Unsupported("cardinality under ℋ"))
-        }
+        Assertion::Card { .. } => return Err(TransformError::Unsupported("cardinality under ℋ")),
         Assertion::Otimes(_, _) | Assertion::BigOtimes(_) => {
             return Err(TransformError::Unsupported("⊗ / ⨂ under ℋ"))
         }
@@ -330,9 +324,7 @@ pub fn assume_transform(b: &Expr, a: &Assertion) -> Result<Assertion, TransformE
             let guard = Assertion::Atom(HExpr::of_expr_at(b, *phi));
             Assertion::exists_state(*phi, guard.and(assume_transform(b, p)?))
         }
-        Assertion::Card { .. } => {
-            return Err(TransformError::Unsupported("cardinality under Π"))
-        }
+        Assertion::Card { .. } => return Err(TransformError::Unsupported("cardinality under Π")),
         Assertion::Otimes(_, _) | Assertion::BigOtimes(_) => {
             return Err(TransformError::Unsupported("⊗ / ⨂ under Π"))
         }
@@ -519,7 +511,11 @@ mod tests {
         let exec = ExecConfig::default();
         assert_eq!(
             eval_assertion(&pre, &s, &cfg),
-            eval_assertion(&post, &exec.sem(&Cmd::assign("o", Expr::var("h")), &s), &cfg)
+            eval_assertion(
+                &post,
+                &exec.sem(&Cmd::assign("o", Expr::var("h")), &s),
+                &cfg
+            )
         );
         assert!(eval_assertion(&pre, &s, &cfg));
     }

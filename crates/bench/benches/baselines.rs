@@ -11,7 +11,7 @@
 
 use std::collections::BTreeSet;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hhl_bench::harness::{BenchmarkId, Harness};
 
 use hhl_assert::{EntailConfig, Universe};
 use hhl_core::semantic::sem_valid;
@@ -34,7 +34,7 @@ fn hl_workload(hi: i64) -> (BTreeSet<ExtState>, BTreeSet<ExtState>, Universe) {
     (p, q, universe)
 }
 
-fn bench_hl_direct_vs_hyper(c: &mut Criterion) {
+fn bench_hl_direct_vs_hyper(c: &mut Harness) {
     let mut g = c.benchmark_group("baseline_hl");
     let cmd = parse_cmd("x := x + 1").expect("parses");
     for hi in [3i64, 7, 15] {
@@ -55,7 +55,7 @@ fn bench_hl_direct_vs_hyper(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_il_direct_vs_hyper(c: &mut Criterion) {
+fn bench_il_direct_vs_hyper(c: &mut Harness) {
     let mut g = c.benchmark_group("baseline_il");
     let cmd = parse_cmd("x := nonDet()").expect("parses");
     for hi in [3i64, 7, 15] {
@@ -83,5 +83,8 @@ fn bench_il_direct_vs_hyper(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(baselines, bench_hl_direct_vs_hyper, bench_il_direct_vs_hyper);
-criterion_main!(baselines);
+fn main() {
+    let mut c = Harness::new();
+    bench_hl_direct_vs_hyper(&mut c);
+    bench_il_direct_vs_hyper(&mut c);
+}

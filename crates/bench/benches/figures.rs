@@ -1,28 +1,27 @@
-//! Criterion benches regenerating the cost profile of every paper figure
+//! Benches regenerating the cost profile of every paper figure
 //! (the experiment index of DESIGN.md). Absolute times are machine-local;
 //! the *shape* — which checks dominate, how costs scale with the workload
 //! parameter — is the reproducible series.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hhl_bench::harness::{BenchmarkId, Harness};
 
 use hhl_assert::{assign_transform, havoc_transform, Assertion, EvalConfig};
 use hhl_bench::{assignment_chain, fig10_qif, fig4_proof, fig7_fib, fig8_minimum};
-use hhl_core::proof::check;
 use hhl_core::check_triple;
+use hhl_core::proof::check;
 use hhl_lang::{Cmd, ExecConfig, Expr, ExtState, StateSet, Store, Symbol, Value};
 use hhl_logics::render_matrix;
 
-fn bench_fig01_matrix(c: &mut Criterion) {
+fn bench_fig01_matrix(c: &mut Harness) {
     c.bench_function("fig01/render_matrix", |b| b.iter(render_matrix));
 }
 
-fn bench_fig03_transformations(c: &mut Criterion) {
+fn bench_fig03_transformations(c: &mut Harness) {
     let mut g = c.benchmark_group("fig03_syntactic");
     for depth in [1usize, 2, 4, 8] {
         // Nested ∀⟨φ⟩/∃⟨φ⟩ alternation of the given depth over x.
-        let mut a = Assertion::Atom(
-            hhl_assert::HExpr::pvar("p0", "x").le(hhl_assert::HExpr::int(0)),
-        );
+        let mut a =
+            Assertion::Atom(hhl_assert::HExpr::pvar("p0", "x").le(hhl_assert::HExpr::int(0)));
         for i in 0..depth {
             let name = format!("p{i}");
             a = if i % 2 == 0 {
@@ -44,14 +43,14 @@ fn bench_fig03_transformations(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_fig04_proof_check(c: &mut Criterion) {
+fn bench_fig04_proof_check(c: &mut Harness) {
     let (proof, ctx) = fig4_proof();
     c.bench_function("fig04/check_gni_violation_proof", |b| {
         b.iter(|| check(&proof, &ctx).expect("Fig. 4 proof checks"))
     });
 }
 
-fn bench_fig09_sem_scaling(c: &mut Criterion) {
+fn bench_fig09_sem_scaling(c: &mut Harness) {
     let mut g = c.benchmark_group("fig09_semantics");
     let cmd = Cmd::seq(
         Cmd::rand_int_bounded("y", Expr::int(0), Expr::int(3)),
@@ -69,14 +68,16 @@ fn bench_fig09_sem_scaling(c: &mut Criterion) {
     for n in [2usize, 8, 32] {
         let chain = assignment_chain(n);
         let s = StateSet::singleton(ExtState::default());
-        g.bench_with_input(BenchmarkId::new("sem_vs_cmd_size", n), &chain, |b, chain| {
-            b.iter(|| exec.sem(chain, &s))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("sem_vs_cmd_size", n),
+            &chain,
+            |b, chain| b.iter(|| exec.sem(chain, &s)),
+        );
     }
     g.finish();
 }
 
-fn bench_fig06_otp_eval(c: &mut Criterion) {
+fn bench_fig06_otp_eval(c: &mut Harness) {
     // GNI assertion evaluation over the one-time-pad output sets.
     let gni = Assertion::gni("h", "l");
     let exec = ExecConfig::int_range(0, 3);
@@ -91,7 +92,7 @@ fn bench_fig06_otp_eval(c: &mut Criterion) {
     });
 }
 
-fn bench_fig07_fib(c: &mut Criterion) {
+fn bench_fig07_fib(c: &mut Harness) {
     let mut g = c.benchmark_group("fig07_fibonacci");
     g.sample_size(10);
     for n in [1i64, 2, 3] {
@@ -103,7 +104,7 @@ fn bench_fig07_fib(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_fig08_minimum(c: &mut Criterion) {
+fn bench_fig08_minimum(c: &mut Harness) {
     let mut g = c.benchmark_group("fig08_minimum");
     g.sample_size(10);
     for k in [1i64, 2] {
@@ -115,7 +116,7 @@ fn bench_fig08_minimum(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_fig10_qif(c: &mut Criterion) {
+fn bench_fig10_qif(c: &mut Harness) {
     let mut g = c.benchmark_group("fig10_qif");
     g.sample_size(10);
     for v in [0i64, 1, 2] {
@@ -127,15 +128,14 @@ fn bench_fig10_qif(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    figures,
-    bench_fig01_matrix,
-    bench_fig03_transformations,
-    bench_fig04_proof_check,
-    bench_fig09_sem_scaling,
-    bench_fig06_otp_eval,
-    bench_fig07_fib,
-    bench_fig08_minimum,
-    bench_fig10_qif,
-);
-criterion_main!(figures);
+fn main() {
+    let mut c = Harness::new();
+    bench_fig01_matrix(&mut c);
+    bench_fig03_transformations(&mut c);
+    bench_fig04_proof_check(&mut c);
+    bench_fig09_sem_scaling(&mut c);
+    bench_fig06_otp_eval(&mut c);
+    bench_fig07_fib(&mut c);
+    bench_fig08_minimum(&mut c);
+    bench_fig10_qif(&mut c);
+}

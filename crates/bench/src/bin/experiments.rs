@@ -48,111 +48,147 @@ fn main() {
         )
     }));
 
-    rows.push(timed("§2.1 P1/P2", "C0 = randIntBounded(0,9): P1 over-, P2 underapprox. both valid", || {
-        let c0 = parse_cmd("x := randIntBounded(0, 9)").expect("parses");
-        let cfg = ValidityConfig::new(Universe::int_cube(&["x"], 0, 1))
-            .with_exec(ExecConfig::int_range(-2, 11))
-            .with_check(EntailConfig {
-                eval: EvalConfig::int_range(-2, 11),
-                ..EntailConfig::default()
-            });
-        let p1 = Triple::new(
-            Assertion::tt(),
-            c0.clone(),
-            Assertion::box_pred(
-                &hhl_lang::Expr::int(0)
-                    .le(hhl_lang::Expr::var("x"))
-                    .and(hhl_lang::Expr::var("x").le(hhl_lang::Expr::int(9))),
-            ),
-        );
-        let p2 = Triple::new(
-            Assertion::not_emp(),
-            c0,
-            Assertion::forall_val(
-                "n",
-                Assertion::Atom(
-                    HExpr::int(0)
-                        .le(HExpr::val("n"))
-                        .and(HExpr::val("n").le(HExpr::int(9))),
-                )
-                .implies(Assertion::exists_state(
-                    "phi",
-                    Assertion::Atom(HExpr::pvar("phi", "x").eq(HExpr::val("n"))),
-                )),
-            ),
-        );
-        let ok = check_triple(&p1, &cfg).is_ok() && check_triple(&p2, &cfg).is_ok();
-        (format!("P1 valid: {}, P2 valid: {}", check_triple(&p1, &cfg).is_ok(), check_triple(&p2, &cfg).is_ok()), ok)
-    }));
-
-    rows.push(timed("§2.2 / Thm. 5", "C2 violates NI; violation provable as a hyper-triple", || {
-        let (ni, cfg) = c2_ni();
-        let bad = find_violating_set(&ni, &cfg);
-        match bad {
-            Some(set) => {
-                let wt = witness_triple(&ni, &set);
-                let ok = check_triple(&wt, &cfg).is_ok();
-                (format!("NI refuted; Thm. 5 witness valid: {ok}"), ok)
-            }
-            None => ("NI unexpectedly held".to_owned(), false),
-        }
-    }));
-
-    rows.push(timed("§2.3 GNI", "XOR pad satisfies GNI; bounded additive pad violates it", || {
-        let gni = Assertion::gni("h", "l");
-        let otp = parse_cmd("y := nonDet(); l := h ^ y").expect("parses");
-        let cfg = ValidityConfig::new(Universe::product(
-            &[("h", (0..=3).map(Value::Int).collect())],
-            &[],
-        ))
-        .with_exec(ExecConfig::int_range(0, 3));
-        let holds = check_triple(&Triple::new(Assertion::low("l"), otp, gni.clone()), &cfg).is_ok();
-
-        let (proof, ctx) = fig4_proof();
-        let violation = check(&proof, &ctx).is_ok();
-        (
-            format!("GNI(OTP): {holds}; Fig. 4 ¬GNI proof checks: {violation}"),
-            holds && violation,
-        )
-    }));
-
-    rows.push(timed("Fig. 4", "¬GNI proof outline checks with 0 semantic admissions", || {
-        let (proof, ctx) = fig4_proof();
-        match check(&proof, &ctx) {
-            Ok(p) => (
-                format!(
-                    "rules: {}, entailments: {}, admissions: {}",
-                    p.stats.rules, p.stats.entailments, p.stats.oracle_admissions
+    rows.push(timed(
+        "§2.1 P1/P2",
+        "C0 = randIntBounded(0,9): P1 over-, P2 underapprox. both valid",
+        || {
+            let c0 = parse_cmd("x := randIntBounded(0, 9)").expect("parses");
+            let cfg = ValidityConfig::new(Universe::int_cube(&["x"], 0, 1))
+                .with_exec(ExecConfig::int_range(-2, 11))
+                .with_check(EntailConfig {
+                    eval: EvalConfig::int_range(-2, 11),
+                    ..EntailConfig::default()
+                });
+            let p1 = Triple::new(
+                Assertion::tt(),
+                c0.clone(),
+                Assertion::box_pred(
+                    &hhl_lang::Expr::int(0)
+                        .le(hhl_lang::Expr::var("x"))
+                        .and(hhl_lang::Expr::var("x").le(hhl_lang::Expr::int(9))),
                 ),
-                p.stats.oracle_admissions == 0,
-            ),
-            Err(e) => (format!("proof rejected: {e}"), false),
-        }
-    }));
+            );
+            let p2 = Triple::new(
+                Assertion::not_emp(),
+                c0,
+                Assertion::forall_val(
+                    "n",
+                    Assertion::Atom(
+                        HExpr::int(0)
+                            .le(HExpr::val("n"))
+                            .and(HExpr::val("n").le(HExpr::int(9))),
+                    )
+                    .implies(Assertion::exists_state(
+                        "phi",
+                        Assertion::Atom(HExpr::pvar("phi", "x").eq(HExpr::val("n"))),
+                    )),
+                ),
+            );
+            let ok = check_triple(&p1, &cfg).is_ok() && check_triple(&p2, &cfg).is_ok();
+            (
+                format!(
+                    "P1 valid: {}, P2 valid: {}",
+                    check_triple(&p1, &cfg).is_ok(),
+                    check_triple(&p2, &cfg).is_ok()
+                ),
+                ok,
+            )
+        },
+    ));
 
-    rows.push(timed("Fig. 7 / App. F", "Fibonacci is monotonic (While-∀*∃* reasoning)", || {
-        let (t, cfg) = fig7_fib(3);
-        let ok = check_triple(&t, &cfg).is_ok();
-        (format!("monotonicity over n ≤ 3: {ok}"), ok)
-    }));
+    rows.push(timed(
+        "§2.2 / Thm. 5",
+        "C2 violates NI; violation provable as a hyper-triple",
+        || {
+            let (ni, cfg) = c2_ni();
+            let bad = find_violating_set(&ni, &cfg);
+            match bad {
+                Some(set) => {
+                    let wt = witness_triple(&ni, &set);
+                    let ok = check_triple(&wt, &cfg).is_ok();
+                    (format!("NI refuted; Thm. 5 witness valid: {ok}"), ok)
+                }
+                None => ("NI unexpectedly held".to_owned(), false),
+            }
+        },
+    ));
 
-    rows.push(timed("Fig. 8 / App. G", "∃*∀*: a minimal execution exists (While-∃)", || {
-        let (t, cfg) = fig8_minimum(2);
-        let ok = check_triple(&t, &cfg).is_ok();
-        (format!("minimality over k ≤ 2: {ok}"), ok)
-    }));
+    rows.push(timed(
+        "§2.3 GNI",
+        "XOR pad satisfies GNI; bounded additive pad violates it",
+        || {
+            let gni = Assertion::gni("h", "l");
+            let otp = parse_cmd("y := nonDet(); l := h ^ y").expect("parses");
+            let cfg = ValidityConfig::new(Universe::product(
+                &[("h", (0..=3).map(Value::Int).collect())],
+                &[],
+            ))
+            .with_exec(ExecConfig::int_range(0, 3));
+            let holds =
+                check_triple(&Triple::new(Assertion::low("l"), otp, gni.clone()), &cfg).is_ok();
 
-    rows.push(timed("Fig. 10 / App. B", "exactly v+1 distinct outputs (set-cardinality property)", || {
-        let mut all = true;
-        let mut detail = String::new();
-        for v in 0..=2 {
-            let (t, cfg) = fig10_qif(v);
+            let (proof, ctx) = fig4_proof();
+            let violation = check(&proof, &ctx).is_ok();
+            (
+                format!("GNI(OTP): {holds}; Fig. 4 ¬GNI proof checks: {violation}"),
+                holds && violation,
+            )
+        },
+    ));
+
+    rows.push(timed(
+        "Fig. 4",
+        "¬GNI proof outline checks with 0 semantic admissions",
+        || {
+            let (proof, ctx) = fig4_proof();
+            match check(&proof, &ctx) {
+                Ok(p) => (
+                    format!(
+                        "rules: {}, entailments: {}, admissions: {}",
+                        p.stats.rules, p.stats.entailments, p.stats.oracle_admissions
+                    ),
+                    p.stats.oracle_admissions == 0,
+                ),
+                Err(e) => (format!("proof rejected: {e}"), false),
+            }
+        },
+    ));
+
+    rows.push(timed(
+        "Fig. 7 / App. F",
+        "Fibonacci is monotonic (While-∀*∃* reasoning)",
+        || {
+            let (t, cfg) = fig7_fib(3);
             let ok = check_triple(&t, &cfg).is_ok();
-            all &= ok;
-            detail.push_str(&format!("v={v}:{} ", if ok { "✓" } else { "✗" }));
-        }
-        (detail, all)
-    }));
+            (format!("monotonicity over n ≤ 3: {ok}"), ok)
+        },
+    ));
+
+    rows.push(timed(
+        "Fig. 8 / App. G",
+        "∃*∀*: a minimal execution exists (While-∃)",
+        || {
+            let (t, cfg) = fig8_minimum(2);
+            let ok = check_triple(&t, &cfg).is_ok();
+            (format!("minimality over k ≤ 2: {ok}"), ok)
+        },
+    ));
+
+    rows.push(timed(
+        "Fig. 10 / App. B",
+        "exactly v+1 distinct outputs (set-cardinality property)",
+        || {
+            let mut all = true;
+            let mut detail = String::new();
+            for v in 0..=2 {
+                let (t, cfg) = fig10_qif(v);
+                let ok = check_triple(&t, &cfg).is_ok();
+                all &= ok;
+                detail.push_str(&format!("v={v}:{} ", if ok { "✓" } else { "✗" }));
+            }
+            (detail, all)
+        },
+    ));
 
     println!("Hyper Hoare Logic — experiment suite (paper claim vs. measured)\n");
     println!(

@@ -6,8 +6,6 @@ fn main() {
     println!("Fig. 1 — Hoare-logic capability matrix (paper, PLDI 2024)\n");
     print!("{}", hhl_logics::render_matrix());
     println!();
-    println!(
-        "✓ = expressible in Hyper Hoare Logic (demonstrated by the cited artifact);"
-    );
+    println!("✓ = expressible in Hyper Hoare Logic (demonstrated by the cited artifact);");
     println!("∅ = no prior Hoare logic covers the cell (paper's Fig. 1).");
 }

@@ -1,0 +1,182 @@
+//! A minimal, std-only benchmark harness with a Criterion-shaped API.
+//!
+//! The build environment is offline, so the benches cannot depend on the
+//! `criterion` crate. This module reimplements the slice of its surface the
+//! bench files use — [`Harness::bench_function`], benchmark groups with
+//! per-group sample sizes, [`BenchmarkId`] — over `std::time::Instant`.
+//! Each benchmark reports the median, minimum and maximum per-iteration
+//! time across its samples; absolute numbers are machine-local, the shape
+//! across workload parameters is the reproducible series.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+/// Soft cap on the total time spent in one benchmark.
+const TOTAL_BUDGET: Duration = Duration::from_secs(2);
+const DEFAULT_SAMPLES: usize = 20;
+const MIN_SAMPLES: usize = 3;
+
+/// A `group/parameter` benchmark identifier, mirroring Criterion's.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Runs closures under timing; passed to the `b.iter(..)` callbacks.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, shielding the result from the optimizer.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_samples(label: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    // Calibrate: one untimed warmup call, then size samples to the target.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let single = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (TARGET_SAMPLE.as_nanos() / single.as_nanos()).clamp(1, 1_000_000) as u64;
+    let per_sample = single * iters as u32;
+    let samples = if per_sample * samples as u32 > TOTAL_BUDGET {
+        ((TOTAL_BUDGET.as_nanos() / per_sample.as_nanos().max(1)) as usize)
+            .clamp(MIN_SAMPLES, samples)
+    } else {
+        samples
+    };
+
+    let mut per_iter: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed / iters as u32
+        })
+        .collect();
+    per_iter.sort_unstable();
+    let median = per_iter[per_iter.len() / 2];
+    println!(
+        "bench {label:<44} median {median:>12?}  (min {:?}, max {:?}, {samples} samples × {iters} iters)",
+        per_iter[0],
+        per_iter[per_iter.len() - 1],
+    );
+}
+
+/// The top-level harness, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Harness {}
+
+impl Harness {
+    /// Creates a harness.
+    pub fn new() -> Harness {
+        Harness {}
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Harness {
+        run_samples(id, DEFAULT_SAMPLES, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            _harness: self,
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// A benchmark group, mirroring `criterion::BenchmarkGroup`.
+pub struct Group<'a> {
+    _harness: &'a mut Harness,
+    name: String,
+    samples: usize,
+}
+
+impl Group<'_> {
+    /// Sets the number of samples taken per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(MIN_SAMPLES);
+        self
+    }
+
+    /// Benchmarks `f` against one `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        run_samples(&label, self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        run_samples(&label, self.samples, f);
+        self
+    }
+
+    /// Closes the group (provided for API parity; no state to flush).
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_times() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn groups_and_ids_render() {
+        assert_eq!(BenchmarkId::new("wp", 8).to_string(), "wp/8");
+        let mut h = Harness::new();
+        let mut g = h.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("noop", 1), &1, |b, _| b.iter(|| ()));
+        g.finish();
+    }
+}

@@ -1,16 +1,16 @@
 //! # hhl-bench — benchmark workloads and figure regeneration
 //!
-//! Shared workload builders used by the Criterion benches (`benches/`) and
-//! the regeneration binaries (`src/bin/fig01_matrix.rs`,
+//! Shared workload builders used by the [`harness`] benches (`benches/`)
+//! and the regeneration binaries (`src/bin/fig01_matrix.rs`,
 //! `src/bin/experiments.rs`). Each function corresponds to a row of the
 //! experiment index in `DESIGN.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hhl_assert::{
-    assign_transform, assume_transform, Assertion, EntailConfig, HExpr, Universe,
-};
+pub mod harness;
+
+use hhl_assert::{assign_transform, assume_transform, Assertion, EntailConfig, HExpr, Universe};
 use hhl_core::proof::{Derivation, ProofContext};
 use hhl_core::{Triple, ValidityConfig};
 use hhl_lang::{parse_cmd, Cmd, ExecConfig, Expr, Symbol, Value};
@@ -156,9 +156,7 @@ pub fn fig10_qif(v: i64) -> (Triple, ValidityConfig) {
 
 /// A chain of `n` assignments (WP-generation workload for Fig. 3 scaling).
 pub fn assignment_chain(n: usize) -> Cmd {
-    Cmd::seq_all((0..n).map(|i| {
-        Cmd::assign("x", Expr::var("x") + Expr::int((i % 3) as i64 + 1))
-    }))
+    Cmd::seq_all((0..n).map(|i| Cmd::assign("x", Expr::var("x") + Expr::int((i % 3) as i64 + 1))))
 }
 
 /// The §2.2 `C2` NI triple and config (baseline workload).

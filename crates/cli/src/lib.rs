@@ -1,0 +1,30 @@
+//! # hhl-cli — the end-to-end `hhl` proof-checking driver
+//!
+//! Library backing the `hhl` binary: a line-oriented spec format
+//! ([`Spec`], [`parse_spec`]) describing a program, a hyper-triple, and a
+//! finite universe, plus a dispatcher ([`run_spec`]) that routes the spec
+//! to one of the workspace engines:
+//!
+//! * `mode: check` — semantic triple validity via
+//!   [`hhl_core::check_triple`]; when the triple is invalid, the
+//!   counterexample set (the [`hhl_core::find_violating_set`] projection)
+//!   is fed to [`hhl_core::witness_triple`] to produce a checked disproof
+//!   (Thm. 5);
+//! * `mode: prove` — builds the Fig. 3 syntactic weakest-precondition
+//!   derivation for loop-free code and replays it through the proof
+//!   checker [`hhl_core::proof::check`];
+//! * `mode: verify` — annotated-loop verification through the Hypra-style
+//!   VC generator [`hhl_verify::verify`].
+//!
+//! The driver prints a structured pass/fail report; the process exit code
+//! is `0` when the verdict matches the spec's `expect:` line (which
+//! defaults to `pass`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod runner;
+mod spec;
+
+pub use runner::{run_spec, Outcome, RunError, Verdict};
+pub use spec::{parse_spec, Expect, Mode, Spec, SpecError};

@@ -1,0 +1,82 @@
+//! The `hhl` binary: `hhl check <spec.hhl> [more specs…]`.
+//!
+//! Parses each spec file, dispatches it to the engine named by its `mode:`
+//! line, and prints a structured pass/fail report. Exits `0` when every
+//! spec's verdict matches its `expect:` line (default `pass`), `1` when
+//! any verdict is unexpected, `2` on usage/parse/dispatch errors.
+
+use std::fmt;
+use std::io::Write;
+use std::process::ExitCode;
+
+use hhl_cli::{parse_spec, run_spec};
+
+/// Prints to stdout, ignoring write failures (e.g. EPIPE when the report
+/// is piped into `head`) instead of panicking.
+fn out(msg: impl fmt::Display) {
+    let _ = writeln!(std::io::stdout(), "{msg}");
+}
+
+const USAGE: &str = "usage: hhl check <spec.hhl>...
+
+Each spec file selects its own engine via `mode: check | prove | verify`;
+`hhl check` runs the file end-to-end (parse → dispatch → report) and
+compares the verdict against the spec's `expect:` line.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: Vec<&str> = match args.first().map(String::as_str) {
+        Some("check") if args.len() > 1 => args[1..].iter().map(String::as_str).collect(),
+        Some("--help" | "-h") => {
+            out(USAGE);
+            return ExitCode::SUCCESS;
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut all_expected = true;
+    let mut hard_error = false;
+    for (i, file) in files.iter().enumerate() {
+        if i > 0 {
+            out("");
+        }
+        out(format_args!("== {file}"));
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                hard_error = true;
+                continue;
+            }
+        };
+        let spec = match parse_spec(&src) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {file}: {e}");
+                hard_error = true;
+                continue;
+            }
+        };
+        match run_spec(&spec) {
+            Ok(outcome) => {
+                out(&outcome);
+                all_expected &= outcome.as_expected;
+            }
+            Err(e) => {
+                eprintln!("error: {file}: {e}");
+                hard_error = true;
+            }
+        }
+    }
+
+    if hard_error {
+        ExitCode::from(2)
+    } else if all_expected {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

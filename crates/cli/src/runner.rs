@@ -1,0 +1,413 @@
+//! Dispatching a parsed [`Spec`] to the workspace engines and rendering a
+//! structured pass/fail report.
+
+use std::fmt;
+
+use hhl_assert::Assertion;
+use hhl_core::proof::{check, Derivation, ProofContext, ProofError};
+use hhl_core::{check_triple, witness_triple, Triple};
+use hhl_lang::Cmd;
+use hhl_verify::{
+    verify, AProgram, Obligation, ObligationResult, Report, StructureError, VerifyError,
+};
+
+use crate::spec::{Expect, Mode, Spec};
+
+/// The overall verdict of a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The triple/program was established.
+    Pass,
+    /// The triple/program was refuted.
+    Fail,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Pass => write!(f, "PASS"),
+            Verdict::Fail => write!(f, "FAIL"),
+        }
+    }
+}
+
+/// The structured result of running a spec.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Dispatch mode that produced the outcome.
+    pub mode: Mode,
+    /// The triple that was checked (annotation-erased for `verify`).
+    pub triple: Triple,
+    /// Per-obligation results, in [`hhl_verify::Report`] form.
+    pub report: Report,
+    /// Engine-specific notes (Thm. 5 disproof steps, proof statistics).
+    pub notes: Vec<String>,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Whether the verdict matches the spec's `expect:` line.
+    pub as_expected: bool,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "mode: {}", self.mode)?;
+        writeln!(f, "triple: {}", self.triple)?;
+        write!(f, "{}", self.report)?;
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        write!(
+            f,
+            "verdict: {}{}",
+            self.verdict,
+            if self.as_expected {
+                " (as expected)"
+            } else {
+                " (UNEXPECTED)"
+            }
+        )
+    }
+}
+
+/// Errors that prevent a spec from producing a verdict at all (as opposed
+/// to a `FAIL` verdict, which is a successful run).
+#[derive(Debug)]
+pub enum RunError {
+    /// `prove` mode on a program outside the loop-free/choice-free fragment.
+    UnsupportedProgram(String),
+    /// `verify` mode could not structure the program or generate VCs.
+    Verify(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::UnsupportedProgram(m) => write!(f, "unsupported program: {m}"),
+            RunError::Verify(m) => write!(f, "verification error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<StructureError> for RunError {
+    fn from(e: StructureError) -> RunError {
+        RunError::Verify(e.to_string())
+    }
+}
+
+impl From<VerifyError> for RunError {
+    fn from(e: VerifyError) -> RunError {
+        RunError::Verify(e.to_string())
+    }
+}
+
+/// Runs a spec through the engine selected by its mode.
+///
+/// # Errors
+///
+/// [`RunError`] when the spec cannot be dispatched at all (e.g. `prove`
+/// mode on a program with loops). Refutations are *not* errors: they
+/// produce an [`Outcome`] with [`Verdict::Fail`].
+pub fn run_spec(spec: &Spec) -> Result<Outcome, RunError> {
+    let triple = Triple::new(spec.pre.clone(), spec.cmd.clone(), spec.post.clone());
+    let (report, notes, verdict) = match spec.mode {
+        Mode::Check => run_check(spec, &triple),
+        Mode::Prove => run_prove(spec, &triple)?,
+        Mode::Verify => run_verify(spec)?,
+    };
+    let as_expected = matches!(
+        (verdict, spec.expect),
+        (Verdict::Pass, Expect::Pass) | (Verdict::Fail, Expect::Fail)
+    );
+    Ok(Outcome {
+        mode: spec.mode,
+        triple,
+        report,
+        notes,
+        verdict,
+        as_expected,
+    })
+}
+
+/// `check`: semantic validity; on failure, the Thm. 5 disproof pipeline
+/// (extract the violating set → `witness_triple` → re-check the witness).
+fn run_check(spec: &Spec, triple: &Triple) -> (Report, Vec<String>, Verdict) {
+    let validity = check_triple(triple, &spec.config);
+    // The counterexample set of a failed check IS the violating set of
+    // Thm. 5 (`find_violating_set` is exactly this projection); reusing it
+    // avoids a second full sweep over the candidate sets.
+    let violating = validity.as_ref().err().map(|cex| cex.set.clone());
+    let mut results = vec![ObligationResult {
+        obligation: Obligation::Triple {
+            triple: triple.clone(),
+            free_vals: Vec::new(),
+            origin: "triple validity (Def. 5)".to_owned(),
+        },
+        result: validity,
+    }];
+    let mut notes = Vec::new();
+    let verdict = match violating {
+        None => Verdict::Pass,
+        Some(violating) => {
+            notes.push(format!("violating set (Thm. 5): {violating}"));
+            let witness = witness_triple(triple, &violating);
+            let witness_result = check_triple(&witness, &spec.config);
+            notes.push(if witness_result.is_ok() {
+                "disproof checked: the witness triple is valid, so the \
+                 original triple is provably refuted (Thm. 5)"
+                    .to_owned()
+            } else {
+                "warning: witness triple did not re-check".to_owned()
+            });
+            results.push(ObligationResult {
+                obligation: Obligation::Triple {
+                    triple: witness,
+                    free_vals: Vec::new(),
+                    origin: "Thm. 5 disproof witness".to_owned(),
+                },
+                result: witness_result,
+            });
+            Verdict::Fail
+        }
+    };
+    (Report { results }, notes, verdict)
+}
+
+/// `prove`: builds the Fig. 3 syntactic weakest-precondition derivation for
+/// a loop-free, choice-free command and replays it through the proof
+/// checker.
+fn run_prove(spec: &Spec, triple: &Triple) -> Result<(Report, Vec<String>, Verdict), RunError> {
+    let atoms = atomize(&spec.cmd)?;
+    let mut derivs = Vec::with_capacity(atoms.len());
+    for cmd in atoms.iter().rev() {
+        // Build backward from the postcondition; the checker recomputes
+        // each transformed assertion and verifies the chain.
+        let post = derivs
+            .last()
+            .map(premise_pre)
+            .transpose()?
+            .unwrap_or_else(|| spec.post.clone());
+        derivs.push(match cmd {
+            Cmd::Skip => Derivation::Skip { p: post },
+            Cmd::Assign(x, e) => Derivation::AssignS {
+                x: *x,
+                e: e.clone(),
+                post,
+            },
+            Cmd::Havoc(x) => Derivation::HavocS { x: *x, post },
+            Cmd::Assume(b) => Derivation::AssumeS { b: b.clone(), post },
+            other => {
+                return Err(RunError::UnsupportedProgram(format!(
+                    "non-atomic command {other} after atomization"
+                )))
+            }
+        });
+    }
+    derivs.reverse();
+    let chain = Derivation::seq_all(derivs);
+    let proof = Derivation::cons(spec.pre.clone(), spec.post.clone(), chain);
+
+    let ctx = ProofContext::new(spec.config.clone());
+    let mut notes = Vec::new();
+    let (result, verdict) = match check(&proof, &ctx) {
+        Ok(checked) => {
+            notes.push(format!(
+                "proof checked: {} rule application(s), {} entailment(s) discharged, \
+                 {} oracle admission(s)",
+                checked.stats.rules, checked.stats.entailments, checked.stats.oracle_admissions
+            ));
+            notes.push(format!("conclusion: {}", checked.conclusion));
+            (Ok(()), Verdict::Pass)
+        }
+        Err(e) => {
+            let cex = match &e {
+                ProofError::Entailment { counterexample, .. }
+                | ProofError::Semantic { counterexample, .. } => Some(counterexample.clone()),
+                _ => None,
+            };
+            notes.push(format!("proof rejected: {e}"));
+            match cex {
+                Some(c) => (Err(c), Verdict::Fail),
+                None => {
+                    return Err(RunError::UnsupportedProgram(format!(
+                        "proof construction failed structurally: {e}"
+                    )))
+                }
+            }
+        }
+    };
+    let report = Report {
+        results: vec![ObligationResult {
+            obligation: Obligation::Triple {
+                triple: triple.clone(),
+                free_vals: Vec::new(),
+                origin: "syntactic WP proof (Fig. 3 + Cons)".to_owned(),
+            },
+            result,
+        }],
+    };
+    Ok((report, notes, verdict))
+}
+
+/// The precondition the checker will compute for a backward-built premise —
+/// used to thread the chain's intermediate assertions.
+fn premise_pre(d: &Derivation) -> Result<Assertion, RunError> {
+    use hhl_assert::{assign_transform, assume_transform, havoc_transform};
+    let r = match d {
+        Derivation::Skip { p } => Ok(p.clone()),
+        Derivation::AssignS { x, e, post } => assign_transform(*x, e, post),
+        Derivation::HavocS { x, post } => havoc_transform(*x, post),
+        Derivation::AssumeS { b, post } => assume_transform(b, post),
+        other => {
+            return Err(RunError::UnsupportedProgram(format!(
+                "unexpected premise {}",
+                other.rule_name()
+            )))
+        }
+    };
+    r.map_err(|e| {
+        RunError::UnsupportedProgram(format!("syntactic transformation not applicable: {e}"))
+    })
+}
+
+/// Flattens a command into its atomic sequence, rejecting loops/choices.
+fn atomize(cmd: &Cmd) -> Result<Vec<Cmd>, RunError> {
+    match cmd {
+        Cmd::Seq(a, b) => {
+            let mut out = atomize(a)?;
+            out.extend(atomize(b)?);
+            Ok(out)
+        }
+        Cmd::Skip | Cmd::Assign(..) | Cmd::Havoc(..) | Cmd::Assume(..) => Ok(vec![cmd.clone()]),
+        Cmd::Choice(..) | Cmd::Star(..) => Err(RunError::UnsupportedProgram(format!(
+            "`prove` handles loop-free, choice-free programs; `{cmd}` needs \
+             `verify` (annotated loops) or `check` (semantic validity)"
+        ))),
+    }
+}
+
+/// `verify`: structures the command with the spec's loop annotations and
+/// runs the Hypra-style VC pipeline.
+fn run_verify(spec: &Spec) -> Result<(Report, Vec<String>, Verdict), RunError> {
+    let prog = AProgram::from_cmd(
+        spec.pre.clone(),
+        &spec.cmd,
+        spec.post.clone(),
+        spec.rules.clone(),
+    )?;
+    let report = verify(&prog, &spec.config)?;
+    let verdict = if report.verified() {
+        Verdict::Pass
+    } else {
+        Verdict::Fail
+    };
+    let notes = vec![format!(
+        "{} of {} obligation(s) discharged",
+        report.len() - report.failures().count(),
+        report.len()
+    )];
+    Ok((report, notes, verdict))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::parse_spec;
+
+    #[test]
+    fn check_mode_passes_on_c1() {
+        let spec = parse_spec(
+            "mode: check\npre: low(l)\npost: low(l)\nvars: h in -1..1, l in -1..1\n\
+             exec: -1..1\nprogram:\nl := l * 2\n",
+        )
+        .unwrap();
+        let out = run_spec(&spec).unwrap();
+        assert_eq!(out.verdict, Verdict::Pass);
+        assert!(out.as_expected);
+    }
+
+    #[test]
+    fn check_mode_disproves_c2_with_witness() {
+        let spec = parse_spec(
+            "mode: check\npre: low(l)\npost: low(l)\nvars: h in -1..1, l in -1..1\n\
+             exec: -1..1\nexpect: fail\nprogram:\nif (h > 0) { l := 1 } else { l := 0 }\n",
+        )
+        .unwrap();
+        let out = run_spec(&spec).unwrap();
+        assert_eq!(out.verdict, Verdict::Fail);
+        assert!(out.as_expected);
+        // The Thm. 5 witness obligation is present and discharged.
+        assert_eq!(out.report.len(), 2);
+        assert!(out.report.results[1].result.is_ok());
+        assert!(out.notes.iter().any(|n| n.contains("disproof checked")));
+    }
+
+    #[test]
+    fn prove_mode_replays_wp_chain() {
+        let spec = parse_spec(
+            "mode: prove\npre: low(l)\npost: low(l)\nvars: l in 0..1\n\
+             program:\nl := l * 2; l := l + 1\n",
+        )
+        .unwrap();
+        let out = run_spec(&spec).unwrap();
+        assert_eq!(out.verdict, Verdict::Pass);
+        assert!(out.notes.iter().any(|n| n.contains("rule application")));
+    }
+
+    #[test]
+    fn prove_mode_is_sound_for_out_of_default_domain_havoc() {
+        // Regression: with `exec: 5..9` and no `values:` line, the havoc
+        // values lie outside the default value-quantifier domain (-3..3);
+        // without the spec-level domain extension the HavocS entailments
+        // discharge vacuously and this invalid triple would prove.
+        let spec = parse_spec(
+            "mode: prove\npre: true\npost: forall <phi>. phi(x) <= 3\n\
+             vars: x in 0..1\nexec: 5..9\nexpect: fail\nprogram:\nx := nonDet()\n",
+        )
+        .unwrap();
+        let out = run_spec(&spec).unwrap();
+        assert_eq!(out.verdict, Verdict::Fail, "{out}");
+        assert!(out.as_expected);
+        // `check` mode agrees on the same spec.
+        let mut semantic = spec.clone();
+        semantic.mode = Mode::Check;
+        assert_eq!(run_spec(&semantic).unwrap().verdict, Verdict::Fail);
+    }
+
+    #[test]
+    fn prove_mode_rejects_loops() {
+        let spec = parse_spec(
+            "mode: prove\npre: true\npost: true\nvars: x in 0..1\n\
+             program:\nwhile (x > 0) { x := x - 1 }\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            run_spec(&spec),
+            Err(RunError::UnsupportedProgram(_))
+        ));
+    }
+
+    #[test]
+    fn verify_mode_discharges_loop_vcs() {
+        let spec = parse_spec(
+            "mode: verify\npre: low(i) && low(n)\npost: low(i)\n\
+             vars: i in 0..2, n in 0..2\nexec: 0..2\nfuel: 8\n\
+             invariant: sync low(i) && low(n)\n\
+             program:\nwhile (i < n) { i := i + 1 }\n",
+        )
+        .unwrap();
+        let out = run_spec(&spec).unwrap();
+        assert_eq!(out.verdict, Verdict::Pass, "{out}");
+    }
+
+    #[test]
+    fn outcome_display_is_structured() {
+        let spec =
+            parse_spec("mode: check\npre: low(l)\npost: low(l)\nvars: l in 0..1\nprogram:\nskip\n")
+                .unwrap();
+        let text = run_spec(&spec).unwrap().to_string();
+        assert!(text.contains("mode: check"));
+        assert!(text.contains("verdict: PASS (as expected)"));
+    }
+}

@@ -1,0 +1,414 @@
+//! The `.hhl` spec format: a line-oriented header followed by a program.
+//!
+//! ```text
+//! # comments start with '#'
+//! mode: check                      # check | prove | verify
+//! pre: low(l)                      # hyper-assertion (hhl-assert syntax)
+//! post: low(l)
+//! vars: h in -1..1, l in -1..1     # program-variable universe
+//! lvars: t in 1|2                  # optional logical-variable tags
+//! exec: -1..1                      # havoc domain (default -2..2)
+//! fuel: 8                          # loop fuel (default 32)
+//! subset: 3                        # max candidate-subset size
+//! values: -3..3                    # value-quantifier domain
+//! expect: pass                     # pass | fail (default pass)
+//! invariant: sync low(i) && low(n) # verify mode: one per loop, in order
+//! program:
+//! l := l * 2
+//! ```
+//!
+//! Domains are either inclusive ranges `lo..hi` or pipe-separated value
+//! lists `v1|v2|v3` (pipes, since commas separate variable bindings).
+
+use std::fmt;
+
+use hhl_assert::{parse_assertion, Assertion, EntailConfig, Universe};
+use hhl_core::ValidityConfig;
+use hhl_lang::{parse_cmd, Cmd, ExecConfig, Value};
+use hhl_verify::LoopRule;
+
+/// Which engine the spec is dispatched to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Semantic triple validity ([`hhl_core::check_triple`]) with a
+    /// Thm. 5 disproof on failure.
+    Check,
+    /// Syntactic weakest-precondition proof replayed through
+    /// [`hhl_core::proof::check`].
+    Prove,
+    /// Annotated-loop verification through [`hhl_verify::verify`].
+    Verify,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Check => write!(f, "check"),
+            Mode::Prove => write!(f, "prove"),
+            Mode::Verify => write!(f, "verify"),
+        }
+    }
+}
+
+/// The verdict the spec author expects from the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expect {
+    /// The triple/program should be proved.
+    Pass,
+    /// The triple/program should be refuted.
+    Fail,
+}
+
+/// A parsed spec file.
+#[derive(Clone, Debug)]
+pub struct Spec {
+    /// Dispatch mode.
+    pub mode: Mode,
+    /// Precondition.
+    pub pre: Assertion,
+    /// Postcondition.
+    pub post: Assertion,
+    /// The program.
+    pub cmd: Cmd,
+    /// Loop-rule annotations for `verify` mode, in source order.
+    pub rules: Vec<LoopRule>,
+    /// The model configuration assembled from the header.
+    pub config: ValidityConfig,
+    /// Expected verdict.
+    pub expect: Expect,
+}
+
+/// Error produced when a spec file is malformed.
+#[derive(Clone, Debug)]
+pub struct SpecError {
+    /// 1-based line of the offending entry (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parses a domain: `lo..hi` (inclusive) or `v1|v2|v3`.
+fn parse_domain(line: usize, src: &str) -> Result<Vec<Value>, SpecError> {
+    let src = src.trim();
+    if let Some((lo, hi)) = src.split_once("..") {
+        let lo: i64 = match lo.trim().parse() {
+            Ok(v) => v,
+            Err(_) => return err(line, format!("bad range start {lo:?}")),
+        };
+        let hi: i64 = match hi.trim().parse() {
+            Ok(v) => v,
+            Err(_) => return err(line, format!("bad range end {hi:?}")),
+        };
+        if lo > hi {
+            return err(line, format!("empty range {lo}..{hi}"));
+        }
+        Ok((lo..=hi).map(Value::Int).collect())
+    } else {
+        src.split('|')
+            .map(|v| match v.trim().parse::<i64>() {
+                Ok(n) => Ok(Value::Int(n)),
+                Err(_) => err(line, format!("bad value {v:?} in domain")),
+            })
+            .collect()
+    }
+}
+
+/// Parses `x in D, y in D, …`.
+fn parse_bindings(line: usize, src: &str) -> Result<Vec<(String, Vec<Value>)>, SpecError> {
+    src.split(',')
+        .map(|entry| {
+            let Some((name, dom)) = entry.split_once(" in ") else {
+                return err(line, format!("expected `var in domain`, got {entry:?}"));
+            };
+            Ok((name.trim().to_owned(), parse_domain(line, dom)?))
+        })
+        .collect()
+}
+
+fn parse_invariant(line: usize, src: &str) -> Result<LoopRule, SpecError> {
+    let src = src.trim();
+    let (kind, rest) = src.split_once(char::is_whitespace).unwrap_or((src, ""));
+    let inv = match parse_assertion(rest.trim()) {
+        Ok(a) => a,
+        Err(e) => return err(line, format!("bad invariant assertion: {e}")),
+    };
+    match kind {
+        "sync" => Ok(LoopRule::Sync { inv }),
+        "forall-exists" => Ok(LoopRule::ForallExists { inv }),
+        other => err(
+            line,
+            format!("unknown loop rule {other:?} (expected `sync` or `forall-exists`)"),
+        ),
+    }
+}
+
+/// Parses a spec file.
+///
+/// # Errors
+///
+/// [`SpecError`] pointing at the offending line.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_cli::{parse_spec, Mode};
+/// let spec = parse_spec(
+///     "mode: check\npre: low(l)\npost: low(l)\nvars: l in 0..1\nprogram:\nl := l * 2\n",
+/// ).unwrap();
+/// assert_eq!(spec.mode, Mode::Check);
+/// ```
+pub fn parse_spec(src: &str) -> Result<Spec, SpecError> {
+    let mut mode = None;
+    let mut pre = None;
+    let mut post = None;
+    let mut pvars: Vec<(String, Vec<Value>)> = Vec::new();
+    let mut lvars: Vec<(String, Vec<Value>)> = Vec::new();
+    let mut exec = ExecConfig::default();
+    let mut fuel = None;
+    let mut subset = None;
+    let mut values = None;
+    let mut expect = Expect::Pass;
+    let mut rules = Vec::new();
+    let mut program = None;
+
+    let mut lines = src.lines().enumerate();
+    while let Some((i, raw)) = lines.next() {
+        let n = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            return err(n, format!("expected `key: value`, got {line:?}"));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "mode" => {
+                mode = Some(match value {
+                    "check" => Mode::Check,
+                    "prove" => Mode::Prove,
+                    "verify" => Mode::Verify,
+                    other => return err(n, format!("unknown mode {other:?}")),
+                });
+            }
+            "pre" | "post" => {
+                let a = match parse_assertion(value) {
+                    Ok(a) => a,
+                    Err(e) => return err(n, format!("bad {key} assertion: {e}")),
+                };
+                if key == "pre" {
+                    pre = Some(a);
+                } else {
+                    post = Some(a);
+                }
+            }
+            "vars" => pvars.extend(parse_bindings(n, value)?),
+            "lvars" => lvars.extend(parse_bindings(n, value)?),
+            "exec" => exec = ExecConfig::with_domain(parse_domain(n, value)?),
+            "fuel" => match value.parse::<u32>() {
+                Ok(v) => fuel = Some(v),
+                Err(_) => return err(n, format!("bad fuel {value:?}")),
+            },
+            "subset" => match value.parse::<usize>() {
+                Ok(v) => subset = Some(v),
+                Err(_) => return err(n, format!("bad subset size {value:?}")),
+            },
+            "values" => values = Some(parse_domain(n, value)?),
+            "expect" => {
+                expect = match value {
+                    "pass" => Expect::Pass,
+                    "fail" => Expect::Fail,
+                    other => return err(n, format!("unknown expectation {other:?}")),
+                };
+            }
+            "invariant" => rules.push(parse_invariant(n, value)?),
+            "program" => {
+                // Everything after `program:` is the program source.
+                let mut body = String::from(value);
+                for (_, rest) in lines.by_ref() {
+                    body.push('\n');
+                    body.push_str(rest);
+                }
+                program = Some(match parse_cmd(&body) {
+                    Ok(c) => c,
+                    Err(e) => return err(n, format!("bad program: {e}")),
+                });
+                break;
+            }
+            other => return err(n, format!("unknown key {other:?}")),
+        }
+    }
+
+    let Some(mode) = mode else {
+        return err(0, "missing `mode:`");
+    };
+    let Some(pre) = pre else {
+        return err(0, "missing `pre:`");
+    };
+    let Some(post) = post else {
+        return err(0, "missing `post:`");
+    };
+    let Some(cmd) = program else {
+        return err(0, "missing `program:` section");
+    };
+    if pvars.is_empty() {
+        return err(
+            0,
+            "missing `vars:` (the universe would be a single empty store)",
+        );
+    }
+
+    if let Some(f) = fuel {
+        exec = exec.fuel(f);
+    }
+    let pvar_refs: Vec<(&str, Vec<Value>)> =
+        pvars.iter().map(|(n, d)| (n.as_str(), d.clone())).collect();
+    let lvar_refs: Vec<(&str, Vec<Value>)> =
+        lvars.iter().map(|(n, d)| (n.as_str(), d.clone())).collect();
+    let universe = Universe::product(&pvar_refs, &lvar_refs);
+    let mut check = EntailConfig::default();
+    if let Some(k) = subset {
+        check.max_subset_size = k;
+    }
+    if let Some(vals) = values {
+        check.eval = check.eval.with_values(vals);
+    } else {
+        // Finitization contract (see tests/rule_soundness.rs): the value-
+        // quantifier domain must cover the havoc domain, otherwise the
+        // HavocS transform's existentials can miss values the executable
+        // havoc produces and `prove` mode becomes unsound. With no
+        // explicit `values:`, extend the default domain with `exec:`.
+        let mut vals = check.eval.values.clone();
+        for v in &exec.havoc_domain {
+            if !vals.contains(v) {
+                vals.push(v.clone());
+            }
+        }
+        check.eval = check.eval.with_values(vals);
+    }
+    let config = ValidityConfig::new(universe)
+        .with_exec(exec)
+        .with_check(check);
+
+    Ok(Spec {
+        mode,
+        pre,
+        post,
+        cmd,
+        rules,
+        config,
+        expect,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str =
+        "mode: check\npre: low(l)\npost: low(l)\nvars: l in 0..1\nprogram:\nl := l * 2\n";
+
+    #[test]
+    fn parses_minimal_spec() {
+        let spec = parse_spec(MINIMAL).unwrap();
+        assert_eq!(spec.mode, Mode::Check);
+        assert_eq!(spec.expect, Expect::Pass);
+        assert_eq!(spec.config.universe.states.len(), 2);
+    }
+
+    #[test]
+    fn parses_value_list_domains_and_lvars() {
+        let spec = parse_spec(
+            "mode: check\npre: true\npost: true\nvars: h in 0|20\nlvars: t in 1|2\nprogram:\nskip\n",
+        )
+        .unwrap();
+        assert_eq!(spec.config.universe.states.len(), 4);
+    }
+
+    #[test]
+    fn exec_domain_extends_default_eval_values() {
+        // Finitization contract: without `values:`, the value-quantifier
+        // domain must absorb the havoc domain or HavocS loses exactness.
+        let spec = parse_spec(
+            "mode: check\npre: true\npost: true\nvars: x in 0..1\nexec: 5..9\nprogram:\nskip\n",
+        )
+        .unwrap();
+        for v in 5..=9 {
+            assert!(
+                spec.config.check.eval.values.contains(&Value::Int(v)),
+                "havoc value {v} missing from eval domain"
+            );
+        }
+        // An explicit `values:` line still wins verbatim.
+        let spec = parse_spec(
+            "mode: check\npre: true\npost: true\nvars: x in 0..1\nexec: 5..9\n\
+             values: 0..1\nprogram:\nskip\n",
+        )
+        .unwrap();
+        assert!(!spec.config.check.eval.values.contains(&Value::Int(9)));
+    }
+
+    #[test]
+    fn parses_invariants_in_order() {
+        let spec = parse_spec(
+            "mode: verify\npre: low(n)\npost: low(i)\nvars: i in 0..1, n in 0..1\n\
+             invariant: sync low(i) && low(n)\nprogram:\ni := 0; while (i < n) { i := i + 1 }\n",
+        )
+        .unwrap();
+        assert_eq!(spec.rules.len(), 1);
+        assert!(matches!(spec.rules[0], LoopRule::Sync { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_sections() {
+        for (src, needle) in [
+            (
+                "pre: true\npost: true\nvars: x in 0..1\nprogram:\nskip",
+                "mode",
+            ),
+            (
+                "mode: check\npost: true\nvars: x in 0..1\nprogram:\nskip",
+                "pre",
+            ),
+            (
+                "mode: check\npre: true\nvars: x in 0..1\nprogram:\nskip",
+                "post",
+            ),
+            ("mode: check\npre: true\npost: true\nprogram:\nskip", "vars"),
+            (
+                "mode: check\npre: true\npost: true\nvars: x in 0..1",
+                "program",
+            ),
+        ] {
+            let e = parse_spec(src).unwrap_err();
+            assert!(e.message.contains(needle), "{src:?} → {e}");
+        }
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let e = parse_spec("mode: check\npre: low((\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_bad_domains() {
+        assert!(parse_spec("mode: check\nvars: x in 3..1\nprogram:\nskip").is_err());
+        assert!(parse_spec("mode: check\nvars: x on 0..1\nprogram:\nskip").is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Golden-file tests: the worked paper examples under `examples/specs/`
+//! fed through the `hhl` binary, asserting on the emitted report and the
+//! process exit code.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn spec_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/specs")
+        .join(name)
+}
+
+fn run_hhl(names: &[&str]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_hhl"));
+    cmd.arg("check");
+    for name in names {
+        cmd.arg(spec_path(name));
+    }
+    cmd.output().expect("hhl binary runs")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 report")
+}
+
+#[test]
+fn c1_noninterference_passes() {
+    let out = run_hhl(&["ni_c1.hhl"]);
+    let report = stdout_of(&out);
+    assert!(out.status.success(), "{report}");
+    assert!(report.contains("mode: check"), "{report}");
+    assert!(
+        report.contains("verification SUCCEEDED: 1 obligation(s)"),
+        "{report}"
+    );
+    assert!(report.contains("triple validity (Def. 5)"), "{report}");
+    assert!(report.contains("verdict: PASS (as expected)"), "{report}");
+}
+
+#[test]
+fn c2_leak_is_disproved_via_thm5() {
+    // The expected-failure case: `find_violating_set` produces the
+    // refuting set and the Thm. 5 witness triple re-checks as valid.
+    let out = run_hhl(&["ni_c2.hhl"]);
+    let report = stdout_of(&out);
+    assert!(
+        out.status.success(),
+        "expect: fail matches FAIL → exit 0\n{report}"
+    );
+    assert!(
+        report.contains("verification FAILED: 2 obligation(s)"),
+        "{report}"
+    );
+    assert!(report.contains("counterexample set"), "{report}");
+    assert!(report.contains("violating set (Thm. 5)"), "{report}");
+    assert!(report.contains("[Thm. 5 disproof witness]"), "{report}");
+    assert!(report.contains("disproof checked"), "{report}");
+    assert!(report.contains("verdict: FAIL (as expected)"), "{report}");
+}
+
+#[test]
+fn fig4_gni_violation_proof_checks() {
+    let out = run_hhl(&["gni_c4_violation.hhl"]);
+    let report = stdout_of(&out);
+    assert!(out.status.success(), "{report}");
+    assert!(report.contains("mode: prove"), "{report}");
+    assert!(
+        report.contains("syntactic WP proof (Fig. 3 + Cons)"),
+        "{report}"
+    );
+    assert!(
+        report.contains("proof checked: 6 rule application(s)"),
+        "{report}"
+    );
+    assert!(report.contains("verdict: PASS (as expected)"), "{report}");
+}
+
+#[test]
+fn fig8_minimum_checks() {
+    let out = run_hhl(&["minimum.hhl"]);
+    let report = stdout_of(&out);
+    assert!(out.status.success(), "{report}");
+    assert!(report.contains("verification SUCCEEDED"), "{report}");
+    assert!(report.contains("verdict: PASS (as expected)"), "{report}");
+}
+
+#[test]
+fn while_sync_verifies_with_named_obligations() {
+    let out = run_hhl(&["while_sync.hhl"]);
+    let report = stdout_of(&out);
+    assert!(out.status.success(), "{report}");
+    assert!(report.contains("mode: verify"), "{report}");
+    assert!(
+        report.contains("verification SUCCEEDED: 4 obligation(s)"),
+        "{report}"
+    );
+    for origin in [
+        "WhileSync guard lowness",
+        "WhileSync invariant preservation",
+        "WhileSync exit",
+        "program precondition",
+    ] {
+        assert!(report.contains(origin), "missing {origin} in\n{report}");
+    }
+    assert!(report.contains("verdict: PASS (as expected)"), "{report}");
+}
+
+#[test]
+fn multiple_specs_run_in_one_invocation() {
+    let out = run_hhl(&["ni_c1.hhl", "ni_c2.hhl", "while_sync.hhl"]);
+    let report = stdout_of(&out);
+    assert!(out.status.success(), "{report}");
+    let headers = report.lines().filter(|l| l.starts_with("== ")).count();
+    assert_eq!(headers, 3, "{report}");
+    assert_eq!(report.matches("(as expected)").count(), 3, "{report}");
+}
+
+#[test]
+fn unexpected_verdict_exits_nonzero() {
+    // ni_c1 with expect flipped: PASS where FAIL was declared → exit 1.
+    let dir = std::env::temp_dir().join("hhl-golden-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let flipped = dir.join("ni_c1_expect_fail.hhl");
+    let src = std::fs::read_to_string(spec_path("ni_c1.hhl")).expect("spec readable");
+    std::fs::write(&flipped, src.replace("expect: pass", "expect: fail")).expect("write");
+    let out = Command::new(env!("CARGO_BIN_EXE_hhl"))
+        .arg("check")
+        .arg(&flipped)
+        .output()
+        .expect("hhl binary runs");
+    assert_eq!(out.status.code(), Some(1), "{}", stdout_of(&out));
+    assert!(stdout_of(&out).contains("verdict: PASS (UNEXPECTED)"));
+}
+
+#[test]
+fn malformed_spec_exits_with_usage_error() {
+    let dir = std::env::temp_dir().join("hhl-golden-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bad = dir.join("bad.hhl");
+    std::fs::write(&bad, "mode: check\nnot a key value line\n").expect("write");
+    let out = Command::new(env!("CARGO_BIN_EXE_hhl"))
+        .arg("check")
+        .arg(&bad)
+        .output()
+        .expect("hhl binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).expect("utf-8");
+    assert!(stderr.contains("spec error at line 2"), "{stderr}");
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hhl"))
+        .output()
+        .expect("hhl binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr)
+        .expect("utf-8")
+        .contains("usage: hhl check"));
+}

@@ -21,9 +21,9 @@ use std::rc::Rc;
 use hhl_assert::{candidate_sets, EntailConfig, Universe};
 use hhl_lang::{Cmd, ExecConfig, StateSet};
 
-use crate::semantic::{rules, sem_exact, sem_valid, SemAssertion, SemTriple};
 #[cfg(test)]
 use crate::semantic::sem;
+use crate::semantic::{rules, sem_exact, sem_valid, SemAssertion, SemTriple};
 
 /// A node of the completeness construction's rule trace.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -48,7 +48,11 @@ impl TraceNode {
 
     /// Total number of rule applications in the trace.
     pub fn rule_count(&self) -> usize {
-        1 + self.premises.iter().map(TraceNode::rule_count).sum::<usize>()
+        1 + self
+            .premises
+            .iter()
+            .map(TraceNode::rule_count)
+            .sum::<usize>()
     }
 }
 
@@ -147,10 +151,7 @@ pub fn derive_exact(cmd: &Cmd, v: &StateSet, exec: &ExecConfig) -> (SemTriple, T
             let layers = Rc::new(layers);
             let layers2 = Rc::clone(&layers);
             let family: Rc<dyn Fn(u32) -> SemAssertion> = Rc::new(move |n: u32| {
-                let layer = layers2
-                    .get(n as usize)
-                    .cloned()
-                    .unwrap_or_default();
+                let layer = layers2.get(n as usize).cloned().unwrap_or_default();
                 sem_exact(layer)
             });
             let iter = rules::iter(family, bound, (**c).clone());
@@ -276,7 +277,12 @@ mod tests {
             &EntailConfig::default(),
         )
         .expect("valid triple must have a certificate");
-        assert!(sem_valid(&t, &universe(), &exec(), &EntailConfig::default()));
+        assert!(sem_valid(
+            &t,
+            &universe(),
+            &exec(),
+            &EntailConfig::default()
+        ));
         assert_eq!(trace.rule, "Cons");
         assert_eq!(trace.premises[0].rule, "Exist");
         assert!(trace.rule_count() > 3);
@@ -344,19 +350,10 @@ mod tests {
             sem(move |s: &StateSet| a(s) || b(s))
         };
         let cmd = Cmd::choice(Cmd::Skip, Cmd::assign("x", Expr::var("x") + Expr::int(1)));
-        let (t, trace) = completeness_certificate(
-            p02_again,
-            &cmd,
-            precise,
-            &universe(),
-            &exec(),
-            &cfg,
-        )
-        .expect("precise triple is valid, so derivable with Exist");
+        let (t, trace) =
+            completeness_certificate(p02_again, &cmd, precise, &universe(), &exec(), &cfg)
+                .expect("precise triple is valid, so derivable with Exist");
         assert!(sem_valid(&t, &universe(), &exec(), &cfg));
-        assert!(trace
-            .premises
-            .iter()
-            .any(|p| p.rule == "Exist"));
+        assert!(trace.premises.iter().any(|p| p.rule == "Exist"));
     }
 }

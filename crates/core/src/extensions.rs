@@ -13,9 +13,7 @@ use crate::semantic::{sem, sem_valid, SemAssertion, SemTriple};
 /// logical variable.
 pub fn otimes_tagged(x: Symbol, a: SemAssertion, b: SemAssertion) -> SemAssertion {
     sem(move |s: &StateSet| {
-        let slice = |v: i64| -> StateSet {
-            s.filter(|phi| phi.logical.get(x) == Value::Int(v))
-        };
+        let slice = |v: i64| -> StateSet { s.filter(|phi| phi.logical.get(x) == Value::Int(v)) };
         a(&slice(1)) && b(&slice(2))
     })
 }
@@ -92,11 +90,7 @@ pub fn at_most(p: SemAssertion, universe: &Universe) -> SemAssertion {
     let all: StateSet = universe.states.iter().cloned().collect();
     sem(move |s: &StateSet| {
         // Enumerate supersets of s within the universe: s ∪ T for T ⊆ rest.
-        let rest: Vec<ExtState> = all
-            .iter()
-            .filter(|phi| !s.contains(phi))
-            .cloned()
-            .collect();
+        let rest: Vec<ExtState> = all.iter().filter(|phi| !s.contains(phi)).cloned().collect();
         let rest_set: StateSet = rest.into_iter().collect();
         rest_set
             .subsets_up_to(rest_set.len())
@@ -147,7 +141,10 @@ pub fn is_recurrent_set(
             return false;
         }
         let singleton: StateSet = std::iter::once(phi.clone()).collect();
-        let step = exec.sem(&Cmd::seq(Cmd::assume(guard.clone()), body.clone()), &singleton);
+        let step = exec.sem(
+            &Cmd::seq(Cmd::assume(guard.clone()), body.clone()),
+            &singleton,
+        );
         let revisits = step.iter().any(|next| r.contains(next));
         revisits
     })
@@ -227,9 +224,7 @@ mod tests {
             max_subset_size: 3,
             ..EntailConfig::default()
         };
-        let all_x_nonneg = sem(|s: &StateSet| {
-            s.iter().all(|p| p.program.get("x").as_int() >= 0)
-        });
+        let all_x_nonneg = sem(|s: &StateSet| s.iter().all(|p| p.program.get("x").as_int() >= 0));
         let all_y_pos = sem(|s: &StateSet| s.iter().all(|p| p.program.get("y").as_int() >= 1));
 
         let conclusion = sync_choice_rule(
@@ -301,7 +296,12 @@ mod tests {
         });
         let t = SemTriple::new(low.clone(), parse_cmd("x := x + 1").unwrap(), low);
         assert!(sem_valid(&t, &universe, &exec, &check));
-        assert!(sem_valid(&at_most_rule(&t, &universe), &universe, &exec, &check));
+        assert!(sem_valid(
+            &at_most_rule(&t, &universe),
+            &universe,
+            &exec,
+            &check
+        ));
         assert!(sem_valid(&at_least_rule(&t), &universe, &exec, &check));
     }
 
@@ -314,7 +314,10 @@ mod tests {
         let one: StateSet = [st(&[("x", 0)])].into_iter().collect();
         assert!(am(&one));
         assert!(am(&StateSet::new()));
-        let three: StateSet = Universe::int_cube(&["x"], 0, 2).states.into_iter().collect();
+        let three: StateSet = Universe::int_cube(&["x"], 0, 2)
+            .states
+            .into_iter()
+            .collect();
         assert!(!am(&three));
     }
 
@@ -339,8 +342,9 @@ mod tests {
         let guard = parse_expr("x > 0").unwrap();
         let body = parse_cmd("x := x - 1").unwrap();
         let exec = ExecConfig::int_range(-1, 3);
-        assert!(find_recurrent_set(&guard, &body, &Universe::int_cube(&["x"], 0, 3), &exec)
-            .is_none());
+        assert!(
+            find_recurrent_set(&guard, &body, &Universe::int_cube(&["x"], 0, 3), &exec).is_none()
+        );
         // A non-guard-satisfying set is not recurrent.
         let r: StateSet = [st(&[("x", 0)])].into_iter().collect();
         assert!(!is_recurrent_set(&r, &guard, &body, &exec));

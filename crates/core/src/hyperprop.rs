@@ -137,9 +137,8 @@ mod tests {
     fn inits() -> Vec<Store> {
         (0..=1)
             .flat_map(|h| {
-                (0..=1).map(move |l| {
-                    Store::from_pairs([("h", Value::Int(h)), ("l", Value::Int(l))])
-                })
+                (0..=1)
+                    .map(move |l| Store::from_pairs([("h", Value::Int(h)), ("l", Value::Int(l))]))
             })
             .collect()
     }
@@ -152,9 +151,8 @@ mod tests {
     /// post-state.
     fn determinism() -> Hyperproperty {
         hyperprop(|rel: &Relation| {
-            rel.iter().all(|(s1, t1)| {
-                rel.iter().all(|(s2, t2)| s1 != s2 || t1 == t2)
-            })
+            rel.iter()
+                .all(|(s1, t1)| rel.iter().all(|(s2, t2)| s1 != s2 || t1 == t2))
         })
     }
 

@@ -264,11 +264,7 @@ fn check_in(
                     format!("middle mismatch: {} vs {}", tl.post, tr.pre),
                 ));
             }
-            Ok(Triple::new(
-                tl.pre,
-                Cmd::seq(tl.cmd, tr.cmd),
-                tr.post,
-            ))
+            Ok(Triple::new(tl.pre, Cmd::seq(tl.cmd, tr.cmd), tr.post))
         }
 
         Derivation::Choice(l, r) => {
@@ -301,11 +297,10 @@ fn check_in(
         }
 
         Derivation::AssignS { x, e, post } => {
-            let pre = assign_transform(*x, e, post)
-                .map_err(|source| ProofError::Transform {
-                    rule: "AssignS",
-                    source,
-                })?;
+            let pre = assign_transform(*x, e, post).map_err(|source| ProofError::Transform {
+                rule: "AssignS",
+                source,
+            })?;
             Ok(Triple::new(pre, Cmd::Assign(*x, e.clone()), post.clone()))
         }
 
@@ -435,7 +430,14 @@ fn check_in(
         }
 
         Derivation::WhileSync { guard, inv, body } => {
-            entails_scoped("WhileSync", inv, &Assertion::low_expr(guard), scope, ctx, stats)?;
+            entails_scoped(
+                "WhileSync",
+                inv,
+                &Assertion::low_expr(guard),
+                scope,
+                ctx,
+                stats,
+            )?;
             let tb = check_in(body, ctx, scope, stats)?;
             let expected_pre = inv.clone().and(Assertion::box_pred(guard));
             if tb.pre != expected_pre {
@@ -468,7 +470,14 @@ fn check_in(
             then_d,
             else_d,
         } => {
-            entails_scoped("IfSync", pre, &Assertion::low_expr(guard), scope, ctx, stats)?;
+            entails_scoped(
+                "IfSync",
+                pre,
+                &Assertion::low_expr(guard),
+                scope,
+                ctx,
+                stats,
+            )?;
             let tt = check_in(then_d, ctx, scope, stats)?;
             let te = check_in(else_d, ctx, scope, stats)?;
             let expected_then = pre.clone().and(Assertion::box_pred(guard));
@@ -482,7 +491,10 @@ fn check_in(
             if te.pre != expected_else {
                 return Err(structural(
                     "IfSync",
-                    format!("else-premise precondition must be P ∧ □¬b, found {}", te.pre),
+                    format!(
+                        "else-premise precondition must be P ∧ □¬b, found {}",
+                        te.pre
+                    ),
                 ));
             }
             if tt.post != *post || te.post != *post {
@@ -554,9 +566,7 @@ fn check_in(
                 p_body
                     .clone()
                     .and(b_at(*phi))
-                    .and(Assertion::Atom(
-                        hhl_assert::HExpr::Val(*v).eq(e_at(*phi)),
-                    )),
+                    .and(Assertion::Atom(hhl_assert::HExpr::Val(*v).eq(e_at(*phi)))),
             );
             let post1 = Assertion::exists_state(
                 *phi,
@@ -596,7 +606,10 @@ fn check_in(
             if tr.cmd != expected_loop {
                 return Err(structural(
                     "While-∃",
-                    format!("rest premise command must be {expected_loop}, found {}", tr.cmd),
+                    format!(
+                        "rest premise command must be {expected_loop}, found {}",
+                        tr.cmd
+                    ),
                 ));
             }
             Ok(Triple::new(
@@ -625,11 +638,7 @@ fn check_in(
             if tl.cmd != tr.cmd {
                 return Err(structural("Or", "premises prove different commands"));
             }
-            Ok(Triple::new(
-                tl.pre.or(tr.pre),
-                tl.cmd,
-                tl.post.or(tr.post),
-            ))
+            Ok(Triple::new(tl.pre.or(tr.pre), tl.cmd, tl.post.or(tr.post)))
         }
 
         Derivation::FrameSafe { frame, inner } => {
@@ -756,11 +765,9 @@ fn check_in(
                 rule: "Specialize",
                 source,
             })?;
-            let post = assume_transform(b, &ti.post).map_err(|source| {
-                ProofError::Transform {
-                    rule: "Specialize",
-                    source,
-                }
+            let post = assume_transform(b, &ti.post).map_err(|source| ProofError::Transform {
+                rule: "Specialize",
+                source,
             })?;
             Ok(Triple::new(pre, ti.cmd, post))
         }
@@ -805,8 +812,7 @@ fn check_in(
             premise,
         } => {
             for phi1 in ctx.validity.universe.states.iter().take(ctx.linking_cap) {
-                let singleton: hhl_lang::StateSet =
-                    std::iter::once(phi1.clone()).collect();
+                let singleton: hhl_lang::StateSet = std::iter::once(phi1.clone()).collect();
                 for phi2 in &ctx.validity.exec.sem(cmd, &singleton) {
                     // φ1_L = φ2_L holds by construction of sem.
                     let d12 = premise.at(phi1, phi2);
@@ -814,10 +820,7 @@ fn check_in(
                     let expected_pre = p_body.instantiate_state(*phi, phi1);
                     let expected_post = q_body.instantiate_state(*phi, phi2);
                     if t12.cmd != *cmd {
-                        return Err(structural(
-                            "Linking",
-                            "premise proves a different command",
-                        ));
+                        return Err(structural("Linking", "premise proves a different command"));
                     }
                     if t12.pre != expected_pre || t12.post != expected_post {
                         return Err(structural(
@@ -873,23 +876,15 @@ fn check_in(
             ))
         }
 
-        Derivation::True { pre, cmd } => Ok(Triple::new(
-            pre.clone(),
-            cmd.clone(),
-            Assertion::tt(),
-        )),
+        Derivation::True { pre, cmd } => Ok(Triple::new(pre.clone(), cmd.clone(), Assertion::tt())),
 
-        Derivation::False { cmd, post } => Ok(Triple::new(
-            Assertion::ff(),
-            cmd.clone(),
-            post.clone(),
-        )),
+        Derivation::False { cmd, post } => {
+            Ok(Triple::new(Assertion::ff(), cmd.clone(), post.clone()))
+        }
 
-        Derivation::Empty { cmd } => Ok(Triple::new(
-            Assertion::emp(),
-            cmd.clone(),
-            Assertion::emp(),
-        )),
+        Derivation::Empty { cmd } => {
+            Ok(Triple::new(Assertion::emp(), cmd.clone(), Assertion::emp()))
+        }
 
         Derivation::Oracle { triple, note: _ } => {
             valid_scoped("Oracle", triple, scope, ctx, stats)?;

@@ -71,10 +71,13 @@ impl std::fmt::Debug for DerivationFamily {
     }
 }
 
+/// The closure type backing [`LinkPremise`].
+type LinkFn = dyn Fn(&ExtState, &ExtState) -> Derivation;
+
 /// The premise family of the `Linking` rule: a derivation for every linked
 /// pair `(φ1, φ2)` with `φ2` reachable from `φ1`.
 #[derive(Clone)]
-pub struct LinkPremise(Rc<dyn Fn(&ExtState, &ExtState) -> Derivation>);
+pub struct LinkPremise(Rc<LinkFn>);
 
 impl LinkPremise {
     /// Creates the premise family from a closure.

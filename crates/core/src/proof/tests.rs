@@ -1,9 +1,7 @@
 //! Tests for the proof checker: one per rule, plus the paper's Fig. 4 proof
 //! outline end-to-end.
 
-use hhl_assert::{
-    assign_transform, assume_transform, Assertion, Family, HExpr, Universe,
-};
+use hhl_assert::{assign_transform, assume_transform, Assertion, Family, HExpr, Universe};
 use hhl_lang::{parse_cmd, Cmd, ExecConfig, Expr, Symbol, Value};
 
 use crate::check_triple;
@@ -313,11 +311,7 @@ fn while_forall_exists_shape_checks() {
         },
     );
     // The AssumeS post Π is not structurally inv — bridge with Cons:
-    let exit = Derivation::cons(
-        inv.clone(),
-        Assertion::low("i"),
-        exit_ok,
-    );
+    let exit = Derivation::cons(inv.clone(), Assertion::low("i"), exit_ok);
     let d = Derivation::WhileForallExists {
         guard: guard.clone(),
         inv: inv.clone(),
@@ -416,9 +410,17 @@ fn and_or_union_bigunion() {
         p: Assertion::low("y"),
     };
     let ctx = ctx_int(&["x", "y"], 0, 1);
-    let and = check(&Derivation::And(Box::new(a.clone()), Box::new(b.clone())), &ctx).unwrap();
+    let and = check(
+        &Derivation::And(Box::new(a.clone()), Box::new(b.clone())),
+        &ctx,
+    )
+    .unwrap();
     assert!(matches!(and.conclusion.pre, Assertion::And(_, _)));
-    let or = check(&Derivation::Or(Box::new(a.clone()), Box::new(b.clone())), &ctx).unwrap();
+    let or = check(
+        &Derivation::Or(Box::new(a.clone()), Box::new(b.clone())),
+        &ctx,
+    )
+    .unwrap();
     assert!(matches!(or.conclusion.pre, Assertion::Or(_, _)));
     let union = check(&Derivation::Union(Box::new(a.clone()), Box::new(b)), &ctx).unwrap();
     assert!(matches!(union.conclusion.pre, Assertion::Otimes(_, _)));
@@ -504,17 +506,21 @@ fn specialize_wraps_with_projection() {
     // The specialized precondition only constrains the t = 1 slice: a set
     // whose t=2 states disagree on x still satisfies it.
     let s: hhl_lang::StateSet = ctx.validity.universe.states.iter().cloned().collect();
-    assert!(hhl_assert::eval_assertion(
-        &proof.conclusion.pre,
-        &s.filter(|st| st.logical.get("t") == Value::Int(1)
-            || st.program.get("x") == Value::Int(0)),
-        &ctx.validity.check.eval,
-    ) == hhl_assert::eval_assertion(
-        &proof.conclusion.pre,
-        &s.filter(|st| st.logical.get("t") == Value::Int(1)
-            || st.program.get("x") == Value::Int(0)),
-        &ctx.validity.check.eval,
-    ));
+    assert!(
+        hhl_assert::eval_assertion(
+            &proof.conclusion.pre,
+            &s.filter(
+                |st| st.logical.get("t") == Value::Int(1) || st.program.get("x") == Value::Int(0)
+            ),
+            &ctx.validity.check.eval,
+        ) == hhl_assert::eval_assertion(
+            &proof.conclusion.pre,
+            &s.filter(
+                |st| st.logical.get("t") == Value::Int(1) || st.program.get("x") == Value::Int(0)
+            ),
+            &ctx.validity.check.eval,
+        )
+    );
 }
 
 #[test]
@@ -524,10 +530,9 @@ fn lupdate_s_tags_states() {
     let phi = Symbol::new(hhl_assert::PHI);
     let tag = Assertion::forall_state(
         phi,
-        Assertion::Atom(HExpr::LVar(phi, Symbol::new("t")).eq(HExpr::of_expr_at(
-            &Expr::var("x"),
-            phi,
-        ))),
+        Assertion::Atom(
+            HExpr::LVar(phi, Symbol::new("t")).eq(HExpr::of_expr_at(&Expr::var("x"), phi)),
+        ),
     );
     let inner = Derivation::cons(
         Assertion::low("x").and(tag),

@@ -104,12 +104,14 @@ pub fn sem_otimes(q1: SemAssertion, q2: SemAssertion) -> SemAssertion {
 /// into blocks `f(0), …, f(bound)` with `Iₙ(f(n))` for every `n`.
 pub fn sem_big_otimes(family: Rc<dyn Fn(u32) -> SemAssertion>, bound: u32) -> SemAssertion {
     sem(move |s| {
-        s.partitions_into(bound as usize + 1).into_iter().any(|parts| {
-            parts
-                .iter()
-                .enumerate()
-                .all(|(n, block)| family(n as u32)(block))
-        })
+        s.partitions_into(bound as usize + 1)
+            .into_iter()
+            .any(|parts| {
+                parts
+                    .iter()
+                    .enumerate()
+                    .all(|(n, block)| family(n as u32)(block))
+            })
     })
 }
 
@@ -217,11 +219,7 @@ pub mod rules {
         let pre = sem(move |s: &StateSet| {
             let image: StateSet = s
                 .iter()
-                .flat_map(|phi| {
-                    domain
-                        .iter()
-                        .map(move |v| phi.with_program(x, v.clone()))
-                })
+                .flat_map(|phi| domain.iter().map(move |v| phi.with_program(x, v.clone())))
                 .collect();
             p(&image)
         });
@@ -249,16 +247,8 @@ pub mod rules {
     /// `⊢{Iₙ} C {Iₙ₊₁}` (for all `n`) gives `⊢{I₀} C* {⨂ₙ Iₙ}`, with the
     /// family finitized to `bound` (premises are the caller's obligation to
     /// have validated for `n ≤ bound`).
-    pub fn iter(
-        family: Rc<dyn Fn(u32) -> SemAssertion>,
-        bound: u32,
-        body: Cmd,
-    ) -> SemTriple {
-        SemTriple::new(
-            family(0),
-            Cmd::star(body),
-            sem_big_otimes(family, bound),
-        )
+    pub fn iter(family: Rc<dyn Fn(u32) -> SemAssertion>, bound: u32, body: Cmd) -> SemTriple {
+        SemTriple::new(family(0), Cmd::star(body), sem_big_otimes(family, bound))
     }
 }
 
@@ -327,8 +317,16 @@ mod tests {
         // deterministic branches, and the ⊗ postcondition correctly allows
         // the union of the two singleton post-sets.
         let singleton = sem(|s: &StateSet| s.len() == 1);
-        let t1 = SemTriple::new(singleton.clone(), Cmd::assign("x", Expr::int(1)), singleton.clone());
-        let t2 = SemTriple::new(singleton.clone(), Cmd::assign("x", Expr::int(2)), singleton.clone());
+        let t1 = SemTriple::new(
+            singleton.clone(),
+            Cmd::assign("x", Expr::int(1)),
+            singleton.clone(),
+        );
+        let t2 = SemTriple::new(
+            singleton.clone(),
+            Cmd::assign("x", Expr::int(2)),
+            singleton.clone(),
+        );
         assert!(sem_valid(&t1, &universe(), &exec(), &check()));
         assert!(sem_valid(&t2, &universe(), &exec(), &check()));
         let c = rules::choice(&t1, &t2).expect("shared pre");
@@ -343,13 +341,7 @@ mod tests {
     fn cons_validates_entailments() {
         let t = rules::skip(low_x());
         // low(x) |= ⊤: weakening the postcondition is fine.
-        let weakened = rules::cons(
-            low_x(),
-            sem(|_| true),
-            &t,
-            &universe(),
-            &check(),
-        );
+        let weakened = rules::cons(low_x(), sem(|_| true), &t, &universe(), &check());
         assert!(weakened.is_some());
         // ⊤ |= low(x) fails: cannot weaken the precondition beyond P'.
         let bad = rules::cons(sem(|_| true), sem(|_| true), &t, &universe(), &check());
@@ -364,10 +356,17 @@ mod tests {
 
     #[test]
     fn havoc_rule_valid_with_matching_domain() {
-        let t = rules::havoc("x".into(), vec![Value::Int(0), Value::Int(1), Value::Int(2)], {
-            // post: all states have x ∈ [0, 2]
-            sem(|s: &StateSet| s.iter().all(|p| (0..=2).contains(&p.program.get("x").as_int())))
-        });
+        let t = rules::havoc(
+            "x".into(),
+            vec![Value::Int(0), Value::Int(1), Value::Int(2)],
+            {
+                // post: all states have x ∈ [0, 2]
+                sem(|s: &StateSet| {
+                    s.iter()
+                        .all(|p| (0..=2).contains(&p.program.get("x").as_int()))
+                })
+            },
+        );
         assert!(sem_valid(&t, &universe(), &exec(), &check()));
     }
 
@@ -386,10 +385,20 @@ mod tests {
             })
             .collect();
         for t in &premises {
-            assert!(sem_valid(t, &universe(), &ExecConfig::int_range(0, 3), &check()));
+            assert!(sem_valid(
+                t,
+                &universe(),
+                &ExecConfig::int_range(0, 3),
+                &check()
+            ));
         }
         let merged = rules::exist(premises).expect("same command");
-        assert!(sem_valid(&merged, &universe(), &ExecConfig::int_range(0, 3), &check()));
+        assert!(sem_valid(
+            &merged,
+            &universe(),
+            &ExecConfig::int_range(0, 3),
+            &check()
+        ));
     }
 
     #[test]
@@ -402,7 +411,8 @@ mod tests {
         );
         let family: Rc<dyn Fn(u32) -> SemAssertion> = Rc::new(|n: u32| {
             sem(move |s: &StateSet| {
-                s.iter().all(|p| p.program.get("x").as_int() == (n as i64).min(2))
+                s.iter()
+                    .all(|p| p.program.get("x").as_int() == (n as i64).min(2))
             })
         });
         // Premises {Iₙ} C {Iₙ₊₁}: check them for n ≤ 4.
@@ -410,7 +420,10 @@ mod tests {
             let t = SemTriple::new(family(n), body.clone(), family(n + 1));
             // For n ≥ 2 the precondition forces x = 2 and assume filters all
             // states away; Iₙ₊₁(∅) holds. So all premises are valid.
-            assert!(sem_valid(&t, &universe(), &exec(), &check()), "premise n = {n}");
+            assert!(
+                sem_valid(&t, &universe(), &exec(), &check()),
+                "premise n = {n}"
+            );
         }
         let conclusion = rules::iter(family, 4, body);
         // Conclusion {I₀} C* {⨂ Iₙ}: start from the singleton x = 0.
@@ -431,13 +444,8 @@ mod tests {
         let ot = sem_otimes(q1.clone(), q2.clone());
         let q1c = q1.clone();
         let q2c = q2.clone();
-        let fam: Rc<dyn Fn(u32) -> SemAssertion> = Rc::new(move |n| {
-            if n == 0 {
-                q1c.clone()
-            } else {
-                q2c.clone()
-            }
-        });
+        let fam: Rc<dyn Fn(u32) -> SemAssertion> =
+            Rc::new(move |n| if n == 0 { q1c.clone() } else { q2c.clone() });
         let big = sem_big_otimes(fam, 1);
         let mixed: StateSet = [0, 1]
             .into_iter()

@@ -67,13 +67,7 @@ mod tests {
 
     #[test]
     fn equality_is_structural() {
-        let mk = || {
-            Triple::new(
-                Assertion::low("l"),
-                Cmd::Skip,
-                Assertion::low("l"),
-            )
-        };
+        let mk = || Triple::new(Assertion::low("l"), Cmd::Skip, Assertion::low("l"));
         assert_eq!(mk(), mk());
     }
 }

@@ -216,7 +216,11 @@ mod tests {
         let p1 = Triple::new(
             Assertion::tt(),
             c0.clone(),
-            Assertion::box_pred(&Expr::int(0).le(Expr::var("x")).and(Expr::var("x").le(Expr::int(9)))),
+            Assertion::box_pred(
+                &Expr::int(0)
+                    .le(Expr::var("x"))
+                    .and(Expr::var("x").le(Expr::int(9))),
+            ),
         );
         let cfg = ValidityConfig::new(Universe::int_cube(&["x"], 0, 2))
             .with_exec(ExecConfig::int_range(-2, 11));
@@ -285,7 +289,10 @@ mod tests {
         let c3 = parse_cmd("y := nonDet(); l := h ^ y").unwrap();
         let gni = Assertion::gni("h", "l");
         let cfg = ValidityConfig::new(Universe::product(
-            &[("h", vec![Value::Int(0), Value::Int(1), Value::Int(2), Value::Int(3)])],
+            &[(
+                "h",
+                vec![Value::Int(0), Value::Int(1), Value::Int(2), Value::Int(3)],
+            )],
             &[],
         ))
         .with_exec(ExecConfig::int_range(0, 3));

@@ -74,9 +74,7 @@ impl ExecConfig {
     pub fn exec(&self, cmd: &Cmd, sigma: &Store) -> BTreeSet<Store> {
         match cmd {
             Cmd::Skip => std::iter::once(sigma.clone()).collect(),
-            Cmd::Assign(x, e) => {
-                std::iter::once(sigma.with(*x, e.eval(sigma))).collect()
-            }
+            Cmd::Assign(x, e) => std::iter::once(sigma.with(*x, e.eval(sigma))).collect(),
             Cmd::Havoc(x) => self
                 .havoc_domain
                 .iter()
@@ -202,7 +200,10 @@ mod tests {
     #[test]
     fn choice_unions_branches() {
         let cfg = ExecConfig::default();
-        let c = Cmd::choice(Cmd::assign("x", Expr::int(1)), Cmd::assign("x", Expr::int(2)));
+        let c = Cmd::choice(
+            Cmd::assign("x", Expr::int(1)),
+            Cmd::assign("x", Expr::int(2)),
+        );
         let out = cfg.exec(&c, &s0());
         assert_eq!(out.len(), 2);
     }

@@ -240,6 +240,7 @@ impl Expr {
     }
 
     /// Boolean negation as an expression.
+    #[allow(clippy::should_implement_trait)] // `!e` on a program expression would read as Rust negation
     pub fn not(self) -> Expr {
         Expr::un(UnOp::Not, self)
     }
@@ -490,10 +491,7 @@ mod tests {
     #[test]
     fn logical_vars_need_extended_state() {
         let e = Expr::lvar("t").eq(Expr::int(1));
-        let phi = ExtState::new(
-            Store::from_pairs([("t", Value::Int(1))]),
-            Store::new(),
-        );
+        let phi = ExtState::new(Store::from_pairs([("t", Value::Int(1))]), Store::new());
         assert!(e.holds_ext(&phi));
         assert!(!e.holds(&phi.program)); // plain-store eval defaults LVars
     }
@@ -535,7 +533,9 @@ mod tests {
         assert_eq!(e.to_string(), "(x + 1) * y");
         let e2 = Expr::var("x") + Expr::int(1) * Expr::var("y");
         assert_eq!(e2.to_string(), "x + 1 * y");
-        let e3 = Expr::var("x").le(Expr::int(9)).and(Expr::var("y").gt(Expr::int(0)));
+        let e3 = Expr::var("x")
+            .le(Expr::int(9))
+            .and(Expr::var("y").gt(Expr::int(0)));
         assert_eq!(e3.to_string(), "x <= 9 && y > 0");
     }
 

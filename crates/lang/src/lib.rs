@@ -47,6 +47,7 @@ mod exec;
 mod expr;
 mod intern;
 mod parser;
+pub mod rng;
 pub mod sem;
 pub mod smallstep;
 mod state;

@@ -312,7 +312,11 @@ fn parse_expr_atom(lx: &mut Lexer<'_>) -> Result<Expr, ParseError> {
                 lx.expect_sym(",")?;
                 let b = parse_expr_bp(lx, 0)?;
                 lx.expect_sym(")")?;
-                let op = if name == "max" { BinOp::Max } else { BinOp::Min };
+                let op = if name == "max" {
+                    BinOp::Max
+                } else {
+                    BinOp::Min
+                };
                 Expr::bin(op, a, b)
             }
             _ => Expr::var(name.as_str()),
@@ -555,10 +559,8 @@ mod tests {
 
     #[test]
     fn comments_and_whitespace() {
-        let c = parse_cmd(
-            "// initialize\n x := 0; // then loop\n while (x < 2) { x := x + 1 }",
-        )
-        .unwrap();
+        let c = parse_cmd("// initialize\n x := 0; // then loop\n while (x < 2) { x := x + 1 }")
+            .unwrap();
         let cfg = ExecConfig::default().fuel(16);
         let out = cfg.exec(&c, &Store::new());
         assert_eq!(out.iter().next().unwrap().get("x"), Value::Int(2));

@@ -1,0 +1,150 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The workspace builds in an offline environment, so it cannot depend on
+//! the `rand` crate. Sampling-based components (the entailment checker's
+//! subset sampler, the property-test suites) only need reproducible,
+//! seedable, statistically-reasonable randomness — not cryptographic
+//! strength — which this xoshiro256** generator (seeded via SplitMix64,
+//! per Blackman & Vigna's reference initialization) provides.
+
+/// A seedable xoshiro256** PRNG.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The four words of state are derived with SplitMix64 so that nearby
+    /// seeds yield uncorrelated streams.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng {
+            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, n)`. Panics if `n == 0`.
+    ///
+    /// Uses rejection sampling (Lemire-style threshold) so the result is
+    /// unbiased for every `n`.
+    pub fn gen_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_below(0)");
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let v = self.next_u64();
+            if v >= threshold {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform draw from the inclusive range `[lo, hi]`. Panics if `lo > hi`.
+    pub fn gen_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.gen_below(span + 1)
+    }
+
+    /// Uniform draw from the inclusive signed range `[lo, hi]`.
+    pub fn gen_i64_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range");
+        let span = (hi as i128 - lo as i128) as u64;
+        if span == u64::MAX {
+            return self.next_u64() as i64;
+        }
+        (lo as i128 + self.gen_below(span + 1) as i128) as i64
+    }
+
+    /// Uniform draw from `[0, n)` as a `usize` index.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        self.gen_below(n as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `num / den`.
+    pub fn gen_bool_ratio(&mut self, num: u64, den: u64) -> bool {
+        self.gen_below(den) < num
+    }
+
+    /// Fisher–Yates shuffle of a slice, in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.gen_index(xs.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_i64_inclusive(-3, 3);
+            assert!((-3..=3).contains(&v));
+            let u = rng.gen_range_inclusive(1, 6);
+            assert!((1..=6).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_endpoints_reachable() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(rng.gen_i64_inclusive(0, 3));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut xs: Vec<u32> = (0..20).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+}

@@ -78,8 +78,7 @@ pub mod lemma1 {
 
     /// Lemma 1(6): `sem(C1 + C2, S) = sem(C1, S) ∪ sem(C2, S)`.
     pub fn choice_unions(cfg: &ExecConfig, c1: &Cmd, c2: &Cmd, s: &StateSet) -> bool {
-        cfg.sem(&Cmd::choice(c1.clone(), c2.clone()), s)
-            == cfg.sem(c1, s).union(&cfg.sem(c2, s))
+        cfg.sem(&Cmd::choice(c1.clone(), c2.clone()), s) == cfg.sem(c1, s).union(&cfg.sem(c2, s))
     }
 
     /// Lemma 1(7): `sem(C*, S) = ⋃_{n ≤ N} sem(Cⁿ, S)` where `N` is large

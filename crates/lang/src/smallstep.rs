@@ -60,7 +60,10 @@ pub fn step(cmd: &Cmd, sigma: &Store, cfg: &ExecConfig) -> Vec<Step> {
             // Stop iterating …
             Step::Done(sigma.clone()),
             // … or unroll once more.
-            Step::Continue(Cmd::seq((**c).clone(), Cmd::star((**c).clone())), sigma.clone()),
+            Step::Continue(
+                Cmd::seq((**c).clone(), Cmd::star((**c).clone())),
+                sigma.clone(),
+            ),
         ],
     }
 }

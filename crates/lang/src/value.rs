@@ -190,15 +190,13 @@ impl Value {
     /// then lexicographically on coercions).
     pub fn cmp_num(&self, other: &Value) -> std::cmp::Ordering {
         match (self, other) {
-            (Value::List(a), Value::List(b)) => {
-                a.len().cmp(&b.len()).then_with(|| {
-                    a.iter()
-                        .zip(b)
-                        .map(|(x, y)| x.cmp_num(y))
-                        .find(|o| *o != std::cmp::Ordering::Equal)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-            }
+            (Value::List(a), Value::List(b)) => a.len().cmp(&b.len()).then_with(|| {
+                a.iter()
+                    .zip(b)
+                    .map(|(x, y)| x.cmp_num(y))
+                    .find(|o| *o != std::cmp::Ordering::Equal)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }),
             _ => self.as_int().cmp(&other.as_int()),
         }
     }
@@ -257,7 +255,10 @@ mod tests {
 
     #[test]
     fn xor_matches_bitwise() {
-        assert_eq!(Value::Int(0b1010).xor(&Value::Int(0b0110)), Value::Int(0b1100));
+        assert_eq!(
+            Value::Int(0b1010).xor(&Value::Int(0b0110)),
+            Value::Int(0b1100)
+        );
         // XOR is an involution — the heart of the Fig. 6 one-time pad.
         let (a, k) = (Value::Int(1234), Value::Int(987));
         assert_eq!(a.xor(&k).xor(&k), a);
@@ -271,7 +272,10 @@ mod tests {
         assert_eq!(l.index(&Value::Int(5)), Value::Int(0));
         assert_eq!(l.index(&Value::Int(-1)), Value::Int(0));
         let l2 = l.concat(&Value::list([Value::Int(3)]));
-        assert_eq!(l2, Value::list([Value::Int(1), Value::Int(2), Value::Int(3)]));
+        assert_eq!(
+            l2,
+            Value::list([Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
     }
 
     #[test]

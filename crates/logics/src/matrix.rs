@@ -108,18 +108,17 @@ pub struct Cell {
 pub fn fig1_matrix() -> Vec<Cell> {
     use ExecCount::*;
     use PropertyClass::*;
-    let cell = |class,
+    let cell =
+        |class, execs, applicable, prior_logics: &'static [&'static str], demo: &'static str| {
+            Cell {
+                class,
                 execs,
                 applicable,
-                prior_logics: &'static [&'static str],
-                demo: &'static str| Cell {
-        class,
-        execs,
-        applicable,
-        prior_logics,
-        hhl: applicable,
-        demo,
-    };
+                prior_logics,
+                hhl: applicable,
+                demo,
+            }
+        };
     vec![
         cell(
             Overapproximate,
@@ -170,7 +169,13 @@ pub fn fig1_matrix() -> Vec<Cell> {
             &[],
             "hhl-logics::underapprox::kil_valid for arbitrary k",
         ),
-        cell(BackwardUnderapprox, Unbounded, true, &[], "Assertion::exact_set (Thm. 5)"),
+        cell(
+            BackwardUnderapprox,
+            Unbounded,
+            true,
+            &[],
+            "Assertion::exact_set (Thm. 5)",
+        ),
         cell(
             ForwardUnderapprox,
             One,
@@ -192,7 +197,13 @@ pub fn fig1_matrix() -> Vec<Cell> {
             &["RHLE"],
             "hhl-logics::underapprox (Prop. 11) for arbitrary k",
         ),
-        cell(ForwardUnderapprox, Unbounded, true, &[], "§2.1 P2 with unbounded n"),
+        cell(
+            ForwardUnderapprox,
+            Unbounded,
+            true,
+            &[],
+            "§2.1 P2 with unbounded n",
+        ),
         cell(ForallExists, One, false, &[], "not applicable"),
         cell(
             ForallExists,
@@ -208,7 +219,13 @@ pub fn fig1_matrix() -> Vec<Cell> {
             &["RHLE"],
             "hhl-logics::ue (Prop. 13) for arbitrary k1 + k2",
         ),
-        cell(ForallExists, Unbounded, true, &[], "While-∀*∃* rule (Fig. 6 proof)"),
+        cell(
+            ForallExists,
+            Unbounded,
+            true,
+            &[],
+            "While-∀*∃* rule (Fig. 6 proof)",
+        ),
         cell(ExistsForall, One, false, &[], "not applicable"),
         cell(
             ExistsForall,
@@ -224,7 +241,13 @@ pub fn fig1_matrix() -> Vec<Cell> {
             &[],
             "While-∃ rule, examples/minimum.rs (Fig. 8)",
         ),
-        cell(ExistsForall, Unbounded, true, &[], "Assertion::has_min over any set"),
+        cell(
+            ExistsForall,
+            Unbounded,
+            true,
+            &[],
+            "Assertion::has_min over any set",
+        ),
         cell(SetProperties, One, false, &[], "not applicable"),
         cell(SetProperties, Two, false, &[], "not applicable"),
         cell(SetProperties, K, false, &[], "not applicable"),

@@ -11,9 +11,9 @@ use crate::common::{k_exec, k_tuples, StateSetPred, TuplePred};
 /// `|=HL {P} C {Q} ≜ ∀φ ∈ P. ∀σ'. ⟨C, φ_P⟩ → σ' ⇒ (φ_L, σ') ∈ Q`.
 pub fn hl_valid(p: &StateSetPred, cmd: &Cmd, q: &StateSetPred, exec: &ExecConfig) -> bool {
     p.iter().all(|phi| {
-        exec.exec(cmd, &phi.program).into_iter().all(|sigma_p| {
-            q.contains(&ExtState::new(phi.logical.clone(), sigma_p))
-        })
+        exec.exec(cmd, &phi.program)
+            .into_iter()
+            .all(|sigma_p| q.contains(&ExtState::new(phi.logical.clone(), sigma_p)))
     })
 }
 
@@ -42,12 +42,9 @@ pub fn chl_valid(
     universe: &[ExtState],
     exec: &ExecConfig,
 ) -> bool {
-    k_tuples(universe, k).into_iter().all(|tuple| {
-        !p(&tuple)
-            || k_exec(cmd, &tuple, exec)
-                .into_iter()
-                .all(|out| q(&out))
-    })
+    k_tuples(universe, k)
+        .into_iter()
+        .all(|tuple| !p(&tuple) || k_exec(cmd, &tuple, exec).into_iter().all(|out| q(&out)))
 }
 
 /// Prop. 4: the hyper-triple expressing a CHL(k) triple. States are
@@ -198,13 +195,17 @@ mod tests {
             t[0].program.get("y").as_int() >= t[1].program.get("y").as_int()
         });
         // Tag the universe with t ∈ {1, 2}.
-        let tagged = Universe::int_cube(&["x"], 0, 2)
-            .tag_logical("t", &[Value::Int(1), Value::Int(2)]);
+        let tagged =
+            Universe::int_cube(&["x"], 0, 2).tag_logical("t", &[Value::Int(1), Value::Int(2)]);
         let check_cfg = EntailConfig {
             max_subset_size: 4,
             ..EntailConfig::default()
         };
-        for (src, expect) in [("y := x * 2", true), ("y := 0 - x", false), ("y := 1", true)] {
+        for (src, expect) in [
+            ("y := x * 2", true),
+            ("y := 0 - x", false),
+            ("y := 1", true),
+        ] {
             let cmd = parse_cmd(src).unwrap();
             let direct = chl_valid(
                 2,
@@ -223,19 +224,25 @@ mod tests {
 
     #[test]
     fn upper_bound_assertion_semantics() {
-        let p: StateSetPred =
-            [ExtState::from_program(Store::from_pairs([("x", Value::Int(0))]))]
-                .into_iter()
-                .collect();
+        let p: StateSetPred = [ExtState::from_program(Store::from_pairs([(
+            "x",
+            Value::Int(0),
+        )]))]
+        .into_iter()
+        .collect();
         let a = upper_bound(p);
-        let inside: StateSet =
-            [ExtState::from_program(Store::from_pairs([("x", Value::Int(0))]))]
-                .into_iter()
-                .collect();
-        let outside: StateSet =
-            [ExtState::from_program(Store::from_pairs([("x", Value::Int(1))]))]
-                .into_iter()
-                .collect();
+        let inside: StateSet = [ExtState::from_program(Store::from_pairs([(
+            "x",
+            Value::Int(0),
+        )]))]
+        .into_iter()
+        .collect();
+        let outside: StateSet = [ExtState::from_program(Store::from_pairs([(
+            "x",
+            Value::Int(1),
+        )]))]
+        .into_iter()
+        .collect();
         assert!(a(&inside));
         assert!(a(&StateSet::new())); // ∅ ⊆ P
         assert!(!a(&outside));

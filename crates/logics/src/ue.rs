@@ -75,8 +75,7 @@ pub fn kue_as_hyper_triple(
 fn slot_states(s: &StateSet, t: Symbol, u: Symbol, i: usize, kind: i64) -> Vec<ExtState> {
     s.iter()
         .filter(|phi| {
-            phi.logical.get(t) == Value::Int(i as i64)
-                && phi.logical.get(u) == Value::Int(kind)
+            phi.logical.get(t) == Value::Int(i as i64) && phi.logical.get(u) == Value::Int(kind)
         })
         .cloned()
         .collect()
@@ -92,6 +91,7 @@ fn for_all_tagged(
     pred: &mut dyn FnMut(&[ExtState]) -> bool,
 ) -> bool {
     let base = acc.len();
+    #[allow(clippy::too_many_arguments)] // recursion helper threading the full search state
     fn go(
         s: &StateSet,
         k: usize,
@@ -127,6 +127,7 @@ fn exists_tagged_tuple(
     pred: &mut dyn FnMut(&[ExtState]) -> bool,
 ) -> bool {
     let base = acc.len();
+    #[allow(clippy::too_many_arguments)] // recursion helper threading the full search state
     fn go(
         s: &StateSet,
         k: usize,
@@ -175,9 +176,7 @@ mod tests {
         // P: γ and φ start with equal l (low inputs agree).
         let p = tuple_pred(|t: &[ExtState]| t[0].program.get("l") == t[1].program.get("l"));
         // Q over (φ', γ'): γ' has γ's h and φ's l output.
-        let q = tuple_pred(|t: &[ExtState]| {
-            t[1].program.get("l") == t[0].program.get("l")
-        });
+        let q = tuple_pred(|t: &[ExtState]| t[1].program.get("l") == t[0].program.get("l"));
         let otp = parse_cmd("y := nonDet(); l := h ^ y").unwrap();
         assert!(kue_valid(1, 1, &p, &otp, &q, &universe, &exec));
         // The leaky direct copy fails: no existential run of h=0 can match
@@ -203,7 +202,8 @@ mod tests {
         for st in &base.states {
             for kind in [1i64, 2] {
                 tagged_states.push(
-                    st.with_logical(t, Value::Int(1)).with_logical(u, Value::Int(kind)),
+                    st.with_logical(t, Value::Int(1))
+                        .with_logical(u, Value::Int(kind)),
                 );
             }
         }

@@ -13,8 +13,7 @@ use crate::common::{k_exec, k_tuples, StateSetPred, TuplePred};
 pub fn il_valid(p: &StateSetPred, cmd: &Cmd, q: &StateSetPred, exec: &ExecConfig) -> bool {
     q.iter().all(|phi| {
         p.iter().any(|start| {
-            start.logical == phi.logical
-                && exec.exec(cmd, &start.program).contains(&phi.program)
+            start.logical == phi.logical && exec.exec(cmd, &start.program).contains(&phi.program)
         })
     })
 }
@@ -60,12 +59,9 @@ pub fn kfu_valid(
     universe: &[ExtState],
     exec: &ExecConfig,
 ) -> bool {
-    k_tuples(universe, k).into_iter().all(|tuple| {
-        !p(&tuple)
-            || k_exec(cmd, &tuple, exec)
-                .into_iter()
-                .any(|out| q(&out))
-    })
+    k_tuples(universe, k)
+        .into_iter()
+        .all(|tuple| !p(&tuple) || k_exec(cmd, &tuple, exec).into_iter().any(|out| q(&out)))
 }
 
 /// Prop. 11: the hyper-triple expressing a k-FU triple via execution tags:
@@ -98,9 +94,7 @@ fn some_tagged_tuple(
             .map(|i| {
                 universe
                     .iter()
-                    .filter(|phi| {
-                        s.contains(phi) && phi.logical.get(tag) == Value::Int(i as i64)
-                    })
+                    .filter(|phi| s.contains(phi) && phi.logical.get(tag) == Value::Int(i as i64))
                     .cloned()
                     .collect()
             })
@@ -134,12 +128,9 @@ pub fn kil_valid(
         if !q(&out) {
             return true;
         }
-        k_tuples(universe, k).into_iter().any(|start| {
-            p(&start)
-                && k_exec(cmd, &start, exec)
-                    .into_iter()
-                    .any(|res| res == out)
-        })
+        k_tuples(universe, k)
+            .into_iter()
+            .any(|start| p(&start) && k_exec(cmd, &start, exec).into_iter().any(|res| res == out))
     })
 }
 
@@ -237,18 +228,31 @@ mod tests {
                 ("l", Value::Int(l)),
             ]))
         };
-        let universe: Vec<ExtState> =
-            vec![mk(0, 0), mk(1, 0), mk(0, 1), mk(1, 1)];
+        let universe: Vec<ExtState> = vec![mk(0, 0), mk(1, 0), mk(0, 1), mk(1, 1)];
         let p = tuple_pred(|t: &[ExtState]| {
             t[0].program.get("l") == t[1].program.get("l")
                 && t[0].program.get("h") != t[1].program.get("h")
         });
         let q = tuple_pred(|t: &[ExtState]| t[0].program.get("l") != t[1].program.get("l"));
         let c2 = parse_cmd("if (h > 0) { l := 1 } else { l := 0 }").unwrap();
-        assert!(kfu_valid(2, &p, &c2, &q, &universe, &ExecConfig::int_range(0, 1)));
+        assert!(kfu_valid(
+            2,
+            &p,
+            &c2,
+            &q,
+            &universe,
+            &ExecConfig::int_range(0, 1)
+        ));
         // The secure command l := l keeps outputs equal: insecurity fails.
         let secure = parse_cmd("l := l").unwrap();
-        assert!(!kfu_valid(2, &p, &secure, &q, &universe, &ExecConfig::int_range(0, 1)));
+        assert!(!kfu_valid(
+            2,
+            &p,
+            &secure,
+            &q,
+            &universe,
+            &ExecConfig::int_range(0, 1)
+        ));
     }
 
     #[test]
@@ -260,9 +264,7 @@ mod tests {
             max_subset_size: 4,
             ..EntailConfig::default()
         };
-        let p = tuple_pred(|t: &[ExtState]| {
-            t[0].program.get("x") == t[1].program.get("x")
-        });
+        let p = tuple_pred(|t: &[ExtState]| t[0].program.get("x") == t[1].program.get("x"));
         for (src, expect) in [("x := x + 1", true), ("assume x > 5", false)] {
             let cmd = parse_cmd(src).unwrap();
             let q = tuple_pred(|t: &[ExtState]| t[0].program.get("x") == t[1].program.get("x"));
@@ -306,8 +308,7 @@ mod tests {
         // universes.
         let universe: Vec<ExtState> = (0..=2).map(st).collect();
         let p = tuple_pred(|t: &[ExtState]| {
-            t[0].program.get("x") == t[1].program.get("x")
-                && t[0].program.get("x").as_int() <= 1
+            t[0].program.get("x") == t[1].program.get("x") && t[0].program.get("x").as_int() <= 1
         });
         let q = tuple_pred(|t: &[ExtState]| {
             t[0].program.get("x") == t[1].program.get("x")

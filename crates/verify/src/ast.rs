@@ -72,9 +72,7 @@ impl AStmt {
                 then_b,
                 else_b,
             } => Cmd::if_else(guard.clone(), command_of(then_b), command_of(else_b)),
-            AStmt::While { guard, body, .. } => {
-                Cmd::while_loop(guard.clone(), command_of(body))
-            }
+            AStmt::While { guard, body, .. } => Cmd::while_loop(guard.clone(), command_of(body)),
         }
     }
 }
@@ -305,8 +303,7 @@ mod tests {
                     inv: Assertion::tt(),
                 })
                 .collect();
-            let prog =
-                AProgram::from_cmd(Assertion::tt(), &cmd, Assertion::tt(), rules).unwrap();
+            let prog = AProgram::from_cmd(Assertion::tt(), &cmd, Assertion::tt(), rules).unwrap();
             assert_eq!(prog.command(), cmd, "round-trip failed for {src}");
         }
     }
@@ -319,8 +316,12 @@ mod tests {
             Err(StructureError::MissingAnnotation)
         ));
         let extra = vec![
-            LoopRule::Sync { inv: Assertion::tt() },
-            LoopRule::Sync { inv: Assertion::tt() },
+            LoopRule::Sync {
+                inv: Assertion::tt(),
+            },
+            LoopRule::Sync {
+                inv: Assertion::tt(),
+            },
         ];
         assert!(matches!(
             AProgram::from_cmd(Assertion::tt(), &cmd, Assertion::tt(), extra),

@@ -51,7 +51,11 @@ impl fmt::Display for Report {
         writeln!(
             f,
             "verification {}: {} obligation(s)",
-            if self.verified() { "SUCCEEDED" } else { "FAILED" },
+            if self.verified() {
+                "SUCCEEDED"
+            } else {
+                "FAILED"
+            },
             self.len()
         )?;
         for (i, r) in self.results.iter().enumerate() {

@@ -13,8 +13,8 @@
 
 use std::fmt;
 
-use hhl_assert::{Assertion, HExpr, TransformError};
 use hhl_assert::{assign_transform, assume_transform, havoc_transform};
+use hhl_assert::{Assertion, HExpr, TransformError};
 use hhl_core::Triple;
 use hhl_lang::{Cmd, Symbol};
 
@@ -52,12 +52,15 @@ impl fmt::Display for Obligation {
             Obligation::Entailment { pre, post, origin } => {
                 write!(f, "[{origin}] {pre} |= {post}")
             }
-            Obligation::Triple { triple, origin, free_vals } => {
+            Obligation::Triple {
+                triple,
+                origin,
+                free_vals,
+            } => {
                 if free_vals.is_empty() {
                     write!(f, "[{origin}] ⊨ {triple}")
                 } else {
-                    let vs: Vec<String> =
-                        free_vals.iter().map(|v| v.to_string()).collect();
+                    let vs: Vec<String> = free_vals.iter().map(|v| v.to_string()).collect();
                     write!(f, "[{origin}] ∀{}. ⊨ {triple}", vs.join(", "))
                 }
             }
@@ -105,9 +108,7 @@ fn wp_cmd(cmd: &Cmd, post: &Assertion) -> Result<Assertion, VerifyError> {
             let mid = wp_cmd(c2, post)?;
             wp_cmd(c1, &mid)
         }
-        Cmd::Choice(_, _) | Cmd::Star(_) => {
-            Err(VerifyError::UnstructuredCommand(cmd.clone()))
-        }
+        Cmd::Choice(_, _) | Cmd::Star(_) => Err(VerifyError::UnstructuredCommand(cmd.clone())),
     }
 }
 
@@ -217,9 +218,7 @@ fn wp_stmt(
                 let post1 = Assertion::exists_state(
                     *phi,
                     p_body.clone().and(Assertion::Atom(
-                        HExpr::int(0)
-                            .le(e_at.clone())
-                            .and(e_at.lt(HExpr::Val(v))),
+                        HExpr::int(0).le(e_at.clone()).and(e_at.lt(HExpr::Val(v))),
                     )),
                 );
                 let if_cmd = Cmd::if_then(guard.clone(), command_of(body));

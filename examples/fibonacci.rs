@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo run --example fibonacci`.
 
-use hyper_hoare::assertions::{parse_assertion, Assertion, EntailConfig, Universe};
+use hyper_hoare::assertions::{parse_assertion, EntailConfig, Universe};
 use hyper_hoare::lang::{parse_cmd, ExecConfig, Expr, Value};
 use hyper_hoare::logic::{check_triple, Triple, ValidityConfig};
 use hyper_hoare::verify::{verify, AProgram, AStmt, LoopRule};

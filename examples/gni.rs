@@ -9,9 +9,7 @@
 //!
 //! Run with `cargo run --example gni`.
 
-use hyper_hoare::assertions::{
-    assign_transform, assume_transform, Assertion, HExpr, Universe,
-};
+use hyper_hoare::assertions::{assign_transform, assume_transform, Assertion, HExpr, Universe};
 use hyper_hoare::lang::{parse_cmd, ExecConfig, Expr, Symbol, Value};
 use hyper_hoare::logic::proof::{check, Derivation, ProofContext};
 use hyper_hoare::logic::{check_triple, Triple, ValidityConfig};

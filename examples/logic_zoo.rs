@@ -83,9 +83,15 @@ fn main() {
         t[0].program.get("l") == t[1].program.get("l")
             && t[0].program.get("h") != t[1].program.get("h")
     });
-    let insec_post =
-        tuple_pred(|t: &[ExtState]| t[0].program.get("l") != t[1].program.get("l"));
-    assert!(kfu_valid(2, &insec_pre, &c_bug, &insec_post, &states, &exec));
+    let insec_post = tuple_pred(|t: &[ExtState]| t[0].program.get("l") != t[1].program.get("l"));
+    assert!(kfu_valid(
+        2,
+        &insec_pre,
+        &c_bug,
+        &insec_post,
+        &states,
+        &exec
+    ));
     println!("k-FU   ✓ insecurity proved: differing secrets force differing outputs");
 
     // --- Hyper Hoare Logic: everything above in one formalism ----------------

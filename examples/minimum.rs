@@ -18,7 +18,8 @@ use hyper_hoare::logic::proof::{check, Derivation, ProofContext};
 use hyper_hoare::logic::{check_triple, Triple, ValidityConfig};
 
 fn main() {
-    let body_src = "r := nonDet(); assume r >= 2; t := x; x := 2 * x + r; y := y + t * r; i := i + 1";
+    let body_src =
+        "r := nonDet(); assume r >= 2; t := x; x := 2 * x + r; y := y + t * r; i := i + 1";
     let body = parse_cmd(body_src).expect("body parses");
     let guard = Expr::var("i").lt(Expr::var("k"));
     let loop_cmd = Cmd::while_loop(guard.clone(), body.clone());

@@ -20,9 +20,7 @@
 //!
 //! Run with `cargo run --example prefix_sum_otp`.
 
-use hyper_hoare::assertions::{
-    Assertion, EntailConfig, EvalConfig, HExpr, Universe,
-};
+use hyper_hoare::assertions::{Assertion, EntailConfig, EvalConfig, HExpr, Universe};
 use hyper_hoare::lang::{parse_cmd, ExecConfig, ExtState, Store, Value};
 use hyper_hoare::logic::{check_triple, Triple, ValidityConfig};
 

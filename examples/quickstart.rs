@@ -49,7 +49,10 @@ fn main() {
     // paper explains.
     let p2_weak = Triple::new(Assertion::tt(), c0, p2.post.clone());
     let refuted = check_triple(&p2_weak, &cfg);
-    println!("P2 without ∃⟨φ⟩.⊤ precondition: {}", verdict(refuted.is_ok()));
+    println!(
+        "P2 without ∃⟨φ⟩.⊤ precondition: {}",
+        verdict(refuted.is_ok())
+    );
     if let Err(cex) = refuted {
         println!("    counterexample: the initial set {}", cex.set);
     }

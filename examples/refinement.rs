@@ -66,7 +66,7 @@ fn main() {
     println!("x := 2 refines {{x := 1}} + {{x := 2}} (and not conversely) ✓");
 
     // The hyper-triple form of the claim on a concrete set.
-    let s: StateSet = cfg.universe.states.iter().cloned().take(2).collect();
+    let s: StateSet = cfg.universe.states.iter().take(2).cloned().collect();
     let prod = product(&general, &specific);
     let out = strongest_post(&prod, &s, &cfg.exec);
     let as_assertion = out

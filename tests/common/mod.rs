@@ -1,0 +1,20 @@
+//! Shared mini property-test harness.
+//!
+//! The build environment is offline, so the suite cannot depend on
+//! `proptest`; instead each property runs against a fixed number of
+//! deterministically-seeded random instances from the workspace's own
+//! PRNG (`hhl_lang::rng`). Failures are exactly reproducible: every case
+//! derives its seed from the test's base seed and the case index.
+
+use hyper_hoare::lang::rng::Rng;
+
+/// Runs `f` on `cases` deterministic random instances.
+///
+/// The case index is passed alongside the generator so assertion messages
+/// can name the failing instance.
+pub fn run_cases(cases: u64, base_seed: u64, mut f: impl FnMut(&mut Rng, u64)) {
+    for i in 0..cases {
+        let mut rng = Rng::seed_from_u64(base_seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        f(&mut rng, i);
+    }
+}

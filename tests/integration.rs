@@ -61,9 +61,10 @@ fn embedded_logics_agree_on_shared_judgments() {
     let cmd = parse_cmd("x := x + 1").expect("parses");
     let exec = ExecConfig::int_range(0, 3);
     let mk = |x: i64| {
-        hyper_hoare::lang::ExtState::from_program(
-            hyper_hoare::lang::Store::from_pairs([("x", Value::Int(x))]),
-        )
+        hyper_hoare::lang::ExtState::from_program(hyper_hoare::lang::Store::from_pairs([(
+            "x",
+            Value::Int(x),
+        )]))
     };
     let p: StateSetPred = [mk(0), mk(1)].into_iter().collect();
     let q: StateSetPred = [mk(1), mk(2)].into_iter().collect();

@@ -1,136 +1,188 @@
 //! Property-based tests of the meta-theory over random instances:
 //! Lemma 1, negation complementation, WP-exactness of the Fig. 3
 //! transformations, `Cons` soundness, and the Thm. 5 equivalence.
+//!
+//! Instances are drawn from the workspace PRNG (see `common::run_cases`);
+//! each property checks a fixed number of deterministically-seeded cases.
 
-use proptest::prelude::*;
+mod common;
+
+use common::run_cases;
 
 use hyper_hoare::assertions::{
     assign_transform, assume_transform, eval_assertion, Assertion, EvalConfig, HExpr, Universe,
 };
+use hyper_hoare::lang::rng::Rng;
 use hyper_hoare::lang::sem::lemma1;
 use hyper_hoare::lang::{Cmd, ExecConfig, Expr, ExtState, StateSet, Store, Symbol, Value};
 use hyper_hoare::logic::{check_triple, witness_triple, Triple, ValidityConfig};
 
+const CASES: u64 = 48;
 const VARS: [&str; 3] = ["x", "y", "h"];
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-2i64..=2).prop_map(Expr::int),
-        (0usize..VARS.len()).prop_map(|i| Expr::var(VARS[i])),
-    ];
-    leaf.prop_recursive(2, 8, 2, |inner| {
-        (inner.clone(), inner).prop_flat_map(|(a, b)| {
-            prop_oneof![
-                Just(a.clone() + b.clone()),
-                Just(a.clone() - b.clone()),
-                Just(a.clone().min(b.clone())),
-                Just(a.le(b)),
-            ]
-        })
-    })
+fn gen_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool_ratio(1, 3) {
+        return if rng.gen_bool_ratio(1, 2) {
+            Expr::int(rng.gen_i64_inclusive(-2, 2))
+        } else {
+            Expr::var(VARS[rng.gen_index(VARS.len())])
+        };
+    }
+    let a = gen_expr(rng, depth - 1);
+    let b = gen_expr(rng, depth - 1);
+    match rng.gen_index(4) {
+        0 => a + b,
+        1 => a - b,
+        2 => a.min(b),
+        _ => a.le(b),
+    }
 }
 
-fn arb_cmd() -> impl Strategy<Value = Cmd> {
-    let atomic = prop_oneof![
-        Just(Cmd::Skip),
-        ((0usize..VARS.len()), arb_expr()).prop_map(|(i, e)| Cmd::assign(VARS[i], e)),
-        (0usize..VARS.len()).prop_map(|i| Cmd::havoc(VARS[i])),
-        arb_expr().prop_map(|e| Cmd::assume(e.ge(Expr::int(0)))),
-    ];
-    atomic.prop_recursive(2, 12, 2, |inner| {
-        (inner.clone(), inner).prop_flat_map(|(a, b)| {
-            prop_oneof![
-                Just(Cmd::seq(a.clone(), b.clone())),
-                Just(Cmd::choice(a.clone(), b.clone())),
-                Just(Cmd::star(Cmd::seq(
-                    Cmd::assume(Expr::var("x").lt(Expr::int(2))),
-                    a,
-                ))),
-            ]
-        })
-    })
+fn gen_cmd(rng: &mut Rng, depth: u32) -> Cmd {
+    if depth == 0 || rng.gen_bool_ratio(1, 3) {
+        return match rng.gen_index(4) {
+            0 => Cmd::Skip,
+            1 => Cmd::assign(VARS[rng.gen_index(VARS.len())], gen_expr(rng, 2)),
+            2 => Cmd::havoc(VARS[rng.gen_index(VARS.len())]),
+            _ => Cmd::assume(gen_expr(rng, 2).ge(Expr::int(0))),
+        };
+    }
+    let a = gen_cmd(rng, depth - 1);
+    match rng.gen_index(3) {
+        0 => Cmd::seq(a, gen_cmd(rng, depth - 1)),
+        1 => Cmd::choice(a, gen_cmd(rng, depth - 1)),
+        // Guard star bodies so iteration reaches a fixpoint quickly.
+        _ => Cmd::star(Cmd::seq(Cmd::assume(Expr::var("x").lt(Expr::int(2))), a)),
+    }
 }
 
-fn arb_state() -> impl Strategy<Value = ExtState> {
-    proptest::collection::vec(-1i64..=1, VARS.len()).prop_map(|vals| {
-        ExtState::from_program(Store::from_pairs(
-            VARS.iter().zip(vals).map(|(v, n)| (*v, Value::Int(n))),
-        ))
-    })
+fn gen_state(rng: &mut Rng) -> ExtState {
+    ExtState::from_program(Store::from_pairs(
+        VARS.iter()
+            .map(|v| (*v, Value::Int(rng.gen_i64_inclusive(-1, 1)))),
+    ))
 }
 
-fn arb_set(max: usize) -> impl Strategy<Value = StateSet> {
-    proptest::collection::vec(arb_state(), 0..=max)
-        .prop_map(|v| v.into_iter().collect())
+fn gen_set(rng: &mut Rng, max: usize) -> StateSet {
+    (0..rng.gen_index(max + 1))
+        .map(|_| gen_state(rng))
+        .collect()
 }
 
 fn exec() -> ExecConfig {
     ExecConfig::int_range(-1, 1).fuel(6)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Lemma 1(1): sem distributes over union.
+#[test]
+fn lemma1_union() {
+    run_cases(CASES, 0x11, |rng, i| {
+        let c = gen_cmd(rng, 2);
+        let s1 = gen_set(rng, 3);
+        let s2 = gen_set(rng, 3);
+        assert!(
+            lemma1::union_distributes(&exec(), &c, &s1, &s2),
+            "case {i}: {c}"
+        );
+    });
+}
 
-    /// Lemma 1(1): sem distributes over union.
-    #[test]
-    fn lemma1_union(c in arb_cmd(), s1 in arb_set(3), s2 in arb_set(3)) {
-        prop_assert!(lemma1::union_distributes(&exec(), &c, &s1, &s2));
-    }
+/// Lemma 1(2): sem is monotone.
+#[test]
+fn lemma1_monotone() {
+    run_cases(CASES, 0x12, |rng, i| {
+        let c = gen_cmd(rng, 2);
+        let s = gen_set(rng, 3);
+        let sup = s.union(&gen_set(rng, 2));
+        assert!(lemma1::monotone(&exec(), &c, &s, &sup), "case {i}: {c}");
+    });
+}
 
-    /// Lemma 1(2): sem is monotone.
-    #[test]
-    fn lemma1_monotone(c in arb_cmd(), s in arb_set(3), extra in arb_set(2)) {
-        let sup = s.union(&extra);
-        prop_assert!(lemma1::monotone(&exec(), &c, &s, &sup));
-    }
+/// Lemma 1(4): skip is the identity.
+#[test]
+fn lemma1_skip() {
+    run_cases(CASES, 0x14, |rng, i| {
+        let s = gen_set(rng, 4);
+        assert!(lemma1::skip_identity(&exec(), &s), "case {i}");
+    });
+}
 
-    /// Lemma 1(4): skip is the identity.
-    #[test]
-    fn lemma1_skip(s in arb_set(4)) {
-        prop_assert!(lemma1::skip_identity(&exec(), &s));
-    }
+/// Lemma 1(5): seq composes.
+#[test]
+fn lemma1_seq() {
+    run_cases(CASES, 0x15, |rng, i| {
+        let c1 = gen_cmd(rng, 2);
+        let c2 = gen_cmd(rng, 2);
+        let s = gen_set(rng, 3);
+        assert!(
+            lemma1::seq_composes(&exec(), &c1, &c2, &s),
+            "case {i}: {c1} ; {c2}"
+        );
+    });
+}
 
-    /// Lemma 1(5): seq composes.
-    #[test]
-    fn lemma1_seq(c1 in arb_cmd(), c2 in arb_cmd(), s in arb_set(3)) {
-        prop_assert!(lemma1::seq_composes(&exec(), &c1, &c2, &s));
-    }
+/// Lemma 1(6): choice is union.
+#[test]
+fn lemma1_choice() {
+    run_cases(CASES, 0x16, |rng, i| {
+        let c1 = gen_cmd(rng, 2);
+        let c2 = gen_cmd(rng, 2);
+        let s = gen_set(rng, 3);
+        assert!(
+            lemma1::choice_unions(&exec(), &c1, &c2, &s),
+            "case {i}: {c1} + {c2}"
+        );
+    });
+}
 
-    /// Lemma 1(6): choice is union.
-    #[test]
-    fn lemma1_choice(c1 in arb_cmd(), c2 in arb_cmd(), s in arb_set(3)) {
-        prop_assert!(lemma1::choice_unions(&exec(), &c1, &c2, &s));
-    }
-
-    /// Lemma 1(7): star is the union of the powers.
-    #[test]
-    fn lemma1_star(c in arb_cmd(), s in arb_set(2)) {
+/// Lemma 1(7): star is the union of the powers.
+#[test]
+fn lemma1_star() {
+    run_cases(CASES, 0x17, |rng, i| {
+        let c = gen_cmd(rng, 2);
+        let s = gen_set(rng, 2);
         // Guard the body so iteration reaches a fixpoint quickly.
         let guarded = Cmd::seq(Cmd::assume(Expr::var("x").lt(Expr::int(2))), c);
-        prop_assert!(lemma1::star_is_union_of_powers(&exec(), &guarded, &s));
-    }
+        assert!(
+            lemma1::star_is_union_of_powers(&exec(), &guarded, &s),
+            "case {i}: {guarded}"
+        );
+    });
+}
 
-    /// ¬A complements evaluation (Def. 9 negation, §4.1).
-    #[test]
-    fn negation_complements(e in arb_expr(), s in arb_set(3)) {
+/// ¬A complements evaluation (Def. 9 negation, §4.1).
+#[test]
+fn negation_complements() {
+    run_cases(CASES, 0x21, |rng, i| {
+        let e = gen_expr(rng, 2);
+        let s = gen_set(rng, 3);
         let phi = Symbol::new("p");
         let cfg = EvalConfig::int_range(-1, 1);
         for a in [
-            Assertion::forall_state(phi, Assertion::Atom(
-                HExpr::of_expr_at(&e.clone().ge(Expr::int(0)), phi))),
-            Assertion::exists_state(phi, Assertion::Atom(
-                HExpr::of_expr_at(&e.ge(Expr::int(0)), phi))),
+            Assertion::forall_state(
+                phi,
+                Assertion::Atom(HExpr::of_expr_at(&e.clone().ge(Expr::int(0)), phi)),
+            ),
+            Assertion::exists_state(
+                phi,
+                Assertion::Atom(HExpr::of_expr_at(&e.clone().ge(Expr::int(0)), phi)),
+            ),
         ] {
-            prop_assert_eq!(
+            assert_eq!(
                 eval_assertion(&a.negate(), &s, &cfg),
-                !eval_assertion(&a, &s, &cfg)
+                !eval_assertion(&a, &s, &cfg),
+                "case {i}: {a}"
             );
         }
-    }
+    });
+}
 
-    /// 𝒜ᵉₓ is an exact weakest precondition: 𝒜ᵉₓ[A](S) ⟺ A(sem(x:=e, S)).
-    #[test]
-    fn assign_transform_is_exact_wp(e in arb_expr(), s in arb_set(3)) {
+/// 𝒜ᵉₓ is an exact weakest precondition: 𝒜ᵉₓ[A](S) ⟺ A(sem(x:=e, S)).
+#[test]
+fn assign_transform_is_exact_wp() {
+    run_cases(CASES, 0x22, |rng, i| {
+        let e = gen_expr(rng, 2);
+        let s = gen_set(rng, 3);
         let x = Symbol::new("x");
         let cfg = EvalConfig::int_range(-1, 1);
         for post in [
@@ -141,64 +193,78 @@ proptest! {
             let pre = assign_transform(x, &e, &post).expect("Def. 9 fragment");
             let lhs = eval_assertion(&pre, &s, &cfg);
             let rhs = eval_assertion(&post, &exec().sem(&Cmd::Assign(x, e.clone()), &s), &cfg);
-            prop_assert_eq!(lhs, rhs, "post = {}", post);
+            assert_eq!(lhs, rhs, "case {i}: post = {post}, e = {e}");
         }
-    }
+    });
+}
 
-    /// Π_b is an exact weakest precondition for assume.
-    #[test]
-    fn assume_transform_is_exact_wp(e in arb_expr(), s in arb_set(3)) {
-        let b = e.ge(Expr::int(0));
+/// Π_b is an exact weakest precondition for assume.
+#[test]
+fn assume_transform_is_exact_wp() {
+    run_cases(CASES, 0x23, |rng, i| {
+        let b = gen_expr(rng, 2).ge(Expr::int(0));
+        let s = gen_set(rng, 3);
         let cfg = EvalConfig::int_range(-1, 1);
         for post in [Assertion::low("x"), Assertion::not_emp(), Assertion::emp()] {
             let pre = assume_transform(&b, &post).expect("Def. 9 fragment");
             let lhs = eval_assertion(&pre, &s, &cfg);
             let rhs = eval_assertion(&post, &exec().sem(&Cmd::assume(b.clone()), &s), &cfg);
-            prop_assert_eq!(lhs, rhs, "post = {}", post);
+            assert_eq!(lhs, rhs, "case {i}: post = {post}, b = {b}");
         }
-    }
+    });
+}
 
-    /// Thm. 5: whenever a triple is refuted, the witness triple
-    /// {λS'. S' = S} C {¬Q} is valid and its precondition satisfiable.
-    #[test]
-    fn thm5_witness_roundtrip(c in arb_cmd()) {
-        let cfg = ValidityConfig::new(Universe::int_cube(&VARS, -1, 1))
-            .with_exec(exec());
+/// Thm. 5: whenever a triple is refuted, the witness triple
+/// {λS'. S' = S} C {¬Q} is valid and its precondition satisfiable.
+#[test]
+fn thm5_witness_roundtrip() {
+    run_cases(CASES, 0x24, |rng, i| {
+        let c = gen_cmd(rng, 2);
+        let cfg = ValidityConfig::new(Universe::int_cube(&VARS, -1, 1)).with_exec(exec());
         let t = Triple::new(Assertion::low("x"), c, Assertion::low("x"));
         if let Err(cex) = check_triple(&t, &cfg) {
             let wt = witness_triple(&t, &cex.set);
-            prop_assert!(check_triple(&wt, &cfg).is_ok(), "witness triple must be valid");
-            prop_assert!(eval_assertion(&wt.pre, &cex.set, &cfg.check.eval));
+            assert!(
+                check_triple(&wt, &cfg).is_ok(),
+                "case {i}: witness triple must be valid"
+            );
+            assert!(eval_assertion(&wt.pre, &cex.set, &cfg.check.eval));
             // P' entails the original P on its satisfying set.
-            prop_assert!(eval_assertion(&t.pre, &cex.set, &cfg.check.eval));
+            assert!(eval_assertion(&t.pre, &cex.set, &cfg.check.eval));
         }
-    }
+    });
+}
 
-    /// Small-step and big-step semantics agree on terminating executions
-    /// (the App. E observation made executable).
-    #[test]
-    fn small_step_agrees_with_big_step(c in arb_cmd(), s in arb_state()) {
+/// Small-step and big-step semantics agree on terminating executions
+/// (the App. E observation made executable).
+#[test]
+fn small_step_agrees_with_big_step() {
+    run_cases(CASES, 0x25, |rng, i| {
+        let c = gen_cmd(rng, 2);
+        let s = gen_state(rng);
         let cfg = exec();
         let big = cfg.exec(&c, &s.program);
         // Both engines truncate infinite state spaces (at different bounds);
         // the equivalence claim is for executions whose reachable space is
         // exhausted — detected by a fuel-stable big-step result.
         let big_more = cfg.clone().fuel(cfg.loop_fuel + 2).exec(&c, &s.program);
-        prop_assume!(big == big_more);
-        let small = hyper_hoare::lang::smallstep::reachable_finals(
-            &c, &s.program, &cfg, 50_000,
-        );
-        prop_assert_eq!(big, small, "semantics disagree on {}", c);
-    }
+        if big != big_more {
+            return; // assumption failed: state space not exhausted
+        }
+        let small = hyper_hoare::lang::smallstep::reachable_finals(&c, &s.program, &cfg, 50_000);
+        assert_eq!(big, small, "case {i}: semantics disagree on {c}");
+    });
+}
 
-    /// Rule soundness, Cons-shaped: strengthening pre / weakening post of a
-    /// valid triple preserves validity.
-    #[test]
-    fn cons_soundness(c in arb_cmd()) {
-        let cfg = ValidityConfig::new(Universe::int_cube(&VARS, -1, 1))
-            .with_exec(exec());
+/// Rule soundness, Cons-shaped: strengthening pre / weakening post of a
+/// valid triple preserves validity.
+#[test]
+fn cons_soundness() {
+    run_cases(CASES, 0x26, |rng, i| {
+        let c = gen_cmd(rng, 2);
+        let cfg = ValidityConfig::new(Universe::int_cube(&VARS, -1, 1)).with_exec(exec());
         // {⊤} C {⊤} is always valid; so is {anything} C {⊤}.
         let t = Triple::new(Assertion::low("h"), c, Assertion::tt());
-        prop_assert!(check_triple(&t, &cfg).is_ok());
-    }
+        assert!(check_triple(&t, &cfg).is_ok(), "case {i}: {t}");
+    });
 }

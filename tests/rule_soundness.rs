@@ -1,44 +1,49 @@
 //! Rule-soundness property tests: random instances of the derived rules
 //! must produce conclusions that hold against the model (the executable
 //! shadow of Theorem 1), plus simplifier- and parser-level invariants.
+//!
+//! Instances are drawn from the workspace PRNG (see `common::run_cases`);
+//! each property checks a fixed number of deterministically-seeded cases.
 
-use proptest::prelude::*;
+mod common;
+
+use common::run_cases;
 
 use hyper_hoare::assertions::{
     eval_assertion, parse_assertion, simplify, Assertion, EvalConfig, HExpr, Universe,
 };
-use hyper_hoare::lang::{Cmd, ExecConfig, Expr, ExtState, StateSet, Store, Symbol, Value};
+use hyper_hoare::lang::rng::Rng;
+use hyper_hoare::lang::{ExecConfig, Expr, ExtState, StateSet, Store, Symbol, Value};
 use hyper_hoare::logic::proof::{check, Derivation, ProofContext};
 use hyper_hoare::logic::{check_triple, ValidityConfig};
 
+const CASES: u64 = 32;
 const VARS: [&str; 3] = ["x", "y", "z"];
 
-fn arb_linear_expr() -> impl Strategy<Value = Expr> {
+fn gen_linear_expr(rng: &mut Rng) -> Expr {
     // Literals stay inside the havoc domain [-1, 1]: the ℋ rule's
     // WP-exactness holds exactly when the value-quantifier domain and the
     // havoc domain coincide (DESIGN.md finitization contract), and
     // assertion literals seed the former.
-    ((0usize..VARS.len()), -1i64..=1, -1i64..=1)
-        .prop_map(|(i, a, b)| Expr::var(VARS[i]) * Expr::int(a) + Expr::int(b))
+    let v = Expr::var(VARS[rng.gen_index(VARS.len())]);
+    let a = rng.gen_i64_inclusive(-1, 1);
+    let b = rng.gen_i64_inclusive(-1, 1);
+    v * Expr::int(a) + Expr::int(b)
 }
 
-fn arb_assertion() -> impl Strategy<Value = Assertion> {
+fn gen_assertion(rng: &mut Rng) -> Assertion {
     // Def. 9 assertions over one or two quantified states.
-    let atom = (arb_linear_expr(), arb_linear_expr()).prop_map(|(a, b)| {
-        let p1 = Symbol::new("q1");
-        let p2 = Symbol::new("q2");
-        Assertion::Atom(HExpr::of_expr_at(&a, p1).le(HExpr::of_expr_at(&b, p2)))
-    });
-    atom.prop_flat_map(|body| {
-        prop_oneof![
-            Just(Assertion::forall_states(["q1", "q2"], body.clone())),
-            Just(Assertion::forall_state(
-                "q1",
-                Assertion::exists_state("q2", body.clone())
-            )),
-            Just(Assertion::exists_states(["q1", "q2"], body)),
-        ]
-    })
+    let p1 = Symbol::new("q1");
+    let p2 = Symbol::new("q2");
+    let body = Assertion::Atom(
+        HExpr::of_expr_at(&gen_linear_expr(rng), p1)
+            .le(HExpr::of_expr_at(&gen_linear_expr(rng), p2)),
+    );
+    match rng.gen_index(3) {
+        0 => Assertion::forall_states(["q1", "q2"], body),
+        1 => Assertion::forall_state("q1", Assertion::exists_state("q2", body)),
+        _ => Assertion::exists_states(["q1", "q2"], body),
+    }
 }
 
 fn ctx() -> ProofContext {
@@ -55,103 +60,106 @@ fn ctx() -> ProofContext {
     )
 }
 
-fn arb_set() -> impl Strategy<Value = StateSet> {
-    proptest::collection::vec(
-        proptest::collection::vec(-1i64..=1, VARS.len()),
-        0..=3,
-    )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .map(|vals| {
-                ExtState::from_program(Store::from_pairs(
-                    VARS.iter().zip(vals).map(|(v, n)| (*v, Value::Int(n))),
-                ))
-            })
-            .collect()
-    })
+fn gen_set(rng: &mut Rng) -> StateSet {
+    (0..rng.gen_index(4))
+        .map(|_| {
+            ExtState::from_program(Store::from_pairs(
+                VARS.iter()
+                    .map(|v| (*v, Value::Int(rng.gen_i64_inclusive(-1, 1)))),
+            ))
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// AssignS conclusions are always valid (Thm. 1 for the Fig. 3 rule).
-    #[test]
-    fn assign_s_is_sound(e in arb_linear_expr(), post in arb_assertion(), i in 0usize..VARS.len()) {
+/// AssignS conclusions are always valid (Thm. 1 for the Fig. 3 rule).
+#[test]
+fn assign_s_is_sound() {
+    run_cases(CASES, 0x31, |rng, i| {
         let d = Derivation::AssignS {
-            x: Symbol::new(VARS[i]),
-            e,
-            post,
+            x: Symbol::new(VARS[rng.gen_index(VARS.len())]),
+            e: gen_linear_expr(rng),
+            post: gen_assertion(rng),
         };
         let ctx = ctx();
         let proof = check(&d, &ctx).expect("AssignS always applies to Def. 9");
-        prop_assert!(
+        assert!(
             check_triple(&proof.conclusion, &ctx.validity).is_ok(),
-            "unsound AssignS conclusion: {}",
+            "case {i}: unsound AssignS conclusion: {}",
             proof.conclusion
         );
-    }
+    });
+}
 
-    /// HavocS conclusions are valid when the evaluator's value domain
-    /// matches the havoc domain (the finitization contract of DESIGN.md).
-    #[test]
-    fn havoc_s_is_sound(post in arb_assertion(), i in 0usize..VARS.len()) {
+/// HavocS conclusions are valid when the evaluator's value domain
+/// matches the havoc domain (the finitization contract of DESIGN.md).
+#[test]
+fn havoc_s_is_sound() {
+    run_cases(CASES, 0x32, |rng, i| {
         let d = Derivation::HavocS {
-            x: Symbol::new(VARS[i]),
-            post,
+            x: Symbol::new(VARS[rng.gen_index(VARS.len())]),
+            post: gen_assertion(rng),
         };
         let ctx = ctx();
         let proof = check(&d, &ctx).expect("HavocS always applies to Def. 9");
-        prop_assert!(
+        assert!(
             check_triple(&proof.conclusion, &ctx.validity).is_ok(),
-            "unsound HavocS conclusion: {}",
+            "case {i}: unsound HavocS conclusion: {}",
             proof.conclusion
         );
-    }
+    });
+}
 
-    /// AssumeS conclusions are always valid.
-    #[test]
-    fn assume_s_is_sound(e in arb_linear_expr(), post in arb_assertion()) {
+/// AssumeS conclusions are always valid.
+#[test]
+fn assume_s_is_sound() {
+    run_cases(CASES, 0x33, |rng, i| {
         let d = Derivation::AssumeS {
-            b: e.ge(Expr::int(0)),
-            post,
+            b: gen_linear_expr(rng).ge(Expr::int(0)),
+            post: gen_assertion(rng),
         };
         let ctx = ctx();
         let proof = check(&d, &ctx).expect("AssumeS always applies to Def. 9");
-        prop_assert!(
+        assert!(
             check_triple(&proof.conclusion, &ctx.validity).is_ok(),
-            "unsound AssumeS conclusion: {}",
+            "case {i}: unsound AssumeS conclusion: {}",
             proof.conclusion
         );
-    }
+    });
+}
 
-    /// FrameSafe: framing a non-written, ∀-only assertion preserves
-    /// validity.
-    #[test]
-    fn frame_safe_is_sound(e in arb_linear_expr(), i in 0usize..2) {
-        // Inner: assignment to VARS[i]; frame over the remaining variable.
-        let framed = VARS[2]; // z is never assigned below
+/// FrameSafe: framing a non-written, ∀-only assertion preserves validity.
+#[test]
+fn frame_safe_is_sound() {
+    run_cases(CASES, 0x34, |rng, i| {
+        // Inner: assignment to x or y; frame over z, which is never
+        // assigned below.
+        let framed = VARS[2];
         let inner = Derivation::AssignS {
-            x: Symbol::new(VARS[i]),
-            e,
+            x: Symbol::new(VARS[rng.gen_index(2)]),
+            e: gen_linear_expr(rng),
             post: Assertion::tt(),
         };
-        let frame = Assertion::low(framed);
         let d = Derivation::FrameSafe {
-            frame,
+            frame: Assertion::low(framed),
             inner: Box::new(inner),
         };
         let ctx = ctx();
         let proof = check(&d, &ctx).expect("frame side conditions hold");
-        prop_assert!(check_triple(&proof.conclusion, &ctx.validity).is_ok());
-    }
+        assert!(
+            check_triple(&proof.conclusion, &ctx.validity).is_ok(),
+            "case {i}: unsound FrameSafe conclusion: {}",
+            proof.conclusion
+        );
+    });
+}
 
-    /// And/Or/Union conclusions from sound premises stay sound.
-    #[test]
-    fn binary_compositional_rules_are_sound(
-        p1 in arb_assertion(),
-        p2 in arb_assertion(),
-        e in arb_linear_expr(),
-    ) {
+/// And/Or/Union conclusions from sound premises stay sound.
+#[test]
+fn binary_compositional_rules_are_sound() {
+    run_cases(CASES, 0x35, |rng, i| {
+        let p1 = gen_assertion(rng);
+        let p2 = gen_assertion(rng);
+        let e = gen_linear_expr(rng);
         let mk = |post: Assertion| Derivation::AssignS {
             x: Symbol::new("x"),
             e: e.clone(),
@@ -166,37 +174,42 @@ proptest! {
         ] {
             let name = d.rule_name();
             let proof = check(&d, &ctx).expect("rule applies");
-            prop_assert!(
+            assert!(
                 check_triple(&proof.conclusion, &ctx.validity).is_ok(),
-                "unsound {name} conclusion: {}",
+                "case {i}: unsound {name} conclusion: {}",
                 proof.conclusion
             );
         }
-    }
+    });
+}
 
-    /// The simplifier preserves evaluation on every set.
-    #[test]
-    fn simplify_preserves_meaning(a in arb_assertion(), s in arb_set()) {
+/// The simplifier preserves evaluation on every set.
+#[test]
+fn simplify_preserves_meaning() {
+    run_cases(CASES, 0x36, |rng, i| {
+        let a = gen_assertion(rng);
+        let s = gen_set(rng);
         let cfg = EvalConfig::int_range(-1, 1);
         let simplified = simplify(&a);
-        prop_assert_eq!(
+        assert_eq!(
             eval_assertion(&a, &s, &cfg),
             eval_assertion(&simplified, &s, &cfg),
-            "simplify changed meaning of {}", a
+            "case {i}: simplify changed meaning of {a}"
         );
-        prop_assert!(simplified.size() <= a.size());
-    }
+        assert!(simplified.size() <= a.size());
+    });
+}
 
-    /// Pretty-printed sugar forms re-parse to equal assertions.
-    #[test]
-    fn parser_agrees_with_sugar(i in 0usize..VARS.len()) {
-        let v = VARS[i];
+/// Pretty-printed sugar forms re-parse to equal assertions.
+#[test]
+fn parser_agrees_with_sugar() {
+    for v in VARS {
         let parsed = parse_assertion(&format!("low({v})")).expect("parses");
-        prop_assert_eq!(parsed, Assertion::low(v));
-        let gni = parse_assertion(
-            "forall <phi1>, <phi2>. exists <phi>. phi(h) == phi1(h) && phi(l) == phi2(l)",
-        )
-        .expect("parses");
-        prop_assert_eq!(gni, Assertion::gni("h", "l"));
+        assert_eq!(parsed, Assertion::low(v));
     }
+    let gni = parse_assertion(
+        "forall <phi1>, <phi2>. exists <phi>. phi(h) == phi1(h) && phi(l) == phi2(l)",
+    )
+    .expect("parses");
+    assert_eq!(gni, Assertion::gni("h", "l"));
 }
