@@ -163,10 +163,15 @@ impl<'a> Lexer<'a> {
         }
         if c.is_ascii_alphabetic() || c == b'_' {
             let start = self.pos;
-            while self.pos < self.src.len()
-                && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
-            {
-                self.pos += 1;
+            loop {
+                match self.src.get(self.pos) {
+                    Some(b) if b.is_ascii_alphanumeric() || *b == b'_' => self.pos += 1,
+                    // U+00B7 MIDDLE DOT (bytes C2 B7): the `v·N` fresh
+                    // value-variable names minted by `havoc_transform` — the
+                    // emitted certificate scripts must re-parse them.
+                    Some(0xC2) if self.src.get(self.pos + 1) == Some(&0xB7) => self.pos += 2,
+                    _ => break,
+                }
             }
             let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
             return Ok(Some(Tok::Ident(name)));
@@ -324,7 +329,12 @@ fn parse_atom(lx: &mut Lexer<'_>) -> Result<U, AssertParseError> {
     let tok = lx.next_tok()?;
     let mut base = match tok {
         Some(Tok::Int(n)) => U::Lit(Value::Int(n)),
-        Some(Tok::Sym("-")) => U::Un(UnOp::Neg, Box::new(parse_atom(lx)?)),
+        // Negated integer literals fold to the constant, matching what the
+        // certificate emitter prints for `Const(Int(-1))`.
+        Some(Tok::Sym("-")) => match parse_atom(lx)? {
+            U::Lit(Value::Int(n)) => U::Lit(Value::Int(n.wrapping_neg())),
+            a => U::Un(UnOp::Neg, Box::new(a)),
+        },
         Some(Tok::Sym("!")) => U::Un(UnOp::Not, Box::new(parse_atom(lx)?)),
         Some(Tok::Sym("(")) => {
             let inner = parse_u(lx, 0)?;
@@ -629,6 +639,20 @@ mod tests {
             &StateSet::new(),
             &EvalConfig::default()
         ));
+    }
+
+    #[test]
+    fn parses_middle_dot_fresh_names() {
+        // ℋ's fresh names (`v·0`, `v·1`) must survive the textual round
+        // trip taken by emitted proof certificates.
+        let a = parse_assertion("forall <p>. forall v·0. p(x) <= v·0").unwrap();
+        match a {
+            Assertion::ForallState(_, inner) => match *inner {
+                Assertion::ForallVal(v, _) => assert_eq!(v, Symbol::new("v·0")),
+                other => panic!("expected ∀v·0, got {other:?}"),
+            },
+            other => panic!("expected ∀⟨p⟩, got {other:?}"),
+        }
     }
 
     #[test]

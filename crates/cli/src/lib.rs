@@ -16,6 +16,13 @@
 //! * `mode: verify` — annotated-loop verification through the Hypra-style
 //!   VC generator [`hhl_verify::verify`].
 //!
+//! Beyond the spec-selected engines, the driver handles `.hhlp` proof
+//! certificates (the `hhl-proofs` crate): [`run_replay`] checks an
+//! externally-written certificate against a spec's triple and model, and
+//! [`run_prove_with_certificate`] proves a spec and serializes the checked
+//! WP derivation so `hhl prove --emit-proof` produces portable,
+//! independently replayable proofs (refuted derivations emit nothing).
+//!
 //! The driver prints a structured pass/fail report; the process exit code
 //! is `0` when the verdict matches the spec's `expect:` line (which
 //! defaults to `pass`).
@@ -26,5 +33,5 @@
 mod runner;
 mod spec;
 
-pub use runner::{run_spec, Outcome, RunError, Verdict};
+pub use runner::{run_prove_with_certificate, run_replay, run_spec, Outcome, RunError, Verdict};
 pub use spec::{parse_spec, Expect, Mode, Spec, SpecError};

@@ -1,15 +1,22 @@
-//! The `hhl` binary: `hhl check <spec.hhl> [more specs…]`.
+//! The `hhl` binary: `check`, `prove` and `replay` subcommands.
 //!
-//! Parses each spec file, dispatches it to the engine named by its `mode:`
-//! line, and prints a structured pass/fail report. Exits `0` when every
-//! spec's verdict matches its `expect:` line (default `pass`), `1` when
-//! any verdict is unexpected, `2` on usage/parse/dispatch errors.
+//! * `hhl check <spec.hhl>…` — parse each spec, dispatch it to the engine
+//!   named by its `mode:` line, print a structured pass/fail report;
+//! * `hhl prove [--emit-proof <out.hhlp>] <spec.hhl>…` — force the
+//!   syntactic WP prover regardless of the spec's `mode:`, optionally
+//!   writing the checked derivation as a portable `.hhlp` certificate;
+//! * `hhl replay <spec.hhl> <proof.hhlp>` — elaborate a textual proof
+//!   certificate and check it against the spec's triple and finite model.
+//!
+//! Exits `0` when every verdict matches its spec's `expect:` line (default
+//! `pass`), `1` when any verdict is unexpected, `2` on usage/parse/dispatch
+//! errors.
 
 use std::fmt;
 use std::io::Write;
 use std::process::ExitCode;
 
-use hhl_cli::{parse_spec, run_spec};
+use hhl_cli::{parse_spec, run_prove_with_certificate, run_replay, run_spec, Mode, Spec};
 
 /// Prints to stdout, ignoring write failures (e.g. EPIPE when the report
 /// is piped into `head`) instead of panicking.
@@ -17,66 +24,204 @@ fn out(msg: impl fmt::Display) {
     let _ = writeln!(std::io::stdout(), "{msg}");
 }
 
-const USAGE: &str = "usage: hhl check <spec.hhl>...
+const USAGE: &str = "usage: hhl <command> [args]
 
-Each spec file selects its own engine via `mode: check | prove | verify`;
-`hhl check` runs the file end-to-end (parse → dispatch → report) and
-compares the verdict against the spec's `expect:` line.";
+  hhl check <spec.hhl>...
+      Run each spec end-to-end with the engine its `mode:` line selects
+      (check | prove | verify) and compare the verdict against `expect:`.
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let files: Vec<&str> = match args.first().map(String::as_str) {
-        Some("check") if args.len() > 1 => args[1..].iter().map(String::as_str).collect(),
-        Some("--help" | "-h") => {
-            out(USAGE);
-            return ExitCode::SUCCESS;
+  hhl prove [--emit-proof <out.hhlp>] <spec.hhl>...
+      Force the syntactic WP prover (Fig. 3 + Cons) regardless of the
+      spec's `mode:`. With --emit-proof (single spec), also write the
+      checked derivation as a portable .hhlp proof certificate.
+
+  hhl replay <spec.hhl> <proof.hhlp>
+      Parse and elaborate a textual proof certificate, check every rule
+      application against the spec's finite model, and compare the
+      conclusion with the spec's triple. Loop proofs that `prove` cannot
+      build (WhileSync, IfSync, ...) replay this way.";
+
+/// Aggregated exit state across the files of one invocation. No `Default`:
+/// the derive would start `all_expected` at `false`, turning an empty run
+/// into exit code 1; construct via [`Tally::new`].
+struct Tally {
+    all_expected: bool,
+    hard_error: bool,
+}
+
+impl Tally {
+    fn new() -> Tally {
+        Tally {
+            all_expected: true,
+            hard_error: false,
         }
-        _ => {
-            eprintln!("{USAGE}");
-            return ExitCode::from(2);
+    }
+
+    fn exit(self) -> ExitCode {
+        if self.hard_error {
+            ExitCode::from(2)
+        } else if self.all_expected {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
         }
+    }
+}
+
+fn read_file(path: &str, tally: &mut Tally) -> Option<String> {
+    match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            tally.hard_error = true;
+            None
+        }
+    }
+}
+
+fn load_spec(path: &str, tally: &mut Tally) -> Option<Spec> {
+    let src = read_file(path, tally)?;
+    match parse_spec(&src) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            tally.hard_error = true;
+            None
+        }
+    }
+}
+
+/// Loads and runs one spec file, printing its report and folding the result
+/// into the tally.
+fn run_one(file: &str, force_prove: bool, tally: &mut Tally) {
+    out(format_args!("== {file}"));
+    let Some(mut spec) = load_spec(file, tally) else {
+        return;
     };
+    if force_prove {
+        spec.mode = Mode::Prove;
+    }
+    match run_spec(&spec) {
+        Ok(outcome) => {
+            out(&outcome);
+            tally.all_expected &= outcome.as_expected;
+        }
+        Err(e) => {
+            eprintln!("error: {file}: {e}");
+            tally.hard_error = true;
+        }
+    }
+}
 
-    let mut all_expected = true;
-    let mut hard_error = false;
+fn run_files(files: &[&str], force_prove: bool) -> Tally {
+    let mut tally = Tally::new();
     for (i, file) in files.iter().enumerate() {
         if i > 0 {
             out("");
         }
-        out(format_args!("== {file}"));
-        let src = match std::fs::read_to_string(file) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: cannot read {file}: {e}");
-                hard_error = true;
-                continue;
+        run_one(file, force_prove, &mut tally);
+    }
+    tally
+}
+
+fn cmd_prove(args: &[String]) -> ExitCode {
+    let mut emit_to = None;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--emit-proof" {
+            match it.next() {
+                Some(path) => emit_to = Some(path.as_str()),
+                None => {
+                    eprintln!("error: --emit-proof needs an output path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
             }
-        };
-        let spec = match parse_spec(&src) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: {file}: {e}");
-                hard_error = true;
-                continue;
-            }
-        };
-        match run_spec(&spec) {
-            Ok(outcome) => {
-                out(&outcome);
-                all_expected &= outcome.as_expected;
-            }
-            Err(e) => {
-                eprintln!("error: {file}: {e}");
-                hard_error = true;
-            }
+        } else {
+            files.push(arg.as_str());
         }
     }
+    if files.is_empty() || (emit_to.is_some() && files.len() != 1) {
+        eprintln!("error: `hhl prove --emit-proof` takes exactly one spec\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let Some(path) = emit_to else {
+        return run_files(&files, true).exit();
+    };
+    // --emit-proof: one load, one WP derivation — the certificate
+    // serializes exactly the derivation that was checked and reported, and
+    // only when the proof checked (a refuted derivation is no certificate).
+    let file = files[0];
+    let mut tally = Tally::new();
+    out(format_args!("== {file}"));
+    let Some(spec) = load_spec(file, &mut tally) else {
+        return tally.exit();
+    };
+    match run_prove_with_certificate(&spec) {
+        Ok((outcome, certificate)) => {
+            out(&outcome);
+            tally.all_expected &= outcome.as_expected;
+            match certificate {
+                Some(script) => match std::fs::write(path, &script) {
+                    Ok(()) => out(format_args!("certificate written to {path}")),
+                    Err(e) => {
+                        eprintln!("error: cannot write {path}: {e}");
+                        tally.hard_error = true;
+                    }
+                },
+                None => out("no certificate written: the proof was refuted"),
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {file}: {e}");
+            tally.hard_error = true;
+        }
+    }
+    tally.exit()
+}
 
-    if hard_error {
-        ExitCode::from(2)
-    } else if all_expected {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let [spec_path, proof_path] = args else {
+        eprintln!("error: `hhl replay` takes a spec and a certificate\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let mut tally = Tally::new();
+    out(format_args!("== {spec_path} ⊢ {proof_path}"));
+    let (Some(spec), Some(certificate)) = (
+        load_spec(spec_path, &mut tally),
+        read_file(proof_path, &mut tally),
+    ) else {
+        return tally.exit();
+    };
+    match run_replay(&spec, &certificate) {
+        Ok(outcome) => {
+            out(&outcome);
+            tally.all_expected &= outcome.as_expected;
+        }
+        Err(e) => {
+            eprintln!("error: {proof_path}: {e}");
+            tally.hard_error = true;
+        }
+    }
+    tally.exit()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") if args.len() > 1 => {
+            let files: Vec<&str> = args[1..].iter().map(String::as_str).collect();
+            run_files(&files, false).exit()
+        }
+        Some("prove") if args.len() > 1 => cmd_prove(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("--help" | "-h") => {
+            out(USAGE);
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
     }
 }

@@ -3,10 +3,12 @@
 
 use std::fmt;
 
-use hhl_assert::Assertion;
-use hhl_core::proof::{check, Derivation, ProofContext, ProofError};
+use hhl_core::proof::{
+    align_conclusion, check, wp_derivation, CheckedProof, Derivation, ProofContext, ProofError,
+    WpError,
+};
 use hhl_core::{check_triple, witness_triple, Triple};
-use hhl_lang::Cmd;
+use hhl_proofs::{compile_script, emit_script};
 use hhl_verify::{
     verify, AProgram, Obligation, ObligationResult, Report, StructureError, VerifyError,
 };
@@ -77,6 +79,9 @@ pub enum RunError {
     UnsupportedProgram(String),
     /// `verify` mode could not structure the program or generate VCs.
     Verify(String),
+    /// A `.hhlp` certificate could not be parsed, elaborated, emitted, or
+    /// does not prove the spec's program.
+    Certificate(String),
 }
 
 impl fmt::Display for RunError {
@@ -84,6 +89,7 @@ impl fmt::Display for RunError {
         match self {
             RunError::UnsupportedProgram(m) => write!(f, "unsupported program: {m}"),
             RunError::Verify(m) => write!(f, "verification error: {m}"),
+            RunError::Certificate(m) => write!(f, "certificate error: {m}"),
         }
     }
 }
@@ -115,19 +121,44 @@ pub fn run_spec(spec: &Spec) -> Result<Outcome, RunError> {
         Mode::Check => run_check(spec, &triple),
         Mode::Prove => run_prove(spec, &triple)?,
         Mode::Verify => run_verify(spec)?,
+        Mode::Replay => {
+            return Err(RunError::Certificate(
+                "replay needs a certificate file: `hhl replay <spec.hhl> <proof.hhlp>`".to_owned(),
+            ))
+        }
     };
+    Ok(outcome(
+        spec.mode,
+        triple,
+        report,
+        notes,
+        verdict,
+        spec.expect,
+    ))
+}
+
+/// Assembles an [`Outcome`], deriving `as_expected` from the verdict-vs-
+/// `expect:` matrix shared by every mode.
+fn outcome(
+    mode: Mode,
+    triple: Triple,
+    report: Report,
+    notes: Vec<String>,
+    verdict: Verdict,
+    expect: Expect,
+) -> Outcome {
     let as_expected = matches!(
-        (verdict, spec.expect),
+        (verdict, expect),
         (Verdict::Pass, Expect::Pass) | (Verdict::Fail, Expect::Fail)
     );
-    Ok(Outcome {
-        mode: spec.mode,
+    Outcome {
+        mode,
         triple,
         report,
         notes,
         verdict,
         as_expected,
-    })
+    }
 }
 
 /// `check`: semantic validity; on failure, the Thm. 5 disproof pipeline
@@ -174,51 +205,43 @@ fn run_check(spec: &Spec, triple: &Triple) -> (Report, Vec<String>, Verdict) {
     (Report { results }, notes, verdict)
 }
 
-/// `prove`: builds the Fig. 3 syntactic weakest-precondition derivation for
-/// a loop-free, choice-free command and replays it through the proof
-/// checker.
-fn run_prove(spec: &Spec, triple: &Triple) -> Result<(Report, Vec<String>, Verdict), RunError> {
-    let atoms = atomize(&spec.cmd)?;
-    let mut derivs = Vec::with_capacity(atoms.len());
-    for cmd in atoms.iter().rev() {
-        // Build backward from the postcondition; the checker recomputes
-        // each transformed assertion and verifies the chain.
-        let post = derivs
-            .last()
-            .map(premise_pre)
-            .transpose()?
-            .unwrap_or_else(|| spec.post.clone());
-        derivs.push(match cmd {
-            Cmd::Skip => Derivation::Skip { p: post },
-            Cmd::Assign(x, e) => Derivation::AssignS {
-                x: *x,
-                e: e.clone(),
-                post,
-            },
-            Cmd::Havoc(x) => Derivation::HavocS { x: *x, post },
-            Cmd::Assume(b) => Derivation::AssumeS { b: b.clone(), post },
-            other => {
-                return Err(RunError::UnsupportedProgram(format!(
-                    "non-atomic command {other} after atomization"
-                )))
-            }
-        });
-    }
-    derivs.reverse();
-    let chain = Derivation::seq_all(derivs);
-    let proof = Derivation::cons(spec.pre.clone(), spec.post.clone(), chain);
+/// Maps a failed WP construction to a [`RunError`], pointing loop/choice
+/// programs at the engines (and the certificate replayer) that can handle
+/// them.
+fn wp_unsupported(e: WpError) -> RunError {
+    RunError::UnsupportedProgram(match e {
+        WpError::Unsupported(m) => format!(
+            "{m}; use `verify` (annotated loops), `check` (semantic validity), \
+             or replay a hand-written certificate: `hhl replay <spec.hhl> <proof.hhlp>`"
+        ),
+        other => other.to_string(),
+    })
+}
 
-    let ctx = ProofContext::new(spec.config.clone());
-    let mut notes = Vec::new();
-    let (result, verdict) = match check(&proof, &ctx) {
+/// The statistics/conclusion notes every successfully checked proof
+/// reports, shared by `prove` and `replay`.
+fn checked_notes(checked: &CheckedProof, notes: &mut Vec<String>) {
+    notes.push(format!(
+        "proof checked: {} rule application(s), {} entailment(s) discharged, \
+         {} oracle admission(s)",
+        checked.stats.rules, checked.stats.entailments, checked.stats.oracle_admissions
+    ));
+    notes.push(format!("conclusion: {}", checked.conclusion));
+}
+
+/// Maps a `prove`-mode checking outcome to the obligation result, notes and
+/// verdict. Refutations (entailment/semantic counterexamples) become a
+/// `FAIL` verdict — sound for the WP derivation, whose obligations are
+/// exact on the finite model; structural failures are handed back for
+/// mode-specific wrapping.
+fn proof_verdict(
+    outcome: Result<CheckedProof, ProofError>,
+    notes: &mut Vec<String>,
+) -> Result<(Result<(), hhl_assert::Counterexample>, Verdict), ProofError> {
+    match outcome {
         Ok(checked) => {
-            notes.push(format!(
-                "proof checked: {} rule application(s), {} entailment(s) discharged, \
-                 {} oracle admission(s)",
-                checked.stats.rules, checked.stats.entailments, checked.stats.oracle_admissions
-            ));
-            notes.push(format!("conclusion: {}", checked.conclusion));
-            (Ok(()), Verdict::Pass)
+            checked_notes(&checked, notes);
+            Ok((Ok(()), Verdict::Pass))
         }
         Err(e) => {
             let cex = match &e {
@@ -226,17 +249,36 @@ fn run_prove(spec: &Spec, triple: &Triple) -> Result<(Report, Vec<String>, Verdi
                 | ProofError::Semantic { counterexample, .. } => Some(counterexample.clone()),
                 _ => None,
             };
-            notes.push(format!("proof rejected: {e}"));
             match cex {
-                Some(c) => (Err(c), Verdict::Fail),
-                None => {
-                    return Err(RunError::UnsupportedProgram(format!(
-                        "proof construction failed structurally: {e}"
-                    )))
+                Some(c) => {
+                    notes.push(format!("proof rejected: {e}"));
+                    Ok((Err(c), Verdict::Fail))
                 }
+                None => Err(e),
             }
         }
-    };
+    }
+}
+
+/// `prove`: builds the Fig. 3 syntactic weakest-precondition derivation for
+/// a loop-free, choice-free command ([`hhl_core::proof::wp_derivation`])
+/// and replays it through the proof checker.
+fn run_prove(spec: &Spec, triple: &Triple) -> Result<(Report, Vec<String>, Verdict), RunError> {
+    let proof = wp_derivation(&spec.pre, &spec.cmd, &spec.post).map_err(wp_unsupported)?;
+    prove_report(spec, triple, &proof)
+}
+
+/// Checks an already-built WP derivation and renders the `prove` report.
+fn prove_report(
+    spec: &Spec,
+    triple: &Triple,
+    proof: &Derivation,
+) -> Result<(Report, Vec<String>, Verdict), RunError> {
+    let ctx = ProofContext::new(spec.config.clone());
+    let mut notes = Vec::new();
+    let (result, verdict) = proof_verdict(check(proof, &ctx), &mut notes).map_err(|e| {
+        RunError::UnsupportedProgram(format!("proof construction failed structurally: {e}"))
+    })?;
     let report = Report {
         results: vec![ObligationResult {
             obligation: Obligation::Triple {
@@ -250,41 +292,105 @@ fn run_prove(spec: &Spec, triple: &Triple) -> Result<(Report, Vec<String>, Verdi
     Ok((report, notes, verdict))
 }
 
-/// The precondition the checker will compute for a backward-built premise —
-/// used to thread the chain's intermediate assertions.
-fn premise_pre(d: &Derivation) -> Result<Assertion, RunError> {
-    use hhl_assert::{assign_transform, assume_transform, havoc_transform};
-    let r = match d {
-        Derivation::Skip { p } => Ok(p.clone()),
-        Derivation::AssignS { x, e, post } => assign_transform(*x, e, post),
-        Derivation::HavocS { x, post } => havoc_transform(*x, post),
-        Derivation::AssumeS { b, post } => assume_transform(b, post),
-        other => {
-            return Err(RunError::UnsupportedProgram(format!(
-                "unexpected premise {}",
-                other.rule_name()
-            )))
-        }
-    };
-    r.map_err(|e| {
-        RunError::UnsupportedProgram(format!("syntactic transformation not applicable: {e}"))
-    })
+/// `hhl prove --emit-proof`: builds the WP derivation *once*, checks it,
+/// and serializes that same derivation as a `.hhlp` certificate — only when
+/// the proof checked; a refuted derivation is not a certificate (replaying
+/// it would be rejected).
+///
+/// # Errors
+///
+/// [`RunError::UnsupportedProgram`] outside the loop-free fragment;
+/// [`RunError::Certificate`] if the derivation has no textual form.
+pub fn run_prove_with_certificate(spec: &Spec) -> Result<(Outcome, Option<String>), RunError> {
+    let triple = Triple::new(spec.pre.clone(), spec.cmd.clone(), spec.post.clone());
+    let proof = wp_derivation(&spec.pre, &spec.cmd, &spec.post).map_err(wp_unsupported)?;
+    let (report, notes, verdict) = prove_report(spec, &triple, &proof)?;
+    let certificate = (verdict == Verdict::Pass)
+        .then(|| emit_script(&proof).map_err(|e| RunError::Certificate(e.to_string())))
+        .transpose()?;
+    Ok((
+        outcome(Mode::Prove, triple, report, notes, verdict, spec.expect),
+        certificate,
+    ))
 }
 
-/// Flattens a command into its atomic sequence, rejecting loops/choices.
-fn atomize(cmd: &Cmd) -> Result<Vec<Cmd>, RunError> {
-    match cmd {
-        Cmd::Seq(a, b) => {
-            let mut out = atomize(a)?;
-            out.extend(atomize(b)?);
-            Ok(out)
+/// `replay`: parses and elaborates a `.hhlp` certificate, checks every rule
+/// application against the spec's finite model, and compares the proof's
+/// conclusion with the spec's triple.
+///
+/// A certificate whose conclusion matches the triple up to entailment (same
+/// program, different pre/post) is aligned automatically by interposing a
+/// `Cons`, whose two entailments are discharged semantically — so
+/// hand-written certificates need not mirror the spec's assertions
+/// verbatim.
+///
+/// A certificate can only *establish* the spec's triple: any rejected
+/// obligation — structural or semantic — rejects the certificate itself and
+/// says nothing about the triple (a sloppy proof of a valid triple is not a
+/// disproof). Use `check` mode (Thm. 5) to refute triples.
+///
+/// # Errors
+///
+/// [`RunError::Certificate`] when the script does not parse/elaborate, the
+/// proof fails a side condition (refuted entailments carry their
+/// counterexample in the message), or it proves a different program.
+pub fn run_replay(spec: &Spec, certificate: &str) -> Result<Outcome, RunError> {
+    let triple = Triple::new(spec.pre.clone(), spec.cmd.clone(), spec.post.clone());
+    let proof = compile_script(certificate).map_err(|e| RunError::Certificate(e.to_string()))?;
+    // Reject a certificate about the wrong program *before* checking it:
+    // otherwise a refuted proof of an unrelated command would surface as a
+    // FAIL verdict (with counterexample) against the spec's own triple.
+    if let Some(cmd) = proof.claimed_cmd() {
+        if cmd != triple.cmd {
+            return Err(RunError::Certificate(format!(
+                "certificate proves `{cmd}`, but the spec's program is `{}`",
+                triple.cmd
+            )));
         }
-        Cmd::Skip | Cmd::Assign(..) | Cmd::Havoc(..) | Cmd::Assume(..) => Ok(vec![cmd.clone()]),
-        Cmd::Choice(..) | Cmd::Star(..) => Err(RunError::UnsupportedProgram(format!(
-            "`prove` handles loop-free, choice-free programs; `{cmd}` needs \
-             `verify` (annotated loops) or `check` (semantic validity)"
-        ))),
     }
+    let ctx = ProofContext::new(spec.config.clone());
+    let mut notes = Vec::new();
+    let check_result = match check(&proof, &ctx) {
+        Ok(checked) if checked.conclusion != triple => {
+            if checked.conclusion.cmd != triple.cmd {
+                return Err(RunError::Certificate(format!(
+                    "certificate proves `{}`, but the spec's program is `{}`",
+                    checked.conclusion.cmd, triple.cmd
+                )));
+            }
+            notes.push(
+                "certificate conclusion differs from the spec triple; aligned via Cons \
+                 (2 extra entailments)"
+                    .to_owned(),
+            );
+            align_conclusion(checked, &spec.pre, &spec.post, &ctx)
+        }
+        other => other,
+    };
+    // Unlike `prove` (where a refuted WP obligation refutes the triple on
+    // the finite model), a refuted obligation inside an arbitrary
+    // certificate proves nothing about the triple — reject the certificate.
+    let checked =
+        check_result.map_err(|e| RunError::Certificate(format!("certificate rejected: {e}")))?;
+    checked_notes(&checked, &mut notes);
+    let report = Report {
+        results: vec![ObligationResult {
+            obligation: Obligation::Triple {
+                triple: triple.clone(),
+                free_vals: Vec::new(),
+                origin: "replayed .hhlp certificate".to_owned(),
+            },
+            result: Ok(()),
+        }],
+    };
+    Ok(outcome(
+        Mode::Replay,
+        triple,
+        report,
+        notes,
+        Verdict::Pass,
+        spec.expect,
+    ))
 }
 
 /// `verify`: structures the command with the spec's loop annotations and
@@ -386,6 +492,113 @@ mod tests {
             run_spec(&spec),
             Err(RunError::UnsupportedProgram(_))
         ));
+    }
+
+    #[test]
+    fn prove_mode_loop_error_points_at_replay() {
+        // Regression: the loop rejection must direct users to the
+        // certificate replayer, not dead-end them.
+        let spec = parse_spec(
+            "mode: prove\npre: true\npost: true\nvars: x in 0..1\n\
+             program:\nwhile (x > 0) { x := x - 1 }\n",
+        )
+        .unwrap();
+        let Err(RunError::UnsupportedProgram(msg)) = run_spec(&spec) else {
+            panic!("loops must be rejected by prove mode");
+        };
+        assert!(msg.contains("hhl replay"), "{msg}");
+        assert!(msg.contains("Fig. 3"), "{msg}");
+    }
+
+    #[test]
+    fn replay_rejects_failing_certificates_for_other_programs() {
+        // Regression: a certificate whose check fails with an entailment
+        // counterexample — but which proves a *different* program — must be
+        // a hard Certificate error, never a FAIL verdict against the spec's
+        // own triple (the spec here has `expect: fail`, so misreporting the
+        // refutation would exit 0 "as expected").
+        let spec = parse_spec(
+            "mode: check\npre: true\npost: low(l)\nvars: l in 0..1\n\
+             expect: fail\nprogram:\nl := l * 2\n",
+        )
+        .unwrap();
+        let cert = "hhlp 1\n\
+                    step a skip p={low(l)}\n\
+                    step root cons pre={true} post={low(l)} from=a\n";
+        let Err(RunError::Certificate(msg)) = run_replay(&spec, cert) else {
+            panic!("wrong-program certificate must be rejected outright");
+        };
+        assert!(msg.contains("spec's program"), "{msg}");
+    }
+
+    #[test]
+    fn replay_rejects_refuted_certificates_instead_of_failing_the_triple() {
+        // Regression: a same-program certificate whose own entailment is
+        // refuted proves nothing about the spec's triple; surfacing it as a
+        // FAIL verdict would let this `expect: fail` spec exit 0 even
+        // though its triple ({true} skip {true}) is valid.
+        let spec = parse_spec(
+            "mode: check\npre: true\npost: true\nvars: l in 0..1\n\
+             expect: fail\nprogram:\nskip\n",
+        )
+        .unwrap();
+        let cert = "hhlp 1\n\
+                    step a skip p={low(l)}\n\
+                    step root cons pre={true} post={true} from=a\n";
+        let Err(RunError::Certificate(msg)) = run_replay(&spec, cert) else {
+            panic!("refuted certificate must be a hard error, not a verdict");
+        };
+        assert!(msg.contains("certificate rejected"), "{msg}");
+    }
+
+    #[test]
+    fn replay_rejects_unconstrained_invariant_members() {
+        // Regression (soundness): `inv-bound` wider than `bound` would add
+        // invariant members never constrained by a checked premise; an
+        // `inv.2={false}` then makes ⨂ₙIₙ unsatisfiable on the finite
+        // model, so the post-entailment discharges vacuously and this
+        // provably refuted triple would replay as PASS.
+        let spec = parse_spec(
+            "mode: check\npre: forall <p>. p(x) == 0\npost: forall <p>. p(x) == 7\n\
+             vars: x in 0..2\nprogram:\n{ x := x + 1 }*\n",
+        )
+        .unwrap();
+        let cert = "hhlp 1\n\
+             step p0 oracle pre={forall <p>. p(x) == 0} cmd={x := x + 1} \
+             post={forall <p>. p(x) == 1} note={fine}\n\
+             step root iter bound=0 inv-bound=2 inv.0={forall <p>. p(x) == 0} \
+             inv.1={forall <p>. p(x) == 1} inv.2={false} premises=p0\n";
+        let Err(RunError::Certificate(msg)) = run_replay(&spec, cert) else {
+            panic!("unconstrained invariant members must be rejected");
+        };
+        assert!(msg.contains("inv-bound"), "{msg}");
+    }
+
+    #[test]
+    fn refuted_proofs_emit_no_certificate() {
+        // Regression: --emit-proof must not write a "certificate" for a
+        // derivation the checker just refuted (replaying it would only be
+        // rejected).
+        let spec = parse_spec(
+            "mode: prove\npre: true\npost: low(l)\nvars: l in 0..1\n\
+             expect: fail\nprogram:\nl := l * 2\n",
+        )
+        .unwrap();
+        let (outcome, cert) = run_prove_with_certificate(&spec).unwrap();
+        assert_eq!(outcome.verdict, Verdict::Fail, "{outcome}");
+        assert!(outcome.as_expected);
+        assert!(cert.is_none());
+
+        // The passing twin emits a replayable certificate.
+        let spec = parse_spec(
+            "mode: prove\npre: low(l)\npost: low(l)\nvars: l in 0..1\n\
+             program:\nl := l * 2\n",
+        )
+        .unwrap();
+        let (outcome, cert) = run_prove_with_certificate(&spec).unwrap();
+        assert_eq!(outcome.verdict, Verdict::Pass, "{outcome}");
+        let replayed = run_replay(&spec, &cert.expect("passing proof emits")).unwrap();
+        assert_eq!(replayed.verdict, Verdict::Pass);
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub enum Mode {
     Prove,
     /// Annotated-loop verification through [`hhl_verify::verify`].
     Verify,
+    /// An externally-supplied `.hhlp` certificate elaborated and checked
+    /// against the spec's triple ([`crate::run_replay`]). Not selectable
+    /// from a spec file — the certificate arrives as a second CLI argument.
+    Replay,
 }
 
 impl fmt::Display for Mode {
@@ -46,6 +50,7 @@ impl fmt::Display for Mode {
             Mode::Check => write!(f, "check"),
             Mode::Prove => write!(f, "prove"),
             Mode::Verify => write!(f, "verify"),
+            Mode::Replay => write!(f, "replay"),
         }
     }
 }

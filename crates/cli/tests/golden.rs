@@ -155,7 +155,155 @@ fn no_args_prints_usage() {
         .output()
         .expect("hhl binary runs");
     assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8(out.stderr)
-        .expect("utf-8")
-        .contains("usage: hhl check"));
+    let usage = String::from_utf8(out.stderr).expect("utf-8");
+    assert!(usage.contains("usage: hhl <command>"), "{usage}");
+    for subcommand in ["hhl check", "hhl prove", "hhl replay", "--emit-proof"] {
+        assert!(
+            usage.contains(subcommand),
+            "missing {subcommand} in\n{usage}"
+        );
+    }
+}
+
+#[test]
+fn help_lists_subcommands() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hhl"))
+        .arg("--help")
+        .output()
+        .expect("hhl binary runs");
+    assert!(out.status.success());
+    let usage = stdout_of(&out);
+    assert!(
+        usage.contains("hhl replay <spec.hhl> <proof.hhlp>"),
+        "{usage}"
+    );
+}
+
+fn proof_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/proofs")
+        .join(name)
+}
+
+fn run_replay(spec: &str, proof: &str) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hhl"))
+        .arg("replay")
+        .arg(spec_path(spec))
+        .arg(proof_path(proof))
+        .output()
+        .expect("hhl binary runs")
+}
+
+#[test]
+fn replay_checks_the_handwritten_while_sync_certificate() {
+    // The acceptance scenario: a loop proof `prove` mode cannot derive
+    // (WhileSync is outside the WP fragment) replays from a hand-written
+    // certificate.
+    let out = run_replay("while_sync.hhl", "while_sync.hhlp");
+    let report = stdout_of(&out);
+    assert!(out.status.success(), "{report}");
+    assert!(report.contains("mode: replay"), "{report}");
+    assert!(report.contains("[replayed .hhlp certificate]"), "{report}");
+    assert!(
+        report.contains("proof checked: 4 rule application(s), 5 entailment(s)"),
+        "{report}"
+    );
+    assert!(report.contains("verdict: PASS (as expected)"), "{report}");
+}
+
+#[test]
+fn replay_checks_the_emitted_certificates() {
+    for (spec, proof, stats) in [
+        ("ni_c1.hhl", "ni_c1.hhlp", "2 rule application(s)"),
+        (
+            "gni_c4_violation.hhl",
+            "gni_c4_violation.hhlp",
+            "6 rule application(s)",
+        ),
+    ] {
+        let out = run_replay(spec, proof);
+        let report = stdout_of(&out);
+        assert!(out.status.success(), "{report}");
+        assert!(report.contains(stats), "{report}");
+        assert!(report.contains("verdict: PASS (as expected)"), "{report}");
+    }
+}
+
+#[test]
+fn emit_proof_roundtrips_through_replay() {
+    // `hhl prove --emit-proof` output must replay with the identical
+    // verdict and statistics the prover reported.
+    let dir = std::env::temp_dir().join("hhl-golden-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let cert = dir.join("ni_c1_roundtrip.hhlp");
+    let out = Command::new(env!("CARGO_BIN_EXE_hhl"))
+        .arg("prove")
+        .arg("--emit-proof")
+        .arg(&cert)
+        .arg(spec_path("ni_c1.hhl"))
+        .output()
+        .expect("hhl binary runs");
+    let prove_report = stdout_of(&out);
+    assert!(out.status.success(), "{prove_report}");
+    assert!(
+        prove_report.contains("certificate written to"),
+        "{prove_report}"
+    );
+    let prove_stats = prove_report
+        .lines()
+        .find(|l| l.starts_with("note: proof checked:"))
+        .expect("prove reports stats")
+        .to_owned();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_hhl"))
+        .arg("replay")
+        .arg(spec_path("ni_c1.hhl"))
+        .arg(&cert)
+        .output()
+        .expect("hhl binary runs");
+    let replay_report = stdout_of(&out);
+    assert!(out.status.success(), "{replay_report}");
+    assert!(replay_report.contains("verdict: PASS"), "{replay_report}");
+    assert!(replay_report.contains(&prove_stats), "{replay_report}");
+}
+
+#[test]
+fn prove_subcommand_forces_wp_mode_on_check_specs() {
+    // ni_c1.hhl says `mode: check`; the subcommand overrides it.
+    let out = Command::new(env!("CARGO_BIN_EXE_hhl"))
+        .arg("prove")
+        .arg(spec_path("ni_c1.hhl"))
+        .output()
+        .expect("hhl binary runs");
+    let report = stdout_of(&out);
+    assert!(out.status.success(), "{report}");
+    assert!(report.contains("mode: prove"), "{report}");
+    assert!(report.contains("syntactic WP proof"), "{report}");
+}
+
+#[test]
+fn replay_reports_certificate_errors_with_spans() {
+    let dir = std::env::temp_dir().join("hhl-golden-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bad = dir.join("bad.hhlp");
+    std::fs::write(&bad, "hhlp 1\nstep s1 skip p={low(l)\n").expect("write");
+    let out = Command::new(env!("CARGO_BIN_EXE_hhl"))
+        .arg("replay")
+        .arg(spec_path("ni_c1.hhl"))
+        .arg(&bad)
+        .output()
+        .expect("hhl binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).expect("utf-8");
+    assert!(stderr.contains("proof script error at line 2"), "{stderr}");
+}
+
+#[test]
+fn replay_rejects_certificates_for_other_programs() {
+    // ni_c1's certificate proves `l := l * 2`, not while_sync's loop.
+    let out = run_replay("while_sync.hhl", "ni_c1.hhlp");
+    assert_eq!(out.status.code(), Some(2), "{}", stdout_of(&out));
+    let stderr = String::from_utf8(out.stderr).expect("utf-8");
+    assert!(stderr.contains("spec's program"), "{stderr}");
+    assert!(stderr.contains("certificate"), "{stderr}");
 }

@@ -94,6 +94,119 @@ pub fn check(d: &Derivation, ctx: &ProofContext) -> Result<CheckedProof, ProofEr
     Ok(CheckedProof { conclusion, stats })
 }
 
+/// Discharges the two `Cons` entailments that align an already-checked
+/// proof's conclusion with a target pre/postcondition, without re-walking
+/// (and re-discharging) the proof tree. The resulting conclusion and
+/// statistics equal what `check(&Derivation::cons(pre, post, proof), ctx)`
+/// would report for the same underlying proof.
+///
+/// # Errors
+///
+/// [`ProofError::Entailment`] with a counterexample when `pre` does not
+/// entail the checked precondition or the checked postcondition does not
+/// entail `post`.
+pub fn align_conclusion(
+    checked: CheckedProof,
+    pre: &Assertion,
+    post: &Assertion,
+    ctx: &ProofContext,
+) -> Result<CheckedProof, ProofError> {
+    let mut stats = checked.stats;
+    stats.rules += 1;
+    let scope = Scope::default();
+    entails_scoped(
+        "Cons",
+        pre,
+        &checked.conclusion.pre,
+        &scope,
+        ctx,
+        &mut stats,
+    )?;
+    entails_scoped(
+        "Cons",
+        &checked.conclusion.post,
+        post,
+        &scope,
+        ctx,
+        &mut stats,
+    )?;
+    Ok(CheckedProof {
+        conclusion: Triple::new(pre.clone(), checked.conclusion.cmd, post.clone()),
+        stats,
+    })
+}
+
+impl Derivation {
+    /// The command this derivation claims to prove, computed purely
+    /// structurally — no semantic side condition is discharged, so callers
+    /// can reject a certificate about the wrong program *before* (and
+    /// independently of) checking it. `None` when the tree is too malformed
+    /// to name a command; [`check`] then reports the precise structural
+    /// error.
+    #[must_use]
+    pub fn claimed_cmd(&self) -> Option<Cmd> {
+        match self {
+            Derivation::Skip { .. } => Some(Cmd::Skip),
+            Derivation::Seq(l, r) => Some(Cmd::seq(l.claimed_cmd()?, r.claimed_cmd()?)),
+            Derivation::Choice(l, r) => Some(Cmd::choice(l.claimed_cmd()?, r.claimed_cmd()?)),
+            Derivation::Cons { inner, .. }
+            | Derivation::ConsPre { inner, .. }
+            | Derivation::Exist { inner, .. }
+            | Derivation::Forall { inner, .. }
+            | Derivation::FrameSafe { inner, .. }
+            | Derivation::FrameT { inner, .. }
+            | Derivation::Specialize { inner, .. }
+            | Derivation::LUpdateS { inner, .. }
+            | Derivation::BigUnion(inner) => inner.claimed_cmd(),
+            Derivation::AssignS { x, e, .. } => Some(Cmd::Assign(*x, e.clone())),
+            Derivation::HavocS { x, .. } => Some(Cmd::Havoc(*x)),
+            Derivation::AssumeS { b, .. } => Some(Cmd::assume(b.clone())),
+            Derivation::Iter { premises, .. } => Some(Cmd::star(premises.at(0).claimed_cmd()?)),
+            Derivation::WhileDesugared {
+                guard, premises, ..
+            } => match premises.at(0).claimed_cmd()? {
+                Cmd::Seq(a, c) if *a == Cmd::assume(guard.clone()) => {
+                    Some(Cmd::while_loop(guard.clone(), *c))
+                }
+                _ => None,
+            },
+            Derivation::WhileSync { guard, body, .. }
+            | Derivation::WhileSyncTerm { guard, body, .. } => {
+                Some(Cmd::while_loop(guard.clone(), body.claimed_cmd()?))
+            }
+            Derivation::IfSync {
+                guard,
+                then_d,
+                else_d,
+                ..
+            } => Some(Cmd::if_else(
+                guard.clone(),
+                then_d.claimed_cmd()?,
+                else_d.claimed_cmd()?,
+            )),
+            Derivation::WhileForallExists { guard, body_if, .. } => {
+                match_if_then(&body_if.claimed_cmd()?, guard, "While-∀*∃*")
+                    .ok()
+                    .map(|body| Cmd::while_loop(guard.clone(), body))
+            }
+            Derivation::WhileExists {
+                guard, decrease, ..
+            } => match_if_then(&decrease.claimed_cmd()?, guard, "While-∃")
+                .ok()
+                .map(|body| Cmd::while_loop(guard.clone(), body)),
+            Derivation::And(l, _) | Derivation::Or(l, _) | Derivation::Union(l, _) => {
+                l.claimed_cmd()
+            }
+            Derivation::IndexedUnion { premises, .. } => premises.at(0).claimed_cmd(),
+            Derivation::Linking { cmd, .. } => Some(cmd.clone()),
+            Derivation::True { cmd, .. }
+            | Derivation::False { cmd, .. }
+            | Derivation::Empty { cmd } => Some(cmd.clone()),
+            Derivation::Oracle { triple, .. } => Some(triple.cmd.clone()),
+        }
+    }
+}
+
 fn structural(rule: &'static str, detail: impl Into<String>) -> ProofError {
     ProofError::Structural {
         rule,
@@ -345,6 +458,19 @@ fn check_in(
         }
 
         Derivation::Iter { inv, premises } => {
+            // Soundness: the conclusion's ⨂ₙ Iₙ samples the inv family to
+            // *its* bound, but only members reached by a checked premise are
+            // constrained — a wider family could smuggle in `false` and make
+            // the conclusion unsatisfiable (hence vacuously consequent).
+            if inv.bound != premises.bound {
+                return Err(structural(
+                    "Iter",
+                    format!(
+                        "invariant family bound {} != premise family bound {}",
+                        inv.bound, premises.bound
+                    ),
+                ));
+            }
             let mut body: Option<Cmd> = None;
             for n in 0..=premises.bound {
                 let tn = check_in(&premises.at(n), ctx, scope, stats)?;
@@ -379,6 +505,18 @@ fn check_in(
             premises,
             exit,
         } => {
+            // Same invariant-vs-premise bound constraint as `Iter`: the exit
+            // premise strengthens from ⨂ₙ Iₙ, which must not contain
+            // members no premise constrains.
+            if inv.bound != premises.bound {
+                return Err(structural(
+                    "WhileDesugared",
+                    format!(
+                        "invariant family bound {} != premise family bound {}",
+                        inv.bound, premises.bound
+                    ),
+                ));
+            }
             let mut body: Option<Cmd> = None;
             for n in 0..=premises.bound {
                 let tn = check_in(&premises.at(n), ctx, scope, stats)?;

@@ -30,14 +30,16 @@ pub mod check;
 mod error;
 #[cfg(test)]
 mod tests;
+mod wp;
 
 use std::rc::Rc;
 
 use hhl_assert::{Assertion, Family};
 use hhl_lang::{Cmd, Expr, ExtState, Symbol};
 
-pub use check::{check, CheckStats, ProofContext};
+pub use check::{align_conclusion, check, CheckStats, CheckedProof, ProofContext};
 pub use error::ProofError;
+pub use wp::{atomize, premise_pre, wp_derivation, WpError};
 
 use crate::triple::Triple;
 

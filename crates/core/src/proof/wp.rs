@@ -1,0 +1,212 @@
+//! Automatic weakest-precondition derivations for the Fig. 3 fragment.
+//!
+//! `prove` mode and the certificate emitter both need the same construction:
+//! flatten a loop-free, choice-free command into its atomic sequence
+//! ([`atomize`]), thread the intermediate assertions backward through the
+//! Defs. 13–15 transformations ([`premise_pre`]), and assemble the
+//! `AssignS`/`HavocS`/`AssumeS` chain under a final `Cons`
+//! ([`wp_derivation`]). Keeping the construction here (rather than private
+//! to the CLI) lets every consumer — the CLI, `hhl-proofs`, the benches —
+//! share one definition.
+
+use std::fmt;
+
+use hhl_assert::{assign_transform, assume_transform, havoc_transform, Assertion, TransformError};
+use hhl_lang::Cmd;
+
+use crate::proof::Derivation;
+
+/// Error raised when the WP construction does not apply.
+#[derive(Clone, Debug)]
+pub enum WpError {
+    /// The command falls outside the loop-free, choice-free fragment the
+    /// Fig. 3 syntactic rules cover.
+    Unsupported(String),
+    /// A Defs. 13–15 transformation met an assertion outside its fragment.
+    Transform(TransformError),
+}
+
+impl fmt::Display for WpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WpError::Unsupported(m) => write!(f, "{m}"),
+            WpError::Transform(e) => write!(f, "syntactic transformation not applicable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WpError::Unsupported(_) => None,
+            WpError::Transform(e) => Some(e),
+        }
+    }
+}
+
+impl From<TransformError> for WpError {
+    fn from(e: TransformError) -> WpError {
+        WpError::Transform(e)
+    }
+}
+
+/// Flattens a command into its atomic sequence, rejecting loops/choices.
+///
+/// # Errors
+///
+/// [`WpError::Unsupported`] on `Choice` or `Star` nodes: the Fig. 3
+/// syntactic rules only cover atomic commands and their sequences.
+pub fn atomize(cmd: &Cmd) -> Result<Vec<Cmd>, WpError> {
+    match cmd {
+        Cmd::Seq(a, b) => {
+            let mut out = atomize(a)?;
+            out.extend(atomize(b)?);
+            Ok(out)
+        }
+        Cmd::Skip | Cmd::Assign(..) | Cmd::Havoc(..) | Cmd::Assume(..) => Ok(vec![cmd.clone()]),
+        Cmd::Choice(..) | Cmd::Star(..) => Err(WpError::Unsupported(format!(
+            "`{cmd}` is outside the loop-free, choice-free fragment of the \
+             syntactic WP rules (Fig. 3)"
+        ))),
+    }
+}
+
+/// The precondition the checker will compute for a backward-built premise —
+/// used to thread a WP chain's intermediate assertions.
+///
+/// # Errors
+///
+/// [`WpError`] when `d` is not one of the four atomic Fig. 3 rules or its
+/// transformation does not apply to the stored postcondition.
+pub fn premise_pre(d: &Derivation) -> Result<Assertion, WpError> {
+    match d {
+        Derivation::Skip { p } => Ok(p.clone()),
+        Derivation::AssignS { x, e, post } => Ok(assign_transform(*x, e, post)?),
+        Derivation::HavocS { x, post } => Ok(havoc_transform(*x, post)?),
+        Derivation::AssumeS { b, post } => Ok(assume_transform(b, post)?),
+        other => Err(WpError::Unsupported(format!(
+            "unexpected premise {} in a syntactic WP chain",
+            other.rule_name()
+        ))),
+    }
+}
+
+/// Builds the Fig. 3 syntactic weakest-precondition derivation
+/// `Cons(pre, post, AssignS/HavocS/AssumeS chain)` for a loop-free,
+/// choice-free command.
+///
+/// The chain is built backward from `post`; [`premise_pre`] recomputes each
+/// intermediate assertion exactly as the checker will, so replaying the
+/// result through [`check`](crate::proof::check) discharges only the two
+/// `Cons` entailments semantically.
+///
+/// # Errors
+///
+/// [`WpError`] when the command has loops/choices or a transformation does
+/// not apply.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_assert::{Assertion, Universe};
+/// use hhl_core::proof::{check, wp_derivation, ProofContext};
+/// use hhl_core::ValidityConfig;
+/// use hhl_lang::parse_cmd;
+///
+/// let cmd = parse_cmd("l := l * 2").unwrap();
+/// let d = wp_derivation(&Assertion::low("l"), &cmd, &Assertion::low("l")).unwrap();
+/// let ctx = ProofContext::new(ValidityConfig::new(Universe::int_cube(&["l"], 0, 1)));
+/// assert!(check(&d, &ctx).is_ok());
+/// ```
+pub fn wp_derivation(pre: &Assertion, cmd: &Cmd, post: &Assertion) -> Result<Derivation, WpError> {
+    let atoms = atomize(cmd)?;
+    let mut derivs = Vec::with_capacity(atoms.len());
+    for cmd in atoms.iter().rev() {
+        // Build backward from the postcondition; the checker recomputes
+        // each transformed assertion and verifies the chain.
+        let step_post = derivs
+            .last()
+            .map(premise_pre)
+            .transpose()?
+            .unwrap_or_else(|| post.clone());
+        derivs.push(match cmd {
+            Cmd::Skip => Derivation::Skip { p: step_post },
+            Cmd::Assign(x, e) => Derivation::AssignS {
+                x: *x,
+                e: e.clone(),
+                post: step_post,
+            },
+            Cmd::Havoc(x) => Derivation::HavocS {
+                x: *x,
+                post: step_post,
+            },
+            Cmd::Assume(b) => Derivation::AssumeS {
+                b: b.clone(),
+                post: step_post,
+            },
+            other => {
+                return Err(WpError::Unsupported(format!(
+                    "non-atomic command {other} after atomization"
+                )))
+            }
+        });
+    }
+    derivs.reverse();
+    let chain = Derivation::seq_all(derivs);
+    Ok(Derivation::cons(pre.clone(), post.clone(), chain))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proof::{check, ProofContext};
+    use crate::validity::ValidityConfig;
+    use hhl_assert::Universe;
+    use hhl_lang::parse_cmd;
+
+    #[test]
+    fn atomize_flattens_sequences() {
+        let cmd = parse_cmd("y := nonDet(); assume y <= 9; l := h + y").unwrap();
+        let atoms = atomize(&cmd).unwrap();
+        assert_eq!(atoms.len(), 3);
+        assert!(matches!(atoms[0], Cmd::Havoc(_)));
+        assert!(matches!(atoms[2], Cmd::Assign(_, _)));
+    }
+
+    #[test]
+    fn atomize_rejects_loops_and_choices() {
+        for src in ["while (x > 0) { x := x - 1 }", "{ x := 1 } + { x := 2 }"] {
+            let cmd = parse_cmd(src).unwrap();
+            let e = atomize(&cmd).unwrap_err();
+            assert!(e.to_string().contains("Fig. 3"), "{e}");
+        }
+    }
+
+    #[test]
+    fn premise_pre_matches_checker_recomputation() {
+        let cmd = parse_cmd("l := l * 2").unwrap();
+        let d = wp_derivation(&Assertion::low("l"), &cmd, &Assertion::low("l")).unwrap();
+        let Derivation::Cons { inner, .. } = &d else {
+            panic!("wp derivation is a Cons at the root");
+        };
+        let pre = premise_pre(inner).unwrap();
+        let ctx = ProofContext::new(ValidityConfig::new(Universe::int_cube(&["l"], 0, 1)));
+        let checked = check(&d, &ctx).unwrap();
+        // The chain's computed precondition is what the checker derived
+        // below the root Cons.
+        assert_eq!(checked.conclusion.pre, Assertion::low("l"));
+        assert_eq!(
+            pre.to_string(),
+            "∀⟨phi1⟩. ∀⟨phi2⟩. phi1(l) * 2 == phi2(l) * 2"
+        );
+    }
+
+    #[test]
+    fn premise_pre_rejects_structural_rules() {
+        let d = Derivation::Seq(
+            Box::new(Derivation::Skip { p: Assertion::tt() }),
+            Box::new(Derivation::Skip { p: Assertion::tt() }),
+        );
+        assert!(matches!(premise_pre(&d), Err(WpError::Unsupported(_))));
+    }
+}

@@ -265,7 +265,12 @@ fn parse_expr_atom(lx: &mut Lexer<'_>) -> Result<Expr, ParseError> {
     let mut base = match tok {
         Some(Tok::Int(n)) => Expr::int(n),
         Some(Tok::LVar(name)) => Expr::lvar(name.as_str()),
-        Some(Tok::Sym("-")) => -parse_expr_atom(lx)?,
+        // Negated integer literals fold to the constant, so `-1` parses to
+        // exactly what `Display` prints for `Const(Int(-1))`.
+        Some(Tok::Sym("-")) => match parse_expr_atom(lx)? {
+            Expr::Const(Value::Int(n)) => Expr::int(n.wrapping_neg()),
+            e => -e,
+        },
         Some(Tok::Sym("!")) => parse_expr_atom(lx)?.not(),
         Some(Tok::Sym("(")) => {
             let e = parse_expr_bp(lx, 0)?;

@@ -1,0 +1,777 @@
+//! Elaboration: resolving a parsed [`Script`] into a checkable
+//! [`Derivation`] tree.
+//!
+//! Steps are processed in source order; premise references (`from=…`,
+//! `premises=…`, `body=…`) must point at earlier labels, which makes the
+//! script a topologically-sorted linearization of the proof DAG. Embedded
+//! text arguments are parsed with the workspace's surface parsers
+//! (`hhl_assert::parse_assertion`, `hhl_lang::parse_expr`/`parse_cmd`).
+//! Indexed arguments (`inv.0=…`, `inv.1=…`) back the `Family` /
+//! `DerivationFamily` premises of the `iter`, `while-desugared` and
+//! `indexed-union` rules.
+
+use std::collections::HashMap;
+
+use hhl_assert::{parse_assertion, Assertion, Family};
+use hhl_core::proof::{Derivation, DerivationFamily};
+use hhl_core::Triple;
+use hhl_lang::{parse_cmd, parse_expr, Cmd, Expr, Symbol};
+
+use crate::script::{err, parse_script, Arg, Script, ScriptError, Step, RULE_TABLE};
+
+/// Per-step argument reader that tracks which keys were consumed, so typo'd
+/// or superfluous arguments are reported instead of silently ignored.
+struct Args<'a> {
+    step: &'a Step,
+    used: Vec<bool>,
+}
+
+impl<'a> Args<'a> {
+    fn new(step: &'a Step) -> Args<'a> {
+        Args {
+            step,
+            used: vec![false; step.args.len()],
+        }
+    }
+
+    fn line(&self) -> usize {
+        self.step.line
+    }
+
+    fn lookup(&mut self, key: &str) -> Option<&'a Arg> {
+        let i = self.step.args.iter().position(|(k, _)| k == key)?;
+        self.used[i] = true;
+        Some(&self.step.args[i].1)
+    }
+
+    fn text(&mut self, key: &str) -> Result<&'a str, ScriptError> {
+        match self.lookup(key) {
+            Some(Arg::Text(t)) => Ok(t),
+            Some(Arg::Words(_)) => err(
+                self.line(),
+                1,
+                format!(
+                    "argument `{key}` of `{}` must be braced text `{{…}}`",
+                    self.step.rule
+                ),
+            ),
+            None => err(
+                self.line(),
+                1,
+                format!("rule `{}` requires argument `{key}`", self.step.rule),
+            ),
+        }
+    }
+
+    fn opt_text(&mut self, key: &str) -> Result<Option<&'a str>, ScriptError> {
+        match self.lookup(key) {
+            Some(Arg::Text(t)) => Ok(Some(t)),
+            Some(Arg::Words(_)) => err(
+                self.line(),
+                1,
+                format!(
+                    "argument `{key}` of `{}` must be braced text `{{…}}`",
+                    self.step.rule
+                ),
+            ),
+            None => Ok(None),
+        }
+    }
+
+    fn word(&mut self, key: &str) -> Result<&'a str, ScriptError> {
+        match self.lookup(key) {
+            Some(Arg::Words(ws)) if ws.len() == 1 => Ok(&ws[0]),
+            Some(_) => err(
+                self.line(),
+                1,
+                format!(
+                    "argument `{key}` of `{}` must be a single bare word",
+                    self.step.rule
+                ),
+            ),
+            None => err(
+                self.line(),
+                1,
+                format!("rule `{}` requires argument `{key}`", self.step.rule),
+            ),
+        }
+    }
+
+    fn words(&mut self, key: &str) -> Result<&'a [String], ScriptError> {
+        match self.lookup(key) {
+            Some(Arg::Words(ws)) => Ok(ws),
+            Some(Arg::Text(_)) => err(
+                self.line(),
+                1,
+                format!(
+                    "argument `{key}` of `{}` must be bare labels",
+                    self.step.rule
+                ),
+            ),
+            None => err(
+                self.line(),
+                1,
+                format!("rule `{}` requires argument `{key}`", self.step.rule),
+            ),
+        }
+    }
+
+    fn assertion(&mut self, key: &str) -> Result<Assertion, ScriptError> {
+        let src = self.text(key)?;
+        parse_assertion(src)
+            .map_err(|e| bad(self.line(), format!("argument `{key}`: {e} in {src:?}")))
+    }
+
+    fn expr(&mut self, key: &str) -> Result<Expr, ScriptError> {
+        let src = self.text(key)?;
+        parse_expr(src).map_err(|e| bad(self.line(), format!("argument `{key}`: {e} in {src:?}")))
+    }
+
+    fn cmd(&mut self, key: &str) -> Result<Cmd, ScriptError> {
+        let src = self.text(key)?;
+        parse_cmd(src).map_err(|e| bad(self.line(), format!("argument `{key}`: {e} in {src:?}")))
+    }
+
+    fn symbol(&mut self, key: &str) -> Result<Symbol, ScriptError> {
+        Ok(Symbol::new(self.word(key)?))
+    }
+
+    fn u32(&mut self, key: &str) -> Result<u32, ScriptError> {
+        let w = self.word(key)?;
+        w.parse::<u32>().map_err(|_| {
+            bad(
+                self.line(),
+                format!("argument `{key}`: expected an integer, got {w:?}"),
+            )
+        })
+    }
+
+    /// A `bound=`/`inv-bound=` argument, capped at [`MAX_FAMILY_BOUND`] so a
+    /// hostile certificate cannot trigger integer overflow (`bound + 1`) or
+    /// unbounded family allocation during elaboration.
+    fn family_bound(&mut self, key: &str) -> Result<u32, ScriptError> {
+        let b = self.u32(key)?;
+        if b > MAX_FAMILY_BOUND {
+            return Err(bad(
+                self.line(),
+                format!(
+                    "argument `{key}`: bound {b} exceeds the supported maximum {MAX_FAMILY_BOUND}"
+                ),
+            ));
+        }
+        Ok(b)
+    }
+
+    fn opt_family_bound(&mut self, key: &str) -> Result<Option<u32>, ScriptError> {
+        if self.step.args.iter().any(|(k, _)| k == key) {
+            Ok(Some(self.family_bound(key)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// `prefix.0` … `prefix.{upto}`, all required.
+    fn assertion_family(&mut self, prefix: &str, upto: u32) -> Result<Vec<Assertion>, ScriptError> {
+        (0..=upto)
+            .map(|i| self.assertion(&format!("{prefix}.{i}")))
+            .collect()
+    }
+
+    fn finish(self) -> Result<(), ScriptError> {
+        for (i, used) in self.used.iter().enumerate() {
+            if !used {
+                return err(
+                    self.line(),
+                    1,
+                    format!(
+                        "unknown argument `{}` for rule `{}`",
+                        self.step.args[i].0, self.step.rule
+                    ),
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Largest accepted premise/invariant family bound. Far above any checkable
+/// certificate (every index is elaborated and checked individually), and
+/// small enough that `bound + 1` and per-index allocation stay safe on
+/// untrusted input.
+const MAX_FAMILY_BOUND: u32 = 4096;
+
+/// The optional, explicit `inv-bound=` must equal `bound` (emitted
+/// certificates always spell it out). Soundness depends on this: the
+/// checker only constrains invariant members reached by a checked premise,
+/// so a wider family would put unconstrained members (e.g. `false`) into
+/// the conclusion's `⨂ₙ Iₙ`, making it unsatisfiable on the finite model
+/// and every post-entailment vacuously dischargeable.
+fn check_inv_bound(a: &mut Args<'_>, rule: &str, bound: u32) -> Result<(), ScriptError> {
+    if let Some(inv_bound) = a.opt_family_bound("inv-bound")? {
+        if inv_bound != bound {
+            return Err(bad(
+                a.line(),
+                format!(
+                    "`{rule}` requires inv-bound ({inv_bound}) == bound ({bound}): invariant \
+                     members beyond the checked premises would be unconstrained"
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn bad(line: usize, message: String) -> ScriptError {
+    ScriptError {
+        line,
+        col: 0,
+        message,
+    }
+}
+
+/// A `Family` backed by explicit members; indices past the end clamp to the
+/// last member (the checker only samples within the declared bound).
+fn vec_family(bound: u32, members: Vec<Assertion>) -> Family {
+    Family::new(bound, move |n| {
+        members[(n as usize).min(members.len() - 1)].clone()
+    })
+}
+
+fn vec_derivation_family(bound: u32, members: Vec<Derivation>) -> DerivationFamily {
+    DerivationFamily::new(bound, move |n| {
+        members[(n as usize).min(members.len() - 1)].clone()
+    })
+}
+
+/// Cap on the elaborated proof-tree size. Scripts reference premises by
+/// label (a DAG), but [`Derivation`] is a tree, so each reference *clones*
+/// its premise — a step referencing the previous step twice doubles the
+/// tree, and a ~20-line certificate could otherwise expand to millions of
+/// nodes. Sizes are tracked per label, so the cap is enforced without ever
+/// materializing an oversized tree.
+const MAX_PROOF_NODES: u64 = 100_000;
+
+/// Cap on the elaborated proof-tree *depth*. Clone, check and drop of a
+/// [`Derivation`] all recurse once per tree level, so a deep linear
+/// certificate (e.g. a ~90k-step `cons-pre` chain, well under the node cap)
+/// would otherwise abort the replayer with a stack overflow. 512 keeps the
+/// worst-case recursion inside even the 2 MiB stacks Rust gives spawned
+/// (test) threads in debug builds, while dwarfing any real certificate.
+const MAX_PROOF_DEPTH: u32 = 512;
+
+struct Elab<'a> {
+    by_label: HashMap<&'a str, Derivation>,
+    /// Elaborated tree size of each labelled step.
+    sizes: HashMap<&'a str, u64>,
+    /// Elaborated tree depth of each labelled step.
+    depths: HashMap<&'a str, u32>,
+    /// Nodes the step currently being elaborated has absorbed via premise
+    /// references; reset per step, checked against [`MAX_PROOF_NODES`].
+    pending: u64,
+    /// Deepest premise the step currently being elaborated references;
+    /// reset per step, checked against [`MAX_PROOF_DEPTH`].
+    pending_depth: u32,
+}
+
+impl<'a> Elab<'a> {
+    fn premise(&mut self, args: &mut Args<'_>, key: &str) -> Result<Derivation, ScriptError> {
+        let label = args.word(key)?;
+        self.resolve(args.line(), label)
+    }
+
+    fn resolve(&mut self, line: usize, label: &str) -> Result<Derivation, ScriptError> {
+        let Some(d) = self.by_label.get(label) else {
+            return Err(bad(
+                line,
+                format!("premise `{label}` is not defined by an earlier step"),
+            ));
+        };
+        let size = self.sizes.get(label).copied().unwrap_or(1);
+        let depth = self.depths.get(label).copied().unwrap_or(1);
+        self.pending = self.pending.saturating_add(size);
+        self.pending_depth = self.pending_depth.max(depth);
+        if self.pending > MAX_PROOF_NODES {
+            return Err(bad(
+                line,
+                format!(
+                    "proof tree exceeds {MAX_PROOF_NODES} nodes (premise references clone \
+                     their subtree; this certificate duplicates premises explosively)"
+                ),
+            ));
+        }
+        Ok(d.clone())
+    }
+
+    fn premise_list(
+        &mut self,
+        args: &mut Args<'_>,
+        key: &str,
+        at_least: usize,
+    ) -> Result<Vec<Derivation>, ScriptError> {
+        let line = args.line();
+        let labels = args.words(key)?.to_vec();
+        if labels.len() < at_least {
+            return err(
+                line,
+                1,
+                format!("`{key}` needs at least {at_least} premise label(s)"),
+            );
+        }
+        labels.iter().map(|l| self.resolve(line, l)).collect()
+    }
+
+    /// Charges `levels` extra tree levels (and as many nodes) to the step
+    /// being elaborated — for rules that nest one level per premise (`seq`
+    /// right-nests its chain) or interpose extra nodes (`while-desugared`'s
+    /// exit `Cons`). Erroring here, *before* the step's tree is assembled,
+    /// is what keeps an over-deep tree from ever existing (even dropping
+    /// one would overflow the stack).
+    fn charge_depth(&mut self, line: usize, levels: u32) -> Result<(), ScriptError> {
+        self.pending_depth = self.pending_depth.saturating_add(levels);
+        self.pending = self.pending.saturating_add(u64::from(levels));
+        if self.pending_depth >= MAX_PROOF_DEPTH {
+            return Err(bad(
+                line,
+                format!(
+                    "proof tree depth exceeds the maximum {MAX_PROOF_DEPTH} \
+                     (the checker recurses once per level)"
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Exactly `bound + 1` premises, as the family rules require.
+    fn premise_family(
+        &mut self,
+        args: &mut Args<'_>,
+        key: &str,
+        rule: &str,
+        bound: u32,
+    ) -> Result<Vec<Derivation>, ScriptError> {
+        let need = bound as usize + 1;
+        let premises = self.premise_list(args, key, need)?;
+        if premises.len() != need {
+            return err(
+                args.line(),
+                1,
+                format!("`{rule}` with bound={bound} needs exactly {need} premises"),
+            );
+        }
+        Ok(premises)
+    }
+
+    fn boxed(&mut self, args: &mut Args<'_>, key: &str) -> Result<Box<Derivation>, ScriptError> {
+        Ok(Box::new(self.premise(args, key)?))
+    }
+
+    fn step(&mut self, step: &'a Step) -> Result<Derivation, ScriptError> {
+        let mut a = Args::new(step);
+        let d = match step.rule.as_str() {
+            "skip" => Derivation::Skip {
+                p: a.assertion("p")?,
+            },
+            "seq" => {
+                let premises = self.premise_list(&mut a, "premises", 2)?;
+                // seq_all right-nests: one `Seq` level per premise beyond
+                // the first, so a wide one-line chain is as deep as a long
+                // `cons` chain.
+                self.charge_depth(step.line, premises.len() as u32 - 1)?;
+                Derivation::seq_all(premises)
+            }
+            "choice" => Derivation::Choice(self.boxed(&mut a, "l")?, self.boxed(&mut a, "r")?),
+            "cons" => Derivation::Cons {
+                pre: a.assertion("pre")?,
+                post: a.assertion("post")?,
+                inner: self.boxed(&mut a, "from")?,
+            },
+            "cons-pre" => Derivation::ConsPre {
+                pre: a.assertion("pre")?,
+                inner: self.boxed(&mut a, "from")?,
+            },
+            "assign-s" => Derivation::AssignS {
+                x: a.symbol("x")?,
+                e: a.expr("e")?,
+                post: a.assertion("post")?,
+            },
+            "havoc-s" => Derivation::HavocS {
+                x: a.symbol("x")?,
+                post: a.assertion("post")?,
+            },
+            "assume-s" => Derivation::AssumeS {
+                b: a.expr("b")?,
+                post: a.assertion("post")?,
+            },
+            "exists" => Derivation::Exist {
+                y: a.symbol("y")?,
+                inner: self.boxed(&mut a, "from")?,
+            },
+            "forall" => Derivation::Forall {
+                y: a.symbol("y")?,
+                inner: self.boxed(&mut a, "from")?,
+            },
+            "iter" => {
+                let bound = a.family_bound("bound")?;
+                check_inv_bound(&mut a, "iter", bound)?;
+                let members = a.assertion_family("inv", bound + 1)?;
+                let premises = self.premise_family(&mut a, "premises", "iter", bound)?;
+                Derivation::Iter {
+                    inv: vec_family(bound, members),
+                    premises: vec_derivation_family(bound, premises),
+                }
+            }
+            "while-desugared" => {
+                let guard = a.expr("guard")?;
+                let bound = a.family_bound("bound")?;
+                check_inv_bound(&mut a, "while-desugared", bound)?;
+                let members = a.assertion_family("inv", bound + 1)?;
+                let premises = self.premise_family(&mut a, "premises", "while-desugared", bound)?;
+                let inv = vec_family(bound, members);
+                // The exit premise's precondition must be the very `⨂ₙ Iₙ`
+                // the checker constructs (families compare by pointer), so
+                // the elaborator interposes a `Cons` that strengthens from
+                // it; the entailment is discharged semantically.
+                // The interposed `ConsPre` is one extra tree level.
+                self.charge_depth(step.line, 1)?;
+                let exit = Derivation::ConsPre {
+                    pre: Assertion::big_otimes(inv.clone()),
+                    inner: Box::new(self.premise(&mut a, "exit")?),
+                };
+                Derivation::WhileDesugared {
+                    guard,
+                    inv,
+                    premises: vec_derivation_family(bound, premises),
+                    exit: Box::new(exit),
+                }
+            }
+            "while-sync" => Derivation::WhileSync {
+                guard: a.expr("guard")?,
+                inv: a.assertion("inv")?,
+                body: self.boxed(&mut a, "body")?,
+            },
+            "while-sync-term" => Derivation::WhileSyncTerm {
+                guard: a.expr("guard")?,
+                inv: a.assertion("inv")?,
+                variant: a.expr("variant")?,
+                body: self.boxed(&mut a, "body")?,
+            },
+            "if-sync" => Derivation::IfSync {
+                guard: a.expr("guard")?,
+                pre: a.assertion("pre")?,
+                post: a.assertion("post")?,
+                then_d: self.boxed(&mut a, "then")?,
+                else_d: self.boxed(&mut a, "else")?,
+            },
+            "while-forall-exists" => Derivation::WhileForallExists {
+                guard: a.expr("guard")?,
+                inv: a.assertion("inv")?,
+                body_if: self.boxed(&mut a, "body")?,
+                exit: self.boxed(&mut a, "exit")?,
+            },
+            "while-exists" => Derivation::WhileExists {
+                guard: a.expr("guard")?,
+                phi: a.symbol("phi")?,
+                p_body: a.assertion("p")?,
+                q_body: a.assertion("q")?,
+                variant: a.expr("variant")?,
+                v: a.symbol("v")?,
+                decrease: self.boxed(&mut a, "decrease")?,
+                rest: self.boxed(&mut a, "rest")?,
+            },
+            "and" => Derivation::And(self.boxed(&mut a, "l")?, self.boxed(&mut a, "r")?),
+            "or" => Derivation::Or(self.boxed(&mut a, "l")?, self.boxed(&mut a, "r")?),
+            "union" => Derivation::Union(self.boxed(&mut a, "l")?, self.boxed(&mut a, "r")?),
+            "big-union" => Derivation::BigUnion(self.boxed(&mut a, "from")?),
+            "indexed-union" => {
+                let bound = a.family_bound("bound")?;
+                let pre = a.assertion_family("pre", bound)?;
+                let post = a.assertion_family("post", bound)?;
+                let premises = self.premise_family(&mut a, "premises", "indexed-union", bound)?;
+                Derivation::IndexedUnion {
+                    pre_fam: vec_family(bound, pre),
+                    post_fam: vec_family(bound, post),
+                    premises: vec_derivation_family(bound, premises),
+                }
+            }
+            "frame-safe" => Derivation::FrameSafe {
+                frame: a.assertion("frame")?,
+                inner: self.boxed(&mut a, "from")?,
+            },
+            "frame-t" => Derivation::FrameT {
+                frame: a.assertion("frame")?,
+                inner: self.boxed(&mut a, "from")?,
+            },
+            "specialize" => Derivation::Specialize {
+                b: a.expr("b")?,
+                inner: self.boxed(&mut a, "from")?,
+            },
+            "lupdate-s" => Derivation::LUpdateS {
+                t: a.symbol("t")?,
+                e: a.expr("e")?,
+                pre: a.assertion("pre")?,
+                inner: self.boxed(&mut a, "from")?,
+            },
+            "true" => Derivation::True {
+                pre: a.assertion("pre")?,
+                cmd: a.cmd("cmd")?,
+            },
+            "false" => Derivation::False {
+                cmd: a.cmd("cmd")?,
+                post: a.assertion("post")?,
+            },
+            "empty" => Derivation::Empty { cmd: a.cmd("cmd")? },
+            "oracle" => Derivation::Oracle {
+                triple: Triple::new(a.assertion("pre")?, a.cmd("cmd")?, a.assertion("post")?),
+                note: a
+                    .opt_text("note")?
+                    .unwrap_or("admitted by certificate")
+                    .to_owned(),
+            },
+            other => {
+                return err(
+                    step.line,
+                    1,
+                    format!(
+                        "unknown rule `{other}` (known rules: {})",
+                        RULE_TABLE
+                            .iter()
+                            .map(|(n, _)| *n)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                )
+            }
+        };
+        a.finish()?;
+        Ok(d)
+    }
+}
+
+/// Elaborates a parsed script into the derivation rooted at its last step.
+///
+/// # Errors
+///
+/// [`ScriptError`] on unknown rules, missing/superfluous/duplicate
+/// arguments, undefined premise labels, or malformed embedded
+/// assertions/expressions/commands.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_proofs::{elaborate, parse_script};
+/// let script = parse_script(
+///     "step a1 assign-s x=l e={l * 2} post={low(l)}\n\
+///      step root cons pre={low(l)} post={low(l)} from=a1\n",
+/// )
+/// .unwrap();
+/// let d = elaborate(&script).unwrap();
+/// assert_eq!(d.rule_name(), "Cons");
+/// ```
+pub fn elaborate(script: &Script) -> Result<Derivation, ScriptError> {
+    let mut elab = Elab {
+        by_label: HashMap::new(),
+        sizes: HashMap::new(),
+        depths: HashMap::new(),
+        pending: 0,
+        pending_depth: 0,
+    };
+    let mut last = None;
+    for step in &script.steps {
+        if elab.by_label.contains_key(step.label.as_str()) {
+            return err(
+                step.line,
+                1,
+                format!("duplicate step label `{}`", step.label),
+            );
+        }
+        elab.pending = 0;
+        elab.pending_depth = 0;
+        let d = elab.step(step)?;
+        let depth = elab.pending_depth.saturating_add(1);
+        if depth > MAX_PROOF_DEPTH {
+            return err(
+                step.line,
+                1,
+                format!(
+                    "proof tree depth {depth} exceeds the maximum {MAX_PROOF_DEPTH} \
+                     (the checker recurses once per level)"
+                ),
+            );
+        }
+        elab.sizes
+            .insert(&step.label, elab.pending.saturating_add(1));
+        elab.depths.insert(&step.label, depth);
+        elab.by_label.insert(&step.label, d);
+        last = Some(step.label.as_str());
+    }
+    last.and_then(|label| elab.by_label.remove(label))
+        .ok_or_else(|| bad(0, "empty proof script".to_owned()))
+}
+
+/// Convenience: [`parse_script`] followed by [`elaborate`].
+///
+/// # Errors
+///
+/// [`ScriptError`] from either phase.
+pub fn compile_script(src: &str) -> Result<Derivation, ScriptError> {
+    elaborate(&parse_script(src)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhl_assert::Universe;
+    use hhl_core::proof::{check, ProofContext};
+    use hhl_core::ValidityConfig;
+
+    fn ctx(vars: &[&str], lo: i64, hi: i64) -> ProofContext {
+        ProofContext::new(ValidityConfig::new(Universe::int_cube(vars, lo, hi)))
+    }
+
+    #[test]
+    fn family_bound_overflow_is_a_spanned_error() {
+        // Regression: `bound=u32::MAX` must be a ScriptError, not an
+        // `bound + 1` overflow panic (debug builds) on hostile input.
+        let d = compile_script(
+            "hhlp 1\n\
+             step a skip p={true}\n\
+             step r iter bound=4294967295 inv.0={true} premises=a\n",
+        );
+        let e = d.unwrap_err();
+        assert!(e.message.contains("maximum"), "{e}");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn deep_linear_chains_are_rejected() {
+        // Regression: a deep `cons-pre` chain stays under the node cap but
+        // would blow the stack in the recursive clone/check/drop — the
+        // depth cap must reject it with a spanned error, not a SIGABRT.
+        // Runs on a dedicated big-stack thread: the cap is sized for the
+        // binary's 8 MiB main thread, while Rust gives test threads 2 MiB.
+        std::thread::Builder::new()
+            .stack_size(32 * 1024 * 1024)
+            .spawn(|| {
+                let mut s = String::from("hhlp 1\nstep s0 skip p={true}\n");
+                for k in 1..=(MAX_PROOF_DEPTH + 1) {
+                    s.push_str(&format!(
+                        "step s{k} cons-pre pre={{true}} from=s{}\n",
+                        k - 1
+                    ));
+                }
+                let e = compile_script(&s).unwrap_err();
+                assert!(e.message.contains("depth"), "{e}");
+            })
+            .expect("spawn test thread")
+            .join()
+            .expect("deep-chain elaboration must error, not abort");
+    }
+
+    #[test]
+    fn wide_seq_chains_are_rejected() {
+        // Regression: `seq` right-nests one level per premise, so a single
+        // wide step is as deep as a long cons chain — a ~99k-premise seq
+        // slipped under both caps (recorded depth 2, nodes ≤ 100k) and
+        // aborted the replayer. The depth charge must fire *before* the
+        // spine is assembled.
+        let labels = vec!["s0"; 600].join(",");
+        let s = format!("hhlp 1\nstep s0 skip p={{true}}\nstep root seq premises={labels}\n");
+        let e = compile_script(&s).unwrap_err();
+        assert!(e.message.contains("depth"), "{e}");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn exponential_premise_sharing_is_rejected() {
+        // Regression: each `and l=sK r=sK` step doubles the elaborated tree
+        // (premise references clone); without the node cap this ~20-line
+        // certificate would expand to 2^20+ nodes and hang/OOM the replayer.
+        let mut s = String::from("hhlp 1\nstep s0 skip p={true}\n");
+        for k in 1..=20 {
+            s.push_str(&format!("step s{k} and l=s{} r=s{}\n", k - 1, k - 1));
+        }
+        let e = compile_script(&s).unwrap_err();
+        assert!(e.message.contains("nodes"), "{e}");
+    }
+
+    #[test]
+    fn elaborates_and_checks_a_wp_chain() {
+        let d = compile_script(
+            "hhlp 1\n\
+             step a2 assign-s x=l e={l + 1} post={low(l)}\n\
+             step a1 assign-s x=l e={l * 2} post={forall <phi1>, <phi2>. phi1(l) + 1 == phi2(l) + 1}\n\
+             step chain seq premises=a1,a2\n\
+             step root cons pre={low(l)} post={low(l)} from=chain\n",
+        )
+        .unwrap();
+        let checked = check(&d, &ctx(&["l"], 0, 1)).unwrap();
+        assert_eq!(checked.stats.rules, 4);
+        assert_eq!(checked.stats.entailments, 2);
+    }
+
+    #[test]
+    fn elaborates_if_sync() {
+        // {low(h)} if (h > 0) { l := 1 } else { l := 0 } {true}
+        let d = compile_script(
+            "step t assign-s x=l e={1} post={true}\n\
+             step tc cons pre={low(h) && (forall <phi>. phi(h) > 0)} post={true} from=t\n\
+             step e assign-s x=l e={0} post={true}\n\
+             step ec cons pre={low(h) && (forall <phi>. !(h > 0)(phi))} post={true} from=e\n\
+             step root if-sync guard={h > 0} pre={low(h)} post={true} then=tc else=ec\n",
+        );
+        // The `!(h > 0)(phi)` spelling is bogus on purpose: elaboration
+        // must fail with a span, not panic.
+        assert!(d.is_err());
+
+        let d = compile_script(
+            "step t assign-s x=l e={1} post={true}\n\
+             step tc cons pre={low(h) && (forall <phi>. phi(h) > 0)} post={true} from=t\n\
+             step e assign-s x=l e={0} post={true}\n\
+             step ec cons pre={low(h) && (forall <phi>. !(phi(h) > 0))} post={true} from=e\n\
+             step root if-sync guard={h > 0} pre={low(h)} post={true} then=tc else=ec\n",
+        )
+        .unwrap();
+        let checked = check(&d, &ctx(&["h", "l"], 0, 1)).unwrap();
+        assert_eq!(checked.conclusion.post, Assertion::tt());
+    }
+
+    #[test]
+    fn elaborates_iter_families_from_indexed_args() {
+        // ⊢ {true} (skip)* {⨂ₙ true} via Iter with Iₙ = true.
+        let d = compile_script(
+            "step p skip p={true}\n\
+             step root iter bound=1 inv.0={true} inv.1={true} inv.2={true} premises=p,p\n",
+        )
+        .unwrap();
+        let checked = check(&d, &ctx(&["x"], 0, 0)).unwrap();
+        assert_eq!(checked.conclusion.cmd.to_string(), "(skip)*");
+    }
+
+    #[test]
+    fn rejects_undefined_and_duplicate_labels() {
+        let e = compile_script("step s seq premises=a,b\n").unwrap_err();
+        assert!(e.message.contains("not defined"), "{e}");
+        let e = compile_script("step s skip p={true}\nstep s skip p={true}\n").unwrap_err();
+        assert!(e.message.contains("duplicate step label"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_rules_and_unknown_args() {
+        let e = compile_script("step s frobnicate p={true}\n").unwrap_err();
+        assert!(e.message.contains("unknown rule"), "{e}");
+        let e = compile_script("step s skip p={true} q={true}\n").unwrap_err();
+        assert!(e.message.contains("unknown argument `q`"), "{e}");
+        let e = compile_script("step s skip\n").unwrap_err();
+        assert!(e.message.contains("requires argument `p`"), "{e}");
+    }
+
+    #[test]
+    fn oracle_steps_check_semantically() {
+        let d = compile_script(
+            "step root oracle pre={low(x)} cmd={x := nonDet()} post={true} note={havoc erases}\n",
+        )
+        .unwrap();
+        let checked = check(&d, &ctx(&["x"], 0, 1)).unwrap();
+        assert_eq!(checked.stats.oracle_admissions, 1);
+    }
+}

@@ -1,0 +1,699 @@
+//! Serialization: pretty-printing derivations back to canonical `.hhlp`
+//! scripts, and hyper-assertions/commands back to the ASCII surface syntax
+//! the workspace parsers read.
+//!
+//! The emitter is the inverse of elaboration up to formatting: re-parsing
+//! an emitted script yields a structurally identical derivation whenever
+//! the original's assertions came from `parse_assertion` (raw
+//! hyper-expressions with top-level `&&`/`||`/`!` normalize onto the
+//! assertion connectives, exactly as the parser would have built them).
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use hhl_assert::{Assertion, Family, HExpr};
+use hhl_core::proof::Derivation;
+use hhl_lang::{BinOp, Cmd};
+
+/// Error raised when a derivation has no textual form.
+#[derive(Clone, Debug)]
+pub struct EmitError {
+    /// What cannot be serialized.
+    pub what: String,
+}
+
+impl fmt::Display for EmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot serialize proof: {}", self.what)
+    }
+}
+
+impl std::error::Error for EmitError {}
+
+fn unsupported<T>(what: impl Into<String>) -> Result<T, EmitError> {
+    Err(EmitError { what: what.into() })
+}
+
+/// Assertion-level binding power of a node, mirroring the parser's
+/// precedence climb: `||` 2, `&&` 3, atoms 4; quantifiers extend maximally
+/// right and get 1.
+fn asrt_bp(a: &Assertion) -> u8 {
+    match a {
+        Assertion::Or(_, _) => 2,
+        Assertion::And(_, _) => 3,
+        Assertion::ForallVal(_, _)
+        | Assertion::ExistsVal(_, _)
+        | Assertion::ForallState(_, _)
+        | Assertion::ExistsState(_, _) => 1,
+        // An atom whose top-level hyper-expression is a boolean connective
+        // prints with that connective's assertion-level power.
+        Assertion::Atom(HExpr::Bin(BinOp::And, _, _)) => 3,
+        Assertion::Atom(HExpr::Bin(BinOp::Or, _, _)) => 2,
+        _ => 4,
+    }
+}
+
+fn go(a: &Assertion, min_bp: u8, out: &mut String) -> Result<(), EmitError> {
+    let bp = asrt_bp(a);
+    let wrap = bp < min_bp;
+    if wrap {
+        out.push('(');
+    }
+    match a {
+        Assertion::Atom(e) => {
+            let _ = write!(out, "{e}");
+        }
+        Assertion::Not(inner) => {
+            out.push_str("!(");
+            go(inner, 1, out)?;
+            out.push(')');
+        }
+        Assertion::And(l, r) => {
+            go(l, 3, out)?;
+            out.push_str(" && ");
+            go(r, 4, out)?;
+        }
+        Assertion::Or(l, r) => {
+            go(l, 2, out)?;
+            out.push_str(" || ");
+            go(r, 3, out)?;
+        }
+        Assertion::ForallVal(y, body) => {
+            let _ = write!(out, "forall {y}. ");
+            go(body, 1, out)?;
+        }
+        Assertion::ExistsVal(y, body) => {
+            let _ = write!(out, "exists {y}. ");
+            go(body, 1, out)?;
+        }
+        Assertion::ForallState(p, body) => {
+            let _ = write!(out, "forall <{p}>. ");
+            go(body, 1, out)?;
+        }
+        Assertion::ExistsState(p, body) => {
+            let _ = write!(out, "exists <{p}>. ");
+            go(body, 1, out)?;
+        }
+        Assertion::Card {
+            state,
+            proj,
+            op,
+            bound,
+        } => {
+            if !matches!(
+                op,
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+            ) {
+                return unsupported(format!("cardinality comparison `{}`", op.token()));
+            }
+            let _ = write!(out, "count(<{state}>. {proj}) {} ", op.token());
+            // The parser reads the bound at additive precedence; lower-
+            // binding tops need explicit parentheses.
+            let parens = matches!(
+                bound,
+                HExpr::Bin(
+                    BinOp::And
+                        | BinOp::Or
+                        | BinOp::Eq
+                        | BinOp::Ne
+                        | BinOp::Lt
+                        | BinOp::Le
+                        | BinOp::Gt
+                        | BinOp::Ge,
+                    _,
+                    _
+                )
+            );
+            if parens {
+                let _ = write!(out, "({bound})");
+            } else {
+                let _ = write!(out, "{bound}");
+            }
+        }
+        Assertion::StateEq(l, r) => {
+            let _ = write!(out, "state_eq({l}, {r})");
+        }
+        Assertion::Otimes(_, _) => return unsupported("the ⊗ split operator"),
+        Assertion::BigOtimes(_) => return unsupported("the indexed ⨂ operator"),
+        Assertion::HasState(_) => return unsupported("concrete state membership ⟨φ⟩"),
+        Assertion::IsState(_, _) => return unsupported("exact-state equations"),
+        Assertion::UnionOf(_) => return unsupported("the ⨄ union-of operator"),
+    }
+    if wrap {
+        out.push(')');
+    }
+    Ok(())
+}
+
+/// Prints an assertion in the ASCII surface syntax of
+/// [`hhl_assert::parse_assertion`].
+///
+/// # Errors
+///
+/// [`EmitError`] on the semantic-only extension nodes (`⊗`, `⨂`, concrete
+/// states, `⨄`), which have no surface syntax.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_assert::{parse_assertion, Assertion};
+/// use hhl_proofs::ascii_assertion;
+/// let a = Assertion::low("l").and(Assertion::emp());
+/// let text = ascii_assertion(&a).unwrap();
+/// assert_eq!(parse_assertion(&text).unwrap(), a);
+/// ```
+pub fn ascii_assertion(a: &Assertion) -> Result<String, EmitError> {
+    let mut out = String::new();
+    go(a, 0, &mut out)?;
+    Ok(out)
+}
+
+/// Prints a command in the surface syntax of [`hhl_lang::parse_cmd`],
+/// bracing nested sequences/choices so the parse re-associates identically.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_lang::parse_cmd;
+/// use hhl_proofs::ascii_cmd;
+/// let c = parse_cmd("if (h > 0) { l := 1 } else { l := 0 }").unwrap();
+/// assert_eq!(parse_cmd(&ascii_cmd(&c)).unwrap(), c);
+/// ```
+pub fn ascii_cmd(c: &Cmd) -> String {
+    let mut out = String::new();
+    cmd_seq(c, &mut out);
+    out
+}
+
+/// Prints `c` as a `;`-joined statement sequence (the right spine flattens;
+/// a left-nested `Seq` is braced to preserve its association).
+fn cmd_seq(c: &Cmd, out: &mut String) {
+    let mut cur = c;
+    loop {
+        match cur {
+            Cmd::Seq(l, r) => {
+                cmd_stmt(l, out);
+                out.push_str("; ");
+                cur = r;
+            }
+            last => {
+                cmd_stmt(last, out);
+                return;
+            }
+        }
+    }
+}
+
+/// Prints one statement (bracing sequences, rendering choice chains and
+/// iteration blocks).
+fn cmd_stmt(c: &Cmd, out: &mut String) {
+    match c {
+        Cmd::Skip => out.push_str("skip"),
+        Cmd::Assign(x, e) => {
+            let _ = write!(out, "{x} := {e}");
+        }
+        Cmd::Havoc(x) => {
+            let _ = write!(out, "{x} := nonDet()");
+        }
+        Cmd::Assume(b) => {
+            let _ = write!(out, "assume {b}");
+        }
+        Cmd::Seq(_, _) => {
+            out.push_str("{ ");
+            cmd_seq(c, out);
+            out.push_str(" }");
+        }
+        Cmd::Choice(l, r) => {
+            // The parser chains `+` left-associatively: flatten the left
+            // spine, brace each arm.
+            if matches!(**l, Cmd::Choice(_, _)) {
+                cmd_stmt(l, out);
+            } else {
+                out.push_str("{ ");
+                cmd_seq(l, out);
+                out.push_str(" }");
+            }
+            out.push_str(" + { ");
+            cmd_seq(r, out);
+            out.push_str(" }");
+        }
+        Cmd::Star(body) => {
+            out.push_str("{ ");
+            cmd_seq(body, out);
+            out.push_str(" }*");
+        }
+    }
+}
+
+struct Emitter {
+    out: String,
+    next: usize,
+}
+
+impl Emitter {
+    fn push(&mut self, rule: &str, args: &str) -> String {
+        self.next += 1;
+        let label = format!("s{}", self.next);
+        let _ = writeln!(self.out, "step {label} {rule} {args}");
+        label
+    }
+
+    fn asrt(&self, key: &str, a: &Assertion) -> Result<String, EmitError> {
+        Ok(format!("{key}={{{}}}", ascii_assertion(a)?))
+    }
+
+    fn family(&self, prefix: &str, fam: &Family, upto: u32) -> Result<String, EmitError> {
+        let mut out = String::new();
+        for i in 0..=upto {
+            if i > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{prefix}.{i}={{{}}}", ascii_assertion(&fam.at(i))?);
+        }
+        Ok(out)
+    }
+
+    fn emit(&mut self, d: &Derivation) -> Result<String, EmitError> {
+        let label = match d {
+            Derivation::Skip { p } => {
+                let args = self.asrt("p", p)?;
+                self.push("skip", &args)
+            }
+            Derivation::Seq(_, _) => {
+                // Flatten the right spine into one n-ary `seq` step, the
+                // shape `seq_all` rebuilds.
+                let mut premises = Vec::new();
+                let mut cur = d;
+                while let Derivation::Seq(l, r) = cur {
+                    premises.push(self.emit(l)?);
+                    cur = r;
+                }
+                premises.push(self.emit(cur)?);
+                self.push("seq", &format!("premises={}", premises.join(",")))
+            }
+            Derivation::Choice(l, r) => {
+                let (l, r) = (self.emit(l)?, self.emit(r)?);
+                self.push("choice", &format!("l={l} r={r}"))
+            }
+            Derivation::Cons { pre, post, inner } => {
+                let from = self.emit(inner)?;
+                let args = format!(
+                    "{} {} from={from}",
+                    self.asrt("pre", pre)?,
+                    self.asrt("post", post)?
+                );
+                self.push("cons", &args)
+            }
+            Derivation::ConsPre { pre, inner } => {
+                let from = self.emit(inner)?;
+                let args = format!("{} from={from}", self.asrt("pre", pre)?);
+                self.push("cons-pre", &args)
+            }
+            Derivation::AssignS { x, e, post } => {
+                let args = format!("x={x} e={{{e}}} {}", self.asrt("post", post)?);
+                self.push("assign-s", &args)
+            }
+            Derivation::HavocS { x, post } => {
+                let args = format!("x={x} {}", self.asrt("post", post)?);
+                self.push("havoc-s", &args)
+            }
+            Derivation::AssumeS { b, post } => {
+                let args = format!("b={{{b}}} {}", self.asrt("post", post)?);
+                self.push("assume-s", &args)
+            }
+            Derivation::Exist { y, inner } => {
+                let from = self.emit(inner)?;
+                self.push("exists", &format!("y={y} from={from}"))
+            }
+            Derivation::Forall { y, inner } => {
+                let from = self.emit(inner)?;
+                self.push("forall", &format!("y={y} from={from}"))
+            }
+            Derivation::Iter { inv, premises } => {
+                let bound = premises.bound;
+                let labels: Vec<String> = (0..=bound)
+                    .map(|n| self.emit(&premises.at(n)))
+                    .collect::<Result<_, _>>()?;
+                let fam = self.family("inv", inv, (bound + 1).max(inv.bound))?;
+                let args = format!(
+                    "bound={bound} inv-bound={} {fam} premises={}",
+                    inv.bound,
+                    labels.join(",")
+                );
+                self.push("iter", &args)
+            }
+            Derivation::WhileDesugared {
+                guard,
+                inv,
+                premises,
+                exit,
+            } => {
+                let bound = premises.bound;
+                let labels: Vec<String> = (0..=bound)
+                    .map(|n| self.emit(&premises.at(n)))
+                    .collect::<Result<_, _>>()?;
+                // The elaborator re-wraps the exit premise in a `Cons` from
+                // `⨂ₙ Iₙ`; unwrap a matching wrapper so that emit and
+                // elaborate are mutually inverse.
+                let exit = match &**exit {
+                    Derivation::ConsPre {
+                        pre: Assertion::BigOtimes(f),
+                        inner,
+                    } if *f == *inv => &**inner,
+                    other => other,
+                };
+                let exit = self.emit(exit)?;
+                let fam = self.family("inv", inv, (bound + 1).max(inv.bound))?;
+                let args = format!(
+                    "guard={{{guard}}} bound={bound} inv-bound={} {fam} premises={} exit={exit}",
+                    inv.bound,
+                    labels.join(",")
+                );
+                self.push("while-desugared", &args)
+            }
+            Derivation::WhileSync { guard, inv, body } => {
+                let body = self.emit(body)?;
+                let args = format!("guard={{{guard}}} {} body={body}", self.asrt("inv", inv)?);
+                self.push("while-sync", &args)
+            }
+            Derivation::WhileSyncTerm {
+                guard,
+                inv,
+                variant,
+                body,
+            } => {
+                let body = self.emit(body)?;
+                let args = format!(
+                    "guard={{{guard}}} {} variant={{{variant}}} body={body}",
+                    self.asrt("inv", inv)?
+                );
+                self.push("while-sync-term", &args)
+            }
+            Derivation::IfSync {
+                guard,
+                pre,
+                post,
+                then_d,
+                else_d,
+            } => {
+                let (t, e) = (self.emit(then_d)?, self.emit(else_d)?);
+                let args = format!(
+                    "guard={{{guard}}} {} {} then={t} else={e}",
+                    self.asrt("pre", pre)?,
+                    self.asrt("post", post)?
+                );
+                self.push("if-sync", &args)
+            }
+            Derivation::WhileForallExists {
+                guard,
+                inv,
+                body_if,
+                exit,
+            } => {
+                let (b, x) = (self.emit(body_if)?, self.emit(exit)?);
+                let args = format!(
+                    "guard={{{guard}}} {} body={b} exit={x}",
+                    self.asrt("inv", inv)?
+                );
+                self.push("while-forall-exists", &args)
+            }
+            Derivation::WhileExists {
+                guard,
+                phi,
+                p_body,
+                q_body,
+                variant,
+                v,
+                decrease,
+                rest,
+            } => {
+                let (dec, rest) = (self.emit(decrease)?, self.emit(rest)?);
+                let args = format!(
+                    "guard={{{guard}}} phi={phi} {} {} variant={{{variant}}} v={v} \
+                     decrease={dec} rest={rest}",
+                    self.asrt("p", p_body)?,
+                    self.asrt("q", q_body)?
+                );
+                self.push("while-exists", &args)
+            }
+            Derivation::And(l, r) => {
+                let (l, r) = (self.emit(l)?, self.emit(r)?);
+                self.push("and", &format!("l={l} r={r}"))
+            }
+            Derivation::Or(l, r) => {
+                let (l, r) = (self.emit(l)?, self.emit(r)?);
+                self.push("or", &format!("l={l} r={r}"))
+            }
+            Derivation::Union(l, r) => {
+                let (l, r) = (self.emit(l)?, self.emit(r)?);
+                self.push("union", &format!("l={l} r={r}"))
+            }
+            Derivation::BigUnion(inner) => {
+                let from = self.emit(inner)?;
+                self.push("big-union", &format!("from={from}"))
+            }
+            Derivation::IndexedUnion {
+                pre_fam,
+                post_fam,
+                premises,
+            } => {
+                let bound = premises.bound;
+                let labels: Vec<String> = (0..=bound)
+                    .map(|n| self.emit(&premises.at(n)))
+                    .collect::<Result<_, _>>()?;
+                let pre = self.family("pre", pre_fam, bound)?;
+                let post = self.family("post", post_fam, bound)?;
+                let args = format!("bound={bound} {pre} {post} premises={}", labels.join(","));
+                self.push("indexed-union", &args)
+            }
+            Derivation::FrameSafe { frame, inner } => {
+                let from = self.emit(inner)?;
+                let args = format!("{} from={from}", self.asrt("frame", frame)?);
+                self.push("frame-safe", &args)
+            }
+            Derivation::FrameT { frame, inner } => {
+                let from = self.emit(inner)?;
+                let args = format!("{} from={from}", self.asrt("frame", frame)?);
+                self.push("frame-t", &args)
+            }
+            Derivation::Specialize { b, inner } => {
+                let from = self.emit(inner)?;
+                self.push("specialize", &format!("b={{{b}}} from={from}"))
+            }
+            Derivation::LUpdateS { t, e, pre, inner } => {
+                let from = self.emit(inner)?;
+                let args = format!("t={t} e={{{e}}} {} from={from}", self.asrt("pre", pre)?);
+                self.push("lupdate-s", &args)
+            }
+            Derivation::True { pre, cmd } => {
+                let args = format!("{} cmd={{{}}}", self.asrt("pre", pre)?, ascii_cmd(cmd));
+                self.push("true", &args)
+            }
+            Derivation::False { cmd, post } => {
+                let args = format!("cmd={{{}}} {}", ascii_cmd(cmd), self.asrt("post", post)?);
+                self.push("false", &args)
+            }
+            Derivation::Empty { cmd } => {
+                let args = format!("cmd={{{}}}", ascii_cmd(cmd));
+                self.push("empty", &args)
+            }
+            Derivation::Oracle { triple, note } => {
+                // Notes are informational free text; keep them inside one
+                // braced argument.
+                let note: String = note
+                    .chars()
+                    .map(|c| match c {
+                        '{' | '}' => ')',
+                        '\n' => ' ',
+                        c => c,
+                    })
+                    .collect();
+                let args = format!(
+                    "{} cmd={{{}}} {} note={{{note}}}",
+                    self.asrt("pre", &triple.pre)?,
+                    ascii_cmd(&triple.cmd),
+                    self.asrt("post", &triple.post)?
+                );
+                self.push("oracle", &args)
+            }
+            Derivation::Linking { .. } => {
+                return unsupported(
+                    "the Linking rule (its premise family is a closure over \
+                     concrete state pairs)",
+                )
+            }
+        };
+        Ok(label)
+    }
+}
+
+/// Serializes a derivation to a canonical `.hhlp` script; the last emitted
+/// step is the root.
+///
+/// # Errors
+///
+/// [`EmitError`] on `Linking` nodes or assertions outside the surface
+/// syntax (see [`ascii_assertion`]).
+///
+/// # Examples
+///
+/// ```
+/// use hhl_assert::Assertion;
+/// use hhl_core::proof::Derivation;
+/// use hhl_proofs::{compile_script, emit_script};
+/// let d = Derivation::Skip { p: Assertion::low("l") };
+/// let script = emit_script(&d).unwrap();
+/// assert_eq!(compile_script(&script).unwrap().rule_name(), "Skip");
+/// ```
+pub fn emit_script(d: &Derivation) -> Result<String, EmitError> {
+    let mut emitter = Emitter {
+        out: String::from("hhlp 1\n# emitted by hhl-proofs; the last step is the proof's root\n"),
+        next: 0,
+    };
+    emitter.emit(d)?;
+    Ok(emitter.out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::compile_script;
+    use hhl_assert::parse_assertion;
+    use hhl_lang::parse_cmd;
+
+    fn roundtrip_assertion(src: &str) {
+        let a = parse_assertion(src).unwrap();
+        let text = ascii_assertion(&a).unwrap();
+        let b = parse_assertion(&text).unwrap_or_else(|e| panic!("{src:?} → {text:?}: {e}"));
+        assert_eq!(a, b, "{src:?} → {text:?}");
+    }
+
+    #[test]
+    fn oracle_over_a_loop_roundtrips() {
+        // Regression: Star/Choice commands emit as brace blocks (`{ C }*`),
+        // so oracle/true/false/empty steps over loop programs need the
+        // nesting-aware value parser to round-trip.
+        let cmd = parse_cmd("while (x > 0) { x := x - 1 }").unwrap();
+        let d = Derivation::Oracle {
+            triple: hhl_core::Triple::new(
+                parse_assertion("true").unwrap(),
+                cmd,
+                parse_assertion("low(x)").unwrap(),
+            ),
+            note: "admitted".to_owned(),
+        };
+        let script = emit_script(&d).unwrap();
+        let replayed = compile_script(&script)
+            .unwrap_or_else(|e| panic!("emitted oracle script rejected: {e}\n{script}"));
+        assert_eq!(emit_script(&replayed).unwrap(), script);
+    }
+
+    #[test]
+    fn assertion_roundtrips() {
+        for src in [
+            "low(l)",
+            "emp",
+            "true && !false",
+            "low(i) && low(n)",
+            "(low(i) && low(n)) && (forall <phi>. phi(i) < phi(n))",
+            "forall <phi1>, <phi2>. exists <phi>. phi(h) == phi1(h) && phi(l) == phi2(l)",
+            "forall n. 0 <= n && n <= 9 => exists <phi>. phi(x) == n",
+            "count(<p>. p(o)) <= v + 1",
+            "exists <p>. forall <q>. state_eq(p, q)",
+            "forall <p>. p($t) == 1 => p(x) >= 0",
+            "low(a) || low(b) && low(c)",
+            "(low(a) || low(b)) && low(c)",
+            "forall <p>. p(h)[0] == [4, 5][0]",
+            "forall <p>. forall v·0. p(x) <= v·0",
+            "forall <p>. max(p(x), p(y)) >= min(p(x), 0) && len(p(h)) == 2",
+        ] {
+            roundtrip_assertion(src);
+        }
+    }
+
+    #[test]
+    fn transform_outputs_roundtrip() {
+        // The WP transforms' outputs are exactly what emitted certificates
+        // store as intermediate posts.
+        use hhl_assert::{assume_transform, havoc_transform};
+        use hhl_lang::{Expr, Symbol};
+        let q = Assertion::gni_violation("h", "l");
+        let pi = assume_transform(&Expr::var("y").le(Expr::int(9)), &q).unwrap();
+        let text = ascii_assertion(&pi).unwrap();
+        assert_eq!(parse_assertion(&text).unwrap(), pi, "{text}");
+        let h = havoc_transform(Symbol::new("y"), &pi).unwrap();
+        let text = ascii_assertion(&h).unwrap();
+        assert_eq!(parse_assertion(&text).unwrap(), h, "{text}");
+    }
+
+    #[test]
+    fn unsupported_assertions_error() {
+        let a = Assertion::tt().otimes(Assertion::tt());
+        assert!(ascii_assertion(&a).is_err());
+        let u = Assertion::UnionOf(Box::new(Assertion::tt()));
+        assert!(ascii_assertion(&u).is_err());
+    }
+
+    #[test]
+    fn cmd_roundtrips() {
+        for src in [
+            "skip",
+            "l := l * 2",
+            "y := nonDet(); assume y <= 9; l := h + y",
+            "if (h > 0) { l := 1 } else { l := 0 }",
+            "while (i < n) { i := i + 1 }",
+            "{ x := 1 } + { x := 2 } + { x := 3 }",
+            "{ assume x < 2; x := x + 1 }*",
+            "x := $t + 1",
+        ] {
+            let c = parse_cmd(src).unwrap();
+            let text = ascii_cmd(&c);
+            let c2 = parse_cmd(&text).unwrap_or_else(|e| panic!("{src:?} → {text:?}: {e}"));
+            assert_eq!(c, c2, "{src:?} → {text:?}");
+        }
+    }
+
+    #[test]
+    fn left_nested_shapes_keep_association() {
+        let left_seq = Cmd::seq(Cmd::seq(Cmd::havoc("a"), Cmd::havoc("b")), Cmd::havoc("c"));
+        let text = ascii_cmd(&left_seq);
+        assert_eq!(parse_cmd(&text).unwrap(), left_seq, "{text}");
+
+        let right_choice = Cmd::choice(
+            Cmd::havoc("a"),
+            Cmd::choice(Cmd::havoc("b"), Cmd::havoc("c")),
+        );
+        let text = ascii_cmd(&right_choice);
+        assert_eq!(parse_cmd(&text).unwrap(), right_choice, "{text}");
+    }
+
+    #[test]
+    fn emitted_scripts_recompile_to_the_same_tree() {
+        let src = "\
+            step a2 assign-s x=l e={l + 1} post={low(l)}\n\
+            step a1 assign-s x=l e={l * 2} post={forall <phi1>, <phi2>. phi1(l) + 1 == phi2(l) + 1}\n\
+            step chain seq premises=a1,a2\n\
+            step root cons pre={low(l)} post={low(l)} from=chain\n";
+        let d = compile_script(src).unwrap();
+        let emitted = emit_script(&d).unwrap();
+        let d2 = compile_script(&emitted).unwrap();
+        let again = emit_script(&d2).unwrap();
+        // Canonical form is a fixed point: emit ∘ compile ∘ emit = emit.
+        assert_eq!(emitted, again);
+    }
+
+    #[test]
+    fn linking_is_reported_unserializable() {
+        use hhl_core::proof::LinkPremise;
+        use hhl_lang::Symbol;
+        let d = Derivation::Linking {
+            phi: Symbol::new("phi"),
+            p_body: Assertion::tt(),
+            q_body: Assertion::tt(),
+            cmd: Cmd::Skip,
+            premise: LinkPremise::new(|_, _| Derivation::Skip { p: Assertion::tt() }),
+        };
+        let e = emit_script(&d).unwrap_err();
+        assert!(e.to_string().contains("Linking"), "{e}");
+    }
+}

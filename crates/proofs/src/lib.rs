@@ -1,0 +1,53 @@
+//! # hhl-proofs — textual proof certificates for Hyper Hoare Logic
+//!
+//! The in-memory [`Derivation`](hhl_core::proof::Derivation) trees checked
+//! by `hhl_core::proof::check` exist only for one process lifetime. This
+//! crate gives them a serialized form — the line-oriented `.hhlp` script
+//! format — so proofs can be written by hand, saved, inspected, exchanged,
+//! and replayed by an independent checker, the architecture of SMT proof
+//! checkers such as carcara.
+//!
+//! A script is a sequence of labelled rule applications, each referencing
+//! its premises by label; the final step is the root of the proof tree:
+//!
+//! ```text
+//! hhlp 1
+//! # {low(i) && low(n)} while (i < n) { i := i + 1 } {low(i)}
+//! step body assign-s x=i e={i + 1} post={low(i) && low(n)}
+//! step body-pre cons pre={(low(i) && low(n)) && (forall <phi>. phi(i) < phi(n))} post={low(i) && low(n)} from=body
+//! step loop while-sync guard={i < n} inv={low(i) && low(n)} body=body-pre
+//! step root cons pre={low(i) && low(n)} post={low(i)} from=loop
+//! ```
+//!
+//! (the same certificate, with commentary, ships as
+//! `examples/proofs/while_sync.hhlp`).
+//!
+//! The three layers:
+//!
+//! * [`parse_script`] — hand-rolled line parser with spanned errors
+//!   ([`ScriptError`] carries line and column);
+//! * [`elaborate`] — resolves a parsed [`Script`] into a `Derivation`,
+//!   parsing embedded assertions/expressions/commands with the workspace's
+//!   own surface parsers and building `DerivationFamily` premises from
+//!   indexed arguments (`inv.0=…`, `inv.1=…`);
+//! * [`emit_script`] — serializes any supported `Derivation` back to a
+//!   canonical script, so `hhl prove --emit-proof` turns auto-built WP
+//!   derivations into shareable certificates. `parse ∘ emit` is the
+//!   identity up to formatting for derivations whose assertions originate
+//!   from the surface parser (the parser normalizes top-level boolean
+//!   structure of raw hyper-expressions onto assertion connectives, so a
+//!   hand-built `Atom(a && b)` re-parses as the equivalent `And` node).
+//!
+//! Not serializable: the `Linking` rule (its premise is a closure over
+//! concrete state pairs) — [`emit_script`] reports it via [`EmitError`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod elab;
+mod emit;
+mod script;
+
+pub use elab::{compile_script, elaborate};
+pub use emit::{ascii_assertion, ascii_cmd, emit_script, EmitError};
+pub use script::{parse_script, Arg, Script, ScriptError, Step, RULE_TABLE};

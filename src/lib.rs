@@ -9,6 +9,8 @@
 //!   proof checker (paper §3, §5, Apps. D/E/H);
 //! * [`logics`] — embeddings of HL/IL/CHL/k-IL/FU/k-FU/k-UE and the Fig. 1
 //!   capability matrix (paper App. C);
+//! * [`proofs`] — the textual `.hhlp` proof-certificate format (parser,
+//!   elaborator, emitter) over the `logic` rule catalogue;
 //! * [`verify`] — the Hypra-style verification-condition generator.
 //!
 //! See the `examples/` directory for end-to-end walkthroughs of every worked
@@ -20,4 +22,5 @@ pub use hhl_assert as assertions;
 pub use hhl_core as logic;
 pub use hhl_lang as lang;
 pub use hhl_logics as logics;
+pub use hhl_proofs as proofs;
 pub use hhl_verify as verify;

@@ -1,0 +1,166 @@
+//! Property suite for the `.hhlp` certificate pipeline: for random
+//! straight-line programs, the auto-built WP derivation emits to a script,
+//! the script re-elaborates, and the replayed derivation checks with the
+//! *identical* verdict, statistics and conclusion as the direct check —
+//! i.e. serialization loses nothing the checker can observe.
+//!
+//! Instances come from the workspace PRNG (see `common::run_cases`);
+//! guards are kept to single comparisons because the surface parser
+//! normalizes top-level boolean structure of raw hyper-expressions onto
+//! assertion connectives (documented in `hhl_proofs`).
+
+mod common;
+
+use common::run_cases;
+
+use hyper_hoare::assertions::{parse_assertion, Assertion, Universe};
+use hyper_hoare::lang::rng::Rng;
+use hyper_hoare::lang::{Cmd, ExecConfig, Expr};
+use hyper_hoare::logic::proof::{check, wp_derivation, ProofContext};
+use hyper_hoare::logic::ValidityConfig;
+use hyper_hoare::proofs::{compile_script, emit_script};
+
+const CASES: u64 = 32;
+const VARS: [&str; 3] = ["x", "y", "h"];
+
+/// Arithmetic-only expressions: boolean operators stay out of assignment
+/// right-hand sides so substituted atoms remain below comparisons.
+fn gen_arith(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool_ratio(1, 3) {
+        return if rng.gen_bool_ratio(1, 2) {
+            Expr::int(rng.gen_i64_inclusive(-2, 2))
+        } else {
+            Expr::var(VARS[rng.gen_index(VARS.len())])
+        };
+    }
+    let a = gen_arith(rng, depth - 1);
+    let b = gen_arith(rng, depth - 1);
+    match rng.gen_index(4) {
+        0 => a + b,
+        1 => a - b,
+        2 => a * b,
+        _ => a.min(b),
+    }
+}
+
+/// A single-comparison guard `x ⪰ c`.
+fn gen_guard(rng: &mut Rng) -> Expr {
+    let x = Expr::var(VARS[rng.gen_index(VARS.len())]);
+    let c = Expr::int(rng.gen_i64_inclusive(-1, 1));
+    match rng.gen_index(4) {
+        0 => x.le(c),
+        1 => x.ge(c),
+        2 => x.eq(c),
+        _ => x.ne(c),
+    }
+}
+
+/// A random straight-line program (the Fig. 3 WP fragment).
+fn gen_straight_line(rng: &mut Rng) -> Cmd {
+    let len = 1 + rng.gen_index(4);
+    Cmd::seq_all((0..len).map(|_| match rng.gen_index(6) {
+        0 => Cmd::Skip,
+        1 | 2 => Cmd::assign(VARS[rng.gen_index(VARS.len())], gen_arith(rng, 2)),
+        3 => Cmd::havoc(VARS[rng.gen_index(VARS.len())]),
+        _ => Cmd::assume(gen_guard(rng)),
+    }))
+}
+
+/// Pre/postconditions drawn from the parseable surface fragment.
+fn assertion_pool() -> Vec<Assertion> {
+    [
+        "true",
+        "low(x)",
+        "low(y)",
+        "exists <p>. forall <q>. p(x) <= q(x)",
+        "forall <p1>, <p2>. p1(x) + p2(y) >= p2(x) + p1(y)",
+        "forall <p>. exists <q>. q(y) >= p(x)",
+        "forall n. 0 <= n && n <= 1 => exists <p>. p(x) == n",
+    ]
+    .iter()
+    .map(|s| parse_assertion(s).expect("pool assertion parses"))
+    .collect()
+}
+
+fn ctx() -> ProofContext {
+    ProofContext::new(
+        ValidityConfig::new(Universe::int_cube(&VARS, -1, 1))
+            .with_exec(ExecConfig::int_range(-1, 1)),
+    )
+}
+
+/// Emit → parse → elaborate → re-check equals the direct check observation-
+/// for-observation: verdict, statistics, conclusion, counterexample.
+#[test]
+fn emitted_certificates_replay_identically() {
+    let pool = assertion_pool();
+    let ctx = ctx();
+    let mut passes = 0u32;
+    let mut failures = 0u32;
+    run_cases(CASES, 0xCE27, |rng, i| {
+        let cmd = gen_straight_line(rng);
+        let pre = pool[rng.gen_index(pool.len())].clone();
+        let post = pool[rng.gen_index(pool.len())].clone();
+        let Ok(direct) = wp_derivation(&pre, &cmd, &post) else {
+            panic!("case {i}: WP must apply to straight-line {cmd}");
+        };
+        let script =
+            emit_script(&direct).unwrap_or_else(|e| panic!("case {i}: emit failed for {cmd}: {e}"));
+        let replayed = compile_script(&script)
+            .unwrap_or_else(|e| panic!("case {i}: emitted script rejected: {e}\n{script}"));
+
+        match (check(&direct, &ctx), check(&replayed, &ctx)) {
+            (Ok(a), Ok(b)) => {
+                passes += 1;
+                assert_eq!(a.stats, b.stats, "case {i}: stats drifted\n{script}");
+                assert_eq!(
+                    a.conclusion, b.conclusion,
+                    "case {i}: conclusion drifted\n{script}"
+                );
+            }
+            (Err(a), Err(b)) => {
+                failures += 1;
+                assert_eq!(
+                    a.to_string(),
+                    b.to_string(),
+                    "case {i}: rejection drifted\n{script}"
+                );
+            }
+            (a, b) => panic!(
+                "case {i}: verdict drifted (direct {:?}, replayed {:?})\n{script}",
+                a.map(|c| c.conclusion.to_string()),
+                b.map(|c| c.conclusion.to_string())
+            ),
+        }
+
+        // The canonical form is a fixed point of emit ∘ compile.
+        let again = emit_script(&replayed).expect("re-emit succeeds");
+        assert_eq!(script, again, "case {i}: emitter is not canonical");
+    });
+    // The pool is adversarial enough to exercise both verdicts.
+    assert!(passes > 0, "suite never produced a checkable proof");
+    assert!(failures > 0, "suite never produced a refuted proof");
+}
+
+/// Havoc-heavy chains mint `v·N` fresh names in their stored posts; the
+/// textual pipeline must preserve them byte-for-byte.
+#[test]
+fn fresh_havoc_names_survive_the_textual_roundtrip() {
+    let pre = parse_assertion("exists <p1>, <p2>. p1(h) != p2(h)").unwrap();
+    let post = parse_assertion("exists <p>. forall <q>. p(x) <= q(x)").unwrap();
+    let cmd = Cmd::seq_all([
+        Cmd::havoc("x"),
+        Cmd::havoc("y"),
+        Cmd::assign("x", Expr::var("x") + Expr::var("y")),
+    ]);
+    let direct = wp_derivation(&pre, &cmd, &post).unwrap();
+    let script = emit_script(&direct).unwrap();
+    assert!(script.contains("v·0"), "no fresh names in\n{script}");
+    let replayed = compile_script(&script).unwrap();
+    let ctx = ctx();
+    match (check(&direct, &ctx), check(&replayed, &ctx)) {
+        (Ok(a), Ok(b)) => assert_eq!(a.stats, b.stats),
+        (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+        (a, b) => panic!("verdict drifted: direct {a:?} vs replayed {b:?}"),
+    }
+}
