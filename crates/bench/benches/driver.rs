@@ -1,0 +1,25 @@
+//! Batch-driver throughput over the seeded 100-entry corpus: whole-corpus
+//! wall time for the pre-driver sequential configuration (1 worker, no
+//! memo cache) against 1/2/4 workers sharing one extended-semantics memo
+//! cache, plus memo hit rates and speedup/throughput metadata.
+//!
+//! The measurement lives in [`hhl_bench::suites::driver`], shared with the
+//! `hhl-bench compare` regression gate. This bench writes the
+//! `BENCH_driver.json` baseline at the repo root. On single-core machines
+//! the `jobs4` win over `jobs1` is bounded by the hardware; the recorded
+//! speedup against `sequential_nomemo` is the driver's end-to-end gain
+//! (scheduling + shared memoization) over the seed behaviour.
+
+use hhl_bench::suites;
+
+fn main() {
+    let suite = suites::driver(false);
+    for (name, ns) in &suite.results {
+        println!("bench {name:<44} median {ns:>12} ns/run");
+    }
+    for (key, value) in &suite.meta {
+        println!("meta  {key:<44} {value}");
+    }
+    let json = suites::render_json("driver", "ns/run (median)", &suite.results, &suite.meta);
+    suites::write_baseline("BENCH_driver.json", &json);
+}

@@ -2,102 +2,21 @@
 //! resolve + embedded-assertion parsing) and proof-check, over WP chains of
 //! growing length.
 //!
-//! Beyond the console report, this bench writes `BENCH_proofs.json` at the
-//! repo root — a machine-readable baseline the CI/regression tooling can
-//! diff. Absolute numbers are machine-local; the series shape across the
-//! chain lengths is the reproducible signal (parse and elaborate scale
+//! The measurement itself lives in [`hhl_bench::suites::proofs`], shared
+//! with the `hhl-bench compare` regression gate (which re-runs it in fast
+//! mode). Beyond the console report, this bench writes `BENCH_proofs.json`
+//! at the repo root — the machine-readable baseline `compare` diffs
+//! against. Absolute numbers are machine-local; the series shape across
+//! the chain lengths is the reproducible signal (parse and elaborate scale
 //! with script size, check additionally with the entailment oracle).
 
-use std::fmt::Write as _;
-use std::hint::black_box;
-use std::time::Instant;
-
-use hhl_assert::{Assertion, Universe};
-use hhl_core::proof::{check, wp_derivation, ProofContext};
-use hhl_core::ValidityConfig;
-use hhl_lang::{Cmd, Expr};
-use hhl_proofs::{compile_script, emit_script, parse_script};
-
-const CHAIN_LENGTHS: [usize; 3] = [2, 8, 32];
-const SAMPLES: usize = 15;
-
-/// `x := x + 1; …` repeated `k` times under `{low(x)} … {low(x)}` — the WP
-/// chain grows one substituted `+ 1` per step, so script size is Θ(k²).
-fn chain_certificate(k: usize) -> String {
-    let cmd = Cmd::seq_all((0..k).map(|_| Cmd::assign("x", Expr::var("x") + Expr::int(1))));
-    let proof = wp_derivation(&Assertion::low("x"), &cmd, &Assertion::low("x"))
-        .expect("straight-line WP applies");
-    emit_script(&proof).expect("WP chains serialize")
-}
-
-fn ctx() -> ProofContext {
-    ProofContext::new(ValidityConfig::new(Universe::int_cube(&["x"], 0, 1)))
-}
-
-/// Median per-iteration nanoseconds over `SAMPLES` timed samples, with one
-/// untimed warmup and sample sizes calibrated to ~2ms.
-fn median_ns(mut f: impl FnMut()) -> u128 {
-    f();
-    let start = Instant::now();
-    f();
-    let single = start.elapsed().max(std::time::Duration::from_nanos(1));
-    let iters = (2_000_000 / single.as_nanos()).clamp(1, 100_000) as u32;
-    let mut samples: Vec<u128> = (0..SAMPLES)
-        .map(|_| {
-            let start = Instant::now();
-            for _ in 0..iters {
-                f();
-            }
-            start.elapsed().as_nanos() / u128::from(iters)
-        })
-        .collect();
-    samples.sort_unstable();
-    samples[samples.len() / 2]
-}
+use hhl_bench::suites;
 
 fn main() {
-    let ctx = ctx();
-    let mut results: Vec<(String, u128)> = Vec::new();
-    for k in CHAIN_LENGTHS {
-        let script = chain_certificate(k);
-        let proof = compile_script(&script).expect("emitted script elaborates");
-
-        let parse = median_ns(|| {
-            black_box(parse_script(black_box(&script)).expect("parses"));
-        });
-        let elaborate = median_ns(|| {
-            black_box(compile_script(black_box(&script)).expect("elaborates"));
-        });
-        let check_ns = median_ns(|| {
-            black_box(check(black_box(&proof), &ctx).expect("checks"));
-        });
-
-        for (stage, ns) in [
-            ("parse", parse),
-            ("elaborate", elaborate),
-            ("check", check_ns),
-        ] {
-            let name = format!("proofs/{stage}/{k}");
-            println!("bench {name:<44} median {ns:>10} ns/iter ({SAMPLES} samples)");
-            results.push((name, ns));
-        }
+    let results = suites::proofs(false);
+    for (name, ns) in &results {
+        println!("bench {name:<44} median {ns:>10} ns/iter");
     }
-
-    // Hand-rolled JSON (the workspace is offline: no serde).
-    let mut json = String::from(
-        "{\n  \"bench\": \"proofs\",\n  \"unit\": \"ns/iter (median)\",\n  \"results\": [\n",
-    );
-    for (i, (name, ns)) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"name\": \"{name}\", \"median_ns\": {ns}}}{comma}"
-        );
-    }
-    json.push_str("  ]\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_proofs.json");
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("baseline written to BENCH_proofs.json"),
-        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
-    }
+    let json = suites::render_json("proofs", "ns/iter (median)", &results, &[]);
+    suites::write_baseline("BENCH_proofs.json", &json);
 }

@@ -1,0 +1,199 @@
+//! The `hhl-bench` tool: seeded corpus generation and the perf-regression
+//! gate.
+//!
+//! * `hhl-bench corpus [--out DIR] [--seed N]` — write the deterministic
+//!   100-spec batch corpus (specs + replay certificates) into `DIR`
+//!   (default `examples/corpus`). Regenerating with the same seed is
+//!   byte-identical, which CI uses to detect drift against the checked-in
+//!   corpus.
+//! * `hhl-bench compare [--full] [--max-regress PCT] <BENCH_*.json>…` —
+//!   re-run each baseline's suite (fast mode unless `--full`), print a
+//!   delta table, and exit `1` if any series regressed by more than `PCT`
+//!   percent (default 35). Missing/new series are reported but never fail
+//!   the gate (they mean the suite changed shape, not that it got slower).
+//!
+//! Exit codes: `0` clean, `1` regression detected, `2` usage/IO errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hhl_bench::{corpus, suites};
+
+const USAGE: &str = "usage: hhl-bench <command> [args]
+
+  hhl-bench corpus [--out DIR] [--seed N]
+      Generate the deterministic batch-verification corpus (~100 .hhl
+      specs, replay entries with sibling .hhlp certificates) into DIR
+      (default examples/corpus). Same seed => byte-identical files.
+
+  hhl-bench compare [--full] [--max-regress PCT] <BENCH_*.json>...
+      Re-run each baseline's measurement suite (fast mode by default) and
+      diff medians against the checked-in baseline, failing on any series
+      more than PCT percent slower (default 35).
+
+  Exit codes: 0 clean, 1 regression, 2 usage/IO errors.";
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn cmd_corpus(args: &[String]) -> ExitCode {
+    let mut out_dir = PathBuf::from("examples/corpus");
+    let mut seed = corpus::DEFAULT_SEED;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => return usage_error("--out needs a directory"),
+            },
+            "--seed" => match it.next().map(|s| parse_seed(s)) {
+                Some(Ok(s)) => seed = s,
+                _ => return usage_error("--seed needs an integer (decimal or 0x-hex)"),
+            },
+            other => return usage_error(&format!("unknown corpus argument {other:?}")),
+        }
+    }
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: cannot create {}: {e}", out_dir.display());
+        return ExitCode::from(2);
+    }
+    let entries = corpus::generate(seed);
+    let (mut specs, mut certs) = (0usize, 0usize);
+    for entry in &entries {
+        let spec_path = out_dir.join(format!("{}.hhl", entry.name));
+        if let Err(e) = std::fs::write(&spec_path, &entry.spec) {
+            eprintln!("error: cannot write {}: {e}", spec_path.display());
+            return ExitCode::from(2);
+        }
+        specs += 1;
+        if let Some(cert) = &entry.certificate {
+            let cert_path = out_dir.join(format!("{}.hhlp", entry.name));
+            if let Err(e) = std::fs::write(&cert_path, cert) {
+                eprintln!("error: cannot write {}: {e}", cert_path.display());
+                return ExitCode::from(2);
+            }
+            certs += 1;
+        }
+    }
+    println!(
+        "corpus: {specs} spec(s) + {certs} certificate(s) written to {} (seed {seed:#x})",
+        out_dir.display()
+    );
+    ExitCode::SUCCESS
+}
+
+fn parse_seed(s: &str) -> Result<u64, std::num::ParseIntError> {
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    }
+}
+
+/// Re-runs the suite a baseline belongs to and returns the fresh series.
+fn rerun(kind: &str, fast: bool) -> Option<Vec<(String, u128)>> {
+    match kind {
+        "proofs" => Some(suites::proofs(fast)),
+        "driver" => Some(suites::driver(fast).results),
+        _ => None,
+    }
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let mut fast = true;
+    let mut max_regress = 35.0f64;
+    let mut baselines = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => fast = false,
+            "--max-regress" => match it.next().map(|s| s.parse::<f64>()) {
+                Some(Ok(pct)) if pct > 0.0 => max_regress = pct,
+                _ => return usage_error("--max-regress needs a positive percentage"),
+            },
+            path => baselines.push(path.to_owned()),
+        }
+    }
+    if baselines.is_empty() {
+        return usage_error("`hhl-bench compare` needs at least one baseline file");
+    }
+
+    let mut regressions = 0usize;
+    for path in &baselines {
+        let json = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let Some(kind) = suites::parse_bench_kind(&json) else {
+            eprintln!("error: {path}: no \"bench\" field");
+            return ExitCode::from(2);
+        };
+        let old = suites::parse_results(&json);
+        if old.is_empty() {
+            eprintln!("error: {path}: no results to compare");
+            return ExitCode::from(2);
+        }
+        let Some(new) = rerun(&kind, fast) else {
+            eprintln!("error: {path}: unknown bench kind {kind:?}");
+            return ExitCode::from(2);
+        };
+
+        println!(
+            "== {path} ({kind} suite, {} mode, gate {max_regress:.0}%)",
+            if fast { "fast" } else { "full" }
+        );
+        println!(
+            "{:<44} {:>12} {:>12} {:>9}",
+            "series", "baseline", "now", "delta"
+        );
+        for (name, old_ns) in &old {
+            match new.iter().find(|(n, _)| n == name) {
+                Some((_, new_ns)) => {
+                    let delta = (*new_ns as f64 / (*old_ns).max(1) as f64 - 1.0) * 100.0;
+                    let flag = if delta > max_regress {
+                        regressions += 1;
+                        "  REGRESSED"
+                    } else {
+                        ""
+                    };
+                    println!("{name:<44} {old_ns:>10}ns {new_ns:>10}ns {delta:>+8.1}%{flag}");
+                }
+                None => println!("{name:<44} {old_ns:>10}ns {:>12} {:>9}", "gone", "-"),
+            }
+        }
+        for (name, new_ns) in &new {
+            if !old.iter().any(|(n, _)| n == name) {
+                println!("{name:<44} {:>12} {new_ns:>10}ns {:>9}", "new", "-");
+            }
+        }
+        println!();
+    }
+
+    if regressions > 0 {
+        eprintln!("{regressions} series regressed beyond the gate");
+        ExitCode::from(1)
+    } else {
+        println!("no regression beyond the gate");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("corpus") => cmd_corpus(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("--help" | "-h") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -8,7 +8,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod harness;
+pub mod suites;
 
 use hhl_assert::{assign_transform, assume_transform, Assertion, EntailConfig, HExpr, Universe};
 use hhl_core::proof::{Derivation, ProofContext};

@@ -1,0 +1,283 @@
+//! Reusable measurement suites behind the `cargo bench` targets and the
+//! `hhl-bench compare` regression gate.
+//!
+//! Each suite returns `(name, median_ns)` series with **stable names**: the
+//! bench targets (`benches/proofs.rs`, `benches/driver.rs`) write them to
+//! the repo-root `BENCH_*.json` baselines, and `hhl-bench compare` re-runs
+//! the same suite (usually in `fast` mode — fewer samples, smaller
+//! calibration budget, a corpus slice) and diffs medians name-by-name.
+//! Absolute numbers are machine-local; a regression gate compares runs on
+//! the same machine.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hhl_assert::{Assertion, Universe};
+use hhl_cli::{parse_spec, run_replay, run_spec, Spec};
+use hhl_core::proof::{check, wp_derivation, ProofContext};
+use hhl_core::ValidityConfig;
+use hhl_driver::pool::run_ordered;
+use hhl_lang::{Cmd, Expr, SemCache};
+use hhl_proofs::{compile_script, emit_script, parse_script};
+
+use crate::corpus::{self, CorpusEntry};
+
+/// Median per-iteration nanoseconds over `samples` timed samples, with one
+/// untimed warmup and sample sizes calibrated to `target_ns` wall time.
+fn median_ns(samples: usize, target_ns: u128, mut f: impl FnMut()) -> u128 {
+    f();
+    let start = Instant::now();
+    f();
+    let single = start.elapsed().max(Duration::from_nanos(1));
+    let iters = (target_ns / single.as_nanos()).clamp(1, 100_000) as u32;
+    let mut measured: Vec<u128> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() / u128::from(iters)
+        })
+        .collect();
+    measured.sort_unstable();
+    measured[measured.len() / 2]
+}
+
+/// `x := x + 1; …` repeated `k` times under `{low(x)} … {low(x)}` — the WP
+/// chain grows one substituted `+ 1` per step, so script size is Θ(k²).
+fn chain_certificate(k: usize) -> String {
+    let cmd = Cmd::seq_all((0..k).map(|_| Cmd::assign("x", Expr::var("x") + Expr::int(1))));
+    let proof = wp_derivation(&Assertion::low("x"), &cmd, &Assertion::low("x"))
+        .expect("straight-line WP applies");
+    emit_script(&proof).expect("WP chains serialize")
+}
+
+/// The certificate-pipeline suite: `.hhlp` parse, elaborate and check over
+/// WP chains of growing length (series `proofs/<stage>/<k>`).
+pub fn proofs(fast: bool) -> Vec<(String, u128)> {
+    // Fast mode cuts samples, NOT the per-sample calibration budget: a
+    // smaller budget changes how timer overhead amortizes and would bias
+    // the medians against the full-mode baseline.
+    let samples = if fast { 5 } else { 15 };
+    let target_ns = 2_000_000;
+    let ctx = ProofContext::new(ValidityConfig::new(Universe::int_cube(&["x"], 0, 1)));
+    let mut results = Vec::new();
+    for k in [2usize, 8, 32] {
+        let script = chain_certificate(k);
+        let proof = compile_script(&script).expect("emitted script elaborates");
+
+        let parse = median_ns(samples, target_ns, || {
+            black_box(parse_script(black_box(&script)).expect("parses"));
+        });
+        let elaborate = median_ns(samples, target_ns, || {
+            black_box(compile_script(black_box(&script)).expect("elaborates"));
+        });
+        let check_ns = median_ns(samples, target_ns, || {
+            black_box(check(black_box(&proof), &ctx).expect("checks"));
+        });
+        for (stage, ns) in [
+            ("parse", parse),
+            ("elaborate", elaborate),
+            ("check", check_ns),
+        ] {
+            results.push((format!("proofs/{stage}/{k}"), ns));
+        }
+    }
+    results
+}
+
+/// One full pass over the corpus: every spec parsed and run through its
+/// engine (replay entries through the certificate checker), under `jobs`
+/// workers and an optional fresh shared memo cache. Parsing happens inside
+/// the workers — `Spec` holds thread-local assertion closures (`Rc`), and
+/// this also mirrors what `hhl batch` does with files. Returns the wall
+/// time; panics if any verdict is unexpected (the corpus is
+/// self-consistent by construction).
+fn run_corpus(entries: &[CorpusEntry], jobs: usize, cache: Option<&Arc<SemCache>>) -> Duration {
+    let start = Instant::now();
+    let (outcomes, _) = run_ordered(entries, jobs, |_, entry| {
+        let mut spec: Spec = parse_spec(&entry.spec).expect("corpus specs parse");
+        if let Some(cache) = cache {
+            spec.config.cache = Some(cache.clone());
+        }
+        let as_expected = match &entry.certificate {
+            Some(cert) => run_replay(&spec, cert).map(|o| o.as_expected),
+            None => run_spec(&spec).map(|o| o.as_expected),
+        };
+        as_expected.expect("corpus entries run")
+    });
+    let elapsed = start.elapsed();
+    assert!(
+        outcomes.iter().all(|&ok| ok),
+        "corpus verdicts must match their expect lines"
+    );
+    elapsed
+}
+
+/// Results plus free-form numeric metadata for the driver suite.
+pub struct DriverSuite {
+    /// `(name, median_ns)` series for the regression gate.
+    pub results: Vec<(String, u128)>,
+    /// `(key, rendered JSON value)` pairs for the baseline's `meta` block.
+    pub meta: Vec<(String, String)>,
+}
+
+/// The batch-driver suite: whole-corpus wall time at 1 worker without the
+/// memo cache (the pre-driver sequential behaviour), then 1/2/4 workers
+/// sharing a cache (series `batch/<config>`), plus throughput/speedup/memo
+/// metadata.
+pub fn driver(fast: bool) -> DriverSuite {
+    // Fast mode cuts repeats, NOT the corpus: a sliced corpus would be a
+    // different workload and its medians incomparable with the baseline.
+    let entries = corpus::generate(corpus::DEFAULT_SEED);
+    let parsed = &entries[..];
+    let repeats = if fast { 3 } else { 5 };
+
+    let configs: [(&str, usize, bool); 4] = [
+        ("sequential_nomemo", 1, false),
+        ("jobs1", 1, true),
+        ("jobs2", 2, true),
+        ("jobs4", 4, true),
+    ];
+    let mut results = Vec::new();
+    let mut medians = Vec::new();
+    for (label, jobs, use_cache) in configs {
+        let mut times: Vec<u128> = (0..repeats)
+            .map(|_| {
+                // Fresh cache per measured run: hits are earned within the
+                // run, never carried over from a previous one.
+                let cache = use_cache.then(SemCache::new).map(Arc::new);
+                run_corpus(parsed, jobs, cache.as_ref()).as_nanos()
+            })
+            .collect();
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        results.push((format!("batch/{label}"), median));
+        medians.push(median);
+    }
+
+    // One instrumented pass for the memo counters.
+    let cache = Arc::new(SemCache::new());
+    run_corpus(parsed, 4, Some(&cache));
+    let stats = cache.stats();
+
+    let [nomemo, jobs1, _, jobs4] = medians[..] else {
+        unreachable!("four configs measured");
+    };
+    let ratio = |a: u128, b: u128| a as f64 / b.max(1) as f64;
+    let throughput = parsed.len() as f64 / (jobs4 as f64 / 1e9);
+    let meta = vec![
+        ("corpus_entries".to_owned(), parsed.len().to_string()),
+        (
+            "throughput_jobs4_entries_per_sec".to_owned(),
+            format!("{throughput:.1}"),
+        ),
+        (
+            "speedup_jobs4_vs_sequential_nomemo".to_owned(),
+            format!("{:.2}", ratio(nomemo, jobs4)),
+        ),
+        (
+            "speedup_jobs4_vs_jobs1".to_owned(),
+            format!("{:.2}", ratio(jobs1, jobs4)),
+        ),
+        (
+            "memo_hit_rate_jobs4".to_owned(),
+            format!("{:.3}", stats.hit_rate()),
+        ),
+        ("memo_hits_jobs4".to_owned(), stats.hits.to_string()),
+        ("memo_misses_jobs4".to_owned(), stats.misses.to_string()),
+    ];
+    DriverSuite { results, meta }
+}
+
+/// Renders a baseline JSON document (hand-rolled — the workspace is
+/// offline, no serde). `meta` values must already be valid JSON scalars.
+pub fn render_json(
+    bench: &str,
+    unit: &str,
+    results: &[(String, u128)],
+    meta: &[(String, String)],
+) -> String {
+    let mut json = format!("{{\n  \"bench\": \"{bench}\",\n  \"unit\": \"{unit}\",\n");
+    if !meta.is_empty() {
+        json.push_str("  \"meta\": {\n");
+        for (i, (key, value)) in meta.iter().enumerate() {
+            let comma = if i + 1 < meta.len() { "," } else { "" };
+            let _ = writeln!(json, "    \"{key}\": {value}{comma}");
+        }
+        json.push_str("  },\n");
+    }
+    json.push_str("  \"results\": [\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"median_ns\": {ns}}}{comma}"
+        );
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Extracts the `bench` field of a baseline document.
+pub fn parse_bench_kind(json: &str) -> Option<String> {
+    let tail = json.split("\"bench\":").nth(1)?;
+    let value = tail.split('"').nth(1)?;
+    Some(value.to_owned())
+}
+
+/// Extracts the `(name, median_ns)` series from a baseline document
+/// written by [`render_json`] (one result object per line).
+pub fn parse_results(json: &str) -> Vec<(String, u128)> {
+    json.lines()
+        .filter_map(|line| {
+            let name = line.split("\"name\":").nth(1)?.split('"').nth(1)?;
+            let ns = line
+                .split("\"median_ns\":")
+                .nth(1)?
+                .trim()
+                .trim_end_matches(['}', ',', ' '])
+                .trim();
+            Some((name.to_owned(), ns.parse::<u128>().ok()?))
+        })
+        .collect()
+}
+
+/// Writes `json` to `<repo root>/<file>` (the benches' baseline location),
+/// reporting rather than failing on error.
+pub fn write_baseline(file: &str, json: &str) {
+    let path = format!("{}/../../{file}", env!("CARGO_MANIFEST_DIR"));
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("baseline written to {file}"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips_through_the_line_parser() {
+        let results = vec![("a/b/1".to_owned(), 123u128), ("c/d/2".to_owned(), 45)];
+        let meta = vec![("speedup".to_owned(), "2.50".to_owned())];
+        let json = render_json("driver", "ns/run (median)", &results, &meta);
+        assert_eq!(parse_bench_kind(&json).as_deref(), Some("driver"));
+        assert_eq!(parse_results(&json), results);
+    }
+
+    #[test]
+    fn existing_baseline_format_parses() {
+        // The checked-in BENCH_proofs.json predates `meta`; the parser must
+        // accept it unchanged.
+        let legacy = "{\n  \"bench\": \"proofs\",\n  \"unit\": \"ns/iter (median)\",\n  \
+                      \"results\": [\n    {\"name\": \"proofs/parse/2\", \"median_ns\": 1894}\n  ]\n}\n";
+        assert_eq!(parse_bench_kind(legacy).as_deref(), Some("proofs"));
+        assert_eq!(
+            parse_results(legacy),
+            vec![("proofs/parse/2".to_owned(), 1894)]
+        );
+    }
+}

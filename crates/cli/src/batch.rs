@@ -1,0 +1,385 @@
+//! Parallel batch verification: fan spec/certificate files across the
+//! work-stealing pool with one shared extended-semantics memo cache.
+//!
+//! This module is the CLI side of the `hhl batch` subcommand and the
+//! `--jobs N` flags: it loads each file, dispatches it to the engine its
+//! mode selects (pairing `.hhlp` certificates with their sibling `.hhl`
+//! specs), and aggregates per-file results **in input order** so the
+//! rendered output is byte-identical for every job count.
+//!
+//! Per-file errors (unreadable file, malformed spec, rejected certificate)
+//! never abort the batch: the remaining files still run and the error is
+//! carried in the aggregate as [`FileStatus::Error`], counted by the
+//! summary and reflected in the exit code (`2`).
+//!
+//! All worker threads share a single [`SemCache`] behind an `Arc`
+//! (installed into each spec's [`ValidityConfig`]), so repeated
+//! subprograms — shared prefixes across corpus files, loop unrollings,
+//! WP premises — are evaluated once, whichever worker gets there first.
+
+use std::sync::Arc;
+
+use hhl_driver::pool::{run_ordered, PoolStats};
+use hhl_driver::report::{BatchReport, FileReport, FileStatus};
+use hhl_lang::SemCache;
+
+use crate::runner::{run_replay, run_spec, Outcome};
+use crate::spec::{parse_spec, Mode, Spec};
+
+/// How a batch invocation should run.
+#[derive(Clone, Debug)]
+pub struct BatchOptions {
+    /// Worker threads (clamped to the number of files by the pool).
+    pub jobs: usize,
+    /// Force every `.hhl` spec through the WP prover (`hhl prove --jobs`).
+    pub force_prove: bool,
+    /// Share an extended-semantics memo cache across all files/workers.
+    /// Disabled by `--no-cache`; verdicts are identical either way.
+    pub use_cache: bool,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions {
+            jobs: 1,
+            force_prove: false,
+            use_cache: true,
+        }
+    }
+}
+
+/// One file's full result: the classification for the aggregate report plus
+/// the rendered texts the `check --jobs` style full output needs.
+#[derive(Clone, Debug)]
+pub struct FileResult {
+    /// The path as given on the command line.
+    pub path: String,
+    /// Classification for [`BatchReport`].
+    pub status: FileStatus,
+    /// The full `Outcome` rendering (absent when the file errored).
+    pub report_text: Option<String>,
+    /// The error line (absent when a verdict was produced).
+    pub error_text: Option<String>,
+}
+
+/// Everything a batch run produces: in-order per-file results plus the
+/// (scheduling-dependent) pool and cache statistics for stderr.
+#[derive(Debug)]
+pub struct BatchRun {
+    /// Per-file results, in input order.
+    pub results: Vec<FileResult>,
+    /// How the pool scheduled the work.
+    pub pool: PoolStats,
+    /// Memo-cache counters (zeros when the cache was disabled).
+    pub cache: hhl_lang::CacheStats,
+}
+
+impl BatchRun {
+    /// The compact aggregated report (`hhl batch` output).
+    pub fn report(&self) -> BatchReport {
+        BatchReport::new(
+            self.results
+                .iter()
+                .map(|r| FileReport {
+                    path: r.path.clone(),
+                    status: r.status.clone(),
+                })
+                .collect(),
+        )
+    }
+}
+
+/// A unit of batch work: a spec on its own, or a certificate replayed
+/// against its sibling spec.
+enum Job {
+    Spec {
+        path: String,
+    },
+    Replay {
+        spec_path: String,
+        proof_path: String,
+    },
+}
+
+/// Pairs a `.hhlp` certificate with its sibling spec: `dir/x.hhlp` replays
+/// against `dir/x.hhl` (the same convention the example corpus and
+/// `scripts/ci/replay_all.sh` use).
+fn sibling_spec(proof_path: &str) -> String {
+    let stem = proof_path
+        .strip_suffix(".hhlp")
+        .expect("caller checked the extension");
+    format!("{stem}.hhl")
+}
+
+/// Classifies a file into a job. Under `force_prove` everything is a spec
+/// job — `hhl prove --jobs x.hhlp` must fail to parse the certificate as a
+/// spec, exactly like the sequential `hhl prove x.hhlp` does, instead of
+/// silently switching engines to replay.
+fn classify(path: &str, force_prove: bool) -> Job {
+    if path.ends_with(".hhlp") && !force_prove {
+        Job::Replay {
+            spec_path: sibling_spec(path),
+            proof_path: path.to_owned(),
+        }
+    } else {
+        Job::Spec {
+            path: path.to_owned(),
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn load_spec(path: &str, cache: Option<&Arc<SemCache>>) -> Result<Spec, String> {
+    let src = read(path)?;
+    let mut spec = parse_spec(&src).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(cache) = cache {
+        spec.config.cache = Some(cache.clone());
+    }
+    Ok(spec)
+}
+
+fn outcome_result(path: &str, outcome: Outcome) -> FileResult {
+    let verdict = outcome.verdict.to_string();
+    let status = if outcome.as_expected {
+        FileStatus::Expected { verdict }
+    } else {
+        FileStatus::Unexpected { verdict }
+    };
+    FileResult {
+        path: path.to_owned(),
+        status,
+        report_text: Some(outcome.to_string()),
+        error_text: None,
+    }
+}
+
+fn error_result(path: &str, message: String) -> FileResult {
+    FileResult {
+        path: path.to_owned(),
+        status: FileStatus::Error {
+            message: message.clone(),
+        },
+        report_text: None,
+        error_text: Some(message),
+    }
+}
+
+fn run_job(job: &Job, opts: &BatchOptions, cache: Option<&Arc<SemCache>>) -> FileResult {
+    match job {
+        Job::Spec { path } => {
+            let mut spec = match load_spec(path, cache) {
+                Ok(s) => s,
+                Err(e) => return error_result(path, e),
+            };
+            if opts.force_prove {
+                spec.mode = Mode::Prove;
+            }
+            match run_spec(&spec) {
+                Ok(outcome) => outcome_result(path, outcome),
+                // Engine errors carry no location of their own (unlike the
+                // read/parse errors above): prefix the path so the message
+                // identifies the file wherever it surfaces.
+                Err(e) => error_result(path, format!("{path}: {e}")),
+            }
+        }
+        Job::Replay {
+            spec_path,
+            proof_path,
+        } => {
+            let loaded = load_spec(spec_path, cache).and_then(|spec| Ok((spec, read(proof_path)?)));
+            let (spec, certificate) = match loaded {
+                Ok(pair) => pair,
+                Err(e) => return error_result(proof_path, e),
+            };
+            match run_replay(&spec, &certificate) {
+                Ok(outcome) => outcome_result(proof_path, outcome),
+                Err(e) => error_result(proof_path, format!("{proof_path}: {e}")),
+            }
+        }
+    }
+}
+
+/// The shared dispatch tail: fan the jobs across the pool with one fresh
+/// shared cache (when enabled) and assemble the run.
+fn run_jobs(jobs: Vec<Job>, opts: &BatchOptions) -> BatchRun {
+    let cache = opts.use_cache.then(|| Arc::new(SemCache::new()));
+    let (results, pool) = run_ordered(&jobs, opts.jobs, |_, job| {
+        run_job(job, opts, cache.as_ref())
+    });
+    BatchRun {
+        results,
+        pool,
+        cache: cache.map(|c| c.stats()).unwrap_or_default(),
+    }
+}
+
+/// Runs a batch over spec (`.hhl`) and certificate (`.hhlp`) files.
+///
+/// Files run concurrently across `opts.jobs` workers; the returned results
+/// are in input order and independent of the schedule. `.hhlp` files are
+/// replayed against their sibling `.hhl` spec (same directory, same stem).
+pub fn run_batch(files: &[String], opts: &BatchOptions) -> BatchRun {
+    run_jobs(
+        files
+            .iter()
+            .map(|f| classify(f, opts.force_prove))
+            .collect(),
+        opts,
+    )
+}
+
+/// Runs explicit `(spec, certificate)` pairs (`hhl replay --jobs N`).
+pub fn run_replay_batch(pairs: &[(String, String)], opts: &BatchOptions) -> BatchRun {
+    run_jobs(
+        pairs
+            .iter()
+            .map(|(spec, proof)| Job::Replay {
+                spec_path: spec.clone(),
+                proof_path: proof.clone(),
+            })
+            .collect(),
+        opts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn specs_dir() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/specs")
+    }
+
+    fn spec(name: &str) -> String {
+        specs_dir().join(name).to_string_lossy().into_owned()
+    }
+
+    fn opts(jobs: usize) -> BatchOptions {
+        BatchOptions {
+            jobs,
+            ..BatchOptions::default()
+        }
+    }
+
+    #[test]
+    fn batch_reports_are_identical_across_job_counts() {
+        let files = vec![
+            spec("ni_c1.hhl"),
+            spec("ni_c2.hhl"),
+            spec("while_sync.hhl"),
+            spec("gni_c4_violation.hhl"),
+            spec("minimum.hhl"),
+        ];
+        let baseline = run_batch(&files, &opts(1)).report();
+        for jobs in [2, 8] {
+            let run = run_batch(&files, &opts(jobs)).report();
+            assert_eq!(
+                baseline.to_string(),
+                run.to_string(),
+                "jobs = {jobs} diverged"
+            );
+            assert_eq!(baseline.exit_code(), run.exit_code());
+        }
+        assert_eq!(baseline.exit_code(), 0);
+        assert_eq!(baseline.summary().passed, 4);
+        assert_eq!(baseline.summary().failed_as_expected, 1); // ni_c2 expects fail
+    }
+
+    #[test]
+    fn batch_continues_past_errors_and_counts_them() {
+        // A missing file and a malformed spec must not stop the files after
+        // them from being verified.
+        let dir = std::env::temp_dir().join("hhl-batch-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let bad = dir.join("malformed.hhl");
+        std::fs::write(&bad, "mode: check\nnot a key line\n").expect("write");
+        let files = vec![
+            dir.join("does_not_exist.hhl")
+                .to_string_lossy()
+                .into_owned(),
+            bad.to_string_lossy().into_owned(),
+            spec("ni_c1.hhl"),
+        ];
+        let run = run_batch(&files, &opts(2));
+        let report = run.report();
+        let summary = report.summary();
+        assert_eq!(summary.errors, 2, "{report}");
+        assert_eq!(summary.passed, 1, "later files must still run: {report}");
+        assert_eq!(report.exit_code(), 2);
+    }
+
+    #[test]
+    fn hhlp_files_pair_with_sibling_specs() {
+        let proofs = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/proofs");
+        // The example proofs live next to specs in a *different* dir, so
+        // exercise the explicit-pair API with the real corpus layout…
+        let pairs = vec![(
+            spec("while_sync.hhl"),
+            proofs
+                .join("while_sync.hhlp")
+                .to_string_lossy()
+                .into_owned(),
+        )];
+        let run = run_replay_batch(&pairs, &opts(2));
+        assert_eq!(run.report().exit_code(), 0, "{}", run.report());
+        // …and the sibling convention itself on a co-located copy.
+        let dir = std::env::temp_dir().join("hhl-batch-sibling");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        for (from, to) in [
+            (spec("while_sync.hhl"), dir.join("ws.hhl")),
+            (
+                proofs
+                    .join("while_sync.hhlp")
+                    .to_string_lossy()
+                    .into_owned(),
+                dir.join("ws.hhlp"),
+            ),
+        ] {
+            std::fs::copy(from, to).expect("copy corpus file");
+        }
+        let files = vec![dir.join("ws.hhlp").to_string_lossy().into_owned()];
+        let run = run_batch(&files, &opts(1));
+        assert_eq!(run.report().exit_code(), 0, "{}", run.report());
+    }
+
+    #[test]
+    fn force_prove_never_reclassifies_certificates() {
+        // `hhl prove --jobs x.hhlp` must fail to parse the certificate as a
+        // spec — exactly like sequential `hhl prove x.hhlp` — instead of
+        // silently switching engines to replay-against-sibling.
+        let cert = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../examples/proofs/ni_c1.hhlp")
+            .to_string_lossy()
+            .into_owned();
+        let run = run_batch(
+            &[cert],
+            &BatchOptions {
+                jobs: 2,
+                force_prove: true,
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(run.report().summary().errors, 1, "{}", run.report());
+        assert_eq!(run.report().exit_code(), 2);
+    }
+
+    #[test]
+    fn cache_and_no_cache_verdicts_agree() {
+        let files = vec![spec("ni_c1.hhl"), spec("ni_c2.hhl"), spec("minimum.hhl")];
+        let cached = run_batch(&files, &opts(2));
+        let uncached = run_batch(
+            &files,
+            &BatchOptions {
+                jobs: 2,
+                use_cache: false,
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(cached.report().to_string(), uncached.report().to_string());
+        assert_eq!(uncached.cache, hhl_lang::CacheStats::default());
+    }
+}

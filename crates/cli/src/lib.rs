@@ -23,15 +23,25 @@
 //! WP derivation so `hhl prove --emit-proof` produces portable,
 //! independently replayable proofs (refuted derivations emit nothing).
 //!
+//! Corpora run through [`batch`]: the `hhl batch` subcommand and the
+//! `--jobs N` flags fan files across the `hhl-driver` work-stealing pool,
+//! with every worker sharing one extended-semantics memo cache
+//! ([`hhl_lang::SemCache`]) installed into each spec's
+//! [`hhl_core::ValidityConfig`]. Aggregation is deterministic: reports
+//! render byte-identically for every job count.
+//!
 //! The driver prints a structured pass/fail report; the process exit code
 //! is `0` when the verdict matches the spec's `expect:` line (which
-//! defaults to `pass`).
+//! defaults to `pass`), `1` on unexpected verdicts, `2` when a file could
+//! not be judged at all.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod runner;
 mod spec;
 
+pub use batch::{run_batch, run_replay_batch, BatchOptions, BatchRun, FileResult};
 pub use runner::{run_prove_with_certificate, run_replay, run_spec, Outcome, RunError, Verdict};
 pub use spec::{parse_spec, Expect, Mode, Spec, SpecError};

@@ -1,21 +1,30 @@
-//! The `hhl` binary: `check`, `prove` and `replay` subcommands.
+//! The `hhl` binary: `check`, `prove`, `replay` and `batch` subcommands.
 //!
-//! * `hhl check <spec.hhl>…` — parse each spec, dispatch it to the engine
-//!   named by its `mode:` line, print a structured pass/fail report;
-//! * `hhl prove [--emit-proof <out.hhlp>] <spec.hhl>…` — force the
-//!   syntactic WP prover regardless of the spec's `mode:`, optionally
+//! * `hhl check [--jobs N] <spec.hhl>…` — parse each spec, dispatch it to
+//!   the engine named by its `mode:` line, print a structured pass/fail
+//!   report (in parallel across N workers when `--jobs` is given);
+//! * `hhl prove [--jobs N] [--emit-proof <out.hhlp>] <spec.hhl>…` — force
+//!   the syntactic WP prover regardless of the spec's `mode:`, optionally
 //!   writing the checked derivation as a portable `.hhlp` certificate;
-//! * `hhl replay <spec.hhl> <proof.hhlp>` — elaborate a textual proof
-//!   certificate and check it against the spec's triple and finite model.
+//! * `hhl replay [--jobs N] <spec.hhl> <proof.hhlp> [<spec> <proof>]…` —
+//!   elaborate textual proof certificates and check them against their
+//!   specs' triples and finite models;
+//! * `hhl batch [--jobs N] [--no-cache] <file>…` — fan a corpus of `.hhl`
+//!   specs and `.hhlp` certificates (paired with their sibling `.hhl`)
+//!   across a work-stealing pool with a shared extended-semantics memo
+//!   cache, printing a compact aggregated report that is byte-identical
+//!   for every `--jobs` value.
 //!
-//! Exits `0` when every verdict matches its spec's `expect:` line (default
-//! `pass`), `1` when any verdict is unexpected, `2` on usage/parse/dispatch
-//! errors.
+//! Exit codes are a contract scripts rely on: `0` when every verdict
+//! matches its spec's `expect:` line (default `pass`), `1` when any verdict
+//! is unexpected, `2` on usage errors or when any file could not be judged
+//! at all (I/O, parse, dispatch or certificate errors).
 
 use std::fmt;
 use std::io::Write;
 use std::process::ExitCode;
 
+use hhl_cli::batch::{run_batch, run_replay_batch, BatchOptions, FileResult};
 use hhl_cli::{parse_spec, run_prove_with_certificate, run_replay, run_spec, Mode, Spec};
 
 /// Prints to stdout, ignoring write failures (e.g. EPIPE when the report
@@ -26,20 +35,33 @@ fn out(msg: impl fmt::Display) {
 
 const USAGE: &str = "usage: hhl <command> [args]
 
-  hhl check <spec.hhl>...
+  hhl check [--jobs N] <spec.hhl>...
       Run each spec end-to-end with the engine its `mode:` line selects
       (check | prove | verify) and compare the verdict against `expect:`.
+      With --jobs, files are verified in parallel by a work-stealing pool
+      sharing one semantics memo cache; the report order stays the input
+      order.
 
-  hhl prove [--emit-proof <out.hhlp>] <spec.hhl>...
+  hhl prove [--jobs N] [--emit-proof <out.hhlp>] <spec.hhl>...
       Force the syntactic WP prover (Fig. 3 + Cons) regardless of the
       spec's `mode:`. With --emit-proof (single spec), also write the
       checked derivation as a portable .hhlp proof certificate.
 
-  hhl replay <spec.hhl> <proof.hhlp>
-      Parse and elaborate a textual proof certificate, check every rule
-      application against the spec's finite model, and compare the
+  hhl replay [--jobs N] <spec.hhl> <proof.hhlp> [<spec> <proof>]...
+      Parse and elaborate textual proof certificates, check every rule
+      application against each spec's finite model, and compare the
       conclusion with the spec's triple. Loop proofs that `prove` cannot
-      build (WhileSync, IfSync, ...) replay this way.";
+      build (WhileSync, IfSync, ...) replay this way.
+
+  hhl batch [--jobs N] [--no-cache] <file>...
+      Batch-verify a corpus: .hhl specs run under their own mode, .hhlp
+      certificates replay against their sibling .hhl spec (same directory,
+      same stem). Prints one line per file plus an aggregate summary —
+      deterministic and byte-identical for every --jobs value. Per-file
+      errors are reported in the summary; later files still run.
+
+  Exit codes: 0 all verdicts as expected, 1 unexpected verdict(s),
+  2 usage/parse/read errors.";
 
 /// Aggregated exit state across the files of one invocation. No `Default`:
 /// the derive would start `all_expected` at `false`, turning an empty run
@@ -124,7 +146,114 @@ fn run_files(files: &[&str], force_prove: bool) -> Tally {
     tally
 }
 
+/// Extracts `--jobs N` (and optionally `--no-cache`) from an argument list,
+/// returning `(jobs, use_cache, rest)`. `jobs == None` means the flag was
+/// absent; `Err` carries a usage message.
+fn parse_batch_flags(
+    args: &[String],
+    accept_no_cache: bool,
+) -> Result<(Option<usize>, bool, Vec<String>), String> {
+    let mut jobs = None;
+    let mut use_cache = true;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--jobs" {
+            let Some(n) = it.next() else {
+                return Err("--jobs needs a worker count".to_owned());
+            };
+            match n.parse::<usize>() {
+                Ok(n) if n > 0 => jobs = Some(n),
+                _ => return Err(format!("bad --jobs value {n:?} (need a positive integer)")),
+            }
+        } else if accept_no_cache && arg == "--no-cache" {
+            use_cache = false;
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((jobs, use_cache, rest))
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Prints scheduling/cache statistics to stderr (never part of the
+/// deterministic stdout report — hit counts race under work stealing).
+fn print_run_stats(run: &hhl_cli::BatchRun) {
+    eprintln!(
+        "[batch] {} worker(s), {} steal(s); memo: {}",
+        run.pool.workers, run.pool.steals, run.cache
+    );
+}
+
+/// Renders parallel per-file results in the same full format the
+/// sequential path prints: `== path` headers, outcome reports on stdout,
+/// errors on stderr, blank lines between files.
+fn print_full_results(results: &[FileResult], headers: Option<&[String]>) -> Tally {
+    let mut tally = Tally::new();
+    for (i, result) in results.iter().enumerate() {
+        if i > 0 {
+            out("");
+        }
+        match headers {
+            Some(headers) => out(format_args!("== {}", headers[i])),
+            None => out(format_args!("== {}", result.path)),
+        }
+        if let Some(report) = &result.report_text {
+            out(report);
+        }
+        if let Some(error) = &result.error_text {
+            eprintln!("error: {error}");
+            tally.hard_error = true;
+        }
+        if let hhl_driver::FileStatus::Unexpected { .. } = result.status {
+            tally.all_expected = false;
+        }
+    }
+    tally
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let (jobs, _, files) = match parse_batch_flags(args, false) {
+        Ok(parsed) => parsed,
+        Err(e) => return usage_error(&e),
+    };
+    if files.is_empty() {
+        return usage_error("`hhl check` needs at least one spec");
+    }
+    match jobs {
+        // No --jobs: the sequential path streams each report as it is
+        // produced (bit-compatible with earlier releases).
+        None => {
+            let refs: Vec<&str> = files.iter().map(String::as_str).collect();
+            run_files(&refs, false).exit()
+        }
+        Some(jobs) => {
+            let opts = BatchOptions {
+                jobs,
+                ..BatchOptions::default()
+            };
+            let run = run_batch(&files, &opts);
+            print_run_stats(&run);
+            print_full_results(&run.results, None).exit()
+        }
+    }
+}
+
 fn cmd_prove(args: &[String]) -> ExitCode {
+    let (jobs, _, args) = match parse_batch_flags(args, false) {
+        Ok(parsed) => parsed,
+        Err(e) => return usage_error(&e),
+    };
     let mut emit_to = None;
     let mut files = Vec::new();
     let mut it = args.iter();
@@ -132,26 +261,43 @@ fn cmd_prove(args: &[String]) -> ExitCode {
         if arg == "--emit-proof" {
             match it.next() {
                 Some(path) => emit_to = Some(path.as_str()),
-                None => {
-                    eprintln!("error: --emit-proof needs an output path\n\n{USAGE}");
-                    return ExitCode::from(2);
-                }
+                None => return usage_error("--emit-proof needs an output path"),
             }
         } else {
-            files.push(arg.as_str());
+            files.push(arg.clone());
         }
     }
-    if files.is_empty() || (emit_to.is_some() && files.len() != 1) {
-        eprintln!("error: `hhl prove --emit-proof` takes exactly one spec\n\n{USAGE}");
-        return ExitCode::from(2);
+    if files.is_empty() {
+        return usage_error("`hhl prove` needs at least one spec");
+    }
+    if emit_to.is_some() && files.len() != 1 {
+        return usage_error("`hhl prove --emit-proof` takes exactly one spec");
+    }
+    if emit_to.is_some() && jobs.is_some() {
+        return usage_error("--emit-proof runs a single spec; drop --jobs");
     }
     let Some(path) = emit_to else {
-        return run_files(&files, true).exit();
+        return match jobs {
+            None => {
+                let refs: Vec<&str> = files.iter().map(String::as_str).collect();
+                run_files(&refs, true).exit()
+            }
+            Some(jobs) => {
+                let opts = BatchOptions {
+                    jobs,
+                    force_prove: true,
+                    ..BatchOptions::default()
+                };
+                let run = run_batch(&files, &opts);
+                print_run_stats(&run);
+                print_full_results(&run.results, None).exit()
+            }
+        };
     };
     // --emit-proof: one load, one WP derivation — the certificate
     // serializes exactly the derivation that was checked and reported, and
     // only when the proof checked (a refuted derivation is no certificate).
-    let file = files[0];
+    let file = files[0].as_str();
     let mut tally = Tally::new();
     out(format_args!("== {file}"));
     let Some(spec) = load_spec(file, &mut tally) else {
@@ -181,40 +327,80 @@ fn cmd_prove(args: &[String]) -> ExitCode {
 }
 
 fn cmd_replay(args: &[String]) -> ExitCode {
-    let [spec_path, proof_path] = args else {
-        eprintln!("error: `hhl replay` takes a spec and a certificate\n\n{USAGE}");
-        return ExitCode::from(2);
+    let (jobs, _, args) = match parse_batch_flags(args, false) {
+        Ok(parsed) => parsed,
+        Err(e) => return usage_error(&e),
     };
-    let mut tally = Tally::new();
-    out(format_args!("== {spec_path} ⊢ {proof_path}"));
-    let (Some(spec), Some(certificate)) = (
-        load_spec(spec_path, &mut tally),
-        read_file(proof_path, &mut tally),
-    ) else {
-        return tally.exit();
-    };
-    match run_replay(&spec, &certificate) {
-        Ok(outcome) => {
-            out(&outcome);
-            tally.all_expected &= outcome.as_expected;
-        }
-        Err(e) => {
-            eprintln!("error: {proof_path}: {e}");
-            tally.hard_error = true;
-        }
+    if args.len() < 2 || args.len() % 2 != 0 {
+        return usage_error("`hhl replay` takes (spec, certificate) pairs");
     }
-    tally.exit()
+    let pairs: Vec<(String, String)> = args
+        .chunks_exact(2)
+        .map(|pair| (pair[0].clone(), pair[1].clone()))
+        .collect();
+    if pairs.len() == 1 && jobs.is_none() {
+        // Single pair: the streaming path (bit-compatible output).
+        let (spec_path, proof_path) = &pairs[0];
+        let mut tally = Tally::new();
+        out(format_args!("== {spec_path} ⊢ {proof_path}"));
+        let (Some(spec), Some(certificate)) = (
+            load_spec(spec_path, &mut tally),
+            read_file(proof_path, &mut tally),
+        ) else {
+            return tally.exit();
+        };
+        match run_replay(&spec, &certificate) {
+            Ok(outcome) => {
+                out(&outcome);
+                tally.all_expected &= outcome.as_expected;
+            }
+            Err(e) => {
+                eprintln!("error: {proof_path}: {e}");
+                tally.hard_error = true;
+            }
+        }
+        return tally.exit();
+    }
+    let opts = BatchOptions {
+        jobs: jobs.unwrap_or(1),
+        ..BatchOptions::default()
+    };
+    let run = run_replay_batch(&pairs, &opts);
+    print_run_stats(&run);
+    let headers: Vec<String> = pairs
+        .iter()
+        .map(|(spec, proof)| format!("{spec} ⊢ {proof}"))
+        .collect();
+    print_full_results(&run.results, Some(&headers)).exit()
+}
+
+fn cmd_batch(args: &[String]) -> ExitCode {
+    let (jobs, use_cache, files) = match parse_batch_flags(args, true) {
+        Ok(parsed) => parsed,
+        Err(e) => return usage_error(&e),
+    };
+    if files.is_empty() {
+        return usage_error("`hhl batch` needs at least one file");
+    }
+    let opts = BatchOptions {
+        jobs: jobs.unwrap_or_else(default_jobs),
+        force_prove: false,
+        use_cache,
+    };
+    let run = run_batch(&files, &opts);
+    print_run_stats(&run);
+    let report = run.report();
+    out(&report);
+    ExitCode::from(report.exit_code())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("check") if args.len() > 1 => {
-            let files: Vec<&str> = args[1..].iter().map(String::as_str).collect();
-            run_files(&files, false).exit()
-        }
+        Some("check") if args.len() > 1 => cmd_check(&args[1..]),
         Some("prove") if args.len() > 1 => cmd_prove(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("batch") if args.len() > 1 => cmd_batch(&args[1..]),
         Some("--help" | "-h") => {
             out(USAGE);
             ExitCode::SUCCESS

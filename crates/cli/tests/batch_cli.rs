@@ -1,0 +1,178 @@
+//! Process-level tests for `hhl batch` and the `--jobs` flags: the
+//! aggregated stdout must be byte-identical for every job count, exit
+//! codes must follow the 0/1/2 contract, and per-file errors must never
+//! stop the rest of a batch.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn spec_path(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/specs")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn hhl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hhl"))
+        .args(args)
+        .output()
+        .expect("hhl binary runs")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 report")
+}
+
+fn example_files() -> Vec<String> {
+    [
+        "ni_c1.hhl",
+        "ni_c2.hhl",
+        "while_sync.hhl",
+        "gni_c4_violation.hhl",
+        "minimum.hhl",
+    ]
+    .iter()
+    .map(|n| spec_path(n))
+    .collect()
+}
+
+#[test]
+fn batch_stdout_is_byte_identical_across_job_counts() {
+    let files = example_files();
+    let run = |jobs: &str| {
+        let mut args = vec!["batch", "--jobs", jobs];
+        args.extend(files.iter().map(String::as_str));
+        hhl(&args)
+    };
+    let baseline = run("1");
+    assert_eq!(baseline.status.code(), Some(0), "{}", stdout_of(&baseline));
+    for jobs in ["2", "8"] {
+        let out = run(jobs);
+        assert_eq!(
+            stdout_of(&out),
+            stdout_of(&baseline),
+            "stdout diverged at --jobs {jobs}"
+        );
+        assert_eq!(out.status.code(), baseline.status.code());
+    }
+    let report = stdout_of(&baseline);
+    assert!(
+        report.contains("batch summary: 5 file(s): 5 as expected (4 pass, 1 fail)"),
+        "{report}"
+    );
+}
+
+#[test]
+fn check_with_jobs_matches_sequential_check_output() {
+    // `check --jobs N` must print the same full per-file reports, in the
+    // same order, as the sequential `check` path.
+    let files = example_files();
+    let mut seq_args = vec!["check"];
+    seq_args.extend(files.iter().map(String::as_str));
+    let sequential = hhl(&seq_args);
+    for jobs in ["1", "4"] {
+        let mut par_args = vec!["check", "--jobs", jobs];
+        par_args.extend(files.iter().map(String::as_str));
+        let parallel = hhl(&par_args);
+        assert_eq!(
+            stdout_of(&parallel),
+            stdout_of(&sequential),
+            "--jobs {jobs}"
+        );
+        assert_eq!(parallel.status.code(), sequential.status.code());
+    }
+}
+
+#[test]
+fn batch_continues_past_errors_and_exits_2() {
+    let dir = std::env::temp_dir().join("hhl-batch-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let malformed = dir.join("malformed.hhl");
+    std::fs::write(&malformed, "mode: check\nbroken line\n").expect("write");
+    let missing = dir.join("missing.hhl");
+    let _ = std::fs::remove_file(&missing);
+
+    let out = hhl(&[
+        "batch",
+        "--jobs",
+        "2",
+        missing.to_str().unwrap(),
+        malformed.to_str().unwrap(),
+        &spec_path("ni_c1.hhl"),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stdout_of(&out));
+    let report = stdout_of(&out);
+    // Both errors are part of the aggregate, and the later file still ran.
+    assert!(
+        report.contains("missing.hhl: error: cannot read"),
+        "{report}"
+    );
+    assert!(report.contains("malformed.hhl: error:"), "{report}");
+    assert!(report.contains("ni_c1.hhl: PASS (as expected)"), "{report}");
+    assert!(
+        report.contains("1 as expected (1 pass, 0 fail), 0 unexpected, 2 error(s)"),
+        "{report}"
+    );
+}
+
+#[test]
+fn batch_exit_1_on_unexpected_verdict_without_errors() {
+    let dir = std::env::temp_dir().join("hhl-batch-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let flipped = dir.join("ni_c1_flipped.hhl");
+    let src = std::fs::read_to_string(spec_path("ni_c1.hhl")).expect("spec readable");
+    std::fs::write(&flipped, src.replace("expect: pass", "expect: fail")).expect("write");
+
+    let out = hhl(&["batch", flipped.to_str().unwrap(), &spec_path("ni_c2.hhl")]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout_of(&out));
+    let report = stdout_of(&out);
+    assert!(report.contains("PASS (UNEXPECTED)"), "{report}");
+    assert!(report.contains("1 unexpected, 0 error(s)"), "{report}");
+}
+
+#[test]
+fn batch_no_cache_produces_the_same_report() {
+    let files = example_files();
+    let mut cached = vec!["batch", "--jobs", "2"];
+    cached.extend(files.iter().map(String::as_str));
+    let mut uncached = vec!["batch", "--jobs", "2", "--no-cache"];
+    uncached.extend(files.iter().map(String::as_str));
+    assert_eq!(stdout_of(&hhl(&cached)), stdout_of(&hhl(&uncached)));
+}
+
+#[test]
+fn replay_pairs_run_in_parallel() {
+    let proofs = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/proofs");
+    let pair = |n: &str| {
+        (
+            spec_path(&format!("{n}.hhl")),
+            proofs
+                .join(format!("{n}.hhlp"))
+                .to_string_lossy()
+                .into_owned(),
+        )
+    };
+    let (s1, p1) = pair("ni_c1");
+    let (s2, p2) = pair("while_sync");
+    let out = hhl(&["replay", "--jobs", "2", &s1, &p1, &s2, &p2]);
+    let report = stdout_of(&out);
+    assert_eq!(out.status.code(), Some(0), "{report}");
+    assert_eq!(
+        report.matches("verdict: PASS (as expected)").count(),
+        2,
+        "{report}"
+    );
+    assert!(report.contains("⊢"), "pair headers present: {report}");
+}
+
+#[test]
+fn bad_jobs_value_is_a_usage_error() {
+    for jobs in ["0", "-1", "many"] {
+        let out = hhl(&["batch", "--jobs", jobs, &spec_path("ni_c1.hhl")]);
+        assert_eq!(out.status.code(), Some(2), "--jobs {jobs}");
+        let stderr = String::from_utf8(out.stderr).expect("utf-8");
+        assert!(stderr.contains("--jobs"), "{stderr}");
+    }
+}

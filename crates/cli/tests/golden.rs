@@ -174,7 +174,11 @@ fn help_lists_subcommands() {
     assert!(out.status.success());
     let usage = stdout_of(&out);
     assert!(
-        usage.contains("hhl replay <spec.hhl> <proof.hhlp>"),
+        usage.contains("hhl replay [--jobs N] <spec.hhl> <proof.hhlp>"),
+        "{usage}"
+    );
+    assert!(
+        usage.contains("hhl batch [--jobs N] [--no-cache]"),
         "{usage}"
     );
 }

@@ -297,13 +297,18 @@ fn valid_scoped(
 ) -> Result<(), ProofError> {
     stats.oracle_admissions += 1;
     let sets = candidate_sets(&ctx.validity.universe, &ctx.validity.check);
+    // `sem(C, S)` is independent of the scope binding, so compute it at
+    // most once per candidate set however many bindings re-visit the set
+    // (lazily, preserving the binding-major iteration order and hence
+    // which counterexample surfaces first).
+    let mut outs: Vec<Option<hhl_lang::StateSet>> = vec![None; sets.len()];
     for env0 in scope_bindings(scope, ctx) {
-        for s in &sets {
+        for (i, s) in sets.iter().enumerate() {
             let mut env = env0.clone();
             if eval_in_env(&t.pre, s, &mut env, &ctx.validity.check.eval) {
-                let out = ctx.validity.exec.sem(&t.cmd, s);
+                let out = outs[i].get_or_insert_with(|| ctx.validity.sem(&t.cmd, s));
                 let mut env = env0.clone();
-                if !eval_in_env(&t.post, &out, &mut env, &ctx.validity.check.eval) {
+                if !eval_in_env(&t.post, out, &mut env, &ctx.validity.check.eval) {
                     return Err(ProofError::Semantic {
                         rule,
                         counterexample: Counterexample {
@@ -951,7 +956,7 @@ fn check_in(
         } => {
             for phi1 in ctx.validity.universe.states.iter().take(ctx.linking_cap) {
                 let singleton: hhl_lang::StateSet = std::iter::once(phi1.clone()).collect();
-                for phi2 in &ctx.validity.exec.sem(cmd, &singleton) {
+                for phi2 in &ctx.validity.sem(cmd, &singleton) {
                     // φ1_L = φ2_L holds by construction of sem.
                     let d12 = premise.at(phi1, phi2);
                     let t12 = check_in(&d12, ctx, scope, stats)?;
@@ -1086,7 +1091,7 @@ fn discharge_variant_decrease(
             for phi in s {
                 let before = variant.eval(&phi.program).as_int();
                 let singleton: hhl_lang::StateSet = std::iter::once(phi.clone()).collect();
-                for phi2 in &ctx.validity.exec.sem(&body_triple.cmd, &singleton) {
+                for phi2 in &ctx.validity.sem(&body_triple.cmd, &singleton) {
                     let after = variant.eval(&phi2.program).as_int();
                     if !(0 <= after && after < before) {
                         return Err(ProofError::Semantic {

@@ -8,11 +8,13 @@
 //! counterexample is always a genuine refutation *under the configured
 //! finitization* (havoc domain, loop fuel, value-quantifier domain).
 
+use std::sync::Arc;
+
 use hhl_assert::{
     candidate_sets, eval_assertion, eval_in_env, Assertion, Counterexample, EntailConfig, Env,
     Universe,
 };
-use hhl_lang::{Cmd, ExecConfig, StateSet};
+use hhl_lang::{Cmd, ExecConfig, SemCache, StateSet};
 
 use crate::triple::Triple;
 
@@ -25,16 +27,24 @@ pub struct ValidityConfig {
     pub exec: ExecConfig,
     /// Candidate-set enumeration and assertion-evaluation parameters.
     pub check: EntailConfig,
+    /// Optional shared memo table for extended-semantics evaluations.
+    ///
+    /// `None` (the default) evaluates `sem` directly; batch drivers install
+    /// one `Arc<SemCache>` across many configs (and worker threads) so
+    /// repeated subprograms are computed once. Cloning the config shares
+    /// the cache, not a copy of it.
+    pub cache: Option<Arc<SemCache>>,
 }
 
 impl ValidityConfig {
     /// A configuration from a universe, with default execution and checking
-    /// parameters.
+    /// parameters and no memo cache.
     pub fn new(universe: Universe) -> ValidityConfig {
         ValidityConfig {
             universe,
             exec: ExecConfig::default(),
             check: EntailConfig::default(),
+            cache: None,
         }
     }
 
@@ -48,6 +58,24 @@ impl ValidityConfig {
     pub fn with_check(mut self, check: EntailConfig) -> ValidityConfig {
         self.check = check;
         self
+    }
+
+    /// Installs a shared extended-semantics memo cache.
+    pub fn with_cache(mut self, cache: Arc<SemCache>) -> ValidityConfig {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The extended semantics `sem(C, S)` under this configuration —
+    /// memoized through the installed cache when one is present, a direct
+    /// [`ExecConfig::sem`] evaluation otherwise. Every semantic obligation
+    /// in this crate (triple validity, proof-rule side conditions) funnels
+    /// through here, so one installed cache covers them all.
+    pub fn sem(&self, cmd: &Cmd, s: &StateSet) -> StateSet {
+        match &self.cache {
+            Some(cache) => self.exec.sem_memo(cmd, s, cache),
+            None => self.exec.sem(cmd, s),
+        }
     }
 }
 
@@ -88,7 +116,7 @@ pub fn check_triple_in_env(
 ) -> Result<(), Counterexample> {
     for s in candidate_sets(&cfg.universe, &cfg.check) {
         if eval_in_env(&t.pre, &s, env, &cfg.check.eval) {
-            let out = cfg.exec.sem(&t.cmd, &s);
+            let out = cfg.sem(&t.cmd, &s);
             if !eval_in_env(&t.post, &out, env, &cfg.check.eval) {
                 return Err(Counterexample {
                     set: s,
@@ -106,7 +134,7 @@ pub fn check_triple_in_env(
 pub fn check_triple_terminating(t: &Triple, cfg: &ValidityConfig) -> Result<(), Counterexample> {
     for s in candidate_sets(&cfg.universe, &cfg.check) {
         if eval_assertion(&t.pre, &s, &cfg.check.eval) {
-            let out = cfg.exec.sem(&t.cmd, &s);
+            let out = cfg.sem(&t.cmd, &s);
             if !eval_assertion(&t.post, &out, &cfg.check.eval) {
                 return Err(Counterexample {
                     set: s,
@@ -255,6 +283,39 @@ mod tests {
         // (the empty set has no witness states).
         let bad = Triple::new(Assertion::tt(), t.cmd.clone(), t.post.clone());
         assert!(check_triple(&bad, &cfg).is_err());
+    }
+
+    #[test]
+    fn cached_and_uncached_checking_agree() {
+        // The memo cache must never change a verdict — only skip re-work.
+        // Sweep a mixed bag of valid and invalid triples (straight-line,
+        // branching, looping) through one shared cache and compare against
+        // the cache-free checker, counterexample sets included.
+        let cache = Arc::new(SemCache::new());
+        let programs = [
+            "l := l * 2",
+            "if (h > 0) { l := 1 } else { l := 0 }",
+            "l := l * 2; l := l + 1",
+            "while (l < 1) { l := l + 1 }",
+            "l := nonDet()",
+        ];
+        for prog in programs {
+            for (pre, post) in [
+                (Assertion::low("l"), Assertion::low("l")),
+                (Assertion::tt(), Assertion::low("l")),
+            ] {
+                let t = Triple::new(pre, parse_cmd(prog).unwrap(), post);
+                let plain = check_triple(&t, &small_cfg());
+                let cached = check_triple(&t, &small_cfg().with_cache(cache.clone()));
+                match (&plain, &cached) {
+                    (Ok(()), Ok(())) => {}
+                    (Err(a), Err(b)) => assert_eq!(a.set, b.set, "{t}"),
+                    _ => panic!("verdict drift on {t}: {plain:?} vs {cached:?}"),
+                }
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "shared sweeps must hit: {stats:?}");
     }
 
     #[test]

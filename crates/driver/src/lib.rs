@@ -1,0 +1,31 @@
+//! # hhl-driver — parallel batch-verification scheduling
+//!
+//! The scaling primitive behind `hhl batch` and the `--jobs N` flags: a
+//! dependency-free, work-stealing `std::thread` scheduler ([`pool`]) that
+//! fans a corpus of verification jobs across worker threads, and a
+//! deterministic aggregation layer ([`report`]) whose output is
+//! byte-identical for every job count.
+//!
+//! The crate is deliberately generic — it schedules `Fn(usize, &I) -> T`
+//! closures and aggregates [`report::FileStatus`] values — so it carries no
+//! dependency on the spec format or the verification engines. The CLI
+//! supplies the per-file closure (parse → dispatch → verdict, sharing one
+//! `hhl_lang::memo::SemCache` across workers via `Arc`), and the bench
+//! suite reuses the same pool to measure 1-vs-N-thread throughput.
+//!
+//! Division of responsibility:
+//!
+//! * **scheduling is racy** — workers steal whatever is pending; which
+//!   thread verifies which file is load-dependent;
+//! * **aggregation is deterministic** — results return in input order and
+//!   the report renders without timings or scheduling artefacts, so `diff`
+//!   over two runs (different machines, different `--jobs`) is meaningful.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod report;
+
+pub use pool::{run_ordered, PoolStats};
+pub use report::{BatchReport, FileReport, FileStatus, Summary};

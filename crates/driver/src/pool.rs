@@ -1,0 +1,191 @@
+//! A work-stealing `std::thread` scheduler for batch verification.
+//!
+//! The build environment is offline, so the driver cannot depend on `rayon`
+//! or `crossbeam`; this module implements the classic per-worker-deque
+//! scheme over `std` primitives:
+//!
+//! * jobs are dealt round-robin into per-worker deques up front (a
+//!   deterministic initial distribution);
+//! * each worker pops from the *front* of its own deque (FIFO for locality
+//!   of neighbouring corpus files, which tend to share memoizable
+//!   structure) and, when empty, steals from the *back* of a victim's
+//!   deque, scanning victims cyclically from its right-hand neighbour;
+//! * results land in pre-allocated per-job slots, so the output order is
+//!   the input order **regardless of which worker ran what** — the
+//!   scheduling is free to race, the aggregation is deterministic.
+//!
+//! Verification workloads are wildly uneven (a looping `check` spec costs
+//! orders of magnitude more than a straight-line `prove`), which is exactly
+//! the imbalance work-stealing absorbs: a worker that drew five cheap specs
+//! drains its deque and relieves the worker stuck on the expensive one.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counters describing how a [`run_ordered`] call was scheduled. Useful for
+/// tests and diagnostics; never part of the deterministic report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Number of worker threads used.
+    pub workers: usize,
+    /// Jobs executed by each worker, indexed by worker id.
+    pub executed: Vec<u64>,
+    /// Jobs a worker obtained from another worker's deque.
+    pub steals: u64,
+}
+
+/// Runs `f` over every item, fanning out across `jobs` worker threads, and
+/// returns the results **in input order**.
+///
+/// `f` receives `(index, &item)` and must be safe to call concurrently.
+/// `jobs` is clamped to `1..=items.len()` (zero workers make no progress;
+/// more workers than jobs would only idle). With `jobs == 1` the items run
+/// on the caller's thread in input order — no threads are spawned, so a
+/// single-job batch behaves exactly like a sequential loop.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_driver::pool::run_ordered;
+/// let items: Vec<u64> = (0..100).collect();
+/// let (doubled, stats) = run_ordered(&items, 4, |_, &n| n * 2);
+/// assert_eq!(doubled[7], 14); // input order, whatever the schedule
+/// assert_eq!(stats.executed.iter().sum::<u64>(), 100);
+/// ```
+pub fn run_ordered<I, T, F>(items: &[I], jobs: usize, f: F) -> (Vec<T>, PoolStats)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let workers = jobs.clamp(1, items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        let results: Vec<T> = items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+        let stats = PoolStats {
+            workers: 1,
+            executed: vec![items.len() as u64],
+            steals: 0,
+        };
+        return (results, stats);
+    }
+
+    // Deal job indices round-robin into per-worker deques.
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..items.len()).step_by(workers).collect()))
+        .collect();
+    // One slot per job; filled exactly once by whichever worker runs it.
+    let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let executed: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let steals = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let executed = &executed;
+            let steals = &steals;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Own deque first (front: preserve the dealt order)…
+                let own = deques[w].lock().expect("deque poisoned").pop_front();
+                let job = match own {
+                    Some(j) => Some(j),
+                    // …then steal from victims' backs, scanning cyclically.
+                    None => (1..workers).find_map(|offset| {
+                        let victim = (w + offset) % workers;
+                        let stolen = deques[victim].lock().expect("deque poisoned").pop_back();
+                        if stolen.is_some() {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        stolen
+                    }),
+                };
+                let Some(job) = job else {
+                    // Every deque empty: in-flight jobs belong to other
+                    // workers and nothing new can appear (no job spawns
+                    // jobs), so this worker is done.
+                    return;
+                };
+                let result = f(job, &items[job]);
+                *slots[job].lock().expect("slot poisoned") = Some(result);
+                executed[w].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+
+    let results: Vec<T> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every job ran exactly once")
+        })
+        .collect();
+    let stats = PoolStats {
+        workers,
+        executed: executed.iter().map(|e| e.load(Ordering::Relaxed)).collect(),
+        steals: steals.load(Ordering::Relaxed),
+    };
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_input_order_for_every_job_count() {
+        let items: Vec<usize> = (0..57).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let (out, stats) = run_ordered(&items, jobs, |i, &n| {
+                assert_eq!(i, n);
+                n * 10
+            });
+            let expected: Vec<usize> = items.iter().map(|n| n * 10).collect();
+            assert_eq!(out, expected, "jobs = {jobs}");
+            assert_eq!(
+                stats.executed.iter().sum::<u64>(),
+                items.len() as u64,
+                "jobs = {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn uneven_workloads_get_stolen() {
+        // Worker 0's deque holds one very slow job followed by many fast
+        // ones; the other workers must steal the fast ones off its back.
+        let items: Vec<u64> = (0..32).collect();
+        let slow_started = AtomicUsize::new(0);
+        let (_, stats) = run_ordered(&items, 4, |i, _| {
+            if i == 0 {
+                slow_started.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            }
+            i
+        });
+        assert_eq!(stats.workers, 4);
+        assert!(
+            stats.steals > 0,
+            "idle workers must steal from the stalled one: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u8> = Vec::new();
+        let (out, stats) = run_ordered(&none, 8, |_, &b| b);
+        assert!(out.is_empty());
+        assert_eq!(stats.workers, 1);
+        let (out, _) = run_ordered(&[42u8], 8, |_, &b| b + 1);
+        assert_eq!(out, vec![43]);
+    }
+
+    #[test]
+    fn workers_clamped_to_job_count() {
+        let (_, stats) = run_ordered(&[1, 2, 3], 100, |_, &n| n);
+        assert!(stats.workers <= 3, "{stats:?}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Deterministic aggregation of per-file batch results.
+//!
+//! The scheduler ([`crate::pool`]) races; the report must not. A
+//! [`BatchReport`] is assembled from per-file entries *in input order* and
+//! renders byte-identically for every `--jobs` value: no timings, no
+//! thread ids, no scheduling artefacts — those go to stderr or stay in
+//! [`crate::pool::PoolStats`]. CI leans on this: a `--jobs 8` run over the
+//! corpus is asserted byte-equal to `--jobs 1`.
+//!
+//! Exit codes follow the workspace-wide contract scripts rely on:
+//! `0` every file produced its expected verdict, `1` at least one verdict
+//! was unexpected, `2` at least one file could not be judged at all
+//! (I/O, parse, elaboration or dispatch error). Errors are *reported and
+//! counted*, never fatal mid-batch: later files still run.
+
+use std::fmt;
+
+/// How one file of the batch fared.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FileStatus {
+    /// A verdict was produced and matched the spec's expectation.
+    Expected {
+        /// The rendered verdict (`PASS` or `FAIL`).
+        verdict: String,
+    },
+    /// A verdict was produced but contradicted the spec's expectation.
+    Unexpected {
+        /// The rendered verdict (`PASS` or `FAIL`).
+        verdict: String,
+    },
+    /// No verdict: the file failed to read, parse, or dispatch.
+    Error {
+        /// One-line description of what went wrong.
+        message: String,
+    },
+}
+
+/// One file's entry in the aggregated report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileReport {
+    /// The path as given on the command line.
+    pub path: String,
+    /// Outcome classification.
+    pub status: FileStatus,
+}
+
+impl fmt::Display for FileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.status {
+            FileStatus::Expected { verdict } => {
+                write!(f, "{}: {} (as expected)", self.path, verdict)
+            }
+            FileStatus::Unexpected { verdict } => {
+                write!(f, "{}: {} (UNEXPECTED)", self.path, verdict)
+            }
+            FileStatus::Error { message } => write!(f, "{}: error: {}", self.path, message),
+        }
+    }
+}
+
+/// Aggregated counts over a batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Files whose verdict matched `expect:` and the verdict was `PASS`.
+    pub passed: usize,
+    /// Files whose verdict matched `expect:` and the verdict was `FAIL`.
+    pub failed_as_expected: usize,
+    /// Files whose verdict contradicted `expect:`.
+    pub unexpected: usize,
+    /// Files that produced no verdict.
+    pub errors: usize,
+}
+
+impl Summary {
+    /// Total number of files aggregated.
+    pub fn total(&self) -> usize {
+        self.passed + self.failed_as_expected + self.unexpected + self.errors
+    }
+}
+
+/// The deterministic aggregated report of one batch invocation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Per-file entries, in input order.
+    pub files: Vec<FileReport>,
+}
+
+impl BatchReport {
+    /// Builds a report from in-order per-file entries.
+    pub fn new(files: Vec<FileReport>) -> BatchReport {
+        BatchReport { files }
+    }
+
+    /// Aggregated counts.
+    pub fn summary(&self) -> Summary {
+        let mut s = Summary::default();
+        for file in &self.files {
+            match &file.status {
+                FileStatus::Expected { verdict } if verdict == "PASS" => s.passed += 1,
+                FileStatus::Expected { .. } => s.failed_as_expected += 1,
+                FileStatus::Unexpected { .. } => s.unexpected += 1,
+                FileStatus::Error { .. } => s.errors += 1,
+            }
+        }
+        s
+    }
+
+    /// The process exit code the batch contract prescribes:
+    /// `2` if any file errored, else `1` if any verdict was unexpected,
+    /// else `0`.
+    pub fn exit_code(&self) -> u8 {
+        let s = self.summary();
+        if s.errors > 0 {
+            2
+        } else if s.unexpected > 0 {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for file in &self.files {
+            writeln!(f, "{file}")?;
+        }
+        let s = self.summary();
+        write!(
+            f,
+            "batch summary: {} file(s): {} as expected ({} pass, {} fail), \
+             {} unexpected, {} error(s)",
+            s.total(),
+            s.passed + s.failed_as_expected,
+            s.passed,
+            s.failed_as_expected,
+            s.unexpected,
+            s.errors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expected(path: &str, verdict: &str) -> FileReport {
+        FileReport {
+            path: path.into(),
+            status: FileStatus::Expected {
+                verdict: verdict.into(),
+            },
+        }
+    }
+
+    #[test]
+    fn summary_counts_and_exit_codes() {
+        let mut report =
+            BatchReport::new(vec![expected("a.hhl", "PASS"), expected("b.hhl", "FAIL")]);
+        assert_eq!(report.summary().passed, 1);
+        assert_eq!(report.summary().failed_as_expected, 1);
+        assert_eq!(report.exit_code(), 0);
+
+        report.files.push(FileReport {
+            path: "c.hhl".into(),
+            status: FileStatus::Unexpected {
+                verdict: "PASS".into(),
+            },
+        });
+        assert_eq!(report.exit_code(), 1);
+
+        report.files.push(FileReport {
+            path: "d.hhl".into(),
+            status: FileStatus::Error {
+                message: "spec error at line 2".into(),
+            },
+        });
+        assert_eq!(report.summary().errors, 1);
+        assert_eq!(report.exit_code(), 2, "errors dominate unexpected");
+    }
+
+    #[test]
+    fn display_is_stable_and_complete() {
+        let report = BatchReport::new(vec![
+            expected("a.hhl", "PASS"),
+            FileReport {
+                path: "b.hhl".into(),
+                status: FileStatus::Error {
+                    message: "cannot read".into(),
+                },
+            },
+        ]);
+        let text = report.to_string();
+        assert!(text.contains("a.hhl: PASS (as expected)"), "{text}");
+        assert!(text.contains("b.hhl: error: cannot read"), "{text}");
+        assert!(
+            text.contains("batch summary: 2 file(s): 1 as expected (1 pass, 0 fail), 0 unexpected, 1 error(s)"),
+            "{text}"
+        );
+        // Rendering twice is byte-identical (no hidden state).
+        assert_eq!(text, report.to_string());
+    }
+
+    #[test]
+    fn empty_batch_is_all_expected() {
+        let report = BatchReport::default();
+        assert_eq!(report.exit_code(), 0);
+        assert_eq!(report.summary().total(), 0);
+    }
+}

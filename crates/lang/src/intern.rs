@@ -1,16 +1,35 @@
-//! Global string interning for variable names.
+//! Global interning for variable names and hash-consing of program terms.
 //!
 //! Program variables (`PVars`) and logical variables (`LVars`) are referenced
 //! pervasively — in states, expressions, commands and hyper-assertions — so we
 //! intern them once into a compact [`Symbol`] and compare by id.
 //!
-//! The interner is a process-wide table guarded by a mutex; interning is
-//! performed once per distinct name, after which all operations are `Copy`
+//! The same table-based scheme hash-conses whole commands and expressions:
+//! [`CmdId`] and [`ExprId`] assign each structurally distinct term a compact,
+//! process-stable id, so structural equality becomes an integer comparison.
+//! The extended-semantics memo table ([`crate::memo::SemCache`]) keys its
+//! entries on `CmdId`, which makes "the same subprogram seen again" — a loop
+//! unrolling, a shared prefix across triples, a repeated WP premise — a
+//! constant-time cache hit instead of a deep tree compare.
+//!
+//! All interners are process-wide tables guarded by mutexes; interning is
+//! performed once per distinct term, after which all operations are `Copy`
 //! comparisons.
+//!
+//! **Memory contract:** interned terms are retained (cloned into the
+//! table) for the lifetime of the process — there is no eviction, because
+//! ids must stay stable. This is sized for CLI-shaped lifetimes (one batch
+//! per process); a long-lived embedder interning unboundedly many
+//! *distinct* programs should intern at a coarse granularity (whole specs,
+//! not generated variants) or accept the proportional footprint.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::{Mutex, OnceLock};
+
+use crate::cmd::Cmd;
+use crate::expr::Expr;
 
 /// An interned variable name.
 ///
@@ -105,6 +124,88 @@ impl fmt::Display for Symbol {
     }
 }
 
+/// Lock shards per term table: command interning sits on the memoized
+/// extended-semantics hot path, where batch workers intern concurrently —
+/// a single global mutex would serialize them.
+const TERM_SHARDS: usize = 8;
+
+/// A process-wide, sharded hash-consing table for one term type.
+///
+/// Unlike the string interner, term tables only need id assignment (the
+/// term itself stays with the caller). Ids are allocated as
+/// `local_index * TERM_SHARDS + shard`, so they are unique across shards
+/// and stable per term.
+struct TermTable<T> {
+    shards: Vec<Mutex<HashMap<T, u32>>>,
+}
+
+impl<T: Clone + Eq + Hash> TermTable<T> {
+    fn new() -> TermTable<T> {
+        TermTable {
+            shards: (0..TERM_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn intern(&self, term: &T) -> u32 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        term.hash(&mut h);
+        let idx = (h.finish() as usize) % TERM_SHARDS;
+        let mut shard = self.shards[idx].lock().expect("term table poisoned");
+        if let Some(&id) = shard.get(term) {
+            return id;
+        }
+        let id = shard.len() as u32 * TERM_SHARDS as u32 + idx as u32;
+        shard.insert(term.clone(), id);
+        id
+    }
+}
+
+/// A hash-consed command: two `CmdId`s are equal iff the commands they were
+/// interned from are structurally equal.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_lang::{intern_cmd, parse_cmd};
+/// let a = intern_cmd(&parse_cmd("x := 1; y := 2").unwrap());
+/// let b = intern_cmd(&parse_cmd("x := 1 ; y := 2").unwrap());
+/// let c = intern_cmd(&parse_cmd("x := 1; y := 3").unwrap());
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CmdId(u32);
+
+/// A hash-consed expression: two `ExprId`s are equal iff the expressions
+/// they were interned from are structurally equal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExprId(u32);
+
+fn cmd_table() -> &'static TermTable<Cmd> {
+    static TABLE: OnceLock<TermTable<Cmd>> = OnceLock::new();
+    TABLE.get_or_init(TermTable::new)
+}
+
+fn expr_table() -> &'static TermTable<Expr> {
+    static TABLE: OnceLock<TermTable<Expr>> = OnceLock::new();
+    TABLE.get_or_init(TermTable::new)
+}
+
+/// Interns a command, returning its hash-consing id.
+///
+/// Idempotent and structural: syntactically equal commands (however they
+/// were built) receive the same id for the lifetime of the process.
+pub fn intern_cmd(cmd: &Cmd) -> CmdId {
+    CmdId(cmd_table().intern(cmd))
+}
+
+/// Interns an expression, returning its hash-consing id.
+pub fn intern_expr(expr: &Expr) -> ExprId {
+    ExprId(expr_table().intern(expr))
+}
+
 impl From<&str> for Symbol {
     fn from(s: &str) -> Symbol {
         Symbol::new(s)
@@ -156,5 +257,25 @@ mod tests {
         let s = Symbol::new("display_me");
         assert_eq!(format!("{s}"), "display_me");
         assert!(format!("{s:?}").contains("display_me"));
+    }
+
+    #[test]
+    fn cmd_interning_is_structural() {
+        let a = Cmd::seq(Cmd::Skip, Cmd::havoc("x"));
+        let b = Cmd::seq(Cmd::Skip, Cmd::havoc("x"));
+        let c = Cmd::seq(Cmd::Skip, Cmd::havoc("y"));
+        assert_eq!(intern_cmd(&a), intern_cmd(&b));
+        assert_ne!(intern_cmd(&a), intern_cmd(&c));
+        // Shared subterms get their own (stable) ids.
+        assert_eq!(intern_cmd(&Cmd::havoc("x")), intern_cmd(&Cmd::havoc("x")));
+    }
+
+    #[test]
+    fn expr_interning_is_structural() {
+        let e1 = Expr::var("x").gt(Expr::int(0));
+        let e2 = Expr::var("x").gt(Expr::int(0));
+        let e3 = Expr::var("x").gt(Expr::int(1));
+        assert_eq!(intern_expr(&e1), intern_expr(&e2));
+        assert_ne!(intern_expr(&e1), intern_expr(&e3));
     }
 }

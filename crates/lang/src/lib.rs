@@ -46,6 +46,7 @@ mod cmd;
 mod exec;
 mod expr;
 mod intern;
+pub mod memo;
 mod parser;
 pub mod rng;
 pub mod sem;
@@ -57,7 +58,8 @@ mod value;
 pub use cmd::Cmd;
 pub use exec::ExecConfig;
 pub use expr::{BinOp, Expr, UnOp};
-pub use intern::Symbol;
+pub use intern::{intern_cmd, intern_expr, CmdId, ExprId, Symbol};
+pub use memo::{CacheStats, SemCache};
 pub use parser::{parse_cmd, parse_expr, ParseError};
 pub use state::{ExtState, Store};
 pub use stateset::StateSet;

@@ -1,0 +1,396 @@
+//! Memoized extended semantics: a shared, thread-safe cache for `sem(C, S)`.
+//!
+//! Batch verification re-evaluates the extended semantics (Def. 4) for the
+//! same `(command, state-set)` pairs over and over: the validity checker
+//! sweeps every candidate set against every triple, WP premises repeat the
+//! suffixes of sequenced programs, loop checking replays the same body on
+//! the same frontier sets, and a corpus of related specs shares program
+//! prefixes wholesale. [`SemCache`] memoizes those evaluations behind an
+//! `Arc`, so worker threads of the batch driver (`hhl-driver`) compute each
+//! distinct evaluation once and share the result.
+//!
+//! Keys are `(execution fingerprint, hash-consed command id, state set)`:
+//!
+//! * the *fingerprint* ([`ExecConfig::fingerprint`]) covers the havoc domain
+//!   and loop fuel, so specs with different finitizations never alias;
+//! * the command is keyed by [`CmdId`] ([`crate::intern_cmd`]), making the
+//!   lookup key compact and the comparison integer-cheap;
+//! * the state set is the canonical [`StateSet`], whose `Hash` is stable.
+//!
+//! [`ExecConfig::sem_memo`] evaluates through the cache *recursively*:
+//! sequences memoize both halves, choices both branches, and `C*` runs a
+//! set-level reachability fixpoint whose per-round body images are themselves
+//! memoized — so a loop unrolled over the same frontier twice pays once.
+//! `sem_memo` computes exactly [`ExecConfig::sem`] (a property-tested
+//! equivalence); the cache changes performance, never verdicts.
+//!
+//! The table is sharded to keep lock contention low under the work-stealing
+//! scheduler; hit/miss counters are lock-free.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::cmd::Cmd;
+use crate::exec::ExecConfig;
+use crate::intern::{intern_cmd, CmdId};
+use crate::stateset::StateSet;
+
+/// Number of independent lock shards. A power of two so the shard index is
+/// a mask of the key hash.
+const SHARDS: usize = 16;
+
+/// The coarse half of a memo key: which finitization, which command. The
+/// fine half (the input state set) indexes a nested map, so lookups borrow
+/// the caller's set — the hit path never clones a `StateSet` key.
+type Scope = (u64, CmdId);
+
+/// Point-in-time counters of a [`SemCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the table.
+    pub hits: u64,
+    /// Lookups that had to evaluate.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; `0` when the cache was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hit(s), {} miss(es), {} entr{} ({:.1}% hit rate)",
+            self.hits,
+            self.misses,
+            self.entries,
+            if self.entries == 1 { "y" } else { "ies" },
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+/// A sharded, thread-safe memo table for extended-semantics evaluations.
+///
+/// Share one cache across threads with `Arc<SemCache>`; all methods take
+/// `&self`.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_lang::{parse_cmd, ExecConfig, ExtState, SemCache, StateSet, Store, Value};
+/// let cache = SemCache::new();
+/// let cfg = ExecConfig::default();
+/// let c = parse_cmd("x := x + 1; x := x * 2").unwrap();
+/// let s = StateSet::singleton(ExtState::from_program(
+///     Store::from_pairs([("x", Value::Int(1))]),
+/// ));
+/// let first = cfg.sem_memo(&c, &s, &cache);
+/// let again = cfg.sem_memo(&c, &s, &cache);
+/// assert_eq!(first, again);
+/// assert_eq!(first, cfg.sem(&c, &s));
+/// assert!(cache.stats().hits > 0);
+/// ```
+pub struct SemCache {
+    shards: Vec<Mutex<HashMap<Scope, HashMap<StateSet, StateSet>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for SemCache {
+    fn default() -> SemCache {
+        SemCache::new()
+    }
+}
+
+impl fmt::Debug for SemCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SemCache({})", self.stats())
+    }
+}
+
+impl SemCache {
+    /// An empty cache.
+    pub fn new() -> SemCache {
+        SemCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, scope: &Scope) -> &Mutex<HashMap<Scope, HashMap<StateSet, StateSet>>> {
+        let mut h = DefaultHasher::new();
+        scope.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+    }
+
+    fn get(&self, scope: Scope, states: &StateSet) -> Option<StateSet> {
+        let hit = self
+            .shard(&scope)
+            .lock()
+            .expect("memo shard poisoned")
+            .get(&scope)
+            .and_then(|by_set| by_set.get(states))
+            .cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    fn insert(&self, scope: Scope, states: StateSet, value: StateSet) {
+        self.shard(&scope)
+            .lock()
+            .expect("memo shard poisoned")
+            .entry(scope)
+            .or_default()
+            .insert(states, value);
+    }
+
+    /// Current counters. Counts are exact under single-threaded use; under
+    /// concurrency two workers may both miss the same key (both then insert
+    /// the identical value), so totals are scheduling-dependent while cached
+    /// *values* never are.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| {
+                    s.lock()
+                        .expect("memo shard poisoned")
+                        .values()
+                        .map(HashMap::len)
+                        .sum::<usize>()
+                })
+                .sum(),
+        }
+    }
+
+    /// Drops every entry and resets the counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("memo shard poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Process-wide exact interning of finitizations: each distinct
+/// `(havoc_domain, loop_fuel)` pair gets a unique id. Interning (rather
+/// than hashing) means two configurations can never alias a memo scope —
+/// the cache is soundness-bearing, so even a 2⁻⁶⁴ collision is not worth
+/// carrying.
+type Finitization = (Vec<crate::value::Value>, u32);
+
+fn exec_table() -> &'static Mutex<HashMap<Finitization, u64>> {
+    static TABLE: OnceLock<Mutex<HashMap<Finitization, u64>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+impl ExecConfig {
+    /// The exact interning id of this finitization (havoc domain + loop
+    /// fuel), used to key memo entries so configurations never share
+    /// results. Equal configurations get equal ids; distinct ones are
+    /// guaranteed distinct (this is a table lookup, not a hash).
+    pub fn fingerprint(&self) -> u64 {
+        let mut table = exec_table().lock().expect("exec table poisoned");
+        let next = table.len() as u64;
+        *table
+            .entry((self.havoc_domain.clone(), self.loop_fuel))
+            .or_insert(next)
+    }
+
+    /// [`ExecConfig::sem`] evaluated through a [`SemCache`].
+    ///
+    /// Returns exactly what `sem` returns; the cache only changes how much
+    /// work is re-done. `skip` is evaluated inline (cheaper than a lookup).
+    pub fn sem_memo(&self, cmd: &Cmd, s: &StateSet, cache: &SemCache) -> StateSet {
+        // Resolve the finitization id once per evaluation, not per node.
+        self.sem_memo_at(self.fingerprint(), cmd, s, cache)
+    }
+
+    fn sem_memo_at(&self, fp: u64, cmd: &Cmd, s: &StateSet, cache: &SemCache) -> StateSet {
+        if matches!(cmd, Cmd::Skip) {
+            return s.clone();
+        }
+        let scope: Scope = (fp, intern_cmd(cmd));
+        if let Some(hit) = cache.get(scope, s) {
+            return hit;
+        }
+        let out = match cmd {
+            Cmd::Seq(c1, c2) => {
+                let mid = self.sem_memo_at(fp, c1, s, cache);
+                self.sem_memo_at(fp, c2, &mid, cache)
+            }
+            Cmd::Choice(c1, c2) => self
+                .sem_memo_at(fp, c1, s, cache)
+                .union(&self.sem_memo_at(fp, c2, s, cache)),
+            // Set-level reachability fixpoint. Equivalent to the per-state
+            // fixpoint of `exec`: a state lies within `fuel` BFS rounds of
+            // the set iff it lies within `fuel` rounds of *some* member
+            // (set-level depth is the member-wise minimum), and each round's
+            // body image is a memoized `sem` — so re-walking the same loop
+            // over the same frontier is a hit.
+            Cmd::Star(c) => {
+                let mut reached = s.clone();
+                let mut frontier = s.clone();
+                for _ in 0..self.loop_fuel {
+                    let image = self.sem_memo_at(fp, c, &frontier, cache);
+                    let fresh = image.filter(|phi| !reached.contains(phi));
+                    if fresh.is_empty() {
+                        break;
+                    }
+                    reached = reached.union(&fresh);
+                    frontier = fresh;
+                }
+                reached
+            }
+            leaf => self.sem(leaf, s),
+        };
+        cache.insert(scope, s.clone(), out.clone());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::parser::parse_cmd;
+    use crate::rng::Rng;
+    use crate::state::{ExtState, Store};
+    use crate::value::Value;
+
+    fn set(xs: &[i64]) -> StateSet {
+        xs.iter()
+            .map(|&x| ExtState::from_program(Store::from_pairs([("x", Value::Int(x))])))
+            .collect()
+    }
+
+    #[test]
+    fn memo_agrees_with_sem_on_all_constructs() {
+        let cache = SemCache::new();
+        let cfg = ExecConfig::int_range(0, 2).fuel(8);
+        for src in [
+            "skip",
+            "x := x + 1",
+            "x := nonDet()",
+            "assume x > 0",
+            "x := x + 1; x := x * 2",
+            "if (x > 0) { x := 1 } else { x := 0 }",
+            "while (x < 2) { x := x + 1 }",
+            "{ x := x + 1 }*",
+        ] {
+            let cmd = parse_cmd(src).unwrap();
+            for s in [set(&[]), set(&[0]), set(&[0, 1, 2])] {
+                assert_eq!(
+                    cfg.sem_memo(&cmd, &s, &cache),
+                    cfg.sem(&cmd, &s),
+                    "divergence on {src} with {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memo_agrees_with_sem_on_seeded_random_programs() {
+        // The load-bearing equivalence: a cached evaluation must never
+        // change a result, across random command shapes and input sets.
+        let mut rng = Rng::seed_from_u64(0xB47C);
+        let cache = SemCache::new();
+        let cfg = ExecConfig::int_range(-1, 1).fuel(6);
+        for _ in 0..60 {
+            let cmd = random_cmd(&mut rng, 3);
+            let states: Vec<i64> = (0..rng.gen_below(4))
+                .map(|_| rng.gen_below(3) as i64 - 1)
+                .collect();
+            let s = set(&states);
+            assert_eq!(cfg.sem_memo(&cmd, &s, &cache), cfg.sem(&cmd, &s), "{cmd}");
+        }
+    }
+
+    fn random_cmd(rng: &mut Rng, depth: u32) -> Cmd {
+        let leaf = depth == 0;
+        match rng.gen_below(if leaf { 4 } else { 7 }) {
+            0 => Cmd::Skip,
+            1 => Cmd::assign("x", Expr::var("x") + Expr::int(rng.gen_below(3) as i64 - 1)),
+            2 => Cmd::havoc("x"),
+            3 => Cmd::assume(Expr::var("x").ge(Expr::int(rng.gen_below(3) as i64 - 1))),
+            4 => Cmd::seq(random_cmd(rng, depth - 1), random_cmd(rng, depth - 1)),
+            5 => Cmd::choice(random_cmd(rng, depth - 1), random_cmd(rng, depth - 1)),
+            _ => Cmd::star(random_cmd(rng, depth - 1)),
+        }
+    }
+
+    #[test]
+    fn shared_subprograms_hit() {
+        // Two sequences sharing the prefix `x := x + 1; x := x * 2`: the
+        // second evaluation reuses the prefix entries.
+        let cache = SemCache::new();
+        let cfg = ExecConfig::default();
+        let s = set(&[0, 1]);
+        let a = parse_cmd("x := x + 1; x := x * 2; x := x - 1").unwrap();
+        let b = parse_cmd("x := x + 1; x := x * 2; x := x + 5").unwrap();
+        cfg.sem_memo(&a, &s, &cache);
+        let before = cache.stats().hits;
+        cfg.sem_memo(&b, &s, &cache);
+        assert!(
+            cache.stats().hits > before,
+            "shared prefix must produce hits: {:?}",
+            cache.stats()
+        );
+    }
+
+    #[test]
+    fn distinct_exec_configs_never_alias() {
+        let cache = SemCache::new();
+        let narrow = ExecConfig::int_range(0, 1);
+        let wide = ExecConfig::int_range(0, 3);
+        let s = set(&[0]);
+        let havoc = Cmd::havoc("x");
+        assert_eq!(cfg_len(&narrow, &havoc, &s, &cache), 2);
+        assert_eq!(cfg_len(&wide, &havoc, &s, &cache), 4);
+    }
+
+    fn cfg_len(cfg: &ExecConfig, cmd: &Cmd, s: &StateSet, cache: &SemCache) -> usize {
+        cfg.sem_memo(cmd, s, cache).len()
+    }
+
+    #[test]
+    fn stats_and_clear() {
+        let cache = SemCache::new();
+        let cfg = ExecConfig::default();
+        let s = set(&[0]);
+        let c = parse_cmd("x := x + 1").unwrap();
+        cfg.sem_memo(&c, &s, &cache);
+        cfg.sem_memo(&c, &s, &cache);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.hit_rate() > 0.49);
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

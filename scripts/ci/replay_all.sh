@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Replays every example proof certificate against its spec, round-trips
+# freshly emitted certificates, and batch-replays the corpus certificates.
+#
+# Used both locally (./scripts/ci/replay_all.sh) and by the CI workflow.
+# Relies on the hhl exit-code contract: 0 all verdicts as expected,
+# 1 unexpected verdict, 2 usage/parse/read error — any nonzero exit stops
+# the script via `set -e`.
+#
+# Override the binary with HHL, e.g. HHL=target/release/hhl to skip cargo.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+HHL=${HHL:-"cargo run -q --release -p hhl-cli --"}
+
+# 1. Hand-written and emitted example certificates replay against their
+#    specs (examples/proofs/x.hhlp ⊢ examples/specs/x.hhl).
+for proof in examples/proofs/*.hhlp; do
+  spec="examples/specs/$(basename "${proof%.hhlp}").hhl"
+  echo "== replay_all: $spec <- $proof"
+  $HHL replay "$spec" "$proof"
+done
+
+# 2. Emit round-trip: proving a spec with --emit-proof yields a certificate
+#    that replays against the same spec.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+for spec in examples/specs/ni_c1.hhl examples/specs/gni_c4_violation.hhl; do
+  out="$tmp/$(basename "${spec%.hhl}").hhlp"
+  echo "== replay_all: emit round-trip for $spec"
+  $HHL prove --emit-proof "$out" "$spec"
+  $HHL replay "$spec" "$out"
+done
+
+# 3. The corpus certificates replay as one parallel batch (each .hhlp is
+#    paired with its sibling .hhl by the batch driver).
+if ls examples/corpus/*.hhlp >/dev/null 2>&1; then
+  echo "== replay_all: corpus certificate batch"
+  $HHL batch --jobs 4 examples/corpus/*.hhlp
+fi
+
+echo "replay_all: all certificates replayed"
