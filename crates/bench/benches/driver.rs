@@ -1,7 +1,8 @@
-//! Batch-driver throughput over the seeded 100-entry corpus: whole-corpus
+//! Batch-driver throughput over the seeded 130-entry corpus: whole-corpus
 //! wall time for the pre-driver sequential configuration (1 worker, no
 //! memo cache) against 1/2/4 workers sharing one extended-semantics memo
-//! cache, plus memo hit rates and speedup/throughput metadata.
+//! cache, plus cold-vs-warm persistent-store runs (the incremental
+//! re-check fast path) and memo hit-rate / speedup / throughput metadata.
 //!
 //! The measurement lives in [`hhl_bench::suites::driver`], shared with the
 //! `hhl-bench compare` regression gate. This bench writes the

@@ -163,6 +163,13 @@ pub fn driver(fast: bool) -> DriverSuite {
     run_corpus(parsed, 4, Some(&cache));
     let stats = cache.stats();
 
+    // Persistent-store configurations: one cold pass fills the verdict
+    // store, then warm passes replay every verdict from disk — the
+    // incremental-recheck fast path `BENCH_driver.json` tracks.
+    let (cold_store, warm_store) = store_times(&entries, repeats);
+    results.push(("batch/jobs4_store_cold".to_owned(), cold_store));
+    results.push(("batch/jobs4_store_warm".to_owned(), warm_store));
+
     let [nomemo, jobs1, _, jobs4] = medians[..] else {
         unreachable!("four configs measured");
     };
@@ -188,8 +195,65 @@ pub fn driver(fast: bool) -> DriverSuite {
         ),
         ("memo_hits_jobs4".to_owned(), stats.hits.to_string()),
         ("memo_misses_jobs4".to_owned(), stats.misses.to_string()),
+        (
+            "speedup_warm_store_vs_cold".to_owned(),
+            format!("{:.2}", ratio(cold_store, warm_store)),
+        ),
     ];
     DriverSuite { results, meta }
+}
+
+/// Measures the persistent verdict store end-to-end through the real
+/// `hhl batch` entry point (`run_batch` + `VerdictStore`): the corpus is
+/// written to a scratch directory, one cold run fills the store, and the
+/// warm runs replay 100% of the verdicts from disk. Returns
+/// `(cold_ns, warm_median_ns)`.
+fn store_times(entries: &[CorpusEntry], repeats: usize) -> (u128, u128) {
+    use hhl_cli::batch::{run_batch, BatchOptions};
+    use hhl_driver::store::VerdictStore;
+
+    let scratch = std::env::temp_dir().join(format!("hhl-bench-store-{}", std::process::id()));
+    let corpus_dir = scratch.join("corpus");
+    let cache_dir = scratch.join("cache");
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&corpus_dir).expect("scratch corpus dir");
+    let mut files = Vec::new();
+    for entry in entries {
+        let spec = corpus_dir.join(format!("{}.hhl", entry.name));
+        std::fs::write(&spec, &entry.spec).expect("write corpus spec");
+        files.push(spec.to_string_lossy().into_owned());
+        if let Some(cert) = &entry.certificate {
+            let path = corpus_dir.join(format!("{}.hhlp", entry.name));
+            std::fs::write(&path, cert).expect("write corpus certificate");
+            files.push(path.to_string_lossy().into_owned());
+        }
+    }
+
+    let run = |fresh: bool| {
+        let store = VerdictStore::open(&cache_dir, fresh).expect("bench store opens");
+        let opts = BatchOptions {
+            jobs: 4,
+            store: Some(Arc::new(store)),
+            ..BatchOptions::default()
+        };
+        let start = Instant::now();
+        let run = run_batch(&files, &opts);
+        let elapsed = start.elapsed().as_nanos();
+        assert_eq!(
+            run.report().exit_code(),
+            0,
+            "corpus must verify cleanly:\n{}",
+            run.report()
+        );
+        elapsed
+    };
+
+    let cold = run(true); // --fresh semantics: recompute and (re)fill
+    let mut warm: Vec<u128> = (0..repeats.max(1)).map(|_| run(false)).collect();
+    warm.sort_unstable();
+    let warm_median = warm[warm.len() / 2];
+    let _ = std::fs::remove_dir_all(&scratch);
+    (cold, warm_median)
 }
 
 /// Renders a baseline JSON document (hand-rolled — the workspace is

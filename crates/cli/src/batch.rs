@@ -16,15 +16,33 @@
 //! (installed into each spec's [`ValidityConfig`]), so repeated
 //! subprograms — shared prefixes across corpus files, loop unrollings,
 //! WP premises — are evaluated once, whichever worker gets there first.
+//!
+//! With a persistent [`VerdictStore`] configured (the `hhl batch`
+//! default), that reuse extends *across processes*: each work unit is
+//! fingerprinted ([`crate::spec_fingerprint`]) and fingerprint-matched
+//! files replay their recorded verdict with zero engine work, while the
+//! memo snapshot pre-warms the shared cache for the files that do
+//! re-verify. Reports are byte-identical whether a verdict came from
+//! cache or recomputation; only the stderr counters differ.
+//!
+//! [`ValidityConfig`]: hhl_core::ValidityConfig
 
 use std::sync::Arc;
 
 use hhl_driver::pool::{run_ordered, PoolStats};
 use hhl_driver::report::{BatchReport, FileReport, FileStatus};
-use hhl_lang::SemCache;
+use hhl_driver::store::{StoreStats, VerdictRecord, VerdictStore};
+use hhl_lang::{MemoImportStats, MemoSnapshotStats, SemCache};
 
-use crate::runner::{run_replay, run_spec, Outcome};
-use crate::spec::{parse_spec, Mode, Spec};
+use crate::fingerprint::spec_fingerprint;
+use crate::runner::{run_replay, run_spec, Outcome, Verdict};
+use crate::spec::{parse_spec, Expect, Mode, Spec};
+
+/// Cap on memo entries persisted per run: the verdict records already make
+/// unchanged files free, so the snapshot only needs to warm the entries an
+/// *edited* file is likely to share — a bounded, deterministic subset keeps
+/// the snapshot proportional to that benefit instead of to the corpus.
+const MEMO_SNAPSHOT_MAX_ENTRIES: usize = 8192;
 
 /// How a batch invocation should run.
 #[derive(Clone, Debug)]
@@ -36,6 +54,16 @@ pub struct BatchOptions {
     /// Share an extended-semantics memo cache across all files/workers.
     /// Disabled by `--no-cache`; verdicts are identical either way.
     pub use_cache: bool,
+    /// Persistent verdict/memo store (`hhl batch`'s `.hhl-cache/`). When
+    /// set, fingerprint-matched files replay their recorded verdict instead
+    /// of re-running the engine, and the memo snapshot warms the in-memory
+    /// cache across processes. Verdicts and the compact [`BatchReport`] are
+    /// byte-identical with and without a store; only the full per-file
+    /// [`FileResult::report_text`] is absent on cache hits (the store keeps
+    /// verdicts, not rendered reports), which is why the store is wired
+    /// into `hhl batch` — whose output never uses `report_text` — and not
+    /// into the full-report `check`/`prove`/`replay` paths.
+    pub store: Option<Arc<VerdictStore>>,
 }
 
 impl Default for BatchOptions {
@@ -44,6 +72,7 @@ impl Default for BatchOptions {
             jobs: 1,
             force_prove: false,
             use_cache: true,
+            store: None,
         }
     }
 }
@@ -72,6 +101,12 @@ pub struct BatchRun {
     pub pool: PoolStats,
     /// Memo-cache counters (zeros when the cache was disabled).
     pub cache: hhl_lang::CacheStats,
+    /// Persistent-store counters (`None` when no store was configured).
+    pub store: Option<StoreStats>,
+    /// Memo-snapshot entries loaded/rejected at startup.
+    pub memo_import: MemoImportStats,
+    /// Memo-snapshot entries exported/evicted at shutdown.
+    pub memo_export: MemoSnapshotStats,
 }
 
 impl BatchRun {
@@ -167,7 +202,52 @@ fn error_result(path: &str, message: String) -> FileResult {
     }
 }
 
+/// Rebuilds a [`FileResult`] from a stored verdict, re-deriving the
+/// expected/unexpected classification from the *current* spec's `expect:`
+/// line (which is excluded from the fingerprint: it compares verdicts, it
+/// does not produce them). The compact report line is byte-identical to
+/// what recomputation would print; `report_text` (unused by the batch
+/// report) is `None` — see [`BatchOptions::store`].
+fn cached_result(path: &str, spec: &Spec, record: &VerdictRecord) -> FileResult {
+    let as_expected = match spec.expect {
+        Expect::Pass => record.verdict == "PASS",
+        Expect::Fail => record.verdict == "FAIL",
+    };
+    let status = if as_expected {
+        FileStatus::Expected {
+            verdict: record.verdict.clone(),
+        }
+    } else {
+        FileStatus::Unexpected {
+            verdict: record.verdict.clone(),
+        }
+    };
+    FileResult {
+        path: path.to_owned(),
+        status,
+        report_text: None,
+        error_text: None,
+    }
+}
+
+/// Records a freshly computed verdict under `fp`. Errors never reach here —
+/// only real verdicts are cached, so a fixed file is always retried.
+fn record_outcome(store: &VerdictStore, fp: &str, spec: &Spec, outcome: &Outcome) {
+    let verdict = match outcome.verdict {
+        Verdict::Pass => "PASS",
+        Verdict::Fail => "FAIL",
+    };
+    store.record(
+        fp,
+        &VerdictRecord {
+            mode: spec.mode.to_string(),
+            verdict: verdict.to_owned(),
+        },
+    );
+}
+
 fn run_job(job: &Job, opts: &BatchOptions, cache: Option<&Arc<SemCache>>) -> FileResult {
+    let store = opts.store.as_deref();
     match job {
         Job::Spec { path } => {
             let mut spec = match load_spec(path, cache) {
@@ -177,8 +257,19 @@ fn run_job(job: &Job, opts: &BatchOptions, cache: Option<&Arc<SemCache>>) -> Fil
             if opts.force_prove {
                 spec.mode = Mode::Prove;
             }
+            let fp = store.map(|s| (s, spec_fingerprint(&spec, None).to_string()));
+            if let Some((store, fp)) = &fp {
+                if let Some(record) = store.lookup(fp) {
+                    return cached_result(path, &spec, &record);
+                }
+            }
             match run_spec(&spec) {
-                Ok(outcome) => outcome_result(path, outcome),
+                Ok(outcome) => {
+                    if let Some((store, fp)) = &fp {
+                        record_outcome(store, fp, &spec, &outcome);
+                    }
+                    outcome_result(path, outcome)
+                }
                 // Engine errors carry no location of their own (unlike the
                 // read/parse errors above): prefix the path so the message
                 // identifies the file wherever it surfaces.
@@ -194,25 +285,52 @@ fn run_job(job: &Job, opts: &BatchOptions, cache: Option<&Arc<SemCache>>) -> Fil
                 Ok(pair) => pair,
                 Err(e) => return error_result(proof_path, e),
             };
+            let fp = store.map(|s| (s, spec_fingerprint(&spec, Some(&certificate)).to_string()));
+            if let Some((store, fp)) = &fp {
+                if let Some(record) = store.lookup(fp) {
+                    return cached_result(proof_path, &spec, &record);
+                }
+            }
             match run_replay(&spec, &certificate) {
-                Ok(outcome) => outcome_result(proof_path, outcome),
+                Ok(outcome) => {
+                    if let Some((store, fp)) = &fp {
+                        record_outcome(store, fp, &spec, &outcome);
+                    }
+                    outcome_result(proof_path, outcome)
+                }
                 Err(e) => error_result(proof_path, format!("{proof_path}: {e}")),
             }
         }
     }
 }
 
-/// The shared dispatch tail: fan the jobs across the pool with one fresh
-/// shared cache (when enabled) and assemble the run.
+/// The shared dispatch tail: warm the shared cache from the persistent
+/// store (when both are enabled), fan the jobs across the pool, then
+/// persist a fresh memo snapshot and assemble the run.
 fn run_jobs(jobs: Vec<Job>, opts: &BatchOptions) -> BatchRun {
     let cache = opts.use_cache.then(|| Arc::new(SemCache::new()));
+    let mut memo_import = MemoImportStats::default();
+    if let (Some(cache), Some(store)) = (&cache, &opts.store) {
+        if let Some(blob) = store.load_memo() {
+            memo_import = cache.import_snapshot(&blob);
+        }
+    }
     let (results, pool) = run_ordered(&jobs, opts.jobs, |_, job| {
         run_job(job, opts, cache.as_ref())
     });
+    let mut memo_export = MemoSnapshotStats::default();
+    if let (Some(cache), Some(store)) = (&cache, &opts.store) {
+        let (blob, stats) = cache.export_snapshot(MEMO_SNAPSHOT_MAX_ENTRIES);
+        store.save_memo(&blob);
+        memo_export = stats;
+    }
     BatchRun {
         results,
         pool,
         cache: cache.map(|c| c.stats()).unwrap_or_default(),
+        store: opts.store.as_ref().map(|s| s.stats()),
+        memo_import,
+        memo_export,
     }
 }
 
@@ -365,6 +483,105 @@ mod tests {
         );
         assert_eq!(run.report().summary().errors, 1, "{}", run.report());
         assert_eq!(run.report().exit_code(), 2);
+    }
+
+    fn opts_with_store(jobs: usize, store: &Arc<VerdictStore>) -> BatchOptions {
+        BatchOptions {
+            jobs,
+            store: Some(store.clone()),
+            ..BatchOptions::default()
+        }
+    }
+
+    fn temp_store(name: &str) -> Arc<VerdictStore> {
+        let dir =
+            std::env::temp_dir().join(format!("hhl-batch-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(VerdictStore::open(dir, false).expect("temp store"))
+    }
+
+    #[test]
+    fn warm_store_replays_verdicts_without_reverification() {
+        let files = vec![
+            spec("ni_c1.hhl"),
+            spec("ni_c2.hhl"),
+            spec("while_sync.hhl"),
+            spec("minimum.hhl"),
+        ];
+        let store = temp_store("warm");
+        let cold = run_batch(&files, &opts_with_store(2, &store));
+        let cold_stats = cold.store.expect("store configured");
+        assert_eq!(cold_stats.hits, 0);
+        assert_eq!(cold_stats.misses, files.len() as u64);
+        assert_eq!(cold_stats.writes, files.len() as u64);
+        assert!(cold.memo_export.exported > 0);
+
+        // Same process, fresh store handle (fresh counters), same files:
+        // everything is answered from disk, reports byte-identical.
+        let warm_handle = Arc::new(VerdictStore::open(store.dir(), false).unwrap());
+        let warm = run_batch(&files, &opts_with_store(2, &warm_handle));
+        let warm_stats = warm.store.expect("store configured");
+        assert_eq!(warm_stats.hits, files.len() as u64, "{warm_stats:?}");
+        assert_eq!(warm_stats.misses, 0, "{warm_stats:?}");
+        assert_eq!(cold.report().to_string(), warm.report().to_string());
+        assert!(warm.memo_import.loaded > 0, "{:?}", warm.memo_import);
+
+        // --fresh ignores the records and re-verifies everything.
+        let fresh_handle = Arc::new(VerdictStore::open(store.dir(), true).unwrap());
+        let fresh = run_batch(&files, &opts_with_store(2, &fresh_handle));
+        let fresh_stats = fresh.store.expect("store configured");
+        assert_eq!(fresh_stats.hits, 0);
+        assert_eq!(fresh_stats.misses, files.len() as u64);
+        assert_eq!(cold.report().to_string(), fresh.report().to_string());
+    }
+
+    #[test]
+    fn store_covers_replay_pairs_and_certificate_edits() {
+        let proofs = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/proofs");
+        let dir =
+            std::env::temp_dir().join(format!("hhl-batch-replay-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        std::fs::copy(spec("while_sync.hhl"), dir.join("ws.hhl")).unwrap();
+        std::fs::copy(proofs.join("while_sync.hhlp"), dir.join("ws.hhlp")).unwrap();
+        let files = vec![dir.join("ws.hhlp").to_string_lossy().into_owned()];
+
+        let store = temp_store("replay");
+        let cold = run_batch(&files, &opts_with_store(1, &store));
+        assert_eq!(cold.report().exit_code(), 0, "{}", cold.report());
+        let warm = run_batch(&files, &opts_with_store(1, &store));
+        assert_eq!(warm.store.unwrap().hits, cold.store.unwrap().misses);
+        assert_eq!(cold.report().to_string(), warm.report().to_string());
+
+        // Editing the certificate (only) must re-verify the pair: append a
+        // comment-free but content-changing byte to the script.
+        let cert = std::fs::read_to_string(dir.join("ws.hhlp")).unwrap();
+        std::fs::write(dir.join("ws.hhlp"), format!("{cert}\n")).unwrap();
+        let edited = run_batch(&files, &opts_with_store(1, &store));
+        let stats = edited.store.unwrap();
+        // Counters are cumulative on the shared handle: cold miss + warm
+        // hit + the edited pair's forced miss.
+        assert_eq!((stats.hits, stats.misses), (1, 2), "{stats:?}");
+    }
+
+    #[test]
+    fn errors_are_never_cached() {
+        let dir = std::env::temp_dir().join(format!("hhl-batch-errstore-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let _ = std::fs::remove_file(dir.join("absent.hhl"));
+        let missing = dir.join("absent.hhl").to_string_lossy().into_owned();
+        let store = temp_store("errors");
+        let first = run_batch(std::slice::from_ref(&missing), &opts_with_store(1, &store));
+        assert_eq!(first.report().exit_code(), 2);
+        assert_eq!(first.store.unwrap().writes, 0, "no verdict, no record");
+        // Fix the file: it runs (a miss), never a stale error replay.
+        std::fs::write(
+            dir.join("absent.hhl"),
+            "mode: check\npre: low(l)\npost: low(l)\nvars: l in 0..1\nprogram:\nl := l * 2\n",
+        )
+        .unwrap();
+        let second = run_batch(&[missing], &opts_with_store(1, &store));
+        assert_eq!(second.report().exit_code(), 0, "{}", second.report());
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Stable fingerprints of batch work units, keying the persistent verdict
+//! store.
+//!
+//! A cached verdict may only be replayed when *nothing* that can influence
+//! the verdict has changed, so the fingerprint covers the whole judgment:
+//!
+//! * the dispatch **mode** (the same triple can pass under `check` and be
+//!   structurally rejected under `prove`);
+//! * the **triple** — pre/postcondition (canonical `Display` text, which
+//!   two sources differing only in whitespace/comments share) and the
+//!   hash-consed program tree ([`hhl_lang::fp_cmd`]);
+//! * `verify`-mode **loop annotations**, in source order;
+//! * the **finite model** ([`hhl_core::ValidityConfig::stable_fingerprint`]:
+//!   universe, havoc domain, fuel, candidate-set and evaluation knobs);
+//! * the paired **certificate bytes** for replay jobs (a `.hhlp` edit must
+//!   re-verify even when the sibling spec is untouched);
+//! * a **schema version**, bumped whenever engine semantics change, so old
+//!   caches invalidate wholesale instead of replaying stale verdicts.
+//!
+//! The spec's `expect:` line is deliberately *excluded*: it compares a
+//! verdict, it does not produce one. Flipping it re-classifies the cached
+//! verdict (expected ↔ unexpected) without any re-verification.
+
+use hhl_lang::{fp_cmd, Fingerprint, StableHasher};
+use hhl_verify::LoopRule;
+
+use crate::spec::Spec;
+
+/// Fingerprint schema tag. Bump on any change to what the hash covers *or*
+/// to engine behaviour that can alter verdicts for an unchanged input.
+pub const FINGERPRINT_SCHEMA: &str = "hhl-spec-fp v1";
+
+fn fp_rule(h: &mut StableHasher, rule: &LoopRule) {
+    match rule {
+        LoopRule::Sync { inv } => {
+            h.write_u8(0);
+            h.write_str(&inv.to_string());
+        }
+        LoopRule::ForallExists { inv } => {
+            h.write_u8(1);
+            h.write_str(&inv.to_string());
+        }
+        LoopRule::Exists {
+            phi,
+            p_body,
+            q_body,
+            variant,
+        } => {
+            h.write_u8(2);
+            h.write_str(&phi.as_str());
+            h.write_str(&p_body.to_string());
+            h.write_str(&q_body.to_string());
+            h.write_str(&variant.to_string());
+        }
+    }
+}
+
+/// The stable fingerprint of one batch work unit: a parsed spec, plus the
+/// raw certificate text when the unit is a replay.
+///
+/// Canonical over concrete syntax (whitespace/comment edits fingerprint
+/// identically) and sensitive to every semantic input (see the module
+/// docs). Two files with identical contents share a fingerprint wherever
+/// they live — the store is content-addressed, paths never enter the hash.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_cli::{parse_spec, spec_fingerprint};
+/// let spec = parse_spec(
+///     "mode: check\npre: low(l)\npost: low(l)\nvars: l in 0..1\nprogram:\nl := l * 2\n",
+/// )
+/// .unwrap();
+/// let spaced = parse_spec(
+///     "# a comment\nmode:   check\npre: low(l)\npost: low(l)\n\
+///      vars: l in 0..1\nprogram:\nl  :=  l * 2\n",
+/// )
+/// .unwrap();
+/// assert_eq!(spec_fingerprint(&spec, None), spec_fingerprint(&spaced, None));
+/// assert_ne!(
+///     spec_fingerprint(&spec, None),
+///     spec_fingerprint(&spec, Some("hhlp 1\n")),
+/// );
+/// ```
+pub fn spec_fingerprint(spec: &Spec, certificate: Option<&str>) -> Fingerprint {
+    let mut h = StableHasher::new();
+    h.write_str(FINGERPRINT_SCHEMA);
+    h.write_str(&spec.mode.to_string());
+    h.write_str(&spec.pre.to_string());
+    h.write_str(&spec.post.to_string());
+    h.write_u128(fp_cmd(&spec.cmd).0);
+    h.write_usize(spec.rules.len());
+    for rule in &spec.rules {
+        fp_rule(&mut h, rule);
+    }
+    h.write_u128(spec.config.stable_fingerprint().0);
+    match certificate {
+        Some(text) => {
+            h.write_u8(1);
+            h.write_str(text);
+        }
+        None => h.write_u8(0),
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{parse_spec, Expect};
+
+    const BASE: &str = "mode: check\npre: low(l)\npost: low(l)\n\
+                        vars: h in -1..1, l in -1..1\nexec: -1..1\nprogram:\nl := l * 2\n";
+
+    fn fp_of(src: &str) -> Fingerprint {
+        spec_fingerprint(&parse_spec(src).expect(src), None)
+    }
+
+    #[test]
+    fn whitespace_comments_and_expect_do_not_move_the_fingerprint() {
+        let base = fp_of(BASE);
+        let noisy = "# header comment\n\nmode:  check\npre:   low(l)\npost: low(l)\n\
+                     vars: h in -1..1, l in -1..1\nexec: -1..1\nprogram:\n\
+                     // inline note\nl := l * 2\n";
+        assert_eq!(base, fp_of(noisy));
+        let flipped = BASE.replace("program:", "expect: fail\nprogram:");
+        let spec = parse_spec(&flipped).unwrap();
+        assert_eq!(spec.expect, Expect::Fail);
+        assert_eq!(base, spec_fingerprint(&spec, None), "expect: is excluded");
+    }
+
+    #[test]
+    fn every_semantic_input_moves_the_fingerprint() {
+        let base = fp_of(BASE);
+        for (what, mutated) in [
+            ("mode", BASE.replace("mode: check", "mode: prove")),
+            ("pre", BASE.replace("pre: low(l)", "pre: true")),
+            ("post", BASE.replace("post: low(l)", "post: low(h)")),
+            ("program", BASE.replace("l := l * 2", "l := l * 3")),
+            (
+                "program shape",
+                BASE.replace("l := l * 2", "l := l * 2; skip"),
+            ),
+            ("universe", BASE.replace("l in -1..1", "l in -1..2")),
+            ("havoc domain", BASE.replace("exec: -1..1", "exec: -2..2")),
+            ("fuel", BASE.replace("exec: -1..1", "exec: -1..1\nfuel: 5")),
+            (
+                "subset",
+                BASE.replace("exec: -1..1", "exec: -1..1\nsubset: 3"),
+            ),
+            (
+                "values",
+                BASE.replace("exec: -1..1", "exec: -1..1\nvalues: -5..5"),
+            ),
+        ] {
+            assert_ne!(base, fp_of(&mutated), "{what} must change the fingerprint");
+        }
+    }
+
+    #[test]
+    fn certificates_and_invariants_are_covered() {
+        let spec = parse_spec(BASE).unwrap();
+        let with_cert = spec_fingerprint(&spec, Some("hhlp 1\nstep a skip p={low(l)}\n"));
+        let other_cert = spec_fingerprint(&spec, Some("hhlp 1\nstep a skip p={low(h)}\n"));
+        assert_ne!(with_cert, spec_fingerprint(&spec, None));
+        assert_ne!(with_cert, other_cert);
+
+        let verify = "mode: verify\npre: low(n)\npost: low(i)\nvars: i in 0..1, n in 0..1\n\
+                      invariant: sync low(i) && low(n)\n\
+                      program:\ni := 0; while (i < n) { i := i + 1 }\n";
+        let base = fp_of(verify);
+        let other_inv = verify.replace("sync low(i) && low(n)", "sync low(i)");
+        let other_kind = verify.replace("invariant: sync", "invariant: forall-exists");
+        assert_ne!(base, fp_of(&other_inv));
+        assert_ne!(base, fp_of(&other_kind));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_across_parses() {
+        // Same text, parsed twice (fresh trees, same interned ids or not):
+        // identical fingerprint. This is the property the on-disk store
+        // relies on within a process; cross-process stability additionally
+        // relies on the canonical encodings tested in hhl-lang.
+        assert_eq!(fp_of(BASE), fp_of(BASE));
+    }
+}

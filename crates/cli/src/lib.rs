@@ -30,6 +30,15 @@
 //! [`hhl_core::ValidityConfig`]. Aggregation is deterministic: reports
 //! render byte-identically for every job count.
 //!
+//! Batches are *incremental* across processes: `hhl batch` keeps a
+//! persistent content-addressed store (`.hhl-cache/` by default;
+//! `--cache-dir`, `--fresh`) of verdict records keyed by
+//! [`spec_fingerprint`] — a stable hash over program, triple, finite
+//! model, paired certificate and schema version — plus a serialized subset
+//! of the memo table. An edited corpus re-verifies only the files whose
+//! semantic inputs actually changed; whitespace/comment edits stay cache
+//! hits, and the report is byte-identical to a cold run.
+//!
 //! The driver prints a structured pass/fail report; the process exit code
 //! is `0` when the verdict matches the spec's `expect:` line (which
 //! defaults to `pass`), `1` on unexpected verdicts, `2` when a file could
@@ -39,9 +48,11 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod fingerprint;
 mod runner;
 mod spec;
 
 pub use batch::{run_batch, run_replay_batch, BatchOptions, BatchRun, FileResult};
+pub use fingerprint::{spec_fingerprint, FINGERPRINT_SCHEMA};
 pub use runner::{run_prove_with_certificate, run_replay, run_spec, Outcome, RunError, Verdict};
 pub use spec::{parse_spec, Expect, Mode, Spec, SpecError};

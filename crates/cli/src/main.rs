@@ -9,11 +9,14 @@
 //! * `hhl replay [--jobs N] <spec.hhl> <proof.hhlp> [<spec> <proof>]…` —
 //!   elaborate textual proof certificates and check them against their
 //!   specs' triples and finite models;
-//! * `hhl batch [--jobs N] [--no-cache] <file>…` — fan a corpus of `.hhl`
-//!   specs and `.hhlp` certificates (paired with their sibling `.hhl`)
-//!   across a work-stealing pool with a shared extended-semantics memo
-//!   cache, printing a compact aggregated report that is byte-identical
-//!   for every `--jobs` value.
+//! * `hhl batch [--jobs N] [--no-cache] [--cache-dir DIR] [--fresh]
+//!   <file>…` — fan a corpus of `.hhl` specs and `.hhlp` certificates
+//!   (paired with their sibling `.hhl`) across a work-stealing pool with a
+//!   shared extended-semantics memo cache, printing a compact aggregated
+//!   report that is byte-identical for every `--jobs` value. A persistent
+//!   verdict/memo store (`.hhl-cache/` by default) makes re-runs
+//!   incremental: fingerprint-matched files replay their recorded verdict
+//!   instead of re-verifying; cached/re-verified counts go to stderr.
 //!
 //! Exit codes are a contract scripts rely on: `0` when every verdict
 //! matches its spec's `expect:` line (default `pass`), `1` when any verdict
@@ -53,12 +56,19 @@ const USAGE: &str = "usage: hhl <command> [args]
       conclusion with the spec's triple. Loop proofs that `prove` cannot
       build (WhileSync, IfSync, ...) replay this way.
 
-  hhl batch [--jobs N] [--no-cache] <file>...
+  hhl batch [--jobs N] [--no-cache] [--cache-dir DIR] [--fresh] <file>...
       Batch-verify a corpus: .hhl specs run under their own mode, .hhlp
       certificates replay against their sibling .hhl spec (same directory,
       same stem). Prints one line per file plus an aggregate summary —
       deterministic and byte-identical for every --jobs value. Per-file
       errors are reported in the summary; later files still run.
+      Runs are incremental: verdicts are cached on disk (default
+      .hhl-cache/, override with --cache-dir) keyed by a fingerprint of
+      each file's program, triple, finite model and paired certificate, so
+      unchanged files replay instantly on the next run. --fresh ignores
+      (and rebuilds) existing cache entries; --no-cache disables both the
+      in-memory memo and the persistent store. Cached/re-verified counts
+      print to stderr; stdout is byte-identical either way.
 
   Exit codes: 0 all verdicts as expected, 1 unexpected verdict(s),
   2 usage/parse/read errors.";
@@ -146,16 +156,29 @@ fn run_files(files: &[&str], force_prove: bool) -> Tally {
     tally
 }
 
-/// Extracts `--jobs N` (and optionally `--no-cache`) from an argument list,
-/// returning `(jobs, use_cache, rest)`. `jobs == None` means the flag was
+/// Flags shared by the parallel subcommands. Cache/store flags are only
+/// accepted where [`parse_batch_flags`] is told to (the `batch`
+/// subcommand); elsewhere they fall through to the file list and produce
+/// the usual read error.
+struct BatchFlags {
+    jobs: Option<usize>,
+    use_cache: bool,
+    cache_dir: Option<String>,
+    fresh: bool,
+    rest: Vec<String>,
+}
+
+/// Extracts `--jobs N` (and, for `batch`, `--no-cache`, `--cache-dir DIR`
+/// and `--fresh`) from an argument list. `jobs == None` means the flag was
 /// absent; `Err` carries a usage message.
-fn parse_batch_flags(
-    args: &[String],
-    accept_no_cache: bool,
-) -> Result<(Option<usize>, bool, Vec<String>), String> {
-    let mut jobs = None;
-    let mut use_cache = true;
-    let mut rest = Vec::new();
+fn parse_batch_flags(args: &[String], accept_cache_flags: bool) -> Result<BatchFlags, String> {
+    let mut flags = BatchFlags {
+        jobs: None,
+        use_cache: true,
+        cache_dir: None,
+        fresh: false,
+        rest: Vec::new(),
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--jobs" {
@@ -163,16 +186,23 @@ fn parse_batch_flags(
                 return Err("--jobs needs a worker count".to_owned());
             };
             match n.parse::<usize>() {
-                Ok(n) if n > 0 => jobs = Some(n),
+                Ok(n) if n > 0 => flags.jobs = Some(n),
                 _ => return Err(format!("bad --jobs value {n:?} (need a positive integer)")),
             }
-        } else if accept_no_cache && arg == "--no-cache" {
-            use_cache = false;
+        } else if accept_cache_flags && arg == "--no-cache" {
+            flags.use_cache = false;
+        } else if accept_cache_flags && arg == "--cache-dir" {
+            match it.next() {
+                Some(dir) => flags.cache_dir = Some(dir.clone()),
+                None => return Err("--cache-dir needs a directory".to_owned()),
+            }
+        } else if accept_cache_flags && arg == "--fresh" {
+            flags.fresh = true;
         } else {
-            rest.push(arg.clone());
+            flags.rest.push(arg.clone());
         }
     }
-    Ok((jobs, use_cache, rest))
+    Ok(flags)
 }
 
 fn default_jobs() -> usize {
@@ -181,13 +211,24 @@ fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
-/// Prints scheduling/cache statistics to stderr (never part of the
-/// deterministic stdout report — hit counts race under work stealing).
+/// Prints scheduling/cache/store statistics to stderr (never part of the
+/// deterministic stdout report — hit counts race under work stealing, and
+/// cached-vs-recomputed is a performance fact, not a verdict).
 fn print_run_stats(run: &hhl_cli::BatchRun) {
     eprintln!(
         "[batch] {} worker(s), {} steal(s); memo: {}",
         run.pool.workers, run.pool.steals, run.cache
     );
+    if let Some(store) = &run.store {
+        eprintln!(
+            "[batch] store: {store}; memo snapshot: {} loaded, {} rejected, \
+             {} exported, {} evicted",
+            run.memo_import.loaded,
+            run.memo_import.rejected,
+            run.memo_export.exported,
+            run.memo_export.evicted
+        );
+    }
 }
 
 /// Renders parallel per-file results in the same full format the
@@ -223,8 +264,8 @@ fn usage_error(message: &str) -> ExitCode {
 }
 
 fn cmd_check(args: &[String]) -> ExitCode {
-    let (jobs, _, files) = match parse_batch_flags(args, false) {
-        Ok(parsed) => parsed,
+    let (jobs, files) = match parse_batch_flags(args, false) {
+        Ok(parsed) => (parsed.jobs, parsed.rest),
         Err(e) => return usage_error(&e),
     };
     if files.is_empty() {
@@ -250,8 +291,8 @@ fn cmd_check(args: &[String]) -> ExitCode {
 }
 
 fn cmd_prove(args: &[String]) -> ExitCode {
-    let (jobs, _, args) = match parse_batch_flags(args, false) {
-        Ok(parsed) => parsed,
+    let (jobs, args) = match parse_batch_flags(args, false) {
+        Ok(parsed) => (parsed.jobs, parsed.rest),
         Err(e) => return usage_error(&e),
     };
     let mut emit_to = None;
@@ -327,8 +368,8 @@ fn cmd_prove(args: &[String]) -> ExitCode {
 }
 
 fn cmd_replay(args: &[String]) -> ExitCode {
-    let (jobs, _, args) = match parse_batch_flags(args, false) {
-        Ok(parsed) => parsed,
+    let (jobs, args) = match parse_batch_flags(args, false) {
+        Ok(parsed) => (parsed.jobs, parsed.rest),
         Err(e) => return usage_error(&e),
     };
     if args.len() < 2 || args.len() % 2 != 0 {
@@ -374,20 +415,49 @@ fn cmd_replay(args: &[String]) -> ExitCode {
     print_full_results(&run.results, Some(&headers)).exit()
 }
 
+/// Default persistent cache directory for `hhl batch`.
+const DEFAULT_CACHE_DIR: &str = ".hhl-cache";
+
 fn cmd_batch(args: &[String]) -> ExitCode {
-    let (jobs, use_cache, files) = match parse_batch_flags(args, true) {
+    let flags = match parse_batch_flags(args, true) {
         Ok(parsed) => parsed,
         Err(e) => return usage_error(&e),
     };
-    if files.is_empty() {
+    if flags.rest.is_empty() {
         return usage_error("`hhl batch` needs at least one file");
     }
-    let opts = BatchOptions {
-        jobs: jobs.unwrap_or_else(default_jobs),
-        force_prove: false,
-        use_cache,
+    if !flags.use_cache && (flags.cache_dir.is_some() || flags.fresh) {
+        // Silently ignoring an explicitly requested cache directory (or a
+        // rebuild) would hide the user's mistake; refuse the combination.
+        return usage_error("--no-cache disables the persistent store; drop --cache-dir/--fresh");
+    }
+    // The persistent store rides on the same opt-out as the memo cache:
+    // `--no-cache` turns both off. A store that cannot be opened costs the
+    // warm start, never the batch.
+    let store = if flags.use_cache {
+        let dir = flags
+            .cache_dir
+            .unwrap_or_else(|| DEFAULT_CACHE_DIR.to_owned());
+        match hhl_driver::VerdictStore::open(&dir, flags.fresh) {
+            Ok(store) => Some(std::sync::Arc::new(store)),
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot open cache dir {dir}: {e}; continuing without \
+                     a persistent cache"
+                );
+                None
+            }
+        }
+    } else {
+        None
     };
-    let run = run_batch(&files, &opts);
+    let opts = BatchOptions {
+        jobs: flags.jobs.unwrap_or_else(default_jobs),
+        force_prove: false,
+        use_cache: flags.use_cache,
+        store,
+    };
+    let run = run_batch(&flags.rest, &opts);
     print_run_stats(&run);
     let report = run.report();
     out(&report);

@@ -41,8 +41,12 @@ fn example_files() -> Vec<String> {
 #[test]
 fn batch_stdout_is_byte_identical_across_job_counts() {
     let files = example_files();
+    // --no-cache: every job count must do its own parallel engine work;
+    // with the default persistent store the later runs would merely
+    // replay the first run's verdicts and the invariance check would
+    // compare cache echoes.
     let run = |jobs: &str| {
-        let mut args = vec!["batch", "--jobs", jobs];
+        let mut args = vec!["batch", "--no-cache", "--jobs", jobs];
         args.extend(files.iter().map(String::as_str));
         hhl(&args)
     };
@@ -96,6 +100,7 @@ fn batch_continues_past_errors_and_exits_2() {
 
     let out = hhl(&[
         "batch",
+        "--no-cache",
         "--jobs",
         "2",
         missing.to_str().unwrap(),
@@ -125,7 +130,12 @@ fn batch_exit_1_on_unexpected_verdict_without_errors() {
     let src = std::fs::read_to_string(spec_path("ni_c1.hhl")).expect("spec readable");
     std::fs::write(&flipped, src.replace("expect: pass", "expect: fail")).expect("write");
 
-    let out = hhl(&["batch", flipped.to_str().unwrap(), &spec_path("ni_c2.hhl")]);
+    let out = hhl(&[
+        "batch",
+        "--no-cache",
+        flipped.to_str().unwrap(),
+        &spec_path("ni_c2.hhl"),
+    ]);
     assert_eq!(out.status.code(), Some(1), "{}", stdout_of(&out));
     let report = stdout_of(&out);
     assert!(report.contains("PASS (UNEXPECTED)"), "{report}");
@@ -135,7 +145,8 @@ fn batch_exit_1_on_unexpected_verdict_without_errors() {
 #[test]
 fn batch_no_cache_produces_the_same_report() {
     let files = example_files();
-    let mut cached = vec!["batch", "--jobs", "2"];
+    let cache = temp_cache("no-cache-compare");
+    let mut cached = vec!["batch", "--jobs", "2", "--cache-dir", &cache];
     cached.extend(files.iter().map(String::as_str));
     let mut uncached = vec!["batch", "--jobs", "2", "--no-cache"];
     uncached.extend(files.iter().map(String::as_str));
@@ -175,4 +186,80 @@ fn bad_jobs_value_is_a_usage_error() {
         let stderr = String::from_utf8(out.stderr).expect("utf-8");
         assert!(stderr.contains("--jobs"), "{stderr}");
     }
+    let out = hhl(&["batch", "--cache-dir"]);
+    assert_eq!(out.status.code(), Some(2), "--cache-dir without a value");
+    // --no-cache disables the store: combining it with store flags is a
+    // usage error, not a silent no-op.
+    for conflict in [
+        &["--no-cache", "--fresh"][..],
+        &["--no-cache", "--cache-dir", "/tmp/x"][..],
+    ] {
+        let mut args = vec!["batch"];
+        args.extend_from_slice(conflict);
+        args.push("whatever.hhl");
+        let out = hhl(&args);
+        assert_eq!(out.status.code(), Some(2), "{conflict:?}");
+        assert!(stderr_of(&out).contains("--no-cache"), "{conflict:?}");
+    }
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("utf-8 stderr")
+}
+
+fn temp_cache(name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("hhl-cli-cache-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.to_string_lossy().into_owned()
+}
+
+#[test]
+fn warm_batch_is_fully_cached_with_identical_stdout() {
+    let files = example_files();
+    let cache = temp_cache("warm");
+    let run = || {
+        let mut args = vec!["batch", "--jobs", "2", "--cache-dir", &cache];
+        args.extend(files.iter().map(String::as_str));
+        hhl(&args)
+    };
+    let cold = run();
+    assert_eq!(cold.status.code(), Some(0), "{}", stdout_of(&cold));
+    let warm = run();
+    // Verdict replay is invisible on stdout and total on stderr.
+    assert_eq!(stdout_of(&warm), stdout_of(&cold));
+    let warm_err = stderr_of(&warm);
+    assert!(
+        warm_err.contains(&format!("store: {} cached, 0 re-verified", files.len())),
+        "{warm_err}"
+    );
+    // The stderr-only contract: no store/memo counters on stdout.
+    assert!(!stdout_of(&warm).contains("store:"), "{}", stdout_of(&warm));
+    assert!(!stdout_of(&warm).contains("memo"), "{}", stdout_of(&warm));
+    // --fresh recomputes everything yet prints the same report.
+    let mut args = vec!["batch", "--jobs", "2", "--fresh", "--cache-dir", &cache];
+    args.extend(files.iter().map(String::as_str));
+    let fresh = hhl(&args);
+    assert_eq!(stdout_of(&fresh), stdout_of(&cold));
+    assert!(
+        stderr_of(&fresh).contains(&format!("0 cached, {} re-verified", files.len())),
+        "{}",
+        stderr_of(&fresh)
+    );
+}
+
+#[test]
+fn no_cache_disables_the_store_entirely() {
+    let out = hhl(&["batch", "--no-cache", &spec_path("ni_c1.hhl")]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout_of(&out));
+    let stderr = stderr_of(&out);
+    assert!(!stderr.contains("store:"), "{stderr}");
+    assert!(stderr.contains("0 hit(s), 0 miss(es)"), "{stderr}");
+}
+
+#[test]
+fn cache_flags_are_rejected_outside_batch() {
+    // `check`/`prove`/`replay` do not take store flags; they must fall
+    // through as (unreadable) file arguments, not silently enable a store.
+    let out = hhl(&["check", "--cache-dir", &spec_path("ni_c1.hhl")]);
+    assert_eq!(out.status.code(), Some(2), "{}", stdout_of(&out));
 }

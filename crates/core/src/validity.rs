@@ -66,6 +66,44 @@ impl ValidityConfig {
         self
     }
 
+    /// A stable, process-independent fingerprint of every parameter that
+    /// can influence a verdict: the universe of candidate states, the
+    /// finitized semantics (havoc domain, loop fuel), and the candidate-set
+    /// enumeration / assertion-evaluation configuration.
+    ///
+    /// The installed memo `cache` is deliberately excluded — caching is a
+    /// performance choice that never changes verdicts (a property-tested
+    /// invariant), so cached and uncached runs share fingerprints.
+    ///
+    /// The persistent verdict store of the batch driver folds this into
+    /// each spec's cache key, so *any* model change (one extra universe
+    /// value, different fuel, a wider value-quantifier domain) invalidates
+    /// prior verdicts.
+    pub fn stable_fingerprint(&self) -> hhl_lang::Fingerprint {
+        use hhl_lang::fp;
+        let mut h = hhl_lang::StableHasher::new();
+        h.write_str("validity-config v1");
+        // Universe states in declaration order: the order never changes a
+        // verdict, but it is deterministic per spec, and hashing it keeps
+        // the encoding unambiguous without canonicalization work.
+        h.write_usize(self.universe.states.len());
+        for state in &self.universe.states {
+            fp::fp_ext_state(&mut h, state);
+        }
+        fp::fp_exec(&mut h, &self.exec);
+        h.write_usize(self.check.max_subset_size);
+        h.write_usize(self.check.exhaustive_limit);
+        h.write_u32(self.check.samples);
+        h.write_u64(self.check.seed);
+        h.write_usize(self.check.eval.values.len());
+        for v in &self.check.eval.values {
+            fp::fp_value(&mut h, v);
+        }
+        h.write_u8(self.check.eval.closure_depth);
+        h.write_u32(self.check.eval.family_slack);
+        h.finish()
+    }
+
     /// The extended semantics `sem(C, S)` under this configuration —
     /// memoized through the installed cache when one is present, a direct
     /// [`ExecConfig::sem`] evaluation otherwise. Every semantic obligation
@@ -316,6 +354,49 @@ mod tests {
         }
         let stats = cache.stats();
         assert!(stats.hits > 0, "shared sweeps must hit: {stats:?}");
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_every_model_parameter() {
+        let base = || {
+            ValidityConfig::new(Universe::int_cube(&["h", "l"], -1, 1))
+                .with_exec(ExecConfig::int_range(-1, 1))
+        };
+        let fp = base().stable_fingerprint();
+        // Deterministic and cache-independent.
+        assert_eq!(fp, base().stable_fingerprint());
+        assert_eq!(
+            fp,
+            base()
+                .with_cache(Arc::new(SemCache::new()))
+                .stable_fingerprint()
+        );
+        // Every knob moves it.
+        let mut wider_universe = base();
+        wider_universe.universe = Universe::int_cube(&["h", "l"], -1, 2);
+        let mut more_fuel = base();
+        more_fuel.exec = more_fuel.exec.fuel(7);
+        let mut wider_havoc = base();
+        wider_havoc.exec = ExecConfig::int_range(-1, 2);
+        let mut bigger_subsets = base();
+        bigger_subsets.check.max_subset_size += 1;
+        let mut other_seed = base();
+        other_seed.check.seed ^= 1;
+        let mut more_values = base();
+        more_values.check.eval = more_values
+            .check
+            .eval
+            .with_values((-4..=4).map(hhl_lang::Value::Int).collect::<Vec<_>>());
+        for (what, cfg) in [
+            ("universe", wider_universe),
+            ("fuel", more_fuel),
+            ("havoc domain", wider_havoc),
+            ("subset size", bigger_subsets),
+            ("seed", other_seed),
+            ("eval values", more_values),
+        ] {
+            assert_ne!(fp, cfg.stable_fingerprint(), "{what} must change the fp");
+        }
     }
 
     #[test]

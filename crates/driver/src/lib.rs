@@ -7,11 +7,13 @@
 //! byte-identical for every job count.
 //!
 //! The crate is deliberately generic — it schedules `Fn(usize, &I) -> T`
-//! closures and aggregates [`report::FileStatus`] values — so it carries no
+//! closures, aggregates [`report::FileStatus`] values, and persists
+//! fingerprint-keyed verdict records ([`store`]) — so it carries no
 //! dependency on the spec format or the verification engines. The CLI
 //! supplies the per-file closure (parse → dispatch → verdict, sharing one
-//! `hhl_lang::memo::SemCache` across workers via `Arc`), and the bench
-//! suite reuses the same pool to measure 1-vs-N-thread throughput.
+//! `hhl_lang::memo::SemCache` across workers via `Arc`) and the spec
+//! fingerprints that key the persistent store, and the bench suite reuses
+//! the same pool to measure 1-vs-N-thread throughput.
 //!
 //! Division of responsibility:
 //!
@@ -26,6 +28,8 @@
 
 pub mod pool;
 pub mod report;
+pub mod store;
 
 pub use pool::{run_ordered, PoolStats};
 pub use report::{BatchReport, FileReport, FileStatus, Summary};
+pub use store::{StoreStats, VerdictRecord, VerdictStore};

@@ -1,0 +1,377 @@
+//! Persistent, content-addressed verdict store for incremental batches.
+//!
+//! `hhl batch` fingerprints each unit of work (spec, triple, finite model,
+//! paired certificate bytes, tool schema version) and keys a small on-disk
+//! record by that fingerprint, so an unchanged spec re-verified in a later
+//! process is answered from disk instead of re-running the engine. The
+//! store also persists one opaque memo-snapshot blob (the serialized
+//! `hhl_lang::SemCache` subset), so warm extended-semantics entries survive
+//! process exit.
+//!
+//! This module is deliberately *generic*: it deals in fingerprint strings,
+//! `PASS`/`FAIL` verdict records and opaque blobs, and knows nothing about
+//! the spec format or the engines — fingerprinting lives with the CLI,
+//! snapshot encoding with `hhl-lang`, keeping this crate dependency-free.
+//!
+//! Robustness contract (a wrong cache entry would be an unsoundness, so
+//! every failure mode degrades to a *miss*):
+//!
+//! * records are written atomically (temp file + rename), so a crashed or
+//!   concurrent batch can leave stale entries but never torn ones;
+//! * every record embeds its schema line, its own fingerprint and a
+//!   checksum; truncated, bit-flipped, renamed, foreign-schema or
+//!   future-schema files all fail validation and read as misses;
+//! * lookups and writes never panic on I/O errors — a broken cache
+//!   directory costs recomputation, not the batch.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Schema line of verdict records. Bump to invalidate old caches wholesale
+/// whenever record semantics change.
+pub const STORE_SCHEMA: &str = "hhl-verdict v1";
+
+/// File name of the persisted memo-snapshot blob inside the cache dir.
+pub const MEMO_FILE: &str = "memo.hhlc";
+
+const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn checksum(body: &str) -> u64 {
+    let mut state = FNV64_OFFSET;
+    for &b in body.as_bytes() {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV64_PRIME);
+    }
+    state
+}
+
+/// A cached verdict: which engine mode produced it and the binary outcome.
+///
+/// Only real verdicts are stored — errors (unreadable files, parse
+/// failures, rejected certificates) are cheap to reproduce and are never
+/// cached, so a fixed file is always retried.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerdictRecord {
+    /// The dispatch mode that produced the verdict (`check`, `prove`, …).
+    /// Informational: the fingerprint already covers the mode.
+    pub mode: String,
+    /// `"PASS"` or `"FAIL"` — anything else fails record validation.
+    pub verdict: String,
+}
+
+/// Point-in-time counters of a [`VerdictStore`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups answered from disk (the `cached` count of a batch).
+    pub hits: u64,
+    /// Lookups that missed — absent, corrupt, stale-schema, or suppressed
+    /// by `--fresh` — and therefore re-verified.
+    pub misses: u64,
+    /// Records written this run.
+    pub writes: u64,
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cached, {} re-verified, {} written",
+            self.hits, self.misses, self.writes
+        )
+    }
+}
+
+/// A content-addressed directory of verdict records plus one memo blob.
+///
+/// Thread-safe: all methods take `&self`; batch workers share one store
+/// behind an `Arc`.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_driver::store::{VerdictRecord, VerdictStore};
+/// let dir = std::env::temp_dir().join("hhl-store-doctest");
+/// let store = VerdictStore::open(&dir, false).unwrap();
+/// let fp = "0123456789abcdef0123456789abcdef";
+/// let record = VerdictRecord { mode: "check".into(), verdict: "PASS".into() };
+/// store.record(fp, &record);
+/// assert_eq!(store.lookup(fp), Some(record));
+/// assert_eq!(store.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct VerdictStore {
+    dir: PathBuf,
+    /// `--fresh`: ignore everything already on disk (still writing fresh
+    /// records), so a poisoned cache can be rebuilt in place.
+    fresh: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl VerdictStore {
+    /// Opens (creating if needed) a store rooted at `dir`. With `fresh`,
+    /// existing records and the memo blob are ignored but new ones are
+    /// still written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure when the directory cannot
+    /// be created; callers typically degrade to running without a store.
+    pub fn open(dir: impl Into<PathBuf>, fresh: bool) -> io::Result<VerdictStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(VerdictStore {
+            dir,
+            fresh,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache directory this store reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Whether `--fresh` suppresses reads.
+    pub fn is_fresh(&self) -> bool {
+        self.fresh
+    }
+
+    fn record_path(&self, fp: &str) -> Option<PathBuf> {
+        // Fingerprints are hex strings; anything else must not be allowed
+        // to shape a path.
+        if fp.is_empty() || !fp.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        Some(self.dir.join(format!("{fp}.verdict")))
+    }
+
+    /// Looks up the verdict recorded for `fp`.
+    ///
+    /// Every failure mode — missing file, I/O error, schema mismatch,
+    /// fingerprint mismatch (renamed file), bad checksum, non-binary
+    /// verdict, `--fresh` — returns `None` and counts as a miss.
+    pub fn lookup(&self, fp: &str) -> Option<VerdictRecord> {
+        let found = if self.fresh {
+            None
+        } else {
+            self.record_path(fp)
+                .and_then(|path| fs::read_to_string(path).ok())
+                .and_then(|text| parse_record(fp, &text))
+        };
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Persists a verdict record for `fp` (atomic write-then-rename).
+    ///
+    /// I/O failures are swallowed: a read-only or full cache directory must
+    /// never fail the batch, it only loses the warm start.
+    pub fn record(&self, fp: &str, record: &VerdictRecord) {
+        let Some(path) = self.record_path(fp) else {
+            return;
+        };
+        if record.verdict != "PASS" && record.verdict != "FAIL" {
+            return;
+        }
+        if atomic_write(&path, &render_record(fp, record)).is_ok() {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads the persisted memo-snapshot blob, if any (and not `--fresh`).
+    /// Blob validation is the snapshot format's own job (`hhl_lang`
+    /// checksums each line), so corruption here degrades to rejected lines.
+    pub fn load_memo(&self) -> Option<String> {
+        if self.fresh {
+            return None;
+        }
+        fs::read_to_string(self.dir.join(MEMO_FILE)).ok()
+    }
+
+    /// Persists the memo-snapshot blob (atomic; I/O failures swallowed).
+    pub fn save_memo(&self, blob: &str) {
+        let _ = atomic_write(&self.dir.join(MEMO_FILE), blob);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn render_record(fp: &str, record: &VerdictRecord) -> String {
+    let body = format!(
+        "{STORE_SCHEMA}\nfp: {fp}\nmode: {}\nverdict: {}\n",
+        record.mode, record.verdict
+    );
+    let sum = checksum(&body);
+    format!("{body}sum: {sum:016x}\n")
+}
+
+fn parse_record(fp: &str, text: &str) -> Option<VerdictRecord> {
+    let (body, tail) = text.rsplit_once("sum: ")?;
+    let sum = u64::from_str_radix(tail.trim_end_matches('\n'), 16).ok()?;
+    if sum != checksum(body) {
+        return None;
+    }
+    let mut lines = body.lines();
+    if lines.next() != Some(STORE_SCHEMA) {
+        return None;
+    }
+    if lines.next()?.strip_prefix("fp: ")? != fp {
+        return None;
+    }
+    let mode = lines.next()?.strip_prefix("mode: ")?.to_owned();
+    let verdict = lines.next()?.strip_prefix("verdict: ")?.to_owned();
+    if lines.next().is_some() || (verdict != "PASS" && verdict != "FAIL") {
+        return None;
+    }
+    Some(VerdictRecord { mode, verdict })
+}
+
+fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    // Unique per process *and* per write: two workers that race to record
+    // the same fingerprint (duplicate-content corpus files) must not share
+    // a temp file, or one rename could publish the other's torn write.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
+    fs::write(&tmp, contents)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(name: &str, fresh: bool) -> VerdictStore {
+        let dir = std::env::temp_dir().join(format!("hhl-store-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        VerdictStore::open(dir, fresh).expect("temp store opens")
+    }
+
+    fn pass(mode: &str) -> VerdictRecord {
+        VerdictRecord {
+            mode: mode.into(),
+            verdict: "PASS".into(),
+        }
+    }
+
+    const FP: &str = "00112233445566778899aabbccddeeff";
+
+    #[test]
+    fn record_roundtrips_and_counts() {
+        let store = temp_store("roundtrip", false);
+        assert_eq!(store.lookup(FP), None);
+        store.record(FP, &pass("check"));
+        assert_eq!(store.lookup(FP), Some(pass("check")));
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.writes), (1, 1, 1));
+        assert!(stats.to_string().contains("1 cached, 1 re-verified"));
+    }
+
+    #[test]
+    fn fresh_ignores_reads_but_still_writes() {
+        let store = temp_store("fresh", false);
+        store.record(FP, &pass("check"));
+        let fresh = VerdictStore::open(store.dir(), true).unwrap();
+        assert!(fresh.is_fresh());
+        assert_eq!(fresh.lookup(FP), None, "--fresh must not read");
+        fresh.record(FP, &pass("prove"));
+        let reopened = VerdictStore::open(store.dir(), false).unwrap();
+        assert_eq!(reopened.lookup(FP), Some(pass("prove")));
+    }
+
+    #[test]
+    fn corrupt_records_read_as_misses() {
+        let store = temp_store("corrupt", false);
+        store.record(FP, &pass("check"));
+        let path = store.dir().join(format!("{FP}.verdict"));
+        let original = fs::read_to_string(&path).unwrap();
+
+        // Truncation.
+        fs::write(&path, &original[..original.len() / 2]).unwrap();
+        assert_eq!(store.lookup(FP), None);
+
+        // Bit flip (PASS -> QASS still checksums wrong).
+        fs::write(&path, original.replace("PASS", "QASS")).unwrap();
+        assert_eq!(store.lookup(FP), None);
+
+        // Wrong schema version.
+        fs::write(&path, original.replace("hhl-verdict v1", "hhl-verdict v9")).unwrap();
+        assert_eq!(store.lookup(FP), None);
+
+        // A record renamed under another fingerprint must not answer it.
+        let other = "ffeeddccbbaa99887766554433221100";
+        fs::write(store.dir().join(format!("{other}.verdict")), &original).unwrap();
+        assert_eq!(store.lookup(other), None);
+
+        // The untouched original still reads back.
+        fs::write(&path, &original).unwrap();
+        assert_eq!(store.lookup(FP), Some(pass("check")));
+    }
+
+    #[test]
+    fn non_binary_verdicts_are_rejected_both_ways() {
+        let store = temp_store("binary", false);
+        store.record(
+            FP,
+            &VerdictRecord {
+                mode: "check".into(),
+                verdict: "MAYBE".into(),
+            },
+        );
+        assert_eq!(store.stats().writes, 0);
+        // Hand-craft a checksummed record with a non-binary verdict: the
+        // reader still refuses it.
+        let body = format!("{STORE_SCHEMA}\nfp: {FP}\nmode: check\nverdict: MAYBE\n");
+        let sum = checksum(&body);
+        fs::write(
+            store.dir().join(format!("{FP}.verdict")),
+            format!("{body}sum: {sum:016x}\n"),
+        )
+        .unwrap();
+        assert_eq!(store.lookup(FP), None);
+    }
+
+    #[test]
+    fn hostile_fingerprints_never_touch_paths() {
+        let store = temp_store("hostile", false);
+        for fp in ["", "../escape", "a/b", "ABCx", "0123456789abcdeg"] {
+            store.record(fp, &pass("check"));
+            assert_eq!(store.lookup(fp), None, "{fp:?}");
+        }
+        assert_eq!(store.stats().writes, 0);
+    }
+
+    #[test]
+    fn memo_blob_roundtrips_and_respects_fresh() {
+        let store = temp_store("memo", false);
+        assert_eq!(store.load_memo(), None);
+        store.save_memo("hhl-memo v1\n");
+        assert_eq!(store.load_memo(), Some("hhl-memo v1\n".to_owned()));
+        let fresh = VerdictStore::open(store.dir(), true).unwrap();
+        assert_eq!(fresh.load_memo(), None);
+    }
+}

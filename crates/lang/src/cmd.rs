@@ -200,6 +200,72 @@ impl Cmd {
         }
     }
 
+    /// Canonical, re-parseable source form: `parse_cmd(c.to_source())`
+    /// yields a command *structurally equal* to `c` — including sequence
+    /// nesting, which `Display` flattens ([`crate::parse_cmd`] right-nests
+    /// `a; b; c`, so a left-nested `Seq` is emitted with explicit braces).
+    ///
+    /// `Display` stays the human-facing form (it prints choice and
+    /// iteration with parentheses, which the statement grammar does not
+    /// accept); `to_source` is the machine round-trip used to serialize
+    /// exact memo keys.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hhl_lang::parse_cmd;
+    /// let c = parse_cmd("{ x := 1 } + { x := 2 }; { y := y + 1 }*").unwrap();
+    /// assert_eq!(parse_cmd(&c.to_source()).unwrap(), c);
+    /// ```
+    pub fn to_source(&self) -> String {
+        fn emit(c: &Cmd, out: &mut String) {
+            match c {
+                Cmd::Skip => out.push_str("skip"),
+                Cmd::Assign(x, e) => {
+                    out.push_str(&format!("{x} := {e}"));
+                }
+                Cmd::Havoc(x) => out.push_str(&format!("{x} := nonDet()")),
+                Cmd::Assume(b) => out.push_str(&format!("assume {b}")),
+                Cmd::Seq(a, b) => {
+                    // `x; y; z` re-parses right-nested, so only the right
+                    // operand may itself be a bare sequence.
+                    if matches!(**a, Cmd::Seq(_, _)) {
+                        out.push_str("{ ");
+                        emit(a, out);
+                        out.push_str(" }");
+                    } else {
+                        emit(a, out);
+                    }
+                    out.push_str("; ");
+                    emit(b, out);
+                }
+                Cmd::Choice(a, b) => {
+                    // Choice chains left-associate in the grammar, so the
+                    // left spine flattens (`{x} + {y} + {z}`) and every
+                    // other operand gets its own block.
+                    if matches!(**a, Cmd::Choice(_, _)) {
+                        emit(a, out);
+                    } else {
+                        out.push_str("{ ");
+                        emit(a, out);
+                        out.push_str(" }");
+                    }
+                    out.push_str(" + { ");
+                    emit(b, out);
+                    out.push_str(" }");
+                }
+                Cmd::Star(a) => {
+                    out.push_str("{ ");
+                    emit(a, out);
+                    out.push_str(" }*");
+                }
+            }
+        }
+        let mut out = String::new();
+        emit(self, &mut out);
+        out
+    }
+
     /// True iff the command contains no `Star` (loop-free commands admit
     /// exact backward verification-condition generation).
     pub fn is_loop_free(&self) -> bool {
@@ -302,6 +368,34 @@ mod tests {
             Cmd::assign("l", Expr::var("h") + Expr::var("y")),
         );
         assert_eq!(c.to_string(), "y := nonDet(); l := h + y");
+    }
+
+    #[test]
+    fn to_source_roundtrips_structurally() {
+        use crate::parser::parse_cmd;
+        let step = Cmd::assign("x", Expr::var("x") + Expr::int(1));
+        let cases = [
+            Cmd::Skip,
+            step.clone(),
+            Cmd::havoc("y"),
+            Cmd::assume(Expr::var("x").gt(Expr::int(-1))),
+            // Right- and left-nested sequences are distinct trees and must
+            // both survive the round trip (Display would flatten them).
+            Cmd::seq(step.clone(), Cmd::seq(step.clone(), step.clone())),
+            Cmd::seq(Cmd::seq(step.clone(), step.clone()), step.clone()),
+            step.clone().pow(4),
+            Cmd::choice(
+                Cmd::choice(step.clone(), Cmd::Skip),
+                Cmd::choice(Cmd::Skip, step.clone()),
+            ),
+            Cmd::star(Cmd::choice(step.clone(), Cmd::star(step.clone()))),
+            Cmd::while_loop(Expr::var("i").lt(Expr::var("n")), step.clone()),
+            Cmd::if_else(Expr::var("h").gt(Expr::int(0)), step, Cmd::Skip),
+        ];
+        for c in cases {
+            let src = c.to_source();
+            assert_eq!(parse_cmd(&src).expect(&src), c, "source: {src}");
+        }
     }
 
     #[test]

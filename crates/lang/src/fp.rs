@@ -1,0 +1,437 @@
+//! Stable, process-independent fingerprints of language objects.
+//!
+//! The persistent verdict store of the batch driver keys cached verdicts by
+//! a fingerprint of everything that can influence a verdict: the program,
+//! the triple, and the finite model. Those fingerprints must be *stable* —
+//! equal across processes, runs and machines — which rules out both
+//! `std::hash` (`DefaultHasher` keys are not guaranteed across releases)
+//! and anything derived from interning ids ([`crate::CmdId`] /
+//! [`crate::ExprId`] are assigned in process-local first-seen order).
+//!
+//! [`StableHasher`] is a 128-bit FNV-1a over an explicit canonical byte
+//! encoding: every variant writes a distinguishing tag, every string is
+//! length-prefixed, stores are serialized in *name* order (never in
+//! [`crate::Symbol`] id order, which is process-local), and sets hash as
+//! the sorted multiset of their members' sub-hashes. Whitespace, comments
+//! and other concrete-syntax artefacts never reach the hasher — two
+//! sources that parse to the same tree fingerprint identically.
+//!
+//! [`fp_cmd`] and [`fp_expr`] memoize per hash-consed term id, so the
+//! repeated subtrees of a batch corpus (shared prefixes, loop bodies) are
+//! fingerprinted once per process, and a whole-spec fingerprint costs one
+//! table lookup per distinct subtree.
+//!
+//! Fingerprints are 128 bits to make accidental collisions irrelevant in
+//! practice; they are still hashes, so components that must *never* alias
+//! (the in-memory memo keys of [`crate::SemCache`]) use exact interning
+//! instead — see `memo.rs`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+use crate::cmd::Cmd;
+use crate::exec::ExecConfig;
+use crate::expr::{Expr, UnOp};
+use crate::intern::{intern_cmd, intern_expr, CmdId, ExprId};
+use crate::state::{ExtState, Store};
+use crate::stateset::StateSet;
+use crate::value::Value;
+
+/// A 128-bit stable fingerprint.
+///
+/// Displays as (and parses from) 32 lowercase hex digits, which is also the
+/// on-disk file-name form used by the persistent verdict store.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_lang::{fp_cmd, parse_cmd, Fingerprint};
+/// let a = fp_cmd(&parse_cmd("x := x + 1").unwrap());
+/// let b = fp_cmd(&parse_cmd("x  :=  x + 1 // comment").unwrap());
+/// let c = fp_cmd(&parse_cmd("x := x + 2").unwrap());
+/// assert_eq!(a, b); // concrete syntax never reaches the hash
+/// assert_ne!(a, c);
+/// assert_eq!(Fingerprint::from_hex(&a.to_string()), Some(a));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fingerprint(pub u128);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl Fingerprint {
+    /// Parses the 32-hex-digit form produced by `Display`.
+    pub fn from_hex(s: &str) -> Option<Fingerprint> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
+}
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// An incremental 128-bit FNV-1a hasher with an explicit, version-stable
+/// byte encoding (see the module docs).
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u128,
+}
+
+impl Default for StableHasher {
+    fn default() -> StableHasher {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> StableHasher {
+        StableHasher {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Hashes raw bytes. Prefer the typed writers, which add framing.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Hashes one byte (variant tags).
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Hashes a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes an `i64` (little-endian two's complement).
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes a `u128` (little-endian) — used to fold sub-fingerprints in.
+    pub fn write_u128(&mut self, v: u128) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes a `usize` as a `u64`, so 32- and 64-bit builds agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Hashes a length-prefixed string (no terminator ambiguity).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The fingerprint of everything written so far.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
+/// Hashes a [`Value`] (tag + payload; lists recurse).
+pub fn fp_value(h: &mut StableHasher, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            h.write_u8(0);
+            h.write_i64(*i);
+        }
+        Value::Bool(b) => {
+            h.write_u8(1);
+            h.write_u8(u8::from(*b));
+        }
+        Value::List(items) => {
+            h.write_u8(2);
+            h.write_usize(items.len());
+            for item in items {
+                fp_value(h, item);
+            }
+        }
+    }
+}
+
+/// Hashes a [`Store`] in *name* order (symbol ids are process-local, so the
+/// store's own iteration order must not reach the hash).
+pub fn fp_store(h: &mut StableHasher, s: &Store) {
+    let mut entries: Vec<(String, &Value)> = s.iter().map(|(k, v)| (k.as_str(), v)).collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    h.write_usize(entries.len());
+    for (name, value) in entries {
+        h.write_str(&name);
+        fp_value(h, value);
+    }
+}
+
+/// Hashes an [`ExtState`] (logical store, then program store).
+pub fn fp_ext_state(h: &mut StableHasher, phi: &ExtState) {
+    fp_store(h, &phi.logical);
+    fp_store(h, &phi.program);
+}
+
+/// Hashes a [`StateSet`] as the sorted multiset of its members' sub-hashes
+/// (the set's own order is `Symbol`-id-dependent and thus process-local).
+pub fn fp_state_set(h: &mut StableHasher, s: &StateSet) {
+    let mut members: Vec<u128> = s
+        .iter()
+        .map(|phi| {
+            let mut sub = StableHasher::new();
+            fp_ext_state(&mut sub, phi);
+            sub.finish().0
+        })
+        .collect();
+    members.sort_unstable();
+    h.write_usize(members.len());
+    for m in members {
+        h.write_u128(m);
+    }
+}
+
+/// Hashes an [`ExecConfig`] finitization (havoc domain in order + fuel).
+pub fn fp_exec(h: &mut StableHasher, cfg: &ExecConfig) {
+    h.write_usize(cfg.havoc_domain.len());
+    for v in &cfg.havoc_domain {
+        fp_value(h, v);
+    }
+    h.write_u32(cfg.loop_fuel);
+}
+
+fn un_op_name(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Neg => "neg",
+        UnOp::Not => "not",
+        UnOp::Len => "len",
+    }
+}
+
+fn expr_fps() -> &'static Mutex<HashMap<ExprId, u128>> {
+    static TABLE: OnceLock<Mutex<HashMap<ExprId, u128>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn cmd_fps() -> &'static Mutex<HashMap<CmdId, u128>> {
+    static TABLE: OnceLock<Mutex<HashMap<CmdId, u128>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The stable fingerprint of an expression tree.
+///
+/// Structural and canonical: equal trees fingerprint equally in every
+/// process; any mutated literal, variable or operator changes the result.
+/// Memoized per hash-consed [`ExprId`], so repeated subtrees cost one table
+/// lookup.
+pub fn fp_expr(e: &Expr) -> Fingerprint {
+    let id = intern_expr(e);
+    if let Some(&fp) = expr_fps().lock().expect("expr fp table poisoned").get(&id) {
+        return Fingerprint(fp);
+    }
+    let mut h = StableHasher::new();
+    match e {
+        Expr::Const(v) => {
+            h.write_u8(0);
+            fp_value(&mut h, v);
+        }
+        Expr::Var(x) => {
+            h.write_u8(1);
+            h.write_str(&x.as_str());
+        }
+        Expr::LVar(x) => {
+            h.write_u8(2);
+            h.write_str(&x.as_str());
+        }
+        Expr::Un(op, a) => {
+            h.write_u8(3);
+            h.write_str(un_op_name(*op));
+            h.write_u128(fp_expr(a).0);
+        }
+        Expr::Bin(op, a, b) => {
+            h.write_u8(4);
+            // `token()` is unique per operator (Min/Max included), and a
+            // name survives enum reorderings where a discriminant does not.
+            h.write_str(op.token());
+            h.write_u128(fp_expr(a).0);
+            h.write_u128(fp_expr(b).0);
+        }
+    }
+    let fp = h.finish();
+    expr_fps()
+        .lock()
+        .expect("expr fp table poisoned")
+        .insert(id, fp.0);
+    fp
+}
+
+/// The stable fingerprint of a command tree.
+///
+/// Structural and canonical (see [`fp_expr`]); memoized per hash-consed
+/// [`CmdId`], so a corpus sharing program prefixes fingerprints each
+/// distinct subtree once.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_lang::{fp_cmd, parse_cmd};
+/// let a = parse_cmd("while (i < n) { i := i + 1 }").unwrap();
+/// let b = parse_cmd("while (i < n) { i := i + 2 }").unwrap();
+/// assert_ne!(fp_cmd(&a), fp_cmd(&b));
+/// ```
+pub fn fp_cmd(c: &Cmd) -> Fingerprint {
+    let id = intern_cmd(c);
+    if let Some(&fp) = cmd_fps().lock().expect("cmd fp table poisoned").get(&id) {
+        return Fingerprint(fp);
+    }
+    let mut h = StableHasher::new();
+    match c {
+        Cmd::Skip => h.write_u8(0),
+        Cmd::Assign(x, e) => {
+            h.write_u8(1);
+            h.write_str(&x.as_str());
+            h.write_u128(fp_expr(e).0);
+        }
+        Cmd::Havoc(x) => {
+            h.write_u8(2);
+            h.write_str(&x.as_str());
+        }
+        Cmd::Assume(b) => {
+            h.write_u8(3);
+            h.write_u128(fp_expr(b).0);
+        }
+        Cmd::Seq(a, b) => {
+            h.write_u8(4);
+            h.write_u128(fp_cmd(a).0);
+            h.write_u128(fp_cmd(b).0);
+        }
+        Cmd::Choice(a, b) => {
+            h.write_u8(5);
+            h.write_u128(fp_cmd(a).0);
+            h.write_u128(fp_cmd(b).0);
+        }
+        Cmd::Star(a) => {
+            h.write_u8(6);
+            h.write_u128(fp_cmd(a).0);
+        }
+    }
+    let fp = h.finish();
+    cmd_fps()
+        .lock()
+        .expect("cmd fp table poisoned")
+        .insert(id, fp.0);
+    fp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cmd;
+
+    #[test]
+    fn fingerprint_hex_roundtrips() {
+        let fp = Fingerprint(0x0123_4567_89ab_cdef_0011_2233_4455_6677);
+        assert_eq!(fp.to_string().len(), 32);
+        assert_eq!(Fingerprint::from_hex(&fp.to_string()), Some(fp));
+        assert_eq!(Fingerprint::from_hex("xyz"), None);
+        assert_eq!(Fingerprint::from_hex(""), None);
+    }
+
+    #[test]
+    fn hasher_is_deterministic_and_framed() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        // Length prefixes keep ("ab","c") and ("a","bc") apart.
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = StableHasher::new();
+        c.write_str("ab");
+        c.write_str("c");
+        assert_eq!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn cmd_fingerprints_ignore_concrete_syntax() {
+        let a = parse_cmd("x := 1;  y := x + 2").unwrap();
+        let b = parse_cmd("x := 1; y := x + 2 // note").unwrap();
+        assert_eq!(fp_cmd(&a), fp_cmd(&b));
+    }
+
+    #[test]
+    fn cmd_fingerprints_are_sensitive() {
+        let base = parse_cmd("if (h > 0) { l := 1 } else { l := 0 }").unwrap();
+        for mutated in [
+            "if (h > 1) { l := 1 } else { l := 0 }",
+            "if (h >= 0) { l := 1 } else { l := 0 }",
+            "if (h > 0) { l := 2 } else { l := 0 }",
+            "if (h > 0) { l := 1 } else { m := 0 }",
+            "if (h > 0) { l := 1 } else { l := 0 }; skip",
+        ] {
+            assert_ne!(
+                fp_cmd(&base),
+                fp_cmd(&parse_cmd(mutated).unwrap()),
+                "{mutated} must not alias the base program"
+            );
+        }
+    }
+
+    #[test]
+    fn seq_nesting_is_distinguished() {
+        // seq_all right-nests; pow left-nests. Structurally different trees
+        // must not alias even though they print alike.
+        let step = Cmd::assign("x", Expr::var("x") + Expr::int(1));
+        let left = Cmd::seq(Cmd::seq(step.clone(), step.clone()), step.clone());
+        let right = Cmd::seq(step.clone(), Cmd::seq(step.clone(), step));
+        assert_ne!(fp_cmd(&left), fp_cmd(&right));
+    }
+
+    #[test]
+    fn store_hash_is_name_ordered_and_set_hash_is_order_free() {
+        let s1 = Store::from_pairs([("a", Value::Int(1)), ("b", Value::Int(2))]);
+        let s2 = Store::from_pairs([("b", Value::Int(2)), ("a", Value::Int(1))]);
+        let mut h1 = StableHasher::new();
+        fp_store(&mut h1, &s1);
+        let mut h2 = StableHasher::new();
+        fp_store(&mut h2, &s2);
+        assert_eq!(h1.finish(), h2.finish());
+
+        let x = ExtState::from_program(Store::from_pairs([("x", Value::Int(1))]));
+        let y = ExtState::from_program(Store::from_pairs([("x", Value::Int(2))]));
+        let ab: StateSet = [x.clone(), y.clone()].into_iter().collect();
+        let ba: StateSet = [y, x].into_iter().collect();
+        let mut h1 = StableHasher::new();
+        fp_state_set(&mut h1, &ab);
+        let mut h2 = StableHasher::new();
+        fp_state_set(&mut h2, &ba);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn exec_fingerprint_distinguishes_domain_and_fuel() {
+        let mut base = StableHasher::new();
+        fp_exec(&mut base, &ExecConfig::int_range(0, 2));
+        let mut wider = StableHasher::new();
+        fp_exec(&mut wider, &ExecConfig::int_range(0, 3));
+        let mut fueled = StableHasher::new();
+        fp_exec(&mut fueled, &ExecConfig::int_range(0, 2).fuel(7));
+        assert_ne!(base.finish(), wider.finish());
+        assert_ne!(base.finish(), fueled.finish());
+    }
+}

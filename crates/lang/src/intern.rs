@@ -129,21 +129,25 @@ impl fmt::Display for Symbol {
 /// a single global mutex would serialize them.
 const TERM_SHARDS: usize = 8;
 
+/// One shard: the id map plus the interned terms in allocation order.
+type TermShard<T> = Mutex<(HashMap<T, u32>, Vec<T>)>;
+
 /// A process-wide, sharded hash-consing table for one term type.
 ///
-/// Unlike the string interner, term tables only need id assignment (the
-/// term itself stays with the caller). Ids are allocated as
-/// `local_index * TERM_SHARDS + shard`, so they are unique across shards
-/// and stable per term.
+/// Ids are allocated as `local_index * TERM_SHARDS + shard`, so they are
+/// unique across shards and stable per term. Each shard also keeps the
+/// interned terms in allocation order, so an id resolves back to its term
+/// ([`TermTable::lookup`]) — the memo-table snapshot serializer needs the
+/// *exact* command behind a [`CmdId`], never a hash of it.
 struct TermTable<T> {
-    shards: Vec<Mutex<HashMap<T, u32>>>,
+    shards: Vec<TermShard<T>>,
 }
 
 impl<T: Clone + Eq + Hash> TermTable<T> {
     fn new() -> TermTable<T> {
         TermTable {
             shards: (0..TERM_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new((HashMap::new(), Vec::new())))
                 .collect(),
         }
     }
@@ -153,12 +157,21 @@ impl<T: Clone + Eq + Hash> TermTable<T> {
         term.hash(&mut h);
         let idx = (h.finish() as usize) % TERM_SHARDS;
         let mut shard = self.shards[idx].lock().expect("term table poisoned");
-        if let Some(&id) = shard.get(term) {
+        let (map, rev) = &mut *shard;
+        if let Some(&id) = map.get(term) {
             return id;
         }
-        let id = shard.len() as u32 * TERM_SHARDS as u32 + idx as u32;
-        shard.insert(term.clone(), id);
+        let id = rev.len() as u32 * TERM_SHARDS as u32 + idx as u32;
+        map.insert(term.clone(), id);
+        rev.push(term.clone());
         id
+    }
+
+    fn lookup(&self, id: u32) -> Option<T> {
+        let shard = (id as usize) % TERM_SHARDS;
+        let idx = (id as usize) / TERM_SHARDS;
+        let guard = self.shards[shard].lock().expect("term table poisoned");
+        guard.1.get(idx).cloned()
     }
 }
 
@@ -204,6 +217,14 @@ pub fn intern_cmd(cmd: &Cmd) -> CmdId {
 /// Interns an expression, returning its hash-consing id.
 pub fn intern_expr(expr: &Expr) -> ExprId {
     ExprId(expr_table().intern(expr))
+}
+
+/// Resolves a [`CmdId`] back to the command it was interned from.
+///
+/// Returns `None` only for ids that were never produced by [`intern_cmd`]
+/// in this process (ids are process-local and must not be persisted).
+pub(crate) fn cmd_of(id: CmdId) -> Option<Cmd> {
+    cmd_table().lookup(id.0)
 }
 
 impl From<&str> for Symbol {
@@ -268,6 +289,13 @@ mod tests {
         assert_ne!(intern_cmd(&a), intern_cmd(&c));
         // Shared subterms get their own (stable) ids.
         assert_eq!(intern_cmd(&Cmd::havoc("x")), intern_cmd(&Cmd::havoc("x")));
+    }
+
+    #[test]
+    fn cmd_ids_resolve_back_to_their_terms() {
+        let c = Cmd::seq(Cmd::havoc("q"), Cmd::Skip);
+        let id = intern_cmd(&c);
+        assert_eq!(cmd_of(id), Some(c));
     }
 
     #[test]

@@ -45,6 +45,7 @@
 mod cmd;
 mod exec;
 mod expr;
+pub mod fp;
 mod intern;
 pub mod memo;
 mod parser;
@@ -58,8 +59,9 @@ mod value;
 pub use cmd::Cmd;
 pub use exec::ExecConfig;
 pub use expr::{BinOp, Expr, UnOp};
+pub use fp::{fp_cmd, fp_expr, Fingerprint, StableHasher};
 pub use intern::{intern_cmd, intern_expr, CmdId, ExprId, Symbol};
-pub use memo::{CacheStats, SemCache};
+pub use memo::{CacheStats, MemoImportStats, MemoSnapshotStats, SemCache};
 pub use parser::{parse_cmd, parse_expr, ParseError};
 pub use state::{ExtState, Store};
 pub use stateset::StateSet;

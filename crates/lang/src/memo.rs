@@ -36,8 +36,11 @@ use std::sync::{Mutex, OnceLock};
 
 use crate::cmd::Cmd;
 use crate::exec::ExecConfig;
-use crate::intern::{intern_cmd, CmdId};
+use crate::intern::{cmd_of, intern_cmd, CmdId};
+use crate::parser::parse_cmd;
+use crate::state::{ExtState, Store};
 use crate::stateset::StateSet;
+use crate::value::Value;
 
 /// Number of independent lock shards. A power of two so the shard index is
 /// a mask of the key hash.
@@ -201,7 +204,18 @@ impl SemCache {
 /// than hashing) means two configurations can never alias a memo scope —
 /// the cache is soundness-bearing, so even a 2⁻⁶⁴ collision is not worth
 /// carrying.
-type Finitization = (Vec<crate::value::Value>, u32);
+type Finitization = (Vec<Value>, u32);
+
+/// Inverts the finitization-interning table (`(domain, fuel) → id` into
+/// `id → (domain, fuel)`), so snapshot export resolves every scope's
+/// *actual* finitization — never a process-local id — with one lock
+/// acquisition for the whole export instead of a scan per scope. The table
+/// holds one entry per distinct configuration seen this process, so the
+/// inversion is small.
+fn finitizations_by_id() -> HashMap<u64, Finitization> {
+    let table = exec_table().lock().expect("exec table poisoned");
+    table.iter().map(|(k, &v)| (v, k.clone())).collect()
+}
 
 fn exec_table() -> &'static Mutex<HashMap<Finitization, u64>> {
     static TABLE: OnceLock<Mutex<HashMap<Finitization, u64>>> = OnceLock::new();
@@ -270,6 +284,429 @@ impl ExecConfig {
         };
         cache.insert(scope, s.clone(), out.clone());
         out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistent snapshots
+// ---------------------------------------------------------------------------
+//
+// A snapshot is a line-oriented textual dump of a *subset* of the memo
+// table, written by the batch driver's persistent store so warm entries
+// survive process exit. The cache is soundness-bearing, so keys are
+// reconstructed **exactly** — every line carries the full finitization,
+// command source and both state sets, never a hash of them — and every
+// line ends in a checksum so disk corruption turns into a rejected line,
+// not a wrong semantics result. Command sources round-trip through
+// `Cmd::to_source` with an emit ∘ parse fixpoint check on both sides.
+
+/// Snapshot header line; bumping it invalidates old snapshots wholesale.
+const SNAPSHOT_HEADER: &str = "hhl-memo v1";
+
+/// Counters from one [`SemCache::export_snapshot`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoSnapshotStats {
+    /// Entries written to the snapshot.
+    pub exported: u64,
+    /// Entries dropped: beyond the entry cap, or not exactly serializable
+    /// (an unparseable variable name, an id the tables no longer resolve).
+    pub evicted: u64,
+}
+
+/// Counters from one [`SemCache::import_snapshot`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoImportStats {
+    /// Entries reconstructed and inserted.
+    pub loaded: u64,
+    /// Lines refused: bad header, failed checksum, malformed fields, or an
+    /// emit ∘ parse mismatch. Rejection is always safe — a rejected entry
+    /// is recomputed, never guessed.
+    pub rejected: u64,
+}
+
+const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a/64 line checksum (corruption detection, not cryptography).
+fn line_sum(body: &str) -> u64 {
+    let mut state = FNV64_OFFSET;
+    for &b in body.as_bytes() {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV64_PRIME);
+    }
+    state
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            let _ = fmt::Write::write_fmt(out, format_args!("{i}"));
+        }
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+    }
+}
+
+/// Serializes a store as `name=value;name=value` in *name* order (the
+/// store's own order follows process-local symbol ids). Returns `None` when
+/// a variable name would collide with the grammar's delimiters.
+fn write_store(out: &mut String, s: &Store) -> Option<()> {
+    let mut entries: Vec<(String, &Value)> = s.iter().map(|(k, v)| (k.as_str(), v)).collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    for (i, (name, value)) in entries.iter().enumerate() {
+        if name.is_empty()
+            || name
+                .chars()
+                .any(|c| "=;,|{}[]\t\n".contains(c) || c.is_whitespace())
+        {
+            return None;
+        }
+        if i > 0 {
+            out.push(';');
+        }
+        out.push_str(name);
+        out.push('=');
+        write_value(out, value);
+    }
+    Some(())
+}
+
+/// `{logical}{program}`.
+fn write_state(out: &mut String, phi: &ExtState) -> Option<()> {
+    out.push('{');
+    write_store(out, &phi.logical)?;
+    out.push('}');
+    out.push('{');
+    write_store(out, &phi.program)?;
+    out.push('}');
+    Some(())
+}
+
+/// States joined by `|`, in serialized-text order (canonical across
+/// processes; the set's own order follows process-local symbol ids).
+fn write_set(out: &mut String, s: &StateSet) -> Option<()> {
+    let mut rendered: Vec<String> = Vec::with_capacity(s.len());
+    for phi in s.iter() {
+        let mut one = String::new();
+        write_state(&mut one, phi)?;
+        rendered.push(one);
+    }
+    rendered.sort_unstable();
+    out.push_str(&rendered.join("|"));
+    Some(())
+}
+
+/// A cursor over a snapshot field.
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(src: &'a str) -> Scanner<'a> {
+        Scanner {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn take_while(&mut self, pred: impl Fn(u8) -> bool) -> &'a str {
+        let start = self.pos;
+        while self.pos < self.src.len() && pred(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("")
+    }
+
+    fn parse_value(&mut self) -> Option<Value> {
+        match self.peek()? {
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if !self.eat(b']') {
+                    loop {
+                        items.push(self.parse_value()?);
+                        if self.eat(b']') {
+                            break;
+                        }
+                        if !self.eat(b',') {
+                            return None;
+                        }
+                    }
+                }
+                Some(Value::List(items))
+            }
+            b't' | b'f' => {
+                let word = self.take_while(|b| b.is_ascii_alphabetic());
+                match word {
+                    "true" => Some(Value::Bool(true)),
+                    "false" => Some(Value::Bool(false)),
+                    _ => None,
+                }
+            }
+            _ => {
+                let start = self.pos;
+                self.eat(b'-');
+                let digits = self.take_while(|b| b.is_ascii_digit());
+                if digits.is_empty() {
+                    return None;
+                }
+                std::str::from_utf8(&self.src[start..self.pos])
+                    .ok()?
+                    .parse()
+                    .ok()
+                    .map(Value::Int)
+            }
+        }
+    }
+
+    fn parse_store(&mut self) -> Option<Store> {
+        let mut store = Store::new();
+        if self.peek() == Some(b'}') {
+            return Some(store);
+        }
+        loop {
+            let name = self.take_while(|b| b != b'=' && b != b'}');
+            if name.is_empty() || !self.eat(b'=') {
+                return None;
+            }
+            let value = self.parse_value()?;
+            store.set(name, value);
+            if self.peek() == Some(b'}') {
+                return Some(store);
+            }
+            if !self.eat(b';') {
+                return None;
+            }
+        }
+    }
+
+    fn parse_state(&mut self) -> Option<ExtState> {
+        if !self.eat(b'{') {
+            return None;
+        }
+        let logical = self.parse_store()?;
+        if !self.eat(b'}') || !self.eat(b'{') {
+            return None;
+        }
+        let program = self.parse_store()?;
+        if !self.eat(b'}') {
+            return None;
+        }
+        Some(ExtState { logical, program })
+    }
+}
+
+fn parse_set(field: &str) -> Option<StateSet> {
+    let mut set = StateSet::new();
+    if field.is_empty() {
+        return Some(set);
+    }
+    for part in field.split('|') {
+        let mut sc = Scanner::new(part);
+        let phi = sc.parse_state()?;
+        if !sc.done() {
+            return None;
+        }
+        set.insert(phi);
+    }
+    Some(set)
+}
+
+fn parse_domain(field: &str) -> Option<Vec<Value>> {
+    let mut sc = Scanner::new(field);
+    let mut out = Vec::new();
+    if sc.done() {
+        return Some(out);
+    }
+    loop {
+        out.push(sc.parse_value()?);
+        if sc.done() {
+            return Some(out);
+        }
+        if !sc.eat(b',') {
+            return None;
+        }
+    }
+}
+
+fn write_domain(out: &mut String, domain: &[Value]) {
+    for (i, v) in domain.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_value(out, v);
+    }
+}
+
+impl SemCache {
+    /// Serializes up to `max_entries` memo entries as a textual snapshot.
+    ///
+    /// Every entry carries its **exact** key — the finitization, the
+    /// command's canonical source ([`Cmd::to_source`], verified to re-parse
+    /// to the identical tree before export), and the input set — plus the
+    /// cached result and a per-line checksum. Entries that cannot be
+    /// serialized exactly, and entries beyond the cap (lines are sorted
+    /// first, so the retained subset is deterministic), are counted as
+    /// `evicted`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hhl_lang::{parse_cmd, ExecConfig, ExtState, SemCache, StateSet, Store, Value};
+    /// let cache = SemCache::new();
+    /// let cfg = ExecConfig::int_range(0, 1);
+    /// let c = parse_cmd("x := x + 1").unwrap();
+    /// let s = StateSet::singleton(ExtState::from_program(
+    ///     Store::from_pairs([("x", Value::Int(1))]),
+    /// ));
+    /// cfg.sem_memo(&c, &s, &cache);
+    /// let (snapshot, stats) = cache.export_snapshot(1024);
+    /// assert_eq!(stats.exported, 1);
+    ///
+    /// let warm = SemCache::new();
+    /// assert_eq!(warm.import_snapshot(&snapshot).loaded, 1);
+    /// assert_eq!(cfg.sem_memo(&c, &s, &warm), cfg.sem(&c, &s));
+    /// assert_eq!(warm.stats().hits, 1); // answered from the snapshot
+    /// ```
+    pub fn export_snapshot(&self, max_entries: usize) -> (String, MemoSnapshotStats) {
+        let mut stats = MemoSnapshotStats::default();
+        let mut lines: Vec<String> = Vec::new();
+        let finitizations = finitizations_by_id();
+        for shard in &self.shards {
+            let guard = shard.lock().expect("memo shard poisoned");
+            for (&(exec_id, cmd_id), by_set) in guard.iter() {
+                let scope = finitizations.get(&exec_id).and_then(|(domain, fuel)| {
+                    let cmd = cmd_of(cmd_id)?;
+                    let src = cmd.to_source();
+                    // Exactness gate: only export commands whose canonical
+                    // source re-parses to the identical tree.
+                    (parse_cmd(&src).ok()? == cmd).then_some((domain.clone(), *fuel, src))
+                });
+                let Some((domain, fuel, src)) = scope else {
+                    stats.evicted += by_set.len() as u64;
+                    continue;
+                };
+                let mut prefix = String::from("E\t");
+                write_domain(&mut prefix, &domain);
+                let _ = fmt::Write::write_fmt(&mut prefix, format_args!("\t{fuel}\t{src}\t"));
+                for (input, output) in by_set.iter() {
+                    let mut body = prefix.clone();
+                    let ok = write_set(&mut body, input).and_then(|()| {
+                        body.push('\t');
+                        write_set(&mut body, output)
+                    });
+                    if ok.is_none() {
+                        stats.evicted += 1;
+                        continue;
+                    }
+                    let sum = line_sum(&body);
+                    let _ = fmt::Write::write_fmt(&mut body, format_args!("\t{sum:016x}"));
+                    lines.push(body);
+                }
+            }
+        }
+        lines.sort_unstable();
+        if lines.len() > max_entries {
+            stats.evicted += (lines.len() - max_entries) as u64;
+            lines.truncate(max_entries);
+        }
+        stats.exported = lines.len() as u64;
+        let mut out = String::from(SNAPSHOT_HEADER);
+        out.push('\n');
+        for line in &lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        (out, stats)
+    }
+
+    /// Loads entries from a snapshot produced by
+    /// [`SemCache::export_snapshot`].
+    ///
+    /// Each line's checksum is verified and its key is reconstructed
+    /// exactly (the command source must re-emit to the same text it was
+    /// parsed from). Any line that fails any of these checks — truncation,
+    /// bit flips, a foreign or future format — is counted as `rejected` and
+    /// skipped: corruption can cost recomputation, never correctness.
+    pub fn import_snapshot(&self, snapshot: &str) -> MemoImportStats {
+        let mut stats = MemoImportStats::default();
+        let mut lines = snapshot.lines();
+        if lines.next() != Some(SNAPSHOT_HEADER) {
+            stats.rejected = snapshot.lines().filter(|l| !l.is_empty()).count() as u64;
+            return stats;
+        }
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if self.import_line(line).is_none() {
+                stats.rejected += 1;
+            } else {
+                stats.loaded += 1;
+            }
+        }
+        stats
+    }
+
+    fn import_line(&self, line: &str) -> Option<()> {
+        let (body, sum_hex) = line.rsplit_once('\t')?;
+        let sum = u64::from_str_radix(sum_hex, 16).ok()?;
+        if sum != line_sum(body) || sum_hex.len() != 16 {
+            return None;
+        }
+        let mut fields = body.split('\t');
+        if fields.next() != Some("E") {
+            return None;
+        }
+        let domain = parse_domain(fields.next()?)?;
+        let fuel: u32 = fields.next()?.parse().ok()?;
+        let src = fields.next()?;
+        let input = parse_set(fields.next()?)?;
+        let output = parse_set(fields.next()?)?;
+        if fields.next().is_some() {
+            return None;
+        }
+        let cmd = parse_cmd(src).ok()?;
+        // Emit ∘ parse fixpoint: the reconstructed command must serialize
+        // back to exactly the text on disk, so a printer/parser mismatch
+        // can never smuggle a result under the wrong key.
+        if cmd.to_source() != src {
+            return None;
+        }
+        let exec = ExecConfig {
+            havoc_domain: domain,
+            loop_fuel: fuel,
+        };
+        let scope: Scope = (exec.fingerprint(), intern_cmd(&cmd));
+        self.insert(scope, input, output);
+        Some(())
     }
 }
 
@@ -375,6 +812,101 @@ mod tests {
 
     fn cfg_len(cfg: &ExecConfig, cmd: &Cmd, s: &StateSet, cache: &SemCache) -> usize {
         cfg.sem_memo(cmd, s, cache).len()
+    }
+
+    #[test]
+    fn snapshot_roundtrips_exactly() {
+        // Export from a populated cache, import into a fresh one, and the
+        // warm cache must answer the same evaluations without recomputing.
+        let cache = SemCache::new();
+        let cfg = ExecConfig::int_range(0, 2).fuel(6);
+        let programs = [
+            "x := x + 1; x := x * 2",
+            "if (x > 0) { x := 1 } else { x := 0 }",
+            "while (x < 2) { x := x + 1 }",
+            "{ x := x + 1 } + { x := nonDet() }",
+        ];
+        for src in programs {
+            let cmd = parse_cmd(src).unwrap();
+            for s in [set(&[]), set(&[0, 1]), set(&[0, 1, 2])] {
+                cfg.sem_memo(&cmd, &s, &cache);
+            }
+        }
+        let (snapshot, stats) = cache.export_snapshot(usize::MAX);
+        assert!(stats.exported > 0, "{stats:?}");
+        assert_eq!(stats.evicted, 0, "{stats:?}");
+
+        let warm = SemCache::new();
+        let imported = warm.import_snapshot(&snapshot);
+        assert_eq!(imported.loaded, stats.exported, "{imported:?}");
+        assert_eq!(imported.rejected, 0, "{imported:?}");
+
+        // Every top-level evaluation is now a pure replay: results agree
+        // with `sem` and the warm cache never misses on the roots.
+        for src in programs {
+            let cmd = parse_cmd(src).unwrap();
+            for s in [set(&[]), set(&[0, 1]), set(&[0, 1, 2])] {
+                assert_eq!(cfg.sem_memo(&cmd, &s, &warm), cfg.sem(&cmd, &s), "{src}");
+            }
+        }
+        // Re-exporting the warm cache reproduces the same snapshot (the
+        // serialized form is canonical).
+        let (again, _) = warm.export_snapshot(usize::MAX);
+        assert_eq!(snapshot, again);
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption_without_panicking() {
+        let cache = SemCache::new();
+        let cfg = ExecConfig::int_range(0, 1);
+        let cmd = parse_cmd("x := x + 1; x := x - 1").unwrap();
+        cfg.sem_memo(&cmd, &set(&[0, 1]), &cache);
+        let (snapshot, stats) = cache.export_snapshot(usize::MAX);
+        let entry_lines = stats.exported;
+
+        // Wrong header: everything rejected.
+        let foreign = snapshot.replacen("hhl-memo v1", "hhl-memo v999", 1);
+        let warm = SemCache::new();
+        let imported = warm.import_snapshot(&foreign);
+        assert_eq!(imported.loaded, 0);
+        assert!(imported.rejected >= entry_lines);
+        assert_eq!(warm.stats().entries, 0);
+
+        // Bit flip in an entry body (inside the command source): that
+        // line's checksum fails and the entry is rejected, not mis-keyed.
+        let mut bytes = snapshot.clone().into_bytes();
+        let target = snapshot.find("x - 1").expect("command source is on disk");
+        bytes[target] ^= 0x01; // 'x' -> 'y'
+        let flipped = String::from_utf8(bytes).expect("still utf-8");
+        let warm = SemCache::new();
+        let imported = warm.import_snapshot(&flipped);
+        assert!(imported.rejected >= 1, "{imported:?}");
+
+        // Truncation mid-line: the torn line is rejected, the rest loads.
+        let truncated = &snapshot[..snapshot.len() - 10];
+        let warm = SemCache::new();
+        let imported = warm.import_snapshot(truncated);
+        assert_eq!(imported.loaded + imported.rejected, entry_lines);
+        assert!(imported.rejected >= 1, "{imported:?}");
+    }
+
+    #[test]
+    fn snapshot_entry_cap_evicts_deterministically() {
+        let cache = SemCache::new();
+        let cfg = ExecConfig::int_range(0, 1);
+        for i in 0..6 {
+            let cmd = parse_cmd(&format!("x := x + {i}")).unwrap();
+            cfg.sem_memo(&cmd, &set(&[0]), &cache);
+        }
+        let (full, full_stats) = cache.export_snapshot(usize::MAX);
+        assert_eq!(full_stats.exported, 6);
+        let (capped, capped_stats) = cache.export_snapshot(4);
+        assert_eq!(capped_stats.exported, 4);
+        assert_eq!(capped_stats.evicted, 2);
+        // The capped snapshot is a prefix of the (sorted) full one.
+        let full_lines: Vec<&str> = full.lines().collect();
+        let capped_lines: Vec<&str> = capped.lines().collect();
+        assert_eq!(&full_lines[..5], &capped_lines[..]);
     }
 
     #[test]

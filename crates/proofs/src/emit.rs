@@ -171,6 +171,10 @@ pub fn ascii_assertion(a: &Assertion) -> Result<String, EmitError> {
 /// Prints a command in the surface syntax of [`hhl_lang::parse_cmd`],
 /// bracing nested sequences/choices so the parse re-associates identically.
 ///
+/// Delegates to [`Cmd::to_source`] — the canonical emitter the memo-table
+/// snapshots use for exact key reconstruction — so the `.hhlp` format and
+/// the persistent caches agree on one textual form.
+///
 /// # Examples
 ///
 /// ```
@@ -180,69 +184,7 @@ pub fn ascii_assertion(a: &Assertion) -> Result<String, EmitError> {
 /// assert_eq!(parse_cmd(&ascii_cmd(&c)).unwrap(), c);
 /// ```
 pub fn ascii_cmd(c: &Cmd) -> String {
-    let mut out = String::new();
-    cmd_seq(c, &mut out);
-    out
-}
-
-/// Prints `c` as a `;`-joined statement sequence (the right spine flattens;
-/// a left-nested `Seq` is braced to preserve its association).
-fn cmd_seq(c: &Cmd, out: &mut String) {
-    let mut cur = c;
-    loop {
-        match cur {
-            Cmd::Seq(l, r) => {
-                cmd_stmt(l, out);
-                out.push_str("; ");
-                cur = r;
-            }
-            last => {
-                cmd_stmt(last, out);
-                return;
-            }
-        }
-    }
-}
-
-/// Prints one statement (bracing sequences, rendering choice chains and
-/// iteration blocks).
-fn cmd_stmt(c: &Cmd, out: &mut String) {
-    match c {
-        Cmd::Skip => out.push_str("skip"),
-        Cmd::Assign(x, e) => {
-            let _ = write!(out, "{x} := {e}");
-        }
-        Cmd::Havoc(x) => {
-            let _ = write!(out, "{x} := nonDet()");
-        }
-        Cmd::Assume(b) => {
-            let _ = write!(out, "assume {b}");
-        }
-        Cmd::Seq(_, _) => {
-            out.push_str("{ ");
-            cmd_seq(c, out);
-            out.push_str(" }");
-        }
-        Cmd::Choice(l, r) => {
-            // The parser chains `+` left-associatively: flatten the left
-            // spine, brace each arm.
-            if matches!(**l, Cmd::Choice(_, _)) {
-                cmd_stmt(l, out);
-            } else {
-                out.push_str("{ ");
-                cmd_seq(l, out);
-                out.push_str(" }");
-            }
-            out.push_str(" + { ");
-            cmd_seq(r, out);
-            out.push_str(" }");
-        }
-        Cmd::Star(body) => {
-            out.push_str("{ ");
-            cmd_seq(body, out);
-            out.push_str(" }*");
-        }
-    }
+    c.to_source()
 }
 
 struct Emitter {

@@ -1,0 +1,240 @@
+//! Property tests for the stable fingerprints behind the persistent
+//! verdict store.
+//!
+//! Two families of properties, both seeded over the corpus generator's
+//! spec families (the exact population the store fingerprints in CI):
+//!
+//! * **stability** — fingerprints survive a parse → emit → re-parse round
+//!   trip: canonical re-emission of the program (`Cmd::to_source`), the
+//!   assertions (`Display`), and whitespace/comment perturbations of the
+//!   whole spec all land on the identical fingerprint;
+//! * **sensitivity** — any single mutated literal, operator or assertion
+//!   moves the fingerprint: a cached verdict can never be replayed for a
+//!   semantically edited spec.
+
+mod common;
+
+use hyper_hoare::lang::rng::Rng;
+use hyper_hoare::lang::{fp_cmd, parse_cmd, Cmd, Expr};
+use hyper_hoare::proofs::ascii_assertion;
+
+use hhl_bench::corpus::{self, CorpusEntry};
+use hhl_cli::{parse_spec, spec_fingerprint};
+
+fn corpus_entries() -> Vec<CorpusEntry> {
+    corpus::generate(corpus::DEFAULT_SEED)
+        .into_iter()
+        .filter(|e| !e.name.contains("heavy_loop"))
+        .collect()
+}
+
+fn random_cmd(rng: &mut Rng, depth: u32) -> Cmd {
+    let leaf = depth == 0;
+    match rng.gen_below(if leaf { 4 } else { 8 }) {
+        0 => Cmd::Skip,
+        1 => Cmd::assign("x", Expr::var("x") + Expr::int(rng.gen_below(5) as i64 - 2)),
+        2 => Cmd::havoc("y"),
+        3 => Cmd::assume(Expr::var("x").le(Expr::int(rng.gen_below(5) as i64 - 2))),
+        4 => Cmd::seq(random_cmd(rng, depth - 1), random_cmd(rng, depth - 1)),
+        // Left-nested sequences exercise the nesting-preserving emitter.
+        5 => Cmd::seq(
+            Cmd::seq(random_cmd(rng, depth - 1), random_cmd(rng, depth - 1)),
+            Cmd::Skip,
+        ),
+        6 => Cmd::choice(random_cmd(rng, depth - 1), random_cmd(rng, depth - 1)),
+        _ => Cmd::star(random_cmd(rng, depth - 1)),
+    }
+}
+
+#[test]
+fn random_programs_roundtrip_through_to_source_with_stable_fingerprints() {
+    common::run_cases(200, 0xF1A7, |rng, i| {
+        let cmd = random_cmd(rng, 3);
+        let src = cmd.to_source();
+        let reparsed = parse_cmd(&src)
+            .unwrap_or_else(|e| panic!("case {i}: canonical source must re-parse: {e}\n{src}"));
+        assert_eq!(
+            reparsed, cmd,
+            "case {i}: emit ∘ parse must be identity\n{src}"
+        );
+        assert_eq!(fp_cmd(&reparsed), fp_cmd(&cmd), "case {i}");
+        // Emit is a fixed point on parser-originated trees.
+        assert_eq!(reparsed.to_source(), src, "case {i}");
+    });
+}
+
+#[test]
+fn corpus_spec_fingerprints_survive_reemission() {
+    // parse → emit (program via to_source, assertions via Display) →
+    // re-parse: the rebuilt spec fingerprints identically to the original.
+    for entry in corpus_entries().iter().step_by(3) {
+        let spec = parse_spec(&entry.spec).expect("corpus specs parse");
+        let original = spec_fingerprint(&spec, entry.certificate.as_deref());
+
+        let mut reemitted = String::new();
+        for line in entry.spec.lines() {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with('#') || trimmed.is_empty() {
+                continue; // comments must not matter
+            }
+            if trimmed.starts_with("pre:") {
+                let pre = ascii_assertion(&spec.pre).expect("corpus assertions emit");
+                reemitted.push_str(&format!("pre: {pre}\n"));
+            } else if trimmed.starts_with("post:") {
+                let post = ascii_assertion(&spec.post).expect("corpus assertions emit");
+                reemitted.push_str(&format!("post: {post}\n"));
+            } else if trimmed.starts_with("program:") {
+                reemitted.push_str(&format!("program:\n{}\n", spec.cmd.to_source()));
+                break; // program is the final section
+            } else {
+                reemitted.push_str(trimmed);
+                reemitted.push('\n');
+            }
+        }
+        let respec = parse_spec(&reemitted)
+            .unwrap_or_else(|e| panic!("{}: re-emission must parse: {e}\n{reemitted}", entry.name));
+        assert_eq!(
+            spec_fingerprint(&respec, entry.certificate.as_deref()),
+            original,
+            "{}: parse → emit → re-parse moved the fingerprint\n{reemitted}",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn whitespace_and_comment_perturbations_never_move_corpus_fingerprints() {
+    let entries = corpus_entries();
+    common::run_cases(60, 0x5EED, |rng, i| {
+        let entry = &entries[(rng.gen_below(entries.len() as u64)) as usize];
+        let spec = parse_spec(&entry.spec).expect("corpus specs parse");
+        let original = spec_fingerprint(&spec, None);
+        // Random cosmetic churn: injected comment/blank lines in the
+        // header (`#`), `//` comments in the program body.
+        let mut noisy = String::new();
+        let mut in_program = false;
+        for line in entry.spec.lines() {
+            if !in_program {
+                if rng.gen_below(3) == 0 {
+                    noisy.push_str("# cosmetic churn\n");
+                }
+                if rng.gen_below(4) == 0 {
+                    noisy.push('\n');
+                }
+            } else if rng.gen_below(3) == 0 {
+                noisy.push_str("// cosmetic churn\n");
+            }
+            in_program = in_program || line.trim_start().starts_with("program:");
+            noisy.push_str(line);
+            noisy.push('\n');
+        }
+        let respec = parse_spec(&noisy)
+            .unwrap_or_else(|e| panic!("case {i}: noisy spec must parse: {e}\n{noisy}"));
+        assert_eq!(
+            spec_fingerprint(&respec, None),
+            original,
+            "case {i} ({}): cosmetic churn moved the fingerprint",
+            entry.name
+        );
+    });
+}
+
+/// Bumps the first integer literal strictly after `program:`.
+fn mutate_program_literal(src: &str) -> Option<String> {
+    let at = src.find("program:")?;
+    let (head, tail) = src.split_at(at);
+    let digit_at = tail.find(|c: char| c.is_ascii_digit())?;
+    let digit = tail.as_bytes()[digit_at] as char;
+    let replacement = if digit == '9' {
+        '3'
+    } else {
+        (digit as u8 + 1) as char
+    };
+    let mut mutated = tail.to_owned();
+    mutated.replace_range(digit_at..digit_at + 1, &replacement.to_string());
+    Some(format!("{head}{mutated}"))
+}
+
+/// Swaps one binary operator in the program for a different one.
+fn mutate_program_operator(src: &str) -> Option<String> {
+    let at = src.find("program:")?;
+    let (head, tail) = src.split_at(at);
+    for (from, to) in [
+        (" + ", " - "),
+        (" - ", " * "),
+        (" * ", " + "),
+        (" < ", " <= "),
+        (" := l", " := h"),
+    ] {
+        if tail.contains(from) {
+            return Some(format!("{head}{}", tail.replacen(from, to, 1)));
+        }
+    }
+    None
+}
+
+/// Tweaks the postcondition (a literal if it has one, else a wrapper that
+/// changes meaning).
+fn mutate_assertion(src: &str) -> Option<String> {
+    let line = src.lines().find(|l| l.trim_start().starts_with("post:"))?;
+    let post = line.trim_start().strip_prefix("post:")?.trim();
+    let mutated = match post.find(|c: char| c.is_ascii_digit()) {
+        Some(i) => {
+            let digit = post.as_bytes()[i] as char;
+            let replacement = if digit == '9' {
+                '4'
+            } else {
+                (digit as u8 + 1) as char
+            };
+            let mut p = post.to_owned();
+            p.replace_range(i..i + 1, &replacement.to_string());
+            p
+        }
+        None => format!("¬({post})"),
+    };
+    Some(src.replacen(line, &format!("post: {mutated}"), 1))
+}
+
+/// A named single-site mutation over spec source text.
+type Mutator = (&'static str, fn(&str) -> Option<String>);
+
+#[test]
+fn single_mutations_always_move_corpus_fingerprints() {
+    let entries = corpus_entries();
+    let mutators: [Mutator; 3] = [
+        ("literal", mutate_program_literal),
+        ("operator", mutate_program_operator),
+        ("assertion", mutate_assertion),
+    ];
+    let mut applied = [0usize; 3];
+    for entry in &entries {
+        let spec = parse_spec(&entry.spec).expect("corpus specs parse");
+        let original = spec_fingerprint(&spec, None);
+        for (slot, (what, mutate)) in mutators.iter().enumerate() {
+            let Some(mutated_src) = mutate(&entry.spec) else {
+                continue;
+            };
+            let Ok(mutated) = parse_spec(&mutated_src) else {
+                // A mutation may break parsing (e.g. an operator swap
+                // inside a keyword-free line); unparseable files can never
+                // reach the store, so they are outside this property.
+                continue;
+            };
+            applied[slot] += 1;
+            assert_ne!(
+                spec_fingerprint(&mutated, None),
+                original,
+                "{} ({what}): a single mutation must move the fingerprint\n{mutated_src}",
+                entry.name
+            );
+        }
+    }
+    // The property must have had real coverage in every mutation class.
+    for (slot, (what, _)) in mutators.iter().enumerate() {
+        assert!(
+            applied[slot] >= 20,
+            "{what} mutations only applied {} times",
+            applied[slot]
+        );
+    }
+}
