@@ -18,7 +18,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use hhl_lang::{BinOp, ExtState, Symbol};
 
@@ -29,18 +29,22 @@ use crate::hexpr::HExpr;
 ///
 /// Equality is by pointer (families are opaque functions); evaluation bounds
 /// the index by the family's `bound`.
+///
+/// Backed by an `Arc` over a `Send + Sync` closure so assertions (and the
+/// proof obligations carrying them) can cross threads — the batch driver
+/// fans independently checkable obligations across a worker pool.
 #[derive(Clone)]
 pub struct Family {
-    f: Rc<dyn Fn(u32) -> Assertion>,
+    f: Arc<dyn Fn(u32) -> Assertion + Send + Sync>,
     /// Highest index considered during bounded evaluation of `⨂ₙ Iₙ`.
     pub bound: u32,
 }
 
 impl Family {
     /// Creates a family from a closure, evaluated up to `bound` (inclusive).
-    pub fn new<F: Fn(u32) -> Assertion + 'static>(bound: u32, f: F) -> Family {
+    pub fn new<F: Fn(u32) -> Assertion + Send + Sync + 'static>(bound: u32, f: F) -> Family {
         Family {
-            f: Rc::new(f),
+            f: Arc::new(f),
             bound,
         }
     }
@@ -59,7 +63,7 @@ impl fmt::Debug for Family {
 
 impl PartialEq for Family {
     fn eq(&self, other: &Family) -> bool {
-        Rc::ptr_eq(&self.f, &other.f) && self.bound == other.bound
+        Arc::ptr_eq(&self.f, &other.f) && self.bound == other.bound
     }
 }
 

@@ -1,0 +1,184 @@
+//! Stable, structural fingerprints of hyper-assertions.
+//!
+//! The obligation-level cache of the sharded certificate checker keys
+//! cached discharges by a fingerprint of everything that can influence the
+//! discharge result. Assertions cannot be hashed through their `Display`
+//! text alone: `⨂ₙ Iₙ` renders as `⨂ₙ≤bound Iₙ` *without its members*, so
+//! two semantically different families would alias. [`fp_assertion`]
+//! recurses structurally instead, folding every [`Family`] member the
+//! bounded evaluator can observe — indices `0 ..= bound + family_slack`
+//! (see [`EvalConfig::family_slack`](crate::EvalConfig)) — into the hash.
+//!
+//! Hyper-expressions ([`HExpr`]) and concrete stores hash through their
+//! canonical forms: `HExpr`'s `Display` is the same re-parseable text the
+//! certificate format round-trips, and extended states go through
+//! [`hhl_lang::fp::fp_ext_state`] (name-ordered, process-independent).
+
+use hhl_lang::{fp, StableHasher};
+
+use crate::assertion::Assertion;
+
+/// Hashes an assertion structurally into `h`.
+///
+/// `family_slack` must be the evaluator's [`crate::EvalConfig::family_slack`]
+/// so every family index a bounded evaluation can touch is covered — a
+/// cached discharge may only be reused when *no observable member* changed.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_assert::{fp_assertion, Assertion, Family};
+/// use hhl_lang::StableHasher;
+///
+/// let fp = |a: &Assertion| {
+///     let mut h = StableHasher::new();
+///     fp_assertion(&mut h, a, 2);
+///     h.finish()
+/// };
+/// let tt = Family::new(1, |_| Assertion::tt());
+/// let ff = Family::new(1, |_| Assertion::ff());
+/// // Display renders both as "⨂ₙ≤1 Iₙ"; the fingerprint sees the members.
+/// assert_ne!(
+///     fp(&Assertion::big_otimes(tt)),
+///     fp(&Assertion::big_otimes(ff)),
+/// );
+/// ```
+pub fn fp_assertion(h: &mut StableHasher, a: &Assertion, family_slack: u32) {
+    match a {
+        Assertion::Atom(e) => {
+            h.write_u8(0);
+            h.write_str(&e.to_string());
+        }
+        Assertion::Not(inner) => {
+            h.write_u8(1);
+            fp_assertion(h, inner, family_slack);
+        }
+        Assertion::And(l, r) => {
+            h.write_u8(2);
+            fp_assertion(h, l, family_slack);
+            fp_assertion(h, r, family_slack);
+        }
+        Assertion::Or(l, r) => {
+            h.write_u8(3);
+            fp_assertion(h, l, family_slack);
+            fp_assertion(h, r, family_slack);
+        }
+        Assertion::ForallVal(y, body) => {
+            h.write_u8(4);
+            h.write_str(&y.as_str());
+            fp_assertion(h, body, family_slack);
+        }
+        Assertion::ExistsVal(y, body) => {
+            h.write_u8(5);
+            h.write_str(&y.as_str());
+            fp_assertion(h, body, family_slack);
+        }
+        Assertion::ForallState(p, body) => {
+            h.write_u8(6);
+            h.write_str(&p.as_str());
+            fp_assertion(h, body, family_slack);
+        }
+        Assertion::ExistsState(p, body) => {
+            h.write_u8(7);
+            h.write_str(&p.as_str());
+            fp_assertion(h, body, family_slack);
+        }
+        Assertion::Otimes(l, r) => {
+            h.write_u8(8);
+            fp_assertion(h, l, family_slack);
+            fp_assertion(h, r, family_slack);
+        }
+        Assertion::BigOtimes(fam) => {
+            h.write_u8(9);
+            h.write_u32(fam.bound);
+            h.write_u32(family_slack);
+            for n in 0..=fam.bound.saturating_add(family_slack) {
+                fp_assertion(h, &fam.at(n), family_slack);
+            }
+        }
+        Assertion::Card {
+            state,
+            proj,
+            op,
+            bound,
+        } => {
+            h.write_u8(10);
+            h.write_str(&state.as_str());
+            h.write_str(&proj.to_string());
+            h.write_str(op.token());
+            h.write_str(&bound.to_string());
+        }
+        Assertion::StateEq(a1, a2) => {
+            h.write_u8(11);
+            h.write_str(&a1.as_str());
+            h.write_str(&a2.as_str());
+        }
+        Assertion::HasState(st) => {
+            h.write_u8(12);
+            fp::fp_ext_state(h, st);
+        }
+        Assertion::IsState(p, st) => {
+            h.write_u8(13);
+            h.write_str(&p.as_str());
+            fp::fp_ext_state(h, st);
+        }
+        Assertion::UnionOf(inner) => {
+            h.write_u8(14);
+            fp_assertion(h, inner, family_slack);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assertion::Family;
+    use crate::parser::parse_assertion;
+    use hhl_lang::Fingerprint;
+
+    fn fp(a: &Assertion) -> Fingerprint {
+        let mut h = StableHasher::new();
+        fp_assertion(&mut h, a, 2);
+        h.finish()
+    }
+
+    #[test]
+    fn parsed_assertions_fingerprint_canonically() {
+        let a = parse_assertion("low(l) && (forall <p>. p(x) > 0)").unwrap();
+        let b = parse_assertion("low(l)  &&  (forall <p>. p(x) > 0)").unwrap();
+        let c = parse_assertion("low(l) && (forall <p>. p(x) > 1)").unwrap();
+        assert_eq!(fp(&a), fp(&b));
+        assert_ne!(fp(&a), fp(&c));
+    }
+
+    #[test]
+    fn family_members_reach_the_hash() {
+        let constant = |a: Assertion| move |_: u32| a.clone();
+        let tt = Assertion::big_otimes(Family::new(3, constant(Assertion::tt())));
+        let ff = Assertion::big_otimes(Family::new(3, constant(Assertion::ff())));
+        let wider = Assertion::big_otimes(Family::new(4, constant(Assertion::tt())));
+        assert_ne!(fp(&tt), fp(&ff), "members must distinguish families");
+        assert_ne!(fp(&tt), fp(&wider), "bounds must distinguish families");
+        // A member only observable past the bound (within slack) counts too.
+        let tail = Assertion::big_otimes(Family::new(3, |n| {
+            if n > 4 {
+                Assertion::ff()
+            } else {
+                Assertion::tt()
+            }
+        }));
+        assert_ne!(fp(&tt), fp(&tail));
+    }
+
+    #[test]
+    fn quantifier_binders_and_structure_are_framed() {
+        let a = Assertion::forall_val("y", Assertion::tt());
+        let b = Assertion::exists_val("y", Assertion::tt());
+        let c = Assertion::forall_val("z", Assertion::tt());
+        assert_ne!(fp(&a), fp(&b));
+        assert_ne!(fp(&a), fp(&c));
+        let and = Assertion::tt().and(Assertion::ff());
+        let or = Assertion::tt().or(Assertion::ff());
+        assert_ne!(fp(&and), fp(&or));
+    }
+}

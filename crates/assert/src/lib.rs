@@ -35,6 +35,7 @@
 mod assertion;
 mod entail;
 mod eval;
+mod fp;
 mod hexpr;
 mod parser;
 mod simplify;
@@ -47,6 +48,7 @@ pub use entail::{
     EntailConfig, Universe,
 };
 pub use eval::{eval_assertion, eval_in_env, value_domain, Env, EvalConfig};
+pub use fp::fp_assertion;
 pub use hexpr::HExpr;
 pub use parser::{parse_assertion, AssertParseError};
 pub use simplify::{fold_hexpr, simplify};

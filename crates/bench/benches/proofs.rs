@@ -1,6 +1,8 @@
 //! Certificate-pipeline throughput: `.hhlp` parse, elaborate (parse +
 //! resolve + embedded-assertion parsing) and proof-check, over WP chains of
-//! growing length.
+//! growing length, plus whole-vs-sharded replay of the largest example
+//! certificate (the `proofs/shard_jobs4` series; its speedup over
+//! `proofs/replay_whole` is recorded in the baseline's `meta` block).
 //!
 //! The measurement itself lives in [`hhl_bench::suites::proofs`], shared
 //! with the `hhl-bench compare` regression gate (which re-runs it in fast
@@ -17,6 +19,7 @@ fn main() {
     for (name, ns) in &results {
         println!("bench {name:<44} median {ns:>10} ns/iter");
     }
-    let json = suites::render_json("proofs", "ns/iter (median)", &results, &[]);
+    let meta = suites::shard_speedup_meta(&results);
+    let json = suites::render_json("proofs", "ns/iter (median)", &results, &meta);
     suites::write_baseline("BENCH_proofs.json", &json);
 }

@@ -15,10 +15,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hhl_assert::{Assertion, Universe};
-use hhl_cli::{parse_spec, run_replay, run_spec, Spec};
+use hhl_cli::{parse_spec, run_replay, run_replay_sharded, run_spec, Spec};
 use hhl_core::proof::{check, wp_derivation, ProofContext};
 use hhl_core::ValidityConfig;
 use hhl_driver::pool::run_ordered;
+use hhl_driver::ShardCounters;
 use hhl_lang::{Cmd, Expr, SemCache};
 use hhl_proofs::{compile_script, emit_script, parse_script};
 
@@ -55,7 +56,9 @@ fn chain_certificate(k: usize) -> String {
 }
 
 /// The certificate-pipeline suite: `.hhlp` parse, elaborate and check over
-/// WP chains of growing length (series `proofs/<stage>/<k>`).
+/// WP chains of growing length (series `proofs/<stage>/<k>`), plus
+/// whole-vs-sharded replay of the largest example certificate (series
+/// `proofs/replay_whole`, `proofs/shard_jobs1`, `proofs/shard_jobs4`).
 pub fn proofs(fast: bool) -> Vec<(String, u128)> {
     // Fast mode cuts samples, NOT the per-sample calibration budget: a
     // smaller budget changes how timer overhead amortizes and would bias
@@ -85,7 +88,72 @@ pub fn proofs(fast: bool) -> Vec<(String, u128)> {
             results.push((format!("proofs/{stage}/{k}"), ns));
         }
     }
+    results.extend(shard_replay_series(samples));
     results
+}
+
+/// Path of a repo file relative to the workspace root (the benches run
+/// from the crate directory).
+fn repo_file(rel: &str) -> String {
+    format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Whole-certificate vs sharded replay of the largest example certificate
+/// (`ni_unrolled`: sixteen references to one step obligation). The sharded
+/// series exercise the real `hhl replay --jobs N` path — obligation
+/// fingerprinting, deduplication, pool dispatch — with no store, so the
+/// delta against `replay_whole` is pure intra-run obligation reuse (plus
+/// worker parallelism where cores exist).
+fn shard_replay_series(samples: usize) -> Vec<(String, u128)> {
+    let spec_src =
+        std::fs::read_to_string(repo_file("examples/specs/ni_unrolled.hhl")).expect("spec exists");
+    let cert = std::fs::read_to_string(repo_file("examples/proofs/ni_unrolled.hhlp"))
+        .expect("certificate exists");
+    let spec = parse_spec(&spec_src).expect("spec parses");
+    let target_ns = 20_000_000; // whole replays are ~10⁸ ns; one iter per sample
+    let whole = median_ns(samples, target_ns, || {
+        black_box(run_replay(black_box(&spec), black_box(&cert)).expect("replays"));
+    });
+    let sharded = |jobs: usize| {
+        median_ns(samples, target_ns, || {
+            let counters = ShardCounters::new();
+            black_box(
+                run_replay_sharded(black_box(&spec), black_box(&cert), jobs, None, &counters)
+                    .expect("replays"),
+            );
+        })
+    };
+    vec![
+        ("proofs/replay_whole".to_owned(), whole),
+        ("proofs/shard_jobs1".to_owned(), sharded(1)),
+        ("proofs/shard_jobs4".to_owned(), sharded(4)),
+    ]
+}
+
+/// The `meta` block for `BENCH_proofs.json`: the shard-vs-whole replay
+/// speedups, computed from the already-measured series.
+pub fn shard_speedup_meta(results: &[(String, u128)]) -> Vec<(String, String)> {
+    let find = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ns)| *ns)
+            .unwrap_or(0)
+    };
+    let whole = find("proofs/replay_whole");
+    let jobs1 = find("proofs/shard_jobs1");
+    let jobs4 = find("proofs/shard_jobs4");
+    let ratio = |a: u128, b: u128| a as f64 / b.max(1) as f64;
+    vec![
+        (
+            "speedup_shard_jobs1_vs_whole_replay".to_owned(),
+            format!("{:.2}", ratio(whole, jobs1)),
+        ),
+        (
+            "speedup_shard_jobs4_vs_whole_replay".to_owned(),
+            format!("{:.2}", ratio(whole, jobs4)),
+        ),
+    ]
 }
 
 /// One full pass over the corpus: every spec parsed and run through its

@@ -31,11 +31,13 @@ use std::sync::Arc;
 
 use hhl_driver::pool::{run_ordered, PoolStats};
 use hhl_driver::report::{BatchReport, FileReport, FileStatus};
+use hhl_driver::shard::{ShardCounters, ShardStats};
 use hhl_driver::store::{StoreStats, VerdictRecord, VerdictStore};
 use hhl_lang::{MemoImportStats, MemoSnapshotStats, SemCache};
 
 use crate::fingerprint::spec_fingerprint;
-use crate::runner::{run_replay, run_spec, Outcome, Verdict};
+use crate::runner::{run_spec, Outcome, Verdict};
+use crate::shard::run_replay_sharded;
 use crate::spec::{parse_spec, Expect, Mode, Spec};
 
 /// Cap on memo entries persisted per run: the verdict records already make
@@ -64,6 +66,12 @@ pub struct BatchOptions {
     /// into `hhl batch` — whose output never uses `report_text` — and not
     /// into the full-report `check`/`prove`/`replay` paths.
     pub store: Option<Arc<VerdictStore>>,
+    /// Obligation-level store for replay jobs (`hhl batch` points it at the
+    /// same directory as [`store`](BatchOptions::store); `hhl replay
+    /// --cache-dir` uses it alone). Unlike whole-file verdict records,
+    /// obligation and replay-summary records can rebuild the *full* report,
+    /// so this one is safe for the full-output replay paths.
+    pub oblig_store: Option<Arc<VerdictStore>>,
 }
 
 impl Default for BatchOptions {
@@ -73,6 +81,7 @@ impl Default for BatchOptions {
             force_prove: false,
             use_cache: true,
             store: None,
+            oblig_store: None,
         }
     }
 }
@@ -103,6 +112,8 @@ pub struct BatchRun {
     pub cache: hhl_lang::CacheStats,
     /// Persistent-store counters (`None` when no store was configured).
     pub store: Option<StoreStats>,
+    /// Sharded-replay counters (all-zero when no certificate was sharded).
+    pub shards: ShardStats,
     /// Memo-snapshot entries loaded/rejected at startup.
     pub memo_import: MemoImportStats,
     /// Memo-snapshot entries exported/evicted at shutdown.
@@ -246,7 +257,12 @@ fn record_outcome(store: &VerdictStore, fp: &str, spec: &Spec, outcome: &Outcome
     );
 }
 
-fn run_job(job: &Job, opts: &BatchOptions, cache: Option<&Arc<SemCache>>) -> FileResult {
+fn run_job(
+    job: &Job,
+    opts: &BatchOptions,
+    cache: Option<&Arc<SemCache>>,
+    counters: &ShardCounters,
+) -> FileResult {
     let store = opts.store.as_deref();
     match job {
         Job::Spec { path } => {
@@ -286,12 +302,20 @@ fn run_job(job: &Job, opts: &BatchOptions, cache: Option<&Arc<SemCache>>) -> Fil
                 Err(e) => return error_result(proof_path, e),
             };
             let fp = store.map(|s| (s, spec_fingerprint(&spec, Some(&certificate)).to_string()));
+            // A whole-pair verdict hit needs no shard work at all — the
+            // certificate is not even re-elaborated on warm store hits.
             if let Some((store, fp)) = &fp {
                 if let Some(record) = store.lookup(fp) {
                     return cached_result(proof_path, &spec, &record);
                 }
             }
-            match run_replay(&spec, &certificate) {
+            match run_replay_sharded(
+                &spec,
+                &certificate,
+                1,
+                opts.oblig_store.as_deref(),
+                counters,
+            ) {
                 Ok(outcome) => {
                     if let Some((store, fp)) = &fp {
                         record_outcome(store, fp, &spec, &outcome);
@@ -315,8 +339,9 @@ fn run_jobs(jobs: Vec<Job>, opts: &BatchOptions) -> BatchRun {
             memo_import = cache.import_snapshot(&blob);
         }
     }
+    let counters = ShardCounters::new();
     let (results, pool) = run_ordered(&jobs, opts.jobs, |_, job| {
-        run_job(job, opts, cache.as_ref())
+        run_job(job, opts, cache.as_ref(), &counters)
     });
     let mut memo_export = MemoSnapshotStats::default();
     if let (Some(cache), Some(store)) = (&cache, &opts.store) {
@@ -329,6 +354,7 @@ fn run_jobs(jobs: Vec<Job>, opts: &BatchOptions) -> BatchRun {
         pool,
         cache: cache.map(|c| c.stats()).unwrap_or_default(),
         store: opts.store.as_ref().map(|s| s.stats()),
+        shards: counters.snapshot(),
         memo_import,
         memo_export,
     }

@@ -39,6 +39,17 @@
 //! semantic inputs actually changed; whitespace/comment edits stay cache
 //! hits, and the report is byte-identical to a cold run.
 //!
+//! Certificate replay is additionally *sharded* ([`run_replay_sharded`],
+//! the engine behind `hhl replay` and batch `.hhlp` entries): the
+//! elaborated derivation splits into fingerprinted obligation shards
+//! (`hhl_proofs::shard`), deduplicated and fanned across the pool, with
+//! obligation- and certificate-level records in the same store — so a
+//! single large derivation parallelizes, a premise referenced `k` times
+//! is discharged once, and an edited spec or certificate re-checks only
+//! the shards whose fingerprints moved. Result equivalence with
+//! whole-tree replay ([`run_replay`]) is byte-exact and differentially
+//! tested.
+//!
 //! The driver prints a structured pass/fail report; the process exit code
 //! is `0` when the verdict matches the spec's `expect:` line (which
 //! defaults to `pass`), `1` on unexpected verdicts, `2` when a file could
@@ -50,9 +61,11 @@
 pub mod batch;
 pub mod fingerprint;
 mod runner;
+pub mod shard;
 mod spec;
 
 pub use batch::{run_batch, run_replay_batch, BatchOptions, BatchRun, FileResult};
 pub use fingerprint::{spec_fingerprint, FINGERPRINT_SCHEMA};
 pub use runner::{run_prove_with_certificate, run_replay, run_spec, Outcome, RunError, Verdict};
+pub use shard::{replay_summary_fingerprint, run_replay_sharded, REPLAY_SUMMARY_SCHEMA};
 pub use spec::{parse_spec, Expect, Mode, Spec, SpecError};

@@ -28,7 +28,7 @@ use std::io::Write;
 use std::process::ExitCode;
 
 use hhl_cli::batch::{run_batch, run_replay_batch, BatchOptions, FileResult};
-use hhl_cli::{parse_spec, run_prove_with_certificate, run_replay, run_spec, Mode, Spec};
+use hhl_cli::{parse_spec, run_prove_with_certificate, run_spec, Mode, Spec};
 
 /// Prints to stdout, ignoring write failures (e.g. EPIPE when the report
 /// is piped into `head`) instead of panicking.
@@ -50,11 +50,20 @@ const USAGE: &str = "usage: hhl <command> [args]
       spec's `mode:`. With --emit-proof (single spec), also write the
       checked derivation as a portable .hhlp proof certificate.
 
-  hhl replay [--jobs N] <spec.hhl> <proof.hhlp> [<spec> <proof>]...
+  hhl replay [--jobs N] [--cache-dir DIR] [--fresh] <spec.hhl> <proof.hhlp>
+             [<spec> <proof>]...
       Parse and elaborate textual proof certificates, check every rule
       application against each spec's finite model, and compare the
       conclusion with the spec's triple. Loop proofs that `prove` cannot
       build (WhileSync, IfSync, ...) replay this way.
+      Checking is sharded: each certificate splits into independently
+      checkable, fingerprinted obligations, deduplicated (a premise
+      referenced k times is discharged once) and fanned across --jobs N
+      workers — stdout is byte-identical for every job count. With
+      --cache-dir, discharged obligations and whole-certificate summaries
+      persist, so a re-replay is answered from the store and an edited
+      spec or certificate re-checks only the shards whose fingerprints
+      changed. Shard counters print to stderr only.
 
   hhl batch [--jobs N] [--no-cache] [--cache-dir DIR] [--fresh] <file>...
       Batch-verify a corpus: .hhl specs run under their own mode, .hhlp
@@ -229,6 +238,9 @@ fn print_run_stats(run: &hhl_cli::BatchRun) {
             run.memo_export.evicted
         );
     }
+    if run.shards.any() {
+        eprintln!("[shard] {}", run.shards);
+    }
 }
 
 /// Renders parallel per-file results in the same full format the
@@ -367,11 +379,43 @@ fn cmd_prove(args: &[String]) -> ExitCode {
     tally.exit()
 }
 
+/// Opens the replay obligation store for `--cache-dir` (no default
+/// directory: plain `hhl replay` stays storeless). `--fresh` rebuilds it.
+fn open_replay_store(
+    flags: &BatchFlags,
+) -> Result<Option<std::sync::Arc<hhl_driver::VerdictStore>>, String> {
+    let Some(dir) = &flags.cache_dir else {
+        if flags.fresh {
+            return Err("--fresh needs --cache-dir on `hhl replay`".to_owned());
+        }
+        return Ok(None);
+    };
+    match hhl_driver::VerdictStore::open(dir, flags.fresh) {
+        Ok(store) => Ok(Some(std::sync::Arc::new(store))),
+        Err(e) => {
+            eprintln!(
+                "warning: cannot open cache dir {dir}: {e}; continuing without \
+                 a persistent cache"
+            );
+            Ok(None)
+        }
+    }
+}
+
 fn cmd_replay(args: &[String]) -> ExitCode {
-    let (jobs, args) = match parse_batch_flags(args, false) {
-        Ok(parsed) => (parsed.jobs, parsed.rest),
+    let flags = match parse_batch_flags(args, true) {
+        Ok(parsed) => parsed,
         Err(e) => return usage_error(&e),
     };
+    if !flags.use_cache && (flags.cache_dir.is_some() || flags.fresh) {
+        return usage_error("--no-cache disables the persistent store; drop --cache-dir/--fresh");
+    }
+    let store = match open_replay_store(&flags) {
+        Ok(store) => store,
+        Err(e) => return usage_error(&e),
+    };
+    let jobs = flags.jobs;
+    let args = flags.rest;
     if args.len() < 2 || args.len() % 2 != 0 {
         return usage_error("`hhl replay` takes (spec, certificate) pairs");
     }
@@ -379,8 +423,10 @@ fn cmd_replay(args: &[String]) -> ExitCode {
         .chunks_exact(2)
         .map(|pair| (pair[0].clone(), pair[1].clone()))
         .collect();
-    if pairs.len() == 1 && jobs.is_none() {
-        // Single pair: the streaming path (bit-compatible output).
+    if pairs.len() == 1 {
+        // Single pair: the streaming path (bit-compatible output). Checking
+        // is sharded — byte-identical to whole-certificate replay for every
+        // job count and cache state — with shard counters on stderr.
         let (spec_path, proof_path) = &pairs[0];
         let mut tally = Tally::new();
         out(format_args!("== {spec_path} ⊢ {proof_path}"));
@@ -390,7 +436,14 @@ fn cmd_replay(args: &[String]) -> ExitCode {
         ) else {
             return tally.exit();
         };
-        match run_replay(&spec, &certificate) {
+        let counters = hhl_driver::ShardCounters::new();
+        match hhl_cli::run_replay_sharded(
+            &spec,
+            &certificate,
+            jobs.unwrap_or(1),
+            store.as_deref(),
+            &counters,
+        ) {
             Ok(outcome) => {
                 out(&outcome);
                 tally.all_expected &= outcome.as_expected;
@@ -400,10 +453,18 @@ fn cmd_replay(args: &[String]) -> ExitCode {
                 tally.hard_error = true;
             }
         }
+        // Like the batch path: accounting only when sharding happened (a
+        // certificate that fails before sharding has nothing to report).
+        let stats = counters.snapshot();
+        if stats.any() {
+            eprintln!("[shard] {stats}");
+        }
         return tally.exit();
     }
     let opts = BatchOptions {
         jobs: jobs.unwrap_or(1),
+        use_cache: flags.use_cache,
+        oblig_store: store,
         ..BatchOptions::default()
     };
     let run = run_replay_batch(&pairs, &opts);
@@ -455,6 +516,11 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         jobs: flags.jobs.unwrap_or_else(default_jobs),
         force_prove: false,
         use_cache: flags.use_cache,
+        // Replay jobs reuse the same directory for obligation and
+        // replay-summary records, so an edited certificate re-checks only
+        // its changed shards while untouched pairs skip elaboration via
+        // their whole-pair verdict records.
+        oblig_store: store.clone(),
         store,
     };
     let run = run_batch(&flags.rest, &opts);

@@ -139,7 +139,7 @@ pub fn run_spec(spec: &Spec) -> Result<Outcome, RunError> {
 
 /// Assembles an [`Outcome`], deriving `as_expected` from the verdict-vs-
 /// `expect:` matrix shared by every mode.
-fn outcome(
+pub(crate) fn outcome(
     mode: Mode,
     triple: Triple,
     report: Report,
@@ -219,8 +219,9 @@ fn wp_unsupported(e: WpError) -> RunError {
 }
 
 /// The statistics/conclusion notes every successfully checked proof
-/// reports, shared by `prove` and `replay`.
-fn checked_notes(checked: &CheckedProof, notes: &mut Vec<String>) {
+/// reports, shared by `prove` and `replay` (and rebuilt byte-identically
+/// by the sharded replayer's summary-record fast path).
+pub(crate) fn checked_notes(checked: &CheckedProof, notes: &mut Vec<String>) {
     notes.push(format!(
         "proof checked: {} rule application(s), {} entailment(s) discharged, \
          {} oracle admission(s)",
@@ -342,10 +343,7 @@ pub fn run_replay(spec: &Spec, certificate: &str) -> Result<Outcome, RunError> {
     // FAIL verdict (with counterexample) against the spec's own triple.
     if let Some(cmd) = proof.claimed_cmd() {
         if cmd != triple.cmd {
-            return Err(RunError::Certificate(format!(
-                "certificate proves `{cmd}`, but the spec's program is `{}`",
-                triple.cmd
-            )));
+            return Err(wrong_program(&cmd, &triple.cmd));
         }
     }
     let ctx = ProofContext::new(spec.config.clone());
@@ -353,16 +351,9 @@ pub fn run_replay(spec: &Spec, certificate: &str) -> Result<Outcome, RunError> {
     let check_result = match check(&proof, &ctx) {
         Ok(checked) if checked.conclusion != triple => {
             if checked.conclusion.cmd != triple.cmd {
-                return Err(RunError::Certificate(format!(
-                    "certificate proves `{}`, but the spec's program is `{}`",
-                    checked.conclusion.cmd, triple.cmd
-                )));
+                return Err(wrong_program(&checked.conclusion.cmd, &triple.cmd));
             }
-            notes.push(
-                "certificate conclusion differs from the spec triple; aligned via Cons \
-                 (2 extra entailments)"
-                    .to_owned(),
-            );
+            notes.push(ALIGN_NOTE.to_owned());
             align_conclusion(checked, &spec.pre, &spec.post, &ctx)
         }
         other => other,
@@ -370,27 +361,49 @@ pub fn run_replay(spec: &Spec, certificate: &str) -> Result<Outcome, RunError> {
     // Unlike `prove` (where a refuted WP obligation refutes the triple on
     // the finite model), a refuted obligation inside an arbitrary
     // certificate proves nothing about the triple — reject the certificate.
-    let checked =
-        check_result.map_err(|e| RunError::Certificate(format!("certificate rejected: {e}")))?;
+    let checked = check_result.map_err(rejected)?;
     checked_notes(&checked, &mut notes);
-    let report = Report {
+    Ok(outcome(
+        Mode::Replay,
+        triple.clone(),
+        replay_report(triple),
+        notes,
+        Verdict::Pass,
+        spec.expect,
+    ))
+}
+
+/// The note `replay` prints when the certificate's conclusion is aligned to
+/// the spec triple via an interposed `Cons`.
+pub(crate) const ALIGN_NOTE: &str =
+    "certificate conclusion differs from the spec triple; aligned via Cons (2 extra entailments)";
+
+/// The certificate-proves-a-different-program rejection, shared by the
+/// whole-tree and sharded replay paths.
+pub(crate) fn wrong_program(claimed: &hhl_lang::Cmd, actual: &hhl_lang::Cmd) -> RunError {
+    RunError::Certificate(format!(
+        "certificate proves `{claimed}`, but the spec's program is `{actual}`"
+    ))
+}
+
+/// Wraps a rejected proof obligation as a certificate error, shared by the
+/// whole-tree and sharded replay paths.
+pub(crate) fn rejected(e: ProofError) -> RunError {
+    RunError::Certificate(format!("certificate rejected: {e}"))
+}
+
+/// The single-obligation report every successful replay renders.
+pub(crate) fn replay_report(triple: Triple) -> Report {
+    Report {
         results: vec![ObligationResult {
             obligation: Obligation::Triple {
-                triple: triple.clone(),
+                triple,
                 free_vals: Vec::new(),
                 origin: "replayed .hhlp certificate".to_owned(),
             },
             result: Ok(()),
         }],
-    };
-    Ok(outcome(
-        Mode::Replay,
-        triple,
-        report,
-        notes,
-        Verdict::Pass,
-        spec.expect,
-    ))
+    }
 }
 
 /// `verify`: structures the command with the spec's loop annotations and

@@ -1,0 +1,297 @@
+//! Sharded certificate replay: intra-certificate parallelism, obligation
+//! deduplication, and obligation-level incremental re-checking.
+//!
+//! [`run_replay_sharded`] is the sharding twin of
+//! [`run_replay`](crate::run_replay): it elaborates the same `.hhlp`
+//! script, but instead of one sequential tree walk it splits the
+//! certificate into [`ObligationShard`]s ([`hhl_proofs::shard_derivation`]),
+//! deduplicates them by fingerprint (a premise referenced `k` times — e.g.
+//! the members of a constant-invariant loop family — is discharged once),
+//! answers what it can from the persistent obligation store, and fans the
+//! rest across the `hhl-driver` work-stealing pool.
+//!
+//! **Result equivalence** is the contract: verdicts, reports, notes,
+//! statistics and error messages are byte-identical to whole-certificate
+//! replay for every job count and cache state — pinned down by the
+//! differential shard-vs-whole suite (`tests/shard_diff.rs`). The
+//! aggregation rules that make this hold:
+//!
+//! * every shard is checked (no short-circuiting), and the reported error
+//!   is the failing shard with the smallest `seq` — exactly the error the
+//!   sequential checker would have raised first;
+//! * a structural error from the walk surfaces only when every shard
+//!   collected before it discharges;
+//! * a failed shard is always a *certificate* error, never a `FAIL`
+//!   verdict on the spec's triple (the PR-2 soundness contract: a sloppy
+//!   proof is not a disproof);
+//! * only successful discharges are recorded; failures re-check on every
+//!   run (fail-closed).
+//!
+//! With a store, a fully successful replay additionally leaves a
+//! `kind: replay` summary record keyed over spec *and* certificate bytes:
+//! the next run of the identical pair rebuilds its full report from the
+//! summary without re-elaborating the script at all, while any edit falls
+//! back to shard-level reuse (an edited spec postcondition re-checks only
+//! the two conclusion-alignment shards).
+
+use hhl_core::proof::{
+    align_obligations, discharge_obligation, CheckStats, CheckedProof, ProofContext, ProofError,
+};
+use hhl_core::Triple;
+use hhl_driver::pool::run_ordered;
+use hhl_driver::shard::ShardCounters;
+use hhl_driver::store::{ReplaySummary, VerdictStore};
+use hhl_lang::{Fingerprint, StableHasher};
+use hhl_proofs::{compile_script, shard_derivation, shard_fingerprint, ObligationShard};
+
+use crate::fingerprint::spec_fingerprint;
+use crate::runner::{
+    checked_notes, outcome, rejected, replay_report, wrong_program, Outcome, RunError, Verdict,
+    ALIGN_NOTE,
+};
+use crate::spec::{Mode, Spec};
+
+/// Schema tag of replay-summary fingerprints. Bump alongside any change to
+/// what a summary record stores or how replay reports are rebuilt.
+pub const REPLAY_SUMMARY_SCHEMA: &str = "hhl-replay-summary v1";
+
+/// The store key of a (spec, certificate) replay pair: the spec fingerprint
+/// extended with the certificate bytes, the summary schema and the shard
+/// schema (a shard-semantics bump must invalidate summaries too — they
+/// assert "all shards of this certificate discharged").
+pub fn replay_summary_fingerprint(spec: &Spec, certificate: &str) -> Fingerprint {
+    let mut h = StableHasher::new();
+    h.write_str(REPLAY_SUMMARY_SCHEMA);
+    h.write_str(hhl_proofs::SHARD_FP_SCHEMA);
+    h.write_fingerprint(spec_fingerprint(spec, Some(certificate)));
+    h.finish()
+}
+
+/// Rebuilds the full success `Outcome` a replay renders, from its recorded
+/// summary — byte-identical to recomputation because every line of the
+/// report is a function of the spec triple, the statistics and the
+/// alignment flag.
+fn outcome_from_summary(spec: &Spec, triple: Triple, summary: &ReplaySummary) -> Outcome {
+    let stats = CheckStats {
+        rules: summary.rules as usize,
+        oracle_admissions: summary.oracles as usize,
+        entailments: summary.entailments as usize,
+    };
+    let mut notes = Vec::new();
+    if summary.aligned {
+        notes.push(ALIGN_NOTE.to_owned());
+    }
+    checked_notes(
+        &CheckedProof {
+            conclusion: triple.clone(),
+            stats,
+        },
+        &mut notes,
+    );
+    outcome(
+        Mode::Replay,
+        triple.clone(),
+        replay_report(triple),
+        notes,
+        Verdict::Pass,
+        spec.expect,
+    )
+}
+
+/// Checks a batch of shards: deduplicate by fingerprint, answer from the
+/// obligation store, discharge the rest across `jobs` workers, and report
+/// the failure of the *earliest* shard (sequential discharge order) if any.
+///
+/// Every distinct shard is checked even after a failure is known — the
+/// work is deterministic across job counts this way, and obligation
+/// records for the passing shards still get written (a subsequent fix of
+/// the failing step re-checks only that step).
+fn check_shards(
+    shards: &[ObligationShard],
+    ctx: &ProofContext,
+    jobs: usize,
+    store: Option<&VerdictStore>,
+    counters: &ShardCounters,
+) -> Result<(), ProofError> {
+    use std::collections::HashMap;
+
+    // Deduplicate, preserving first-occurrence order.
+    let mut index: HashMap<Fingerprint, usize> = HashMap::new();
+    let mut distinct: Vec<&ObligationShard> = Vec::new();
+    let mut membership: Vec<usize> = Vec::with_capacity(shards.len());
+    for shard in shards {
+        let slot = *index.entry(shard.fingerprint).or_insert_with(|| {
+            distinct.push(shard);
+            distinct.len() - 1
+        });
+        membership.push(slot);
+    }
+    counters.note_plan(shards.len() as u64, distinct.len() as u64);
+
+    // Store pass: cached obligations need no engine work.
+    let mut results: Vec<Option<Result<(), ProofError>>> = vec![None; distinct.len()];
+    let mut to_check: Vec<(usize, &ObligationShard)> = Vec::new();
+    for (i, shard) in distinct.iter().enumerate() {
+        let hit = store.is_some_and(|s| s.lookup_obligation(&shard.fingerprint.to_string()));
+        if hit {
+            counters.note_cached();
+            results[i] = Some(Ok(()));
+        } else {
+            to_check.push((i, shard));
+        }
+    }
+
+    // Discharge the misses on the pool (input order restored by the pool).
+    let (outcomes, _) = run_ordered(&to_check, jobs, |_, &(i, shard)| {
+        (i, discharge_obligation(&shard.obligation, ctx))
+    });
+    for (i, result) in outcomes {
+        counters.note_rechecked();
+        if result.is_ok() {
+            if let Some(s) = store {
+                s.record_obligation(
+                    &distinct[i].fingerprint.to_string(),
+                    distinct[i].obligation.rule,
+                );
+                counters.note_written();
+            }
+        }
+        results[i] = Some(result);
+    }
+
+    // Earliest failing shard in sequential discharge order wins.
+    for slot in membership {
+        if let Some(Err(e)) = &results[slot] {
+            return Err(e.clone());
+        }
+    }
+    Ok(())
+}
+
+/// Sharded replay of a `.hhlp` certificate against a spec (see the module
+/// docs). With `jobs == 1` and no store this performs exactly the work of
+/// [`run_replay`](crate::run_replay) minus duplicate-obligation discharges.
+///
+/// # Errors
+///
+/// The same [`RunError`]s as [`run_replay`](crate::run_replay), with
+/// identical messages: parse/elaboration errors, wrong-program rejections,
+/// and `certificate rejected: …` for any failed obligation or structural
+/// side condition.
+pub fn run_replay_sharded(
+    spec: &Spec,
+    certificate: &str,
+    jobs: usize,
+    store: Option<&VerdictStore>,
+    counters: &ShardCounters,
+) -> Result<Outcome, RunError> {
+    let triple = Triple::new(spec.pre.clone(), spec.cmd.clone(), spec.post.clone());
+    let summary_fp = replay_summary_fingerprint(spec, certificate).to_string();
+    if let Some(s) = store {
+        if let Some(summary) = s.lookup_replay(&summary_fp) {
+            counters.note_summary_hit();
+            return Ok(outcome_from_summary(spec, triple, &summary));
+        }
+    }
+
+    let proof = compile_script(certificate).map_err(|e| RunError::Certificate(e.to_string()))?;
+    if let Some(cmd) = proof.claimed_cmd() {
+        if cmd != triple.cmd {
+            return Err(wrong_program(&cmd, &triple.cmd));
+        }
+    }
+    let ctx = ProofContext::new(spec.config.clone());
+    let plan = shard_derivation(&proof, &ctx);
+    check_shards(&plan.shards, &ctx, jobs, store, counters).map_err(rejected)?;
+    // A structural error surfaces only now, when every obligation collected
+    // before it has discharged — the order the sequential checker reports.
+    let conclusion = plan.outcome.map_err(rejected)?;
+
+    let mut stats = plan.stats;
+    let mut notes = Vec::new();
+    let aligned = conclusion != triple;
+    if aligned {
+        if conclusion.cmd != triple.cmd {
+            return Err(wrong_program(&conclusion.cmd, &triple.cmd));
+        }
+        notes.push(ALIGN_NOTE.to_owned());
+        stats.rules += 1;
+        let mut align_shards = Vec::with_capacity(2);
+        for ob in align_obligations(&conclusion, &spec.pre, &spec.post, plan.shards.len()) {
+            ob.kind.charge(&mut stats);
+            align_shards.push(ObligationShard {
+                fingerprint: shard_fingerprint(&ob, &ctx),
+                obligation: ob,
+            });
+        }
+        check_shards(&align_shards, &ctx, jobs, store, counters).map_err(rejected)?;
+    }
+    checked_notes(
+        &CheckedProof {
+            conclusion: triple.clone(),
+            stats,
+        },
+        &mut notes,
+    );
+    if let Some(s) = store {
+        s.record_replay(
+            &summary_fp,
+            &ReplaySummary {
+                rules: stats.rules as u64,
+                entailments: stats.entailments as u64,
+                oracles: stats.oracle_admissions as u64,
+                aligned,
+            },
+        );
+    }
+    Ok(outcome(
+        Mode::Replay,
+        triple.clone(),
+        replay_report(triple),
+        notes,
+        Verdict::Pass,
+        spec.expect,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_replay;
+    use crate::spec::parse_spec;
+
+    const SPEC: &str = "mode: check\npre: low(i) && low(n)\npost: low(i)\n\
+                        vars: i in 0..1, n in 0..1\nprogram:\nwhile (i < n) { i := i + 1 }\n";
+    const CERT: &str = "hhlp 1\n\
+         step body assign-s x=i e={i + 1} post={low(i) && low(n)}\n\
+         step body-pre cons pre={(low(i) && low(n)) && (forall <phi>. phi(i) < phi(n))} \
+         post={low(i) && low(n)} from=body\n\
+         step loop while-sync guard={i < n} inv={low(i) && low(n)} body=body-pre\n\
+         step root cons pre={low(i) && low(n)} post={low(i)} from=loop\n";
+
+    #[test]
+    fn sharded_replay_matches_whole_replay() {
+        let spec = parse_spec(SPEC).unwrap();
+        let whole = run_replay(&spec, CERT).unwrap();
+        for jobs in [1, 4] {
+            let counters = ShardCounters::new();
+            let sharded = run_replay_sharded(&spec, CERT, jobs, None, &counters).unwrap();
+            assert_eq!(whole.to_string(), sharded.to_string(), "jobs = {jobs}");
+            let stats = counters.snapshot();
+            assert_eq!(stats.total, 5, "2×2 cons entailments + I |= low(b)");
+            assert_eq!(stats.cached, 0);
+        }
+    }
+
+    #[test]
+    fn summary_fingerprint_covers_both_sides() {
+        let spec = parse_spec(SPEC).unwrap();
+        let other_spec = parse_spec(&SPEC.replace("post: low(i)", "post: true")).unwrap();
+        let base = replay_summary_fingerprint(&spec, CERT);
+        assert_ne!(base, replay_summary_fingerprint(&other_spec, CERT));
+        assert_ne!(
+            base,
+            replay_summary_fingerprint(&spec, &format!("{CERT}\n"))
+        );
+    }
+}

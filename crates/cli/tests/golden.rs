@@ -174,7 +174,7 @@ fn help_lists_subcommands() {
     assert!(out.status.success());
     let usage = stdout_of(&out);
     assert!(
-        usage.contains("hhl replay [--jobs N] <spec.hhl> <proof.hhlp>"),
+        usage.contains("hhl replay [--jobs N] [--cache-dir DIR] [--fresh] <spec.hhl> <proof.hhlp>"),
         "{usage}"
     );
     assert!(
@@ -310,4 +310,74 @@ fn replay_rejects_certificates_for_other_programs() {
     let stderr = String::from_utf8(out.stderr).expect("utf-8");
     assert!(stderr.contains("spec's program"), "{stderr}");
     assert!(stderr.contains("certificate"), "{stderr}");
+}
+
+#[test]
+fn sharded_replay_is_jobs_invariant_and_counts_shards() {
+    // The acceptance gate of certificate sharding: `hhl replay --jobs N`
+    // prints byte-identical stdout for every job count (and for the
+    // flagless default path), with the shard accounting on stderr only.
+    let spec = spec_path("ni_unrolled.hhl");
+    let proof = proof_path("ni_unrolled.hhlp");
+    let run = |extra: &[&str]| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_hhl"));
+        cmd.arg("replay").args(extra).arg(&spec).arg(&proof);
+        cmd.output().expect("hhl binary runs")
+    };
+    let baseline = run(&[]);
+    assert!(baseline.status.success());
+    let base_report = stdout_of(&baseline);
+    assert!(
+        base_report.contains("16 oracle admission(s)"),
+        "{base_report}"
+    );
+    for jobs in ["1", "4", "8"] {
+        let out = run(&["--jobs", jobs]);
+        assert!(out.status.success());
+        assert_eq!(
+            base_report,
+            stdout_of(&out),
+            "--jobs {jobs} changed the report"
+        );
+        let stderr = String::from_utf8(out.stderr).expect("utf-8");
+        assert!(
+            stderr.contains("[shard] 16 shard(s), 1 distinct: 0 cached, 1 re-checked"),
+            "--jobs {jobs}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn replay_cache_dir_answers_warm_runs_from_the_summary_record() {
+    let dir = std::env::temp_dir().join(format!("hhl-golden-replay-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = || {
+        Command::new(env!("CARGO_BIN_EXE_hhl"))
+            .arg("replay")
+            .arg("--cache-dir")
+            .arg(&dir)
+            .arg(spec_path("while_sync.hhl"))
+            .arg(proof_path("while_sync.hhlp"))
+            .output()
+            .expect("hhl binary runs")
+    };
+    let cold = run();
+    assert!(cold.status.success());
+    let cold_out = stdout_of(&cold);
+    let cold_err = String::from_utf8(cold.stderr).expect("utf-8");
+    assert!(
+        cold_err.contains("0 cached") && cold_err.contains("0 certificate summary hit(s)"),
+        "{cold_err}"
+    );
+    let warm = run();
+    assert!(warm.status.success());
+    assert_eq!(cold_out, stdout_of(&warm), "warm run diverged");
+    let warm_err = String::from_utf8(warm.stderr).expect("utf-8");
+    assert!(
+        warm_err.contains(
+            "0 shard(s), 0 distinct: 0 cached, 0 re-checked, 0 written; \
+             1 certificate summary hit(s)"
+        ),
+        "warm runs must do no shard work at all: {warm_err}"
+    );
 }

@@ -11,12 +11,13 @@
 //! `While-∃`, the free variables introduced by `Exist`/`Forall`) are checked
 //! for every binding drawn from the context's bounded domains.
 
-use hhl_assert::{
-    assign_transform, assume_transform, candidate_sets, eval_in_env, havoc_transform, Assertion,
-    Counterexample, Env, PHI,
-};
-use hhl_lang::{Cmd, Expr, Symbol, Value};
+use hhl_assert::{assign_transform, assume_transform, havoc_transform, Assertion, PHI};
+use hhl_lang::{Cmd, Expr, Symbol};
 
+use crate::proof::oblig::{
+    align_obligations, discharge_obligation, Extraction, ObligationKind, ObligationScope,
+    SemanticObligation,
+};
 use crate::proof::{Derivation, ProofError};
 use crate::triple::Triple;
 use crate::validity::ValidityConfig;
@@ -63,10 +64,69 @@ pub struct CheckedProof {
     pub stats: CheckStats,
 }
 
-#[derive(Clone, Debug, Default)]
-struct Scope {
-    vals: Vec<Symbol>,
-    states: Vec<Symbol>,
+/// Where the walk sends the semantic obligations it raises: discharged on
+/// the spot (sequential [`check`]) or collected for a sharding driver
+/// ([`extract_obligations`]). Both receive the identical obligation stream
+/// in the identical order, which is what keeps sharded and whole-tree
+/// checking result-equivalent.
+trait Sink {
+    fn emit(
+        &mut self,
+        rule: &'static str,
+        kind: ObligationKind,
+        scope: &ObligationScope,
+        ctx: &ProofContext,
+        stats: &mut CheckStats,
+    ) -> Result<(), ProofError>;
+}
+
+/// Discharge immediately; the first failing obligation aborts the walk.
+struct Eager;
+
+impl Sink for Eager {
+    fn emit(
+        &mut self,
+        rule: &'static str,
+        kind: ObligationKind,
+        scope: &ObligationScope,
+        ctx: &ProofContext,
+        stats: &mut CheckStats,
+    ) -> Result<(), ProofError> {
+        kind.charge(stats);
+        let ob = SemanticObligation {
+            seq: 0,
+            rule,
+            kind,
+            scope: scope.clone(),
+        };
+        discharge_obligation(&ob, ctx)
+    }
+}
+
+/// Record everything; discharging is the caller's job.
+#[derive(Default)]
+struct Collector {
+    obligations: Vec<SemanticObligation>,
+}
+
+impl Sink for Collector {
+    fn emit(
+        &mut self,
+        rule: &'static str,
+        kind: ObligationKind,
+        scope: &ObligationScope,
+        _ctx: &ProofContext,
+        stats: &mut CheckStats,
+    ) -> Result<(), ProofError> {
+        kind.charge(stats);
+        self.obligations.push(SemanticObligation {
+            seq: self.obligations.len(),
+            rule,
+            kind,
+            scope: scope.clone(),
+        });
+        Ok(())
+    }
 }
 
 /// Checks a derivation and returns its conclusion.
@@ -89,9 +149,50 @@ struct Scope {
 /// ```
 pub fn check(d: &Derivation, ctx: &ProofContext) -> Result<CheckedProof, ProofError> {
     let mut stats = CheckStats::default();
-    let mut scope = Scope::default();
-    let conclusion = check_in(d, ctx, &mut scope, &mut stats)?;
+    let mut scope = ObligationScope::default();
+    let conclusion = check_in(d, ctx, &mut scope, &mut stats, &mut Eager)?;
     Ok(CheckedProof { conclusion, stats })
+}
+
+/// Walks a derivation *collecting* its semantic obligations instead of
+/// discharging them: structural side conditions are checked exactly as by
+/// [`check`], while every entailment / `Oracle` admission / `⊢⇓` discharge
+/// / variant decrease is captured as a [`SemanticObligation`] in the order
+/// the sequential checker would have discharged it.
+///
+/// The caller owns discharging (possibly in parallel, deduplicated, or
+/// answered from an obligation cache). For result-equivalence with
+/// [`check`]: the reported error must be the failing obligation with the
+/// smallest `seq`, and the extraction's structural error (if any) only
+/// surfaces when every collected obligation discharges.
+///
+/// # Examples
+///
+/// ```
+/// use hhl_assert::{Assertion, Universe};
+/// use hhl_core::proof::{extract_obligations, Derivation, ProofContext};
+/// use hhl_core::ValidityConfig;
+///
+/// let d = Derivation::cons(
+///     Assertion::low("l"),
+///     Assertion::tt(),
+///     Derivation::Skip { p: Assertion::low("l") },
+/// );
+/// let ctx = ProofContext::new(ValidityConfig::new(Universe::int_cube(&["l"], 0, 1)));
+/// let extraction = extract_obligations(&d, &ctx);
+/// assert_eq!(extraction.obligations.len(), 2); // the two Cons entailments
+/// assert!(extraction.outcome.is_ok());
+/// ```
+pub fn extract_obligations(d: &Derivation, ctx: &ProofContext) -> Extraction {
+    let mut stats = CheckStats::default();
+    let mut scope = ObligationScope::default();
+    let mut collector = Collector::default();
+    let outcome = check_in(d, ctx, &mut scope, &mut stats, &mut collector);
+    Extraction {
+        obligations: collector.obligations,
+        stats,
+        outcome,
+    }
 }
 
 /// Discharges the two `Cons` entailments that align an already-checked
@@ -113,23 +214,10 @@ pub fn align_conclusion(
 ) -> Result<CheckedProof, ProofError> {
     let mut stats = checked.stats;
     stats.rules += 1;
-    let scope = Scope::default();
-    entails_scoped(
-        "Cons",
-        pre,
-        &checked.conclusion.pre,
-        &scope,
-        ctx,
-        &mut stats,
-    )?;
-    entails_scoped(
-        "Cons",
-        &checked.conclusion.post,
-        post,
-        &scope,
-        ctx,
-        &mut stats,
-    )?;
+    for ob in align_obligations(&checked.conclusion, pre, post, 0) {
+        ob.kind.charge(&mut stats);
+        discharge_obligation(&ob, ctx)?;
+    }
     Ok(CheckedProof {
         conclusion: Triple::new(pre.clone(), checked.conclusion.cmd, post.clone()),
         stats,
@@ -214,115 +302,6 @@ fn structural(rule: &'static str, detail: impl Into<String>) -> ProofError {
     }
 }
 
-/// All bindings of the scope's meta-variables over the context's domains,
-/// capped at `scope_cap` (systematic truncation keeps checks deterministic).
-fn scope_bindings(scope: &Scope, ctx: &ProofContext) -> Vec<Env> {
-    let mut envs = vec![Env::new()];
-    let values: Vec<Value> = ctx.validity.check.eval.values.clone();
-    for y in &scope.vals {
-        let mut next = Vec::new();
-        for env in &envs {
-            for v in &values {
-                let mut e2 = env.clone();
-                e2.vals.insert(*y, v.clone());
-                next.push(e2);
-                if next.len() >= ctx.scope_cap {
-                    break;
-                }
-            }
-            if next.len() >= ctx.scope_cap {
-                break;
-            }
-        }
-        envs = next;
-    }
-    for phi in &scope.states {
-        let mut next = Vec::new();
-        for env in &envs {
-            for st in &ctx.validity.universe.states {
-                let mut e2 = env.clone();
-                e2.states.insert(*phi, st.clone());
-                next.push(e2);
-                if next.len() >= ctx.scope_cap {
-                    break;
-                }
-            }
-            if next.len() >= ctx.scope_cap {
-                break;
-            }
-        }
-        envs = next;
-    }
-    envs
-}
-
-/// `P |= Q` under every scope binding, over the context's candidate sets.
-fn entails_scoped(
-    rule: &'static str,
-    p: &Assertion,
-    q: &Assertion,
-    scope: &Scope,
-    ctx: &ProofContext,
-    stats: &mut CheckStats,
-) -> Result<(), ProofError> {
-    stats.entailments += 1;
-    let sets = candidate_sets(&ctx.validity.universe, &ctx.validity.check);
-    for env0 in scope_bindings(scope, ctx) {
-        for s in &sets {
-            let mut env = env0.clone();
-            if eval_in_env(p, s, &mut env, &ctx.validity.check.eval) {
-                let mut env = env0.clone();
-                if !eval_in_env(q, s, &mut env, &ctx.validity.check.eval) {
-                    return Err(ProofError::Entailment {
-                        rule,
-                        counterexample: Counterexample {
-                            set: s.clone(),
-                            context: format!("{p} |= {q}"),
-                        },
-                    });
-                }
-            }
-        }
-    }
-    Ok(())
-}
-
-/// Semantic validity of a triple under every scope binding.
-fn valid_scoped(
-    rule: &'static str,
-    t: &Triple,
-    scope: &Scope,
-    ctx: &ProofContext,
-    stats: &mut CheckStats,
-) -> Result<(), ProofError> {
-    stats.oracle_admissions += 1;
-    let sets = candidate_sets(&ctx.validity.universe, &ctx.validity.check);
-    // `sem(C, S)` is independent of the scope binding, so compute it at
-    // most once per candidate set however many bindings re-visit the set
-    // (lazily, preserving the binding-major iteration order and hence
-    // which counterexample surfaces first).
-    let mut outs: Vec<Option<hhl_lang::StateSet>> = vec![None; sets.len()];
-    for env0 in scope_bindings(scope, ctx) {
-        for (i, s) in sets.iter().enumerate() {
-            let mut env = env0.clone();
-            if eval_in_env(&t.pre, s, &mut env, &ctx.validity.check.eval) {
-                let out = outs[i].get_or_insert_with(|| ctx.validity.sem(&t.cmd, s));
-                let mut env = env0.clone();
-                if !eval_in_env(&t.post, out, &mut env, &ctx.validity.check.eval) {
-                    return Err(ProofError::Semantic {
-                        rule,
-                        counterexample: Counterexample {
-                            set: s.clone(),
-                            context: format!("{t}"),
-                        },
-                    });
-                }
-            }
-        }
-    }
-    Ok(())
-}
-
 fn expr_lvars(e: &Expr) -> std::collections::BTreeSet<Symbol> {
     fn go(e: &Expr, out: &mut std::collections::BTreeSet<Symbol>) {
         match e {
@@ -366,16 +345,17 @@ fn match_if_then(cmd: &Cmd, guard: &Expr, rule: &'static str) -> Result<Cmd, Pro
 fn check_in(
     d: &Derivation,
     ctx: &ProofContext,
-    scope: &mut Scope,
+    scope: &mut ObligationScope,
     stats: &mut CheckStats,
+    sink: &mut dyn Sink,
 ) -> Result<Triple, ProofError> {
     stats.rules += 1;
     match d {
         Derivation::Skip { p } => Ok(Triple::new(p.clone(), Cmd::Skip, p.clone())),
 
         Derivation::Seq(l, r) => {
-            let tl = check_in(l, ctx, scope, stats)?;
-            let tr = check_in(r, ctx, scope, stats)?;
+            let tl = check_in(l, ctx, scope, stats, sink)?;
+            let tr = check_in(r, ctx, scope, stats, sink)?;
             if tl.post != tr.pre {
                 return Err(structural(
                     "Seq",
@@ -386,8 +366,8 @@ fn check_in(
         }
 
         Derivation::Choice(l, r) => {
-            let tl = check_in(l, ctx, scope, stats)?;
-            let tr = check_in(r, ctx, scope, stats)?;
+            let tl = check_in(l, ctx, scope, stats, sink)?;
+            let tr = check_in(r, ctx, scope, stats, sink)?;
             if tl.pre != tr.pre {
                 return Err(structural(
                     "Choice",
@@ -402,15 +382,42 @@ fn check_in(
         }
 
         Derivation::Cons { pre, post, inner } => {
-            let ti = check_in(inner, ctx, scope, stats)?;
-            entails_scoped("Cons", pre, &ti.pre, scope, ctx, stats)?;
-            entails_scoped("Cons", &ti.post, post, scope, ctx, stats)?;
+            let ti = check_in(inner, ctx, scope, stats, sink)?;
+            sink.emit(
+                "Cons",
+                ObligationKind::Entailment {
+                    p: pre.clone(),
+                    q: ti.pre.clone(),
+                },
+                scope,
+                ctx,
+                stats,
+            )?;
+            sink.emit(
+                "Cons",
+                ObligationKind::Entailment {
+                    p: ti.post.clone(),
+                    q: post.clone(),
+                },
+                scope,
+                ctx,
+                stats,
+            )?;
             Ok(Triple::new(pre.clone(), ti.cmd, post.clone()))
         }
 
         Derivation::ConsPre { pre, inner } => {
-            let ti = check_in(inner, ctx, scope, stats)?;
-            entails_scoped("Cons", pre, &ti.pre, scope, ctx, stats)?;
+            let ti = check_in(inner, ctx, scope, stats, sink)?;
+            sink.emit(
+                "Cons",
+                ObligationKind::Entailment {
+                    p: pre.clone(),
+                    q: ti.pre.clone(),
+                },
+                scope,
+                ctx,
+                stats,
+            )?;
             Ok(Triple::new(pre.clone(), ti.cmd, ti.post))
         }
 
@@ -440,7 +447,7 @@ fn check_in(
 
         Derivation::Exist { y, inner } => {
             scope.vals.push(*y);
-            let ti = check_in(inner, ctx, scope, stats);
+            let ti = check_in(inner, ctx, scope, stats, sink);
             scope.vals.pop();
             let ti = ti?;
             Ok(Triple::new(
@@ -452,7 +459,7 @@ fn check_in(
 
         Derivation::Forall { y, inner } => {
             scope.vals.push(*y);
-            let ti = check_in(inner, ctx, scope, stats);
+            let ti = check_in(inner, ctx, scope, stats, sink);
             scope.vals.pop();
             let ti = ti?;
             Ok(Triple::new(
@@ -478,7 +485,7 @@ fn check_in(
             }
             let mut body: Option<Cmd> = None;
             for n in 0..=premises.bound {
-                let tn = check_in(&premises.at(n), ctx, scope, stats)?;
+                let tn = check_in(&premises.at(n), ctx, scope, stats, sink)?;
                 if tn.pre != inv.at(n) || tn.post != inv.at(n + 1) {
                     return Err(structural(
                         "Iter",
@@ -524,7 +531,7 @@ fn check_in(
             }
             let mut body: Option<Cmd> = None;
             for n in 0..=premises.bound {
-                let tn = check_in(&premises.at(n), ctx, scope, stats)?;
+                let tn = check_in(&premises.at(n), ctx, scope, stats, sink)?;
                 if tn.pre != inv.at(n) || tn.post != inv.at(n + 1) {
                     return Err(structural(
                         "WhileDesugared",
@@ -552,7 +559,7 @@ fn check_in(
                 }
             }
             let body = body.ok_or_else(|| structural("WhileDesugared", "no premises"))?;
-            let texit = check_in(exit, ctx, scope, stats)?;
+            let texit = check_in(exit, ctx, scope, stats, sink)?;
             if texit.cmd != Cmd::assume(guard.clone().not()) {
                 return Err(structural(
                     "WhileDesugared",
@@ -573,15 +580,17 @@ fn check_in(
         }
 
         Derivation::WhileSync { guard, inv, body } => {
-            entails_scoped(
+            sink.emit(
                 "WhileSync",
-                inv,
-                &Assertion::low_expr(guard),
+                ObligationKind::Entailment {
+                    p: inv.clone(),
+                    q: Assertion::low_expr(guard),
+                },
                 scope,
                 ctx,
                 stats,
             )?;
-            let tb = check_in(body, ctx, scope, stats)?;
+            let tb = check_in(body, ctx, scope, stats, sink)?;
             let expected_pre = inv.clone().and(Assertion::box_pred(guard));
             if tb.pre != expected_pre {
                 return Err(structural(
@@ -613,16 +622,18 @@ fn check_in(
             then_d,
             else_d,
         } => {
-            entails_scoped(
+            sink.emit(
                 "IfSync",
-                pre,
-                &Assertion::low_expr(guard),
+                ObligationKind::Entailment {
+                    p: pre.clone(),
+                    q: Assertion::low_expr(guard),
+                },
                 scope,
                 ctx,
                 stats,
             )?;
-            let tt = check_in(then_d, ctx, scope, stats)?;
-            let te = check_in(else_d, ctx, scope, stats)?;
+            let tt = check_in(then_d, ctx, scope, stats, sink)?;
+            let te = check_in(else_d, ctx, scope, stats, sink)?;
             let expected_then = pre.clone().and(Assertion::box_pred(guard));
             let expected_else = pre.clone().and(Assertion::box_pred(&guard.clone().not()));
             if tt.pre != expected_then {
@@ -656,7 +667,7 @@ fn check_in(
             body_if,
             exit,
         } => {
-            let tb = check_in(body_if, ctx, scope, stats)?;
+            let tb = check_in(body_if, ctx, scope, stats, sink)?;
             if tb.pre != *inv || tb.post != *inv {
                 return Err(structural(
                     "While-∀*∃*",
@@ -664,7 +675,7 @@ fn check_in(
                 ));
             }
             let body = match_if_then(&tb.cmd, guard, "While-∀*∃*")?;
-            let texit = check_in(exit, ctx, scope, stats)?;
+            let texit = check_in(exit, ctx, scope, stats, sink)?;
             if texit.pre != *inv {
                 return Err(structural(
                     "While-∀*∃*",
@@ -720,7 +731,7 @@ fn check_in(
                 )),
             );
             scope.vals.push(*v);
-            let td = check_in(decrease, ctx, scope, stats);
+            let td = check_in(decrease, ctx, scope, stats, sink);
             scope.vals.pop();
             let td = td?;
             if td.pre != pre1 || td.post != post1 {
@@ -736,7 +747,7 @@ fn check_in(
             let body = match_if_then(&td.cmd, guard, "While-∃")?;
             // Premise 2: ∀φ. {P_φ} while (b) {C} {Q_φ}.
             scope.states.push(*phi);
-            let tr = check_in(rest, ctx, scope, stats);
+            let tr = check_in(rest, ctx, scope, stats, sink);
             scope.states.pop();
             let tr = tr?;
             if tr.pre != *p_body || tr.post != *q_body {
@@ -763,8 +774,8 @@ fn check_in(
         }
 
         Derivation::And(l, r) => {
-            let tl = check_in(l, ctx, scope, stats)?;
-            let tr = check_in(r, ctx, scope, stats)?;
+            let tl = check_in(l, ctx, scope, stats, sink)?;
+            let tr = check_in(r, ctx, scope, stats, sink)?;
             if tl.cmd != tr.cmd {
                 return Err(structural("And", "premises prove different commands"));
             }
@@ -776,8 +787,8 @@ fn check_in(
         }
 
         Derivation::Or(l, r) => {
-            let tl = check_in(l, ctx, scope, stats)?;
-            let tr = check_in(r, ctx, scope, stats)?;
+            let tl = check_in(l, ctx, scope, stats, sink)?;
+            let tr = check_in(r, ctx, scope, stats, sink)?;
             if tl.cmd != tr.cmd {
                 return Err(structural("Or", "premises prove different commands"));
             }
@@ -785,7 +796,7 @@ fn check_in(
         }
 
         Derivation::FrameSafe { frame, inner } => {
-            let ti = check_in(inner, ctx, scope, stats)?;
+            let ti = check_in(inner, ctx, scope, stats, sink)?;
             if frame.contains_exists_state() {
                 return Err(structural(
                     "FrameSafe",
@@ -814,7 +825,7 @@ fn check_in(
         }
 
         Derivation::FrameT { frame, inner } => {
-            let ti = check_in(inner, ctx, scope, stats)?;
+            let ti = check_in(inner, ctx, scope, stats, sink)?;
             if frame.mentions_whole_states() {
                 return Err(structural(
                     "Frame(⇓)",
@@ -831,7 +842,13 @@ fn check_in(
             }
             // ⊢⇓ premise: every state satisfying the (framed) precondition
             // must have a terminating run — discharged semantically.
-            discharge_termination("Frame(⇓)", &ti, scope, ctx, stats)?;
+            sink.emit(
+                "Frame(⇓)",
+                ObligationKind::Termination { triple: ti.clone() },
+                scope,
+                ctx,
+                stats,
+            )?;
             Ok(Triple::new(
                 ti.pre.and(frame.clone()),
                 ti.cmd,
@@ -840,8 +857,8 @@ fn check_in(
         }
 
         Derivation::Union(l, r) => {
-            let tl = check_in(l, ctx, scope, stats)?;
-            let tr = check_in(r, ctx, scope, stats)?;
+            let tl = check_in(l, ctx, scope, stats, sink)?;
+            let tr = check_in(r, ctx, scope, stats, sink)?;
             if tl.cmd != tr.cmd {
                 return Err(structural("Union", "premises prove different commands"));
             }
@@ -853,7 +870,7 @@ fn check_in(
         }
 
         Derivation::BigUnion(inner) => {
-            let ti = check_in(inner, ctx, scope, stats)?;
+            let ti = check_in(inner, ctx, scope, stats, sink)?;
             Ok(Triple::new(
                 Assertion::UnionOf(Box::new(ti.pre)),
                 ti.cmd,
@@ -868,7 +885,7 @@ fn check_in(
         } => {
             let mut cmd: Option<Cmd> = None;
             for n in 0..=premises.bound {
-                let tn = check_in(&premises.at(n), ctx, scope, stats)?;
+                let tn = check_in(&premises.at(n), ctx, scope, stats, sink)?;
                 if tn.pre != pre_fam.at(n) || tn.post != post_fam.at(n) {
                     return Err(structural(
                         "IndexedUnion",
@@ -895,7 +912,7 @@ fn check_in(
         }
 
         Derivation::Specialize { b, inner } => {
-            let ti = check_in(inner, ctx, scope, stats)?;
+            let ti = check_in(inner, ctx, scope, stats, sink)?;
             let written = ti.cmd.written_vars();
             let fv = b.free_vars();
             if let Some(x) = written.intersection(&fv).next() {
@@ -916,7 +933,7 @@ fn check_in(
         }
 
         Derivation::LUpdateS { t, e, pre, inner } => {
-            let ti = check_in(inner, ctx, scope, stats)?;
+            let ti = check_in(inner, ctx, scope, stats, sink)?;
             let phi = Symbol::new(PHI);
             let tag = Assertion::forall_state(
                 phi,
@@ -959,7 +976,7 @@ fn check_in(
                 for phi2 in &ctx.validity.sem(cmd, &singleton) {
                     // φ1_L = φ2_L holds by construction of sem.
                     let d12 = premise.at(phi1, phi2);
-                    let t12 = check_in(&d12, ctx, scope, stats)?;
+                    let t12 = check_in(&d12, ctx, scope, stats, sink)?;
                     let expected_pre = p_body.instantiate_state(*phi, phi1);
                     let expected_post = q_body.instantiate_state(*phi, phi2);
                     if t12.cmd != *cmd {
@@ -991,15 +1008,17 @@ fn check_in(
             variant,
             body,
         } => {
-            entails_scoped(
+            sink.emit(
                 "WhileSyncTerm",
-                inv,
-                &Assertion::low_expr(guard),
+                ObligationKind::Entailment {
+                    p: inv.clone(),
+                    q: Assertion::low_expr(guard),
+                },
                 scope,
                 ctx,
                 stats,
             )?;
-            let tb = check_in(body, ctx, scope, stats)?;
+            let tb = check_in(body, ctx, scope, stats, sink)?;
             let expected_pre = inv.clone().and(Assertion::box_pred(guard));
             if tb.pre != expected_pre || tb.post != *inv {
                 return Err(structural(
@@ -1009,8 +1028,23 @@ fn check_in(
             }
             // ⊢⇓ discharge: the body terminates from I ∧ □b sets and the
             // variant strictly decreases (well-founded: 0 ≤ e' < e).
-            discharge_termination("WhileSyncTerm", &tb, scope, ctx, stats)?;
-            discharge_variant_decrease(guard, variant, &tb, scope, ctx, stats)?;
+            sink.emit(
+                "WhileSyncTerm",
+                ObligationKind::Termination { triple: tb.clone() },
+                scope,
+                ctx,
+                stats,
+            )?;
+            sink.emit(
+                "WhileSyncTerm",
+                ObligationKind::VariantDecrease {
+                    variant: variant.clone(),
+                    body: tb.clone(),
+                },
+                scope,
+                ctx,
+                stats,
+            )?;
             let post = inv.clone().and(Assertion::box_pred(&guard.clone().not()));
             Ok(Triple::new(
                 inv.clone().and(Assertion::low_expr(guard)),
@@ -1030,83 +1064,16 @@ fn check_in(
         }
 
         Derivation::Oracle { triple, note: _ } => {
-            valid_scoped("Oracle", triple, scope, ctx, stats)?;
+            sink.emit(
+                "Oracle",
+                ObligationKind::Valid {
+                    triple: triple.clone(),
+                },
+                scope,
+                ctx,
+                stats,
+            )?;
             Ok(triple.clone())
         }
     }
-}
-
-/// `⊢⇓` side condition: every state of every candidate set satisfying the
-/// premise's precondition has a terminating run of the premise's command.
-fn discharge_termination(
-    rule: &'static str,
-    t: &Triple,
-    scope: &Scope,
-    ctx: &ProofContext,
-    stats: &mut CheckStats,
-) -> Result<(), ProofError> {
-    stats.oracle_admissions += 1;
-    let sets = candidate_sets(&ctx.validity.universe, &ctx.validity.check);
-    for env0 in scope_bindings(scope, ctx) {
-        for s in &sets {
-            let mut env = env0.clone();
-            if eval_in_env(&t.pre, s, &mut env, &ctx.validity.check.eval) {
-                for phi in s {
-                    if !ctx.validity.exec.has_terminating_run(&t.cmd, &phi.program) {
-                        return Err(ProofError::Semantic {
-                            rule,
-                            counterexample: Counterexample {
-                                set: s.clone(),
-                                context: format!("{phi} has no terminating run of {}", t.cmd),
-                            },
-                        });
-                    }
-                }
-            }
-        }
-    }
-    Ok(())
-}
-
-/// Variant decrease for `WhileSyncTerm`: from any state satisfying the body
-/// precondition, every body successor strictly decreases the (non-negative)
-/// variant.
-fn discharge_variant_decrease(
-    guard: &Expr,
-    variant: &Expr,
-    body_triple: &Triple,
-    scope: &Scope,
-    ctx: &ProofContext,
-    stats: &mut CheckStats,
-) -> Result<(), ProofError> {
-    stats.oracle_admissions += 1;
-    let _ = guard;
-    let sets = candidate_sets(&ctx.validity.universe, &ctx.validity.check);
-    for env0 in scope_bindings(scope, ctx) {
-        for s in &sets {
-            let mut env = env0.clone();
-            if !eval_in_env(&body_triple.pre, s, &mut env, &ctx.validity.check.eval) {
-                continue;
-            }
-            for phi in s {
-                let before = variant.eval(&phi.program).as_int();
-                let singleton: hhl_lang::StateSet = std::iter::once(phi.clone()).collect();
-                for phi2 in &ctx.validity.sem(&body_triple.cmd, &singleton) {
-                    let after = variant.eval(&phi2.program).as_int();
-                    if !(0 <= after && after < before) {
-                        return Err(ProofError::Semantic {
-                            rule: "WhileSyncTerm",
-                            counterexample: Counterexample {
-                                set: s.clone(),
-                                context: format!(
-                                    "variant {variant} does not decrease: {before} → {after}"
-                                ),
-                            },
-                        });
-                    }
-                }
-            }
-        }
-    }
-    Ok(())
 }

@@ -28,6 +28,7 @@
 
 pub mod check;
 mod error;
+pub mod oblig;
 #[cfg(test)]
 mod tests;
 mod wp;
@@ -37,8 +38,14 @@ use std::rc::Rc;
 use hhl_assert::{Assertion, Family};
 use hhl_lang::{Cmd, Expr, ExtState, Symbol};
 
-pub use check::{align_conclusion, check, CheckStats, CheckedProof, ProofContext};
+pub use check::{
+    align_conclusion, check, extract_obligations, CheckStats, CheckedProof, ProofContext,
+};
 pub use error::ProofError;
+pub use oblig::{
+    align_obligations, discharge_obligation, Extraction, ObligationKind, ObligationScope,
+    SemanticObligation,
+};
 pub use wp::{atomize, premise_pre, wp_derivation, WpError};
 
 use crate::triple::Triple;

@@ -1,0 +1,331 @@
+//! Independently checkable semantic obligations of a proof tree.
+//!
+//! The checker's walk over a [`Derivation`](crate::proof::Derivation)
+//! interleaves two kinds of work: *structural* side conditions (premise
+//! shapes, matching assertions — cheap, inherently sequential) and
+//! *semantic* side conditions (entailments, `Oracle` admissions, `⊢⇓`
+//! discharges, variant decreases — each a self-contained sweep over the
+//! finite model). The semantic conditions are independent of one another:
+//! per the extended HHL presentation, every rule premise is separately
+//! checkable, which makes them natural units for parallel checking and
+//! obligation-level caching.
+//!
+//! This module reifies those units as [`SemanticObligation`]s. The shared
+//! walk in `check.rs` either *discharges* each obligation on the spot (the
+//! classic [`check`](crate::proof::check::check)) or *collects* them
+//! ([`extract_obligations`]) for a driver to fan across workers. Both paths
+//! run the identical discharge code ([`discharge_obligation`]) under the
+//! identical captured [`ObligationScope`], so a sharded check is
+//! result-equivalent to the sequential one obligation-for-obligation — the
+//! contract the differential shard-vs-whole test suite pins down.
+
+use hhl_assert::{candidate_sets, eval_in_env, Assertion, Counterexample, Env};
+use hhl_lang::{Expr, Symbol, Value};
+
+use crate::proof::check::{CheckStats, ProofContext};
+use crate::proof::ProofError;
+use crate::triple::Triple;
+
+/// The meta-variable scope in force where an obligation arose: the value
+/// variables introduced by `Exist`/`Forall`/`While-∃` and the state
+/// variables introduced by `While-∃`, in binding order. Discharging
+/// enumerates every binding of these variables over the context's domains.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ObligationScope {
+    /// Meta-quantified value variables, outermost first.
+    pub vals: Vec<Symbol>,
+    /// Meta-quantified state variables, outermost first.
+    pub states: Vec<Symbol>,
+}
+
+/// What a semantic obligation asserts about the finite model.
+#[derive(Clone, Debug)]
+pub enum ObligationKind {
+    /// `P |= Q` under every scope binding (the `Cons` family, `WhileSync`'s
+    /// `I |= low(b)`, conclusion alignment).
+    Entailment {
+        /// The entailing assertion.
+        p: Assertion,
+        /// The entailed assertion.
+        q: Assertion,
+    },
+    /// Semantic validity of a triple (Def. 5) under every scope binding
+    /// (`Oracle` admissions).
+    Valid {
+        /// The admitted triple.
+        triple: Triple,
+    },
+    /// The `⊢⇓` side condition (Def. 24): every state of every candidate
+    /// set satisfying the triple's precondition has a terminating run of
+    /// its command (`Frame(⇓)`, `WhileSyncTerm`).
+    Termination {
+        /// The premise triple whose precondition scopes the check.
+        triple: Triple,
+    },
+    /// `WhileSyncTerm`'s variant decrease: from any state of a set
+    /// satisfying the body precondition, every body successor strictly
+    /// decreases the non-negative variant.
+    VariantDecrease {
+        /// The variant expression.
+        variant: Expr,
+        /// The checked body triple (precondition + command drive the sweep).
+        body: Triple,
+    },
+}
+
+impl ObligationKind {
+    /// A short, stable tag naming the kind (fingerprints, statistics).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ObligationKind::Entailment { .. } => "entailment",
+            ObligationKind::Valid { .. } => "valid",
+            ObligationKind::Termination { .. } => "termination",
+            ObligationKind::VariantDecrease { .. } => "variant-decrease",
+        }
+    }
+
+    /// Charges this obligation to the matching [`CheckStats`] counter —
+    /// exactly what the sequential checker counts when it discharges the
+    /// obligation inline, so collected and eager statistics agree.
+    pub fn charge(&self, stats: &mut CheckStats) {
+        match self {
+            ObligationKind::Entailment { .. } => stats.entailments += 1,
+            ObligationKind::Valid { .. }
+            | ObligationKind::Termination { .. }
+            | ObligationKind::VariantDecrease { .. } => stats.oracle_admissions += 1,
+        }
+    }
+}
+
+/// One independently checkable semantic obligation.
+#[derive(Clone, Debug)]
+pub struct SemanticObligation {
+    /// Position in the sequential checker's discharge order. When several
+    /// obligations fail, the one with the smallest `seq` is the error the
+    /// sequential checker would have reported — aggregators must honour it
+    /// to stay byte-identical with whole-tree checking.
+    pub seq: usize,
+    /// The rule that raised the obligation (error messages, statistics).
+    pub rule: &'static str,
+    /// What must hold.
+    pub kind: ObligationKind,
+    /// The meta-variable scope in force at the raise site.
+    pub scope: ObligationScope,
+}
+
+impl SemanticObligation {
+    /// An entailment obligation under an empty scope (conclusion
+    /// alignment; also convenient in tests).
+    pub fn entailment(seq: usize, rule: &'static str, p: Assertion, q: Assertion) -> Self {
+        SemanticObligation {
+            seq,
+            rule,
+            kind: ObligationKind::Entailment { p, q },
+            scope: ObligationScope::default(),
+        }
+    }
+}
+
+/// Everything a collecting walk over a derivation produces.
+#[derive(Debug)]
+pub struct Extraction {
+    /// The collected obligations, in sequential discharge order.
+    pub obligations: Vec<SemanticObligation>,
+    /// Statistics of the walk: on `Ok` outcomes these equal what a fully
+    /// successful sequential check reports; on structural errors they cover
+    /// the walked prefix.
+    pub stats: CheckStats,
+    /// The structural outcome: the conclusion triple, or the structural
+    /// error the walk hit. A structural error only *surfaces* when every
+    /// obligation collected before it discharges — the sequential checker
+    /// would have reported an earlier failing obligation first.
+    pub outcome: Result<Triple, ProofError>,
+}
+
+/// The two `Cons` entailments aligning a checked conclusion with a target
+/// pre/postcondition (empty scope, `seq` starting at `first_seq`). Both
+/// [`align_conclusion`](crate::proof::check::align_conclusion) and the
+/// sharded replayer build their alignment obligations here, so the two
+/// paths cannot drift.
+pub fn align_obligations(
+    conclusion: &Triple,
+    pre: &Assertion,
+    post: &Assertion,
+    first_seq: usize,
+) -> [SemanticObligation; 2] {
+    [
+        SemanticObligation::entailment(first_seq, "Cons", pre.clone(), conclusion.pre.clone()),
+        SemanticObligation::entailment(
+            first_seq + 1,
+            "Cons",
+            conclusion.post.clone(),
+            post.clone(),
+        ),
+    ]
+}
+
+/// All bindings of the scope's meta-variables over the context's domains,
+/// capped at `scope_cap` (systematic truncation keeps checks deterministic).
+fn scope_bindings(scope: &ObligationScope, ctx: &ProofContext) -> Vec<Env> {
+    let mut envs = vec![Env::new()];
+    let values: Vec<Value> = ctx.validity.check.eval.values.clone();
+    for y in &scope.vals {
+        let mut next = Vec::new();
+        for env in &envs {
+            for v in &values {
+                let mut e2 = env.clone();
+                e2.vals.insert(*y, v.clone());
+                next.push(e2);
+                if next.len() >= ctx.scope_cap {
+                    break;
+                }
+            }
+            if next.len() >= ctx.scope_cap {
+                break;
+            }
+        }
+        envs = next;
+    }
+    for phi in &scope.states {
+        let mut next = Vec::new();
+        for env in &envs {
+            for st in &ctx.validity.universe.states {
+                let mut e2 = env.clone();
+                e2.states.insert(*phi, st.clone());
+                next.push(e2);
+                if next.len() >= ctx.scope_cap {
+                    break;
+                }
+            }
+            if next.len() >= ctx.scope_cap {
+                break;
+            }
+        }
+        envs = next;
+    }
+    envs
+}
+
+/// Discharges one obligation against the finite model.
+///
+/// Deterministic and self-contained: the result (including which
+/// counterexample surfaces) depends only on the obligation and the context,
+/// never on other obligations or on scheduling — safe to run on any worker,
+/// to deduplicate by fingerprint, and to cache across processes.
+///
+/// # Errors
+///
+/// The same [`ProofError`] the sequential checker raises at the obligation's
+/// raise site: [`ProofError::Entailment`] with a counterexample for refuted
+/// entailments, [`ProofError::Semantic`] for the model-discharged kinds.
+pub fn discharge_obligation(ob: &SemanticObligation, ctx: &ProofContext) -> Result<(), ProofError> {
+    match &ob.kind {
+        ObligationKind::Entailment { p, q } => {
+            let sets = candidate_sets(&ctx.validity.universe, &ctx.validity.check);
+            for env0 in scope_bindings(&ob.scope, ctx) {
+                for s in &sets {
+                    let mut env = env0.clone();
+                    if eval_in_env(p, s, &mut env, &ctx.validity.check.eval) {
+                        let mut env = env0.clone();
+                        if !eval_in_env(q, s, &mut env, &ctx.validity.check.eval) {
+                            return Err(ProofError::Entailment {
+                                rule: ob.rule,
+                                counterexample: Counterexample {
+                                    set: s.clone(),
+                                    context: format!("{p} |= {q}"),
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+
+        ObligationKind::Valid { triple: t } => {
+            let sets = candidate_sets(&ctx.validity.universe, &ctx.validity.check);
+            // `sem(C, S)` is independent of the scope binding, so compute it
+            // at most once per candidate set however many bindings re-visit
+            // the set (lazily, preserving the binding-major iteration order
+            // and hence which counterexample surfaces first).
+            let mut outs: Vec<Option<hhl_lang::StateSet>> = vec![None; sets.len()];
+            for env0 in scope_bindings(&ob.scope, ctx) {
+                for (i, s) in sets.iter().enumerate() {
+                    let mut env = env0.clone();
+                    if eval_in_env(&t.pre, s, &mut env, &ctx.validity.check.eval) {
+                        let out = outs[i].get_or_insert_with(|| ctx.validity.sem(&t.cmd, s));
+                        let mut env = env0.clone();
+                        if !eval_in_env(&t.post, out, &mut env, &ctx.validity.check.eval) {
+                            return Err(ProofError::Semantic {
+                                rule: ob.rule,
+                                counterexample: Counterexample {
+                                    set: s.clone(),
+                                    context: format!("{t}"),
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+
+        ObligationKind::Termination { triple: t } => {
+            let sets = candidate_sets(&ctx.validity.universe, &ctx.validity.check);
+            for env0 in scope_bindings(&ob.scope, ctx) {
+                for s in &sets {
+                    let mut env = env0.clone();
+                    if eval_in_env(&t.pre, s, &mut env, &ctx.validity.check.eval) {
+                        for phi in s {
+                            if !ctx.validity.exec.has_terminating_run(&t.cmd, &phi.program) {
+                                return Err(ProofError::Semantic {
+                                    rule: ob.rule,
+                                    counterexample: Counterexample {
+                                        set: s.clone(),
+                                        context: format!(
+                                            "{phi} has no terminating run of {}",
+                                            t.cmd
+                                        ),
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+
+        ObligationKind::VariantDecrease { variant, body } => {
+            let sets = candidate_sets(&ctx.validity.universe, &ctx.validity.check);
+            for env0 in scope_bindings(&ob.scope, ctx) {
+                for s in &sets {
+                    let mut env = env0.clone();
+                    if !eval_in_env(&body.pre, s, &mut env, &ctx.validity.check.eval) {
+                        continue;
+                    }
+                    for phi in s {
+                        let before = variant.eval(&phi.program).as_int();
+                        let singleton: hhl_lang::StateSet = std::iter::once(phi.clone()).collect();
+                        for phi2 in &ctx.validity.sem(&body.cmd, &singleton) {
+                            let after = variant.eval(&phi2.program).as_int();
+                            if !(0 <= after && after < before) {
+                                return Err(ProofError::Semantic {
+                                    rule: ob.rule,
+                                    counterexample: Counterexample {
+                                        set: s.clone(),
+                                        context: format!(
+                                            "variant {variant} does not decrease: \
+                                             {before} → {after}"
+                                        ),
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}

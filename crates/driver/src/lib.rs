@@ -28,8 +28,10 @@
 
 pub mod pool;
 pub mod report;
+pub mod shard;
 pub mod store;
 
 pub use pool::{run_ordered, PoolStats};
 pub use report::{BatchReport, FileReport, FileStatus, Summary};
-pub use store::{StoreStats, VerdictRecord, VerdictStore};
+pub use shard::{ShardCounters, ShardStats};
+pub use store::{ReplaySummary, StoreStats, VerdictRecord, VerdictStore};

@@ -1,0 +1,129 @@
+//! Shared counters for sharded (intra-certificate) checking.
+//!
+//! The sharding drivers split each certificate into obligation shards,
+//! deduplicate them by fingerprint, answer what they can from the
+//! obligation store, and discharge the rest on the worker pool. These
+//! counters aggregate that accounting across every certificate of a run —
+//! thread-safe so batch workers can bump them concurrently — and render
+//! the stderr `[shard]` diagnostics line. Like the pool and memo counters,
+//! they are never part of the deterministic stdout report.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe accumulation of shard accounting (see the module docs).
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    total: AtomicU64,
+    distinct: AtomicU64,
+    cached: AtomicU64,
+    rechecked: AtomicU64,
+    written: AtomicU64,
+    summaries: AtomicU64,
+}
+
+impl ShardCounters {
+    /// Fresh, all-zero counters.
+    pub fn new() -> ShardCounters {
+        ShardCounters::default()
+    }
+
+    /// Accounts one certificate's shard plan: how many shards it produced
+    /// and how many distinct fingerprints remained after deduplication.
+    pub fn note_plan(&self, total: u64, distinct: u64) {
+        self.total.fetch_add(total, Ordering::Relaxed);
+        self.distinct.fetch_add(distinct, Ordering::Relaxed);
+    }
+
+    /// One distinct shard answered from the obligation store.
+    pub fn note_cached(&self) {
+        self.cached.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One distinct shard discharged against the model.
+    pub fn note_rechecked(&self) {
+        self.rechecked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One obligation record written after a successful discharge.
+    pub fn note_written(&self) {
+        self.written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One whole certificate answered from its replay-summary record
+    /// (elaboration and sharding skipped entirely).
+    pub fn note_summary_hit(&self) {
+        self.summaries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot.
+    pub fn snapshot(&self) -> ShardStats {
+        ShardStats {
+            total: self.total.load(Ordering::Relaxed),
+            distinct: self.distinct.load(Ordering::Relaxed),
+            cached: self.cached.load(Ordering::Relaxed),
+            rechecked: self.rechecked.load(Ordering::Relaxed),
+            written: self.written.load(Ordering::Relaxed),
+            summaries: self.summaries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ShardCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Obligation shards produced by all shard plans.
+    pub total: u64,
+    /// Distinct shard fingerprints after intra-certificate deduplication.
+    pub distinct: u64,
+    /// Distinct shards answered from the obligation store.
+    pub cached: u64,
+    /// Distinct shards discharged against the model.
+    pub rechecked: u64,
+    /// Obligation records written.
+    pub written: u64,
+    /// Certificates answered from replay-summary records without
+    /// re-elaboration.
+    pub summaries: u64,
+}
+
+impl ShardStats {
+    /// Whether anything shard-related happened (gates the stderr line).
+    pub fn any(&self) -> bool {
+        *self != ShardStats::default()
+    }
+}
+
+impl fmt::Display for ShardStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} shard(s), {} distinct: {} cached, {} re-checked, {} written; \
+             {} certificate summary hit(s)",
+            self.total, self.distinct, self.cached, self.rechecked, self.written, self.summaries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let counters = ShardCounters::new();
+        assert!(!counters.snapshot().any());
+        counters.note_plan(5, 2);
+        counters.note_cached();
+        counters.note_rechecked();
+        counters.note_written();
+        counters.note_summary_hit();
+        let stats = counters.snapshot();
+        assert!(stats.any());
+        assert_eq!(
+            stats.to_string(),
+            "5 shard(s), 2 distinct: 1 cached, 1 re-checked, 1 written; \
+             1 certificate summary hit(s)"
+        );
+    }
+}

@@ -8,9 +8,28 @@
 //! `hhl_lang::SemCache` subset), so warm extended-semantics entries survive
 //! process exit.
 //!
-//! This module is deliberately *generic*: it deals in fingerprint strings,
-//! `PASS`/`FAIL` verdict records and opaque blobs, and knows nothing about
-//! the spec format or the engines — fingerprinting lives with the CLI,
+//! # Record kinds (`.verdict` schema v2)
+//!
+//! Every record is one `<fp>.verdict` file: the schema line, the embedded
+//! fingerprint, a `kind:` tag, kind-specific fields, and a trailing FNV-64
+//! checksum over everything before it. Three kinds exist:
+//!
+//! * `kind: verdict` — a whole-file batch verdict (`mode` + `PASS`/`FAIL`),
+//!   keyed by the spec fingerprint; the PR-4 record, now kind-tagged;
+//! * `kind: oblig` — one certificate obligation discharged successfully,
+//!   keyed by its shard fingerprint (rule id + obligation payload + model).
+//!   Only *passes* are recorded — a failing obligation is always
+//!   re-checked, so the record layer can never convert a refutation into a
+//!   silent skip (fail-closed);
+//! * `kind: replay` — a successfully replayed certificate's summary
+//!   (checker statistics + whether the conclusion was Cons-aligned), keyed
+//!   by the replay fingerprint over spec *and* certificate bytes. A hit
+//!   lets `hhl replay` rebuild its full report without re-elaborating the
+//!   script at all.
+//!
+//! This module stays *generic*: it deals in fingerprint strings, small
+//! field records and opaque blobs, and knows nothing about the spec format
+//! or the engines — fingerprinting lives with the CLI and `hhl-proofs`,
 //! snapshot encoding with `hhl-lang`, keeping this crate dependency-free.
 //!
 //! Robustness contract (a wrong cache entry would be an unsoundness, so
@@ -18,9 +37,10 @@
 //!
 //! * records are written atomically (temp file + rename), so a crashed or
 //!   concurrent batch can leave stale entries but never torn ones;
-//! * every record embeds its schema line, its own fingerprint and a
-//!   checksum; truncated, bit-flipped, renamed, foreign-schema or
-//!   future-schema files all fail validation and read as misses;
+//! * every record embeds its schema line, its own fingerprint, its kind and
+//!   a checksum; truncated, bit-flipped, renamed, wrong-kind,
+//!   foreign-schema or future-schema files (including every v1 record) all
+//!   fail validation and read as misses;
 //! * lookups and writes never panic on I/O errors — a broken cache
 //!   directory costs recomputation, not the batch.
 
@@ -31,8 +51,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Schema line of verdict records. Bump to invalidate old caches wholesale
-/// whenever record semantics change.
-pub const STORE_SCHEMA: &str = "hhl-verdict v1";
+/// whenever record semantics change. v2 added the `kind:` tag plus the
+/// obligation and replay-summary record kinds.
+pub const STORE_SCHEMA: &str = "hhl-verdict v2";
 
 /// File name of the persisted memo-snapshot blob inside the cache dir.
 pub const MEMO_FILE: &str = "memo.hhlc";
@@ -61,6 +82,23 @@ pub struct VerdictRecord {
     pub mode: String,
     /// `"PASS"` or `"FAIL"` — anything else fails record validation.
     pub verdict: String,
+}
+
+/// The summary a successful certificate replay leaves behind (`kind:
+/// replay` records): enough to rebuild the full `hhl replay` report —
+/// checker statistics plus whether the conclusion was aligned via `Cons` —
+/// without re-elaborating or re-checking the certificate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Rule applications validated.
+    pub rules: u64,
+    /// Entailments discharged.
+    pub entailments: u64,
+    /// Oracle admissions (incl. `⊢⇓` discharges).
+    pub oracles: u64,
+    /// Whether the certificate's conclusion was aligned to the spec triple
+    /// by an interposed `Cons`.
+    pub aligned: bool,
 }
 
 /// Point-in-time counters of a [`VerdictStore`].
@@ -189,6 +227,75 @@ impl VerdictStore {
         }
     }
 
+    /// Records a successfully discharged certificate obligation under its
+    /// shard fingerprint. Only passes exist at this layer — failures are
+    /// never recorded, so a corrupted or stale store can only cost
+    /// re-checking, never skip a refutation (fail-closed).
+    pub fn record_obligation(&self, fp: &str, rule: &str) {
+        let Some(path) = self.record_path(fp) else {
+            return;
+        };
+        if rule.contains('\n') {
+            return;
+        }
+        let _ = atomic_write(&path, &render_fields(fp, "oblig", &[("rule", rule)]));
+    }
+
+    /// Whether `fp`'s obligation is recorded as discharged. Subject to the
+    /// same fail-closed validation as [`lookup`](VerdictStore::lookup):
+    /// every failure mode (including `--fresh`) reads as "not recorded".
+    pub fn lookup_obligation(&self, fp: &str) -> bool {
+        if self.fresh {
+            return false;
+        }
+        self.record_path(fp)
+            .and_then(|path| fs::read_to_string(path).ok())
+            .and_then(|text| parse_fields(fp, "oblig", &text))
+            .is_some_and(|fields| fields.iter().any(|(k, _)| k == "rule"))
+    }
+
+    /// Records a successfully replayed certificate's summary under the
+    /// replay fingerprint (spec + certificate bytes). Only successful
+    /// replays are recorded; rejected certificates are always re-examined.
+    pub fn record_replay(&self, fp: &str, summary: &ReplaySummary) {
+        let Some(path) = self.record_path(fp) else {
+            return;
+        };
+        let fields = [
+            ("rules", summary.rules.to_string()),
+            ("entailments", summary.entailments.to_string()),
+            ("oracles", summary.oracles.to_string()),
+            ("aligned", u64::from(summary.aligned).to_string()),
+        ];
+        let borrowed: Vec<(&str, &str)> = fields.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        let _ = atomic_write(&path, &render_fields(fp, "replay", &borrowed));
+    }
+
+    /// Looks up a replay summary (fail-closed; `--fresh` reads nothing).
+    pub fn lookup_replay(&self, fp: &str) -> Option<ReplaySummary> {
+        if self.fresh {
+            return None;
+        }
+        let text = fs::read_to_string(self.record_path(fp)?).ok()?;
+        let fields = parse_fields(fp, "replay", &text)?;
+        let get = |key: &str| -> Option<u64> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.parse::<u64>().ok())
+        };
+        Some(ReplaySummary {
+            rules: get("rules")?,
+            entailments: get("entailments")?,
+            oracles: get("oracles")?,
+            aligned: match get("aligned")? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            },
+        })
+    }
+
     /// Reads the persisted memo-snapshot blob, if any (and not `--fresh`).
     /// Blob validation is the snapshot format's own job (`hhl_lang`
     /// checksums each line), so corruption here degrades to rejected lines.
@@ -214,16 +321,23 @@ impl VerdictStore {
     }
 }
 
-fn render_record(fp: &str, record: &VerdictRecord) -> String {
-    let body = format!(
-        "{STORE_SCHEMA}\nfp: {fp}\nmode: {}\nverdict: {}\n",
-        record.mode, record.verdict
-    );
+/// Renders a v2 record: schema, fingerprint, kind, fields, checksum.
+fn render_fields(fp: &str, kind: &str, fields: &[(&str, &str)]) -> String {
+    let mut body = format!("{STORE_SCHEMA}\nfp: {fp}\nkind: {kind}\n");
+    for (key, value) in fields {
+        body.push_str(key);
+        body.push_str(": ");
+        body.push_str(value);
+        body.push('\n');
+    }
     let sum = checksum(&body);
     format!("{body}sum: {sum:016x}\n")
 }
 
-fn parse_record(fp: &str, text: &str) -> Option<VerdictRecord> {
+/// Validates a v2 record (checksum, schema, embedded fingerprint, expected
+/// kind) and returns its fields. Any failure — including a *different*
+/// kind recorded under the same fingerprint — is `None`, i.e. a miss.
+fn parse_fields(fp: &str, kind: &str, text: &str) -> Option<Vec<(String, String)>> {
     let (body, tail) = text.rsplit_once("sum: ")?;
     let sum = u64::from_str_radix(tail.trim_end_matches('\n'), 16).ok()?;
     if sum != checksum(body) {
@@ -236,12 +350,40 @@ fn parse_record(fp: &str, text: &str) -> Option<VerdictRecord> {
     if lines.next()?.strip_prefix("fp: ")? != fp {
         return None;
     }
-    let mode = lines.next()?.strip_prefix("mode: ")?.to_owned();
-    let verdict = lines.next()?.strip_prefix("verdict: ")?.to_owned();
-    if lines.next().is_some() || (verdict != "PASS" && verdict != "FAIL") {
+    if lines.next()?.strip_prefix("kind: ")? != kind {
         return None;
     }
-    Some(VerdictRecord { mode, verdict })
+    let mut fields = Vec::new();
+    for line in lines {
+        let (key, value) = line.split_once(": ")?;
+        fields.push((key.to_owned(), value.to_owned()));
+    }
+    Some(fields)
+}
+
+fn render_record(fp: &str, record: &VerdictRecord) -> String {
+    render_fields(
+        fp,
+        "verdict",
+        &[("mode", &record.mode), ("verdict", &record.verdict)],
+    )
+}
+
+fn parse_record(fp: &str, text: &str) -> Option<VerdictRecord> {
+    let fields = parse_fields(fp, "verdict", text)?;
+    let [(mode_key, mode), (verdict_key, verdict)] = fields.as_slice() else {
+        return None;
+    };
+    if mode_key != "mode" || verdict_key != "verdict" {
+        return None;
+    }
+    if verdict != "PASS" && verdict != "FAIL" {
+        return None;
+    }
+    Some(VerdictRecord {
+        mode: mode.clone(),
+        verdict: verdict.clone(),
+    })
 }
 
 fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
@@ -318,9 +460,17 @@ mod tests {
         fs::write(&path, original.replace("PASS", "QASS")).unwrap();
         assert_eq!(store.lookup(FP), None);
 
-        // Wrong schema version.
-        fs::write(&path, original.replace("hhl-verdict v1", "hhl-verdict v9")).unwrap();
+        // Wrong schema version (both older and newer than ours).
+        fs::write(&path, original.replace("hhl-verdict v2", "hhl-verdict v1")).unwrap();
         assert_eq!(store.lookup(FP), None);
+        fs::write(&path, original.replace("hhl-verdict v2", "hhl-verdict v9")).unwrap();
+        assert_eq!(store.lookup(FP), None);
+
+        // A checksummed record of a *different kind* under the same
+        // fingerprint must not answer a verdict lookup (and vice versa).
+        store.record_obligation(FP, "Cons");
+        assert_eq!(store.lookup(FP), None);
+        assert!(!store.lookup_obligation("ffeeddccbbaa99887766554433221100"));
 
         // A record renamed under another fingerprint must not answer it.
         let other = "ffeeddccbbaa99887766554433221100";
@@ -345,7 +495,8 @@ mod tests {
         assert_eq!(store.stats().writes, 0);
         // Hand-craft a checksummed record with a non-binary verdict: the
         // reader still refuses it.
-        let body = format!("{STORE_SCHEMA}\nfp: {FP}\nmode: check\nverdict: MAYBE\n");
+        let body =
+            format!("{STORE_SCHEMA}\nfp: {FP}\nkind: verdict\nmode: check\nverdict: MAYBE\n");
         let sum = checksum(&body);
         fs::write(
             store.dir().join(format!("{FP}.verdict")),
@@ -353,6 +504,55 @@ mod tests {
         )
         .unwrap();
         assert_eq!(store.lookup(FP), None);
+    }
+
+    #[test]
+    fn obligation_records_roundtrip_and_fail_closed() {
+        let store = temp_store("oblig", false);
+        assert!(!store.lookup_obligation(FP));
+        store.record_obligation(FP, "WhileSync");
+        assert!(store.lookup_obligation(FP));
+
+        // Corruption degrades to "not recorded" (re-check), never a panic.
+        let path = store.dir().join(format!("{FP}.verdict"));
+        let original = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &original[..original.len() / 2]).unwrap();
+        assert!(!store.lookup_obligation(FP));
+        fs::write(&path, original.replace("WhileSync", "WhileSynk")).unwrap();
+        assert!(!store.lookup_obligation(FP));
+
+        // --fresh ignores records; multi-line rule names never write.
+        fs::write(&path, &original).unwrap();
+        let fresh = VerdictStore::open(store.dir(), true).unwrap();
+        assert!(!fresh.lookup_obligation(FP));
+        let other = "ffeeddccbbaa99887766554433221100";
+        store.record_obligation(other, "bad\nrule");
+        assert!(!store.lookup_obligation(other));
+    }
+
+    #[test]
+    fn replay_summaries_roundtrip_and_fail_closed() {
+        let store = temp_store("replay", false);
+        let summary = ReplaySummary {
+            rules: 12,
+            entailments: 3,
+            oracles: 1,
+            aligned: true,
+        };
+        assert_eq!(store.lookup_replay(FP), None);
+        store.record_replay(FP, &summary);
+        assert_eq!(store.lookup_replay(FP), Some(summary));
+
+        let path = store.dir().join(format!("{FP}.verdict"));
+        let original = fs::read_to_string(&path).unwrap();
+        // Bit flip in a count: checksum fails, miss.
+        fs::write(&path, original.replace("rules: 12", "rules: 13")).unwrap();
+        assert_eq!(store.lookup_replay(FP), None);
+        // A replay record never answers verdict or obligation lookups.
+        fs::write(&path, &original).unwrap();
+        assert_eq!(store.lookup(FP), None);
+        assert!(!store.lookup_obligation(FP));
+        assert_eq!(store.lookup_replay(FP), Some(summary));
     }
 
     #[test]

@@ -141,9 +141,24 @@ impl StableHasher {
         self.write_bytes(s.as_bytes());
     }
 
+    /// Folds a previously computed [`Fingerprint`] in (sub-tree hashing).
+    pub fn write_fingerprint(&mut self, fp: Fingerprint) {
+        self.write_u128(fp.0);
+    }
+
     /// The fingerprint of everything written so far.
     pub fn finish(&self) -> Fingerprint {
         Fingerprint(self.state)
+    }
+}
+
+/// Hashes a symbol list by *name*, in order (symbol ids are process-local
+/// and must never reach a stable hash). Used for the meta-variable scopes
+/// of sharded proof obligations.
+pub fn fp_symbols(h: &mut StableHasher, symbols: &[crate::Symbol]) {
+    h.write_usize(symbols.len());
+    for s in symbols {
+        h.write_str(&s.as_str());
     }
 }
 
@@ -336,6 +351,27 @@ pub fn fp_cmd(c: &Cmd) -> Fingerprint {
     fp
 }
 
+/// The stable fingerprint of an already-interned command.
+///
+/// `None` only for ids never produced by [`intern_cmd`] in this process.
+/// Obligation shards hold interned [`CmdId`] trees and fingerprint through
+/// this lookup, so repeated shard fingerprints cost one table hit.
+pub fn fp_cmd_id(id: CmdId) -> Option<Fingerprint> {
+    if let Some(&fp) = cmd_fps().lock().expect("cmd fp table poisoned").get(&id) {
+        return Some(Fingerprint(fp));
+    }
+    crate::intern::cmd_of(id).map(|cmd| fp_cmd(&cmd))
+}
+
+/// The stable fingerprint of an already-interned expression (see
+/// [`fp_cmd_id`]).
+pub fn fp_expr_id(id: ExprId) -> Option<Fingerprint> {
+    if let Some(&fp) = expr_fps().lock().expect("expr fp table poisoned").get(&id) {
+        return Some(Fingerprint(fp));
+    }
+    crate::intern::expr_of(id).map(|e| fp_expr(&e))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,6 +457,29 @@ mod tests {
         let mut h2 = StableHasher::new();
         fp_state_set(&mut h2, &ba);
         assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn interned_ids_fingerprint_like_their_terms() {
+        let cmd = parse_cmd("x := x + 1; y := nonDet()").unwrap();
+        let id = crate::intern::intern_cmd(&cmd);
+        assert_eq!(fp_cmd_id(id), Some(fp_cmd(&cmd)));
+        let e = Expr::var("x") + Expr::int(3);
+        let eid = crate::intern::intern_expr(&e);
+        assert_eq!(fp_expr_id(eid), Some(fp_expr(&e)));
+    }
+
+    #[test]
+    fn symbol_lists_hash_by_name_and_order() {
+        use crate::Symbol;
+        let mut a = StableHasher::new();
+        fp_symbols(&mut a, &[Symbol::new("y"), Symbol::new("v")]);
+        let mut b = StableHasher::new();
+        fp_symbols(&mut b, &[Symbol::new("v"), Symbol::new("y")]);
+        assert_ne!(a.finish(), b.finish(), "scope order is significant");
+        let mut c = StableHasher::new();
+        fp_symbols(&mut c, &[Symbol::new("y"), Symbol::new("v")]);
+        assert_eq!(a.finish(), c.finish());
     }
 
     #[test]

@@ -227,6 +227,13 @@ pub(crate) fn cmd_of(id: CmdId) -> Option<Cmd> {
     cmd_table().lookup(id.0)
 }
 
+/// Resolves an [`ExprId`] back to the expression it was interned from.
+///
+/// Same contract as [`cmd_of`]: ids are process-local.
+pub(crate) fn expr_of(id: ExprId) -> Option<Expr> {
+    expr_table().lookup(id.0)
+}
+
 impl From<&str> for Symbol {
     fn from(s: &str) -> Symbol {
         Symbol::new(s)

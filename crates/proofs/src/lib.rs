@@ -40,6 +40,13 @@
 //!
 //! Not serializable: the `Linking` rule (its premise is a closure over
 //! concrete state pairs) — [`emit_script`] reports it via [`EmitError`].
+//!
+//! A fourth layer feeds the parallel/incremental replayers:
+//! [`shard_derivation`] splits an elaborated derivation into
+//! independently checkable, stably fingerprinted [`ObligationShard`]s
+//! (per-rule semantic side conditions, per-index loop-family members), the
+//! unit `hhl replay --jobs N` fans across workers, deduplicates, and
+//! caches across processes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,7 +54,9 @@
 mod elab;
 mod emit;
 mod script;
+mod shard;
 
 pub use elab::{compile_script, elaborate};
 pub use emit::{ascii_assertion, ascii_cmd, emit_script, EmitError};
 pub use script::{parse_script, Arg, Script, ScriptError, Step, RULE_TABLE};
+pub use shard::{shard_derivation, shard_fingerprint, ObligationShard, ShardPlan, SHARD_FP_SCHEMA};

@@ -1,0 +1,252 @@
+//! Certificate sharding: splitting an elaborated derivation into
+//! independently checkable, fingerprinted obligation shards.
+//!
+//! A `.hhlp` certificate elaborates into one [`Derivation`] tree, but its
+//! *semantic* obligations — per-rule entailments, `Oracle` admissions, `⊢⇓`
+//! discharges, per-index members of `iter`/`while-desugared` premise
+//! families — are mutually independent (each is a self-contained sweep over
+//! the finite model). [`shard_derivation`] walks the tree once
+//! ([`hhl_core::proof::extract_obligations`]), performing every structural
+//! check, and returns the obligations as [`ObligationShard`]s ready to fan
+//! across a worker pool.
+//!
+//! Each shard carries a **stable fingerprint** over the rule id, the
+//! obligation payload (assertions hashed structurally via
+//! [`hhl_assert::fp_assertion`], commands via the hash-consed
+//! [`hhl_lang::fp_cmd_id`] interned-tree lookup), the captured meta-variable
+//! scope, and the context's model fingerprint plus checking caps. Two
+//! consequences the drivers build on:
+//!
+//! * **intra-run deduplication** — a premise referenced by label `k` times
+//!   elaborates into `k` clones, and the sequential checker discharges each
+//!   clone separately; equal fingerprints identify the copies, so a
+//!   sharding driver discharges one representative per distinct
+//!   fingerprint (the per-loop family members of a constant-invariant
+//!   `iter`/`while-desugared` certificate collapse the same way);
+//! * **cross-run reuse** — a persistent obligation store keyed by shard
+//!   fingerprint re-checks only the shards an edit actually moved (see the
+//!   `hhl-driver` verdict store's obligation records).
+//!
+//! Soundness of both reuses rests on the fingerprint covering *everything*
+//! the discharge result depends on; the shard-fingerprint property suite
+//! (`tests/fingerprint_props.rs`) pins stability and sensitivity down.
+
+use hhl_core::proof::{
+    extract_obligations, CheckStats, Derivation, ObligationKind, ProofContext, ProofError,
+    SemanticObligation,
+};
+use hhl_core::Triple;
+use hhl_lang::{fp_cmd_id, fp_expr, fp_symbols, intern_cmd, Fingerprint, StableHasher};
+
+use hhl_assert::fp_assertion;
+
+/// Schema tag folded into every shard fingerprint. Bump whenever the hash
+/// coverage *or* the discharge semantics change, so stale obligation
+/// records invalidate wholesale.
+pub const SHARD_FP_SCHEMA: &str = "hhl-oblig-fp v1";
+
+/// One independently checkable unit of a certificate.
+#[derive(Clone, Debug)]
+pub struct ObligationShard {
+    /// Stable fingerprint of the obligation under the checking context.
+    pub fingerprint: Fingerprint,
+    /// The obligation itself (its `seq` is the sequential discharge order).
+    pub obligation: SemanticObligation,
+}
+
+/// The shard decomposition of a derivation.
+#[derive(Debug)]
+pub struct ShardPlan {
+    /// All semantic obligations, in sequential discharge order,
+    /// fingerprinted under the context.
+    pub shards: Vec<ObligationShard>,
+    /// Walk statistics; on `Ok` outcomes these equal the [`CheckStats`] a
+    /// fully successful sequential check reports.
+    pub stats: CheckStats,
+    /// The conclusion triple, or the structural error the walk hit. Per the
+    /// soundness contract, a structural error only surfaces to the user
+    /// when every collected shard discharges — an earlier failing shard is
+    /// what the sequential checker would have reported.
+    pub outcome: Result<Triple, ProofError>,
+}
+
+/// Hashes the parts of a triple an obligation's discharge observes: the
+/// assertions structurally, the command via its hash-consed interned id.
+fn fp_triple(h: &mut StableHasher, t: &Triple, slack: u32) {
+    fp_assertion(h, &t.pre, slack);
+    let id = intern_cmd(&t.cmd);
+    h.write_fingerprint(fp_cmd_id(id).expect("id was interned this call"));
+    fp_assertion(h, &t.post, slack);
+}
+
+/// The stable fingerprint of one obligation under a checking context.
+///
+/// Covers the schema tag, the model ([`ValidityConfig::stable_fingerprint`]
+/// — universe, finitized semantics, candidate-set and evaluation knobs),
+/// the context caps that shape scope enumeration, the raising rule, the
+/// captured scope (by symbol *name*), and the kind-specific payload.
+/// Deliberately excludes the obligation's `seq`: inserting or removing an
+/// unrelated proof step must not invalidate the records of untouched
+/// obligations.
+///
+/// [`ValidityConfig::stable_fingerprint`]: hhl_core::ValidityConfig::stable_fingerprint
+pub fn shard_fingerprint(ob: &SemanticObligation, ctx: &ProofContext) -> Fingerprint {
+    let slack = ctx.validity.check.eval.family_slack;
+    let mut h = StableHasher::new();
+    h.write_str(SHARD_FP_SCHEMA);
+    h.write_fingerprint(ctx.validity.stable_fingerprint());
+    h.write_usize(ctx.scope_cap);
+    h.write_usize(ctx.linking_cap);
+    h.write_str(ob.rule);
+    fp_symbols(&mut h, &ob.scope.vals);
+    fp_symbols(&mut h, &ob.scope.states);
+    match &ob.kind {
+        ObligationKind::Entailment { p, q } => {
+            h.write_u8(0);
+            fp_assertion(&mut h, p, slack);
+            fp_assertion(&mut h, q, slack);
+        }
+        ObligationKind::Valid { triple } => {
+            h.write_u8(1);
+            fp_triple(&mut h, triple, slack);
+        }
+        ObligationKind::Termination { triple } => {
+            h.write_u8(2);
+            fp_triple(&mut h, triple, slack);
+        }
+        ObligationKind::VariantDecrease { variant, body } => {
+            h.write_u8(3);
+            h.write_fingerprint(fp_expr(variant));
+            fp_triple(&mut h, body, slack);
+        }
+    }
+    h.finish()
+}
+
+/// Walks `d` once, checking every structural side condition and returning
+/// its semantic obligations as fingerprinted shards (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use hhl_assert::Universe;
+/// use hhl_core::proof::ProofContext;
+/// use hhl_core::ValidityConfig;
+/// use hhl_proofs::{compile_script, shard_derivation};
+///
+/// let proof = compile_script(
+///     "hhlp 1\n\
+///      step a skip p={low(l)}\n\
+///      step root cons pre={low(l)} post={true} from=a\n",
+/// )
+/// .unwrap();
+/// let ctx = ProofContext::new(ValidityConfig::new(Universe::int_cube(&["l"], 0, 1)));
+/// let plan = shard_derivation(&proof, &ctx);
+/// assert_eq!(plan.shards.len(), 2); // the two Cons entailments
+/// assert!(plan.outcome.is_ok());
+/// ```
+pub fn shard_derivation(d: &Derivation, ctx: &ProofContext) -> ShardPlan {
+    let extraction = extract_obligations(d, ctx);
+    let shards = extraction
+        .obligations
+        .into_iter()
+        .map(|obligation| ObligationShard {
+            fingerprint: shard_fingerprint(&obligation, ctx),
+            obligation,
+        })
+        .collect();
+    ShardPlan {
+        shards,
+        stats: extraction.stats,
+        outcome: extraction.outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_script;
+    use hhl_assert::Universe;
+    use hhl_core::proof::check;
+    use hhl_core::ValidityConfig;
+
+    fn ctx(vars: &[&str], lo: i64, hi: i64) -> ProofContext {
+        ProofContext::new(ValidityConfig::new(Universe::int_cube(vars, lo, hi)))
+    }
+
+    const WS: &str = "hhlp 1\n\
+         step body assign-s x=i e={i + 1} post={low(i) && low(n)}\n\
+         step body-pre cons pre={(low(i) && low(n)) && (forall <phi>. phi(i) < phi(n))} \
+         post={low(i) && low(n)} from=body\n\
+         step loop while-sync guard={i < n} inv={low(i) && low(n)} body=body-pre\n\
+         step root cons pre={low(i) && low(n)} post={low(i)} from=loop\n";
+
+    #[test]
+    fn plan_matches_sequential_stats_and_conclusion() {
+        let proof = compile_script(WS).unwrap();
+        let ctx = ctx(&["i", "n"], 0, 1);
+        let plan = shard_derivation(&proof, &ctx);
+        let checked = check(&proof, &ctx).unwrap();
+        assert_eq!(plan.stats, checked.stats);
+        assert_eq!(plan.outcome.unwrap(), checked.conclusion);
+        assert_eq!(plan.shards.len(), checked.stats.entailments);
+    }
+
+    #[test]
+    fn duplicate_premise_references_share_fingerprints() {
+        // `and l=p r=p` clones the oracle premise: two shards, one
+        // fingerprint — the dedupe a sharding driver exploits.
+        let proof = compile_script(
+            "hhlp 1\n\
+             step p oracle pre={true} cmd={x := x + 1} post={true} note={n}\n\
+             step root and l=p r=p\n",
+        )
+        .unwrap();
+        let ctx = ctx(&["x"], 0, 1);
+        let plan = shard_derivation(&proof, &ctx);
+        assert_eq!(plan.shards.len(), 2);
+        assert_eq!(plan.shards[0].fingerprint, plan.shards[1].fingerprint);
+        assert_eq!(plan.shards[0].obligation.seq, 0);
+        assert_eq!(plan.shards[1].obligation.seq, 1);
+    }
+
+    #[test]
+    fn fingerprints_cover_the_model() {
+        let proof = compile_script(WS).unwrap();
+        let narrow = shard_derivation(&proof, &ctx(&["i", "n"], 0, 1));
+        let wide = shard_derivation(&proof, &ctx(&["i", "n"], 0, 2));
+        for (a, b) in narrow.shards.iter().zip(&wide.shards) {
+            assert_ne!(
+                a.fingerprint, b.fingerprint,
+                "a model change must move every shard fingerprint"
+            );
+        }
+    }
+
+    #[test]
+    fn structural_errors_keep_the_collected_prefix() {
+        // The seq middle mismatch is found *after* the first premise's
+        // obligations were collected.
+        let proof = compile_script(
+            "hhlp 1\n\
+             step a cons pre={low(x)} post={low(x)} from=skip0\n\
+             step skip0 skip p={true}\n",
+        );
+        // skip0 referenced before definition: elaboration error, fine — use
+        // a proper mid-mismatch instead.
+        assert!(proof.is_err());
+        let proof = compile_script(
+            "hhlp 1\n\
+             step s0 skip p={true}\n\
+             step a cons pre={low(x)} post={true} from=s0\n\
+             step b skip p={low(y)}\n\
+             step root seq premises=a,b\n",
+        )
+        .unwrap();
+        let ctx = ctx(&["x", "y"], 0, 1);
+        let plan = shard_derivation(&proof, &ctx);
+        assert_eq!(plan.shards.len(), 2, "cons obligations precede the error");
+        let err = plan.outcome.unwrap_err();
+        assert!(err.to_string().contains("middle mismatch"), "{err}");
+    }
+}

@@ -238,3 +238,248 @@ fn single_mutations_always_move_corpus_fingerprints() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Shard-fingerprint properties (obligation-level store keys).
+//
+// The sharded replayer reuses recorded obligation discharges by shard
+// fingerprint, so the same two properties the spec-level store relies on
+// must hold one level down: **stability** (re-elaborating the same
+// certificate — directly, or through the canonical emitter — reproduces the
+// identical fingerprint sequence) and **sensitivity** (a single
+// rule-label/assertion/bound mutation moves at least one fingerprint, and
+// only the expected ones).
+// ---------------------------------------------------------------------------
+
+use hyper_hoare::logic::proof::ProofContext;
+use hyper_hoare::proofs::{compile_script, emit_script, shard_derivation};
+
+/// The shard-fingerprint sequence of a certificate under a spec's model.
+fn shard_fps(cert: &str, spec: &hhl_cli::Spec) -> Vec<hyper_hoare::lang::Fingerprint> {
+    let proof = compile_script(cert).expect("certificate elaborates");
+    let ctx = ProofContext::new(spec.config.clone());
+    shard_derivation(&proof, &ctx)
+        .shards
+        .iter()
+        .map(|s| s.fingerprint)
+        .collect()
+}
+
+fn example_file(rel: &str) -> String {
+    let path = format!("{}/examples/{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+#[test]
+fn shard_fingerprints_are_stable_across_reelaboration_and_reemission() {
+    let mut covered = 0usize;
+    let examples = vec![
+        (
+            example_file("specs/while_sync.hhl"),
+            example_file("proofs/while_sync.hhlp"),
+        ),
+        (
+            example_file("specs/ni_unrolled.hhl"),
+            example_file("proofs/ni_unrolled.hhlp"),
+        ),
+    ];
+    let corpus: Vec<(String, String)> = corpus_entries()
+        .into_iter()
+        .filter_map(|e| Some((e.spec, e.certificate?)))
+        .step_by(2)
+        .collect();
+    for (spec_src, cert) in examples.into_iter().chain(corpus) {
+        let spec = parse_spec(&spec_src).expect("spec parses");
+        let original = shard_fps(&cert, &spec);
+        // Re-elaboration of the identical source.
+        assert_eq!(original, shard_fps(&cert, &spec));
+        // Through the canonical emitter: emit ∘ compile is a fixed point
+        // for parser-originated certificates, so the re-emitted script
+        // must shard to the identical fingerprint sequence.
+        let reemitted = emit_script(&compile_script(&cert).expect("elaborates")).expect("emits");
+        assert_eq!(
+            original,
+            shard_fps(&reemitted, &spec),
+            "re-emission moved shard fingerprints:\n{reemitted}"
+        );
+        covered += 1;
+    }
+    assert!(covered >= 5, "only {covered} certificates covered");
+}
+
+#[test]
+fn rule_label_renames_never_move_shard_fingerprints() {
+    // Labels only resolve premise references — they are not part of any
+    // obligation, so a pure rename is the "expected zero shards change"
+    // case of the sensitivity property.
+    let spec = parse_spec(&example_file("specs/while_sync.hhl")).unwrap();
+    let cert = example_file("proofs/while_sync.hhlp");
+    let renamed = cert
+        .replace("body-pre", "premiss0")
+        .replace("step loop", "step l00p")
+        .replace("from=loop", "from=l00p");
+    assert_ne!(cert, renamed);
+    assert_eq!(shard_fps(&cert, &spec), shard_fps(&renamed, &spec));
+}
+
+#[test]
+fn assertion_mutations_move_exactly_the_expected_shard_fingerprints() {
+    // while_sync's five entailment shards, in discharge order (WhileSync
+    // raises I |= low(b) before its body premise is checked):
+    //   0: WhileSync I |= low(b)            1: body-pre Cons pre-strengthen
+    //   2: body-pre Cons post               3: root Cons pre
+    //   4: root Cons post
+    // Each mutation names the exact shard set it must (and must only) move.
+    let spec = parse_spec(&example_file("specs/while_sync.hhl")).unwrap();
+    let cert = example_file("proofs/while_sync.hhlp");
+    let base = shard_fps(&cert, &spec);
+    let cases: [(&str, &str, &[usize]); 3] = [
+        // Root cons postcondition: its post-entailment only.
+        ("post={low(i)} from=loop", "post={low(n)} from=loop", &[4]),
+        // Root cons precondition: its pre-entailment only.
+        (
+            "cons pre={low(i) && low(n)} post={low(i)} from=loop",
+            "cons pre={low(i) && low(i)} post={low(i)} from=loop",
+            &[3],
+        ),
+        // The assign-s postcondition feeds both body-pre Cons shards: the
+        // strengthen's target (the computed assignment transform) and the
+        // post-entailment's left-hand side.
+        (
+            "assign-s x=i e={i + 1} post={low(i) && low(n)}",
+            "assign-s x=i e={i + 1} post={low(n) && low(i)}",
+            &[1, 2],
+        ),
+    ];
+    for (needle, replacement, expected_moved) in cases {
+        let mutated_src = cert.replace(needle, replacement);
+        assert_ne!(mutated_src, cert, "mutation must apply: {needle}");
+        let mutated = shard_fps(&mutated_src, &spec);
+        assert_eq!(base.len(), mutated.len());
+        let moved: Vec<usize> = base
+            .iter()
+            .zip(&mutated)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(moved, expected_moved, "{needle}: wrong shards moved");
+    }
+}
+
+/// A structurally valid `while-desugared` certificate with a constant
+/// invariant and one shared body premise, parameterized by the family
+/// bound.
+fn family_cert(bound: u32) -> String {
+    let invs: String = (0..=bound + 1)
+        .map(|n| format!("inv.{n}={{low(x)}} "))
+        .collect();
+    let premises = vec!["body"; bound as usize + 1].join(",");
+    format!(
+        "hhlp 1\n\
+         step body oracle pre={{low(x)}} cmd={{assume x < 2; x := x + 1}} post={{low(x)}} note={{n}}\n\
+         step exit oracle pre={{true}} cmd={{assume !(x < 2)}} post={{true}} note={{n}}\n\
+         step loop while-desugared guard={{x < 2}} bound={bound} {invs}premises={premises} exit=exit\n"
+    )
+}
+
+#[test]
+fn family_bound_mutations_move_only_the_family_entailment_shard() {
+    let spec = parse_spec(
+        "mode: check\npre: low(x)\npost: true\nvars: x in 0..2\n\
+         program:\nwhile (x < 2) { x := x + 1 }\n",
+    )
+    .unwrap();
+    common::run_cases(12, 0xB0B0, |rng, i| {
+        let bound = 1 + rng.gen_below(4) as u32;
+        let base = shard_fps(&family_cert(bound), &spec);
+        let widened = shard_fps(&family_cert(bound + 1), &spec);
+        // Obligation order: bound+1 body members, the exit oracle, then
+        // the interposed ⨂ₙIₙ |= exit-pre entailment.
+        assert_eq!(base.len() as u32, bound + 3, "case {i}");
+        assert_eq!(widened.len() as u32, bound + 4, "case {i}");
+        // Per-loop family members are shards with *equal* fingerprints —
+        // widening the family adds a member but moves nothing.
+        for (j, fp) in base[..=bound as usize].iter().enumerate() {
+            assert_eq!(fp, &base[0], "case {i}: family member {j} diverged");
+            assert_eq!(fp, &widened[0], "case {i}: widened member {j} moved");
+        }
+        // The exit oracle's shard is untouched …
+        assert_eq!(
+            base[bound as usize + 1],
+            widened[bound as usize + 2],
+            "case {i}: exit shard moved"
+        );
+        // … and the ⨂ entailment — the only obligation that observes the
+        // bound — is exactly what changed.
+        assert_ne!(
+            base[bound as usize + 2],
+            widened[bound as usize + 3],
+            "case {i}: family entailment must move with the bound"
+        );
+    });
+}
+
+#[test]
+fn corpus_certificate_mutations_move_at_least_one_shard_fingerprint() {
+    // Seeded single-site mutations over the corpus replay certificates: a
+    // mutated certificate that still elaborates must move ≥1 shard
+    // fingerprint (otherwise the obligation store would replay records for
+    // semantically different proofs), with a PR-4-style coverage floor.
+    let entries: Vec<CorpusEntry> = replay_entries();
+    let mut applied = 0usize;
+    for entry in &entries {
+        let spec = parse_spec(&entry.spec).expect("corpus specs parse");
+        let cert = entry.certificate.as_deref().expect("replay entry");
+        let base = shard_fps(cert, &spec);
+        for site in 0..3 {
+            let Some(mutated_src) = bump_nth_cert_digit(cert, site) else {
+                continue;
+            };
+            let Ok(proof) = compile_script(&mutated_src) else {
+                continue; // unparseable certificates never reach the store
+            };
+            let ctx = ProofContext::new(spec.config.clone());
+            let mutated: Vec<_> = shard_derivation(&proof, &ctx)
+                .shards
+                .iter()
+                .map(|s| s.fingerprint)
+                .collect();
+            applied += 1;
+            assert_ne!(
+                base, mutated,
+                "{}: a mutated certificate kept its shard fingerprints\n{mutated_src}",
+                entry.name
+            );
+        }
+    }
+    assert!(applied >= 20, "only {applied} mutations applied");
+}
+
+fn replay_entries() -> Vec<CorpusEntry> {
+    corpus::generate(corpus::DEFAULT_SEED)
+        .into_iter()
+        .filter(|e| e.certificate.is_some() && !e.name.contains("heavy_loop"))
+        .collect()
+}
+
+/// Bumps the `n`-th digit appearing after the first braced argument of the
+/// certificate (an embedded assertion/expression literal).
+fn bump_nth_cert_digit(cert: &str, n: usize) -> Option<String> {
+    let brace = cert.find('{')?;
+    let tail = &cert[brace..];
+    let digit_at = tail
+        .char_indices()
+        .filter(|(_, c)| c.is_ascii_digit())
+        .map(|(i, _)| i)
+        .nth(n)?;
+    let digit = tail.as_bytes()[digit_at] as char;
+    let replacement = if digit == '9' {
+        '2'
+    } else {
+        (digit as u8 + 1) as char
+    };
+    let mut mutated = tail.to_owned();
+    mutated.replace_range(digit_at..digit_at + 1, &replacement.to_string());
+    Some(format!("{}{mutated}", &cert[..brace]))
+}

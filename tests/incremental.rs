@@ -348,7 +348,7 @@ fn bit_flipped_record_is_a_miss_never_a_verdict() {
 #[test]
 fn wrong_schema_version_is_a_miss_never_a_verdict() {
     let (warm, truth, total) = corrupted_run("schema", |path, original| {
-        fs::write(path, original.replace("hhl-verdict v1", "hhl-verdict v2")).unwrap();
+        fs::write(path, original.replace("hhl-verdict v2", "hhl-verdict v3")).unwrap();
     });
     let stats = warm.store.expect("store configured");
     assert_eq!(stats.misses, 1, "{stats:?}");

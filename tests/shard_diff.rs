@@ -1,0 +1,400 @@
+//! Differential shard-vs-whole test harness for sharded certificate
+//! replay.
+//!
+//! The sharded replayer (`hhl_cli::run_replay_sharded`) promises **result
+//! equivalence** with whole-certificate replay (`hhl_cli::run_replay`):
+//! identical rendered reports, identical statistics, identical error
+//! messages, for every job count and cache state. This suite attacks that
+//! promise differentially:
+//!
+//! * seeded loops over the example certificates and the corpus replay
+//!   pairs compare sharded replay at `--jobs` 1/4/8 against whole replay,
+//!   byte-for-byte (report text) and counter-for-counter (deterministic
+//!   shard accounting across job counts);
+//! * mutation cases flip exactly one obligation's assertion and assert
+//!   that exactly the mutated shard's fingerprint moves, that the sharded
+//!   error equals the sequential error, and that a failed shard is always
+//!   a *certificate* error — never a `FAIL` verdict on the spec's triple
+//!   (the PR-2 soundness contract);
+//! * store cases pin the obligation-level incremental behaviour: warm
+//!   replays answer from the summary record without re-elaborating, an
+//!   edited spec postcondition re-checks only the two conclusion-alignment
+//!   shards, and corrupted obligation records degrade to miss + re-check
+//!   with byte-identical output — never a stale verdict;
+//! * hostile certificates (the PR-2 elaborator-cap regressions) must fail
+//!   sharded replay with the same spanned errors as whole replay — no
+//!   panics, no partial PASS.
+
+mod common;
+
+use std::fs;
+use std::sync::OnceLock;
+
+use hhl_bench::corpus::{self, CorpusEntry};
+use hhl_cli::{parse_spec, run_replay, run_replay_sharded, RunError, Spec};
+use hhl_core::proof::ProofContext;
+use hhl_driver::store::VerdictStore;
+use hhl_driver::{ShardCounters, ShardStats};
+use hhl_proofs::{compile_script, shard_derivation};
+
+const JOB_COUNTS: [usize; 3] = [1, 4, 8];
+
+fn example(rel: &str) -> String {
+    let path = format!("{}/examples/{rel}", env!("CARGO_MANIFEST_DIR"));
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn replay_corpus() -> &'static [CorpusEntry] {
+    static ENTRIES: OnceLock<Vec<CorpusEntry>> = OnceLock::new();
+    ENTRIES.get_or_init(|| {
+        corpus::generate(corpus::DEFAULT_SEED)
+            .into_iter()
+            .filter(|e| e.certificate.is_some() && !e.name.contains("heavy_loop"))
+            .collect()
+    })
+}
+
+/// Whole-vs-sharded comparison for one (spec, certificate) pair: rendered
+/// outputs and errors byte-identical at every job count, shard counters
+/// deterministic across job counts. Returns the sharded counters.
+fn assert_equivalent(spec: &Spec, cert: &str, what: &str) -> ShardStats {
+    let whole = run_replay(spec, cert);
+    let mut baseline: Option<(String, ShardStats)> = None;
+    for jobs in JOB_COUNTS {
+        let counters = ShardCounters::new();
+        let sharded = run_replay_sharded(spec, cert, jobs, None, &counters);
+        let rendered = match (&whole, &sharded) {
+            (Ok(w), Ok(s)) => {
+                assert_eq!(
+                    w.to_string(),
+                    s.to_string(),
+                    "{what}: jobs={jobs} report diverged"
+                );
+                s.to_string()
+            }
+            (Err(w), Err(s)) => {
+                assert_eq!(
+                    w.to_string(),
+                    s.to_string(),
+                    "{what}: jobs={jobs} error diverged"
+                );
+                s.to_string()
+            }
+            (w, s) => {
+                panic!("{what}: jobs={jobs} outcome kind diverged: whole={w:?} sharded={s:?}")
+            }
+        };
+        let stats = counters.snapshot();
+        match &baseline {
+            None => baseline = Some((rendered, stats)),
+            Some((text, first)) => {
+                assert_eq!(text, &rendered, "{what}: jobs={jobs} output not invariant");
+                assert_eq!(
+                    first, &stats,
+                    "{what}: jobs={jobs} shard accounting not deterministic"
+                );
+            }
+        }
+    }
+    baseline.expect("at least one job count ran").1
+}
+
+#[test]
+fn example_certificates_shard_equivalently() {
+    for (spec_rel, proof_rel) in [
+        ("specs/while_sync.hhl", "proofs/while_sync.hhlp"),
+        ("specs/ni_c1.hhl", "proofs/ni_c1.hhlp"),
+        ("specs/gni_c4_violation.hhl", "proofs/gni_c4_violation.hhlp"),
+        ("specs/ni_unrolled.hhl", "proofs/ni_unrolled.hhlp"),
+    ] {
+        let spec = parse_spec(&example(spec_rel)).expect(spec_rel);
+        let cert = example(proof_rel);
+        let stats = assert_equivalent(&spec, &cert, proof_rel);
+        assert!(stats.total > 0, "{proof_rel}: no shards produced");
+    }
+    // The dedupe showcase: sixteen references, one distinct obligation.
+    let spec = parse_spec(&example("specs/ni_unrolled.hhl")).unwrap();
+    let counters = ShardCounters::new();
+    run_replay_sharded(
+        &spec,
+        &example("proofs/ni_unrolled.hhlp"),
+        4,
+        None,
+        &counters,
+    )
+    .unwrap();
+    let stats = counters.snapshot();
+    assert_eq!((stats.total, stats.distinct), (16, 1), "{stats:?}");
+}
+
+#[test]
+fn corpus_certificates_shard_equivalently() {
+    // Every third corpus replay pair (debug-mode affordability); seeded
+    // sampling keeps the selection deterministic.
+    for entry in replay_corpus().iter().step_by(3) {
+        let spec = parse_spec(&entry.spec).expect("corpus specs parse");
+        let cert = entry.certificate.as_deref().expect("replay entry");
+        assert_equivalent(&spec, cert, &entry.name);
+    }
+}
+
+/// Seeded mutation loop: flip one obligation's assertion inside the
+/// `while_sync` certificate and require (a) exactly the mutated shard's
+/// fingerprint moves, (b) whole and sharded replay reject with the same
+/// message, (c) the result is a certificate error, never a spec verdict.
+#[test]
+fn single_obligation_mutations_fail_exactly_the_mutated_shard() {
+    let spec_src = example("specs/while_sync.hhl");
+    let cert = example("proofs/while_sync.hhlp");
+    // (needle, replacement, surviving-shard count expected to keep their
+    // fingerprints). The while_sync plan has 5 entailment shards.
+    let mutations = [
+        // Root cons postcondition: only its post-entailment shard moves.
+        ("post={low(i)} from=loop", "post={low(h)} from=loop", 4),
+        // Root cons precondition: only its pre-entailment shard moves (the
+        // mutated pre no longer entails the loop invariant).
+        (
+            "cons pre={low(i) && low(n)} post={low(i)} from=loop",
+            "cons pre={low(h)} post={low(i)} from=loop",
+            4,
+        ),
+    ];
+    for (needle, replacement, surviving) in mutations {
+        let spec = parse_spec(&spec_src).unwrap();
+        let mutated = cert.replace(needle, replacement);
+        assert_ne!(mutated, cert, "mutation must apply: {needle}");
+
+        // Fingerprint delta: exactly the mutated shard(s) move.
+        let ctx = ProofContext::new(spec.config.clone());
+        let base_plan = shard_derivation(&compile_script(&cert).unwrap(), &ctx);
+        let mut_plan = shard_derivation(&compile_script(&mutated).unwrap(), &ctx);
+        assert_eq!(base_plan.shards.len(), mut_plan.shards.len());
+        let kept = base_plan
+            .shards
+            .iter()
+            .zip(&mut_plan.shards)
+            .filter(|(a, b)| a.fingerprint == b.fingerprint)
+            .count();
+        assert_eq!(
+            kept,
+            surviving,
+            "{needle}: expected exactly {} shard fingerprint(s) to move",
+            base_plan.shards.len() - surviving
+        );
+
+        // Differential: identical certificate error, never a verdict.
+        let whole = run_replay(&spec, &mutated);
+        assert!(
+            matches!(whole, Err(RunError::Certificate(_))),
+            "{needle}: a failed obligation must reject the certificate: {whole:?}"
+        );
+        assert_equivalent(&spec, &mutated, needle);
+    }
+}
+
+#[test]
+fn failed_shards_never_become_spec_verdicts() {
+    // The spec *expects* failure; a refuted certificate obligation must
+    // still be a hard error (exit 2), not a FAIL verdict (exit 0 via
+    // `expect: fail`) — a sloppy proof is not a disproof.
+    let spec = parse_spec(
+        "mode: check\npre: true\npost: true\nvars: l in 0..1\n\
+         expect: fail\nprogram:\nskip\n",
+    )
+    .unwrap();
+    let cert = "hhlp 1\n\
+                step a skip p={low(l)}\n\
+                step root cons pre={true} post={true} from=a\n";
+    for jobs in JOB_COUNTS {
+        let counters = ShardCounters::new();
+        let result = run_replay_sharded(&spec, cert, jobs, None, &counters);
+        let Err(RunError::Certificate(msg)) = result else {
+            panic!("jobs={jobs}: refuted certificate must be a hard error: {result:?}");
+        };
+        assert!(msg.contains("certificate rejected"), "{msg}");
+    }
+}
+
+fn temp_store(tag: &str) -> VerdictStore {
+    let dir = std::env::temp_dir().join(format!("hhl-shard-diff-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    VerdictStore::open(dir, false).expect("temp store")
+}
+
+#[test]
+fn warm_store_skips_elaboration_and_postcondition_edits_recheck_only_alignment() {
+    let spec = parse_spec(&example("specs/while_sync.hhl")).unwrap();
+    let cert = example("proofs/while_sync.hhlp");
+    let store = temp_store("warm");
+
+    // Cold: every distinct shard re-checked and recorded, plus a summary.
+    let cold_counters = ShardCounters::new();
+    let cold = run_replay_sharded(&spec, &cert, 1, Some(&store), &cold_counters).unwrap();
+    let cold_stats = cold_counters.snapshot();
+    assert_eq!(cold_stats.cached, 0, "{cold_stats:?}");
+    assert_eq!(cold_stats.rechecked, cold_stats.distinct, "{cold_stats:?}");
+    assert_eq!(cold_stats.written, cold_stats.distinct, "{cold_stats:?}");
+    assert_eq!(cold_stats.summaries, 0, "{cold_stats:?}");
+
+    // Warm: the summary record answers the whole pair — no elaboration, no
+    // shards — with byte-identical output.
+    let warm_counters = ShardCounters::new();
+    let warm = run_replay_sharded(&spec, &cert, 1, Some(&store), &warm_counters).unwrap();
+    let warm_stats = warm_counters.snapshot();
+    assert_eq!(cold.to_string(), warm.to_string());
+    assert_eq!(
+        (warm_stats.total, warm_stats.summaries),
+        (0, 1),
+        "{warm_stats:?}"
+    );
+
+    // Edited postcondition (still entailed): the certificate's shards are
+    // untouched, and the alignment *pre*-entailment is content-identical
+    // to an already-recorded obligation — so exactly one shard (the
+    // entailment into the new postcondition) re-checks.
+    let edited = parse_spec(
+        &example("specs/while_sync.hhl").replace("post: low(i)", "post: low(i) && true"),
+    )
+    .unwrap();
+    let edit_counters = ShardCounters::new();
+    let incremental = run_replay_sharded(&edited, &cert, 1, Some(&store), &edit_counters).unwrap();
+    let edit_stats = edit_counters.snapshot();
+    assert_eq!(edit_stats.summaries, 0, "spec changed: summary must miss");
+    assert_eq!(edit_stats.cached, cold_stats.distinct + 1, "{edit_stats:?}");
+    assert_eq!(
+        edit_stats.rechecked, 1,
+        "only the changed-fingerprint shard: {edit_stats:?}"
+    );
+    // And the incremental result equals a from-scratch run of the edited
+    // pair — whole-tree, storeless.
+    let scratch = run_replay(&edited, &cert).unwrap();
+    assert_eq!(scratch.to_string(), incremental.to_string());
+}
+
+#[test]
+fn corrupted_obligation_records_recheck_instead_of_replaying_stale_passes() {
+    let spec = parse_spec(&example("specs/while_sync.hhl")).unwrap();
+    let cert = example("proofs/while_sync.hhlp");
+    let store = temp_store("corrupt");
+    let cold_counters = ShardCounters::new();
+    let cold = run_replay_sharded(&spec, &cert, 1, Some(&store), &cold_counters).unwrap();
+    let distinct = cold_counters.snapshot().distinct;
+
+    // Corrupt every obligation record (truncation) and delete the summary
+    // (so sharding actually runs): every shard must re-check, with
+    // byte-identical output.
+    let mut oblig_files = 0;
+    for entry in fs::read_dir(store.dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "verdict") {
+            continue;
+        }
+        let text = fs::read_to_string(&path).unwrap();
+        if text.contains("kind: oblig") {
+            fs::write(&path, &text[..text.len() / 2]).unwrap();
+            oblig_files += 1;
+        } else {
+            fs::remove_file(&path).unwrap();
+        }
+    }
+    assert_eq!(
+        oblig_files as u64, distinct,
+        "one record per distinct shard"
+    );
+
+    let counters = ShardCounters::new();
+    let rerun = run_replay_sharded(&spec, &cert, 4, Some(&store), &counters).unwrap();
+    let stats = counters.snapshot();
+    assert_eq!(cold.to_string(), rerun.to_string());
+    assert_eq!(
+        stats.cached, 0,
+        "corrupt records must read as misses: {stats:?}"
+    );
+    assert_eq!(stats.rechecked, distinct, "{stats:?}");
+}
+
+#[test]
+fn hostile_certificates_error_spanned_under_sharding() {
+    use hhl_lang::rng::Rng;
+    let spec = parse_spec("mode: check\npre: true\npost: true\nvars: x in 0..1\nprogram:\nskip\n")
+        .unwrap();
+
+    // Deep linear cons-pre chain past the depth cap (runs on a big-stack
+    // thread like the elaborator's own regression test: the cap is sized
+    // for the binary's 8 MiB main thread, not the 2 MiB test default).
+    std::thread::Builder::new()
+        .stack_size(32 * 1024 * 1024)
+        .spawn(move || {
+            let mut deep = String::from("hhlp 1\nstep s0 skip p={true}\n");
+            for k in 1..=600u32 {
+                deep.push_str(&format!(
+                    "step s{k} cons-pre pre={{true}} from=s{}\n",
+                    k - 1
+                ));
+            }
+            let hostile: [(&str, &str, String); 4] = [
+                ("deep chain", "depth", deep),
+                ("wide seq", "depth", {
+                    let labels = vec!["s0"; 600].join(",");
+                    format!("hhlp 1\nstep s0 skip p={{true}}\nstep r seq premises={labels}\n")
+                }),
+                ("family bound overflow", "maximum", {
+                    "hhlp 1\nstep a skip p={true}\n\
+                     step r iter bound=4294967295 inv.0={true} premises=a\n"
+                        .to_owned()
+                }),
+                ("exponential sharing", "nodes", {
+                    let mut s = String::from("hhlp 1\nstep s0 skip p={true}\n");
+                    for k in 1..=20 {
+                        s.push_str(&format!("step s{k} and l=s{} r=s{}\n", k - 1, k - 1));
+                    }
+                    s
+                }),
+            ];
+            for (what, needle, cert) in &hostile {
+                for jobs in JOB_COUNTS {
+                    let counters = ShardCounters::new();
+                    let result = run_replay_sharded(&spec, cert, jobs, None, &counters);
+                    let Err(RunError::Certificate(msg)) = result else {
+                        panic!("{what}: jobs={jobs}: must be a certificate error: {result:?}");
+                    };
+                    assert!(msg.contains(needle), "{what}: {msg}");
+                    assert!(
+                        msg.contains("line"),
+                        "{what}: hostile certificates must fail with a span: {msg}"
+                    );
+                }
+            }
+
+            // Seeded near-cap churn: random premise-sharing certificates on
+            // either side of the caps never panic — they elaborate and
+            // shard, or error with a span.
+            common::run_cases(20, 0x5AAD, |rng: &mut Rng, i| {
+                let doublings = 4 + (rng.gen_below(20) as usize);
+                let mut s = String::from(
+                    "hhlp 1\nstep s0 oracle pre={true} cmd={skip} post={true} note={n}\n",
+                );
+                for k in 1..=doublings {
+                    s.push_str(&format!("step s{k} and l=s{} r=s{}\n", k - 1, k - 1));
+                }
+                let spec = parse_spec(
+                    "mode: check\npre: true\npost: true\nvars: x in 0..1\nprogram:\nskip\n",
+                )
+                .unwrap();
+                let counters = ShardCounters::new();
+                match run_replay_sharded(&spec, &s, 2, None, &counters) {
+                    Ok(outcome) => {
+                        let whole = run_replay(&spec, &s).expect("whole agrees");
+                        assert_eq!(whole.to_string(), outcome.to_string(), "case {i}");
+                    }
+                    Err(RunError::Certificate(msg)) => {
+                        assert!(msg.contains("nodes"), "case {i}: {msg}");
+                    }
+                    Err(other) => panic!("case {i}: unexpected error kind: {other}"),
+                }
+            });
+        })
+        .expect("spawn hostile-cert thread")
+        .join()
+        .expect("hostile certificates must error, not abort");
+}
