@@ -37,6 +37,7 @@ mod entail;
 mod eval;
 mod fp;
 mod hexpr;
+mod memo;
 mod parser;
 mod simplify;
 mod sugar;
@@ -50,6 +51,7 @@ pub use entail::{
 pub use eval::{eval_assertion, eval_in_env, value_domain, Env, EvalConfig};
 pub use fp::fp_assertion;
 pub use hexpr::HExpr;
+pub use memo::{EvalCache, EvalCacheStats};
 pub use parser::{parse_assertion, AssertParseError};
 pub use simplify::{fold_hexpr, simplify};
 pub use sugar::{PHI, PHI1, PHI2};

@@ -1,0 +1,271 @@
+//! Memoized candidate-set assertion evaluation.
+//!
+//! Obligation discharge sweeps the same (assertion, state set) pairs over
+//! and over: every candidate set of a scope enumeration re-evaluates the
+//! same pre/post assertions, and distinct obligations of one certificate
+//! share assertions wholesale. Top-level evaluation with an empty
+//! environment is a pure function of the assertion, the state set, and the
+//! [`EvalConfig`], so its verdicts are cacheable exactly like the
+//! extended-semantics memo in `hhl-lang` caches `sem`.
+//!
+//! [`EvalCache`] keys entries by an *assertion-under-config* fingerprint
+//! ([`fp_assertion`] folded with the config's values, closure depth, and
+//! family slack) and then by the exact state set, nested so a hit never
+//! clones the set. Like the `SemCache` it is sharded under `RwLock`s: the
+//! hot path — a warm lookup — takes a read lock only, so concurrent batch
+//! workers never serialize behind each other once the table is warm.
+//!
+//! **Scope.** Only *empty-environment* evaluations go through the cache
+//! ([`EvalCache::eval`] mirrors [`eval_assertion`]). Evaluations under
+//! pre-existing bindings (`eval_in_env` with a non-empty [`Env`]) depend on
+//! the bindings, which the key deliberately does not cover — callers with
+//! bindings bypass the cache. The fingerprint covers everything an
+//! empty-environment evaluation observes: the assertion structurally
+//! (including every family member within `family_slack` — see
+//! [`fp_assertion`]), and the evaluator knobs. The state set is compared
+//! *exactly* (by value, never by hash), so the cache is sound by
+//! construction rather than up to collision on the set.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use hhl_lang::{fp_value, Fingerprint, StableHasher, StateSet};
+
+use crate::assertion::Assertion;
+use crate::eval::{eval_assertion, EvalConfig};
+use crate::fp::fp_assertion;
+
+/// Schema tag folded into every assertion-under-config fingerprint. Bump
+/// whenever the hash coverage *or* the evaluation semantics change.
+const EVAL_FP_SCHEMA: &str = "hhl-eval-memo v1";
+
+/// Shard count. Keys are well-distributed fingerprints, so a modest
+/// power of two keeps write collisions rare without bloating the table.
+const SHARDS: usize = 64;
+
+/// The fingerprint an [`EvalCache`] keys an assertion under: covers the
+/// schema tag, the evaluator configuration (candidate values, closure
+/// depth, family slack), and the assertion's structure.
+fn eval_key(a: &Assertion, cfg: &EvalConfig) -> Fingerprint {
+    let mut h = StableHasher::new();
+    h.write_str(EVAL_FP_SCHEMA);
+    h.write_usize(cfg.values.len());
+    for v in &cfg.values {
+        fp_value(&mut h, v);
+    }
+    h.write_u8(cfg.closure_depth);
+    h.write_u32(cfg.family_slack);
+    fp_assertion(&mut h, a, cfg.family_slack);
+    h.finish()
+}
+
+/// Point-in-time hit/miss counts for an [`EvalCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a real evaluation.
+    pub misses: u64,
+}
+
+/// A sharded, thread-safe memo table for empty-environment assertion
+/// evaluation (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use hhl_assert::{Assertion, EvalCache, EvalConfig};
+/// use hhl_lang::{ExtState, StateSet, Store, Value};
+///
+/// let cache = EvalCache::new();
+/// let cfg = EvalConfig::default();
+/// let low = Assertion::low("l");
+/// let mk = |l: i64| ExtState::from_program(Store::from_pairs([("l", Value::Int(l))]));
+/// let s: StateSet = [mk(0), mk(0)].into_iter().collect();
+/// assert!(cache.eval(&low, &s, &cfg));
+/// assert!(cache.eval(&low, &s, &cfg)); // answered from the cache
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct EvalCache {
+    shards: Vec<RwLock<HashMap<Fingerprint, HashMap<StateSet, bool>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl Default for EvalCache {
+    fn default() -> EvalCache {
+        EvalCache::new()
+    }
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> EvalCache {
+        EvalCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: Fingerprint) -> &RwLock<HashMap<Fingerprint, HashMap<StateSet, bool>>> {
+        &self.shards[(key.0 as usize) % SHARDS]
+    }
+
+    /// Evaluates `a` on `s` with empty environments, answering from the
+    /// cache when this (assertion, config, set) was evaluated before.
+    ///
+    /// Exactly equivalent to [`eval_assertion`]; the cache only ever
+    /// changes how fast the answer arrives.
+    pub fn eval(&self, a: &Assertion, s: &StateSet, cfg: &EvalConfig) -> bool {
+        let key = eval_key(a, cfg);
+        if let Some(&verdict) = self
+            .shard(key)
+            .read()
+            .expect("eval cache poisoned")
+            .get(&key)
+            .and_then(|by_set| by_set.get(s))
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return verdict;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let verdict = eval_assertion(a, s, cfg);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.shard(key)
+            .write()
+            .expect("eval cache poisoned")
+            .entry(key)
+            .or_default()
+            .insert(s.clone(), verdict);
+        verdict
+    }
+
+    /// Hit/miss counts so far.
+    pub fn stats(&self) -> EvalCacheStats {
+        EvalCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Exclusive (write) lock acquisitions so far. Warm lookups take read
+    /// locks only, so this stays flat once every key is cached — the
+    /// property the contention regression tests pin down.
+    pub fn write_acquisitions(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached (assertion, state set) verdicts.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|sh| {
+                sh.read()
+                    .expect("eval cache poisoned")
+                    .values()
+                    .map(HashMap::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Whether the cache holds no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhl_lang::{ExtState, Store, Value};
+
+    fn mk(pairs: &[(&str, i64)]) -> ExtState {
+        ExtState::from_program(Store::from_pairs(
+            pairs.iter().map(|(k, v)| (*k, Value::Int(*v))),
+        ))
+    }
+
+    fn set(states: Vec<ExtState>) -> StateSet {
+        states.into_iter().collect()
+    }
+
+    #[test]
+    fn cache_agrees_with_eval_assertion() {
+        let cache = EvalCache::new();
+        let cfg = EvalConfig::default();
+        let low = Assertion::low("l");
+        let cases = [
+            set(vec![mk(&[("l", 1)]), mk(&[("l", 1)])]),
+            set(vec![mk(&[("l", 1)]), mk(&[("l", 2)])]),
+            set(vec![]),
+        ];
+        for s in &cases {
+            let expected = eval_assertion(&low, s, &cfg);
+            assert_eq!(cache.eval(&low, s, &cfg), expected, "cold");
+            assert_eq!(cache.eval(&low, s, &cfg), expected, "warm");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, cases.len() as u64);
+        assert_eq!(stats.hits, cases.len() as u64);
+        assert_eq!(cache.len(), cases.len());
+    }
+
+    #[test]
+    fn config_changes_never_alias() {
+        // Same assertion, same set, different evaluator configs: without
+        // operator closure the derived witness 6 ⊕ 5 is missed, with it
+        // it is found — the key must keep the verdicts apart.
+        let cache = EvalCache::new();
+        let a = Assertion::exists_states(
+            ["p1", "p2"],
+            Assertion::exists_val(
+                "v",
+                Assertion::Atom(crate::HExpr::pvar("p1", "a").ne(crate::HExpr::int(0)))
+                    .and(Assertion::Atom(
+                        crate::HExpr::pvar("p2", "b").ne(crate::HExpr::int(0)),
+                    ))
+                    .and(Assertion::Atom(crate::HExpr::val("v").eq(
+                        crate::HExpr::pvar("p1", "a").xor(crate::HExpr::pvar("p2", "b")),
+                    ))),
+            ),
+        );
+        let s = set(vec![mk(&[("a", 6)]), mk(&[("b", 5)])]);
+        let plain = EvalConfig::default().with_values([]);
+        let closed = EvalConfig::default().with_values([]).with_closure();
+        assert!(!cache.eval(&a, &s, &plain));
+        assert!(cache.eval(&a, &s, &closed));
+        assert!(!cache.eval(&a, &s, &plain));
+    }
+
+    #[test]
+    fn warm_lookups_acquire_no_write_locks() {
+        let cache = EvalCache::new();
+        let cfg = EvalConfig::default();
+        let low = Assertion::low("l");
+        let sets = [
+            set(vec![mk(&[("l", 1)])]),
+            set(vec![mk(&[("l", 1)]), mk(&[("l", 2)])]),
+        ];
+        for s in &sets {
+            cache.eval(&low, s, &cfg);
+        }
+        let warmed = cache.write_acquisitions();
+        assert!(warmed > 0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for s in &sets {
+                        cache.eval(&low, s, &cfg);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.write_acquisitions(), warmed);
+    }
+}

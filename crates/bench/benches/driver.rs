@@ -1,26 +1,45 @@
-//! Batch-driver throughput over the seeded 130-entry corpus: whole-corpus
-//! wall time for the pre-driver sequential configuration (1 worker, no
-//! memo cache) against 1/2/4 workers sharing one extended-semantics memo
-//! cache, plus cold-vs-warm persistent-store runs (the incremental
-//! re-check fast path) and memo hit-rate / speedup / throughput metadata.
+//! Batch-driver throughput and parallel scaling over the seeded corpus,
+//! grown to [`hhl_bench::suites::DRIVER_CORPUS_ENTRIES`] entries: whole-
+//! corpus wall time for the pre-driver sequential configuration (1 worker,
+//! no memo cache) against 1/2/4/8 workers sharing one extended-semantics
+//! memo cache and one assertion-evaluation cache, plus cold-vs-warm
+//! persistent-store runs (the incremental re-check fast path) and memo
+//! hit-rate / speedup / throughput metadata. The recorded
+//! `speedup_jobsN_vs_jobs1` curve for every N in
+//! [`hhl_bench::suites::SCALING_JOBS`] is the parallel-scaling contract
+//! the `hhl-bench compare` gate enforces (jobs8 must not fall below
+//! jobs1).
 //!
 //! The measurement lives in [`hhl_bench::suites::driver`], shared with the
 //! `hhl-bench compare` regression gate. This bench writes the
-//! `BENCH_driver.json` baseline at the repo root. On single-core machines
-//! the `jobs4` win over `jobs1` is bounded by the hardware; the recorded
-//! speedup against `sequential_nomemo` is the driver's end-to-end gain
-//! (scheduling + shared memoization) over the seed behaviour.
+//! `BENCH_driver.json` baseline at the repo root. `--jobs` is a ceiling —
+//! the pool never spawns more workers than the machine has hardware
+//! threads — so on single-core machines every `jobsN` configuration runs
+//! the same sequential path as `jobs1` and the curve certifies "extra
+//! workers are free" (~1.0); only on real cores does it measure genuine
+//! scaling. The recorded speedup against `sequential_nomemo` is the
+//! driver's end-to-end gain (scheduling + shared memoization) over the
+//! seed behaviour.
 
 use hhl_bench::suites;
 
 fn main() {
+    // Cap malloc arenas before the first pool burst spawns; otherwise the
+    // repeated per-configuration thread bursts measure allocator page
+    // re-faulting instead of scheduling (see hhl_driver::tune_allocator).
+    hhl_driver::tune_allocator();
     let suite = suites::driver(false);
     for (name, ns) in &suite.results {
-        println!("bench {name:<44} median {ns:>12} ns/run");
+        println!("bench {name:<44} best   {ns:>12} ns/run");
     }
     for (key, value) in &suite.meta {
         println!("meta  {key:<44} {value}");
     }
-    let json = suites::render_json("driver", "ns/run (median)", &suite.results, &suite.meta);
+    let json = suites::render_json(
+        "driver",
+        "ns/run (min of interleaved repeats)",
+        &suite.results,
+        &suite.meta,
+    );
     suites::write_baseline("BENCH_driver.json", &json);
 }

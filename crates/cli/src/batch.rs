@@ -29,6 +29,7 @@
 
 use std::sync::Arc;
 
+use hhl_assert::{EvalCache, EvalCacheStats};
 use hhl_driver::pool::{run_ordered, PoolStats};
 use hhl_driver::report::{BatchReport, FileReport, FileStatus};
 use hhl_driver::shard::{ShardCounters, ShardStats};
@@ -37,7 +38,7 @@ use hhl_lang::{MemoImportStats, MemoSnapshotStats, SemCache};
 
 use crate::fingerprint::spec_fingerprint;
 use crate::runner::{run_spec, Outcome, Verdict};
-use crate::shard::run_replay_sharded;
+use crate::shard::{discharge_pending, finish_replay, prepare_replay, PendingReplay, Staged};
 use crate::spec::{parse_spec, Expect, Mode, Spec};
 
 /// Cap on memo entries persisted per run: the verdict records already make
@@ -110,6 +111,8 @@ pub struct BatchRun {
     pub pool: PoolStats,
     /// Memo-cache counters (zeros when the cache was disabled).
     pub cache: hhl_lang::CacheStats,
+    /// Assertion-evaluation memo counters (zeros when disabled).
+    pub eval_cache: EvalCacheStats,
     /// Persistent-store counters (`None` when no store was configured).
     pub store: Option<StoreStats>,
     /// Sharded-replay counters (all-zero when no certificate was sharded).
@@ -178,11 +181,23 @@ fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
-fn load_spec(path: &str, cache: Option<&Arc<SemCache>>) -> Result<Spec, String> {
+/// The shared memo caches of one batch run, installed into every loaded
+/// spec's [`ValidityConfig`](hhl_core::ValidityConfig). Both are `None`
+/// under `--no-cache`.
+#[derive(Default)]
+struct SharedCaches {
+    sem: Option<Arc<SemCache>>,
+    eval: Option<Arc<EvalCache>>,
+}
+
+fn load_spec(path: &str, caches: &SharedCaches) -> Result<Spec, String> {
     let src = read(path)?;
     let mut spec = parse_spec(&src).map_err(|e| format!("{path}: {e}"))?;
-    if let Some(cache) = cache {
+    if let Some(cache) = &caches.sem {
         spec.config.cache = Some(cache.clone());
+    }
+    if let Some(cache) = &caches.eval {
+        spec.config.eval_cache = Some(cache.clone());
     }
     Ok(spec)
 }
@@ -257,18 +272,38 @@ fn record_outcome(store: &VerdictStore, fp: &str, spec: &Spec, outcome: &Outcome
     );
 }
 
-fn run_job(
+/// What phase 1 produced for one file: a finished result, or a replay
+/// staged for the global shard-discharge phase.
+enum StagedJob {
+    Done(FileResult),
+    Replay {
+        proof_path: String,
+        /// Boxed: a staged replay is the rare case, and an inline `Spec`
+        /// would dominate the enum's footprint for every finished file.
+        spec: Box<Spec>,
+        /// Verdict-store fingerprint to record the final outcome under
+        /// (`None` when no store is configured).
+        verdict_fp: Option<String>,
+        pending: Box<PendingReplay>,
+    },
+}
+
+/// Phase 1 for one file: spec jobs run to completion; replay jobs run
+/// through the verdict store and [`prepare_replay`] (compile + shard), and
+/// either finish early (store hit, certificate error) or stage their
+/// shards for the global discharge phase.
+fn stage_job(
     job: &Job,
     opts: &BatchOptions,
-    cache: Option<&Arc<SemCache>>,
+    caches: &SharedCaches,
     counters: &ShardCounters,
-) -> FileResult {
+) -> StagedJob {
     let store = opts.store.as_deref();
     match job {
         Job::Spec { path } => {
-            let mut spec = match load_spec(path, cache) {
+            let mut spec = match load_spec(path, caches) {
                 Ok(s) => s,
-                Err(e) => return error_result(path, e),
+                Err(e) => return StagedJob::Done(error_result(path, e)),
             };
             if opts.force_prove {
                 spec.mode = Mode::Prove;
@@ -276,10 +311,10 @@ fn run_job(
             let fp = store.map(|s| (s, spec_fingerprint(&spec, None).to_string()));
             if let Some((store, fp)) = &fp {
                 if let Some(record) = store.lookup(fp) {
-                    return cached_result(path, &spec, &record);
+                    return StagedJob::Done(cached_result(path, &spec, &record));
                 }
             }
-            match run_spec(&spec) {
+            StagedJob::Done(match run_spec(&spec) {
                 Ok(outcome) => {
                     if let Some((store, fp)) = &fp {
                         record_outcome(store, fp, &spec, &outcome);
@@ -290,61 +325,118 @@ fn run_job(
                 // read/parse errors above): prefix the path so the message
                 // identifies the file wherever it surfaces.
                 Err(e) => error_result(path, format!("{path}: {e}")),
-            }
+            })
         }
         Job::Replay {
             spec_path,
             proof_path,
         } => {
-            let loaded = load_spec(spec_path, cache).and_then(|spec| Ok((spec, read(proof_path)?)));
+            let loaded =
+                load_spec(spec_path, caches).and_then(|spec| Ok((spec, read(proof_path)?)));
             let (spec, certificate) = match loaded {
                 Ok(pair) => pair,
-                Err(e) => return error_result(proof_path, e),
+                Err(e) => return StagedJob::Done(error_result(proof_path, e)),
             };
             let fp = store.map(|s| (s, spec_fingerprint(&spec, Some(&certificate)).to_string()));
             // A whole-pair verdict hit needs no shard work at all — the
             // certificate is not even re-elaborated on warm store hits.
             if let Some((store, fp)) = &fp {
                 if let Some(record) = store.lookup(fp) {
-                    return cached_result(proof_path, &spec, &record);
+                    return StagedJob::Done(cached_result(proof_path, &spec, &record));
                 }
             }
-            match run_replay_sharded(
-                &spec,
-                &certificate,
-                1,
-                opts.oblig_store.as_deref(),
-                counters,
-            ) {
-                Ok(outcome) => {
-                    if let Some((store, fp)) = &fp {
+            let verdict_fp = fp.map(|(_, fp)| fp);
+            match prepare_replay(&spec, &certificate, opts.oblig_store.as_deref(), counters) {
+                Ok(Staged::Done(outcome)) => {
+                    if let (Some(store), Some(fp)) = (store, &verdict_fp) {
                         record_outcome(store, fp, &spec, &outcome);
                     }
-                    outcome_result(proof_path, outcome)
+                    StagedJob::Done(outcome_result(proof_path, *outcome))
                 }
-                Err(e) => error_result(proof_path, format!("{proof_path}: {e}")),
+                Ok(Staged::Pending(pending)) => StagedJob::Replay {
+                    proof_path: proof_path.clone(),
+                    spec: Box::new(spec),
+                    verdict_fp,
+                    pending,
+                },
+                Err(e) => StagedJob::Done(error_result(proof_path, format!("{proof_path}: {e}"))),
             }
         }
     }
 }
 
 /// The shared dispatch tail: warm the shared cache from the persistent
-/// store (when both are enabled), fan the jobs across the pool, then
-/// persist a fresh memo snapshot and assemble the run.
+/// store (when both are enabled), then run the three batch phases —
+///
+/// 1. fan the files across the pool (specs complete; replays compile and
+///    shard, see [`stage_job`]);
+/// 2. discharge every staged certificate's obligation shards on the *same*
+///    pool, deduplicated globally by fingerprint ([`discharge_pending`]) —
+///    one huge certificate's shards spread across all workers instead of
+///    serializing on the worker that drew the file;
+/// 3. aggregate each staged replay sequentially ([`finish_replay`]), in
+///    input order.
+///
+/// Finally persist a fresh memo snapshot and assemble the run.
 fn run_jobs(jobs: Vec<Job>, opts: &BatchOptions) -> BatchRun {
-    let cache = opts.use_cache.then(|| Arc::new(SemCache::new()));
+    let caches = if opts.use_cache {
+        SharedCaches {
+            sem: Some(Arc::new(SemCache::new())),
+            eval: Some(Arc::new(EvalCache::new())),
+        }
+    } else {
+        SharedCaches::default()
+    };
     let mut memo_import = MemoImportStats::default();
-    if let (Some(cache), Some(store)) = (&cache, &opts.store) {
+    if let (Some(cache), Some(store)) = (&caches.sem, &opts.store) {
         if let Some(blob) = store.load_memo() {
             memo_import = cache.import_snapshot(&blob);
         }
     }
     let counters = ShardCounters::new();
-    let (results, pool) = run_ordered(&jobs, opts.jobs, |_, job| {
-        run_job(job, opts, cache.as_ref(), &counters)
+    let (staged, pool) = run_ordered(&jobs, opts.jobs, |_, job| {
+        stage_job(job, opts, &caches, &counters)
     });
+
+    let pendings: Vec<&PendingReplay> = staged
+        .iter()
+        .filter_map(|s| match s {
+            StagedJob::Replay { pending, .. } => Some(&**pending),
+            StagedJob::Done(_) => None,
+        })
+        .collect();
+    let verdicts = discharge_pending(&pendings, opts.jobs, opts.oblig_store.as_deref(), &counters);
+    drop(pendings);
+
+    let results = staged
+        .into_iter()
+        .map(|s| match s {
+            StagedJob::Done(result) => result,
+            StagedJob::Replay {
+                proof_path,
+                spec,
+                verdict_fp,
+                pending,
+            } => match finish_replay(
+                &spec,
+                pending,
+                &verdicts,
+                opts.oblig_store.as_deref(),
+                &counters,
+            ) {
+                Ok(outcome) => {
+                    if let (Some(store), Some(fp)) = (opts.store.as_deref(), &verdict_fp) {
+                        record_outcome(store, fp, &spec, &outcome);
+                    }
+                    outcome_result(&proof_path, outcome)
+                }
+                Err(e) => error_result(&proof_path, format!("{proof_path}: {e}")),
+            },
+        })
+        .collect();
+
     let mut memo_export = MemoSnapshotStats::default();
-    if let (Some(cache), Some(store)) = (&cache, &opts.store) {
+    if let (Some(cache), Some(store)) = (&caches.sem, &opts.store) {
         let (blob, stats) = cache.export_snapshot(MEMO_SNAPSHOT_MAX_ENTRIES);
         store.save_memo(&blob);
         memo_export = stats;
@@ -352,7 +444,8 @@ fn run_jobs(jobs: Vec<Job>, opts: &BatchOptions) -> BatchRun {
     BatchRun {
         results,
         pool,
-        cache: cache.map(|c| c.stats()).unwrap_or_default(),
+        cache: caches.sem.map(|c| c.stats()).unwrap_or_default(),
+        eval_cache: caches.eval.map(|c| c.stats()).unwrap_or_default(),
         store: opts.store.as_ref().map(|s| s.stats()),
         shards: counters.snapshot(),
         memo_import,

@@ -43,7 +43,8 @@ const USAGE: &str = "usage: hhl <command> [args]
       (check | prove | verify) and compare the verdict against `expect:`.
       With --jobs, files are verified in parallel by a work-stealing pool
       sharing one semantics memo cache; the report order stays the input
-      order.
+      order. N is a ceiling: workers never exceed the machine's hardware
+      threads, so a large --jobs is never slower than a small one.
 
   hhl prove [--jobs N] [--emit-proof <out.hhlp>] <spec.hhl>...
       Force the syntactic WP prover (Fig. 3 + Cons) regardless of the
@@ -225,8 +226,8 @@ fn default_jobs() -> usize {
 /// cached-vs-recomputed is a performance fact, not a verdict).
 fn print_run_stats(run: &hhl_cli::BatchRun) {
     eprintln!(
-        "[batch] {} worker(s), {} steal(s); memo: {}",
-        run.pool.workers, run.pool.steals, run.cache
+        "[batch] {} worker(s), {} steal(s); memo: {}; eval-memo: {} hit(s), {} miss(es)",
+        run.pool.workers, run.pool.steals, run.cache, run.eval_cache.hits, run.eval_cache.misses
     );
     if let Some(store) = &run.store {
         eprintln!(
@@ -531,6 +532,10 @@ fn cmd_batch(args: &[String]) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // Before any worker pool exists: cap malloc arenas at the core count so
+    // repeated short-lived thread bursts don't re-fault trimmed heap pages
+    // (see `hhl_driver::pool::tune_allocator`).
+    hhl_driver::tune_allocator();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") if args.len() > 1 => cmd_check(&args[1..]),

@@ -1,5 +1,5 @@
-//! Sharded certificate replay: intra-certificate parallelism, obligation
-//! deduplication, and obligation-level incremental re-checking.
+//! Sharded certificate replay: intra- and cross-certificate parallelism,
+//! obligation deduplication, and obligation-level incremental re-checking.
 //!
 //! [`run_replay_sharded`] is the sharding twin of
 //! [`run_replay`](crate::run_replay): it elaborates the same `.hhlp`
@@ -9,6 +9,24 @@
 //! the members of a constant-invariant loop family — is discharged once),
 //! answers what it can from the persistent obligation store, and fans the
 //! rest across the `hhl-driver` work-stealing pool.
+//!
+//! The replay is factored into three phases so a *batch* can schedule every
+//! certificate's shards on one global pool instead of checking each file's
+//! shards at effective `jobs = 1`:
+//!
+//! 1. [`prepare_replay`] — summary lookup, compilation, sharding; returns
+//!    [`Staged::Done`] on a summary hit or [`Staged::Pending`] with the
+//!    shard plan;
+//! 2. [`discharge_pending`] — deduplicates shards **across** certificates
+//!    by fingerprint (sound because the fingerprint covers the checking
+//!    model — the same invariant the cross-process obligation store rests
+//!    on), answers from the store, and discharges the misses on the pool;
+//! 3. [`finish_replay`] — per-certificate sequential aggregation: earliest
+//!    failing shard, structural outcome, conclusion alignment, summary
+//!    record.
+//!
+//! [`run_replay_sharded`] chains the three for a single pair, which makes
+//! it counter-for-counter identical to the pre-split implementation.
 //!
 //! **Result equivalence** is the contract: verdicts, reports, notes,
 //! statistics and error messages are byte-identical to whole-certificate
@@ -34,6 +52,8 @@
 //! back to shard-level reuse (an edited spec postcondition re-checks only
 //! the two conclusion-alignment shards).
 
+use std::collections::{HashMap, HashSet};
+
 use hhl_core::proof::{
     align_obligations, discharge_obligation, CheckStats, CheckedProof, ProofContext, ProofError,
 };
@@ -42,7 +62,7 @@ use hhl_driver::pool::run_ordered;
 use hhl_driver::shard::ShardCounters;
 use hhl_driver::store::{ReplaySummary, VerdictStore};
 use hhl_lang::{Fingerprint, StableHasher};
-use hhl_proofs::{compile_script, shard_derivation, shard_fingerprint, ObligationShard};
+use hhl_proofs::{compile_script, shard_derivation, shard_fingerprint, ObligationShard, ShardPlan};
 
 use crate::fingerprint::spec_fingerprint;
 use crate::runner::{
@@ -168,29 +188,52 @@ fn check_shards(
     Ok(())
 }
 
-/// Sharded replay of a `.hhlp` certificate against a spec (see the module
-/// docs). With `jobs == 1` and no store this performs exactly the work of
-/// [`run_replay`](crate::run_replay) minus duplicate-obligation discharges.
+/// A certificate replay that cleared the preparation phase: compiled,
+/// program-checked, and sharded, waiting for its shard verdicts. Opaque
+/// outside this module — batch drivers thread it from [`prepare_replay`]
+/// through [`discharge_pending`] into [`finish_replay`].
+#[derive(Debug)]
+pub struct PendingReplay {
+    triple: Triple,
+    summary_fp: String,
+    ctx: ProofContext,
+    plan: ShardPlan,
+}
+
+/// What [`prepare_replay`] produced for one (spec, certificate) pair.
+#[derive(Debug)]
+pub enum Staged {
+    /// Fully answered from a replay-summary record — no shard work left.
+    /// Boxed so the rare summary-hit payload doesn't inflate every staged
+    /// pending replay.
+    Done(Box<Outcome>),
+    /// Sharded and waiting for [`discharge_pending`] / [`finish_replay`].
+    Pending(Box<PendingReplay>),
+}
+
+/// Phase 1 of a sharded replay: replay-summary lookup, certificate
+/// compilation, claimed-program check, and shard derivation. Runs on the
+/// per-file worker; everything it returns is independent of other files.
 ///
 /// # Errors
 ///
-/// The same [`RunError`]s as [`run_replay`](crate::run_replay), with
-/// identical messages: parse/elaboration errors, wrong-program rejections,
-/// and `certificate rejected: …` for any failed obligation or structural
-/// side condition.
-pub fn run_replay_sharded(
+/// Certificate parse/elaboration errors and wrong-program rejections — the
+/// errors [`run_replay`](crate::run_replay) raises before discharging
+/// anything.
+pub fn prepare_replay(
     spec: &Spec,
     certificate: &str,
-    jobs: usize,
     store: Option<&VerdictStore>,
     counters: &ShardCounters,
-) -> Result<Outcome, RunError> {
+) -> Result<Staged, RunError> {
     let triple = Triple::new(spec.pre.clone(), spec.cmd.clone(), spec.post.clone());
     let summary_fp = replay_summary_fingerprint(spec, certificate).to_string();
     if let Some(s) = store {
         if let Some(summary) = s.lookup_replay(&summary_fp) {
             counters.note_summary_hit();
-            return Ok(outcome_from_summary(spec, triple, &summary));
+            return Ok(Staged::Done(Box::new(outcome_from_summary(
+                spec, triple, &summary,
+            ))));
         }
     }
 
@@ -202,7 +245,111 @@ pub fn run_replay_sharded(
     }
     let ctx = ProofContext::new(spec.config.clone());
     let plan = shard_derivation(&proof, &ctx);
-    check_shards(&plan.shards, &ctx, jobs, store, counters).map_err(rejected)?;
+    let distinct: HashSet<Fingerprint> = plan.shards.iter().map(|s| s.fingerprint).collect();
+    counters.note_plan(plan.shards.len() as u64, distinct.len() as u64);
+    Ok(Staged::Pending(Box::new(PendingReplay {
+        triple,
+        summary_fp,
+        ctx,
+        plan,
+    })))
+}
+
+/// Phase 2: discharges the shards of *all* pending replays on one pool.
+///
+/// Shards are deduplicated across certificates by fingerprint, preserving
+/// first-occurrence order — sound because the fingerprint covers the whole
+/// checking model ([`hhl_proofs::shard_fingerprint`]), so equal
+/// fingerprints mean the same obligation under the same model, whichever
+/// certificate raised it. Each distinct shard is answered from the
+/// obligation store when possible and otherwise discharged once, under the
+/// context of its first-occurrence certificate, across `jobs` workers.
+///
+/// The `cached`/`re-checked` counters tick once per *globally* distinct
+/// fingerprint (the per-certificate `note_plan` accounting still reports
+/// intra-certificate distincts).
+pub fn discharge_pending(
+    pendings: &[&PendingReplay],
+    jobs: usize,
+    store: Option<&VerdictStore>,
+    counters: &ShardCounters,
+) -> HashMap<Fingerprint, Result<(), ProofError>> {
+    let mut seen: HashSet<Fingerprint> = HashSet::new();
+    let mut distinct: Vec<(&ObligationShard, &ProofContext)> = Vec::new();
+    for pending in pendings {
+        for shard in &pending.plan.shards {
+            if seen.insert(shard.fingerprint) {
+                distinct.push((shard, &pending.ctx));
+            }
+        }
+    }
+
+    let mut verdicts: HashMap<Fingerprint, Result<(), ProofError>> =
+        HashMap::with_capacity(distinct.len());
+    let mut to_check: Vec<(&ObligationShard, &ProofContext)> = Vec::new();
+    for &(shard, ctx) in &distinct {
+        let hit = store.is_some_and(|s| s.lookup_obligation(&shard.fingerprint.to_string()));
+        if hit {
+            counters.note_cached();
+            verdicts.insert(shard.fingerprint, Ok(()));
+        } else {
+            to_check.push((shard, ctx));
+        }
+    }
+
+    let (outcomes, _) = run_ordered(&to_check, jobs, |_, &(shard, ctx)| {
+        (
+            shard.fingerprint,
+            discharge_obligation(&shard.obligation, ctx),
+        )
+    });
+    for ((shard, _), (fingerprint, result)) in to_check.iter().zip(outcomes) {
+        counters.note_rechecked();
+        if result.is_ok() {
+            if let Some(s) = store {
+                s.record_obligation(&fingerprint.to_string(), shard.obligation.rule);
+                counters.note_written();
+            }
+        }
+        verdicts.insert(fingerprint, result);
+    }
+    verdicts
+}
+
+/// Phase 3: aggregates one certificate's verdicts back into its outcome —
+/// sequentially, per certificate, exactly as whole-certificate replay
+/// would report it: the failing shard with the smallest `seq` wins, a
+/// structural error surfaces only when every collected shard discharged,
+/// conclusion alignment is checked inline (at most two entailments), and a
+/// fully successful replay records its summary.
+///
+/// # Errors
+///
+/// `certificate rejected: …` for failed obligations or structural side
+/// conditions, and wrong-program rejections from conclusion alignment —
+/// identical messages to [`run_replay`](crate::run_replay).
+pub fn finish_replay(
+    spec: &Spec,
+    pending: Box<PendingReplay>,
+    verdicts: &HashMap<Fingerprint, Result<(), ProofError>>,
+    store: Option<&VerdictStore>,
+    counters: &ShardCounters,
+) -> Result<Outcome, RunError> {
+    let PendingReplay {
+        triple,
+        summary_fp,
+        ctx,
+        plan,
+    } = *pending;
+    // Earliest failing shard in sequential discharge order wins.
+    for shard in &plan.shards {
+        let verdict = verdicts
+            .get(&shard.fingerprint)
+            .expect("discharge_pending covered every pending shard");
+        if let Err(e) = verdict {
+            return Err(rejected(e.clone()));
+        }
+    }
     // A structural error surfaces only now, when every obligation collected
     // before it has discharged — the order the sequential checker reports.
     let conclusion = plan.outcome.map_err(rejected)?;
@@ -224,7 +371,9 @@ pub fn run_replay_sharded(
                 obligation: ob,
             });
         }
-        check_shards(&align_shards, &ctx, jobs, store, counters).map_err(rejected)?;
+        // At most two entailments: check them inline rather than staging
+        // another pool round-trip.
+        check_shards(&align_shards, &ctx, 1, store, counters).map_err(rejected)?;
     }
     checked_notes(
         &CheckedProof {
@@ -252,6 +401,34 @@ pub fn run_replay_sharded(
         Verdict::Pass,
         spec.expect,
     ))
+}
+
+/// Sharded replay of a `.hhlp` certificate against a spec (see the module
+/// docs): [`prepare_replay`] → [`discharge_pending`] → [`finish_replay`]
+/// for a single pair. With `jobs == 1` and no store this performs exactly
+/// the work of [`run_replay`](crate::run_replay) minus
+/// duplicate-obligation discharges.
+///
+/// # Errors
+///
+/// The same [`RunError`]s as [`run_replay`](crate::run_replay), with
+/// identical messages: parse/elaboration errors, wrong-program rejections,
+/// and `certificate rejected: …` for any failed obligation or structural
+/// side condition.
+pub fn run_replay_sharded(
+    spec: &Spec,
+    certificate: &str,
+    jobs: usize,
+    store: Option<&VerdictStore>,
+    counters: &ShardCounters,
+) -> Result<Outcome, RunError> {
+    match prepare_replay(spec, certificate, store, counters)? {
+        Staged::Done(outcome) => Ok(*outcome),
+        Staged::Pending(pending) => {
+            let verdicts = discharge_pending(&[&pending], jobs, store, counters);
+            finish_replay(spec, pending, &verdicts, store, counters)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 //! result-equivalent to the sequential one obligation-for-obligation — the
 //! contract the differential shard-vs-whole test suite pins down.
 
-use hhl_assert::{candidate_sets, eval_in_env, Assertion, Counterexample, Env};
+use hhl_assert::{candidate_sets, Assertion, Counterexample, Env};
 use hhl_lang::{Expr, Symbol, Value};
 
 use crate::proof::check::{CheckStats, ProofContext};
@@ -225,9 +225,9 @@ pub fn discharge_obligation(ob: &SemanticObligation, ctx: &ProofContext) -> Resu
             for env0 in scope_bindings(&ob.scope, ctx) {
                 for s in &sets {
                     let mut env = env0.clone();
-                    if eval_in_env(p, s, &mut env, &ctx.validity.check.eval) {
+                    if ctx.validity.eval(p, s, &mut env) {
                         let mut env = env0.clone();
-                        if !eval_in_env(q, s, &mut env, &ctx.validity.check.eval) {
+                        if !ctx.validity.eval(q, s, &mut env) {
                             return Err(ProofError::Entailment {
                                 rule: ob.rule,
                                 counterexample: Counterexample {
@@ -252,10 +252,10 @@ pub fn discharge_obligation(ob: &SemanticObligation, ctx: &ProofContext) -> Resu
             for env0 in scope_bindings(&ob.scope, ctx) {
                 for (i, s) in sets.iter().enumerate() {
                     let mut env = env0.clone();
-                    if eval_in_env(&t.pre, s, &mut env, &ctx.validity.check.eval) {
+                    if ctx.validity.eval(&t.pre, s, &mut env) {
                         let out = outs[i].get_or_insert_with(|| ctx.validity.sem(&t.cmd, s));
                         let mut env = env0.clone();
-                        if !eval_in_env(&t.post, out, &mut env, &ctx.validity.check.eval) {
+                        if !ctx.validity.eval(&t.post, out, &mut env) {
                             return Err(ProofError::Semantic {
                                 rule: ob.rule,
                                 counterexample: Counterexample {
@@ -275,7 +275,7 @@ pub fn discharge_obligation(ob: &SemanticObligation, ctx: &ProofContext) -> Resu
             for env0 in scope_bindings(&ob.scope, ctx) {
                 for s in &sets {
                     let mut env = env0.clone();
-                    if eval_in_env(&t.pre, s, &mut env, &ctx.validity.check.eval) {
+                    if ctx.validity.eval(&t.pre, s, &mut env) {
                         for phi in s {
                             if !ctx.validity.exec.has_terminating_run(&t.cmd, &phi.program) {
                                 return Err(ProofError::Semantic {
@@ -301,7 +301,7 @@ pub fn discharge_obligation(ob: &SemanticObligation, ctx: &ProofContext) -> Resu
             for env0 in scope_bindings(&ob.scope, ctx) {
                 for s in &sets {
                     let mut env = env0.clone();
-                    if !eval_in_env(&body.pre, s, &mut env, &ctx.validity.check.eval) {
+                    if !ctx.validity.eval(&body.pre, s, &mut env) {
                         continue;
                     }
                     for phi in s {

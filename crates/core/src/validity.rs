@@ -11,8 +11,7 @@
 use std::sync::Arc;
 
 use hhl_assert::{
-    candidate_sets, eval_assertion, eval_in_env, Assertion, Counterexample, EntailConfig, Env,
-    Universe,
+    candidate_sets, eval_in_env, Assertion, Counterexample, EntailConfig, Env, EvalCache, Universe,
 };
 use hhl_lang::{Cmd, ExecConfig, SemCache, StateSet};
 
@@ -34,6 +33,10 @@ pub struct ValidityConfig {
     /// repeated subprograms are computed once. Cloning the config shares
     /// the cache, not a copy of it.
     pub cache: Option<Arc<SemCache>>,
+    /// Optional shared memo table for empty-environment assertion
+    /// evaluations (the candidate-set sweeps of triple checking and
+    /// obligation discharge). Same sharing contract as `cache`.
+    pub eval_cache: Option<Arc<EvalCache>>,
 }
 
 impl ValidityConfig {
@@ -45,6 +48,7 @@ impl ValidityConfig {
             exec: ExecConfig::default(),
             check: EntailConfig::default(),
             cache: None,
+            eval_cache: None,
         }
     }
 
@@ -66,14 +70,21 @@ impl ValidityConfig {
         self
     }
 
+    /// Installs a shared assertion-evaluation memo cache.
+    pub fn with_eval_cache(mut self, cache: Arc<EvalCache>) -> ValidityConfig {
+        self.eval_cache = Some(cache);
+        self
+    }
+
     /// A stable, process-independent fingerprint of every parameter that
     /// can influence a verdict: the universe of candidate states, the
     /// finitized semantics (havoc domain, loop fuel), and the candidate-set
     /// enumeration / assertion-evaluation configuration.
     ///
-    /// The installed memo `cache` is deliberately excluded — caching is a
-    /// performance choice that never changes verdicts (a property-tested
-    /// invariant), so cached and uncached runs share fingerprints.
+    /// The installed memo caches (`cache`, `eval_cache`) are deliberately
+    /// excluded — caching is a performance choice that never changes
+    /// verdicts (a property-tested invariant), so cached and uncached runs
+    /// share fingerprints.
     ///
     /// The persistent verdict store of the batch driver folds this into
     /// each spec's cache key, so *any* model change (one extra universe
@@ -115,6 +126,23 @@ impl ValidityConfig {
             None => self.exec.sem(cmd, s),
         }
     }
+
+    /// Evaluates `a` on `s` under `env` with this configuration's
+    /// assertion-evaluation parameters — memoized through the installed
+    /// `eval_cache` when one is present *and* the environment is empty
+    /// (bindings are not part of the cache key, so bound evaluations
+    /// always fall through to a direct [`eval_in_env`]). Every top-level
+    /// assertion sweep in this crate — triple validity, obligation
+    /// discharge — funnels through here, so one installed cache covers
+    /// them all.
+    pub fn eval(&self, a: &Assertion, s: &StateSet, env: &mut Env) -> bool {
+        if env.states.is_empty() && env.vals.is_empty() {
+            if let Some(cache) = &self.eval_cache {
+                return cache.eval(a, s, &self.check.eval);
+            }
+        }
+        eval_in_env(a, s, env, &self.check.eval)
+    }
 }
 
 /// Checks `|= {P} C {Q}` (Def. 5) over the configured universe.
@@ -153,9 +181,9 @@ pub fn check_triple_in_env(
     cfg: &ValidityConfig,
 ) -> Result<(), Counterexample> {
     for s in candidate_sets(&cfg.universe, &cfg.check) {
-        if eval_in_env(&t.pre, &s, env, &cfg.check.eval) {
+        if cfg.eval(&t.pre, &s, env) {
             let out = cfg.sem(&t.cmd, &s);
-            if !eval_in_env(&t.post, &out, env, &cfg.check.eval) {
+            if !cfg.eval(&t.post, &out, env) {
                 return Err(Counterexample {
                     set: s,
                     context: format!("{t}"),
@@ -171,9 +199,9 @@ pub fn check_triple_in_env(
 /// has at least one terminating execution of `C`.
 pub fn check_triple_terminating(t: &Triple, cfg: &ValidityConfig) -> Result<(), Counterexample> {
     for s in candidate_sets(&cfg.universe, &cfg.check) {
-        if eval_assertion(&t.pre, &s, &cfg.check.eval) {
+        if cfg.eval(&t.pre, &s, &mut Env::new()) {
             let out = cfg.sem(&t.cmd, &s);
-            if !eval_assertion(&t.post, &out, &cfg.check.eval) {
+            if !cfg.eval(&t.post, &out, &mut Env::new()) {
                 return Err(Counterexample {
                     set: s,
                     context: format!("(⇓) {t}"),
@@ -218,7 +246,7 @@ pub fn witness_triple(t: &Triple, violating: &StateSet) -> Triple {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hhl_assert::HExpr;
+    use hhl_assert::{eval_assertion, HExpr};
     use hhl_lang::{parse_cmd, Expr, Value};
 
     fn small_cfg() -> ValidityConfig {
@@ -354,6 +382,42 @@ mod tests {
         }
         let stats = cache.stats();
         assert!(stats.hits > 0, "shared sweeps must hit: {stats:?}");
+    }
+
+    #[test]
+    fn eval_cached_and_uncached_checking_agree() {
+        // The assertion-evaluation memo must never change a verdict —
+        // same sweep as above, but with the eval cache installed (alone
+        // and together with the sem cache).
+        let eval_cache = Arc::new(hhl_assert::EvalCache::new());
+        let sem_cache = Arc::new(SemCache::new());
+        let programs = [
+            "l := l * 2",
+            "if (h > 0) { l := 1 } else { l := 0 }",
+            "while (l < 1) { l := l + 1 }",
+        ];
+        for prog in programs {
+            for (pre, post) in [
+                (Assertion::low("l"), Assertion::low("l")),
+                (Assertion::tt(), Assertion::low("l")),
+            ] {
+                let t = Triple::new(pre, parse_cmd(prog).unwrap(), post);
+                let plain = check_triple(&t, &small_cfg());
+                let cached = check_triple(
+                    &t,
+                    &small_cfg()
+                        .with_cache(sem_cache.clone())
+                        .with_eval_cache(eval_cache.clone()),
+                );
+                match (&plain, &cached) {
+                    (Ok(()), Ok(())) => {}
+                    (Err(a), Err(b)) => assert_eq!(a.set, b.set, "{t}"),
+                    _ => panic!("verdict drift on {t}: {plain:?} vs {cached:?}"),
+                }
+            }
+        }
+        let stats = eval_cache.stats();
+        assert!(stats.hits > 0, "repeated sweeps must hit: {stats:?}");
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //!   the report renders without timings or scheduling artefacts, so `diff`
 //!   over two runs (different machines, different `--jobs`) is meaningful.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is
+// `pool::tune_allocator`, a glibc `mallopt` shim (with its own scoped
+// `allow` and safety argument) that caps malloc arenas so repeated
+// short-lived worker bursts stop re-faulting trimmed heap pages.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod pool;
@@ -31,7 +35,7 @@ pub mod report;
 pub mod shard;
 pub mod store;
 
-pub use pool::{run_ordered, PoolStats};
+pub use pool::{run_ordered, run_ordered_exact, tune_allocator, PoolStats};
 pub use report::{BatchReport, FileReport, FileStatus, Summary};
 pub use shard::{ShardCounters, ShardStats};
 pub use store::{ReplaySummary, StoreStats, VerdictRecord, VerdictStore};

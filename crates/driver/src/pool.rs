@@ -23,6 +23,69 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+/// Tunes glibc malloc for repeated short-lived worker bursts. Call once,
+/// early in `main`, **before the first pool spawns** — `mallopt` only
+/// affects arenas and thresholds from that point on.
+///
+/// Three knobs, all aimed at the same failure mode — the allocator
+/// returning pages to the kernel between pool bursts only to fault them
+/// straight back in:
+///
+/// * **arena count capped at the core count.** glibc creates up to
+///   `8 × cores` thread-local arenas, one per simultaneously allocating
+///   thread. Pool workers are short-lived — every [`run_ordered`] call
+///   spawns a fresh scoped burst — so under the default cap each burst
+///   attaches to its own set of arenas, and the pages those arenas trimmed
+///   when the previous burst's heaps drained are minor-faulted in all over
+///   again. Measured on the driver corpus (1000 entries, one core, glibc
+///   2.36), an 8-worker pass re-faulted ~44k pages (~70 ms of fault
+///   service) on *every* pass, while the single-worker path — which stays
+///   on the main `sbrk` arena — faulted almost nothing after warm-up. One
+///   arena per *core* (rather than per short-lived thread) keeps
+///   allocation scalable on genuinely parallel machines while ending the
+///   churn.
+/// * **trim threshold raised to 128 MiB.** Even a capped arena shrinks its
+///   heap top back to the kernel whenever a burst's worth of frees drains
+///   it; the next burst pays the faults again (a residual ~2–4k
+///   pages/pass). Verification batches are short-lived processes with a
+///   bounded working set — keeping freed pages mapped trades transient RSS
+///   for never re-faulting them.
+/// * **mmap threshold pinned at 32 MiB** (the ceiling glibc's dynamic
+///   adjustment would reach). Setting the trim threshold disables that
+///   dynamic adjustment, which would otherwise leave large state-set
+///   buffers on the mmap/munmap path — each cycle an unmap and a refault.
+///
+/// Returns `true` when the tuning was applied; a no-op returning `false`
+/// on non-glibc targets, where thread-arena behaviour differs and the
+/// default allocator is left alone.
+#[allow(unsafe_code)]
+pub fn tune_allocator() -> bool {
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    {
+        // From glibc's malloc.h.
+        const M_TRIM_THRESHOLD: core::ffi::c_int = -1;
+        const M_MMAP_THRESHOLD: core::ffi::c_int = -3;
+        const M_ARENA_MAX: core::ffi::c_int = -8;
+        extern "C" {
+            fn mallopt(param: core::ffi::c_int, value: core::ffi::c_int) -> core::ffi::c_int;
+        }
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        // SAFETY: `mallopt` is a standard glibc entry point (guaranteed
+        // present when `target_env = "gnu"`); it reads its two scalar
+        // arguments, adjusts allocator tunables, and touches no caller
+        // memory. Returns 1 on success.
+        unsafe {
+            mallopt(M_ARENA_MAX, cores as core::ffi::c_int) == 1
+                && mallopt(M_TRIM_THRESHOLD, 128 << 20) == 1
+                && mallopt(M_MMAP_THRESHOLD, 32 << 20) == 1
+        }
+    }
+    #[cfg(not(all(target_os = "linux", target_env = "gnu")))]
+    {
+        false
+    }
+}
+
 /// Counters describing how a [`run_ordered`] call was scheduled. Useful for
 /// tests and diagnostics; never part of the deterministic report.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -35,14 +98,23 @@ pub struct PoolStats {
     pub steals: u64,
 }
 
-/// Runs `f` over every item, fanning out across `jobs` worker threads, and
-/// returns the results **in input order**.
+/// Runs `f` over every item, fanning out across **up to** `jobs` worker
+/// threads, and returns the results **in input order**.
+///
+/// `jobs` is a ceiling, not a demand: verification is CPU-bound, so
+/// workers beyond the machine's hardware threads can never finish sooner —
+/// they only add scheduler time-slicing, allocator-lock round trips and
+/// wake latency. The worker count is therefore capped at
+/// `available_parallelism` (then clamped to `1..=items.len()` — zero
+/// workers make no progress, more workers than jobs would only idle), so
+/// `--jobs 8` on a single-core box behaves exactly like `--jobs 1`, never
+/// worse. Callers that need a literal worker count (tests of the stealing
+/// mechanism; I/O-bound fan-out) use [`run_ordered_exact`].
 ///
 /// `f` receives `(index, &item)` and must be safe to call concurrently.
-/// `jobs` is clamped to `1..=items.len()` (zero workers make no progress;
-/// more workers than jobs would only idle). With `jobs == 1` the items run
-/// on the caller's thread in input order — no threads are spawned, so a
-/// single-job batch behaves exactly like a sequential loop.
+/// With one effective worker the items run on the caller's thread in input
+/// order — no threads are spawned, so the run behaves exactly like a
+/// sequential loop.
 ///
 /// # Examples
 ///
@@ -54,6 +126,21 @@ pub struct PoolStats {
 /// assert_eq!(stats.executed.iter().sum::<u64>(), 100);
 /// ```
 pub fn run_ordered<I, T, F>(items: &[I], jobs: usize, f: F) -> (Vec<T>, PoolStats)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let hardware =
+        std::thread::available_parallelism().map_or(usize::MAX, std::num::NonZeroUsize::get);
+    run_ordered_exact(items, jobs.min(hardware), f)
+}
+
+/// [`run_ordered`] without the `available_parallelism` cap: spawns exactly
+/// `jobs` workers (clamped to `1..=items.len()`), oversubscribed or not.
+/// This is the scheduling *mechanism*; `run_ordered` is the policy wrapper
+/// every `--jobs` path goes through.
+pub fn run_ordered_exact<I, T, F>(items: &[I], jobs: usize, f: F) -> (Vec<T>, PoolStats)
 where
     I: Sync,
     T: Send,
@@ -137,9 +224,11 @@ mod tests {
 
     #[test]
     fn results_are_in_input_order_for_every_job_count() {
+        // `run_ordered_exact`, so multi-worker ordering is exercised even
+        // on single-core machines (the public entry would clamp to 1).
         let items: Vec<usize> = (0..57).collect();
         for jobs in [1, 2, 3, 8, 64] {
-            let (out, stats) = run_ordered(&items, jobs, |i, &n| {
+            let (out, stats) = run_ordered_exact(&items, jobs, |i, &n| {
                 assert_eq!(i, n);
                 n * 10
             });
@@ -159,7 +248,7 @@ mod tests {
         // ones; the other workers must steal the fast ones off its back.
         let items: Vec<u64> = (0..32).collect();
         let slow_started = AtomicUsize::new(0);
-        let (_, stats) = run_ordered(&items, 4, |i, _| {
+        let (_, stats) = run_ordered_exact(&items, 4, |i, _| {
             if i == 0 {
                 slow_started.fetch_add(1, Ordering::SeqCst);
                 std::thread::sleep(std::time::Duration::from_millis(40));
@@ -185,7 +274,21 @@ mod tests {
 
     #[test]
     fn workers_clamped_to_job_count() {
-        let (_, stats) = run_ordered(&[1, 2, 3], 100, |_, &n| n);
+        let (_, stats) = run_ordered_exact(&[1, 2, 3], 100, |_, &n| n);
         assert!(stats.workers <= 3, "{stats:?}");
+    }
+
+    #[test]
+    fn jobs_is_a_ceiling_not_a_demand() {
+        // The public entry never oversubscribes the machine: requesting
+        // more workers than hardware threads yields at most the hardware
+        // thread count (and identical, input-ordered results).
+        let hardware =
+            std::thread::available_parallelism().map_or(usize::MAX, std::num::NonZeroUsize::get);
+        let items: Vec<usize> = (0..64).collect();
+        let (out, stats) = run_ordered(&items, 4096, |_, &n| n + 1);
+        assert!(stats.workers <= hardware, "{stats:?}");
+        let expected: Vec<usize> = items.iter().map(|n| n + 1).collect();
+        assert_eq!(out, expected);
     }
 }

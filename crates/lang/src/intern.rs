@@ -12,9 +12,11 @@
 //! unrolling, a shared prefix across triples, a repeated WP premise — a
 //! constant-time cache hit instead of a deep tree compare.
 //!
-//! All interners are process-wide tables guarded by mutexes; interning is
-//! performed once per distinct term, after which all operations are `Copy`
-//! comparisons.
+//! All interners are process-wide tables guarded by reader-writer locks
+//! with a double-checked write path: looking up an already-interned name
+//! or term — the steady state once a batch is warm — takes only a shared
+//! read lock, so concurrent workers never serialize behind each other.
+//! Interning itself (the write lock) happens once per distinct term.
 //!
 //! **Memory contract:** interned terms are retained (cloned into the
 //! table) for the lifetime of the process — there is no eviction, because
@@ -26,7 +28,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{OnceLock, RwLock};
 
 use crate::cmd::Cmd;
 use crate::expr::Expr;
@@ -55,10 +57,10 @@ struct Interner {
     names: Vec<String>,
 }
 
-fn interner() -> &'static Mutex<Interner> {
-    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
     INTERNER.get_or_init(|| {
-        Mutex::new(Interner {
+        RwLock::new(Interner {
             map: HashMap::new(),
             names: Vec::new(),
         })
@@ -69,8 +71,15 @@ impl Symbol {
     /// Interns `name` and returns its symbol.
     ///
     /// Idempotent: interning the same string twice yields the same symbol.
+    /// Already-interned names — every lookup after the first — are resolved
+    /// under a shared read lock; only a genuinely new name takes the write
+    /// lock, re-checking under it in case a racing thread interned the same
+    /// name between the two acquisitions.
     pub fn new(name: &str) -> Symbol {
-        let mut i = interner().lock().expect("interner poisoned");
+        if let Some(&id) = interner().read().expect("interner poisoned").map.get(name) {
+            return Symbol(id);
+        }
+        let mut i = interner().write().expect("interner poisoned");
         if let Some(&id) = i.map.get(name) {
             return Symbol(id);
         }
@@ -85,7 +94,7 @@ impl Symbol {
     /// The returned `String` is a clone; symbols themselves never expose
     /// references into the interner table.
     pub fn as_str(self) -> String {
-        let i = interner().lock().expect("interner poisoned");
+        let i = interner().read().expect("interner poisoned");
         i.names[self.0 as usize].clone()
     }
 
@@ -95,13 +104,13 @@ impl Symbol {
     /// Used by capture-avoiding substitution in the assertion layer.
     pub fn fresh(prefix: &str) -> Symbol {
         let mut n = {
-            let i = interner().lock().expect("interner poisoned");
+            let i = interner().read().expect("interner poisoned");
             i.names.len()
         };
         loop {
             let candidate = format!("{prefix}#{n}");
             let exists = {
-                let i = interner().lock().expect("interner poisoned");
+                let i = interner().read().expect("interner poisoned");
                 i.map.contains_key(&candidate)
             };
             if !exists {
@@ -126,11 +135,11 @@ impl fmt::Display for Symbol {
 
 /// Lock shards per term table: command interning sits on the memoized
 /// extended-semantics hot path, where batch workers intern concurrently —
-/// a single global mutex would serialize them.
+/// a single global lock would make every probe touch the same word.
 const TERM_SHARDS: usize = 8;
 
 /// One shard: the id map plus the interned terms in allocation order.
-type TermShard<T> = Mutex<(HashMap<T, u32>, Vec<T>)>;
+type TermShard<T> = RwLock<(HashMap<T, u32>, Vec<T>)>;
 
 /// A process-wide, sharded hash-consing table for one term type.
 ///
@@ -139,6 +148,11 @@ type TermShard<T> = Mutex<(HashMap<T, u32>, Vec<T>)>;
 /// interned terms in allocation order, so an id resolves back to its term
 /// ([`TermTable::lookup`]) — the memo-table snapshot serializer needs the
 /// *exact* command behind a [`CmdId`], never a hash of it.
+///
+/// Like [`Symbol::new`], `intern` is double-checked: re-interning a term
+/// already in the table — every `sem_memo` probe after the first — takes
+/// only the shard's read lock, so warm batch workers never block each
+/// other here.
 struct TermTable<T> {
     shards: Vec<TermShard<T>>,
 }
@@ -147,7 +161,7 @@ impl<T: Clone + Eq + Hash> TermTable<T> {
     fn new() -> TermTable<T> {
         TermTable {
             shards: (0..TERM_SHARDS)
-                .map(|_| Mutex::new((HashMap::new(), Vec::new())))
+                .map(|_| RwLock::new((HashMap::new(), Vec::new())))
                 .collect(),
         }
     }
@@ -156,7 +170,15 @@ impl<T: Clone + Eq + Hash> TermTable<T> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         term.hash(&mut h);
         let idx = (h.finish() as usize) % TERM_SHARDS;
-        let mut shard = self.shards[idx].lock().expect("term table poisoned");
+        if let Some(&id) = self.shards[idx]
+            .read()
+            .expect("term table poisoned")
+            .0
+            .get(term)
+        {
+            return id;
+        }
+        let mut shard = self.shards[idx].write().expect("term table poisoned");
         let (map, rev) = &mut *shard;
         if let Some(&id) = map.get(term) {
             return id;
@@ -170,7 +192,7 @@ impl<T: Clone + Eq + Hash> TermTable<T> {
     fn lookup(&self, id: u32) -> Option<T> {
         let shard = (id as usize) % TERM_SHARDS;
         let idx = (id as usize) / TERM_SHARDS;
-        let guard = self.shards[shard].lock().expect("term table poisoned");
+        let guard = self.shards[shard].read().expect("term table poisoned");
         guard.1.get(idx).cloned()
     }
 }

@@ -59,7 +59,9 @@ mod value;
 pub use cmd::Cmd;
 pub use exec::ExecConfig;
 pub use expr::{BinOp, Expr, UnOp};
-pub use fp::{fp_cmd, fp_cmd_id, fp_expr, fp_expr_id, fp_symbols, Fingerprint, StableHasher};
+pub use fp::{
+    fp_cmd, fp_cmd_id, fp_expr, fp_expr_id, fp_symbols, fp_value, Fingerprint, StableHasher,
+};
 pub use intern::{intern_cmd, intern_expr, CmdId, ExprId, Symbol};
 pub use memo::{CacheStats, MemoImportStats, MemoSnapshotStats, SemCache};
 pub use parser::{parse_cmd, parse_expr, ParseError};

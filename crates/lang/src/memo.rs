@@ -9,10 +9,10 @@
 //! `Arc`, so worker threads of the batch driver (`hhl-driver`) compute each
 //! distinct evaluation once and share the result.
 //!
-//! Keys are `(execution fingerprint, hash-consed command id, state set)`:
+//! Keys are `(finitization id, hash-consed command id, state set)`:
 //!
-//! * the *fingerprint* ([`ExecConfig::fingerprint`]) covers the havoc domain
-//!   and loop fuel, so specs with different finitizations never alias;
+//! * the *finitization id* exactly interns the havoc domain and loop fuel
+//!   within the cache, so specs with different finitizations never alias;
 //! * the command is keyed by [`CmdId`] ([`crate::intern_cmd`]), making the
 //!   lookup key compact and the comparison integer-cheap;
 //! * the state set is the canonical [`StateSet`], whose `Hash` is stable.
@@ -24,15 +24,32 @@
 //! `sem_memo` computes exactly [`ExecConfig::sem`] (a property-tested
 //! equivalence); the cache changes performance, never verdicts.
 //!
-//! The table is sharded to keep lock contention low under the work-stealing
-//! scheduler; hit/miss counters are lock-free.
+//! The table is sharded `RwLock`s: lookups — the overwhelming majority of
+//! operations once the cache warms up — take shared read locks and proceed
+//! concurrently, while only insertions take a shard's exclusive write lock.
+//! On machines where workers time-slice few cores this is the difference
+//! between scaling and *anti*-scaling: exclusive-lock handoffs on the hot
+//! read path force context switches, which is exactly the jobs>1 slowdown
+//! the earlier `Mutex`-sharded table exhibited. Hit/miss counters are
+//! lock-free, and [`SemCache::write_acquisitions`] exposes the number of
+//! exclusive acquisitions so tests can pin down that warm lookups never
+//! serialize.
+//!
+//! Cold caches get the complementary treatment: compound evaluations are
+//! **deduplicated in flight**. When several workers miss the same
+//! `Seq`/`Choice`/`Star` key simultaneously — the normal case at batch
+//! start, where neighbouring files share their expensive loop sweeps and
+//! the pool deals those files to different workers — exactly one claims
+//! the key and evaluates; the rest block on its completion and answer from
+//! the freshly published entry. Duplicate evaluation of a leaf is cheaper
+//! than the bookkeeping, so leaves race freely.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use crate::cmd::Cmd;
 use crate::exec::ExecConfig;
@@ -43,8 +60,10 @@ use crate::stateset::StateSet;
 use crate::value::Value;
 
 /// Number of independent lock shards. A power of two so the shard index is
-/// a mask of the key hash.
-const SHARDS: usize = 16;
+/// a mask of the key hash. Generous relative to realistic worker counts:
+/// shards are cheap (an empty map each), and over-provisioning keeps the
+/// probability of two workers *writing* the same shard low.
+const SHARDS: usize = 64;
 
 /// The coarse half of a memo key: which finitization, which command. The
 /// fine half (the input state set) indexes a nested map, so lookups borrow
@@ -110,9 +129,48 @@ impl fmt::Display for CacheStats {
 /// assert!(cache.stats().hits > 0);
 /// ```
 pub struct SemCache {
-    shards: Vec<Mutex<HashMap<Scope, HashMap<StateSet, StateSet>>>>,
+    shards: Vec<RwLock<HashMap<Scope, HashMap<StateSet, StateSet>>>>,
+    /// Per-cache exact interning of finitizations (see [`SemCache::exec_id`]).
+    execs: RwLock<ExecTable>,
+    /// Compound evaluations currently being computed, for in-flight
+    /// deduplication (see [`SemCache::claim`]). Touched only on misses.
+    inflight: Mutex<HashMap<(Scope, StateSet), Arc<Flight>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Exclusive (write) lock acquisitions across all shards and the exec
+    /// table — observable via [`SemCache::write_acquisitions`].
+    writes: AtomicU64,
+}
+
+/// The marker for one in-flight compound evaluation: waiters sleep on the
+/// condvar until the owner (or its unwinding stack) flips `done`.
+#[derive(Default)]
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Outcome of [`SemCache::claim`].
+enum Claim {
+    /// The caller owns the evaluation and must publish + [`SemCache::finish`].
+    Owner,
+    /// Another worker owned it and has finished; re-probe the table.
+    Waited,
+}
+
+/// Unwind-safe completion of a claimed evaluation: marks the flight done on
+/// drop, so a panicking owner releases its waiters (which then re-probe,
+/// miss, re-claim and recompute) instead of stranding them.
+struct FlightGuard<'a> {
+    cache: &'a SemCache,
+    scope: Scope,
+    states: &'a StateSet,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.cache.finish(self.scope, self.states);
+    }
 }
 
 impl Default for SemCache {
@@ -131,22 +189,77 @@ impl SemCache {
     /// An empty cache.
     pub fn new() -> SemCache {
         SemCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            execs: RwLock::new(ExecTable::default()),
+            inflight: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, scope: &Scope) -> &Mutex<HashMap<Scope, HashMap<StateSet, StateSet>>> {
+    /// Claims the right to evaluate `(scope, states)`, or waits for the
+    /// worker that already holds it.
+    ///
+    /// Without this, racing workers that miss the same key all compute it —
+    /// harmless for leaves, but a corpus whose expensive loop sweeps repeat
+    /// across neighbouring files hands every worker the *same* sweep at
+    /// batch start, and on few-core machines those duplicates are pure
+    /// added wall time (the jobs>1 slowdown). Waiting is deadlock-free:
+    /// a worker only ever waits for a key whose command is a strict subterm
+    /// of everything it currently owns, and strict subterm chains cannot
+    /// cycle.
+    fn claim(&self, scope: Scope, states: &StateSet) -> Claim {
+        let existing = {
+            let mut inflight = self.inflight.lock().expect("inflight table poisoned");
+            match inflight.entry((scope, states.clone())) {
+                std::collections::hash_map::Entry::Occupied(e) => Some(e.get().clone()),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(Arc::new(Flight::default()));
+                    None
+                }
+            }
+        };
+        match existing {
+            None => Claim::Owner,
+            Some(flight) => {
+                let mut done = flight.done.lock().expect("flight poisoned");
+                while !*done {
+                    done = flight.cv.wait(done).expect("flight poisoned");
+                }
+                Claim::Waited
+            }
+        }
+    }
+
+    /// Releases a claimed key and wakes its waiters. Called via
+    /// [`FlightGuard`] so it also runs on unwind. (`clear` deliberately
+    /// leaves the in-flight table alone: removing an entry out from under
+    /// its owner would strand that owner's waiters.)
+    fn finish(&self, scope: Scope, states: &StateSet) {
+        let flight = self
+            .inflight
+            .lock()
+            .expect("inflight table poisoned")
+            .remove(&(scope, states.clone()));
+        if let Some(flight) = flight {
+            *flight.done.lock().expect("flight poisoned") = true;
+            flight.cv.notify_all();
+        }
+    }
+
+    fn shard(&self, scope: &Scope) -> &RwLock<HashMap<Scope, HashMap<StateSet, StateSet>>> {
         let mut h = DefaultHasher::new();
         scope.hash(&mut h);
         &self.shards[(h.finish() as usize) & (SHARDS - 1)]
     }
 
+    /// Lookups take a shard's *read* lock: concurrent hits never block one
+    /// another, so a warmed-up cache adds no serialization point.
     fn get(&self, scope: Scope, states: &StateSet) -> Option<StateSet> {
         let hit = self
             .shard(&scope)
-            .lock()
+            .read()
             .expect("memo shard poisoned")
             .get(&scope)
             .and_then(|by_set| by_set.get(states))
@@ -159,12 +272,21 @@ impl SemCache {
     }
 
     fn insert(&self, scope: Scope, states: StateSet, value: StateSet) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
         self.shard(&scope)
-            .lock()
+            .write()
             .expect("memo shard poisoned")
             .entry(scope)
             .or_default()
             .insert(states, value);
+    }
+
+    /// Total exclusive (write) lock acquisitions so far, across the memo
+    /// shards and the finitization table. Deterministically zero for any
+    /// window in which every lookup hits — the contract the concurrency
+    /// regression tests assert instead of relying on wall-clock timing.
+    pub fn write_acquisitions(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
     }
 
     /// Current counters. Counts are exact under single-threaded use; under
@@ -179,7 +301,7 @@ impl SemCache {
                 .shards
                 .iter()
                 .map(|s| {
-                    s.lock()
+                    s.read()
                         .expect("memo shard poisoned")
                         .values()
                         .map(HashMap::len)
@@ -189,59 +311,83 @@ impl SemCache {
         }
     }
 
-    /// Drops every entry and resets the counters.
+    /// Drops every entry (including the finitization-interning table — ids
+    /// are only meaningful against the entries they key) and resets the
+    /// counters.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("memo shard poisoned").clear();
+            shard.write().expect("memo shard poisoned").clear();
         }
+        *self.execs.write().expect("exec table poisoned") = ExecTable::default();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+
+    /// The exact interning id of a finitization (havoc domain + loop fuel)
+    /// *within this cache*, used to key memo scopes so configurations never
+    /// share results. Equal configurations get equal ids; distinct ones are
+    /// guaranteed distinct (this is a table lookup, not a hash — the cache
+    /// is soundness-bearing, so even a 2⁻⁶⁴ collision is not worth
+    /// carrying).
+    ///
+    /// The table lives in the cache rather than in process-global state:
+    /// its size is bounded by the cache's lifetime (and emptied by
+    /// [`SemCache::clear`]) instead of growing for the life of the process,
+    /// and the known-id fast path is a shared read lock, so concurrent
+    /// evaluations resolving the same finitization never serialize.
+    fn exec_id(&self, exec: &ExecConfig) -> u64 {
+        let key = (exec.havoc_domain.clone(), exec.loop_fuel);
+        if let Some(&id) = self
+            .execs
+            .read()
+            .expect("exec table poisoned")
+            .ids
+            .get(&key)
+        {
+            return id;
+        }
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        let mut table = self.execs.write().expect("exec table poisoned");
+        if let Some(&id) = table.ids.get(&key) {
+            return id; // another worker interned it between our locks
+        }
+        let id = table.by_id.len() as u64;
+        table.by_id.push(key.clone());
+        table.ids.insert(key, id);
+        id
+    }
+
+    /// Resolves every interned finitization id back to its `(domain, fuel)`
+    /// pair — one read-lock acquisition for a whole snapshot export.
+    fn finitizations_by_id(&self) -> Vec<Finitization> {
+        self.execs
+            .read()
+            .expect("exec table poisoned")
+            .by_id
+            .clone()
     }
 }
 
-/// Process-wide exact interning of finitizations: each distinct
-/// `(havoc_domain, loop_fuel)` pair gets a unique id. Interning (rather
-/// than hashing) means two configurations can never alias a memo scope —
-/// the cache is soundness-bearing, so even a 2⁻⁶⁴ collision is not worth
-/// carrying.
+/// Exact interning of finitizations, per cache: each distinct
+/// `(havoc_domain, loop_fuel)` pair gets a unique id, with the reverse
+/// table kept in allocation order so ids resolve back to their pair.
 type Finitization = (Vec<Value>, u32);
 
-/// Inverts the finitization-interning table (`(domain, fuel) → id` into
-/// `id → (domain, fuel)`), so snapshot export resolves every scope's
-/// *actual* finitization — never a process-local id — with one lock
-/// acquisition for the whole export instead of a scan per scope. The table
-/// holds one entry per distinct configuration seen this process, so the
-/// inversion is small.
-fn finitizations_by_id() -> HashMap<u64, Finitization> {
-    let table = exec_table().lock().expect("exec table poisoned");
-    table.iter().map(|(k, &v)| (v, k.clone())).collect()
-}
-
-fn exec_table() -> &'static Mutex<HashMap<Finitization, u64>> {
-    static TABLE: OnceLock<Mutex<HashMap<Finitization, u64>>> = OnceLock::new();
-    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+#[derive(Default)]
+struct ExecTable {
+    ids: HashMap<Finitization, u64>,
+    by_id: Vec<Finitization>,
 }
 
 impl ExecConfig {
-    /// The exact interning id of this finitization (havoc domain + loop
-    /// fuel), used to key memo entries so configurations never share
-    /// results. Equal configurations get equal ids; distinct ones are
-    /// guaranteed distinct (this is a table lookup, not a hash).
-    pub fn fingerprint(&self) -> u64 {
-        let mut table = exec_table().lock().expect("exec table poisoned");
-        let next = table.len() as u64;
-        *table
-            .entry((self.havoc_domain.clone(), self.loop_fuel))
-            .or_insert(next)
-    }
-
     /// [`ExecConfig::sem`] evaluated through a [`SemCache`].
     ///
     /// Returns exactly what `sem` returns; the cache only changes how much
     /// work is re-done. `skip` is evaluated inline (cheaper than a lookup).
     pub fn sem_memo(&self, cmd: &Cmd, s: &StateSet, cache: &SemCache) -> StateSet {
         // Resolve the finitization id once per evaluation, not per node.
-        self.sem_memo_at(self.fingerprint(), cmd, s, cache)
+        self.sem_memo_at(cache.exec_id(self), cmd, s, cache)
     }
 
     fn sem_memo_at(&self, fp: u64, cmd: &Cmd, s: &StateSet, cache: &SemCache) -> StateSet {
@@ -252,6 +398,27 @@ impl ExecConfig {
         if let Some(hit) = cache.get(scope, s) {
             return hit;
         }
+        // Leaves are cheaper than in-flight bookkeeping: evaluate directly
+        // (a racing duplicate costs less than the claim would).
+        if !matches!(cmd, Cmd::Seq(..) | Cmd::Choice(..) | Cmd::Star(..)) {
+            let out = self.sem(cmd, s);
+            cache.insert(scope, s.clone(), out.clone());
+            return out;
+        }
+        // Compound evaluations — including every loop fixpoint — are claimed
+        // so racing workers wait for the one computation instead of running
+        // their own copy of it.
+        while let Claim::Waited = cache.claim(scope, s) {
+            if let Some(hit) = cache.get(scope, s) {
+                return hit;
+            }
+            // The owner unwound without publishing; claim and compute.
+        }
+        let guard = FlightGuard {
+            cache,
+            scope,
+            states: s,
+        };
         let out = match cmd {
             Cmd::Seq(c1, c2) => {
                 let mid = self.sem_memo_at(fp, c1, s, cache);
@@ -282,7 +449,10 @@ impl ExecConfig {
             }
             leaf => self.sem(leaf, s),
         };
+        // Publish before releasing the flight: woken waiters re-probe the
+        // table and must find the value there.
         cache.insert(scope, s.clone(), out.clone());
+        drop(guard);
         out
     }
 }
@@ -301,7 +471,11 @@ impl ExecConfig {
 // `Cmd::to_source` with an emit ∘ parse fixpoint check on both sides.
 
 /// Snapshot header line; bumping it invalidates old snapshots wholesale.
-const SNAPSHOT_HEADER: &str = "hhl-memo v1";
+/// v2: the cache's table layout moved to per-cache finitization interning
+/// under read-optimized locks — the line grammar is unchanged, but the
+/// version is bumped alongside the layout so a store written by one scheme
+/// is never half-trusted by the other.
+const SNAPSHOT_HEADER: &str = "hhl-memo v2";
 
 /// Counters from one [`SemCache::export_snapshot`] call.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -598,17 +772,19 @@ impl SemCache {
     pub fn export_snapshot(&self, max_entries: usize) -> (String, MemoSnapshotStats) {
         let mut stats = MemoSnapshotStats::default();
         let mut lines: Vec<String> = Vec::new();
-        let finitizations = finitizations_by_id();
+        let finitizations = self.finitizations_by_id();
         for shard in &self.shards {
-            let guard = shard.lock().expect("memo shard poisoned");
+            let guard = shard.read().expect("memo shard poisoned");
             for (&(exec_id, cmd_id), by_set) in guard.iter() {
-                let scope = finitizations.get(&exec_id).and_then(|(domain, fuel)| {
-                    let cmd = cmd_of(cmd_id)?;
-                    let src = cmd.to_source();
-                    // Exactness gate: only export commands whose canonical
-                    // source re-parses to the identical tree.
-                    (parse_cmd(&src).ok()? == cmd).then_some((domain.clone(), *fuel, src))
-                });
+                let scope = finitizations
+                    .get(exec_id as usize)
+                    .and_then(|(domain, fuel)| {
+                        let cmd = cmd_of(cmd_id)?;
+                        let src = cmd.to_source();
+                        // Exactness gate: only export commands whose canonical
+                        // source re-parses to the identical tree.
+                        (parse_cmd(&src).ok()? == cmd).then_some((domain.clone(), *fuel, src))
+                    });
                 let Some((domain, fuel, src)) = scope else {
                     stats.evicted += by_set.len() as u64;
                     continue;
@@ -704,7 +880,7 @@ impl SemCache {
             havoc_domain: domain,
             loop_fuel: fuel,
         };
-        let scope: Scope = (exec.fingerprint(), intern_cmd(&cmd));
+        let scope: Scope = (self.exec_id(&exec), intern_cmd(&cmd));
         self.insert(scope, input, output);
         Some(())
     }
@@ -865,7 +1041,7 @@ mod tests {
         let entry_lines = stats.exported;
 
         // Wrong header: everything rejected.
-        let foreign = snapshot.replacen("hhl-memo v1", "hhl-memo v999", 1);
+        let foreign = snapshot.replacen("hhl-memo v2", "hhl-memo v999", 1);
         let warm = SemCache::new();
         let imported = warm.import_snapshot(&foreign);
         assert_eq!(imported.loaded, 0);
@@ -907,6 +1083,92 @@ mod tests {
         let full_lines: Vec<&str> = full.lines().collect();
         let capped_lines: Vec<&str> = capped.lines().collect();
         assert_eq!(&full_lines[..5], &capped_lines[..]);
+    }
+
+    #[test]
+    fn warm_lookups_acquire_no_write_locks() {
+        // The contention regression test, stated deterministically instead
+        // of with wall-clock timing: once every key is cached, concurrent
+        // re-evaluations (including finitization-id resolution) are pure
+        // read traffic — zero exclusive acquisitions, so lookups cannot
+        // serialize behind a writer.
+        let cache = SemCache::new();
+        let cfg = ExecConfig::int_range(0, 2).fuel(6);
+        let cmd = parse_cmd("x := x + 1; { x := x + 1 }*").unwrap();
+        let s = set(&[0, 1]);
+        let expected = cfg.sem(&cmd, &s);
+        cfg.sem_memo(&cmd, &s, &cache);
+        let warmed = cache.write_acquisitions();
+        assert!(warmed > 0, "warming must write");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        assert_eq!(cfg.sem_memo(&cmd, &s, &cache), expected);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.write_acquisitions(), warmed);
+    }
+
+    #[test]
+    fn racing_miss_waits_for_the_inflight_owner() {
+        // One worker owns an expensive compound key; a second worker that
+        // misses the same key must wait and answer from the published
+        // entry instead of recomputing. Pinned via the write counter: the
+        // waiter performs zero table writes.
+        let cache = SemCache::new();
+        let cfg = ExecConfig::int_range(0, 2).fuel(6);
+        let cmd = parse_cmd("{ x := x + 1 }*").unwrap();
+        let s = set(&[0]);
+        let expected = cfg.sem(&cmd, &s);
+        let scope: Scope = (cache.exec_id(&cfg), intern_cmd(&cmd));
+        assert!(matches!(cache.claim(scope, &s), Claim::Owner));
+        let flight = cache
+            .inflight
+            .lock()
+            .unwrap()
+            .get(&(scope, s.clone()))
+            .unwrap()
+            .clone();
+        let writes_before = cache.write_acquisitions();
+        std::thread::scope(|threads| {
+            let waiter = threads.spawn(|| cfg.sem_memo(&cmd, &s, &cache));
+            // Handshake: the waiter holds a clone of the flight only while
+            // parked on it (map ref + ours + the waiter's = 3).
+            let parked = std::time::Instant::now();
+            while Arc::strong_count(&flight) < 3 {
+                assert!(
+                    parked.elapsed() < std::time::Duration::from_secs(10),
+                    "waiter never parked on the in-flight key"
+                );
+                std::thread::yield_now();
+            }
+            cache.insert(scope, s.clone(), expected.clone());
+            cache.finish(scope, &s);
+            assert_eq!(waiter.join().expect("waiter panicked"), expected);
+        });
+        // The single write is the owner's publish; the waiter added none.
+        assert_eq!(cache.write_acquisitions(), writes_before + 1);
+    }
+
+    #[test]
+    fn exec_ids_are_per_cache_and_cleared() {
+        // The finitization table lives in the cache: ids allocate
+        // independently per cache, stay stable per (cache, finitization),
+        // and clear() empties the table along with the entries it keys —
+        // the table is bounded by the cache's lifetime, not the process's.
+        let a = SemCache::new();
+        let b = SemCache::new();
+        let narrow = ExecConfig::int_range(0, 1);
+        let wide = ExecConfig::int_range(0, 3);
+        assert_eq!(a.exec_id(&wide), 0);
+        assert_eq!(a.exec_id(&narrow), 1);
+        assert_eq!(b.exec_id(&narrow), 0);
+        assert_eq!(a.exec_id(&wide), 0);
+        a.clear();
+        assert_eq!(a.exec_id(&narrow), 0);
     }
 
     #[test]
