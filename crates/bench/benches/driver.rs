@@ -35,6 +35,9 @@ fn main() {
     for (key, value) in &suite.meta {
         println!("meta  {key:<44} {value}");
     }
+    for line in &suite.tables {
+        println!("{line}");
+    }
     let json = suites::render_json(
         "driver",
         "ns/run (min of interleaved repeats)",

@@ -38,9 +38,15 @@ const USAGE: &str = "usage: hhl-bench <command> [args]
       diff medians against the checked-in baseline, failing on any series
       more than PCT percent slower (default 35). The driver suite also
       fails when the recorded speedup_jobs8_vs_jobs1 is below 1.0 or the
-      fresh re-measure drops below 0.90.
+      fresh re-measure drops below 0.90, and prints slowest-file /
+      slowest-rule telemetry tables from its instrumented batch pass.
 
-  Exit codes: 0 clean, 1 regression, 2 usage/IO errors.";
+  hhl-bench report-check <report.json>...
+      Validate `hhl batch --report json` output: the document must carry
+      the hhl-report v1 schema, round-trip byte-identically through the
+      parser, and keep its summary consistent with its per-file entries.
+
+  Exit codes: 0 clean, 1 regression, 2 usage/IO/validation errors.";
 
 fn usage_error(message: &str) -> ExitCode {
     eprintln!("error: {message}\n\n{USAGE}");
@@ -105,17 +111,19 @@ fn parse_seed(s: &str) -> Result<u64, std::num::ParseIntError> {
     }
 }
 
-/// Fresh `(name, ns)` series plus `(key, value)` meta pairs from a re-run.
-type FreshSuite = (Vec<(String, u128)>, Vec<(String, String)>);
+/// Fresh `(name, ns)` series, `(key, value)` meta pairs, and rendered
+/// telemetry table lines from a re-run.
+type FreshSuite = (Vec<(String, u128)>, Vec<(String, String)>, Vec<String>);
 
 /// Re-runs the suite a baseline belongs to and returns the fresh series
-/// plus the fresh `meta` pairs (empty for suites without metadata).
+/// plus the fresh `meta` pairs and telemetry tables (both empty for
+/// suites without them).
 fn rerun(kind: &str, fast: bool) -> Option<FreshSuite> {
     match kind {
-        "proofs" => Some((suites::proofs(fast), Vec::new())),
+        "proofs" => Some((suites::proofs(fast), Vec::new(), Vec::new())),
         "driver" => {
             let suite = suites::driver(fast);
-            Some((suite.results, suite.meta))
+            Some((suite.results, suite.meta, suite.tables))
         }
         _ => None,
     }
@@ -219,7 +227,7 @@ fn cmd_compare(args: &[String]) -> ExitCode {
             eprintln!("error: {path}: no results to compare");
             return ExitCode::from(2);
         }
-        let Some((new, new_meta)) = rerun(&kind, fast) else {
+        let Some((new, new_meta, tables)) = rerun(&kind, fast) else {
             eprintln!("error: {path}: unknown bench kind {kind:?}");
             return ExitCode::from(2);
         };
@@ -253,6 +261,12 @@ fn cmd_compare(args: &[String]) -> ExitCode {
             }
         }
         regressions += scaling_gate(&suites::parse_meta(&json), &new_meta);
+        // Telemetry tables from the fresh instrumented pass: where the
+        // batch spent its time, by file and by rule. Informational only —
+        // timings never gate.
+        for line in &tables {
+            println!("{line}");
+        }
         println!();
     }
 
@@ -265,6 +279,65 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     }
 }
 
+/// Validates one `hhl batch --report json` document: schema, parse ∘ emit
+/// round-trip identity, and summary-vs-files consistency. Returns a
+/// human-readable failure description on the first violated property.
+fn check_report(json: &str) -> Result<hhl_driver::ReportDoc, String> {
+    let doc = hhl_driver::metrics::parse_report(json)?;
+    let rendered = hhl_driver::metrics::render_report(&doc);
+    if json.trim_end() != rendered.trim_end() {
+        return Err("document does not round-trip through parse ∘ render".to_owned());
+    }
+    let summary = &doc.summary;
+    if summary.files != doc.files.len() as u64 {
+        return Err(format!(
+            "summary says {} file(s) but {} entries are listed",
+            summary.files,
+            doc.files.len()
+        ));
+    }
+    let by_status = |status: &str| doc.files.iter().filter(|f| f.status == status).count() as u64;
+    if summary.unexpected != by_status("unexpected") || summary.errors != by_status("error") {
+        return Err("summary counts disagree with per-file statuses".to_owned());
+    }
+    for entry in &doc.files {
+        for (stage, ns) in &entry.stages {
+            if *ns == 0 {
+                return Err(format!("{}: zero-span {stage} stage recorded", entry.path));
+            }
+        }
+    }
+    Ok(doc)
+}
+
+fn cmd_report_check(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        return usage_error("`hhl-bench report-check` needs at least one report file");
+    }
+    for path in args {
+        let json = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match check_report(&json) {
+            Ok(doc) => println!(
+                "{path}: ok — {} file(s), {} stage serie(s), {} rule(s)",
+                doc.summary.files,
+                doc.stages.len(),
+                doc.rules.len()
+            ),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     // `compare --fast` re-runs the driver suite in-process; cap malloc
     // arenas before its first pool burst so the gate measures scheduling,
@@ -274,6 +347,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("report-check") => cmd_report_check(&args[1..]),
         Some("--help" | "-h") => {
             println!("{USAGE}");
             ExitCode::SUCCESS

@@ -208,6 +208,10 @@ pub struct DriverSuite {
     pub results: Vec<(String, u128)>,
     /// `(key, rendered JSON value)` pairs for the baseline's `meta` block.
     pub meta: Vec<(String, String)>,
+    /// Pre-rendered slowest-file / slowest-rule telemetry tables from the
+    /// instrumented cold batch pass (printed by `hhl-bench compare` and
+    /// the bench target; not part of the regression gate).
+    pub tables: Vec<String>,
 }
 
 /// Corpus size the driver suite measures over: the checked-in 130-entry
@@ -289,9 +293,14 @@ pub fn driver(fast: bool) -> DriverSuite {
     // Persistent-store configurations: one cold pass fills the verdict
     // store, then warm passes replay every verdict from disk — the
     // incremental-recheck fast path `BENCH_driver.json` tracks.
-    let (cold_store, warm_store) = store_times(&entries, repeats);
+    let probe = store_times(&entries, repeats);
+    let (cold_store, warm_store) = (probe.cold_ns, probe.warm_ns);
     results.push(("batch/jobs4_store_cold".to_owned(), cold_store));
     results.push(("batch/jobs4_store_warm".to_owned(), warm_store));
+    // Per-stage wall-time series from the instrumented cold pass: where a
+    // batch actually spends its time (parse vs check vs discharge vs
+    // store), tracked by the same 35% gate as the end-to-end series.
+    results.extend(probe.stage_series);
 
     let [nomemo, _jobs1, _jobs2, jobs4, _jobs8] = bests[..] else {
         unreachable!("five configs measured");
@@ -374,15 +383,51 @@ pub fn driver(fast: bool) -> DriverSuite {
             format!("{:.2}", ratio(cold_store, warm_store)),
         ),
     ]);
-    DriverSuite { results, meta }
+    DriverSuite {
+        results,
+        meta,
+        tables: probe.tables,
+    }
+}
+
+/// What one instrumented cold-plus-warm store probe yields: the wall
+/// times for the regression series, the cold pass's per-stage series, and
+/// the rendered slowest-file / slowest-rule tables.
+struct StoreProbe {
+    cold_ns: u128,
+    warm_ns: u128,
+    stage_series: Vec<(String, u128)>,
+    tables: Vec<String>,
+}
+
+/// Renders the slowest-file and slowest-rule tables from an instrumented
+/// batch pass. File paths are shown by basename (the probe runs over a
+/// scratch copy of the corpus; the generated names are unique).
+fn telemetry_tables(snapshot: &hhl_driver::MetricsSnapshot) -> Vec<String> {
+    let mut lines = vec!["slowest files (total per-file stage time):".to_owned()];
+    for (path, total_ns) in snapshot.slowest_files(5) {
+        let name = path.rsplit('/').next().unwrap_or(path);
+        lines.push(format!("  {name:<44} {:>12.3} ms", total_ns as f64 / 1e6));
+    }
+    lines.push("slowest rules (total obligation-discharge time):".to_owned());
+    for rule in snapshot.slowest_rules(5) {
+        lines.push(format!(
+            "  {:<24} count={:<7} samples={:<7} total {:>10.3} ms  mean {:>9.1} µs",
+            rule.rule,
+            rule.count,
+            rule.timing.count(),
+            rule.timing.total_ns() as f64 / 1e6,
+            rule.timing.mean_ns() / 1e3,
+        ));
+    }
+    lines
 }
 
 /// Measures the persistent verdict store end-to-end through the real
 /// `hhl batch` entry point (`run_batch` + `VerdictStore`): the corpus is
 /// written to a scratch directory, one cold run fills the store, and the
-/// warm runs replay 100% of the verdicts from disk. Returns
-/// `(cold_ns, warm_median_ns)`.
-fn store_times(entries: &[CorpusEntry], repeats: usize) -> (u128, u128) {
+/// warm runs replay 100% of the verdicts from disk.
+fn store_times(entries: &[CorpusEntry], repeats: usize) -> StoreProbe {
     use hhl_cli::batch::{run_batch, BatchOptions};
     use hhl_driver::store::VerdictStore;
 
@@ -419,15 +464,27 @@ fn store_times(entries: &[CorpusEntry], repeats: usize) -> (u128, u128) {
             "corpus must verify cleanly:\n{}",
             run.report()
         );
-        elapsed
+        (elapsed, run)
     };
 
-    let cold = run(true); // --fresh semantics: recompute and (re)fill
-    let mut warm: Vec<u128> = (0..repeats.max(1)).map(|_| run(false)).collect();
+    let (cold, cold_run) = run(true); // --fresh semantics: recompute and (re)fill
+    let snapshot = cold_run.metrics.snapshot();
+    let stage_series = snapshot
+        .stages
+        .iter()
+        .map(|agg| (format!("batch/stage/{}", agg.stage), agg.timing.total_ns()))
+        .collect();
+    let tables = telemetry_tables(&snapshot);
+    let mut warm: Vec<u128> = (0..repeats.max(1)).map(|_| run(false).0).collect();
     warm.sort_unstable();
     let warm_median = warm[warm.len() / 2];
     let _ = std::fs::remove_dir_all(&scratch);
-    (cold, warm_median)
+    StoreProbe {
+        cold_ns: cold,
+        warm_ns: warm_median,
+        stage_series,
+        tables,
+    }
 }
 
 /// Renders a baseline JSON document (hand-rolled — the workspace is

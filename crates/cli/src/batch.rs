@@ -28,16 +28,18 @@
 //! [`ValidityConfig`]: hhl_core::ValidityConfig
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use hhl_assert::{EvalCache, EvalCacheStats};
+use hhl_driver::metrics::{BuildInfo, LocalMetrics, MetricsRegistry, ReportDoc, Stage};
 use hhl_driver::pool::{run_ordered, PoolStats};
 use hhl_driver::report::{BatchReport, FileReport, FileStatus};
 use hhl_driver::shard::{ShardCounters, ShardStats};
-use hhl_driver::store::{StoreStats, VerdictRecord, VerdictStore};
+use hhl_driver::store::{StoreStats, VerdictRecord, VerdictStore, STORE_SCHEMA};
 use hhl_lang::{MemoImportStats, MemoSnapshotStats, SemCache};
 
 use crate::fingerprint::spec_fingerprint;
-use crate::runner::{run_spec, Outcome, Verdict};
+use crate::runner::{run_spec_metered, Outcome, Verdict};
 use crate::shard::{discharge_pending, finish_replay, prepare_replay, PendingReplay, Staged};
 use crate::spec::{parse_spec, Expect, Mode, Spec};
 
@@ -121,6 +123,19 @@ pub struct BatchRun {
     pub memo_import: MemoImportStats,
     /// Memo-snapshot entries exported/evicted at shutdown.
     pub memo_export: MemoSnapshotStats,
+    /// Per-stage/per-rule telemetry and the unified stderr counters.
+    pub metrics: MetricsRegistry,
+}
+
+/// Build identification for reports and `hhl --version`: crate version
+/// plus the schema tags of every on-disk format this binary reads/writes.
+pub fn build_info() -> BuildInfo {
+    BuildInfo {
+        name: "hhl".to_owned(),
+        version: env!("CARGO_PKG_VERSION").to_owned(),
+        verdict_schema: STORE_SCHEMA.to_owned(),
+        memo_schema: hhl_lang::memo::SNAPSHOT_SCHEMA.to_owned(),
+    }
 }
 
 impl BatchRun {
@@ -135,6 +150,19 @@ impl BatchRun {
                 })
                 .collect(),
         )
+    }
+
+    /// The `[subsystem] key=value ...` stderr counter lines of this run
+    /// (pool, memo, eval-memo, and — when configured — store, snapshot,
+    /// shard subsystems), rendered by the registry's unified formatter.
+    pub fn counter_lines(&self) -> Vec<String> {
+        self.metrics.counter_lines()
+    }
+
+    /// The structured `hhl-report v1` document of this run
+    /// (`hhl batch --report json`).
+    pub fn report_doc(&self) -> ReportDoc {
+        ReportDoc::assemble(build_info(), &self.report(), &self.metrics.snapshot())
     }
 }
 
@@ -288,36 +316,58 @@ enum StagedJob {
     },
 }
 
+/// Times `f` and charges the span to `stage` in `local`.
+fn timed<T>(local: &mut LocalMetrics, stage: Stage, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let result = f();
+    local.record_stage(stage, start.elapsed().as_nanos() as u64);
+    result
+}
+
 /// Phase 1 for one file: spec jobs run to completion; replay jobs run
 /// through the verdict store and [`prepare_replay`] (compile + shard), and
 /// either finish early (store hit, certificate error) or stage their
 /// shards for the global discharge phase.
+///
+/// The returned [`LocalMetrics`] buffer is this worker's private telemetry
+/// for the file — the coordinator merges the buffers into the registry in
+/// input order after the pool drains, so aggregation never contends and
+/// never depends on the schedule.
 fn stage_job(
     job: &Job,
     opts: &BatchOptions,
     caches: &SharedCaches,
     counters: &ShardCounters,
-) -> StagedJob {
+) -> (StagedJob, LocalMetrics) {
+    let mut local = LocalMetrics::default();
     let store = opts.store.as_deref();
-    match job {
+    let staged = match job {
         Job::Spec { path } => {
-            let mut spec = match load_spec(path, caches) {
+            let loaded = timed(&mut local, Stage::Parse, || load_spec(path, caches));
+            let mut spec = match loaded {
                 Ok(s) => s,
-                Err(e) => return StagedJob::Done(error_result(path, e)),
+                Err(e) => return (StagedJob::Done(error_result(path, e)), local),
             };
             if opts.force_prove {
                 spec.mode = Mode::Prove;
             }
             let fp = store.map(|s| (s, spec_fingerprint(&spec, None).to_string()));
             if let Some((store, fp)) = &fp {
-                if let Some(record) = store.lookup(fp) {
-                    return StagedJob::Done(cached_result(path, &spec, &record));
+                let record = timed(&mut local, Stage::Store, || store.lookup(fp));
+                if let Some(record) = record {
+                    return (StagedJob::Done(cached_result(path, &spec, &record)), local);
                 }
             }
-            StagedJob::Done(match run_spec(&spec) {
-                Ok(outcome) => {
+            let run = timed(&mut local, Stage::Check, || run_spec_metered(&spec));
+            StagedJob::Done(match run {
+                Ok((outcome, meter)) => {
+                    for (rule, ns) in meter.samples {
+                        local.record_rule(rule, ns);
+                    }
                     if let Some((store, fp)) = &fp {
-                        record_outcome(store, fp, &spec, &outcome);
+                        timed(&mut local, Stage::Store, || {
+                            record_outcome(store, fp, &spec, &outcome)
+                        });
                     }
                     outcome_result(path, outcome)
                 }
@@ -331,25 +381,38 @@ fn stage_job(
             spec_path,
             proof_path,
         } => {
-            let loaded =
-                load_spec(spec_path, caches).and_then(|spec| Ok((spec, read(proof_path)?)));
+            let loaded = timed(&mut local, Stage::Parse, || {
+                load_spec(spec_path, caches).and_then(|spec| Ok((spec, read(proof_path)?)))
+            });
             let (spec, certificate) = match loaded {
                 Ok(pair) => pair,
-                Err(e) => return StagedJob::Done(error_result(proof_path, e)),
+                Err(e) => return (StagedJob::Done(error_result(proof_path, e)), local),
             };
             let fp = store.map(|s| (s, spec_fingerprint(&spec, Some(&certificate)).to_string()));
             // A whole-pair verdict hit needs no shard work at all — the
             // certificate is not even re-elaborated on warm store hits.
             if let Some((store, fp)) = &fp {
-                if let Some(record) = store.lookup(fp) {
-                    return StagedJob::Done(cached_result(proof_path, &spec, &record));
+                let record = timed(&mut local, Stage::Store, || store.lookup(fp));
+                if let Some(record) = record {
+                    return (
+                        StagedJob::Done(cached_result(proof_path, &spec, &record)),
+                        local,
+                    );
                 }
             }
             let verdict_fp = fp.map(|(_, fp)| fp);
-            match prepare_replay(&spec, &certificate, opts.oblig_store.as_deref(), counters) {
+            match prepare_replay(
+                &spec,
+                &certificate,
+                opts.oblig_store.as_deref(),
+                counters,
+                &mut local,
+            ) {
                 Ok(Staged::Done(outcome)) => {
                     if let (Some(store), Some(fp)) = (store, &verdict_fp) {
-                        record_outcome(store, fp, &spec, &outcome);
+                        timed(&mut local, Stage::Store, || {
+                            record_outcome(store, fp, &spec, &outcome)
+                        });
                     }
                     StagedJob::Done(outcome_result(proof_path, *outcome))
                 }
@@ -362,7 +425,8 @@ fn stage_job(
                 Err(e) => StagedJob::Done(error_result(proof_path, format!("{proof_path}: {e}"))),
             }
         }
-    }
+    };
+    (staged, local)
 }
 
 /// The shared dispatch tail: warm the shared cache from the persistent
@@ -387,16 +451,34 @@ fn run_jobs(jobs: Vec<Job>, opts: &BatchOptions) -> BatchRun {
     } else {
         SharedCaches::default()
     };
+    let registry = MetricsRegistry::new();
     let mut memo_import = MemoImportStats::default();
     if let (Some(cache), Some(store)) = (&caches.sem, &opts.store) {
+        let start = Instant::now();
         if let Some(blob) = store.load_memo() {
             memo_import = cache.import_snapshot(&blob);
         }
+        registry.record_stage(Stage::Snapshot, start.elapsed().as_nanos() as u64);
     }
     let counters = ShardCounters::new();
     let (staged, pool) = run_ordered(&jobs, opts.jobs, |_, job| {
         stage_job(job, opts, &caches, &counters)
     });
+    // Merge each worker's private buffer in input order: the registry's
+    // aggregates come out identical regardless of how the pool scheduled
+    // the files.
+    let staged: Vec<StagedJob> = jobs
+        .iter()
+        .zip(staged)
+        .map(|(job, (staged, local))| {
+            let path = match job {
+                Job::Spec { path } => path,
+                Job::Replay { proof_path, .. } => proof_path,
+            };
+            registry.record_file(path, local);
+            staged
+        })
+        .collect();
 
     let pendings: Vec<&PendingReplay> = staged
         .iter()
@@ -405,7 +487,20 @@ fn run_jobs(jobs: Vec<Job>, opts: &BatchOptions) -> BatchRun {
             StagedJob::Done(_) => None,
         })
         .collect();
-    let verdicts = discharge_pending(&pendings, opts.jobs, opts.oblig_store.as_deref(), &counters);
+    let discharge_start = Instant::now();
+    let verdicts = discharge_pending(
+        &pendings,
+        opts.jobs,
+        opts.oblig_store.as_deref(),
+        &counters,
+        Some(&registry),
+    );
+    if !pendings.is_empty() {
+        registry.record_stage(
+            Stage::Discharge,
+            discharge_start.elapsed().as_nanos() as u64,
+        );
+    }
     drop(pendings);
 
     let results = staged
@@ -437,19 +532,79 @@ fn run_jobs(jobs: Vec<Job>, opts: &BatchOptions) -> BatchRun {
 
     let mut memo_export = MemoSnapshotStats::default();
     if let (Some(cache), Some(store)) = (&caches.sem, &opts.store) {
+        let start = Instant::now();
         let (blob, stats) = cache.export_snapshot(MEMO_SNAPSHOT_MAX_ENTRIES);
         store.save_memo(&blob);
         memo_export = stats;
+        registry.record_stage(Stage::Snapshot, start.elapsed().as_nanos() as u64);
+    }
+
+    let cache = caches.sem.map(|c| c.stats()).unwrap_or_default();
+    let eval_cache = caches.eval.map(|c| c.stats()).unwrap_or_default();
+    let store_stats = opts.store.as_ref().map(|s| s.stats());
+    let shards = counters.snapshot();
+    registry.set_counters(
+        "pool",
+        &[
+            ("workers", pool.workers as u64),
+            ("executed", pool.executed.iter().sum()),
+            ("steals", pool.steals),
+        ],
+    );
+    registry.set_counters(
+        "memo",
+        &[
+            ("hits", cache.hits),
+            ("misses", cache.misses),
+            ("entries", cache.entries as u64),
+        ],
+    );
+    registry.set_counters(
+        "eval-memo",
+        &[("hits", eval_cache.hits), ("misses", eval_cache.misses)],
+    );
+    if let Some(stats) = &store_stats {
+        registry.set_counters(
+            "store",
+            &[
+                ("cached", stats.hits),
+                ("re-verified", stats.misses),
+                ("written", stats.writes),
+            ],
+        );
+        registry.set_counters(
+            "memo-snapshot",
+            &[
+                ("loaded", memo_import.loaded),
+                ("rejected", memo_import.rejected),
+                ("exported", memo_export.exported),
+                ("evicted", memo_export.evicted),
+            ],
+        );
+    }
+    if shards.any() {
+        registry.set_counters(
+            "shard",
+            &[
+                ("shards", shards.total),
+                ("distinct", shards.distinct),
+                ("cached", shards.cached),
+                ("re-checked", shards.rechecked),
+                ("written", shards.written),
+                ("summary-hits", shards.summaries),
+            ],
+        );
     }
     BatchRun {
         results,
         pool,
-        cache: caches.sem.map(|c| c.stats()).unwrap_or_default(),
-        eval_cache: caches.eval.map(|c| c.stats()).unwrap_or_default(),
-        store: opts.store.as_ref().map(|s| s.stats()),
-        shards: counters.snapshot(),
+        cache,
+        eval_cache,
+        store: store_stats,
+        shards,
         memo_import,
         memo_export,
+        metrics: registry,
     }
 }
 

@@ -66,7 +66,8 @@ const USAGE: &str = "usage: hhl <command> [args]
       spec or certificate re-checks only the shards whose fingerprints
       changed. Shard counters print to stderr only.
 
-  hhl batch [--jobs N] [--no-cache] [--cache-dir DIR] [--fresh] <file>...
+  hhl batch [--jobs N] [--no-cache] [--cache-dir DIR] [--fresh]
+            [--report json|text] <file>...
       Batch-verify a corpus: .hhl specs run under their own mode, .hhlp
       certificates replay against their sibling .hhl spec (same directory,
       same stem). Prints one line per file plus an aggregate summary —
@@ -79,6 +80,13 @@ const USAGE: &str = "usage: hhl <command> [args]
       (and rebuilds) existing cache entries; --no-cache disables both the
       in-memory memo and the persistent store. Cached/re-verified counts
       print to stderr; stdout is byte-identical either way.
+      --report json replaces the text report with a schema-versioned
+      `hhl-report v1` JSON document carrying per-file verdicts, per-stage
+      timings and per-rule obligation counters.
+
+  hhl --version
+      Print the crate version and the schema versions of every on-disk
+      and wire format (report, verdict store, memo snapshot).
 
   Exit codes: 0 all verdicts as expected, 1 unexpected verdict(s),
   2 usage/parse/read errors.";
@@ -175,18 +183,20 @@ struct BatchFlags {
     use_cache: bool,
     cache_dir: Option<String>,
     fresh: bool,
+    report_json: bool,
     rest: Vec<String>,
 }
 
-/// Extracts `--jobs N` (and, for `batch`, `--no-cache`, `--cache-dir DIR`
-/// and `--fresh`) from an argument list. `jobs == None` means the flag was
-/// absent; `Err` carries a usage message.
+/// Extracts `--jobs N` (and, for `batch`, `--no-cache`, `--cache-dir DIR`,
+/// `--fresh` and `--report FORMAT`) from an argument list. `jobs == None`
+/// means the flag was absent; `Err` carries a usage message.
 fn parse_batch_flags(args: &[String], accept_cache_flags: bool) -> Result<BatchFlags, String> {
     let mut flags = BatchFlags {
         jobs: None,
         use_cache: true,
         cache_dir: None,
         fresh: false,
+        report_json: false,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -208,6 +218,13 @@ fn parse_batch_flags(args: &[String], accept_cache_flags: bool) -> Result<BatchF
             }
         } else if accept_cache_flags && arg == "--fresh" {
             flags.fresh = true;
+        } else if accept_cache_flags && arg == "--report" {
+            match it.next().map(String::as_str) {
+                Some("json") => flags.report_json = true,
+                Some("text") => flags.report_json = false,
+                Some(fmt) => return Err(format!("bad --report format {fmt:?} (json or text)")),
+                None => return Err("--report needs a format (json or text)".to_owned()),
+            }
         } else {
             flags.rest.push(arg.clone());
         }
@@ -221,27 +238,32 @@ fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
-/// Prints scheduling/cache/store statistics to stderr (never part of the
-/// deterministic stdout report — hit counts race under work stealing, and
-/// cached-vs-recomputed is a performance fact, not a verdict).
+/// Prints scheduling/cache/store statistics to stderr in the unified
+/// `[subsystem] key=value ...` format (never part of the deterministic
+/// stdout report — hit counts race under work stealing, and
+/// cached-vs-recomputed is a performance fact, not a verdict). Stdout is
+/// flushed first so `2>&1` pipes interleave deterministically: the report
+/// always lands before the counters.
 fn print_run_stats(run: &hhl_cli::BatchRun) {
-    eprintln!(
-        "[batch] {} worker(s), {} steal(s); memo: {}; eval-memo: {} hit(s), {} miss(es)",
-        run.pool.workers, run.pool.steals, run.cache, run.eval_cache.hits, run.eval_cache.misses
-    );
-    if let Some(store) = &run.store {
-        eprintln!(
-            "[batch] store: {store}; memo snapshot: {} loaded, {} rejected, \
-             {} exported, {} evicted",
-            run.memo_import.loaded,
-            run.memo_import.rejected,
-            run.memo_export.exported,
-            run.memo_export.evicted
-        );
+    let _ = std::io::stdout().flush();
+    for line in run.counter_lines() {
+        eprintln!("{line}");
     }
-    if run.shards.any() {
-        eprintln!("[shard] {}", run.shards);
-    }
+}
+
+/// Formats replay shard accounting as the unified `[shard] key=value ...`
+/// counter line (single-pair `hhl replay`; the batch path emits the same
+/// line through the metrics registry).
+fn shard_counter_line(stats: &hhl_driver::ShardStats) -> String {
+    let pairs = [
+        ("shards".to_owned(), stats.total),
+        ("distinct".to_owned(), stats.distinct),
+        ("cached".to_owned(), stats.cached),
+        ("re-checked".to_owned(), stats.rechecked),
+        ("written".to_owned(), stats.written),
+        ("summary-hits".to_owned(), stats.summaries),
+    ];
+    hhl_driver::metrics::counter_line("shard", &pairs)
 }
 
 /// Renders parallel per-file results in the same full format the
@@ -297,8 +319,9 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 ..BatchOptions::default()
             };
             let run = run_batch(&files, &opts);
+            let tally = print_full_results(&run.results, None);
             print_run_stats(&run);
-            print_full_results(&run.results, None).exit()
+            tally.exit()
         }
     }
 }
@@ -343,8 +366,9 @@ fn cmd_prove(args: &[String]) -> ExitCode {
                     ..BatchOptions::default()
                 };
                 let run = run_batch(&files, &opts);
+                let tally = print_full_results(&run.results, None);
                 print_run_stats(&run);
-                print_full_results(&run.results, None).exit()
+                tally.exit()
             }
         };
     };
@@ -458,7 +482,8 @@ fn cmd_replay(args: &[String]) -> ExitCode {
         // certificate that fails before sharding has nothing to report).
         let stats = counters.snapshot();
         if stats.any() {
-            eprintln!("[shard] {stats}");
+            let _ = std::io::stdout().flush();
+            eprintln!("{}", shard_counter_line(&stats));
         }
         return tally.exit();
     }
@@ -469,12 +494,13 @@ fn cmd_replay(args: &[String]) -> ExitCode {
         ..BatchOptions::default()
     };
     let run = run_replay_batch(&pairs, &opts);
-    print_run_stats(&run);
     let headers: Vec<String> = pairs
         .iter()
         .map(|(spec, proof)| format!("{spec} ⊢ {proof}"))
         .collect();
-    print_full_results(&run.results, Some(&headers)).exit()
+    let tally = print_full_results(&run.results, Some(&headers));
+    print_run_stats(&run);
+    tally.exit()
 }
 
 /// Default persistent cache directory for `hhl batch`.
@@ -524,10 +550,19 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         oblig_store: store.clone(),
         store,
     };
+    let report_json = flags.report_json;
     let run = run_batch(&flags.rest, &opts);
-    print_run_stats(&run);
     let report = run.report();
-    out(&report);
+    if report_json {
+        // The JSON document replaces the text report on stdout; the exit
+        // code contract and the stderr counters are unchanged.
+        out(hhl_driver::metrics::render_report(&run.report_doc()).trim_end());
+    } else {
+        out(&report);
+    }
+    // Report first, then flush, then counters: `2>&1` pipes see the same
+    // interleaving every run.
+    print_run_stats(&run);
     ExitCode::from(report.exit_code())
 }
 
@@ -544,6 +579,18 @@ fn main() -> ExitCode {
         Some("batch") if args.len() > 1 => cmd_batch(&args[1..]),
         Some("--help" | "-h") => {
             out(USAGE);
+            ExitCode::SUCCESS
+        }
+        Some("--version" | "-V") => {
+            let info = hhl_cli::batch::build_info();
+            out(format_args!(
+                "{} {} (schemas: {}, {}, {})",
+                info.name,
+                info.version,
+                hhl_driver::metrics::REPORT_SCHEMA,
+                info.verdict_schema,
+                info.memo_schema
+            ));
             ExitCode::SUCCESS
         }
         _ => {

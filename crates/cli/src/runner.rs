@@ -4,8 +4,8 @@
 use std::fmt;
 
 use hhl_core::proof::{
-    align_conclusion, check, wp_derivation, CheckedProof, Derivation, ProofContext, ProofError,
-    WpError,
+    align_conclusion, check, check_timed, wp_derivation, CheckedProof, Derivation, ProofContext,
+    ProofError, WpError,
 };
 use hhl_core::{check_triple, witness_triple, Triple};
 use hhl_proofs::{compile_script, emit_script};
@@ -108,6 +108,25 @@ impl From<VerifyError> for RunError {
     }
 }
 
+/// Per-rule wall-clock samples collected while running a spec: one
+/// `(rule name, ns)` entry per timed obligation. `check` mode reports its
+/// triple-validity sweeps under the pseudo-rule `triple-validity`, `verify`
+/// mode its VC pipeline under `vc-pipeline`, and `prove` mode the real
+/// proof-rule names from the timed checker.
+#[derive(Debug, Default)]
+pub(crate) struct RuleMeter {
+    pub(crate) samples: Vec<(&'static str, u64)>,
+}
+
+impl RuleMeter {
+    fn time<T>(&mut self, rule: &'static str, f: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let result = f();
+        self.samples.push((rule, start.elapsed().as_nanos() as u64));
+        result
+    }
+}
+
 /// Runs a spec through the engine selected by its mode.
 ///
 /// # Errors
@@ -116,24 +135,28 @@ impl From<VerifyError> for RunError {
 /// mode on a program with loops). Refutations are *not* errors: they
 /// produce an [`Outcome`] with [`Verdict::Fail`].
 pub fn run_spec(spec: &Spec) -> Result<Outcome, RunError> {
+    run_spec_metered(spec).map(|(outcome, _)| outcome)
+}
+
+/// [`run_spec`] plus the per-rule timing samples the run produced —
+/// verdicts, reports and notes are exactly those of [`run_spec`]; the
+/// meter is telemetry layered on top.
+pub(crate) fn run_spec_metered(spec: &Spec) -> Result<(Outcome, RuleMeter), RunError> {
     let triple = Triple::new(spec.pre.clone(), spec.cmd.clone(), spec.post.clone());
+    let mut meter = RuleMeter::default();
     let (report, notes, verdict) = match spec.mode {
-        Mode::Check => run_check(spec, &triple),
-        Mode::Prove => run_prove(spec, &triple)?,
-        Mode::Verify => run_verify(spec)?,
+        Mode::Check => run_check(spec, &triple, &mut meter),
+        Mode::Prove => run_prove(spec, &triple, &mut meter)?,
+        Mode::Verify => run_verify(spec, &mut meter)?,
         Mode::Replay => {
             return Err(RunError::Certificate(
                 "replay needs a certificate file: `hhl replay <spec.hhl> <proof.hhlp>`".to_owned(),
             ))
         }
     };
-    Ok(outcome(
-        spec.mode,
-        triple,
-        report,
-        notes,
-        verdict,
-        spec.expect,
+    Ok((
+        outcome(spec.mode, triple, report, notes, verdict, spec.expect),
+        meter,
     ))
 }
 
@@ -163,8 +186,12 @@ pub(crate) fn outcome(
 
 /// `check`: semantic validity; on failure, the Thm. 5 disproof pipeline
 /// (extract the violating set → `witness_triple` → re-check the witness).
-fn run_check(spec: &Spec, triple: &Triple) -> (Report, Vec<String>, Verdict) {
-    let validity = check_triple(triple, &spec.config);
+fn run_check(
+    spec: &Spec,
+    triple: &Triple,
+    meter: &mut RuleMeter,
+) -> (Report, Vec<String>, Verdict) {
+    let validity = meter.time("triple-validity", || check_triple(triple, &spec.config));
     // The counterexample set of a failed check IS the violating set of
     // Thm. 5 (`find_violating_set` is exactly this projection); reusing it
     // avoids a second full sweep over the candidate sets.
@@ -183,7 +210,8 @@ fn run_check(spec: &Spec, triple: &Triple) -> (Report, Vec<String>, Verdict) {
         Some(violating) => {
             notes.push(format!("violating set (Thm. 5): {violating}"));
             let witness = witness_triple(triple, &violating);
-            let witness_result = check_triple(&witness, &spec.config);
+            let witness_result =
+                meter.time("triple-validity", || check_triple(&witness, &spec.config));
             notes.push(if witness_result.is_ok() {
                 "disproof checked: the witness triple is valid, so the \
                  original triple is provably refuted (Thm. 5)"
@@ -264,9 +292,13 @@ fn proof_verdict(
 /// `prove`: builds the Fig. 3 syntactic weakest-precondition derivation for
 /// a loop-free, choice-free command ([`hhl_core::proof::wp_derivation`])
 /// and replays it through the proof checker.
-fn run_prove(spec: &Spec, triple: &Triple) -> Result<(Report, Vec<String>, Verdict), RunError> {
+fn run_prove(
+    spec: &Spec,
+    triple: &Triple,
+    meter: &mut RuleMeter,
+) -> Result<(Report, Vec<String>, Verdict), RunError> {
     let proof = wp_derivation(&spec.pre, &spec.cmd, &spec.post).map_err(wp_unsupported)?;
-    prove_report(spec, triple, &proof)
+    prove_report(spec, triple, &proof, meter)
 }
 
 /// Checks an already-built WP derivation and renders the `prove` report.
@@ -274,10 +306,17 @@ fn prove_report(
     spec: &Spec,
     triple: &Triple,
     proof: &Derivation,
+    meter: &mut RuleMeter,
 ) -> Result<(Report, Vec<String>, Verdict), RunError> {
     let ctx = ProofContext::new(spec.config.clone());
     let mut notes = Vec::new();
-    let (result, verdict) = proof_verdict(check(proof, &ctx), &mut notes).map_err(|e| {
+    // Failed walks lose their samples (check_timed returns only the error);
+    // timings are telemetry, not part of the verdict contract.
+    let checked = check_timed(proof, &ctx).map(|(checked, timings)| {
+        meter.samples.extend(timings.samples);
+        checked
+    });
+    let (result, verdict) = proof_verdict(checked, &mut notes).map_err(|e| {
         RunError::UnsupportedProgram(format!("proof construction failed structurally: {e}"))
     })?;
     let report = Report {
@@ -305,7 +344,7 @@ fn prove_report(
 pub fn run_prove_with_certificate(spec: &Spec) -> Result<(Outcome, Option<String>), RunError> {
     let triple = Triple::new(spec.pre.clone(), spec.cmd.clone(), spec.post.clone());
     let proof = wp_derivation(&spec.pre, &spec.cmd, &spec.post).map_err(wp_unsupported)?;
-    let (report, notes, verdict) = prove_report(spec, &triple, &proof)?;
+    let (report, notes, verdict) = prove_report(spec, &triple, &proof, &mut RuleMeter::default())?;
     let certificate = (verdict == Verdict::Pass)
         .then(|| emit_script(&proof).map_err(|e| RunError::Certificate(e.to_string())))
         .transpose()?;
@@ -408,14 +447,17 @@ pub(crate) fn replay_report(triple: Triple) -> Report {
 
 /// `verify`: structures the command with the spec's loop annotations and
 /// runs the Hypra-style VC pipeline.
-fn run_verify(spec: &Spec) -> Result<(Report, Vec<String>, Verdict), RunError> {
+fn run_verify(
+    spec: &Spec,
+    meter: &mut RuleMeter,
+) -> Result<(Report, Vec<String>, Verdict), RunError> {
     let prog = AProgram::from_cmd(
         spec.pre.clone(),
         &spec.cmd,
         spec.post.clone(),
         spec.rules.clone(),
     )?;
-    let report = verify(&prog, &spec.config)?;
+    let report = meter.time("vc-pipeline", || verify(&prog, &spec.config))?;
     let verdict = if report.verified() {
         Verdict::Pass
     } else {

@@ -58,6 +58,7 @@ use hhl_core::proof::{
     align_obligations, discharge_obligation, CheckStats, CheckedProof, ProofContext, ProofError,
 };
 use hhl_core::Triple;
+use hhl_driver::metrics::{LocalMetrics, MetricsRegistry, Stage};
 use hhl_driver::pool::run_ordered;
 use hhl_driver::shard::ShardCounters;
 use hhl_driver::store::{ReplaySummary, VerdictStore};
@@ -215,6 +216,12 @@ pub enum Staged {
 /// compilation, claimed-program check, and shard derivation. Runs on the
 /// per-file worker; everything it returns is independent of other files.
 ///
+/// Telemetry goes into the caller's [`LocalMetrics`] buffer: the summary
+/// lookup under [`Stage::Store`], compilation under [`Stage::Elaborate`],
+/// shard derivation under [`Stage::Shard`], plus one obligation count per
+/// shard under its rule name (discharge *times* are recorded later by
+/// [`discharge_pending`], which sees the deduplicated shard set).
+///
 /// # Errors
 ///
 /// Certificate parse/elaboration errors and wrong-program rejections — the
@@ -225,11 +232,15 @@ pub fn prepare_replay(
     certificate: &str,
     store: Option<&VerdictStore>,
     counters: &ShardCounters,
+    local: &mut LocalMetrics,
 ) -> Result<Staged, RunError> {
     let triple = Triple::new(spec.pre.clone(), spec.cmd.clone(), spec.post.clone());
     let summary_fp = replay_summary_fingerprint(spec, certificate).to_string();
     if let Some(s) = store {
-        if let Some(summary) = s.lookup_replay(&summary_fp) {
+        let start = std::time::Instant::now();
+        let summary = s.lookup_replay(&summary_fp);
+        local.record_stage(Stage::Store, start.elapsed().as_nanos() as u64);
+        if let Some(summary) = summary {
             counters.note_summary_hit();
             return Ok(Staged::Done(Box::new(outcome_from_summary(
                 spec, triple, &summary,
@@ -237,16 +248,24 @@ pub fn prepare_replay(
         }
     }
 
-    let proof = compile_script(certificate).map_err(|e| RunError::Certificate(e.to_string()))?;
+    let start = std::time::Instant::now();
+    let compiled = compile_script(certificate);
+    local.record_stage(Stage::Elaborate, start.elapsed().as_nanos() as u64);
+    let proof = compiled.map_err(|e| RunError::Certificate(e.to_string()))?;
     if let Some(cmd) = proof.claimed_cmd() {
         if cmd != triple.cmd {
             return Err(wrong_program(&cmd, &triple.cmd));
         }
     }
     let ctx = ProofContext::new(spec.config.clone());
+    let start = std::time::Instant::now();
     let plan = shard_derivation(&proof, &ctx);
+    local.record_stage(Stage::Shard, start.elapsed().as_nanos() as u64);
     let distinct: HashSet<Fingerprint> = plan.shards.iter().map(|s| s.fingerprint).collect();
     counters.note_plan(plan.shards.len() as u64, distinct.len() as u64);
+    for shard in &plan.shards {
+        local.record_rule_count(shard.obligation.rule, 1);
+    }
     Ok(Staged::Pending(Box::new(PendingReplay {
         triple,
         summary_fp,
@@ -268,11 +287,16 @@ pub fn prepare_replay(
 /// The `cached`/`re-checked` counters tick once per *globally* distinct
 /// fingerprint (the per-certificate `note_plan` accounting still reports
 /// intra-certificate distincts).
+///
+/// When `metrics` is supplied, every discharged shard's span is recorded
+/// under its rule name — times only; obligation counts were already
+/// charged per file by [`prepare_replay`]'s shard census.
 pub fn discharge_pending(
     pendings: &[&PendingReplay],
     jobs: usize,
     store: Option<&VerdictStore>,
     counters: &ShardCounters,
+    metrics: Option<&MetricsRegistry>,
 ) -> HashMap<Fingerprint, Result<(), ProofError>> {
     let mut seen: HashSet<Fingerprint> = HashSet::new();
     let mut distinct: Vec<(&ObligationShard, &ProofContext)> = Vec::new();
@@ -298,12 +322,14 @@ pub fn discharge_pending(
     }
 
     let (outcomes, _) = run_ordered(&to_check, jobs, |_, &(shard, ctx)| {
-        (
-            shard.fingerprint,
-            discharge_obligation(&shard.obligation, ctx),
-        )
+        let start = std::time::Instant::now();
+        let result = discharge_obligation(&shard.obligation, ctx);
+        (shard.fingerprint, result, start.elapsed().as_nanos() as u64)
     });
-    for ((shard, _), (fingerprint, result)) in to_check.iter().zip(outcomes) {
+    for ((shard, _), (fingerprint, result, ns)) in to_check.iter().zip(outcomes) {
+        if let Some(registry) = metrics {
+            registry.record_rule_time(shard.obligation.rule, ns);
+        }
         counters.note_rechecked();
         if result.is_ok() {
             if let Some(s) = store {
@@ -422,10 +448,11 @@ pub fn run_replay_sharded(
     store: Option<&VerdictStore>,
     counters: &ShardCounters,
 ) -> Result<Outcome, RunError> {
-    match prepare_replay(spec, certificate, store, counters)? {
+    let mut scratch = LocalMetrics::default();
+    match prepare_replay(spec, certificate, store, counters, &mut scratch)? {
         Staged::Done(outcome) => Ok(*outcome),
         Staged::Pending(pending) => {
-            let verdicts = discharge_pending(&[&pending], jobs, store, counters);
+            let verdicts = discharge_pending(&[&pending], jobs, store, counters, None);
             finish_replay(spec, pending, &verdicts, store, counters)
         }
     }

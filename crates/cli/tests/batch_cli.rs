@@ -229,11 +229,15 @@ fn warm_batch_is_fully_cached_with_identical_stdout() {
     assert_eq!(stdout_of(&warm), stdout_of(&cold));
     let warm_err = stderr_of(&warm);
     assert!(
-        warm_err.contains(&format!("store: {} cached, 0 re-verified", files.len())),
+        warm_err.contains(&format!("[store] cached={} re-verified=0", files.len())),
         "{warm_err}"
     );
     // The stderr-only contract: no store/memo counters on stdout.
-    assert!(!stdout_of(&warm).contains("store:"), "{}", stdout_of(&warm));
+    assert!(
+        !stdout_of(&warm).contains("[store]"),
+        "{}",
+        stdout_of(&warm)
+    );
     assert!(!stdout_of(&warm).contains("memo"), "{}", stdout_of(&warm));
     // --fresh recomputes everything yet prints the same report.
     let mut args = vec!["batch", "--jobs", "2", "--fresh", "--cache-dir", &cache];
@@ -241,7 +245,7 @@ fn warm_batch_is_fully_cached_with_identical_stdout() {
     let fresh = hhl(&args);
     assert_eq!(stdout_of(&fresh), stdout_of(&cold));
     assert!(
-        stderr_of(&fresh).contains(&format!("0 cached, {} re-verified", files.len())),
+        stderr_of(&fresh).contains(&format!("[store] cached=0 re-verified={}", files.len())),
         "{}",
         stderr_of(&fresh)
     );
@@ -252,8 +256,96 @@ fn no_cache_disables_the_store_entirely() {
     let out = hhl(&["batch", "--no-cache", &spec_path("ni_c1.hhl")]);
     assert_eq!(out.status.code(), Some(0), "{}", stdout_of(&out));
     let stderr = stderr_of(&out);
-    assert!(!stderr.contains("store:"), "{stderr}");
-    assert!(stderr.contains("0 hit(s), 0 miss(es)"), "{stderr}");
+    assert!(!stderr.contains("[store]"), "{stderr}");
+    assert!(stderr.contains("[memo] hits=0 misses=0"), "{stderr}");
+}
+
+#[test]
+fn stderr_counters_follow_the_unified_format_and_never_reach_stdout() {
+    let files = example_files();
+    let mut args = vec!["batch", "--no-cache", "--jobs", "2"];
+    args.extend(files.iter().map(String::as_str));
+    let out = hhl(&args);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout_of(&out));
+    // Every counter line is `[subsystem] key=value ...`.
+    let stderr = stderr_of(&out);
+    for line in stderr.lines() {
+        assert!(line.starts_with('['), "unexpected stderr line: {line}");
+        let (subsystem, rest) = line.split_once("] ").expect("closing bracket");
+        assert!(!subsystem[1..].is_empty(), "{line}");
+        for pair in rest.split(' ') {
+            let (key, value) = pair.split_once('=').unwrap_or_else(|| {
+                panic!("counter {pair:?} is not key=value in: {line}");
+            });
+            assert!(!key.is_empty() && value.parse::<u64>().is_ok(), "{line}");
+        }
+    }
+    assert!(stderr.contains("[pool] workers="), "{stderr}");
+    assert!(stderr.contains("[memo] hits="), "{stderr}");
+    assert!(stderr.contains("[eval-memo] hits="), "{stderr}");
+    // None of the counter subsystems leak into the deterministic report.
+    let report = stdout_of(&out);
+    for subsystem in ["[pool]", "[memo]", "[eval-memo]", "[store]", "[shard]"] {
+        assert!(
+            !report.contains(subsystem),
+            "{subsystem} on stdout: {report}"
+        );
+    }
+}
+
+#[test]
+fn version_prints_crate_and_schema_versions() {
+    let out = hhl(&["--version"]);
+    assert_eq!(out.status.code(), Some(0));
+    let line = stdout_of(&out);
+    assert!(line.starts_with("hhl "), "{line}");
+    for schema in ["hhl-report v1", "hhl-verdict v2", "hhl-memo v2"] {
+        assert!(line.contains(schema), "missing {schema}: {line}");
+    }
+}
+
+#[test]
+fn report_json_round_trips_and_agrees_with_the_text_report() {
+    let files = example_files();
+    let mut args = vec!["batch", "--no-cache", "--report", "json"];
+    args.extend(files.iter().map(String::as_str));
+    let out = hhl(&args);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout_of(&out));
+    let json = stdout_of(&out);
+    // parse ∘ emit round-trips: re-rendering the parsed document
+    // reproduces the original byte-for-byte.
+    let doc = hhl_driver::metrics::parse_report(&json).expect("report parses");
+    assert_eq!(
+        format!("{}\n", hhl_driver::metrics::render_report(&doc).trim_end()),
+        json
+    );
+    // The JSON carries the same verdicts the text report prints.
+    assert_eq!(doc.summary.files, files.len() as u64);
+    assert_eq!(doc.summary.unexpected, 0);
+    assert_eq!(doc.summary.errors, 0);
+    assert_eq!(doc.files.len(), files.len());
+    for entry in &doc.files {
+        assert_eq!(entry.status, "expected", "{}", entry.path);
+        assert!(
+            entry.stages.iter().any(|(stage, _)| stage == "check"),
+            "no check span for {}",
+            entry.path
+        );
+    }
+    // Exit codes still reflect verdicts under --report json.
+    let flipped_dir = std::env::temp_dir().join("hhl-batch-cli-tests");
+    std::fs::create_dir_all(&flipped_dir).expect("temp dir");
+    let flipped = flipped_dir.join("report_json_flipped.hhl");
+    let src = std::fs::read_to_string(spec_path("ni_c1.hhl")).expect("spec readable");
+    std::fs::write(&flipped, src.replace("expect: pass", "expect: fail")).expect("write");
+    let out = hhl(&[
+        "batch",
+        "--no-cache",
+        "--report",
+        "json",
+        flipped.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout_of(&out));
 }
 
 #[test]

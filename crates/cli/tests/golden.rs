@@ -341,7 +341,7 @@ fn sharded_replay_is_jobs_invariant_and_counts_shards() {
         );
         let stderr = String::from_utf8(out.stderr).expect("utf-8");
         assert!(
-            stderr.contains("[shard] 16 shard(s), 1 distinct: 0 cached, 1 re-checked"),
+            stderr.contains("[shard] shards=16 distinct=1 cached=0 re-checked=1"),
             "--jobs {jobs}: {stderr}"
         );
     }
@@ -366,7 +366,7 @@ fn replay_cache_dir_answers_warm_runs_from_the_summary_record() {
     let cold_out = stdout_of(&cold);
     let cold_err = String::from_utf8(cold.stderr).expect("utf-8");
     assert!(
-        cold_err.contains("0 cached") && cold_err.contains("0 certificate summary hit(s)"),
+        cold_err.contains("cached=0") && cold_err.contains("summary-hits=0"),
         "{cold_err}"
     );
     let warm = run();
@@ -374,10 +374,8 @@ fn replay_cache_dir_answers_warm_runs_from_the_summary_record() {
     assert_eq!(cold_out, stdout_of(&warm), "warm run diverged");
     let warm_err = String::from_utf8(warm.stderr).expect("utf-8");
     assert!(
-        warm_err.contains(
-            "0 shard(s), 0 distinct: 0 cached, 0 re-checked, 0 written; \
-             1 certificate summary hit(s)"
-        ),
+        warm_err
+            .contains("[shard] shards=0 distinct=0 cached=0 re-checked=0 written=0 summary-hits=1"),
         "warm runs must do no shard work at all: {warm_err}"
     );
 }

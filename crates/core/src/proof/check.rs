@@ -103,6 +103,37 @@ impl Sink for Eager {
     }
 }
 
+/// Discharge immediately, recording a wall-clock span per obligation.
+/// Behaviourally identical to [`Eager`]; the timings are telemetry only
+/// and never influence the verdict.
+#[derive(Default)]
+struct TimedEager {
+    samples: Vec<(&'static str, u64)>,
+}
+
+impl Sink for TimedEager {
+    fn emit(
+        &mut self,
+        rule: &'static str,
+        kind: ObligationKind,
+        scope: &ObligationScope,
+        ctx: &ProofContext,
+        stats: &mut CheckStats,
+    ) -> Result<(), ProofError> {
+        kind.charge(stats);
+        let ob = SemanticObligation {
+            seq: 0,
+            rule,
+            kind,
+            scope: scope.clone(),
+        };
+        let start = std::time::Instant::now();
+        let result = discharge_obligation(&ob, ctx);
+        self.samples.push((rule, start.elapsed().as_nanos() as u64));
+        result
+    }
+}
+
 /// Record everything; discharging is the caller's job.
 #[derive(Default)]
 struct Collector {
@@ -152,6 +183,40 @@ pub fn check(d: &Derivation, ctx: &ProofContext) -> Result<CheckedProof, ProofEr
     let mut scope = ObligationScope::default();
     let conclusion = check_in(d, ctx, &mut scope, &mut stats, &mut Eager)?;
     Ok(CheckedProof { conclusion, stats })
+}
+
+/// Per-rule wall-clock spans recorded while checking a derivation: one
+/// `(rule name, nanoseconds)` sample per discharged semantic obligation,
+/// in discharge order.
+#[derive(Clone, Debug, Default)]
+pub struct RuleTimings {
+    /// `(rule, ns)` per discharged obligation, in discharge order.
+    pub samples: Vec<(&'static str, u64)>,
+}
+
+/// Like [`check`], additionally timing every obligation discharge.
+///
+/// The verdict, conclusion, and [`CheckStats`] are exactly those of
+/// [`check`] — the timings are telemetry layered on top, and are lost if
+/// the walk fails (error replays do not report rule timings).
+///
+/// # Errors
+///
+/// A [`ProofError`] identifying the offending rule application.
+pub fn check_timed(
+    d: &Derivation,
+    ctx: &ProofContext,
+) -> Result<(CheckedProof, RuleTimings), ProofError> {
+    let mut stats = CheckStats::default();
+    let mut scope = ObligationScope::default();
+    let mut sink = TimedEager::default();
+    let conclusion = check_in(d, ctx, &mut scope, &mut stats, &mut sink)?;
+    Ok((
+        CheckedProof { conclusion, stats },
+        RuleTimings {
+            samples: sink.samples,
+        },
+    ))
 }
 
 /// Walks a derivation *collecting* its semantic obligations instead of

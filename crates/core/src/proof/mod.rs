@@ -39,7 +39,8 @@ use hhl_assert::{Assertion, Family};
 use hhl_lang::{Cmd, Expr, ExtState, Symbol};
 
 pub use check::{
-    align_conclusion, check, extract_obligations, CheckStats, CheckedProof, ProofContext,
+    align_conclusion, check, check_timed, extract_obligations, CheckStats, CheckedProof,
+    ProofContext, RuleTimings,
 };
 pub use error::ProofError;
 pub use oblig::{

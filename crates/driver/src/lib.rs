@@ -30,11 +30,16 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod pool;
 pub mod report;
 pub mod shard;
 pub mod store;
 
+pub use metrics::{
+    BuildInfo, LocalMetrics, MetricsRegistry, MetricsSnapshot, ReportDoc, Stage, Welford,
+    REPORT_SCHEMA,
+};
 pub use pool::{run_ordered, run_ordered_exact, tune_allocator, PoolStats};
 pub use report::{BatchReport, FileReport, FileStatus, Summary};
 pub use shard::{ShardCounters, ShardStats};

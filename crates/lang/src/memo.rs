@@ -475,7 +475,9 @@ impl ExecConfig {
 /// under read-optimized locks — the line grammar is unchanged, but the
 /// version is bumped alongside the layout so a store written by one scheme
 /// is never half-trusted by the other.
-const SNAPSHOT_HEADER: &str = "hhl-memo v2";
+pub const SNAPSHOT_SCHEMA: &str = "hhl-memo v2";
+
+const SNAPSHOT_HEADER: &str = SNAPSHOT_SCHEMA;
 
 /// Counters from one [`SemCache::export_snapshot`] call.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
