@@ -383,11 +383,75 @@ pub fn driver(fast: bool) -> DriverSuite {
             format!("{:.2}", ratio(cold_store, warm_store)),
         ),
     ]);
+    let serve = serve_series(if fast { 3 } else { 9 });
+    results.extend(serve.results);
+    meta.push(serve.speedup_meta);
     DriverSuite {
         results,
         meta,
         tables: probe.tables,
     }
+}
+
+/// The serve-daemon series: the same check request answered by a fresh
+/// one-shot [`Engine`](hhl_cli::api::Engine) per iteration (what every
+/// classic CLI invocation pays — process setup aside) versus a warm
+/// persistent engine whose response cache already holds the verdict
+/// (what `hhl serve` pays from the second identical request on). The
+/// `speedup_serve_warm_vs_oneshot` meta records the headline win of
+/// keeping the engine resident.
+fn serve_series(samples: usize) -> ServeSeries {
+    use hhl_cli::api::{Action, CacheOpts, Engine, Request};
+
+    let files = ["ni_c1.hhl", "ni_c2.hhl", "while_sync.hhl", "minimum.hhl"]
+        .iter()
+        .map(|name| repo_file(&format!("examples/specs/{name}")))
+        .collect();
+    let mut request = Request::new(Action::Check, files);
+    request.jobs = Some(2);
+    let target_ns = 20_000_000;
+
+    let oneshot = median_ns(samples, target_ns, || {
+        let engine = Engine::one_shot();
+        black_box(engine.handle(black_box(&request)));
+    });
+
+    let scratch = std::env::temp_dir().join(format!("hhl-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let cache = CacheOpts {
+        use_cache: true,
+        dir: Some(scratch.to_string_lossy().into_owned()),
+        fresh: false,
+    };
+    let (engine, warnings) = Engine::persistent(&cache);
+    assert!(warnings.is_empty(), "bench store opens: {warnings:?}");
+    let first = engine.handle(&request);
+    assert_eq!(first.exit_code, 0, "bench corpus checks cleanly");
+    let warm = median_ns(samples, target_ns, || {
+        let response = engine.handle(black_box(&request));
+        debug_assert!(response.cached, "warm daemon must answer from cache");
+        black_box(response);
+    });
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let ratio = oneshot as f64 / warm.max(1) as f64;
+    ServeSeries {
+        results: vec![
+            ("driver/serve_oneshot".to_owned(), oneshot),
+            ("driver/serve_warm".to_owned(), warm),
+        ],
+        speedup_meta: (
+            "speedup_serve_warm_vs_oneshot".to_owned(),
+            format!("{ratio:.2}"),
+        ),
+    }
+}
+
+/// What [`serve_series`] measures: the one-shot and warm-daemon series
+/// plus the headline speedup meta pair.
+struct ServeSeries {
+    results: Vec<(String, u128)>,
+    speedup_meta: (String, String),
 }
 
 /// What one instrumented cold-plus-warm store probe yields: the wall

@@ -1,0 +1,1380 @@
+//! The unified request API behind every `hhl` entry point.
+//!
+//! Historically each subcommand (`check`, `prove`, `replay`, `batch`) had
+//! its own argument plumbing, store wiring and rendering loop inside
+//! `main.rs`. This module extracts all of it into a transport-agnostic
+//! façade:
+//!
+//! * [`Request`] — one verification job: an [`Action`], a file list, a job
+//!   count, the unified [`CacheOpts`], and a report format. Requests
+//!   arrive either from the one-shot CLI (argv) or from `hhl serve`
+//!   (JSON lines, see [`parse_request`]).
+//! * [`Response`] — the complete result of a request: the exact bytes the
+//!   one-shot CLI would print to stdout, the stderr lines, and the exit
+//!   code. [`Response::render`] serializes it as a single-line
+//!   schema-versioned [`RESPONSE_SCHEMA`] JSON document for the daemon.
+//! * [`Engine`] — the execution context. [`Engine::one_shot`] behaves
+//!   exactly like the classic CLI (fresh caches per invocation);
+//!   [`Engine::persistent`] keeps one shared [`SemCache`]/[`EvalCache`]
+//!   pair, a persistent [`VerdictStore`], a bounded response cache and a
+//!   session table alive across requests — the state behind `hhl serve`.
+//!
+//! The contract that makes the two transports interchangeable: for any
+//! request, `Response::stdout` and `Response::exit_code` are byte-identical
+//! between a one-shot engine and a warm persistent engine, for every
+//! `jobs` value. Warmth only changes *how fast* the bytes are produced
+//! (and the stderr counters, which are performance facts, not verdicts).
+//!
+//! Sessions ([`Request::session`]) give a daemon client an isolated
+//! workspace: per-session memo caches, no persistent store, and a
+//! session-scoped interner arena ([`hhl_lang::begin_session`]) so symbols
+//! minted by one client's (possibly hostile) certificates never leak into
+//! another session's interner or outlive the session.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use hhl_assert::EvalCache;
+use hhl_driver::metrics::{counter_line, MetricsRegistry, Stage};
+use hhl_driver::{ShardCounters, ShardStats, VerdictStore};
+use hhl_lang::{begin_session, intern_sizes, SemCache, SessionArena, StableHasher};
+
+use crate::batch::{
+    run_batch, run_replay_batch, BatchOptions, BatchRun, MEMO_SNAPSHOT_MAX_ENTRIES,
+};
+use crate::spec::{parse_spec, Mode, Spec};
+
+/// Schema tag of the daemon's request documents (`hhl serve` input lines).
+pub const REQUEST_SCHEMA: &str = "hhl-request v1";
+/// Schema tag of the daemon's response documents (`hhl serve` output lines).
+pub const RESPONSE_SCHEMA: &str = "hhl-response v1";
+/// Default persistent cache directory (`hhl batch`, `hhl serve`).
+pub const DEFAULT_CACHE_DIR: &str = ".hhl-cache";
+/// Default `.verdict` record budget for `gc` (see [`VerdictStore::gc`]).
+pub const DEFAULT_GC_KEEP_RECORDS: usize = 4096;
+/// Rendered responses kept by a persistent engine before the (rare) cap
+/// resets the table; each entry is a small report, so this bounds memory
+/// without an LRU list.
+const RESPONSE_CACHE_MAX_ENTRIES: usize = 512;
+
+/// The persistent-store flags shared by every subcommand and by the serve
+/// request schema: one struct, one set of defaults, one validation.
+///
+/// `dir: None` means "this command's default": `hhl batch` and `hhl serve`
+/// fall back to [`DEFAULT_CACHE_DIR`]; `check`/`prove`/`verify`/`replay`
+/// stay storeless (their classic behavior) unless a directory is given.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheOpts {
+    /// `false` under `--no-cache`: disables the in-memory memo caches and
+    /// the persistent store together.
+    pub use_cache: bool,
+    /// `--cache-dir DIR`.
+    pub dir: Option<String>,
+    /// `--fresh`: ignore (and rebuild) existing records.
+    pub fresh: bool,
+}
+
+impl Default for CacheOpts {
+    fn default() -> CacheOpts {
+        CacheOpts {
+            use_cache: true,
+            dir: None,
+            fresh: false,
+        }
+    }
+}
+
+impl CacheOpts {
+    /// Rejects contradictory combinations; `command` names the subcommand
+    /// in the message. Commands with a default directory (`batch`, `serve`)
+    /// accept a bare `--fresh`; the storeless-by-default commands need an
+    /// explicit `--cache-dir` for `--fresh` to act on.
+    pub fn validate(&self, command: &str) -> Result<(), String> {
+        if !self.use_cache && (self.dir.is_some() || self.fresh) {
+            return Err(
+                "--no-cache disables the persistent store; drop --cache-dir/--fresh".to_owned(),
+            );
+        }
+        if self.fresh && self.dir.is_none() && !matches!(command, "batch" | "serve" | "gc") {
+            return Err(format!("--fresh needs --cache-dir on `hhl {command}`"));
+        }
+        Ok(())
+    }
+}
+
+/// What a [`Request`] asks the engine to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Run each spec under its own `mode:` line (`hhl check`).
+    Check,
+    /// Force the syntactic WP prover (`hhl prove`).
+    Prove,
+    /// Force the annotated-loop VC generator (`hhl verify`).
+    Verify,
+    /// Replay `(spec, certificate)` pairs (`hhl replay`).
+    Replay,
+    /// Corpus batch with the compact aggregate report (`hhl batch`).
+    Batch,
+    /// Daemon introspection: request/cache/session/interner/stage counts.
+    Status,
+    /// Prune the persistent store (LRU verdict records, cost-capped memo
+    /// snapshot) and drop the response cache.
+    Gc,
+    /// Drop a session's caches and interner arena.
+    EndSession,
+    /// Persist the memo snapshot and stop the daemon.
+    Shutdown,
+}
+
+impl Action {
+    /// The wire name (`"command"` field of a request document).
+    pub fn name(self) -> &'static str {
+        match self {
+            Action::Check => "check",
+            Action::Prove => "prove",
+            Action::Verify => "verify",
+            Action::Replay => "replay",
+            Action::Batch => "batch",
+            Action::Status => "status",
+            Action::Gc => "gc",
+            Action::EndSession => "end-session",
+            Action::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Option<Action> {
+        Some(match name {
+            "check" => Action::Check,
+            "prove" => Action::Prove,
+            "verify" => Action::Verify,
+            "replay" => Action::Replay,
+            "batch" => Action::Batch,
+            "status" => Action::Status,
+            "gc" => Action::Gc,
+            "end-session" => Action::EndSession,
+            "shutdown" => Action::Shutdown,
+            _ => return None,
+        })
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            Action::Check => 0,
+            Action::Prove => 1,
+            Action::Verify => 2,
+            Action::Replay => 3,
+            Action::Batch => 4,
+            Action::Status => 5,
+            Action::Gc => 6,
+            Action::EndSession => 7,
+            Action::Shutdown => 8,
+        }
+    }
+}
+
+/// One verification job, however it arrived (argv or a serve request line).
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response (`"-"` when
+    /// absent — the one-shot CLI never sets one).
+    pub id: String,
+    /// What to do.
+    pub action: Action,
+    /// Input files. For [`Action::Replay`] these are `(spec, certificate)`
+    /// pairs, flattened.
+    pub files: Vec<String>,
+    /// `--jobs N`. `None` keeps each command's classic default (1 for the
+    /// full-report commands, all hardware threads for `batch`) and, like
+    /// the flagless CLI, suppresses the stderr counter lines on the
+    /// full-report commands.
+    pub jobs: Option<usize>,
+    /// Unified store/memo flags.
+    pub cache: CacheOpts,
+    /// `--report json`: replace the text report with the structured
+    /// `hhl-report v1` document.
+    pub report_json: bool,
+    /// Daemon session name: run in that session's isolated caches and
+    /// interner arena (no persistent store, no response cache).
+    pub session: Option<String>,
+    /// `gc`: keep at most this many `.verdict` records
+    /// ([`DEFAULT_GC_KEEP_RECORDS`] when absent).
+    pub gc_keep: Option<usize>,
+    /// `gc`: cap the re-exported memo snapshot at this many entries
+    /// (the batch snapshot cap when absent).
+    pub gc_memo: Option<usize>,
+}
+
+impl Request {
+    /// A request with every optional field at its CLI default.
+    pub fn new(action: Action, files: Vec<String>) -> Request {
+        Request {
+            id: "-".to_owned(),
+            action,
+            files,
+            jobs: None,
+            cache: CacheOpts::default(),
+            report_json: false,
+            session: None,
+            gc_keep: None,
+            gc_memo: None,
+        }
+    }
+}
+
+/// The complete result of one request: exactly what the one-shot CLI would
+/// print, plus the exit code, bundled so transports only differ in how
+/// they ship the bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of [`Request::id`].
+    pub id: String,
+    /// The process exit code the one-shot CLI would return (0/1/2).
+    pub exit_code: u8,
+    /// `true` when a persistent engine answered from its response cache
+    /// without running any engine work.
+    pub cached: bool,
+    /// The full stdout byte stream (reports, headers, blank separators).
+    pub stdout: String,
+    /// Stderr lines, in print order (errors, warnings, counters) —
+    /// without trailing newlines.
+    pub stderr: Vec<String>,
+}
+
+impl Response {
+    /// Serializes as a single [`RESPONSE_SCHEMA`] JSON line (no trailing
+    /// newline).
+    pub fn render(&self) -> String {
+        let mut buf = String::new();
+        let _ = write!(
+            buf,
+            "{{\"schema\":\"{}\",\"id\":\"{}\",\"exit\":{},\"cached\":{},\"stdout\":\"{}\"",
+            RESPONSE_SCHEMA,
+            escape_json(&self.id),
+            self.exit_code,
+            self.cached,
+            escape_json(&self.stdout)
+        );
+        buf.push_str(",\"stderr\":[");
+        for (i, line) in self.stderr.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            let _ = write!(buf, "\"{}\"", escape_json(line));
+        }
+        buf.push_str("]}");
+        buf
+    }
+
+    /// Parses a [`Response::render`] line back (used by the differential
+    /// tests and by clients scripting against the daemon).
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let Json::Obj(fields) = parse_json(line)? else {
+            return Err("response must be a JSON object".to_owned());
+        };
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        match get("schema") {
+            Some(Json::Str(s)) if s == RESPONSE_SCHEMA => {}
+            other => return Err(format!("unsupported response schema {other:?}")),
+        }
+        let id = match get("id") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => return Err("response needs a string `id`".to_owned()),
+        };
+        let exit_code = match get("exit") {
+            Some(Json::Num(n)) => n
+                .parse::<u8>()
+                .map_err(|_| format!("bad exit code {n:?}"))?,
+            _ => return Err("response needs a numeric `exit`".to_owned()),
+        };
+        let cached = matches!(get("cached"), Some(Json::Bool(true)));
+        let stdout = match get("stdout") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => return Err("response needs a string `stdout`".to_owned()),
+        };
+        let stderr = match get("stderr") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|item| match item {
+                    Json::Str(s) => Ok(s.clone()),
+                    other => Err(format!("stderr entries must be strings, got {other:?}")),
+                })
+                .collect::<Result<Vec<String>, String>>()?,
+            None => Vec::new(),
+            _ => return Err("`stderr` must be an array of strings".to_owned()),
+        };
+        Ok(Response {
+            id,
+            exit_code,
+            cached,
+            stdout,
+            stderr,
+        })
+    }
+}
+
+/// Escapes a string for embedding in a JSON double-quoted literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed JSON value. Numbers keep their raw spelling: the request
+/// schema only carries small integers, and deferring the parse keeps this
+/// module free of float round-tripping concerns.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, unparsed.
+    Num(String),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in document order (duplicates kept; lookups take
+    /// the first).
+    Obj(Vec<(String, Json)>),
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(format!("expected {want:?} at byte {}, got {c:?}", self.pos)),
+            None => Err(format!("expected {want:?}, got end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".to_owned()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + digit;
+                        }
+                        // Surrogate pairs are not reassembled: the request
+                        // schema is ASCII-safe and lone surrogates map to
+                        // the replacement character rather than an error.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err("unexpected end of input".to_owned()),
+            Some('{') => {
+                self.bump();
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some('}') {
+                    self.bump();
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(':')?;
+                    let value = self.value()?;
+                    fields.push((key, value));
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(',') => continue,
+                        Some('}') => return Ok(Json::Obj(fields)),
+                        other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                    }
+                }
+            }
+            Some('[') => {
+                self.bump();
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(']') {
+                    self.bump();
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(',') => continue,
+                        Some(']') => return Ok(Json::Arr(items)),
+                        other => return Err(format!("expected ',' or ']', got {other:?}")),
+                    }
+                }
+            }
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some('n') => self.literal("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => {
+                let start = self.pos;
+                while matches!(self.peek(), Some('-' | '+' | '.' | 'e' | 'E' | '0'..='9')) {
+                    self.bump();
+                }
+                Ok(Json::Num(self.src[start..self.pos].to_owned()))
+            }
+            Some(c) => Err(format!("unexpected character {c:?}")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.src[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut cursor = Cursor { src: text, pos: 0 };
+    let value = cursor.value()?;
+    cursor.skip_ws();
+    if cursor.pos != text.len() {
+        return Err(format!("trailing input at byte {}", cursor.pos));
+    }
+    Ok(value)
+}
+
+/// Parses one serve request line (a [`REQUEST_SCHEMA`] document).
+///
+/// ```json
+/// {"id":"r1","command":"check","files":["a.hhl"],"jobs":4,
+///  "cache":{"dir":".hhl-cache","fresh":false,"no_cache":false},
+///  "report":"text","session":null}
+/// ```
+///
+/// Every field except `command` is optional and defaults to the one-shot
+/// CLI's flagless behavior.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let Json::Obj(fields) = parse_json(line)? else {
+        return Err("request must be a JSON object".to_owned());
+    };
+    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let action = match get("command") {
+        Some(Json::Str(name)) => {
+            Action::from_name(name).ok_or_else(|| format!("unknown command {name:?}"))?
+        }
+        Some(other) => return Err(format!("`command` must be a string, got {other:?}")),
+        None => return Err("request needs a `command`".to_owned()),
+    };
+    let mut req = Request::new(action, Vec::new());
+    match get("id") {
+        Some(Json::Str(id)) => req.id = id.clone(),
+        Some(other) => return Err(format!("`id` must be a string, got {other:?}")),
+        None => {}
+    }
+    match get("files") {
+        Some(Json::Arr(items)) => {
+            for item in items {
+                match item {
+                    Json::Str(path) => req.files.push(path.clone()),
+                    other => return Err(format!("`files` entries must be strings, got {other:?}")),
+                }
+            }
+        }
+        Some(other) => return Err(format!("`files` must be an array, got {other:?}")),
+        None => {}
+    }
+    match get("jobs") {
+        Some(Json::Num(n)) => match n.parse::<usize>() {
+            Ok(n) if n > 0 => req.jobs = Some(n),
+            _ => return Err(format!("bad `jobs` value {n:?} (need a positive integer)")),
+        },
+        Some(Json::Null) | None => {}
+        Some(other) => return Err(format!("`jobs` must be a number, got {other:?}")),
+    }
+    match get("cache") {
+        Some(Json::Obj(cache)) => {
+            let get = |key: &str| cache.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            match get("dir") {
+                Some(Json::Str(dir)) => req.cache.dir = Some(dir.clone()),
+                Some(Json::Null) | None => {}
+                Some(other) => return Err(format!("`cache.dir` must be a string, got {other:?}")),
+            }
+            if let Some(Json::Bool(fresh)) = get("fresh") {
+                req.cache.fresh = *fresh;
+            }
+            if let Some(Json::Bool(no_cache)) = get("no_cache") {
+                req.cache.use_cache = !no_cache;
+            }
+        }
+        Some(other) => return Err(format!("`cache` must be an object, got {other:?}")),
+        None => {}
+    }
+    match get("report") {
+        Some(Json::Str(format)) if format == "json" => req.report_json = true,
+        Some(Json::Str(format)) if format == "text" => {}
+        Some(other) => return Err(format!("bad `report` format {other:?} (json or text)")),
+        None => {}
+    }
+    match get("session") {
+        Some(Json::Str(name)) => req.session = Some(name.clone()),
+        Some(Json::Null) | None => {}
+        Some(other) => return Err(format!("`session` must be a string, got {other:?}")),
+    }
+    for (key, slot) in [("keep", &mut req.gc_keep), ("memo", &mut req.gc_memo)] {
+        match get(key) {
+            Some(Json::Num(n)) => match n.parse::<usize>() {
+                Ok(n) => *slot = Some(n),
+                Err(_) => return Err(format!("bad `{key}` value {n:?}")),
+            },
+            Some(Json::Null) | None => {}
+            Some(other) => return Err(format!("`{key}` must be a number, got {other:?}")),
+        }
+    }
+    Ok(req)
+}
+
+/// The in-memory memo caches an [`Engine`] keeps warm across requests and
+/// threads through [`BatchOptions::shared`].
+#[derive(Clone)]
+pub struct EngineCaches {
+    /// Extended-semantics memo cache.
+    pub sem: Arc<SemCache>,
+    /// Assertion-evaluation memo cache.
+    pub eval: Arc<EvalCache>,
+}
+
+impl EngineCaches {
+    /// A fresh, empty pair.
+    pub fn fresh() -> EngineCaches {
+        EngineCaches {
+            sem: Arc::new(SemCache::new()),
+            eval: Arc::new(EvalCache::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for EngineCaches {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCaches").finish_non_exhaustive()
+    }
+}
+
+/// One daemon session: an isolated interner arena plus private memo
+/// caches. Dropping the state (on `end-session`) releases both; the arena's
+/// overlay entries are reclaimed as soon as no request pin is live.
+struct SessionState {
+    _arena: SessionArena,
+    caches: EngineCaches,
+}
+
+/// The execution context shared by the one-shot CLI and `hhl serve`.
+///
+/// See the [module docs](self) for the transport contract. All shared
+/// state is internally synchronized: `&Engine` is enough to serve
+/// concurrent requests (the socket transport runs one thread per client).
+pub struct Engine {
+    /// Persistent engines keep caches warm across requests and may answer
+    /// repeated requests from the response cache; one-shot engines run
+    /// every request from scratch, exactly like the classic CLI.
+    persistent: bool,
+    /// `false` when the engine itself was started with `--no-cache`:
+    /// disables cross-request warmth and the response cache, leaving each
+    /// request to its own flags.
+    share: bool,
+    caches: EngineCaches,
+    /// The daemon's own store (memo-snapshot warming at startup, snapshot
+    /// save on shutdown, `gc`). Per-request verdict/obligation stores are
+    /// opened per request from the request's own flags.
+    store: Option<Arc<VerdictStore>>,
+    /// Daemon-lifetime telemetry: request-loop stages recorded by the
+    /// serve transport plus per-run stage totals folded in after every
+    /// non-cached verification.
+    metrics: MetricsRegistry,
+    responses: Mutex<HashMap<u128, Response>>,
+    sessions: Mutex<HashMap<String, SessionState>>,
+    requests: AtomicU64,
+    response_hits: AtomicU64,
+}
+
+impl Engine {
+    /// The classic CLI context: fresh caches per request, no response
+    /// cache, no daemon store.
+    pub fn one_shot() -> Engine {
+        Engine {
+            persistent: false,
+            share: false,
+            caches: EngineCaches::fresh(),
+            store: None,
+            metrics: MetricsRegistry::new(),
+            responses: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+            response_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The daemon context: opens (or creates) the persistent store at
+    /// `cache.dir` (default [`DEFAULT_CACHE_DIR`]) and warms the shared
+    /// memo cache from its snapshot once. Returns startup warnings (an
+    /// unopenable store costs the warm start, never the daemon).
+    pub fn persistent(cache: &CacheOpts) -> (Engine, Vec<String>) {
+        let mut warnings = Vec::new();
+        let mut engine = Engine::one_shot();
+        engine.persistent = true;
+        engine.share = cache.use_cache;
+        if cache.use_cache {
+            let dir = cache
+                .dir
+                .clone()
+                .unwrap_or_else(|| DEFAULT_CACHE_DIR.to_owned());
+            match VerdictStore::open(&dir, cache.fresh) {
+                Ok(store) => {
+                    let start = Instant::now();
+                    if !cache.fresh {
+                        if let Some(blob) = store.load_memo() {
+                            engine.caches.sem.import_snapshot(&blob);
+                        }
+                    }
+                    engine
+                        .metrics
+                        .record_stage(Stage::Snapshot, start.elapsed().as_nanos() as u64);
+                    engine.store = Some(Arc::new(store));
+                }
+                Err(e) => warnings.push(format!(
+                    "warning: cannot open cache dir {dir}: {e}; continuing without \
+                     a persistent cache"
+                )),
+            }
+        }
+        (engine, warnings)
+    }
+
+    /// The daemon-lifetime metrics registry (the serve transport records
+    /// its accept/decode/dispatch/respond stages here).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Exports the engine's memo cache into its store (shutdown, `gc`).
+    /// No-op without a store.
+    pub fn save_state(&self) {
+        if let Some(store) = &self.store {
+            let start = Instant::now();
+            let (blob, _) = self.caches.sem.export_snapshot(MEMO_SNAPSHOT_MAX_ENTRIES);
+            store.save_memo(&blob);
+            self.metrics
+                .record_stage(Stage::Snapshot, start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Handles one request end-to-end and returns the complete response.
+    /// Never panics on bad input: usage-level problems come back as
+    /// exit-code-2 responses, mirroring the CLI.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match req.action {
+            Action::Status => self.status(req),
+            Action::Gc => self.gc(req),
+            Action::EndSession => self.end_session(req),
+            Action::Shutdown => Response {
+                id: req.id.clone(),
+                exit_code: 0,
+                cached: false,
+                stdout: "shutting down\n".to_owned(),
+                stderr: Vec::new(),
+            },
+            Action::Check | Action::Prove | Action::Verify | Action::Replay | Action::Batch => {
+                self.verify_request(req)
+            }
+        }
+    }
+
+    fn verify_request(&self, req: &Request) -> Response {
+        let command = req.action.name();
+        if let Err(e) = req.cache.validate(command) {
+            return usage(req, &e);
+        }
+        if req.files.is_empty() {
+            return usage(req, &format!("`hhl {command}` needs at least one file"));
+        }
+        if req.action == Action::Replay && !req.files.len().is_multiple_of(2) {
+            return usage(req, "`hhl replay` takes (spec, certificate) pairs");
+        }
+        if let Some(name) = &req.session {
+            let caches = {
+                let mut sessions = self.sessions.lock().unwrap();
+                sessions
+                    .entry(name.clone())
+                    .or_insert_with(|| SessionState {
+                        _arena: begin_session(),
+                        caches: EngineCaches::fresh(),
+                    })
+                    .caches
+                    .clone()
+            };
+            // Sessions are fully isolated: private caches, no persistent
+            // store (verdicts computed from a hostile certificate must not
+            // outlive the session), no response cache.
+            return self.execute(req, Some(caches), false);
+        }
+        let reuse = self.persistent && self.share && req.cache.use_cache;
+        let key = (reuse && !req.cache.fresh).then(|| response_key(req));
+        if let Some(key) = key {
+            if let Some(hit) = self.responses.lock().unwrap().get(&key) {
+                self.response_hits.fetch_add(1, Ordering::Relaxed);
+                let mut response = hit.clone();
+                response.id = req.id.clone();
+                response.cached = true;
+                return response;
+            }
+        }
+        let shared = reuse.then(|| self.caches.clone());
+        let response = self.execute(req, shared, true);
+        if let Some(key) = key {
+            let mut responses = self.responses.lock().unwrap();
+            if responses.len() >= RESPONSE_CACHE_MAX_ENTRIES {
+                responses.clear();
+            }
+            responses.insert(key, response.clone());
+        }
+        response
+    }
+
+    /// Runs a verification request for real. `shared` supplies warm memo
+    /// caches (engine-wide or session-scoped); `allow_store` is `false`
+    /// for session requests.
+    fn execute(&self, req: &Request, shared: Option<EngineCaches>, allow_store: bool) -> Response {
+        let mut warnings = Vec::new();
+        let mut open = |dir: &str, fresh: bool| -> Option<Arc<VerdictStore>> {
+            match VerdictStore::open(dir, fresh) {
+                Ok(store) => Some(Arc::new(store)),
+                Err(e) => {
+                    warnings.push(format!(
+                        "warning: cannot open cache dir {dir}: {e}; continuing without \
+                         a persistent cache"
+                    ));
+                    None
+                }
+            }
+        };
+        let want_store = allow_store && req.cache.use_cache;
+        // Store roles per action: `batch` gets the full set (verdict,
+        // obligation and memo records in one directory); the full-report
+        // commands only take what can rebuild full output — the memo
+        // snapshot for spec runs, obligation/summary records for replay.
+        // Verdict records are excluded there: they carry verdicts, not
+        // rendered reports. A persistent engine's own memo cache is warmed
+        // from its store once, so per-request memo import is skipped.
+        let (store, oblig_store, memo_store) = match req.action {
+            Action::Batch if want_store => {
+                let dir = req
+                    .cache
+                    .dir
+                    .clone()
+                    .unwrap_or_else(|| DEFAULT_CACHE_DIR.to_owned());
+                let handle = open(&dir, req.cache.fresh);
+                let memo = if self.persistent {
+                    None
+                } else {
+                    handle.clone()
+                };
+                (handle.clone(), handle, memo)
+            }
+            Action::Check | Action::Prove | Action::Verify if want_store => {
+                let memo = match &req.cache.dir {
+                    Some(dir) if !self.persistent => open(dir, req.cache.fresh),
+                    _ => None,
+                };
+                (None, None, memo)
+            }
+            Action::Replay if want_store => {
+                let oblig = match &req.cache.dir {
+                    Some(dir) => open(dir, req.cache.fresh),
+                    None => None,
+                };
+                (None, oblig, None)
+            }
+            _ => (None, None, None),
+        };
+        let force_mode = match req.action {
+            Action::Prove => Some(Mode::Prove),
+            Action::Verify => Some(Mode::Verify),
+            _ => None,
+        };
+        if req.action == Action::Replay && req.files.len() == 2 && !req.report_json {
+            return self.replay_single(req, oblig_store.as_deref(), warnings);
+        }
+        let opts = BatchOptions {
+            jobs: req.jobs.unwrap_or_else(|| match req.action {
+                Action::Batch => default_jobs(),
+                _ => 1,
+            }),
+            force_mode,
+            use_cache: req.cache.use_cache,
+            store,
+            oblig_store,
+            memo_store: memo_store.clone(),
+            shared,
+        };
+        let run = match req.action {
+            Action::Replay => {
+                let pairs: Vec<(String, String)> = req
+                    .files
+                    .chunks_exact(2)
+                    .map(|pair| (pair[0].clone(), pair[1].clone()))
+                    .collect();
+                run_replay_batch(&pairs, &opts)
+            }
+            _ => run_batch(&req.files, &opts),
+        };
+        self.merge_run_metrics(&run);
+        let (stdout, mut stderr, exit_code) = if req.report_json {
+            render_report_doc(&run)
+        } else {
+            match req.action {
+                Action::Batch => render_batch(&run),
+                Action::Replay => {
+                    let headers: Vec<String> = req
+                        .files
+                        .chunks_exact(2)
+                        .map(|pair| format!("{} ⊢ {}", pair[0], pair[1]))
+                        .collect();
+                    let (stdout, mut stderr, exit_code) = render_full(&run, Some(&headers));
+                    stderr.extend(run.counter_lines());
+                    (stdout, stderr, exit_code)
+                }
+                _ => {
+                    let (stdout, mut stderr, exit_code) = render_full(&run, None);
+                    // Counters only when asked for parallel/cached
+                    // machinery — the flagless commands keep their classic
+                    // quiet stderr.
+                    if req.jobs.is_some() || memo_store.is_some() {
+                        stderr.extend(run.counter_lines());
+                    }
+                    (stdout, stderr, exit_code)
+                }
+            }
+        };
+        stderr.splice(0..0, warnings);
+        Response {
+            id: req.id.clone(),
+            exit_code,
+            cached: false,
+            stdout,
+            stderr,
+        }
+    }
+
+    /// The streaming single-pair replay path, bit-compatible with classic
+    /// `hhl replay <spec> <proof>`: one header, one outcome, shard
+    /// counters only when sharding happened.
+    fn replay_single(
+        &self,
+        req: &Request,
+        store: Option<&VerdictStore>,
+        warnings: Vec<String>,
+    ) -> Response {
+        let (spec_path, proof_path) = (&req.files[0], &req.files[1]);
+        let mut stdout = String::new();
+        let mut stderr = warnings;
+        let mut all_expected = true;
+        let mut hard_error = false;
+        let _ = writeln!(stdout, "== {spec_path} ⊢ {proof_path}");
+        let parse_start = Instant::now();
+        let spec = match load_spec_text(spec_path) {
+            Ok(spec) => Some(spec),
+            Err(e) => {
+                stderr.push(format!("error: {e}"));
+                hard_error = true;
+                None
+            }
+        };
+        let certificate = match std::fs::read_to_string(proof_path) {
+            Ok(text) => Some(text),
+            Err(e) => {
+                stderr.push(format!("error: cannot read {proof_path}: {e}"));
+                hard_error = true;
+                None
+            }
+        };
+        if self.persistent {
+            self.metrics
+                .record_stage(Stage::Parse, parse_start.elapsed().as_nanos() as u64);
+        }
+        if let (Some(spec), Some(certificate)) = (&spec, &certificate) {
+            let counters = ShardCounters::new();
+            let check_start = Instant::now();
+            match crate::shard::run_replay_sharded(
+                spec,
+                certificate,
+                req.jobs.unwrap_or(1),
+                store,
+                &counters,
+            ) {
+                Ok(outcome) => {
+                    let _ = writeln!(stdout, "{outcome}");
+                    all_expected &= outcome.as_expected;
+                }
+                Err(e) => {
+                    stderr.push(format!("error: {proof_path}: {e}"));
+                    hard_error = true;
+                }
+            }
+            if self.persistent {
+                self.metrics
+                    .record_stage(Stage::Check, check_start.elapsed().as_nanos() as u64);
+            }
+            let stats = counters.snapshot();
+            if stats.any() {
+                stderr.push(shard_counter_line(&stats));
+            }
+        }
+        Response {
+            id: req.id.clone(),
+            exit_code: exit_code(all_expected, hard_error),
+            cached: false,
+            stdout,
+            stderr,
+        }
+    }
+
+    /// Folds one run's per-stage totals into the daemon-lifetime registry
+    /// so `status` reflects cumulative parse/check/… time across requests.
+    fn merge_run_metrics(&self, run: &BatchRun) {
+        if !self.persistent {
+            return;
+        }
+        for agg in &run.metrics.snapshot().stages {
+            if let Some(stage) = Stage::ALL.iter().copied().find(|s| s.name() == agg.stage) {
+                self.metrics
+                    .record_stage(stage, agg.timing.total_ns() as u64);
+            }
+        }
+    }
+
+    fn status(&self, req: &Request) -> Response {
+        let mut stdout = String::new();
+        let _ = writeln!(stdout, "hhl serve status");
+        let _ = writeln!(
+            stdout,
+            "requests: {}",
+            self.requests.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            stdout,
+            "response-cache: entries={} hits={}",
+            self.responses.lock().unwrap().len(),
+            self.response_hits.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(stdout, "sessions: {}", self.sessions.lock().unwrap().len());
+        let sizes = intern_sizes();
+        let _ = writeln!(
+            stdout,
+            "interner: symbols={} cmds={} exprs={} overlay-symbols={} overlay-cmds={} \
+             overlay-exprs={}",
+            sizes.symbols,
+            sizes.cmds,
+            sizes.exprs,
+            sizes.overlay_symbols,
+            sizes.overlay_cmds,
+            sizes.overlay_exprs
+        );
+        let snapshot = self.metrics.snapshot();
+        for stage in Stage::ALL {
+            let samples = snapshot
+                .stages
+                .iter()
+                .find(|agg| agg.stage == stage.name())
+                .map(|agg| agg.timing.count())
+                .unwrap_or(0);
+            let _ = writeln!(stdout, "stage {}: samples={}", stage.name(), samples);
+        }
+        Response {
+            id: req.id.clone(),
+            exit_code: 0,
+            cached: false,
+            stdout,
+            stderr: Vec::new(),
+        }
+    }
+
+    fn gc(&self, req: &Request) -> Response {
+        if let Err(e) = req.cache.validate("gc") {
+            return usage(req, &e);
+        }
+        if !req.cache.use_cache {
+            return usage(req, "gc needs the persistent store; drop --no-cache");
+        }
+        let keep = req.gc_keep.unwrap_or(DEFAULT_GC_KEEP_RECORDS);
+        let memo_cap = req.gc_memo.unwrap_or(MEMO_SNAPSHOT_MAX_ENTRIES);
+        let mut stderr = Vec::new();
+        let store = match &self.store {
+            Some(store) => Some(store.clone()),
+            None => {
+                let dir = req
+                    .cache
+                    .dir
+                    .clone()
+                    .unwrap_or_else(|| DEFAULT_CACHE_DIR.to_owned());
+                match VerdictStore::open(&dir, false) {
+                    Ok(store) => Some(Arc::new(store)),
+                    Err(e) => {
+                        stderr.push(format!("error: cannot open cache dir {dir}: {e}"));
+                        None
+                    }
+                }
+            }
+        };
+        let Some(store) = store else {
+            return Response {
+                id: req.id.clone(),
+                exit_code: 2,
+                cached: false,
+                stdout: String::new(),
+                stderr,
+            };
+        };
+        let stats = store.gc(keep);
+        // Re-cap the memo snapshot: a persistent engine exports its own
+        // (already cost-ranked) cache; one-shot gc rebuilds the ranking
+        // from the stored blob so eviction keeps the most expensive
+        // entries to recompute.
+        let memo = if self.persistent {
+            let (blob, memo) = self.caches.sem.export_snapshot(memo_cap);
+            store.save_memo(&blob);
+            memo
+        } else {
+            match store.load_memo() {
+                Some(blob) => {
+                    let scratch = SemCache::new();
+                    scratch.import_snapshot(&blob);
+                    let (blob, memo) = scratch.export_snapshot(memo_cap);
+                    store.save_memo(&blob);
+                    memo
+                }
+                None => Default::default(),
+            }
+        };
+        let mut stdout = String::new();
+        let _ = writeln!(stdout, "gc: {stats}");
+        let _ = writeln!(
+            stdout,
+            "memo: exported={} evicted={}",
+            memo.exported, memo.evicted
+        );
+        if self.persistent {
+            let mut responses = self.responses.lock().unwrap();
+            let _ = writeln!(
+                stdout,
+                "response-cache: cleared {} entries",
+                responses.len()
+            );
+            responses.clear();
+        }
+        Response {
+            id: req.id.clone(),
+            exit_code: 0,
+            cached: false,
+            stdout,
+            stderr,
+        }
+    }
+
+    fn end_session(&self, req: &Request) -> Response {
+        let Some(name) = &req.session else {
+            return usage(req, "end-session needs a `session` name");
+        };
+        let removed = self.sessions.lock().unwrap().remove(name).is_some();
+        let (stdout, exit_code) = if removed {
+            (format!("session {name}: closed\n"), 0)
+        } else {
+            (format!("session {name}: not found\n"), 2)
+        };
+        Response {
+            id: req.id.clone(),
+            exit_code,
+            cached: false,
+            stdout,
+            stderr: Vec::new(),
+        }
+    }
+}
+
+/// The classic exit-code contract: 2 on any hard error, 1 on unexpected
+/// verdicts, 0 otherwise.
+fn exit_code(all_expected: bool, hard_error: bool) -> u8 {
+    if hard_error {
+        2
+    } else if all_expected {
+        0
+    } else {
+        1
+    }
+}
+
+/// Default worker count for `hhl batch`: the machine's hardware threads.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Formats replay shard accounting as the unified `[shard] key=value ...`
+/// counter line (single-pair `hhl replay`; the batch path emits the same
+/// line through the metrics registry).
+pub fn shard_counter_line(stats: &ShardStats) -> String {
+    let pairs = [
+        ("shards".to_owned(), stats.total),
+        ("distinct".to_owned(), stats.distinct),
+        ("cached".to_owned(), stats.cached),
+        ("re-checked".to_owned(), stats.rechecked),
+        ("written".to_owned(), stats.written),
+        ("summary-hits".to_owned(), stats.summaries),
+    ];
+    counter_line("shard", &pairs)
+}
+
+fn load_spec_text(path: &str) -> Result<Spec, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_spec(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn usage(req: &Request, message: &str) -> Response {
+    Response {
+        id: req.id.clone(),
+        exit_code: 2,
+        cached: false,
+        stdout: String::new(),
+        stderr: vec![format!("error: {message}")],
+    }
+}
+
+/// Renders per-file results in the full sequential format: `== path`
+/// headers, outcome reports on stdout, errors on stderr, blank lines
+/// between files — byte-identical to the classic streaming loop.
+fn render_full(run: &BatchRun, headers: Option<&[String]>) -> (String, Vec<String>, u8) {
+    let mut stdout = String::new();
+    let mut stderr = Vec::new();
+    let mut all_expected = true;
+    let mut hard_error = false;
+    for (i, result) in run.results.iter().enumerate() {
+        if i > 0 {
+            let _ = writeln!(stdout);
+        }
+        match headers {
+            Some(headers) => {
+                let _ = writeln!(stdout, "== {}", headers[i]);
+            }
+            None => {
+                let _ = writeln!(stdout, "== {}", result.path);
+            }
+        }
+        if let Some(report) = &result.report_text {
+            let _ = writeln!(stdout, "{report}");
+        }
+        if let Some(error) = &result.error_text {
+            stderr.push(format!("error: {error}"));
+            hard_error = true;
+        }
+        if let hhl_driver::FileStatus::Unexpected { .. } = result.status {
+            all_expected = false;
+        }
+    }
+    (stdout, stderr, exit_code(all_expected, hard_error))
+}
+
+/// Renders the compact `hhl batch` report plus counter lines.
+fn render_batch(run: &BatchRun) -> (String, Vec<String>, u8) {
+    let report = run.report();
+    let mut stdout = String::new();
+    let _ = writeln!(stdout, "{report}");
+    (stdout, run.counter_lines(), report.exit_code())
+}
+
+/// Renders the structured `hhl-report v1` JSON document plus counter
+/// lines (`--report json` on any verification command).
+fn render_report_doc(run: &BatchRun) -> (String, Vec<String>, u8) {
+    let mut stdout = String::new();
+    let _ = writeln!(
+        stdout,
+        "{}",
+        hhl_driver::metrics::render_report(&run.report_doc()).trim_end()
+    );
+    (stdout, run.counter_lines(), run.report().exit_code())
+}
+
+/// The response-cache key: a stable fingerprint over everything that can
+/// change the response bytes — the action, the report format, the cache
+/// flags, and each input file's path *and current contents* (an edited
+/// file must miss). `jobs` is deliberately excluded: stdout and the exit
+/// code are jobs-invariant by contract, which is exactly what the cache
+/// returns.
+fn response_key(req: &Request) -> u128 {
+    let mut hasher = StableHasher::new();
+    hasher.write_str(RESPONSE_SCHEMA);
+    hasher.write_u8(req.action.tag());
+    hasher.write_u8(req.report_json as u8);
+    hasher.write_u8(req.cache.use_cache as u8);
+    hasher.write_u8(req.cache.fresh as u8);
+    hasher.write_str(req.cache.dir.as_deref().unwrap_or(""));
+    hasher.write_usize(req.files.len());
+    for path in &req.files {
+        hasher.write_str(path);
+        match std::fs::read_to_string(path) {
+            Ok(contents) => {
+                hasher.write_u8(1);
+                hasher.write_str(&contents);
+            }
+            Err(e) => {
+                hasher.write_u8(0);
+                hasher.write_str(&e.to_string());
+            }
+        }
+    }
+    hasher.finish().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_hostile_strings() {
+        let hostile = "a\"b\\c\nd\te\u{1}f ⊢ g";
+        let response = Response {
+            id: hostile.to_owned(),
+            exit_code: 2,
+            cached: true,
+            stdout: format!("{hostile}\n"),
+            stderr: vec![hostile.to_owned(), String::new()],
+        };
+        let parsed = Response::parse(&response.render()).expect("round trip");
+        assert_eq!(parsed, response);
+    }
+
+    #[test]
+    fn request_parser_defaults_match_the_flagless_cli() {
+        let req = parse_request(r#"{"command":"check","files":["a.hhl"]}"#).expect("parse");
+        assert_eq!(req.action, Action::Check);
+        assert_eq!(req.files, vec!["a.hhl".to_owned()]);
+        assert_eq!(req.id, "-");
+        assert_eq!(req.jobs, None);
+        assert_eq!(req.cache, CacheOpts::default());
+        assert!(!req.report_json);
+        assert_eq!(req.session, None);
+    }
+
+    #[test]
+    fn request_parser_reads_every_field() {
+        let req = parse_request(
+            r#"{"id":"r7","command":"batch","files":["a.hhl","b.hhlp"],"jobs":4,
+                "cache":{"dir":"/tmp/c","fresh":true,"no_cache":false},
+                "report":"json","session":"alice","keep":10,"memo":20}"#,
+        )
+        .expect("parse");
+        assert_eq!(req.id, "r7");
+        assert_eq!(req.action, Action::Batch);
+        assert_eq!(req.jobs, Some(4));
+        assert_eq!(req.cache.dir.as_deref(), Some("/tmp/c"));
+        assert!(req.cache.fresh);
+        assert!(req.cache.use_cache);
+        assert!(req.report_json);
+        assert_eq!(req.session.as_deref(), Some("alice"));
+        assert_eq!(req.gc_keep, Some(10));
+        assert_eq!(req.gc_memo, Some(20));
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_with_reasons() {
+        for (line, needle) in [
+            ("@not json", "unexpected character"),
+            ("[]", "must be a JSON object"),
+            (r#"{"files":[]}"#, "needs a `command`"),
+            (r#"{"command":"frobnicate"}"#, "unknown command"),
+            (r#"{"command":"check","jobs":0}"#, "bad `jobs`"),
+            (r#"{"command":"check","report":"xml"}"#, "bad `report`"),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn cache_opts_validation_matches_the_cli_messages() {
+        let conflicted = CacheOpts {
+            use_cache: false,
+            dir: Some("x".to_owned()),
+            fresh: false,
+        };
+        let err = conflicted.validate("batch").expect_err("conflict");
+        assert!(err.contains("--no-cache disables the persistent store"));
+        let fresh_only = CacheOpts {
+            use_cache: true,
+            dir: None,
+            fresh: true,
+        };
+        let err = fresh_only.validate("replay").expect_err("needs dir");
+        assert_eq!(err, "--fresh needs --cache-dir on `hhl replay`");
+        assert!(fresh_only.validate("batch").is_ok());
+    }
+}

@@ -47,15 +47,17 @@ use crate::spec::{parse_spec, Expect, Mode, Spec};
 /// unchanged files free, so the snapshot only needs to warm the entries an
 /// *edited* file is likely to share — a bounded, deterministic subset keeps
 /// the snapshot proportional to that benefit instead of to the corpus.
-const MEMO_SNAPSHOT_MAX_ENTRIES: usize = 8192;
+pub(crate) const MEMO_SNAPSHOT_MAX_ENTRIES: usize = 8192;
 
 /// How a batch invocation should run.
 #[derive(Clone, Debug)]
 pub struct BatchOptions {
     /// Worker threads (clamped to the number of files by the pool).
     pub jobs: usize,
-    /// Force every `.hhl` spec through the WP prover (`hhl prove --jobs`).
-    pub force_prove: bool,
+    /// Force every `.hhl` spec through a fixed engine regardless of its
+    /// `mode:` line (`hhl prove --jobs` forces [`Mode::Prove`], `hhl verify`
+    /// forces [`Mode::Verify`]). `None` honours each spec's own mode.
+    pub force_mode: Option<Mode>,
     /// Share an extended-semantics memo cache across all files/workers.
     /// Disabled by `--no-cache`; verdicts are identical either way.
     pub use_cache: bool,
@@ -75,16 +77,28 @@ pub struct BatchOptions {
     /// obligation and replay-summary records can rebuild the *full* report,
     /// so this one is safe for the full-output replay paths.
     pub oblig_store: Option<Arc<VerdictStore>>,
+    /// Store to load/save the memo snapshot through. `hhl batch` points it
+    /// at the same directory as [`store`](BatchOptions::store); `hhl check
+    /// --cache-dir` & friends use it *alone* (the snapshot warms the shared
+    /// cache without the verdict store's report-text limitation, so it is
+    /// safe for the full-report paths). `None` skips import/export.
+    pub memo_store: Option<Arc<VerdictStore>>,
+    /// Pre-existing memo caches to run against instead of fresh ones — the
+    /// persistent [`Engine`](crate::api::Engine) passes its own so warmth
+    /// survives across requests. Ignored under `--no-cache`.
+    pub shared: Option<crate::api::EngineCaches>,
 }
 
 impl Default for BatchOptions {
     fn default() -> BatchOptions {
         BatchOptions {
             jobs: 1,
-            force_prove: false,
+            force_mode: None,
             use_cache: true,
             store: None,
             oblig_store: None,
+            memo_store: None,
+            shared: None,
         }
     }
 }
@@ -188,12 +202,12 @@ fn sibling_spec(proof_path: &str) -> String {
     format!("{stem}.hhl")
 }
 
-/// Classifies a file into a job. Under `force_prove` everything is a spec
+/// Classifies a file into a job. Under a forced mode everything is a spec
 /// job — `hhl prove --jobs x.hhlp` must fail to parse the certificate as a
 /// spec, exactly like the sequential `hhl prove x.hhlp` does, instead of
 /// silently switching engines to replay.
-fn classify(path: &str, force_prove: bool) -> Job {
-    if path.ends_with(".hhlp") && !force_prove {
+fn classify(path: &str, force_mode: bool) -> Job {
+    if path.ends_with(".hhlp") && !force_mode {
         Job::Replay {
             spec_path: sibling_spec(path),
             proof_path: path.to_owned(),
@@ -348,8 +362,8 @@ fn stage_job(
                 Ok(s) => s,
                 Err(e) => return (StagedJob::Done(error_result(path, e)), local),
             };
-            if opts.force_prove {
-                spec.mode = Mode::Prove;
+            if let Some(mode) = opts.force_mode {
+                spec.mode = mode;
             }
             let fp = store.map(|s| (s, spec_fingerprint(&spec, None).to_string()));
             if let Some((store, fp)) = &fp {
@@ -443,17 +457,22 @@ fn stage_job(
 ///
 /// Finally persist a fresh memo snapshot and assemble the run.
 fn run_jobs(jobs: Vec<Job>, opts: &BatchOptions) -> BatchRun {
-    let caches = if opts.use_cache {
+    let caches = if !opts.use_cache {
+        SharedCaches::default()
+    } else if let Some(shared) = &opts.shared {
+        SharedCaches {
+            sem: Some(shared.sem.clone()),
+            eval: Some(shared.eval.clone()),
+        }
+    } else {
         SharedCaches {
             sem: Some(Arc::new(SemCache::new())),
             eval: Some(Arc::new(EvalCache::new())),
         }
-    } else {
-        SharedCaches::default()
     };
     let registry = MetricsRegistry::new();
     let mut memo_import = MemoImportStats::default();
-    if let (Some(cache), Some(store)) = (&caches.sem, &opts.store) {
+    if let (Some(cache), Some(store)) = (&caches.sem, &opts.memo_store) {
         let start = Instant::now();
         if let Some(blob) = store.load_memo() {
             memo_import = cache.import_snapshot(&blob);
@@ -531,7 +550,7 @@ fn run_jobs(jobs: Vec<Job>, opts: &BatchOptions) -> BatchRun {
         .collect();
 
     let mut memo_export = MemoSnapshotStats::default();
-    if let (Some(cache), Some(store)) = (&caches.sem, &opts.store) {
+    if let (Some(cache), Some(store)) = (&caches.sem, &opts.memo_store) {
         let start = Instant::now();
         let (blob, stats) = cache.export_snapshot(MEMO_SNAPSHOT_MAX_ENTRIES);
         store.save_memo(&blob);
@@ -572,6 +591,8 @@ fn run_jobs(jobs: Vec<Job>, opts: &BatchOptions) -> BatchRun {
                 ("written", stats.writes),
             ],
         );
+    }
+    if opts.memo_store.is_some() {
         registry.set_counters(
             "memo-snapshot",
             &[
@@ -617,7 +638,7 @@ pub fn run_batch(files: &[String], opts: &BatchOptions) -> BatchRun {
     run_jobs(
         files
             .iter()
-            .map(|f| classify(f, opts.force_prove))
+            .map(|f| classify(f, opts.force_mode.is_some()))
             .collect(),
         opts,
     )
@@ -751,7 +772,7 @@ mod tests {
             &[cert],
             &BatchOptions {
                 jobs: 2,
-                force_prove: true,
+                force_mode: Some(Mode::Prove),
                 ..BatchOptions::default()
             },
         );
@@ -763,6 +784,7 @@ mod tests {
         BatchOptions {
             jobs,
             store: Some(store.clone()),
+            memo_store: Some(store.clone()),
             ..BatchOptions::default()
         }
     }

@@ -54,16 +54,34 @@
 //! is `0` when the verdict matches the spec's `expect:` line (which
 //! defaults to `pass`), `1` on unexpected verdicts, `2` when a file could
 //! not be judged at all.
+//!
+//! Every subcommand is a thin transport over the [`api`] module's
+//! [`Engine`]: the one-shot CLI builds a throwaway
+//! [`Engine::one_shot`](api::Engine::one_shot) per invocation, while
+//! `hhl serve` ([`serve`]) keeps one
+//! [`Engine::persistent`](api::Engine::persistent) — warm memo caches, an
+//! open verdict store, a content-keyed response cache and session-scoped
+//! interner overlays — behind a JSON-lines request protocol
+//! ([`REQUEST_SCHEMA`] / [`RESPONSE_SCHEMA`]) over stdin or a unix
+//! socket. Both transports produce byte-identical stdout and the same
+//! exit codes for the same inputs, by construction and by differential
+//! test.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod batch;
 pub mod fingerprint;
 mod runner;
+pub mod serve;
 pub mod shard;
 mod spec;
 
+pub use api::{
+    parse_request, Action, CacheOpts, Engine, EngineCaches, Request, Response, REQUEST_SCHEMA,
+    RESPONSE_SCHEMA,
+};
 pub use batch::{run_batch, run_replay_batch, BatchOptions, BatchRun, FileResult};
 pub use fingerprint::{spec_fingerprint, FINGERPRINT_SCHEMA};
 pub use runner::{run_prove_with_certificate, run_replay, run_spec, Outcome, RunError, Verdict};

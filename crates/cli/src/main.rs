@@ -1,4 +1,12 @@
-//! The `hhl` binary: `check`, `prove`, `replay` and `batch` subcommands.
+//! The `hhl` binary: `check`, `prove`, `verify`, `replay`, `batch` and
+//! `serve` subcommands.
+//!
+//! Every subcommand is a thin transport over the library-level request
+//! API ([`hhl_cli::api`]): argv is parsed into a [`Request`], a one-shot
+//! [`Engine`] executes it, and the resulting [`Response`] is emitted —
+//! stdout bytes verbatim, stderr lines in order, exit code as returned.
+//! `hhl serve` runs the *same* requests against a persistent engine
+//! (warm caches, response reuse) with byte-identical stdout.
 //!
 //! * `hhl check [--jobs N] <spec.hhl>…` — parse each spec, dispatch it to
 //!   the engine named by its `mode:` line, print a structured pass/fail
@@ -6,6 +14,8 @@
 //! * `hhl prove [--jobs N] [--emit-proof <out.hhlp>] <spec.hhl>…` — force
 //!   the syntactic WP prover regardless of the spec's `mode:`, optionally
 //!   writing the checked derivation as a portable `.hhlp` certificate;
+//! * `hhl verify [--jobs N] <spec.hhl>…` — force the annotated-loop VC
+//!   generator the same way;
 //! * `hhl replay [--jobs N] <spec.hhl> <proof.hhlp> [<spec> <proof>]…` —
 //!   elaborate textual proof certificates and check them against their
 //!   specs' triples and finite models;
@@ -17,6 +27,9 @@
 //!   verdict/memo store (`.hhl-cache/` by default) makes re-runs
 //!   incremental: fingerprint-matched files replay their recorded verdict
 //!   instead of re-verifying; cached/re-verified counts go to stderr.
+//!   `hhl batch --gc` prunes that store in place;
+//! * `hhl serve [--socket PATH] [--cache-dir DIR]` — the persistent
+//!   daemon: JSON-lines requests in, schema-versioned responses out.
 //!
 //! Exit codes are a contract scripts rely on: `0` when every verdict
 //! matches its spec's `expect:` line (default `pass`), `1` when any verdict
@@ -27,8 +40,8 @@ use std::fmt;
 use std::io::Write;
 use std::process::ExitCode;
 
-use hhl_cli::batch::{run_batch, run_replay_batch, BatchOptions, FileResult};
-use hhl_cli::{parse_spec, run_prove_with_certificate, run_spec, Mode, Spec};
+use hhl_cli::api::{Action, CacheOpts, Engine, Request, Response};
+use hhl_cli::{parse_spec, run_prove_with_certificate, Spec};
 
 /// Prints to stdout, ignoring write failures (e.g. EPIPE when the report
 /// is piped into `head`) instead of panicking.
@@ -38,18 +51,24 @@ fn out(msg: impl fmt::Display) {
 
 const USAGE: &str = "usage: hhl <command> [args]
 
-  hhl check [--jobs N] <spec.hhl>...
+  hhl check [--jobs N] [--cache-dir DIR] [--report json|text] <spec.hhl>...
       Run each spec end-to-end with the engine its `mode:` line selects
       (check | prove | verify) and compare the verdict against `expect:`.
       With --jobs, files are verified in parallel by a work-stealing pool
       sharing one semantics memo cache; the report order stays the input
       order. N is a ceiling: workers never exceed the machine's hardware
       threads, so a large --jobs is never slower than a small one.
+      With --cache-dir, the persistent memo snapshot in DIR pre-warms that
+      cache across processes (verdicts never come from disk here: the full
+      report is always recomputed and byte-identical).
 
   hhl prove [--jobs N] [--emit-proof <out.hhlp>] <spec.hhl>...
       Force the syntactic WP prover (Fig. 3 + Cons) regardless of the
       spec's `mode:`. With --emit-proof (single spec), also write the
       checked derivation as a portable .hhlp proof certificate.
+
+  hhl verify [--jobs N] <spec.hhl>...
+      Force the annotated-loop VC generator (Hypra-style) the same way.
 
   hhl replay [--jobs N] [--cache-dir DIR] [--fresh] <spec.hhl> <proof.hhlp>
              [<spec> <proof>]...
@@ -84,6 +103,19 @@ const USAGE: &str = "usage: hhl <command> [args]
       `hhl-report v1` JSON document carrying per-file verdicts, per-stage
       timings and per-rule obligation counters.
 
+  hhl batch --gc [--gc-keep N] [--gc-memo N] [--cache-dir DIR]
+      Prune the persistent store instead of verifying: keep at most
+      --gc-keep verdict records (least-recently-used evicted first, by the
+      `used:` trailer each cache hit refreshes) and re-cap the memo
+      snapshot at --gc-memo entries ranked by recompute cost.
+
+  hhl serve [--socket PATH] [--cache-dir DIR] [--no-cache] [--fresh]
+      Run the persistent verification daemon: newline-delimited
+      `hhl-request v1` JSON documents in (stdin, or a unix socket with
+      --socket), one-line `hhl-response v1` documents out, every request
+      answered against one warm cache set. Responses carry the exact
+      stdout bytes and exit code the one-shot CLI would produce.
+
   hhl --version
       Print the crate version and the schema versions of every on-disk
       and wire format (report, verdict store, memo snapshot).
@@ -91,112 +123,29 @@ const USAGE: &str = "usage: hhl <command> [args]
   Exit codes: 0 all verdicts as expected, 1 unexpected verdict(s),
   2 usage/parse/read errors.";
 
-/// Aggregated exit state across the files of one invocation. No `Default`:
-/// the derive would start `all_expected` at `false`, turning an empty run
-/// into exit code 1; construct via [`Tally::new`].
-struct Tally {
-    all_expected: bool,
-    hard_error: bool,
-}
-
-impl Tally {
-    fn new() -> Tally {
-        Tally {
-            all_expected: true,
-            hard_error: false,
-        }
-    }
-
-    fn exit(self) -> ExitCode {
-        if self.hard_error {
-            ExitCode::from(2)
-        } else if self.all_expected {
-            ExitCode::SUCCESS
-        } else {
-            ExitCode::from(1)
-        }
-    }
-}
-
-fn read_file(path: &str, tally: &mut Tally) -> Option<String> {
-    match std::fs::read_to_string(path) {
-        Ok(s) => Some(s),
-        Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
-            tally.hard_error = true;
-            None
-        }
-    }
-}
-
-fn load_spec(path: &str, tally: &mut Tally) -> Option<Spec> {
-    let src = read_file(path, tally)?;
-    match parse_spec(&src) {
-        Ok(s) => Some(s),
-        Err(e) => {
-            eprintln!("error: {path}: {e}");
-            tally.hard_error = true;
-            None
-        }
-    }
-}
-
-/// Loads and runs one spec file, printing its report and folding the result
-/// into the tally.
-fn run_one(file: &str, force_prove: bool, tally: &mut Tally) {
-    out(format_args!("== {file}"));
-    let Some(mut spec) = load_spec(file, tally) else {
-        return;
-    };
-    if force_prove {
-        spec.mode = Mode::Prove;
-    }
-    match run_spec(&spec) {
-        Ok(outcome) => {
-            out(&outcome);
-            tally.all_expected &= outcome.as_expected;
-        }
-        Err(e) => {
-            eprintln!("error: {file}: {e}");
-            tally.hard_error = true;
-        }
-    }
-}
-
-fn run_files(files: &[&str], force_prove: bool) -> Tally {
-    let mut tally = Tally::new();
-    for (i, file) in files.iter().enumerate() {
-        if i > 0 {
-            out("");
-        }
-        run_one(file, force_prove, &mut tally);
-    }
-    tally
-}
-
-/// Flags shared by the parallel subcommands. Cache/store flags are only
-/// accepted where [`parse_batch_flags`] is told to (the `batch`
-/// subcommand); elsewhere they fall through to the file list and produce
-/// the usual read error.
+/// Flags shared by the verification subcommands, parsed from argv.
 struct BatchFlags {
     jobs: Option<usize>,
-    use_cache: bool,
-    cache_dir: Option<String>,
-    fresh: bool,
+    cache: CacheOpts,
     report_json: bool,
+    gc: bool,
+    gc_keep: Option<usize>,
+    gc_memo: Option<usize>,
     rest: Vec<String>,
 }
 
-/// Extracts `--jobs N` (and, for `batch`, `--no-cache`, `--cache-dir DIR`,
-/// `--fresh` and `--report FORMAT`) from an argument list. `jobs == None`
-/// means the flag was absent; `Err` carries a usage message.
-fn parse_batch_flags(args: &[String], accept_cache_flags: bool) -> Result<BatchFlags, String> {
+/// Extracts `--jobs N`, the unified cache flags (`--no-cache`,
+/// `--cache-dir DIR`, `--fresh`), `--report FORMAT` and (for `batch`) the
+/// `--gc*` flags from an argument list. `jobs == None` means the flag was
+/// absent; `Err` carries a usage message.
+fn parse_batch_flags(args: &[String], accept_gc: bool) -> Result<BatchFlags, String> {
     let mut flags = BatchFlags {
         jobs: None,
-        use_cache: true,
-        cache_dir: None,
-        fresh: false,
+        cache: CacheOpts::default(),
         report_json: false,
+        gc: false,
+        gc_keep: None,
+        gc_memo: None,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -209,21 +158,32 @@ fn parse_batch_flags(args: &[String], accept_cache_flags: bool) -> Result<BatchF
                 Ok(n) if n > 0 => flags.jobs = Some(n),
                 _ => return Err(format!("bad --jobs value {n:?} (need a positive integer)")),
             }
-        } else if accept_cache_flags && arg == "--no-cache" {
-            flags.use_cache = false;
-        } else if accept_cache_flags && arg == "--cache-dir" {
+        } else if arg == "--no-cache" {
+            flags.cache.use_cache = false;
+        } else if arg == "--cache-dir" {
             match it.next() {
-                Some(dir) => flags.cache_dir = Some(dir.clone()),
+                Some(dir) => flags.cache.dir = Some(dir.clone()),
                 None => return Err("--cache-dir needs a directory".to_owned()),
             }
-        } else if accept_cache_flags && arg == "--fresh" {
-            flags.fresh = true;
-        } else if accept_cache_flags && arg == "--report" {
+        } else if arg == "--fresh" {
+            flags.cache.fresh = true;
+        } else if arg == "--report" {
             match it.next().map(String::as_str) {
                 Some("json") => flags.report_json = true,
                 Some("text") => flags.report_json = false,
                 Some(fmt) => return Err(format!("bad --report format {fmt:?} (json or text)")),
                 None => return Err("--report needs a format (json or text)".to_owned()),
+            }
+        } else if accept_gc && arg == "--gc" {
+            flags.gc = true;
+        } else if accept_gc && (arg == "--gc-keep" || arg == "--gc-memo") {
+            let Some(n) = it.next() else {
+                return Err(format!("{arg} needs a count"));
+            };
+            match n.parse::<usize>() {
+                Ok(n) if arg == "--gc-keep" => flags.gc_keep = Some(n),
+                Ok(n) => flags.gc_memo = Some(n),
+                Err(_) => return Err(format!("bad {arg} value {n:?}")),
             }
         } else {
             flags.rest.push(arg.clone());
@@ -232,112 +192,70 @@ fn parse_batch_flags(args: &[String], accept_cache_flags: bool) -> Result<BatchF
     Ok(flags)
 }
 
-fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-}
-
-/// Prints scheduling/cache/store statistics to stderr in the unified
-/// `[subsystem] key=value ...` format (never part of the deterministic
-/// stdout report — hit counts race under work stealing, and
-/// cached-vs-recomputed is a performance fact, not a verdict). Stdout is
-/// flushed first so `2>&1` pipes interleave deterministically: the report
-/// always lands before the counters.
-fn print_run_stats(run: &hhl_cli::BatchRun) {
-    let _ = std::io::stdout().flush();
-    for line in run.counter_lines() {
-        eprintln!("{line}");
-    }
-}
-
-/// Formats replay shard accounting as the unified `[shard] key=value ...`
-/// counter line (single-pair `hhl replay`; the batch path emits the same
-/// line through the metrics registry).
-fn shard_counter_line(stats: &hhl_driver::ShardStats) -> String {
-    let pairs = [
-        ("shards".to_owned(), stats.total),
-        ("distinct".to_owned(), stats.distinct),
-        ("cached".to_owned(), stats.cached),
-        ("re-checked".to_owned(), stats.rechecked),
-        ("written".to_owned(), stats.written),
-        ("summary-hits".to_owned(), stats.summaries),
-    ];
-    hhl_driver::metrics::counter_line("shard", &pairs)
-}
-
-/// Renders parallel per-file results in the same full format the
-/// sequential path prints: `== path` headers, outcome reports on stdout,
-/// errors on stderr, blank lines between files.
-fn print_full_results(results: &[FileResult], headers: Option<&[String]>) -> Tally {
-    let mut tally = Tally::new();
-    for (i, result) in results.iter().enumerate() {
-        if i > 0 {
-            out("");
-        }
-        match headers {
-            Some(headers) => out(format_args!("== {}", headers[i])),
-            None => out(format_args!("== {}", result.path)),
-        }
-        if let Some(report) = &result.report_text {
-            out(report);
-        }
-        if let Some(error) = &result.error_text {
-            eprintln!("error: {error}");
-            tally.hard_error = true;
-        }
-        if let hhl_driver::FileStatus::Unexpected { .. } = result.status {
-            tally.all_expected = false;
-        }
-    }
-    tally
-}
-
 fn usage_error(message: &str) -> ExitCode {
     eprintln!("error: {message}\n\n{USAGE}");
     ExitCode::from(2)
 }
 
+/// Emits a [`Response`] exactly as the classic CLI printed it: the stdout
+/// byte stream verbatim, a flush, then the stderr lines in order (so
+/// `2>&1` pipes see the report before errors/counters every run).
+fn emit(response: Response) -> ExitCode {
+    let _ = write!(std::io::stdout(), "{}", response.stdout);
+    let _ = std::io::stdout().flush();
+    for line in &response.stderr {
+        eprintln!("{line}");
+    }
+    ExitCode::from(response.exit_code)
+}
+
+/// Builds the request shared by `check`/`verify`/`replay` (and `prove`
+/// without `--emit-proof`) and runs it on a one-shot engine.
+fn run_action(action: Action, flags: BatchFlags) -> ExitCode {
+    if let Err(e) = flags.cache.validate(action.name()) {
+        return usage_error(&e);
+    }
+    let mut request = Request::new(action, flags.rest);
+    request.jobs = flags.jobs;
+    request.cache = flags.cache;
+    request.report_json = flags.report_json;
+    emit(Engine::one_shot().handle(&request))
+}
+
 fn cmd_check(args: &[String]) -> ExitCode {
-    let (jobs, files) = match parse_batch_flags(args, false) {
-        Ok(parsed) => (parsed.jobs, parsed.rest),
+    let flags = match parse_batch_flags(args, false) {
+        Ok(parsed) => parsed,
         Err(e) => return usage_error(&e),
     };
-    if files.is_empty() {
+    if flags.rest.is_empty() {
         return usage_error("`hhl check` needs at least one spec");
     }
-    match jobs {
-        // No --jobs: the sequential path streams each report as it is
-        // produced (bit-compatible with earlier releases).
-        None => {
-            let refs: Vec<&str> = files.iter().map(String::as_str).collect();
-            run_files(&refs, false).exit()
-        }
-        Some(jobs) => {
-            let opts = BatchOptions {
-                jobs,
-                ..BatchOptions::default()
-            };
-            let run = run_batch(&files, &opts);
-            let tally = print_full_results(&run.results, None);
-            print_run_stats(&run);
-            tally.exit()
-        }
+    run_action(Action::Check, flags)
+}
+
+fn cmd_verify(args: &[String]) -> ExitCode {
+    let flags = match parse_batch_flags(args, false) {
+        Ok(parsed) => parsed,
+        Err(e) => return usage_error(&e),
+    };
+    if flags.rest.is_empty() {
+        return usage_error("`hhl verify` needs at least one spec");
     }
+    run_action(Action::Verify, flags)
 }
 
 fn cmd_prove(args: &[String]) -> ExitCode {
-    let (jobs, args) = match parse_batch_flags(args, false) {
-        Ok(parsed) => (parsed.jobs, parsed.rest),
+    let mut flags = match parse_batch_flags(args, false) {
+        Ok(parsed) => parsed,
         Err(e) => return usage_error(&e),
     };
     let mut emit_to = None;
     let mut files = Vec::new();
-    let mut it = args.iter();
+    let mut it = flags.rest.iter();
     while let Some(arg) = it.next() {
         if arg == "--emit-proof" {
             match it.next() {
-                Some(path) => emit_to = Some(path.as_str()),
+                Some(path) => emit_to = Some(path.clone()),
                 None => return usage_error("--emit-proof needs an output path"),
             }
         } else {
@@ -347,50 +265,55 @@ fn cmd_prove(args: &[String]) -> ExitCode {
     if files.is_empty() {
         return usage_error("`hhl prove` needs at least one spec");
     }
-    if emit_to.is_some() && files.len() != 1 {
+    let Some(path) = emit_to else {
+        flags.rest = files;
+        return run_action(Action::Prove, flags);
+    };
+    if files.len() != 1 {
         return usage_error("`hhl prove --emit-proof` takes exactly one spec");
     }
-    if emit_to.is_some() && jobs.is_some() {
+    if flags.jobs.is_some() {
         return usage_error("--emit-proof runs a single spec; drop --jobs");
     }
-    let Some(path) = emit_to else {
-        return match jobs {
-            None => {
-                let refs: Vec<&str> = files.iter().map(String::as_str).collect();
-                run_files(&refs, true).exit()
-            }
-            Some(jobs) => {
-                let opts = BatchOptions {
-                    jobs,
-                    force_prove: true,
-                    ..BatchOptions::default()
-                };
-                let run = run_batch(&files, &opts);
-                let tally = print_full_results(&run.results, None);
-                print_run_stats(&run);
-                tally.exit()
-            }
-        };
-    };
-    // --emit-proof: one load, one WP derivation — the certificate
-    // serializes exactly the derivation that was checked and reported, and
-    // only when the proof checked (a refuted derivation is no certificate).
-    let file = files[0].as_str();
-    let mut tally = Tally::new();
+    if flags.report_json || flags.cache != CacheOpts::default() {
+        return usage_error("--emit-proof runs a single spec; drop --report/cache flags");
+    }
+    cmd_prove_emit(&files[0], &path)
+}
+
+/// `--emit-proof`: one load, one WP derivation — the certificate
+/// serializes exactly the derivation that was checked and reported, and
+/// only when the proof checked (a refuted derivation is no certificate).
+fn cmd_prove_emit(file: &str, path: &str) -> ExitCode {
+    let mut hard_error = false;
+    let mut all_expected = true;
     out(format_args!("== {file}"));
-    let Some(spec) = load_spec(file, &mut tally) else {
-        return tally.exit();
+    let spec: Option<Spec> = match std::fs::read_to_string(file) {
+        Ok(src) => match parse_spec(&src) {
+            Ok(spec) => Some(spec),
+            Err(e) => {
+                eprintln!("error: {file}: {e}");
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            None
+        }
+    };
+    let Some(spec) = spec else {
+        return ExitCode::from(2);
     };
     match run_prove_with_certificate(&spec) {
         Ok((outcome, certificate)) => {
             out(&outcome);
-            tally.all_expected &= outcome.as_expected;
+            all_expected &= outcome.as_expected;
             match certificate {
                 Some(script) => match std::fs::write(path, &script) {
                     Ok(()) => out(format_args!("certificate written to {path}")),
                     Err(e) => {
                         eprintln!("error: cannot write {path}: {e}");
-                        tally.hard_error = true;
+                        hard_error = true;
                     }
                 },
                 None => out("no certificate written: the proof was refuted"),
@@ -398,172 +321,59 @@ fn cmd_prove(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {file}: {e}");
-            tally.hard_error = true;
+            hard_error = true;
         }
     }
-    tally.exit()
-}
-
-/// Opens the replay obligation store for `--cache-dir` (no default
-/// directory: plain `hhl replay` stays storeless). `--fresh` rebuilds it.
-fn open_replay_store(
-    flags: &BatchFlags,
-) -> Result<Option<std::sync::Arc<hhl_driver::VerdictStore>>, String> {
-    let Some(dir) = &flags.cache_dir else {
-        if flags.fresh {
-            return Err("--fresh needs --cache-dir on `hhl replay`".to_owned());
-        }
-        return Ok(None);
-    };
-    match hhl_driver::VerdictStore::open(dir, flags.fresh) {
-        Ok(store) => Ok(Some(std::sync::Arc::new(store))),
-        Err(e) => {
-            eprintln!(
-                "warning: cannot open cache dir {dir}: {e}; continuing without \
-                 a persistent cache"
-            );
-            Ok(None)
-        }
+    if hard_error {
+        ExitCode::from(2)
+    } else if all_expected {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }
 
 fn cmd_replay(args: &[String]) -> ExitCode {
-    let flags = match parse_batch_flags(args, true) {
+    let flags = match parse_batch_flags(args, false) {
         Ok(parsed) => parsed,
         Err(e) => return usage_error(&e),
     };
-    if !flags.use_cache && (flags.cache_dir.is_some() || flags.fresh) {
-        return usage_error("--no-cache disables the persistent store; drop --cache-dir/--fresh");
-    }
-    let store = match open_replay_store(&flags) {
-        Ok(store) => store,
-        Err(e) => return usage_error(&e),
-    };
-    let jobs = flags.jobs;
-    let args = flags.rest;
-    if args.len() < 2 || args.len() % 2 != 0 {
+    if flags.rest.len() < 2 || !flags.rest.len().is_multiple_of(2) {
         return usage_error("`hhl replay` takes (spec, certificate) pairs");
     }
-    let pairs: Vec<(String, String)> = args
-        .chunks_exact(2)
-        .map(|pair| (pair[0].clone(), pair[1].clone()))
-        .collect();
-    if pairs.len() == 1 {
-        // Single pair: the streaming path (bit-compatible output). Checking
-        // is sharded — byte-identical to whole-certificate replay for every
-        // job count and cache state — with shard counters on stderr.
-        let (spec_path, proof_path) = &pairs[0];
-        let mut tally = Tally::new();
-        out(format_args!("== {spec_path} ⊢ {proof_path}"));
-        let (Some(spec), Some(certificate)) = (
-            load_spec(spec_path, &mut tally),
-            read_file(proof_path, &mut tally),
-        ) else {
-            return tally.exit();
-        };
-        let counters = hhl_driver::ShardCounters::new();
-        match hhl_cli::run_replay_sharded(
-            &spec,
-            &certificate,
-            jobs.unwrap_or(1),
-            store.as_deref(),
-            &counters,
-        ) {
-            Ok(outcome) => {
-                out(&outcome);
-                tally.all_expected &= outcome.as_expected;
-            }
-            Err(e) => {
-                eprintln!("error: {proof_path}: {e}");
-                tally.hard_error = true;
-            }
-        }
-        // Like the batch path: accounting only when sharding happened (a
-        // certificate that fails before sharding has nothing to report).
-        let stats = counters.snapshot();
-        if stats.any() {
-            let _ = std::io::stdout().flush();
-            eprintln!("{}", shard_counter_line(&stats));
-        }
-        return tally.exit();
-    }
-    let opts = BatchOptions {
-        jobs: jobs.unwrap_or(1),
-        use_cache: flags.use_cache,
-        oblig_store: store,
-        ..BatchOptions::default()
-    };
-    let run = run_replay_batch(&pairs, &opts);
-    let headers: Vec<String> = pairs
-        .iter()
-        .map(|(spec, proof)| format!("{spec} ⊢ {proof}"))
-        .collect();
-    let tally = print_full_results(&run.results, Some(&headers));
-    print_run_stats(&run);
-    tally.exit()
+    run_action(Action::Replay, flags)
 }
-
-/// Default persistent cache directory for `hhl batch`.
-const DEFAULT_CACHE_DIR: &str = ".hhl-cache";
 
 fn cmd_batch(args: &[String]) -> ExitCode {
     let flags = match parse_batch_flags(args, true) {
         Ok(parsed) => parsed,
         Err(e) => return usage_error(&e),
     };
+    if let Err(e) = flags.cache.validate("batch") {
+        // Silently ignoring an explicitly requested cache directory (or a
+        // rebuild) would hide the user's mistake; refuse the combination.
+        return usage_error(&e);
+    }
+    if flags.gc {
+        if !flags.rest.is_empty() {
+            return usage_error("`hhl batch --gc` takes no files");
+        }
+        if !flags.cache.use_cache {
+            return usage_error("gc needs the persistent store; drop --no-cache");
+        }
+        let mut request = Request::new(Action::Gc, Vec::new());
+        request.cache = flags.cache;
+        request.gc_keep = flags.gc_keep;
+        request.gc_memo = flags.gc_memo;
+        return emit(Engine::one_shot().handle(&request));
+    }
+    if flags.gc_keep.is_some() || flags.gc_memo.is_some() {
+        return usage_error("--gc-keep/--gc-memo need --gc");
+    }
     if flags.rest.is_empty() {
         return usage_error("`hhl batch` needs at least one file");
     }
-    if !flags.use_cache && (flags.cache_dir.is_some() || flags.fresh) {
-        // Silently ignoring an explicitly requested cache directory (or a
-        // rebuild) would hide the user's mistake; refuse the combination.
-        return usage_error("--no-cache disables the persistent store; drop --cache-dir/--fresh");
-    }
-    // The persistent store rides on the same opt-out as the memo cache:
-    // `--no-cache` turns both off. A store that cannot be opened costs the
-    // warm start, never the batch.
-    let store = if flags.use_cache {
-        let dir = flags
-            .cache_dir
-            .unwrap_or_else(|| DEFAULT_CACHE_DIR.to_owned());
-        match hhl_driver::VerdictStore::open(&dir, flags.fresh) {
-            Ok(store) => Some(std::sync::Arc::new(store)),
-            Err(e) => {
-                eprintln!(
-                    "warning: cannot open cache dir {dir}: {e}; continuing without \
-                     a persistent cache"
-                );
-                None
-            }
-        }
-    } else {
-        None
-    };
-    let opts = BatchOptions {
-        jobs: flags.jobs.unwrap_or_else(default_jobs),
-        force_prove: false,
-        use_cache: flags.use_cache,
-        // Replay jobs reuse the same directory for obligation and
-        // replay-summary records, so an edited certificate re-checks only
-        // its changed shards while untouched pairs skip elaboration via
-        // their whole-pair verdict records.
-        oblig_store: store.clone(),
-        store,
-    };
-    let report_json = flags.report_json;
-    let run = run_batch(&flags.rest, &opts);
-    let report = run.report();
-    if report_json {
-        // The JSON document replaces the text report on stdout; the exit
-        // code contract and the stderr counters are unchanged.
-        out(hhl_driver::metrics::render_report(&run.report_doc()).trim_end());
-    } else {
-        out(&report);
-    }
-    // Report first, then flush, then counters: `2>&1` pipes see the same
-    // interleaving every run.
-    print_run_stats(&run);
-    ExitCode::from(report.exit_code())
+    run_action(Action::Batch, flags)
 }
 
 fn main() -> ExitCode {
@@ -575,8 +385,10 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") if args.len() > 1 => cmd_check(&args[1..]),
         Some("prove") if args.len() > 1 => cmd_prove(&args[1..]),
+        Some("verify") if args.len() > 1 => cmd_verify(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("batch") if args.len() > 1 => cmd_batch(&args[1..]),
+        Some("serve") => ExitCode::from(hhl_cli::serve::run(&args[1..])),
         Some("--help" | "-h") => {
             out(USAGE);
             ExitCode::SUCCESS

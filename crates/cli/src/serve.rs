@@ -1,0 +1,190 @@
+//! `hhl serve`: the persistent verification daemon.
+//!
+//! Reads newline-delimited [`REQUEST_SCHEMA`](crate::api::REQUEST_SCHEMA)
+//! JSON documents — from stdin by default, or from a unix socket with
+//! `--socket PATH` — and answers each with a single-line
+//! [`RESPONSE_SCHEMA`](crate::api::RESPONSE_SCHEMA) document, all against
+//! one warm [`Engine`]: the shared semantics/assertion memo caches, the
+//! persistent verdict store and the bounded response cache live for the
+//! whole daemon, so a request repeated against unchanged files is answered
+//! with zero parse/elaborate/check work and byte-identical output.
+//!
+//! The request loop itself is metered into the daemon's registry — accept
+//! (blocking on input), decode (request parse), dispatch (engine work),
+//! respond (render + write) — and surfaces through the `status` command
+//! next to the cumulative verification stages.
+//!
+//! Shutdown (`{"command":"shutdown"}`, or end-of-input on stdin) persists
+//! the memo snapshot back to the store so the next daemon starts warm.
+
+use std::io::{BufRead, BufReader, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+use hhl_driver::metrics::Stage;
+
+use crate::api::{parse_request, Action, CacheOpts, Engine, Response};
+
+/// Flag parse result for `hhl serve`.
+struct ServeFlags {
+    socket: Option<String>,
+    cache: CacheOpts,
+}
+
+fn parse_serve_flags(args: &[String]) -> Result<ServeFlags, String> {
+    let mut flags = ServeFlags {
+        socket: None,
+        cache: CacheOpts::default(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => match it.next() {
+                Some(path) => flags.socket = Some(path.clone()),
+                None => return Err("--socket needs a path".to_owned()),
+            },
+            "--cache-dir" => match it.next() {
+                Some(dir) => flags.cache.dir = Some(dir.clone()),
+                None => return Err("--cache-dir needs a directory".to_owned()),
+            },
+            "--no-cache" => flags.cache.use_cache = false,
+            "--fresh" => flags.cache.fresh = true,
+            other => return Err(format!("unknown `hhl serve` argument {other:?}")),
+        }
+    }
+    flags.cache.validate("serve")?;
+    Ok(flags)
+}
+
+/// Runs the daemon. Returns the process exit code (`0` on clean shutdown,
+/// `2` on usage or bind errors).
+pub fn run(args: &[String]) -> u8 {
+    let flags = match parse_serve_flags(args) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let (engine, warnings) = Engine::persistent(&flags.cache);
+    for warning in &warnings {
+        eprintln!("{warning}");
+    }
+    match flags.socket {
+        None => {
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            serve_stream(&engine, stdin.lock(), &mut stdout);
+            engine.save_state();
+            0
+        }
+        Some(path) => serve_socket(engine, &path),
+    }
+}
+
+/// Serves one connection: request lines in, response lines out. Returns
+/// `true` when the client asked for shutdown (as opposed to end-of-input).
+fn serve_stream(engine: &Engine, mut reader: impl BufRead, writer: &mut impl Write) -> bool {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let accept_start = Instant::now();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return false,
+            Ok(_) => {}
+        }
+        engine
+            .metrics()
+            .record_stage(Stage::Accept, accept_start.elapsed().as_nanos() as u64);
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        // Hold a reclamation pin for the whole request: a concurrent
+        // `end-session` must never invalidate interner ids this request
+        // already resolved.
+        let _pin = hhl_lang::pin_interner();
+        let decode_start = Instant::now();
+        let parsed = parse_request(trimmed);
+        engine
+            .metrics()
+            .record_stage(Stage::Decode, decode_start.elapsed().as_nanos() as u64);
+        let (action, response) = match parsed {
+            Ok(req) => {
+                let dispatch_start = Instant::now();
+                let response = engine.handle(&req);
+                engine
+                    .metrics()
+                    .record_stage(Stage::Dispatch, dispatch_start.elapsed().as_nanos() as u64);
+                (Some(req.action), response)
+            }
+            Err(e) => (
+                None,
+                Response {
+                    id: "-".to_owned(),
+                    exit_code: 2,
+                    cached: false,
+                    stdout: String::new(),
+                    stderr: vec![format!("error: bad request: {e}")],
+                },
+            ),
+        };
+        let respond_start = Instant::now();
+        let sent = writeln!(writer, "{}", response.render()).and_then(|()| writer.flush());
+        engine
+            .metrics()
+            .record_stage(Stage::Respond, respond_start.elapsed().as_nanos() as u64);
+        if sent.is_err() {
+            return false;
+        }
+        if action == Some(Action::Shutdown) {
+            return true;
+        }
+    }
+}
+
+/// Unix-socket transport: one thread per connection over the shared
+/// engine. A `shutdown` request stops the whole daemon after its response
+/// is flushed.
+#[cfg(unix)]
+fn serve_socket(engine: Engine, path: &str) -> u8 {
+    use std::os::unix::net::UnixListener;
+
+    // A stale socket file from a dead daemon would make bind fail; a live
+    // daemon rebinding is the caller's race to lose either way.
+    let _ = std::fs::remove_file(path);
+    let listener = match UnixListener::bind(path) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("error: cannot bind {path}: {e}");
+            return 2;
+        }
+    };
+    let engine = Arc::new(engine);
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => continue,
+        };
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            let reader = match stream.try_clone() {
+                Ok(clone) => BufReader::new(clone),
+                Err(_) => return,
+            };
+            let mut writer = stream;
+            if serve_stream(&engine, reader, &mut writer) {
+                // Client-requested shutdown: persist, then stop the whole
+                // process (the accept loop has no other wake-up).
+                engine.save_state();
+                std::process::exit(0);
+            }
+        });
+    }
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_engine: Engine, path: &str) -> u8 {
+    eprintln!("error: --socket {path}: unix sockets are unavailable on this platform");
+    2
+}

@@ -299,7 +299,7 @@ fn version_prints_crate_and_schema_versions() {
     assert_eq!(out.status.code(), Some(0));
     let line = stdout_of(&out);
     assert!(line.starts_with("hhl "), "{line}");
-    for schema in ["hhl-report v1", "hhl-verdict v2", "hhl-memo v2"] {
+    for schema in ["hhl-report v1", "hhl-verdict v2", "hhl-memo v3"] {
         assert!(line.contains(schema), "missing {schema}: {line}");
     }
 }
@@ -349,9 +349,68 @@ fn report_json_round_trips_and_agrees_with_the_text_report() {
 }
 
 #[test]
-fn cache_flags_are_rejected_outside_batch() {
-    // `check`/`prove`/`replay` do not take store flags; they must fall
-    // through as (unreadable) file arguments, not silently enable a store.
-    let out = hhl(&["check", "--cache-dir", &spec_path("ni_c1.hhl")]);
-    assert_eq!(out.status.code(), Some(2), "{}", stdout_of(&out));
+fn cache_flags_are_unified_across_subcommands() {
+    // The CacheOpts unification: `check` takes --cache-dir (memo-snapshot
+    // warming) with the same defaults and conflict rules as `batch`.
+    let dir = std::env::temp_dir().join(format!("hhl-check-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir = dir.to_str().unwrap().to_owned();
+    let spec = spec_path("ni_c1.hhl");
+    let cold = hhl(&["check", "--cache-dir", &dir, &spec]);
+    assert_eq!(cold.status.code(), Some(0), "{}", stderr_of(&cold));
+    assert!(
+        stderr_of(&cold).contains("[memo-snapshot] "),
+        "{}",
+        stderr_of(&cold)
+    );
+    // The snapshot written by the cold run pre-warms the next process; the
+    // report stays byte-identical.
+    let warm = hhl(&["check", "--cache-dir", &dir, &spec]);
+    assert_eq!(warm.status.code(), Some(0));
+    assert_eq!(stdout_of(&cold), stdout_of(&warm));
+    let counters = stderr_of(&warm);
+    let loaded = counters
+        .lines()
+        .find(|l| l.starts_with("[memo-snapshot] "))
+        .expect("memo-snapshot counters");
+    assert!(!loaded.contains("loaded=0"), "{loaded}");
+    // The flagless invocation is unchanged: quiet stderr, no store.
+    let plain = hhl(&["check", &spec]);
+    assert_eq!(plain.status.code(), Some(0));
+    assert_eq!(stdout_of(&plain), stdout_of(&cold));
+    assert_eq!(stderr_of(&plain), "");
+    // Conflicting combinations are rejected with the batch wording.
+    let conflicted = hhl(&["check", "--no-cache", "--cache-dir", &dir, &spec]);
+    assert_eq!(conflicted.status.code(), Some(2));
+    assert!(
+        stderr_of(&conflicted).contains("--no-cache disables the persistent store"),
+        "{}",
+        stderr_of(&conflicted)
+    );
+    let fresh_only = hhl(&["check", "--fresh", &spec]);
+    assert_eq!(fresh_only.status.code(), Some(2));
+    assert!(
+        stderr_of(&fresh_only).contains("--fresh needs --cache-dir on `hhl check`"),
+        "{}",
+        stderr_of(&fresh_only)
+    );
+}
+
+#[test]
+fn report_json_extends_to_check_prove_and_replay() {
+    // Satellite of the serve façade: the same `hhl-report v1` document is
+    // available from every verification subcommand, not just `batch`.
+    let spec = spec_path("ni_c1.hhl");
+    for args in [
+        vec!["check", "--report", "json", &spec],
+        vec!["prove", "--report", "json", &spec],
+    ] {
+        let out = hhl(&args);
+        assert_eq!(out.status.code(), Some(0), "{args:?}: {}", stderr_of(&out));
+        let doc = hhl_driver::metrics::parse_report(&stdout_of(&out))
+            .unwrap_or_else(|e| panic!("{args:?}: {e}"));
+        assert_eq!(doc.summary.files, 1);
+        assert_eq!(doc.summary.unexpected, 0);
+        assert_eq!(doc.summary.errors, 0);
+    }
 }

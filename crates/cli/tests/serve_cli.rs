@@ -1,0 +1,228 @@
+//! Process-level tests for `hhl serve`: a real daemon process fed
+//! JSON-lines requests over stdin (and, on unix, over a socket), checked
+//! against the one-shot binary for byte-identical stdout payloads.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use hhl_cli::api::{Response, RESPONSE_SCHEMA};
+
+fn example(kind: &str, name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples")
+        .join(kind)
+        .join(name)
+        .canonicalize()
+        .expect("example path")
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hhl-serve-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+struct Daemon {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn(tag: &str) -> Daemon {
+        let cache = temp_dir(tag);
+        let mut child = Command::new(env!("CARGO_BIN_EXE_hhl"))
+            .args(["serve", "--cache-dir"])
+            .arg(&cache)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn hhl serve");
+        let stdin = child.stdin.take().expect("daemon stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("daemon stdout"));
+        Daemon {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    fn send_line(&mut self, line: &str) -> Response {
+        writeln!(self.stdin, "{line}").expect("write request");
+        self.stdin.flush().expect("flush request");
+        let mut reply = String::new();
+        self.stdout.read_line(&mut reply).expect("read response");
+        assert!(
+            reply.contains(RESPONSE_SCHEMA),
+            "response missing schema tag: {reply}"
+        );
+        Response::parse(reply.trim_end()).expect("parse response")
+    }
+
+    fn request(&mut self, id: &str, command: &str, files: &[&str], jobs: usize) -> Response {
+        let files_json: Vec<String> = files.iter().map(|f| format!("\"{f}\"")).collect();
+        self.send_line(&format!(
+            "{{\"schema\":\"hhl-request v1\",\"id\":\"{id}\",\"command\":\"{command}\",\
+             \"files\":[{}],\"jobs\":{jobs}}}",
+            files_json.join(",")
+        ))
+    }
+
+    fn shutdown(mut self) {
+        let bye = self.send_line("{\"command\":\"shutdown\"}");
+        assert_eq!(bye.exit_code, 0);
+        let status = self.child.wait().expect("daemon exit");
+        assert!(status.success(), "daemon exited with {status}");
+    }
+}
+
+fn oneshot(args: &[&str]) -> (String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hhl"))
+        .args(args)
+        .output()
+        .expect("run hhl");
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn stdin_daemon_matches_the_oneshot_binary_byte_for_byte() {
+    let spec = example("specs", "ni_c1.hhl");
+    let proof = example("proofs", "ni_c1.hhlp");
+    let mut daemon = Daemon::spawn("stdin");
+
+    let reply = daemon.request("r1", "check", &[&spec], 2);
+    let (cli_stdout, cli_exit) = oneshot(&["check", "--jobs", "2", &spec]);
+    assert_eq!(reply.stdout, cli_stdout);
+    assert_eq!(i32::from(reply.exit_code), cli_exit);
+    assert_eq!(reply.id, "r1");
+    assert!(!reply.cached);
+
+    let replayed = daemon.request("r2", "replay", &[&spec, &proof], 1);
+    let (replay_stdout, replay_exit) = oneshot(&["replay", &spec, &proof]);
+    assert_eq!(replayed.stdout, replay_stdout);
+    assert_eq!(i32::from(replayed.exit_code), replay_exit);
+
+    daemon.shutdown();
+}
+
+#[test]
+fn second_identical_request_is_answered_warm_with_no_new_parse_samples() {
+    let spec = example("specs", "while_sync.hhl");
+    let mut daemon = Daemon::spawn("warm");
+
+    let first = daemon.request("a", "check", &[&spec], 2);
+    assert!(!first.cached);
+    let status_line = |stdout: &str| {
+        stdout
+            .lines()
+            .find(|l| l.starts_with("stage parse:"))
+            .map(str::to_owned)
+            .expect("status reports the parse stage")
+    };
+    let before = daemon.send_line("{\"command\":\"status\"}");
+    let parse_before = status_line(&before.stdout);
+
+    let second = daemon.request("b", "check", &[&spec], 2);
+    assert!(second.cached, "identical warm request must be cached");
+    assert_eq!(second.stdout, first.stdout);
+    assert_eq!(second.exit_code, first.exit_code);
+    assert_eq!(
+        second.id, "b",
+        "cached responses still carry the caller's id"
+    );
+
+    let after = daemon.send_line("{\"command\":\"status\"}");
+    assert_eq!(
+        status_line(&after.stdout),
+        parse_before,
+        "a cached response must not add parse samples"
+    );
+
+    daemon.shutdown();
+}
+
+#[test]
+fn malformed_lines_get_an_error_response_and_the_daemon_keeps_serving() {
+    let spec = example("specs", "minimum.hhl");
+    let mut daemon = Daemon::spawn("hostile");
+
+    let bad = daemon.send_line("@@@ not json @@@");
+    assert_eq!(bad.exit_code, 2);
+    assert!(
+        bad.stderr.iter().any(|l| l.contains("bad request")),
+        "{:?}",
+        bad.stderr
+    );
+
+    let unknown = daemon.send_line("{\"command\":\"frobnicate\"}");
+    assert_eq!(unknown.exit_code, 2);
+
+    // The daemon survives both and still answers real work.
+    let good = daemon.request("ok", "check", &[&spec], 1);
+    let (cli_stdout, cli_exit) = oneshot(&["check", &spec]);
+    assert_eq!(good.stdout, cli_stdout);
+    assert_eq!(i32::from(good.exit_code), cli_exit);
+
+    daemon.shutdown();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport_round_trips_requests() {
+    use std::os::unix::net::UnixStream;
+
+    let spec = example("specs", "ni_c2.hhl");
+    let dir = temp_dir("socket");
+    let socket = dir.join("hhl.sock");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hhl"))
+        .args(["serve", "--socket"])
+        .arg(&socket)
+        .args(["--cache-dir"])
+        .arg(dir.join("cache"))
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn socket daemon");
+
+    // Wait for the listener to come up.
+    let mut stream = None;
+    for _ in 0..200 {
+        if let Ok(s) = UnixStream::connect(&socket) {
+            stream = Some(s);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let stream = stream.expect("connect to daemon socket");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+
+    writeln!(
+        writer,
+        "{{\"schema\":\"hhl-request v1\",\"id\":\"sock\",\"command\":\"check\",\"files\":[\"{spec}\"]}}"
+    )
+    .expect("send over socket");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read over socket");
+    let response = Response::parse(reply.trim_end()).expect("parse socket response");
+    assert_eq!(response.id, "sock");
+    let (cli_stdout, cli_exit) = oneshot(&["check", &spec]);
+    assert_eq!(response.stdout, cli_stdout);
+    assert_eq!(i32::from(response.exit_code), cli_exit);
+
+    writeln!(writer, "{{\"command\":\"shutdown\"}}").expect("send shutdown");
+    let mut bye = String::new();
+    reader.read_line(&mut bye).expect("read shutdown reply");
+    assert!(bye.contains("shutting down"), "{bye}");
+    let status = child.wait().expect("daemon exit");
+    assert!(status.success(), "socket daemon exited with {status}");
+}

@@ -40,7 +40,10 @@ pub const REPORT_SCHEMA: &str = "hhl-report v1";
 /// certificate script into a derivation), shard (split a derivation into
 /// obligation shards), check (run the semantic engine over a spec),
 /// discharge (check obligation shards against the model), store (verdict
-/// store lookups and writes), snapshot (memo snapshot import/export).
+/// store lookups and writes), snapshot (memo snapshot import/export),
+/// plus the four daemon stages of `hhl serve`: accept (waiting for and
+/// reading one request line), decode (parsing it into a request), dispatch
+/// (running the engine), respond (rendering and writing the response).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Stage {
     /// Reading and parsing a `.hhl` spec (includes file IO).
@@ -57,11 +60,19 @@ pub enum Stage {
     Store,
     /// Memo snapshot import/export.
     Snapshot,
+    /// Serve: blocking read of one request line from the transport.
+    Accept,
+    /// Serve: decoding a request line into a request document.
+    Decode,
+    /// Serve: executing the decoded request against the engine.
+    Dispatch,
+    /// Serve: rendering and writing the response document.
+    Respond,
 }
 
 impl Stage {
     /// Every stage, in canonical report order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Parse,
         Stage::Elaborate,
         Stage::Shard,
@@ -69,6 +80,10 @@ impl Stage {
         Stage::Discharge,
         Stage::Store,
         Stage::Snapshot,
+        Stage::Accept,
+        Stage::Decode,
+        Stage::Dispatch,
+        Stage::Respond,
     ];
 
     /// Stable lowercase name used in counter lines and JSON reports.
@@ -81,6 +96,10 @@ impl Stage {
             Stage::Discharge => "discharge",
             Stage::Store => "store",
             Stage::Snapshot => "snapshot",
+            Stage::Accept => "accept",
+            Stage::Decode => "decode",
+            Stage::Dispatch => "dispatch",
+            Stage::Respond => "respond",
         }
     }
 

@@ -43,12 +43,25 @@
 //!   fail validation and read as misses;
 //! * lookups and writes never panic on I/O errors — a broken cache
 //!   directory costs recomputation, not the batch.
+//!
+//! # Last-used metadata and GC
+//!
+//! Every record ends with an *unchecksummed* trailing `used: <unix-secs>`
+//! line after the `sum:` line. It is pure metadata — readers validate the
+//! checksummed body and ignore the trailer, so a record whose trailer is
+//! missing (pre-GC stores) or mangled still reads fine. Hits refresh the
+//! trailer at a coarse granularity (once per [`TOUCH_GRANULARITY_SECS`]),
+//! so warm runs don't turn every lookup into a write.
+//! [`VerdictStore::gc`] LRU-bounds the directory on that field: it keeps
+//! the `max_records` most recently used `.verdict` files (falling back to
+//! file mtime for trailer-less records) and deletes the rest.
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Schema line of verdict records. Bump to invalidate old caches wholesale
 /// whenever record semantics change. v2 added the `kind:` tag plus the
@@ -57,6 +70,18 @@ pub const STORE_SCHEMA: &str = "hhl-verdict v2";
 
 /// File name of the persisted memo-snapshot blob inside the cache dir.
 pub const MEMO_FILE: &str = "memo.hhlc";
+
+/// How stale a record's `used:` trailer may get before a hit rewrites it.
+/// Coarse on purpose: LRU eviction only needs day-scale resolution, and a
+/// fully warm run should do approximately zero writes.
+pub const TOUCH_GRANULARITY_SECS: u64 = 3600;
+
+fn now_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
 
 const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -200,9 +225,12 @@ impl VerdictStore {
         let found = if self.fresh {
             None
         } else {
-            self.record_path(fp)
-                .and_then(|path| fs::read_to_string(path).ok())
-                .and_then(|text| parse_record(fp, &text))
+            self.record_path(fp).and_then(|path| {
+                let text = fs::read_to_string(&path).ok()?;
+                let record = parse_record(fp, &text)?;
+                self.touch(&path, &text);
+                Some(record)
+            })
         };
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -249,8 +277,12 @@ impl VerdictStore {
             return false;
         }
         self.record_path(fp)
-            .and_then(|path| fs::read_to_string(path).ok())
-            .and_then(|text| parse_fields(fp, "oblig", &text))
+            .and_then(|path| {
+                let text = fs::read_to_string(&path).ok()?;
+                let fields = parse_fields(fp, "oblig", &text)?;
+                self.touch(&path, &text);
+                Some(fields)
+            })
             .is_some_and(|fields| fields.iter().any(|(k, _)| k == "rule"))
     }
 
@@ -276,8 +308,10 @@ impl VerdictStore {
         if self.fresh {
             return None;
         }
-        let text = fs::read_to_string(self.record_path(fp)?).ok()?;
+        let path = self.record_path(fp)?;
+        let text = fs::read_to_string(&path).ok()?;
         let fields = parse_fields(fp, "replay", &text)?;
+        self.touch(&path, &text);
         let get = |key: &str| -> Option<u64> {
             fields
                 .iter()
@@ -319,9 +353,84 @@ impl VerdictStore {
             writes: self.writes.load(Ordering::Relaxed),
         }
     }
+
+    /// Refreshes a record's `used:` trailer after a hit, at most once per
+    /// [`TOUCH_GRANULARITY_SECS`] — a fully warm run stays read-only.
+    fn touch(&self, path: &Path, text: &str) {
+        let now = now_secs();
+        let stale = match parse_last_used(text) {
+            Some(used) => now >= used.saturating_add(TOUCH_GRANULARITY_SECS),
+            None => true,
+        };
+        if stale {
+            let _ = atomic_write(path, &set_last_used(text, now));
+        }
+    }
+
+    /// LRU-bounds the store: keeps the `max_records` most recently used
+    /// `.verdict` records (by `used:` trailer, falling back to file mtime)
+    /// and deletes the rest. Ties break on file name, so the survivor set
+    /// is deterministic given the timestamps. Unreadable directory
+    /// entries are skipped; deletions that fail are counted as kept.
+    pub fn gc(&self, max_records: usize) -> GcStats {
+        let mut stats = GcStats::default();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return stats;
+        };
+        let mut records: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("verdict") {
+                continue;
+            }
+            let used = fs::read_to_string(&path)
+                .ok()
+                .as_deref()
+                .and_then(parse_last_used)
+                .or_else(|| {
+                    let mtime = entry.metadata().ok()?.modified().ok()?;
+                    Some(mtime.duration_since(UNIX_EPOCH).ok()?.as_secs())
+                })
+                .unwrap_or(0);
+            records.push((used, path));
+        }
+        stats.scanned = records.len() as u64;
+        records.sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        for (i, (_, path)) in records.iter().enumerate() {
+            if i < max_records || fs::remove_file(path).is_err() {
+                stats.kept += 1;
+            } else {
+                stats.removed += 1;
+            }
+        }
+        stats
+    }
 }
 
-/// Renders a v2 record: schema, fingerprint, kind, fields, checksum.
+/// Counters from one [`VerdictStore::gc`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// `.verdict` records found in the directory.
+    pub scanned: u64,
+    /// Records retained (within the cap, or whose deletion failed).
+    pub kept: u64,
+    /// Records deleted.
+    pub removed: u64,
+}
+
+impl fmt::Display for GcStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} scanned, {} kept, {} removed",
+            self.scanned, self.kept, self.removed
+        )
+    }
+}
+
+/// Renders a v2 record: schema, fingerprint, kind, fields, checksum, plus
+/// the unchecksummed `used:` trailer (the `used` key is reserved for it —
+/// no record kind may use it as a field name).
 fn render_fields(fp: &str, kind: &str, fields: &[(&str, &str)]) -> String {
     let mut body = format!("{STORE_SCHEMA}\nfp: {fp}\nkind: {kind}\n");
     for (key, value) in fields {
@@ -331,15 +440,18 @@ fn render_fields(fp: &str, kind: &str, fields: &[(&str, &str)]) -> String {
         body.push('\n');
     }
     let sum = checksum(&body);
-    format!("{body}sum: {sum:016x}\n")
+    format!("{body}sum: {sum:016x}\nused: {}\n", now_secs())
 }
 
 /// Validates a v2 record (checksum, schema, embedded fingerprint, expected
 /// kind) and returns its fields. Any failure — including a *different*
 /// kind recorded under the same fingerprint — is `None`, i.e. a miss.
+/// Anything after the checksum line (the `used:` trailer) is metadata and
+/// plays no part in validation.
 fn parse_fields(fp: &str, kind: &str, text: &str) -> Option<Vec<(String, String)>> {
     let (body, tail) = text.rsplit_once("sum: ")?;
-    let sum = u64::from_str_radix(tail.trim_end_matches('\n'), 16).ok()?;
+    let sum_hex = tail.split('\n').next().unwrap_or(tail);
+    let sum = u64::from_str_radix(sum_hex, 16).ok()?;
     if sum != checksum(body) {
         return None;
     }
@@ -359,6 +471,29 @@ fn parse_fields(fp: &str, kind: &str, text: &str) -> Option<Vec<(String, String)
         fields.push((key.to_owned(), value.to_owned()));
     }
     Some(fields)
+}
+
+/// Reads the `used:` trailer, if present (last occurrence wins).
+fn parse_last_used(text: &str) -> Option<u64> {
+    text.lines()
+        .rev()
+        .find_map(|line| line.strip_prefix("used: "))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Returns `text` with its `used:` trailer replaced by `now`. The
+/// checksummed body never contains a `used:` line (the key is reserved),
+/// so filtering by prefix touches only the trailer.
+fn set_last_used(text: &str, now: u64) -> String {
+    let mut out = String::with_capacity(text.len() + 16);
+    for line in text.lines().filter(|l| !l.starts_with("used: ")) {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str("used: ");
+    out.push_str(&now.to_string());
+    out.push('\n');
+    out
 }
 
 fn render_record(fp: &str, record: &VerdictRecord) -> String {
@@ -563,6 +698,76 @@ mod tests {
             assert_eq!(store.lookup(fp), None, "{fp:?}");
         }
         assert_eq!(store.stats().writes, 0);
+    }
+
+    #[test]
+    fn last_used_trailer_is_written_and_refreshed_on_stale_hits() {
+        let store = temp_store("lastused", false);
+        store.record(FP, &pass("check"));
+        let path = store.dir().join(format!("{FP}.verdict"));
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(
+            parse_last_used(&text).is_some(),
+            "no used: trailer:\n{text}"
+        );
+
+        // A fresh trailer is NOT rewritten on hit (warm runs stay
+        // read-only) ...
+        store.record(FP, &pass("check")); // reset trailer to "now"
+        let before = fs::read_to_string(&path).unwrap();
+        assert_eq!(store.lookup(FP), Some(pass("check")));
+        assert_eq!(fs::read_to_string(&path).unwrap(), before);
+
+        // ... but a stale one is refreshed, without disturbing the body.
+        fs::write(&path, set_last_used(&before, 1)).unwrap();
+        assert_eq!(store.lookup(FP), Some(pass("check")));
+        let after = fs::read_to_string(&path).unwrap();
+        assert!(parse_last_used(&after).unwrap() > 1);
+        assert_eq!(store.lookup(FP), Some(pass("check")));
+
+        // Trailer-less records (pre-GC stores) still read and get one.
+        let body_only: String = before
+            .lines()
+            .filter(|l| !l.starts_with("used: "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        fs::write(&path, body_only).unwrap();
+        assert_eq!(store.lookup(FP), Some(pass("check")));
+        assert!(parse_last_used(&fs::read_to_string(&path).unwrap()).is_some());
+    }
+
+    #[test]
+    fn gc_keeps_the_most_recently_used_records() {
+        let store = temp_store("gc", false);
+        let fps = [
+            "00000000000000000000000000000001",
+            "00000000000000000000000000000002",
+            "00000000000000000000000000000003",
+            "00000000000000000000000000000004",
+        ];
+        for (i, fp) in fps.iter().enumerate() {
+            store.record(fp, &pass("check"));
+            // Pin distinct last-used times: fp N used at time (N+1)*1000.
+            let path = store.dir().join(format!("{fp}.verdict"));
+            let text = fs::read_to_string(&path).unwrap();
+            fs::write(&path, set_last_used(&text, (i as u64 + 1) * 1000)).unwrap();
+        }
+        let stats = store.gc(2);
+        assert_eq!(
+            (stats.scanned, stats.kept, stats.removed),
+            (4, 2, 2),
+            "{stats}"
+        );
+        // The two most recently used survive; the two oldest are gone.
+        let reopened = VerdictStore::open(store.dir(), false).unwrap();
+        assert_eq!(reopened.lookup(fps[0]), None);
+        assert_eq!(reopened.lookup(fps[1]), None);
+        assert_eq!(reopened.lookup(fps[2]), Some(pass("check")));
+        assert_eq!(reopened.lookup(fps[3]), Some(pass("check")));
+        // The memo blob is not a record and is never GC'd.
+        store.save_memo("hhl-memo v3\n");
+        store.gc(0);
+        assert_eq!(store.load_memo(), Some("hhl-memo v3\n".to_owned()));
     }
 
     #[test]

@@ -18,12 +18,28 @@
 //! read lock, so concurrent workers never serialize behind each other.
 //! Interning itself (the write lock) happens once per distinct term.
 //!
-//! **Memory contract:** interned terms are retained (cloned into the
-//! table) for the lifetime of the process — there is no eviction, because
-//! ids must stay stable. This is sized for CLI-shaped lifetimes (one batch
-//! per process); a long-lived embedder interning unboundedly many
-//! *distinct* programs should intern at a coarse granularity (whole specs,
-//! not generated variants) or accept the proportional footprint.
+//! # Session arenas
+//!
+//! The base tables retain interned terms for the lifetime of the process —
+//! ids must stay stable, so there is no eviction. That contract is sized
+//! for CLI-shaped lifetimes (one batch per process). A long-lived embedder
+//! (the `hhl serve` daemon) instead brackets untrusted or transient work in
+//! a **session** ([`begin_session`]): while any session is active, newly
+//! interned names and terms land in a process-wide *overlay* keyed from
+//! [`OVERLAY_BASE`] upward, layered over the base tables. When the last
+//! session ends (and no [`pin_interner`] guard is live), the overlay maps
+//! are dropped wholesale and their memory reclaimed. Overlay ids are
+//! allocated monotonically and **never reused**, so a stale id held across
+//! a reclaim can only miss (compare unequal, resolve to a placeholder) —
+//! it can never alias a different term. Base ids interned before a session
+//! began keep working throughout; equal strings and structurally equal
+//! terms always map to the same id while that id's table generation is
+//! live, because every insert decision is made under one overlay lock that
+//! also serializes base inserts.
+//!
+//! The cost of that serialization is paid only on the insert (miss) path,
+//! which fires once per distinct term; warm lookups still take nothing but
+//! the base table's shared read lock.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -32,6 +48,11 @@ use std::sync::{OnceLock, RwLock};
 
 use crate::cmd::Cmd;
 use crate::expr::Expr;
+
+/// First id allocated from the session overlay; ids below this bound are
+/// base-table ids (stable for the process lifetime), ids at or above it
+/// are overlay ids (monotonic, never reused, reclaimed on session drop).
+const OVERLAY_BASE: u32 = 0x8000_0000;
 
 /// An interned variable name.
 ///
@@ -67,23 +88,198 @@ fn interner() -> &'static RwLock<Interner> {
     })
 }
 
+/// One term kind's slice of the session overlay: forward map, reverse map
+/// (overlay ids are sparse, so a `HashMap` rather than a `Vec`), and the
+/// monotonic id allocator. `next` survives reclamation — ids are never
+/// reused — while `map`/`rev` are replaced wholesale to return memory.
+struct TermOverlay<T> {
+    map: HashMap<T, u32>,
+    rev: HashMap<u32, T>,
+    next: u32,
+}
+
+impl<T> TermOverlay<T> {
+    fn new() -> TermOverlay<T> {
+        TermOverlay {
+            map: HashMap::new(),
+            rev: HashMap::new(),
+            next: 0,
+        }
+    }
+
+    fn alloc(&mut self) -> u32 {
+        let id = OVERLAY_BASE
+            .checked_add(self.next)
+            .expect("session overlay id space exhausted");
+        self.next += 1;
+        id
+    }
+
+    fn reclaim(&mut self) {
+        // Replace rather than clear: `HashMap::clear` keeps capacity, and
+        // the whole point of reclamation is returning the memory.
+        self.map = HashMap::new();
+        self.rev = HashMap::new();
+    }
+}
+
+/// The process-wide session overlay. One lock guards the session/pin
+/// counters *and* every overlay map, and every base-table insert happens
+/// while holding it — that single serialization point is what makes the
+/// "equal strings ⇒ equal ids" invariant race-free across the base/overlay
+/// boundary (see the module docs).
+struct Overlay {
+    /// Live [`SessionArena`] guards. While non-zero, inserts overlay.
+    sessions: u32,
+    /// Live [`InternPin`] guards. Reclamation waits for these so that a
+    /// request running concurrently with a session drop never sees the
+    /// overlay vanish mid-computation.
+    pins: u32,
+    symbols: TermOverlay<String>,
+    cmds: TermOverlay<Cmd>,
+    exprs: TermOverlay<Expr>,
+}
+
+fn overlay() -> &'static RwLock<Overlay> {
+    static OVERLAY: OnceLock<RwLock<Overlay>> = OnceLock::new();
+    OVERLAY.get_or_init(|| {
+        RwLock::new(Overlay {
+            sessions: 0,
+            pins: 0,
+            symbols: TermOverlay::new(),
+            cmds: TermOverlay::new(),
+            exprs: TermOverlay::new(),
+        })
+    })
+}
+
+fn maybe_reclaim(ov: &mut Overlay) {
+    if ov.sessions == 0 && ov.pins == 0 {
+        ov.symbols.reclaim();
+        ov.cmds.reclaim();
+        ov.exprs.reclaim();
+    }
+}
+
+/// An active interner session (RAII). See [`begin_session`].
+pub struct SessionArena {
+    _priv: (),
+}
+
+/// Opens an interner session: until the returned guard (and every other
+/// live session) is dropped, newly interned names and terms land in the
+/// reclaimable overlay instead of the grow-forever base tables.
+///
+/// Sessions nest and overlap freely; the overlay is shared between them
+/// and reclaimed only when the last session ends and no [`pin_interner`]
+/// guard is live.
+pub fn begin_session() -> SessionArena {
+    let mut ov = overlay().write().expect("overlay poisoned");
+    ov.sessions += 1;
+    SessionArena { _priv: () }
+}
+
+impl Drop for SessionArena {
+    fn drop(&mut self) {
+        let mut ov = overlay().write().expect("overlay poisoned");
+        ov.sessions -= 1;
+        maybe_reclaim(&mut ov);
+    }
+}
+
+/// A reclamation barrier (RAII). See [`pin_interner`].
+pub struct InternPin {
+    _priv: (),
+}
+
+/// Pins the interner overlay: reclamation is deferred until the returned
+/// guard is dropped. A long-lived embedder wraps each unit of work (one
+/// daemon request) in a pin so that symbols interned into the overlay at
+/// the start of the unit — because a session happened to be active — stay
+/// resolvable for the unit's whole lifetime even if the session ends
+/// midway. Without the pin, re-interning the same string after a reclaim
+/// would mint a different id than the one already held.
+pub fn pin_interner() -> InternPin {
+    let mut ov = overlay().write().expect("overlay poisoned");
+    ov.pins += 1;
+    InternPin { _priv: () }
+}
+
+impl Drop for InternPin {
+    fn drop(&mut self) {
+        let mut ov = overlay().write().expect("overlay poisoned");
+        ov.pins -= 1;
+        maybe_reclaim(&mut ov);
+    }
+}
+
+/// A point-in-time size report for every intern table, split into the
+/// process-lifetime base tables and the reclaimable session overlay.
+///
+/// The serve differential harness uses this to assert that hostile session
+/// work neither grows the base tables nor survives session drop
+/// (`overlay_*` return to zero).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InternSizes {
+    /// Interned names in the base symbol table.
+    pub symbols: usize,
+    /// Hash-consed commands in the base table.
+    pub cmds: usize,
+    /// Hash-consed expressions in the base table.
+    pub exprs: usize,
+    /// Names currently held by the session overlay.
+    pub overlay_symbols: usize,
+    /// Commands currently held by the session overlay.
+    pub overlay_cmds: usize,
+    /// Expressions currently held by the session overlay.
+    pub overlay_exprs: usize,
+}
+
+/// Returns the current size of every intern table (base and overlay).
+pub fn intern_sizes() -> InternSizes {
+    let ov = overlay().read().expect("overlay poisoned");
+    InternSizes {
+        symbols: interner().read().expect("interner poisoned").names.len(),
+        cmds: cmd_table().len(),
+        exprs: expr_table().len(),
+        overlay_symbols: ov.symbols.map.len(),
+        overlay_cmds: ov.cmds.map.len(),
+        overlay_exprs: ov.exprs.map.len(),
+    }
+}
+
 impl Symbol {
     /// Interns `name` and returns its symbol.
     ///
-    /// Idempotent: interning the same string twice yields the same symbol.
-    /// Already-interned names — every lookup after the first — are resolved
-    /// under a shared read lock; only a genuinely new name takes the write
-    /// lock, re-checking under it in case a racing thread interned the same
-    /// name between the two acquisitions.
+    /// Idempotent: interning the same string twice yields the same symbol
+    /// (for as long as that symbol's table generation is live — see the
+    /// module docs on session arenas). Already-interned names — every
+    /// lookup after the first — are resolved under a shared read lock;
+    /// only a genuinely new name takes the overlay write lock, re-checking
+    /// both layers under it in case a racing thread interned the same name
+    /// between the two acquisitions.
     pub fn new(name: &str) -> Symbol {
         if let Some(&id) = interner().read().expect("interner poisoned").map.get(name) {
             return Symbol(id);
         }
-        let mut i = interner().write().expect("interner poisoned");
-        if let Some(&id) = i.map.get(name) {
+        let mut ov = overlay().write().expect("overlay poisoned");
+        // Base inserts only happen under the overlay lock, so this
+        // re-check is authoritative for both layers.
+        if let Some(&id) = interner().read().expect("interner poisoned").map.get(name) {
             return Symbol(id);
         }
+        if let Some(&id) = ov.symbols.map.get(name) {
+            return Symbol(id);
+        }
+        if ov.sessions > 0 {
+            let id = ov.symbols.alloc();
+            ov.symbols.map.insert(name.to_owned(), id);
+            ov.symbols.rev.insert(id, name.to_owned());
+            return Symbol(id);
+        }
+        let mut i = interner().write().expect("interner poisoned");
         let id = i.names.len() as u32;
+        assert!(id < OVERLAY_BASE, "symbol base table exhausted");
         i.names.push(name.to_owned());
         i.map.insert(name.to_owned(), id);
         Symbol(id)
@@ -92,26 +288,51 @@ impl Symbol {
     /// Returns the interned string for this symbol.
     ///
     /// The returned `String` is a clone; symbols themselves never expose
-    /// references into the interner table.
+    /// references into the interner table. A symbol whose overlay
+    /// generation has been reclaimed resolves to a `⟨reclaimed:N⟩`
+    /// placeholder — by the pinning contract that only happens to symbols
+    /// no live computation still cares about.
     pub fn as_str(self) -> String {
+        if self.0 >= OVERLAY_BASE {
+            let ov = overlay().read().expect("overlay poisoned");
+            return match ov.symbols.rev.get(&self.0) {
+                Some(name) => name.clone(),
+                None => format!("⟨reclaimed:{}⟩", self.0),
+            };
+        }
         let i = interner().read().expect("interner poisoned");
         i.names[self.0 as usize].clone()
     }
 
     /// Returns a fresh symbol whose name starts with `prefix` and is distinct
-    /// from every symbol interned so far.
+    /// from every symbol interned so far (in either layer).
     ///
     /// Used by capture-avoiding substitution in the assertion layer.
     pub fn fresh(prefix: &str) -> Symbol {
         let mut n = {
-            let i = interner().read().expect("interner poisoned");
-            i.names.len()
+            let base = interner().read().expect("interner poisoned").names.len();
+            let over = overlay()
+                .read()
+                .expect("overlay poisoned")
+                .symbols
+                .map
+                .len();
+            base + over
         };
         loop {
             let candidate = format!("{prefix}#{n}");
             let exists = {
-                let i = interner().read().expect("interner poisoned");
-                i.map.contains_key(&candidate)
+                interner()
+                    .read()
+                    .expect("interner poisoned")
+                    .map
+                    .contains_key(&candidate)
+                    || overlay()
+                        .read()
+                        .expect("overlay poisoned")
+                        .symbols
+                        .map
+                        .contains_key(&candidate)
             };
             if !exists {
                 return Symbol::new(&candidate);
@@ -141,11 +362,38 @@ const TERM_SHARDS: usize = 8;
 /// One shard: the id map plus the interned terms in allocation order.
 type TermShard<T> = RwLock<(HashMap<T, u32>, Vec<T>)>;
 
+/// Selects a term kind's slice of the session [`Overlay`]. Implemented for
+/// [`Cmd`] and [`Expr`] so [`TermTable`] can stay generic while both kinds
+/// share one overlay lock.
+trait OverlayKind: Sized + Clone + Eq + Hash {
+    fn slot(ov: &mut Overlay) -> &mut TermOverlay<Self>;
+    fn slot_ref(ov: &Overlay) -> &TermOverlay<Self>;
+}
+
+impl OverlayKind for Cmd {
+    fn slot(ov: &mut Overlay) -> &mut TermOverlay<Cmd> {
+        &mut ov.cmds
+    }
+    fn slot_ref(ov: &Overlay) -> &TermOverlay<Cmd> {
+        &ov.cmds
+    }
+}
+
+impl OverlayKind for Expr {
+    fn slot(ov: &mut Overlay) -> &mut TermOverlay<Expr> {
+        &mut ov.exprs
+    }
+    fn slot_ref(ov: &Overlay) -> &TermOverlay<Expr> {
+        &ov.exprs
+    }
+}
+
 /// A process-wide, sharded hash-consing table for one term type.
 ///
-/// Ids are allocated as `local_index * TERM_SHARDS + shard`, so they are
-/// unique across shards and stable per term. Each shard also keeps the
-/// interned terms in allocation order, so an id resolves back to its term
+/// Base ids are allocated as `local_index * TERM_SHARDS + shard`, so they
+/// are unique across shards and stable per term; overlay ids live at or
+/// above [`OVERLAY_BASE`]. Each shard also keeps the interned terms in
+/// allocation order, so an id resolves back to its term
 /// ([`TermTable::lookup`]) — the memo-table snapshot serializer needs the
 /// *exact* command behind a [`CmdId`], never a hash of it.
 ///
@@ -157,7 +405,7 @@ struct TermTable<T> {
     shards: Vec<TermShard<T>>,
 }
 
-impl<T: Clone + Eq + Hash> TermTable<T> {
+impl<T: OverlayKind> TermTable<T> {
     fn new() -> TermTable<T> {
         TermTable {
             shards: (0..TERM_SHARDS)
@@ -178,22 +426,52 @@ impl<T: Clone + Eq + Hash> TermTable<T> {
         {
             return id;
         }
-        let mut shard = self.shards[idx].write().expect("term table poisoned");
-        let (map, rev) = &mut *shard;
-        if let Some(&id) = map.get(term) {
+        let mut ov = overlay().write().expect("overlay poisoned");
+        // Base inserts only happen under the overlay lock (held here), so
+        // re-checking the shard now closes the probe/insert race for good.
+        if let Some(&id) = self.shards[idx]
+            .read()
+            .expect("term table poisoned")
+            .0
+            .get(term)
+        {
             return id;
         }
+        if let Some(&id) = T::slot_ref(&ov).map.get(term) {
+            return id;
+        }
+        if ov.sessions > 0 {
+            let slot = T::slot(&mut ov);
+            let id = slot.alloc();
+            slot.map.insert(term.clone(), id);
+            slot.rev.insert(id, term.clone());
+            return id;
+        }
+        let mut shard = self.shards[idx].write().expect("term table poisoned");
+        let (map, rev) = &mut *shard;
         let id = rev.len() as u32 * TERM_SHARDS as u32 + idx as u32;
+        assert!(id < OVERLAY_BASE, "term base table exhausted");
         map.insert(term.clone(), id);
         rev.push(term.clone());
         id
     }
 
     fn lookup(&self, id: u32) -> Option<T> {
+        if id >= OVERLAY_BASE {
+            let ov = overlay().read().expect("overlay poisoned");
+            return T::slot_ref(&ov).rev.get(&id).cloned();
+        }
         let shard = (id as usize) % TERM_SHARDS;
         let idx = (id as usize) / TERM_SHARDS;
         let guard = self.shards[shard].read().expect("term table poisoned");
         guard.1.get(idx).cloned()
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("term table poisoned").1.len())
+            .sum()
     }
 }
 
@@ -231,7 +509,9 @@ fn expr_table() -> &'static TermTable<Expr> {
 /// Interns a command, returning its hash-consing id.
 ///
 /// Idempotent and structural: syntactically equal commands (however they
-/// were built) receive the same id for the lifetime of the process.
+/// were built) receive the same id for as long as that id's table
+/// generation is live — the process lifetime for base ids, the enclosing
+/// session's for overlay ids.
 pub fn intern_cmd(cmd: &Cmd) -> CmdId {
     CmdId(cmd_table().intern(cmd))
 }
@@ -243,8 +523,9 @@ pub fn intern_expr(expr: &Expr) -> ExprId {
 
 /// Resolves a [`CmdId`] back to the command it was interned from.
 ///
-/// Returns `None` only for ids that were never produced by [`intern_cmd`]
-/// in this process (ids are process-local and must not be persisted).
+/// Returns `None` for ids that were never produced by [`intern_cmd`] in
+/// this process (ids are process-local and must not be persisted) and for
+/// overlay ids whose session has been reclaimed.
 pub(crate) fn cmd_of(id: CmdId) -> Option<Cmd> {
     cmd_table().lookup(id.0)
 }
@@ -334,5 +615,81 @@ mod tests {
         let e3 = Expr::var("x").gt(Expr::int(1));
         assert_eq!(intern_expr(&e1), intern_expr(&e2));
         assert_ne!(intern_expr(&e1), intern_expr(&e3));
+    }
+
+    // The session tests below all touch the process-global overlay, and
+    // the test harness runs #[test] fns concurrently — so they share one
+    // lock to keep their begin/assert/drop windows from interleaving.
+    // (Other tests interning *base* symbols concurrently are harmless:
+    // these tests only assert on overlay state they created themselves.)
+    fn session_test_lock() -> &'static std::sync::Mutex<()> {
+        static LOCK: OnceLock<std::sync::Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| std::sync::Mutex::new(()))
+    }
+
+    #[test]
+    fn session_interning_is_consistent_and_reclaimed() {
+        let _guard = session_test_lock().lock().unwrap();
+        let base = Symbol::new("sess_base_before");
+        let session = begin_session();
+        // Base symbols stay resolvable and equal inside a session.
+        assert_eq!(Symbol::new("sess_base_before"), base);
+        // New names land in the overlay (idempotently) ...
+        let s1 = Symbol::new("sess_only_name");
+        let s2 = Symbol::new("sess_only_name");
+        assert_eq!(s1, s2);
+        assert_eq!(s1.as_str(), "sess_only_name");
+        let sizes = intern_sizes();
+        assert!(sizes.overlay_symbols >= 1);
+        // ... and are reclaimed when the last session drops.
+        drop(session);
+        let sizes = intern_sizes();
+        assert_eq!(sizes.overlay_symbols, 0);
+        assert_eq!(sizes.overlay_cmds, 0);
+        assert_eq!(sizes.overlay_exprs, 0);
+        // The stale overlay id resolves to a placeholder, never a wrong
+        // name, and re-interning mints a *different* (base) id.
+        assert!(s1.as_str().contains("reclaimed"));
+        let s3 = Symbol::new("sess_only_name");
+        assert_ne!(s1, s3);
+        assert_eq!(s3.as_str(), "sess_only_name");
+    }
+
+    #[test]
+    fn session_terms_are_isolated_from_the_base_tables() {
+        let _guard = session_test_lock().lock().unwrap();
+        let before = intern_sizes();
+        let session = begin_session();
+        let cmd = Cmd::seq(Cmd::havoc("sess_term_x"), Cmd::havoc("sess_term_y"));
+        let id = intern_cmd(&cmd);
+        assert_eq!(intern_cmd(&cmd), id);
+        assert_eq!(cmd_of(id), Some(cmd.clone()));
+        drop(session);
+        // Base tables did not grow; the overlay is empty again; the stale
+        // id resolves to nothing rather than to somebody else's term.
+        let after = intern_sizes();
+        assert_eq!(after.cmds, before.cmds);
+        assert_eq!(after.overlay_cmds, 0);
+        assert_eq!(cmd_of(id), None);
+        // Re-interning after the session goes to the base table with a
+        // fresh id — the reclaimed id is never reused.
+        let id2 = intern_cmd(&cmd);
+        assert_ne!(id, id2);
+        assert_eq!(cmd_of(id2), Some(cmd));
+    }
+
+    #[test]
+    fn pins_defer_reclamation() {
+        let _guard = session_test_lock().lock().unwrap();
+        let session = begin_session();
+        let pin = pin_interner();
+        let s = Symbol::new("sess_pinned_name");
+        drop(session);
+        // The pin keeps the overlay alive: the symbol still resolves and
+        // re-interning returns the same id.
+        assert_eq!(s.as_str(), "sess_pinned_name");
+        assert_eq!(Symbol::new("sess_pinned_name"), s);
+        drop(pin);
+        assert_eq!(intern_sizes().overlay_symbols, 0);
     }
 }

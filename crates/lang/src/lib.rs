@@ -62,7 +62,10 @@ pub use expr::{BinOp, Expr, UnOp};
 pub use fp::{
     fp_cmd, fp_cmd_id, fp_expr, fp_expr_id, fp_symbols, fp_value, Fingerprint, StableHasher,
 };
-pub use intern::{intern_cmd, intern_expr, CmdId, ExprId, Symbol};
+pub use intern::{
+    begin_session, intern_cmd, intern_expr, intern_sizes, pin_interner, CmdId, ExprId, InternPin,
+    InternSizes, SessionArena, Symbol,
+};
 pub use memo::{CacheStats, MemoImportStats, MemoSnapshotStats, SemCache};
 pub use parser::{parse_cmd, parse_expr, ParseError};
 pub use state::{ExtState, Store};

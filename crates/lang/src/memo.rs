@@ -107,6 +107,15 @@ impl fmt::Display for CacheStats {
     }
 }
 
+/// One memoized evaluation: the result set plus the wall-clock cost of
+/// computing it when it was first evaluated (children included — a
+/// compound's cost dominates its subterms', so cost-ranked snapshot
+/// retention keeps roots, which is exactly what a warm import wants).
+struct Memoized {
+    out: StateSet,
+    cost_ns: u64,
+}
+
 /// A sharded, thread-safe memo table for extended-semantics evaluations.
 ///
 /// Share one cache across threads with `Arc<SemCache>`; all methods take
@@ -129,7 +138,7 @@ impl fmt::Display for CacheStats {
 /// assert!(cache.stats().hits > 0);
 /// ```
 pub struct SemCache {
-    shards: Vec<RwLock<HashMap<Scope, HashMap<StateSet, StateSet>>>>,
+    shards: Vec<RwLock<HashMap<Scope, HashMap<StateSet, Memoized>>>>,
     /// Per-cache exact interning of finitizations (see [`SemCache::exec_id`]).
     execs: RwLock<ExecTable>,
     /// Compound evaluations currently being computed, for in-flight
@@ -248,7 +257,7 @@ impl SemCache {
         }
     }
 
-    fn shard(&self, scope: &Scope) -> &RwLock<HashMap<Scope, HashMap<StateSet, StateSet>>> {
+    fn shard(&self, scope: &Scope) -> &RwLock<HashMap<Scope, HashMap<StateSet, Memoized>>> {
         let mut h = DefaultHasher::new();
         scope.hash(&mut h);
         &self.shards[(h.finish() as usize) & (SHARDS - 1)]
@@ -263,7 +272,7 @@ impl SemCache {
             .expect("memo shard poisoned")
             .get(&scope)
             .and_then(|by_set| by_set.get(states))
-            .cloned();
+            .map(|m| m.out.clone());
         match &hit {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -271,14 +280,20 @@ impl SemCache {
         hit
     }
 
-    fn insert(&self, scope: Scope, states: StateSet, value: StateSet) {
+    fn insert(&self, scope: Scope, states: StateSet, value: StateSet, cost_ns: u64) {
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.shard(&scope)
             .write()
             .expect("memo shard poisoned")
             .entry(scope)
             .or_default()
-            .insert(states, value);
+            .insert(
+                states,
+                Memoized {
+                    out: value,
+                    cost_ns,
+                },
+            );
     }
 
     /// Total exclusive (write) lock acquisitions so far, across the memo
@@ -401,8 +416,10 @@ impl ExecConfig {
         // Leaves are cheaper than in-flight bookkeeping: evaluate directly
         // (a racing duplicate costs less than the claim would).
         if !matches!(cmd, Cmd::Seq(..) | Cmd::Choice(..) | Cmd::Star(..)) {
+            let started = std::time::Instant::now();
             let out = self.sem(cmd, s);
-            cache.insert(scope, s.clone(), out.clone());
+            let cost = started.elapsed().as_nanos() as u64;
+            cache.insert(scope, s.clone(), out.clone(), cost);
             return out;
         }
         // Compound evaluations — including every loop fixpoint — are claimed
@@ -419,6 +436,7 @@ impl ExecConfig {
             scope,
             states: s,
         };
+        let started = std::time::Instant::now();
         let out = match cmd {
             Cmd::Seq(c1, c2) => {
                 let mid = self.sem_memo_at(fp, c1, s, cache);
@@ -451,7 +469,8 @@ impl ExecConfig {
         };
         // Publish before releasing the flight: woken waiters re-probe the
         // table and must find the value there.
-        cache.insert(scope, s.clone(), out.clone());
+        let cost = started.elapsed().as_nanos() as u64;
+        cache.insert(scope, s.clone(), out.clone(), cost);
         drop(guard);
         out
     }
@@ -471,11 +490,13 @@ impl ExecConfig {
 // `Cmd::to_source` with an emit ∘ parse fixpoint check on both sides.
 
 /// Snapshot header line; bumping it invalidates old snapshots wholesale.
-/// v2: the cache's table layout moved to per-cache finitization interning
-/// under read-optimized locks — the line grammar is unchanged, but the
-/// version is bumped alongside the layout so a store written by one scheme
-/// is never half-trusted by the other.
-pub const SNAPSHOT_SCHEMA: &str = "hhl-memo v2";
+/// v3: each line carries the entry's recompute cost (nanoseconds, measured
+/// when the entry was first evaluated) as an extra field before the
+/// checksum, and the entry cap retains the *most expensive* entries
+/// instead of a lexicographic prefix — the cap exists to bound disk and
+/// import time, so the budget should go to the evaluations that are worth
+/// the most wall-clock to not redo.
+pub const SNAPSHOT_SCHEMA: &str = "hhl-memo v3";
 
 const SNAPSHOT_HEADER: &str = SNAPSHOT_SCHEMA;
 
@@ -747,10 +768,14 @@ impl SemCache {
     /// Every entry carries its **exact** key — the finitization, the
     /// command's canonical source ([`Cmd::to_source`], verified to re-parse
     /// to the identical tree before export), and the input set — plus the
-    /// cached result and a per-line checksum. Entries that cannot be
-    /// serialized exactly, and entries beyond the cap (lines are sorted
-    /// first, so the retained subset is deterministic), are counted as
-    /// `evicted`.
+    /// cached result, its recompute cost and a per-line checksum. Entries
+    /// that cannot be serialized exactly are counted as `evicted`, as are
+    /// entries beyond the cap: retention ranks by recompute cost
+    /// (descending, ties broken by line text, so the choice is
+    /// deterministic given the costs), keeping the entries that would be
+    /// most expensive to re-evaluate. The retained lines are then sorted
+    /// lexicographically, so the serialized form stays canonical for a
+    /// given retained set.
     ///
     /// # Examples
     ///
@@ -773,7 +798,7 @@ impl SemCache {
     /// ```
     pub fn export_snapshot(&self, max_entries: usize) -> (String, MemoSnapshotStats) {
         let mut stats = MemoSnapshotStats::default();
-        let mut lines: Vec<String> = Vec::new();
+        let mut ranked: Vec<(u64, String)> = Vec::new();
         let finitizations = self.finitizations_by_id();
         for shard in &self.shards {
             let guard = shard.read().expect("memo shard poisoned");
@@ -794,27 +819,33 @@ impl SemCache {
                 let mut prefix = String::from("E\t");
                 write_domain(&mut prefix, &domain);
                 let _ = fmt::Write::write_fmt(&mut prefix, format_args!("\t{fuel}\t{src}\t"));
-                for (input, output) in by_set.iter() {
+                for (input, memoized) in by_set.iter() {
                     let mut body = prefix.clone();
                     let ok = write_set(&mut body, input).and_then(|()| {
                         body.push('\t');
-                        write_set(&mut body, output)
+                        write_set(&mut body, &memoized.out)
                     });
                     if ok.is_none() {
                         stats.evicted += 1;
                         continue;
                     }
+                    let _ =
+                        fmt::Write::write_fmt(&mut body, format_args!("\t{}", memoized.cost_ns));
                     let sum = line_sum(&body);
                     let _ = fmt::Write::write_fmt(&mut body, format_args!("\t{sum:016x}"));
-                    lines.push(body);
+                    ranked.push((memoized.cost_ns, body));
                 }
             }
         }
-        lines.sort_unstable();
-        if lines.len() > max_entries {
-            stats.evicted += (lines.len() - max_entries) as u64;
-            lines.truncate(max_entries);
+        if ranked.len() > max_entries {
+            // Keep the entries most expensive to recompute; ties break on
+            // line text so the retained set is a function of the costs.
+            ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+            stats.evicted += (ranked.len() - max_entries) as u64;
+            ranked.truncate(max_entries);
         }
+        let mut lines: Vec<String> = ranked.into_iter().map(|(_, line)| line).collect();
+        lines.sort_unstable();
         stats.exported = lines.len() as u64;
         let mut out = String::from(SNAPSHOT_HEADER);
         out.push('\n');
@@ -868,6 +899,7 @@ impl SemCache {
         let src = fields.next()?;
         let input = parse_set(fields.next()?)?;
         let output = parse_set(fields.next()?)?;
+        let cost_ns: u64 = fields.next()?.parse().ok()?;
         if fields.next().is_some() {
             return None;
         }
@@ -883,7 +915,9 @@ impl SemCache {
             loop_fuel: fuel,
         };
         let scope: Scope = (self.exec_id(&exec), intern_cmd(&cmd));
-        self.insert(scope, input, output);
+        // The imported cost is the recorded one, so a re-export reproduces
+        // the snapshot byte-for-byte and cost ranking survives round trips.
+        self.insert(scope, input, output, cost_ns);
         Some(())
     }
 }
@@ -1043,7 +1077,7 @@ mod tests {
         let entry_lines = stats.exported;
 
         // Wrong header: everything rejected.
-        let foreign = snapshot.replacen("hhl-memo v2", "hhl-memo v999", 1);
+        let foreign = snapshot.replacen(SNAPSHOT_SCHEMA, "hhl-memo v999", 1);
         let warm = SemCache::new();
         let imported = warm.import_snapshot(&foreign);
         assert_eq!(imported.loaded, 0);
@@ -1069,22 +1103,35 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_entry_cap_evicts_deterministically() {
+    fn snapshot_entry_cap_keeps_the_most_expensive_entries() {
+        // Entries with controlled recompute costs: the cap must retain the
+        // costliest ones, deterministically, and drop the cheap ones.
         let cache = SemCache::new();
         let cfg = ExecConfig::int_range(0, 1);
-        for i in 0..6 {
+        let exec = cache.exec_id(&cfg);
+        for i in 0..6u64 {
             let cmd = parse_cmd(&format!("x := x + {i}")).unwrap();
-            cfg.sem_memo(&cmd, &set(&[0]), &cache);
+            let scope: Scope = (exec, intern_cmd(&cmd));
+            let input = set(&[0]);
+            let output = cfg.sem(&cmd, &input);
+            cache.insert(scope, input, output, (i + 1) * 1_000);
         }
         let (full, full_stats) = cache.export_snapshot(usize::MAX);
         assert_eq!(full_stats.exported, 6);
         let (capped, capped_stats) = cache.export_snapshot(4);
         assert_eq!(capped_stats.exported, 4);
         assert_eq!(capped_stats.evicted, 2);
-        // The capped snapshot is a prefix of the (sorted) full one.
+        // The two cheapest entries (costs 1000 and 2000: `x + 0`, `x + 1`)
+        // are the evicted ones; every retained line is in the full export.
         let full_lines: Vec<&str> = full.lines().collect();
-        let capped_lines: Vec<&str> = capped.lines().collect();
-        assert_eq!(&full_lines[..5], &capped_lines[..]);
+        for line in capped.lines().skip(1) {
+            assert!(full_lines.contains(&line), "capped line missing: {line}");
+        }
+        assert!(!capped.contains("x + 0\t"));
+        assert!(!capped.contains("x + 1\t"));
+        for kept in 2..6 {
+            assert!(capped.contains(&format!("x + {kept}\t")), "lost x + {kept}");
+        }
     }
 
     #[test]
@@ -1147,7 +1194,7 @@ mod tests {
                 );
                 std::thread::yield_now();
             }
-            cache.insert(scope, s.clone(), expected.clone());
+            cache.insert(scope, s.clone(), expected.clone(), 0);
             cache.finish(scope, &s);
             assert_eq!(waiter.join().expect("waiter panicked"), expected);
         });

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Smoke-tests the `hhl serve` daemon: boots one daemon over a scratch
+# cache, replays the example corpus through it twice as JSON-lines
+# requests, and checks the serve contract end-to-end —
+#
+#   * every second-pass response is answered from the response cache
+#     (`"cached":true`) and is byte-identical to its first-pass twin
+#     (modulo the id and cached fields),
+#   * the warm pass does zero parse/elaborate work: the `stage parse:
+#     samples=` counter reported by `status` is unchanged between passes,
+#   * a malformed line gets an exit-2 error response without killing the
+#     daemon, and `shutdown` ends the process with exit 0.
+#
+# Used both locally (./scripts/ci/serve_smoke.sh) and by the CI workflow.
+# Override the binary with HHL_BIN, e.g. HHL_BIN=target/release/hhl.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+HHL_BIN=${HHL_BIN:-target/release/hhl}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# One pass of the corpus: a check request per example spec and a replay
+# request per certificate pair, with ids prefixed by the pass tag.
+emit_pass() {
+  local tag=$1 n=0
+  for spec in examples/specs/*.hhl; do
+    printf '{"schema":"hhl-request v1","id":"%s-check-%d","command":"check","files":["%s"],"jobs":2}\n' \
+      "$tag" "$n" "$spec"
+    n=$((n + 1))
+  done
+  for proof in examples/proofs/*.hhlp; do
+    spec="examples/specs/$(basename "${proof%.hhlp}").hhl"
+    printf '{"schema":"hhl-request v1","id":"%s-replay-%d","command":"replay","files":["%s","%s"],"jobs":2}\n' \
+      "$tag" "$n" "$spec" "$proof"
+    n=$((n + 1))
+  done
+}
+
+{
+  emit_pass p1
+  printf '{"id":"status-1","command":"status"}\n'
+  printf 'this is not a request\n'
+  emit_pass p2
+  printf '{"id":"status-2","command":"status"}\n'
+  printf '{"command":"shutdown"}\n'
+} > "$tmp/requests.jsonl"
+
+echo "== serve_smoke: feeding $(wc -l < "$tmp/requests.jsonl") lines to the daemon"
+"$HHL_BIN" serve --cache-dir "$tmp/cache" \
+  < "$tmp/requests.jsonl" > "$tmp/responses.jsonl"
+
+# Every request line got exactly one response line.
+requests=$(grep -c . "$tmp/requests.jsonl")
+responses=$(wc -l < "$tmp/responses.jsonl")
+test "$requests" -eq "$responses"
+
+# The malformed line got a bad-request error response, exit 2.
+grep -F 'bad request' "$tmp/responses.jsonl" | grep -F '"exit":2' > /dev/null
+
+# Pass 2 is 100% warm: every p2-* response carries "cached":true.
+grep -F '"id":"p2-' "$tmp/responses.jsonl" > "$tmp/p2.jsonl"
+test "$(grep -c . "$tmp/p2.jsonl")" -gt 0
+if grep -F '"cached":false' "$tmp/p2.jsonl"; then
+  echo "serve_smoke: second pass had uncached responses" >&2
+  exit 1
+fi
+
+# Byte-identity: pass 1 and pass 2 responses are equal once the id and
+# cached fields (the only legitimate deltas) are normalized away.
+normalize() {
+  grep -F "\"id\":\"$1-" "$tmp/responses.jsonl" \
+    | sed -e "s/\"id\":\"$1-/\"id\":\"/" -e 's/"cached":true/"cached":X/' \
+          -e 's/"cached":false/"cached":X/'
+}
+normalize p1 > "$tmp/p1.norm"
+normalize p2 > "$tmp/p2.norm"
+cmp "$tmp/p1.norm" "$tmp/p2.norm"
+
+# Zero engine work on the warm pass: the parse-stage sample counter is
+# identical in both status reports.
+parse_samples() {
+  grep -F "\"id\":\"$1\"" "$tmp/responses.jsonl" \
+    | grep -o 'stage parse: samples=[0-9]*'
+}
+p1_samples=$(parse_samples status-1)
+p2_samples=$(parse_samples status-2)
+test -n "$p1_samples"
+test "$p1_samples" = "$p2_samples"
+
+echo "serve_smoke: $responses responses, warm pass fully cached ($p1_samples unchanged)"

