@@ -24,9 +24,10 @@
 use hhl_bench::suites;
 
 fn main() {
-    // Cap malloc arenas before the first pool burst spawns; otherwise the
-    // repeated per-configuration thread bursts measure allocator page
-    // re-faulting instead of scheduling (see hhl_driver::tune_allocator).
+    // Cap malloc arenas before the resident pool spawns, exactly as the
+    // `hhl` binary does; otherwise the burst-executor series would measure
+    // allocator page re-faulting instead of per-submission scheduling cost
+    // (see hhl_driver::tune_allocator).
     hhl_driver::tune_allocator();
     let suite = suites::driver(false);
     for (name, ns) in &suite.results {

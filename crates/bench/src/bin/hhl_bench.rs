@@ -16,7 +16,9 @@
 //!   The driver suite additionally enforces the parallel-scaling gate on
 //!   `speedup_jobs8_vs_jobs1`: the recorded baseline curve must satisfy
 //!   the contract exactly (>= 1.0) and the fresh fast-mode re-measure
-//!   must stay above a noise floor (0.90).
+//!   must stay above a noise floor (0.90). The same two-check shape gates
+//!   `speedup_pool_resident_vs_burst` — the resident worker pool must
+//!   never be slower per submission than the scoped per-call burst.
 //!
 //! Exit codes: `0` clean, `1` regression detected, `2` usage/IO errors.
 
@@ -37,9 +39,10 @@ const USAGE: &str = "usage: hhl-bench <command> [args]
       Re-run each baseline's measurement suite (fast mode by default) and
       diff medians against the checked-in baseline, failing on any series
       more than PCT percent slower (default 35). The driver suite also
-      fails when the recorded speedup_jobs8_vs_jobs1 is below 1.0 or the
-      fresh re-measure drops below 0.90, and prints slowest-file /
-      slowest-rule telemetry tables from its instrumented batch pass.
+      fails when the recorded speedup_jobs8_vs_jobs1 or
+      speedup_pool_resident_vs_burst is below 1.0 or a fresh re-measure
+      drops below 0.90, and prints slowest-file / slowest-rule telemetry
+      tables from its instrumented batch pass.
 
   hhl-bench report-check <report.json>...
       Validate `hhl batch --report json` output: the document must carry
@@ -147,11 +150,6 @@ fn scaling_gate(baseline_meta: &[(String, String)], fresh_meta: &[(String, Strin
         "speedup_jobs{}_vs_jobs1",
         suites::SCALING_JOBS[suites::SCALING_JOBS.len() - 1]
     );
-    let point = |meta: &[(String, String)]| {
-        meta.iter()
-            .find(|(k, _)| *k == top)
-            .and_then(|(_, v)| v.parse::<f64>().ok())
-    };
     let curve: Vec<&(String, String)> = fresh_meta
         .iter()
         .filter(|(k, _)| k.starts_with("speedup_jobs") && k.ends_with("_vs_jobs1"))
@@ -162,28 +160,59 @@ fn scaling_gate(baseline_meta: &[(String, String)], fresh_meta: &[(String, Strin
     }
     let rendered: Vec<String> = curve.iter().map(|(k, v)| format!("{k}={v}")).collect();
     println!("scaling curve (fresh): {}", rendered.join(" "));
+    two_point_gate(&top, "parallel scaling", baseline_meta, fresh_meta)
+}
+
+/// The pool-executor gate on `speedup_pool_resident_vs_burst`: submitting
+/// to the resident pool must never cost more than spawning a scoped burst
+/// (recorded >= 1.0 exactly; fresh re-measure above the same noise floor
+/// as the scaling curve). Skipped for suites whose fresh meta lacks the
+/// key (only the driver suite measures it).
+fn pool_gate(baseline_meta: &[(String, String)], fresh_meta: &[(String, String)]) -> usize {
+    let key = "speedup_pool_resident_vs_burst";
+    let fresh = fresh_meta.iter().find(|(k, _)| k == key);
+    let Some((_, value)) = fresh else {
+        return 0;
+    };
+    println!("pool executor (fresh): {key}={value}");
+    two_point_gate(key, "pool executor", baseline_meta, fresh_meta)
+}
+
+/// The shared two-check gate shape: the **recorded baseline** point is
+/// deterministic checked-in data and must satisfy its contract exactly
+/// (>= 1.0); the **fresh** fast-mode re-measure only fails below
+/// [`FRESH_SCALING_FLOOR`]. Returns the number of failures.
+fn two_point_gate(
+    key: &str,
+    what: &str,
+    baseline_meta: &[(String, String)],
+    fresh_meta: &[(String, String)],
+) -> usize {
+    let point = |meta: &[(String, String)]| {
+        meta.iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse::<f64>().ok())
+    };
     let mut failures = 0;
     match point(baseline_meta) {
         Some(recorded) if recorded < 1.0 => {
-            eprintln!("parallel scaling contract broken: recorded {top} = {recorded:.2} < 1.00");
+            eprintln!("{what} contract broken: recorded {key} = {recorded:.2} < 1.00");
             failures += 1;
         }
         Some(_) => {}
         None => {
-            eprintln!("parallel scaling gate: baseline meta lacks {top} (regenerate the baseline)");
+            eprintln!("{what} gate: baseline meta lacks {key} (regenerate the baseline)");
             failures += 1;
         }
     }
     match point(fresh_meta) {
         Some(fresh) if fresh < FRESH_SCALING_FLOOR => {
-            eprintln!(
-                "parallel scaling regressed: fresh {top} = {fresh:.2} < {FRESH_SCALING_FLOOR:.2}"
-            );
+            eprintln!("{what} regressed: fresh {key} = {fresh:.2} < {FRESH_SCALING_FLOOR:.2}");
             failures += 1;
         }
         Some(_) => {}
         None => {
-            eprintln!("parallel scaling gate: fresh meta lacks {top}");
+            eprintln!("{what} gate: fresh meta lacks {key}");
             failures += 1;
         }
     }
@@ -260,7 +289,9 @@ fn cmd_compare(args: &[String]) -> ExitCode {
                 println!("{name:<44} {:>12} {new_ns:>10}ns {:>9}", "new", "-");
             }
         }
-        regressions += scaling_gate(&suites::parse_meta(&json), &new_meta);
+        let baseline_meta = suites::parse_meta(&json);
+        regressions += scaling_gate(&baseline_meta, &new_meta);
+        regressions += pool_gate(&baseline_meta, &new_meta);
         // Telemetry tables from the fresh instrumented pass: where the
         // batch spent its time, by file and by rule. Informational only —
         // timings never gate.

@@ -18,7 +18,7 @@ use hhl_assert::{Assertion, EvalCache, Universe};
 use hhl_cli::{parse_spec, run_replay, run_replay_sharded, run_spec, Spec};
 use hhl_core::proof::{check, wp_derivation, ProofContext};
 use hhl_core::ValidityConfig;
-use hhl_driver::pool::run_ordered;
+use hhl_driver::pool::{run_ordered, Scheduler};
 use hhl_driver::ShardCounters;
 use hhl_lang::{Cmd, Expr, SemCache};
 use hhl_proofs::{compile_script, emit_script, parse_script};
@@ -118,8 +118,15 @@ fn shard_replay_series(samples: usize) -> Vec<(String, u128)> {
         median_ns(samples, target_ns, || {
             let counters = ShardCounters::new();
             black_box(
-                run_replay_sharded(black_box(&spec), black_box(&cert), jobs, None, &counters)
-                    .expect("replays"),
+                run_replay_sharded(
+                    black_box(&spec),
+                    black_box(&cert),
+                    jobs,
+                    Scheduler::Resident,
+                    None,
+                    &counters,
+                )
+                .expect("replays"),
             );
         })
     };
@@ -386,6 +393,9 @@ pub fn driver(fast: bool) -> DriverSuite {
     let serve = serve_series(if fast { 3 } else { 9 });
     results.extend(serve.results);
     meta.push(serve.speedup_meta);
+    let pool = pool_series(if fast { 5 } else { 11 });
+    results.extend(pool.results);
+    meta.push(pool.speedup_meta);
     DriverSuite {
         results,
         meta,
@@ -450,6 +460,59 @@ fn serve_series(samples: usize) -> ServeSeries {
 /// What [`serve_series`] measures: the one-shot and warm-daemon series
 /// plus the headline speedup meta pair.
 struct ServeSeries {
+    results: Vec<(String, u128)>,
+    speedup_meta: (String, String),
+}
+
+/// The pool-executor series: the identical fan-out — many small
+/// submissions at four workers over a cheap synthetic workload —
+/// dispatched through the per-call scoped-burst executor versus the
+/// process-resident worker pool. The workload is deliberately tiny, so
+/// the series isolates *per-submission* overhead: the burst pays a
+/// spawn/join cycle per extra worker on every call, the resident pool a
+/// condvar wake of already-parked threads. Both sides go through the
+/// `exact` entry points at the same worker count, so the comparison is
+/// executor-vs-executor even on a single hardware thread (where the
+/// clamped public paths would both collapse to the sequential inline
+/// run). The `speedup_pool_resident_vs_burst` meta records the win of
+/// keeping workers parked between submissions — the hot-path cost every
+/// batch stage, replay shard wave and daemon request pays per fan-out.
+fn pool_series(samples: usize) -> PoolExecutorSeries {
+    use hhl_driver::pool::{resident, run_ordered_exact};
+
+    const SUBMISSIONS: usize = 16;
+    const WORKERS: usize = 4;
+    let items: Vec<u64> = (0..256).collect();
+    let work = |_: usize, n: &u64| black_box(*n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let target_ns = 2_000_000;
+
+    let burst = median_ns(samples, target_ns, || {
+        for _ in 0..SUBMISSIONS {
+            black_box(run_ordered_exact(black_box(&items[..]), WORKERS, work));
+        }
+    });
+    let resident_ns = median_ns(samples, target_ns, || {
+        for _ in 0..SUBMISSIONS {
+            black_box(resident().run_ordered_exact(black_box(&items[..]), WORKERS, work));
+        }
+    });
+
+    let ratio = burst as f64 / resident_ns.max(1) as f64;
+    PoolExecutorSeries {
+        results: vec![
+            ("driver/pool_burst".to_owned(), burst),
+            ("driver/pool_resident".to_owned(), resident_ns),
+        ],
+        speedup_meta: (
+            "speedup_pool_resident_vs_burst".to_owned(),
+            format!("{ratio:.2}"),
+        ),
+    }
+}
+
+/// What [`pool_series`] measures: burst vs resident submission cost plus
+/// the headline speedup meta pair gated by `hhl-bench compare`.
+struct PoolExecutorSeries {
     results: Vec<(String, u128)>,
     speedup_meta: (String, String),
 }

@@ -39,7 +39,7 @@ use std::time::Instant;
 
 use hhl_assert::EvalCache;
 use hhl_driver::metrics::{counter_line, MetricsRegistry, Stage};
-use hhl_driver::{ShardCounters, ShardStats, VerdictStore};
+use hhl_driver::{Scheduler, ShardCounters, ShardStats, VerdictStore};
 use hhl_lang::{begin_session, intern_sizes, SemCache, SessionArena, StableHasher};
 
 use crate::batch::{
@@ -55,9 +55,10 @@ pub const RESPONSE_SCHEMA: &str = "hhl-response v1";
 pub const DEFAULT_CACHE_DIR: &str = ".hhl-cache";
 /// Default `.verdict` record budget for `gc` (see [`VerdictStore::gc`]).
 pub const DEFAULT_GC_KEEP_RECORDS: usize = 4096;
-/// Rendered responses kept by a persistent engine before the (rare) cap
-/// resets the table; each entry is a small report, so this bounds memory
-/// without an LRU list.
+/// Rendered responses kept by a persistent engine. At the cap the entry
+/// with the oldest *last hit* is evicted (LRU by hit recency), so the
+/// requests a client keeps repeating stay warm however many one-off
+/// requests flow past them.
 const RESPONSE_CACHE_MAX_ENTRIES: usize = 512;
 
 /// The persistent-store flags shared by every subcommand and by the serve
@@ -619,6 +620,77 @@ impl std::fmt::Debug for EngineCaches {
     }
 }
 
+/// The persistent engine's bounded response cache: rendered responses
+/// keyed by request fingerprint, evicted by *last hit* once the cap is
+/// reached. A lookup refreshes the entry's recency, so steadily repeated
+/// requests survive any number of one-off requests streaming past the cap
+/// (the previous behaviour — clearing the whole table on overflow — threw
+/// away all warm entries the moment one extra request arrived).
+struct ResponseCache {
+    entries: HashMap<u128, (Response, u64)>,
+    /// Logical clock advanced on every hit and insertion; the entry with
+    /// the smallest stamp is the eviction victim.
+    clock: u64,
+    cap: usize,
+    evictions: u64,
+}
+
+impl ResponseCache {
+    fn new(cap: usize) -> ResponseCache {
+        ResponseCache {
+            entries: HashMap::new(),
+            clock: 0,
+            cap,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up a response, refreshing its hit recency.
+    fn hit(&mut self, key: u128) -> Option<&Response> {
+        self.clock += 1;
+        let stamp = self.clock;
+        self.entries.get_mut(&key).map(|(response, last_hit)| {
+            *last_hit = stamp;
+            &*response
+        })
+    }
+
+    /// Inserts (or refreshes) a response, evicting the least-recently-hit
+    /// entry when the table is full. The scan is linear, but runs only on
+    /// overflow of a small bounded table — no LRU list to keep in sync.
+    fn insert(&mut self, key: u128, response: Response) {
+        if self.entries.len() >= self.cap && !self.entries.contains_key(&key) {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, last_hit))| *last_hit)
+                .map(|(key, _)| *key);
+            if let Some(victim) = victim {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.clock += 1;
+        self.entries.insert(key, (response, self.clock));
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Drops every entry (`gc`), returning how many were held. The
+    /// evictions counter is lifetime telemetry and survives the clear.
+    fn clear(&mut self) -> usize {
+        let held = self.entries.len();
+        self.entries.clear();
+        held
+    }
+}
+
 /// One daemon session: an isolated interner arena plus private memo
 /// caches. Dropping the state (on `end-session`) releases both; the arena's
 /// overlay entries are reclaimed as soon as no request pin is live.
@@ -650,10 +722,18 @@ pub struct Engine {
     /// serve transport plus per-run stage totals folded in after every
     /// non-cached verification.
     metrics: MetricsRegistry,
-    responses: Mutex<HashMap<u128, Response>>,
+    responses: Mutex<ResponseCache>,
     sessions: Mutex<HashMap<String, SessionState>>,
     requests: AtomicU64,
     response_hits: AtomicU64,
+    /// Which executor runs this engine's fan-out phases. `Resident` (the
+    /// default) submits every request to the process-resident
+    /// [`WorkerPool`](hhl_driver::WorkerPool) — for a persistent engine
+    /// that pool is the daemon's for its whole lifetime, so concurrent
+    /// socket connections execute against shared parked workers instead of
+    /// each spinning up private bursts. `Burst` is the differential
+    /// baseline ([`Engine::set_scheduler`]).
+    scheduler: Scheduler,
 }
 
 impl Engine {
@@ -666,11 +746,19 @@ impl Engine {
             caches: EngineCaches::fresh(),
             store: None,
             metrics: MetricsRegistry::new(),
-            responses: Mutex::new(HashMap::new()),
+            responses: Mutex::new(ResponseCache::new(RESPONSE_CACHE_MAX_ENTRIES)),
             sessions: Mutex::new(HashMap::new()),
             requests: AtomicU64::new(0),
             response_hits: AtomicU64::new(0),
+            scheduler: Scheduler::Resident,
         }
+    }
+
+    /// Overrides which executor runs this engine's fan-out phases. Output
+    /// is byte-identical either way (the differential suites assert it);
+    /// production engines keep the default `Resident`.
+    pub fn set_scheduler(&mut self, scheduler: Scheduler) {
+        self.scheduler = scheduler;
     }
 
     /// The daemon context: opens (or creates) the persistent store at
@@ -780,7 +868,7 @@ impl Engine {
         let reuse = self.persistent && self.share && req.cache.use_cache;
         let key = (reuse && !req.cache.fresh).then(|| response_key(req));
         if let Some(key) = key {
-            if let Some(hit) = self.responses.lock().unwrap().get(&key) {
+            if let Some(hit) = self.responses.lock().unwrap().hit(key) {
                 self.response_hits.fetch_add(1, Ordering::Relaxed);
                 let mut response = hit.clone();
                 response.id = req.id.clone();
@@ -791,11 +879,7 @@ impl Engine {
         let shared = reuse.then(|| self.caches.clone());
         let response = self.execute(req, shared, true);
         if let Some(key) = key {
-            let mut responses = self.responses.lock().unwrap();
-            if responses.len() >= RESPONSE_CACHE_MAX_ENTRIES {
-                responses.clear();
-            }
-            responses.insert(key, response.clone());
+            self.responses.lock().unwrap().insert(key, response.clone());
         }
         response
     }
@@ -875,6 +959,7 @@ impl Engine {
             oblig_store,
             memo_store: memo_store.clone(),
             shared,
+            scheduler: self.scheduler,
         };
         let run = match req.action {
             Action::Replay => {
@@ -968,6 +1053,7 @@ impl Engine {
                 spec,
                 certificate,
                 req.jobs.unwrap_or(1),
+                self.scheduler,
                 store,
                 &counters,
             ) {
@@ -1020,11 +1106,16 @@ impl Engine {
             "requests: {}",
             self.requests.load(Ordering::Relaxed)
         );
+        let (entries, evictions) = {
+            let responses = self.responses.lock().unwrap();
+            (responses.len(), responses.evictions())
+        };
         let _ = writeln!(
             stdout,
-            "response-cache: entries={} hits={}",
-            self.responses.lock().unwrap().len(),
-            self.response_hits.load(Ordering::Relaxed)
+            "response-cache: entries={} hits={} evictions={}",
+            entries,
+            self.response_hits.load(Ordering::Relaxed),
+            evictions
         );
         let _ = writeln!(stdout, "sessions: {}", self.sessions.lock().unwrap().len());
         let sizes = intern_sizes();
@@ -1123,13 +1214,8 @@ impl Engine {
             memo.exported, memo.evicted
         );
         if self.persistent {
-            let mut responses = self.responses.lock().unwrap();
-            let _ = writeln!(
-                stdout,
-                "response-cache: cleared {} entries",
-                responses.len()
-            );
-            responses.clear();
+            let cleared = self.responses.lock().unwrap().clear();
+            let _ = writeln!(stdout, "response-cache: cleared {cleared} entries");
         }
         Response {
             id: req.id.clone(),
@@ -1376,5 +1462,98 @@ mod tests {
         let err = fresh_only.validate("replay").expect_err("needs dir");
         assert_eq!(err, "--fresh needs --cache-dir on `hhl replay`");
         assert!(fresh_only.validate("batch").is_ok());
+    }
+
+    fn canned(tag: &str) -> Response {
+        Response {
+            id: "-".to_owned(),
+            exit_code: 0,
+            cached: false,
+            stdout: tag.to_owned(),
+            stderr: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn response_cache_evicts_by_hit_recency_not_wholesale() {
+        let mut cache = ResponseCache::new(3);
+        for key in 0..3u128 {
+            cache.insert(key, canned(&key.to_string()));
+        }
+        assert_eq!(cache.len(), 3);
+        // Re-hit the oldest *insertion*: recency now protects it.
+        assert_eq!(cache.hit(0).map(|r| r.stdout.as_str()), Some("0"));
+        // Overflow: the least-recently-hit entry (1) goes; 0 and 2 stay.
+        cache.insert(3, canned("3"));
+        assert_eq!(cache.len(), 3, "cap unchanged on overflow");
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.hit(1).is_none(), "victim was the stalest entry");
+        assert!(cache.hit(0).is_some(), "warm entries survive overflow");
+        assert!(cache.hit(2).is_some());
+        assert!(cache.hit(3).is_some());
+    }
+
+    #[test]
+    fn response_cache_overflow_keeps_every_warm_entry_past_the_cap() {
+        // The production-shaped scenario the old clear-on-full got wrong:
+        // a working set of repeated requests must survive a stream of
+        // one-off requests pushing the table past its cap over and over.
+        let mut cache = ResponseCache::new(RESPONSE_CACHE_MAX_ENTRIES);
+        let warm: Vec<u128> = (0..8).collect();
+        for &key in &warm {
+            cache.insert(key, canned(&key.to_string()));
+        }
+        let mut one_off = 1000u128;
+        for round in 0..4 {
+            // Fill to the cap, then push 64 inserts past it.
+            while cache.len() < RESPONSE_CACHE_MAX_ENTRIES {
+                cache.insert(one_off, canned("x"));
+                one_off += 1;
+            }
+            for &key in &warm {
+                assert!(cache.hit(key).is_some(), "round {round}: key {key}");
+            }
+            for _ in 0..64 {
+                cache.insert(one_off, canned("x"));
+                one_off += 1;
+            }
+            assert_eq!(cache.len(), RESPONSE_CACHE_MAX_ENTRIES);
+            for &key in &warm {
+                assert_eq!(
+                    cache.hit(key).map(|r| r.stdout.as_str()),
+                    Some(key.to_string().as_str()),
+                    "round {round}: warm entry {key} must survive insertion past the cap"
+                );
+            }
+        }
+        assert_eq!(cache.evictions(), 4 * 64);
+    }
+
+    #[test]
+    fn response_cache_refreshes_an_existing_key_without_eviction() {
+        let mut cache = ResponseCache::new(2);
+        cache.insert(7, canned("old"));
+        cache.insert(9, canned("nine"));
+        cache.insert(7, canned("new"));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(
+            cache.evictions(),
+            0,
+            "re-insert of a held key evicts nothing"
+        );
+        assert_eq!(cache.hit(7).map(|r| r.stdout.as_str()), Some("new"));
+        assert!(cache.hit(9).is_some());
+    }
+
+    #[test]
+    fn response_cache_clear_reports_and_keeps_lifetime_evictions() {
+        let mut cache = ResponseCache::new(2);
+        cache.insert(1, canned("a"));
+        cache.insert(2, canned("b"));
+        cache.insert(3, canned("c"));
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.clear(), 2);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.evictions(), 1, "gc clears entries, not telemetry");
     }
 }

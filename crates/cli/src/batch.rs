@@ -32,7 +32,7 @@ use std::time::Instant;
 
 use hhl_assert::{EvalCache, EvalCacheStats};
 use hhl_driver::metrics::{BuildInfo, LocalMetrics, MetricsRegistry, ReportDoc, Stage};
-use hhl_driver::pool::{run_ordered, PoolStats};
+use hhl_driver::pool::{PoolStats, Scheduler};
 use hhl_driver::report::{BatchReport, FileReport, FileStatus};
 use hhl_driver::shard::{ShardCounters, ShardStats};
 use hhl_driver::store::{StoreStats, VerdictRecord, VerdictStore, STORE_SCHEMA};
@@ -87,6 +87,14 @@ pub struct BatchOptions {
     /// persistent [`Engine`](crate::api::Engine) passes its own so warmth
     /// survives across requests. Ignored under `--no-cache`.
     pub shared: Option<crate::api::EngineCaches>,
+    /// Which executor runs the fan-out phases. `Resident` (the default)
+    /// submits to the process-resident [`WorkerPool`](hhl_driver::pool::
+    /// WorkerPool), so stage → discharge → finish reuse one set of parked
+    /// threads across all three phases, across every file, and across
+    /// daemon requests; `Burst` spawns a scoped set per call (the pre-pool
+    /// behaviour, kept for the differential suites). Output is
+    /// byte-identical either way.
+    pub scheduler: Scheduler,
 }
 
 impl Default for BatchOptions {
@@ -99,6 +107,7 @@ impl Default for BatchOptions {
             oblig_store: None,
             memo_store: None,
             shared: None,
+            scheduler: Scheduler::Resident,
         }
     }
 }
@@ -480,7 +489,7 @@ fn run_jobs(jobs: Vec<Job>, opts: &BatchOptions) -> BatchRun {
         registry.record_stage(Stage::Snapshot, start.elapsed().as_nanos() as u64);
     }
     let counters = ShardCounters::new();
-    let (staged, pool) = run_ordered(&jobs, opts.jobs, |_, job| {
+    let (staged, pool) = opts.scheduler.run_ordered(&jobs, opts.jobs, |_, job| {
         stage_job(job, opts, &caches, &counters)
     });
     // Merge each worker's private buffer in input order: the registry's
@@ -510,6 +519,7 @@ fn run_jobs(jobs: Vec<Job>, opts: &BatchOptions) -> BatchRun {
     let verdicts = discharge_pending(
         &pendings,
         opts.jobs,
+        opts.scheduler,
         opts.oblig_store.as_deref(),
         &counters,
         Some(&registry),

@@ -377,8 +377,9 @@ fn cmd_batch(args: &[String]) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    // Before any worker pool exists: cap malloc arenas at the core count so
-    // repeated short-lived thread bursts don't re-fault trimmed heap pages
+    // Before the resident worker pool spawns: cap malloc arenas at the core
+    // count so thread churn (the `Scheduler::Burst` differential path, or
+    // any short-lived helper threads) can't re-fault trimmed heap pages
     // (see `hhl_driver::pool::tune_allocator`).
     hhl_driver::tune_allocator();
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -14,8 +14,15 @@
 //! respond (render + write) — and surfaces through the `status` command
 //! next to the cumulative verification stages.
 //!
-//! Shutdown (`{"command":"shutdown"}`, or end-of-input on stdin) persists
-//! the memo snapshot back to the store so the next daemon starts warm.
+//! Shutdown (`{"command":"shutdown"}`, or end-of-input on stdin) is
+//! *draining*: the socket transport stops accepting, unblocks idle
+//! connections (their read halves are shut down; requests already in
+//! flight finish and their responses flush over the still-open write
+//! halves), joins every connection thread, persists the memo snapshot
+//! exactly once, and removes its own socket file. Binding refuses to
+//! clobber a live daemon: an existing socket path is probe-connected
+//! first and only replaced when nothing answers (a stale file from a dead
+//! process).
 
 use std::io::{BufRead, BufReader, Write};
 use std::sync::Arc;
@@ -144,15 +151,37 @@ fn serve_stream(engine: &Engine, mut reader: impl BufRead, writer: &mut impl Wri
 }
 
 /// Unix-socket transport: one thread per connection over the shared
-/// engine. A `shutdown` request stops the whole daemon after its response
-/// is flushed.
+/// engine (fan-out inside each request runs on the process-resident
+/// worker pool, so concurrent connections share one set of workers).
+///
+/// A `shutdown` request *drains*: accepting stops, idle siblings are
+/// unblocked by shutting down their read halves (a request already
+/// dispatched keeps its open write half and flushes its response), every
+/// connection thread is joined, state is saved exactly once, and the
+/// daemon removes its own socket file.
 #[cfg(unix)]
 fn serve_socket(engine: Engine, path: &str) -> u8 {
-    use std::os::unix::net::UnixListener;
+    use std::collections::HashMap;
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
 
-    // A stale socket file from a dead daemon would make bind fail; a live
-    // daemon rebinding is the caller's race to lose either way.
-    let _ = std::fs::remove_file(path);
+    // Never clobber a live daemon: probe an existing socket file and only
+    // remove it when nothing answers (a stale leftover of a dead process).
+    if std::fs::symlink_metadata(path).is_ok() {
+        match UnixStream::connect(path) {
+            Ok(_) => {
+                eprintln!(
+                    "error: {path} is already served by a responding daemon; \
+                     refusing to replace it"
+                );
+                return 2;
+            }
+            Err(_) => {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
     let listener = match UnixListener::bind(path) {
         Ok(listener) => listener,
         Err(e) => {
@@ -161,26 +190,72 @@ fn serve_socket(engine: Engine, path: &str) -> u8 {
         }
     };
     let engine = Arc::new(engine);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    // Read-halves of live connections, keyed per connection so a finished
+    // handler can drop its own fd; the shutdown handler uses the rest to
+    // unblock idle siblings without cutting off responses in flight.
+    let conns: Arc<Mutex<HashMap<u64, UnixStream>>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut next_conn: u64 = 0;
     loop {
         let (stream, _) = match listener.accept() {
             Ok(conn) => conn,
-            Err(_) => continue,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
         };
+        if shutdown.load(Ordering::SeqCst) {
+            // The wake-up connection (or a client racing the shutdown):
+            // stop accepting and drain.
+            break;
+        }
+        let id = next_conn;
+        next_conn += 1;
+        if let Ok(clone) = stream.try_clone() {
+            conns.lock().unwrap().insert(id, clone);
+        }
+        handles.retain(|handle| !handle.is_finished());
         let engine = Arc::clone(&engine);
-        std::thread::spawn(move || {
+        let shutdown = Arc::clone(&shutdown);
+        let conns = Arc::clone(&conns);
+        let path = path.to_owned();
+        handles.push(std::thread::spawn(move || {
             let reader = match stream.try_clone() {
                 Ok(clone) => BufReader::new(clone),
-                Err(_) => return,
+                Err(_) => {
+                    conns.lock().unwrap().remove(&id);
+                    return;
+                }
             };
             let mut writer = stream;
-            if serve_stream(&engine, reader, &mut writer) {
-                // Client-requested shutdown: persist, then stop the whole
-                // process (the accept loop has no other wake-up).
-                engine.save_state();
-                std::process::exit(0);
+            let requested_shutdown = serve_stream(&engine, reader, &mut writer);
+            conns.lock().unwrap().remove(&id);
+            if requested_shutdown {
+                // The shutdown response is already flushed. Stop the
+                // accept loop, then unblock idle siblings: shutting down
+                // only the *read* half turns a parked `read_line` into
+                // end-of-input while a dispatched request keeps its write
+                // half to flush its response through.
+                shutdown.store(true, Ordering::SeqCst);
+                for conn in conns.lock().unwrap().values() {
+                    let _ = conn.shutdown(std::net::Shutdown::Read);
+                }
+                // Wake the accept loop (it has no other shutdown signal).
+                let _ = UnixStream::connect(&path);
             }
-        });
+        }));
     }
+    // Drain: every accepted connection finishes its in-flight request and
+    // exits before the daemon persists and removes its socket.
+    for handle in handles {
+        let _ = handle.join();
+    }
+    engine.save_state();
+    let _ = std::fs::remove_file(path);
+    0
 }
 
 #[cfg(not(unix))]

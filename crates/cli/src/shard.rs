@@ -59,7 +59,7 @@ use hhl_core::proof::{
 };
 use hhl_core::Triple;
 use hhl_driver::metrics::{LocalMetrics, MetricsRegistry, Stage};
-use hhl_driver::pool::run_ordered;
+use hhl_driver::pool::Scheduler;
 use hhl_driver::shard::ShardCounters;
 use hhl_driver::store::{ReplaySummary, VerdictStore};
 use hhl_lang::{Fingerprint, StableHasher};
@@ -131,6 +131,7 @@ fn check_shards(
     shards: &[ObligationShard],
     ctx: &ProofContext,
     jobs: usize,
+    scheduler: Scheduler,
     store: Option<&VerdictStore>,
     counters: &ShardCounters,
 ) -> Result<(), ProofError> {
@@ -163,7 +164,7 @@ fn check_shards(
     }
 
     // Discharge the misses on the pool (input order restored by the pool).
-    let (outcomes, _) = run_ordered(&to_check, jobs, |_, &(i, shard)| {
+    let (outcomes, _) = scheduler.run_ordered(&to_check, jobs, |_, &(i, shard)| {
         (i, discharge_obligation(&shard.obligation, ctx))
     });
     for (i, result) in outcomes {
@@ -294,6 +295,7 @@ pub fn prepare_replay(
 pub fn discharge_pending(
     pendings: &[&PendingReplay],
     jobs: usize,
+    scheduler: Scheduler,
     store: Option<&VerdictStore>,
     counters: &ShardCounters,
     metrics: Option<&MetricsRegistry>,
@@ -321,7 +323,7 @@ pub fn discharge_pending(
         }
     }
 
-    let (outcomes, _) = run_ordered(&to_check, jobs, |_, &(shard, ctx)| {
+    let (outcomes, _) = scheduler.run_ordered(&to_check, jobs, |_, &(shard, ctx)| {
         let start = std::time::Instant::now();
         let result = discharge_obligation(&shard.obligation, ctx);
         (shard.fingerprint, result, start.elapsed().as_nanos() as u64)
@@ -398,8 +400,10 @@ pub fn finish_replay(
             });
         }
         // At most two entailments: check them inline rather than staging
-        // another pool round-trip.
-        check_shards(&align_shards, &ctx, 1, store, counters).map_err(rejected)?;
+        // another pool round-trip (`jobs == 1` never leaves the caller's
+        // thread, so the scheduler choice is moot here).
+        check_shards(&align_shards, &ctx, 1, Scheduler::Resident, store, counters)
+            .map_err(rejected)?;
     }
     checked_notes(
         &CheckedProof {
@@ -445,6 +449,7 @@ pub fn run_replay_sharded(
     spec: &Spec,
     certificate: &str,
     jobs: usize,
+    scheduler: Scheduler,
     store: Option<&VerdictStore>,
     counters: &ShardCounters,
 ) -> Result<Outcome, RunError> {
@@ -452,7 +457,7 @@ pub fn run_replay_sharded(
     match prepare_replay(spec, certificate, store, counters, &mut scratch)? {
         Staged::Done(outcome) => Ok(*outcome),
         Staged::Pending(pending) => {
-            let verdicts = discharge_pending(&[&pending], jobs, store, counters, None);
+            let verdicts = discharge_pending(&[&pending], jobs, scheduler, store, counters, None);
             finish_replay(spec, pending, &verdicts, store, counters)
         }
     }
@@ -479,7 +484,9 @@ mod tests {
         let whole = run_replay(&spec, CERT).unwrap();
         for jobs in [1, 4] {
             let counters = ShardCounters::new();
-            let sharded = run_replay_sharded(&spec, CERT, jobs, None, &counters).unwrap();
+            let sharded =
+                run_replay_sharded(&spec, CERT, jobs, Scheduler::Resident, None, &counters)
+                    .unwrap();
             assert_eq!(whole.to_string(), sharded.to_string(), "jobs = {jobs}");
             let stats = counters.snapshot();
             assert_eq!(stats.total, 5, "2×2 cons entailments + I |= low(b)");

@@ -3,7 +3,7 @@
 //! against the one-shot binary for byte-identical stdout payloads.
 
 use std::io::{BufRead, BufReader, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 
 use hhl_cli::api::{Response, RESPONSE_SCHEMA};
@@ -225,4 +225,202 @@ fn unix_socket_transport_round_trips_requests() {
     assert!(bye.contains("shutting down"), "{bye}");
     let status = child.wait().expect("daemon exit");
     assert!(status.success(), "socket daemon exited with {status}");
+}
+
+/// Spawns a socket daemon on `<tempdir>/hhl.sock` with stderr inherited
+/// for debuggability, returning the child and the socket path.
+#[cfg(unix)]
+fn spawn_socket_daemon(tag: &str) -> (Child, PathBuf) {
+    let dir = temp_dir(tag);
+    let socket = dir.join("hhl.sock");
+    let child = Command::new(env!("CARGO_BIN_EXE_hhl"))
+        .args(["serve", "--socket"])
+        .arg(&socket)
+        .args(["--cache-dir"])
+        .arg(dir.join("cache"))
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn socket daemon");
+    (child, socket)
+}
+
+/// Connects to `socket`, retrying while the daemon binds.
+#[cfg(unix)]
+fn connect_retry(socket: &Path) -> std::os::unix::net::UnixStream {
+    for _ in 0..200 {
+        if let Ok(s) = std::os::unix::net::UnixStream::connect(socket) {
+            return s;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    panic!("cannot connect to daemon socket {socket:?}");
+}
+
+/// A `shutdown` on one connection must *drain* its siblings: a request
+/// already dispatched on another connection keeps its write half and
+/// flushes its complete response before the daemon exits — and the daemon
+/// removes its own socket file on the way out.
+#[cfg(unix)]
+#[test]
+fn shutdown_waits_for_a_slow_sibling_request_and_removes_the_socket() {
+    let files = [
+        example("specs", "ni_c1.hhl"),
+        example("specs", "ni_c2.hhl"),
+        example("specs", "while_sync.hhl"),
+        example("specs", "minimum.hhl"),
+    ];
+    let (mut child, socket) = spawn_socket_daemon("drain");
+
+    // Connection A: a multi-file check, sent but not yet awaited.
+    let slow = connect_retry(&socket);
+    let mut slow_reader = BufReader::new(slow.try_clone().expect("clone stream"));
+    let mut slow_writer = slow;
+    let files_json: Vec<String> = files.iter().map(|f| format!("\"{f}\"")).collect();
+    writeln!(
+        slow_writer,
+        "{{\"schema\":\"hhl-request v1\",\"id\":\"slow\",\"command\":\"check\",\
+         \"files\":[{}],\"jobs\":4}}",
+        files_json.join(",")
+    )
+    .expect("send slow request");
+    slow_writer.flush().expect("flush slow request");
+    // Give the daemon time to read the request line, so the shutdown
+    // below races the *dispatch*, not the read.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    // Connection B: shutdown while A is (likely still) in flight.
+    let fast = connect_retry(&socket);
+    let mut fast_reader = BufReader::new(fast.try_clone().expect("clone stream"));
+    let mut fast_writer = fast;
+    writeln!(fast_writer, "{{\"command\":\"shutdown\"}}").expect("send shutdown");
+    let mut bye = String::new();
+    fast_reader
+        .read_line(&mut bye)
+        .expect("read shutdown reply");
+    assert!(bye.contains("shutting down"), "{bye}");
+
+    // A still receives its complete, correct response.
+    let mut reply = String::new();
+    slow_reader
+        .read_line(&mut reply)
+        .expect("read slow response");
+    let response = Response::parse(reply.trim_end())
+        .expect("sibling response must be complete despite the shutdown");
+    assert_eq!(response.id, "slow");
+    let mut args = vec!["check", "--jobs", "4"];
+    args.extend(files.iter().map(String::as_str));
+    let (cli_stdout, cli_exit) = oneshot(&args);
+    assert_eq!(response.stdout, cli_stdout);
+    assert_eq!(i32::from(response.exit_code), cli_exit);
+
+    let status = child.wait().expect("daemon exit");
+    assert!(status.success(), "drained daemon exited with {status}");
+    assert!(
+        !socket.exists(),
+        "daemon must remove its own socket file on clean shutdown"
+    );
+}
+
+/// Binding refuses to clobber a *live* daemon: a second daemon pointed at
+/// the same socket path exits with a usage error while the first keeps
+/// answering.
+#[cfg(unix)]
+#[test]
+fn second_daemon_refuses_a_live_socket_and_the_first_keeps_serving() {
+    let spec = example("specs", "minimum.hhl");
+    let (first, socket) = spawn_socket_daemon("live");
+    let mut first = first;
+    // Make sure the first daemon is up before contesting its socket.
+    drop(connect_retry(&socket));
+
+    let second = Command::new(env!("CARGO_BIN_EXE_hhl"))
+        .args(["serve", "--socket"])
+        .arg(&socket)
+        .output()
+        .expect("run second daemon");
+    assert_eq!(
+        second.status.code(),
+        Some(2),
+        "second daemon must refuse a responding socket"
+    );
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(
+        stderr.contains("refusing to replace"),
+        "unexpected refusal message: {stderr}"
+    );
+    assert!(socket.exists(), "the live socket file must survive");
+
+    // The incumbent is unharmed and still answers.
+    let stream = connect_retry(&socket);
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    writeln!(
+        writer,
+        "{{\"schema\":\"hhl-request v1\",\"id\":\"alive\",\"command\":\"check\",\"files\":[\"{spec}\"]}}"
+    )
+    .expect("send to incumbent");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read from incumbent");
+    let response = Response::parse(reply.trim_end()).expect("parse incumbent response");
+    assert_eq!(response.id, "alive");
+    assert_eq!(response.exit_code, 0);
+
+    writeln!(writer, "{{\"command\":\"shutdown\"}}").expect("send shutdown");
+    let mut bye = String::new();
+    reader.read_line(&mut bye).expect("read shutdown reply");
+    let status = first.wait().expect("first daemon exit");
+    assert!(status.success(), "incumbent exited with {status}");
+}
+
+/// A *stale* socket file — left by a dead process, nothing answering — is
+/// replaced: the probe connect fails, the file is removed, and the new
+/// daemon binds and serves.
+#[cfg(unix)]
+#[test]
+fn stale_socket_file_is_replaced_by_a_new_daemon() {
+    use std::os::unix::net::UnixListener;
+
+    let spec = example("specs", "minimum.hhl");
+    let dir = temp_dir("stale");
+    let socket = dir.join("hhl.sock");
+    // Bind and immediately drop: the filesystem entry outlives the
+    // listener, exactly what a crashed daemon leaves behind.
+    drop(UnixListener::bind(&socket).expect("bind stale socket"));
+    assert!(socket.exists(), "stale socket file must exist");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hhl"))
+        .args(["serve", "--socket"])
+        .arg(&socket)
+        .args(["--cache-dir"])
+        .arg(dir.join("cache"))
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn daemon over stale socket");
+
+    let stream = connect_retry(&socket);
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    writeln!(
+        writer,
+        "{{\"schema\":\"hhl-request v1\",\"id\":\"fresh\",\"command\":\"check\",\"files\":[\"{spec}\"]}}"
+    )
+    .expect("send over reclaimed socket");
+    let mut reply = String::new();
+    reader
+        .read_line(&mut reply)
+        .expect("read over reclaimed socket");
+    let response = Response::parse(reply.trim_end()).expect("parse response");
+    assert_eq!(response.id, "fresh");
+    assert_eq!(response.exit_code, 0);
+
+    writeln!(writer, "{{\"command\":\"shutdown\"}}").expect("send shutdown");
+    let mut bye = String::new();
+    reader.read_line(&mut bye).expect("read shutdown reply");
+    let status = child.wait().expect("daemon exit");
+    assert!(status.success(), "daemon exited with {status}");
+    assert!(!socket.exists(), "socket file must be gone after shutdown");
 }

@@ -23,10 +23,11 @@
 //!   the report renders without timings or scheduling artefacts, so `diff`
 //!   over two runs (different machines, different `--jobs`) is meaningful.
 
-// `deny` rather than `forbid`: the one sanctioned exception is
-// `pool::tune_allocator`, a glibc `mallopt` shim (with its own scoped
-// `allow` and safety argument) that caps malloc arenas so repeated
-// short-lived worker bursts stop re-faulting trimmed heap pages.
+// `deny` rather than `forbid`: the sanctioned exceptions live in `pool`,
+// each with its own scoped `allow` and safety argument — the glibc
+// `mallopt` shim (`pool::tune_allocator`) and the lifetime-erased job
+// pointer the resident `pool::WorkerPool` hands its parked workers (sound
+// because the submitter blocks until every job has finished).
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -40,7 +41,10 @@ pub use metrics::{
     BuildInfo, LocalMetrics, MetricsRegistry, MetricsSnapshot, ReportDoc, Stage, Welford,
     REPORT_SCHEMA,
 };
-pub use pool::{run_ordered, run_ordered_exact, tune_allocator, PoolStats};
+pub use pool::{
+    resident, run_ordered, run_ordered_burst, run_ordered_exact, tune_allocator, PoolStats,
+    Scheduler, WorkerPool,
+};
 pub use report::{BatchReport, FileReport, FileStatus, Summary};
 pub use shard::{ShardCounters, ShardStats};
 pub use store::{ReplaySummary, StoreStats, VerdictRecord, VerdictStore};

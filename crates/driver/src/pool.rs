@@ -18,10 +18,28 @@
 //! orders of magnitude more than a straight-line `prove`), which is exactly
 //! the imbalance work-stealing absorbs: a worker that drew five cheap specs
 //! drains its deque and relieves the worker stuck on the expensive one.
+//!
+//! Two executors share that scheme:
+//!
+//! * **resident** ([`WorkerPool`], [`resident`]): a process-lifetime pool
+//!   of threads parked on a condvar between submissions. [`run_ordered`]
+//!   submits here, so the batch phases (stage → discharge → finish), every
+//!   file of a batch, sharded replays and every daemon request reuse the
+//!   same threads instead of respawning a burst per call.
+//! * **burst** ([`run_ordered_burst`], [`run_ordered_exact`]): a scoped
+//!   spawn of fresh threads for one call — the pre-pool behaviour, kept as
+//!   the differential baseline (the byte-identity suites assert burst and
+//!   resident runs render identically) and for benchmarking the churn the
+//!   resident pool removes.
+//!
+//! Both executors deal, steal and aggregate identically, so which one ran
+//! is invisible in any deterministic output — only stderr scheduling
+//! counters and wall-clock differ.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Tunes glibc malloc for repeated short-lived worker bursts. Call once,
 /// early in `main`, **before the first pool spawns** — `mallopt` only
@@ -33,11 +51,14 @@ use std::sync::Mutex;
 ///
 /// * **arena count capped at the core count.** glibc creates up to
 ///   `8 × cores` thread-local arenas, one per simultaneously allocating
-///   thread. Pool workers are short-lived — every [`run_ordered`] call
-///   spawns a fresh scoped burst — so under the default cap each burst
+///   thread. Burst workers are short-lived — a [`run_ordered_burst`] call
+///   spawns a fresh scoped set — so under the default cap each burst
 ///   attaches to its own set of arenas, and the pages those arenas trimmed
 ///   when the previous burst's heaps drained are minor-faulted in all over
-///   again. Measured on the driver corpus (1000 entries, one core, glibc
+///   again. The resident [`WorkerPool`] removes that churn at the source
+///   (the same threads and arenas serve every submission); the tuning
+///   stays as defence for the burst path and for short-lived one-shot
+///   processes. Measured on the driver corpus (1000 entries, one core, glibc
 ///   2.36), an 8-worker pass re-faulted ~44k pages (~70 ms of fault
 ///   service) on *every* pass, while the single-worker path — which stays
 ///   on the main `sbrk` arena — faulted almost nothing after warm-up. One
@@ -98,8 +119,383 @@ pub struct PoolStats {
     pub steals: u64,
 }
 
-/// Runs `f` over every item, fanning out across **up to** `jobs` worker
-/// threads, and returns the results **in input order**.
+fn hardware_cap() -> usize {
+    std::thread::available_parallelism().map_or(usize::MAX, std::num::NonZeroUsize::get)
+}
+
+/// The type-erased "execute job `i`" entry point of one [`Submission`].
+///
+/// Stored as a raw pointer (not a reference) so a pool worker may keep its
+/// `Arc<Submission>` alive past the submitter's stack frame without
+/// holding a then-dangling reference; the pointer is only dereferenced in
+/// [`Submission::invoke`], while the submitter is provably still parked
+/// inside [`WorkerPool::run_ordered_exact`].
+struct ErasedRun(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (part of the erased type) and
+// `Submission::invoke` is the only dereference site, so sharing the
+// pointer across worker threads grants nothing beyond what sharing
+// `&(dyn Fn(usize) + Sync)` would.
+#[allow(unsafe_code)]
+unsafe impl Send for ErasedRun {}
+// SAFETY: as above — `&ErasedRun` only ever exposes a `Sync` callee.
+#[allow(unsafe_code)]
+unsafe impl Sync for ErasedRun {}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Pool-internal locks are never held across user code, so poisoning
+    // can only mean another worker died mid-bookkeeping; recovering keeps
+    // the resident pool serviceable for unrelated submissions.
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One fan-out in flight on a [`WorkerPool`]: the dealt per-role deques,
+/// the erased job body, and the counters the submitter waits on. The
+/// submitter always holds role 0; pool workers claim roles `1..workers`.
+struct Submission {
+    /// Per-role deques, dealt round-robin exactly like the burst executor.
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    run: ErasedRun,
+    /// Next unclaimed role; starts at 1 (role 0 is the submitter's).
+    next_role: AtomicUsize,
+    /// Jobs not yet finished; reaching zero completes the submission.
+    remaining: AtomicUsize,
+    executed: Vec<AtomicU64>,
+    steals: AtomicU64,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// First panic payload out of any job, re-raised by the submitter.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Submission {
+    fn claim_role(&self) -> Option<usize> {
+        let workers = self.deques.len();
+        self.next_role
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |role| {
+                (role < workers).then_some(role + 1)
+            })
+            .ok()
+    }
+
+    /// Invokes the erased job body for `job`.
+    #[allow(unsafe_code)]
+    fn invoke(&self, job: usize) {
+        // SAFETY: `run` points into the stack frame of the submitter,
+        // which stays parked inside `WorkerPool::run_ordered_exact` until
+        // `remaining` reaches zero; every `invoke` call is sequenced
+        // before the decrement that releases it, so the closure (and the
+        // items, slots and `f` it borrows) outlives every invocation.
+        let run = unsafe { &*self.run.0 };
+        run(job);
+    }
+
+    /// Runs jobs as role `role` until the submission has nothing left to
+    /// pop or steal: own deque from the front, then victims' backs,
+    /// scanning cyclically — the same discipline as the burst executor.
+    fn work(&self, role: usize) {
+        let workers = self.deques.len();
+        loop {
+            let own = lock(&self.deques[role]).pop_front();
+            let (job, stolen) = match own {
+                Some(job) => (Some(job), false),
+                None => {
+                    let stolen = (1..workers).find_map(|offset| {
+                        lock(&self.deques[(role + offset) % workers]).pop_back()
+                    });
+                    (stolen, true)
+                }
+            };
+            let Some(job) = job else {
+                // Every deque empty: in-flight jobs belong to other roles
+                // and no job spawns jobs, so this role is done.
+                return;
+            };
+            if stolen {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| self.invoke(job))) {
+                lock(&self.panic).get_or_insert(payload);
+            }
+            self.executed[role].fetch_add(1, Ordering::Relaxed);
+            // AcqRel: the final decrement acquires every earlier worker's
+            // slot writes before the submitter reads the slots back.
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                *lock(&self.done) = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+struct PoolState {
+    /// Submissions still worth offering roles on, oldest first.
+    pending: Vec<Arc<Submission>>,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+}
+
+fn worker_loop(inner: &PoolInner) {
+    loop {
+        let (submission, role) = {
+            let mut state = lock(&inner.state);
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                let claimed = state
+                    .pending
+                    .iter()
+                    .find_map(|sub| sub.claim_role().map(|role| (Arc::clone(sub), role)));
+                match claimed {
+                    Some(claimed) => break claimed,
+                    // Park until the next submission (or shutdown).
+                    None => {
+                        state = inner
+                            .work_cv
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner)
+                    }
+                }
+            }
+        };
+        submission.work(role);
+    }
+}
+
+/// A long-lived pool of worker threads parked on a condvar between
+/// submissions.
+///
+/// Each [`run_ordered`](WorkerPool::run_ordered) call becomes one
+/// *submission*: job indices are dealt round-robin into per-role deques
+/// exactly as the burst executor deals them, parked workers wake and claim
+/// roles, and results land in pre-allocated input-order slots — so
+/// resident and burst scheduling are indistinguishable in any
+/// deterministic output. The submitting thread always participates as
+/// role 0, which makes the pool deadlock-free by construction: even with
+/// zero pool threads (or all of them busy on other submissions, e.g.
+/// concurrent daemon requests) a submission drains and completes on its
+/// caller.
+///
+/// A panic inside a job is caught on the worker, carried across the pool
+/// and re-raised on the submitting thread once the submission drains —
+/// the same observable behaviour as a scoped burst, and the pool stays
+/// serviceable for later submissions.
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// A pool sized for the machine: `available_parallelism - 1` parked
+    /// threads, so a submitting thread plus the pool saturate the hardware
+    /// without oversubscribing it. On a single-core box the pool holds no
+    /// threads at all and every submission runs inline on its caller.
+    pub fn new() -> WorkerPool {
+        let hardware = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        WorkerPool::with_threads(hardware.saturating_sub(1))
+    }
+
+    /// A pool with exactly `threads` parked workers (plus the submitting
+    /// thread at run time) — the mechanism entry, for tests of the
+    /// scheduling itself.
+    pub fn with_threads(threads: usize) -> WorkerPool {
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(PoolState {
+                pending: Vec::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("hhl-pool-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { inner, handles }
+    }
+
+    /// Number of resident worker threads (the submitting thread is extra).
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// [`run_ordered`] against this pool: same `--jobs` ceiling policy as
+    /// the free function (capped at `available_parallelism`, clamped to
+    /// `1..=items.len()`).
+    pub fn run_ordered<I, T, F>(&self, items: &[I], jobs: usize, f: F) -> (Vec<T>, PoolStats)
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        self.run_ordered_exact(items, jobs.min(hardware_cap()), f)
+    }
+
+    /// Submits one fan-out with exactly `jobs` roles (clamped to
+    /// `1..=items.len()`), no hardware cap. With one effective role the
+    /// items run inline on the caller — no submission, no wake-ups —
+    /// keeping the sequential path bit-compatible with a plain loop.
+    pub fn run_ordered_exact<I, T, F>(&self, items: &[I], jobs: usize, f: F) -> (Vec<T>, PoolStats)
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        let workers = jobs.clamp(1, items.len().max(1));
+        if workers <= 1 || items.len() <= 1 {
+            let results: Vec<T> = items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+            let stats = PoolStats {
+                workers: 1,
+                executed: vec![items.len() as u64],
+                steals: 0,
+            };
+            return (results, stats);
+        }
+
+        // One slot per job; filled exactly once by whichever role runs it.
+        let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let run = |job: usize| {
+            let value = f(job, &items[job]);
+            *slots[job].lock().expect("slot poisoned") = Some(value);
+        };
+        // SAFETY: pure lifetime erasure of the fat reference so it fits
+        // the (implicitly `'static`) pointee type of `ErasedRun`. The
+        // pointer is only dereferenced by `Submission::invoke` while this
+        // function is still parked below (structured concurrency: we do
+        // not return until `remaining` hits zero, and every dereference is
+        // sequenced before the decrement that lets it), so `run` — and the
+        // `f`, `items` and `slots` it borrows — outlives every use.
+        #[allow(unsafe_code)]
+        let erased: &'static (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(&run)
+        };
+        let submission = Arc::new(Submission {
+            deques: (0..workers)
+                .map(|w| Mutex::new((w..items.len()).step_by(workers).collect()))
+                .collect(),
+            run: ErasedRun(erased as *const _),
+            next_role: AtomicUsize::new(1),
+            remaining: AtomicUsize::new(items.len()),
+            executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            steals: AtomicU64::new(0),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut state = lock(&self.inner.state);
+            state.pending.push(Arc::clone(&submission));
+        }
+        self.inner.work_cv.notify_all();
+
+        // The submitter is role 0: progress never depends on pool threads
+        // being free, so concurrent submissions cannot starve each other.
+        submission.work(0);
+        let mut done = lock(&submission.done);
+        while !*done {
+            done = submission
+                .done_cv
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(done);
+        {
+            let mut state = lock(&self.inner.state);
+            state.pending.retain(|sub| !Arc::ptr_eq(sub, &submission));
+        }
+        if let Some(payload) = lock(&submission.panic).take() {
+            resume_unwind(payload);
+        }
+        // No role can reach `invoke` any more: all deques are drained and
+        // every job finished, so moving `slots` out is safe.
+        let results: Vec<T> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot poisoned")
+                    .expect("every job ran exactly once")
+            })
+            .collect();
+        let stats = PoolStats {
+            workers,
+            executed: submission
+                .executed
+                .iter()
+                .map(|e| e.load(Ordering::Relaxed))
+                .collect(),
+            steals: submission.steals.load(Ordering::Relaxed),
+        };
+        (results, stats)
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> WorkerPool {
+        WorkerPool::new()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        lock(&self.inner.state).shutdown = true;
+        self.inner.work_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The process-resident [`WorkerPool`] every [`run_ordered`] call submits
+/// to: spawned lazily on first use, sized `available_parallelism - 1`, and
+/// alive for the rest of the process — batch phases, every file of every
+/// batch, sharded replays and concurrent daemon connections all share
+/// these workers.
+pub fn resident() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(WorkerPool::new)
+}
+
+/// Which executor a fan-out call uses. Scheduling is invisible in every
+/// deterministic output, so the choice is pure policy: `Resident` for
+/// production (no thread churn), `Burst` as the differential baseline the
+/// byte-identity suites and the `pool_resident` vs `pool_burst` bench
+/// series compare against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Submit to the process-resident pool ([`resident`]).
+    #[default]
+    Resident,
+    /// Spawn a scoped burst of threads for this call alone (the pre-pool
+    /// behaviour).
+    Burst,
+}
+
+impl Scheduler {
+    /// [`run_ordered`] through the selected executor.
+    pub fn run_ordered<I, T, F>(self, items: &[I], jobs: usize, f: F) -> (Vec<T>, PoolStats)
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        match self {
+            Scheduler::Resident => resident().run_ordered(items, jobs, f),
+            Scheduler::Burst => run_ordered_burst(items, jobs, f),
+        }
+    }
+}
+
+/// Runs `f` over every item, fanning out across **up to** `jobs` workers
+/// of the [`resident`] pool, and returns the results **in input order**.
 ///
 /// `jobs` is a ceiling, not a demand: verification is CPU-bound, so
 /// workers beyond the machine's hardware threads can never finish sooner —
@@ -109,11 +505,12 @@ pub struct PoolStats {
 /// workers make no progress, more workers than jobs would only idle), so
 /// `--jobs 8` on a single-core box behaves exactly like `--jobs 1`, never
 /// worse. Callers that need a literal worker count (tests of the stealing
-/// mechanism; I/O-bound fan-out) use [`run_ordered_exact`].
+/// mechanism; I/O-bound fan-out) use [`run_ordered_exact`] or
+/// [`WorkerPool::run_ordered_exact`].
 ///
 /// `f` receives `(index, &item)` and must be safe to call concurrently.
 /// With one effective worker the items run on the caller's thread in input
-/// order — no threads are spawned, so the run behaves exactly like a
+/// order — nothing is submitted, so the run behaves exactly like a
 /// sequential loop.
 ///
 /// # Examples
@@ -131,15 +528,27 @@ where
     T: Send,
     F: Fn(usize, &I) -> T + Sync,
 {
-    let hardware =
-        std::thread::available_parallelism().map_or(usize::MAX, std::num::NonZeroUsize::get);
-    run_ordered_exact(items, jobs.min(hardware), f)
+    resident().run_ordered(items, jobs, f)
 }
 
-/// [`run_ordered`] without the `available_parallelism` cap: spawns exactly
-/// `jobs` workers (clamped to `1..=items.len()`), oversubscribed or not.
-/// This is the scheduling *mechanism*; `run_ordered` is the policy wrapper
-/// every `--jobs` path goes through.
+/// [`run_ordered`] on the burst executor: spawns a fresh scoped set of up
+/// to `jobs` threads (capped at `available_parallelism`) for this call
+/// alone. This was the only executor before the resident pool landed; it
+/// remains the differential baseline and the benchmark comparator.
+pub fn run_ordered_burst<I, T, F>(items: &[I], jobs: usize, f: F) -> (Vec<T>, PoolStats)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    run_ordered_exact(items, jobs.min(hardware_cap()), f)
+}
+
+/// The burst executor without the `available_parallelism` cap: spawns
+/// exactly `jobs` workers (clamped to `1..=items.len()`), oversubscribed
+/// or not. This is the scheduling *mechanism*; [`run_ordered_burst`] is
+/// the policy wrapper, and [`run_ordered`] is the resident-pool
+/// equivalent every `--jobs` path goes through.
 pub fn run_ordered_exact<I, T, F>(items: &[I], jobs: usize, f: F) -> (Vec<T>, PoolStats)
 where
     I: Sync,
@@ -276,6 +685,121 @@ mod tests {
     fn workers_clamped_to_job_count() {
         let (_, stats) = run_ordered_exact(&[1, 2, 3], 100, |_, &n| n);
         assert!(stats.workers <= 3, "{stats:?}");
+    }
+
+    #[test]
+    fn resident_pool_matches_burst_for_every_job_count() {
+        // One private pool, many submissions: parking and re-waking between
+        // submissions must never change the input-order contract.
+        let pool = WorkerPool::with_threads(3);
+        let items: Vec<usize> = (0..57).collect();
+        let expected: Vec<usize> = items.iter().map(|n| n * 10).collect();
+        for round in 0..3 {
+            for jobs in [1, 2, 3, 8, 64] {
+                let (resident, stats) = pool.run_ordered_exact(&items, jobs, |i, &n| {
+                    assert_eq!(i, n);
+                    n * 10
+                });
+                let (burst, _) = run_ordered_exact(&items, jobs, |_, &n| n * 10);
+                assert_eq!(resident, expected, "round {round}, jobs {jobs}");
+                assert_eq!(resident, burst);
+                assert_eq!(
+                    stats.executed.iter().sum::<u64>(),
+                    items.len() as u64,
+                    "round {round}, jobs {jobs}"
+                );
+                assert_eq!(stats.executed.len(), stats.workers);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_thread_pool_completes_on_the_submitter() {
+        // Deadlock-freedom by construction: with no pool threads at all,
+        // role 0 (the caller) drains every deque, stealing the dealt
+        // shares of the roles nobody claimed.
+        let pool = WorkerPool::with_threads(0);
+        let items: Vec<usize> = (0..23).collect();
+        let (out, stats) = pool.run_ordered_exact(&items, 4, |_, &n| n + 1);
+        let expected: Vec<usize> = items.iter().map(|n| n + 1).collect();
+        assert_eq!(out, expected);
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.executed.iter().sum::<u64>(), items.len() as u64);
+        assert_eq!(stats.executed[0], items.len() as u64);
+        assert!(stats.steals > 0, "unclaimed roles' deques must be stolen");
+    }
+
+    #[test]
+    fn pool_workers_steal_uneven_workloads() {
+        let pool = WorkerPool::with_threads(3);
+        let items: Vec<u64> = (0..32).collect();
+        let (_, stats) = pool.run_ordered_exact(&items, 4, |i, _| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            }
+            i
+        });
+        assert_eq!(stats.workers, 4);
+        assert!(
+            stats.steals > 0,
+            "idle roles must steal from the stalled one: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn concurrent_submissions_share_one_pool() {
+        // Daemon-shaped load: several submitting threads racing on the
+        // same pool. Every submission must complete with its own correct,
+        // input-ordered results (role 0 guarantees progress even when all
+        // pool threads are attached elsewhere).
+        let pool = std::sync::Arc::new(WorkerPool::with_threads(2));
+        let mut threads = Vec::new();
+        for t in 0..4u64 {
+            let pool = std::sync::Arc::clone(&pool);
+            threads.push(std::thread::spawn(move || {
+                for round in 0..8u64 {
+                    let items: Vec<u64> = (0..40).map(|n| n + 1000 * t + 100 * round).collect();
+                    let (out, _) = pool.run_ordered_exact(&items, 3, |_, &n| n * 2);
+                    let expected: Vec<u64> = items.iter().map(|n| n * 2).collect();
+                    assert_eq!(out, expected, "thread {t}, round {round}");
+                }
+            }));
+        }
+        for thread in threads {
+            thread.join().expect("submitter panicked");
+        }
+    }
+
+    #[test]
+    fn job_panics_propagate_to_the_submitter_and_spare_the_pool() {
+        let pool = WorkerPool::with_threads(2);
+        let items: Vec<usize> = (0..16).collect();
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_ordered_exact(&items, 3, |i, _| {
+                assert!(i != 7, "boom at 7");
+                i
+            })
+        }));
+        assert!(attempt.is_err(), "the job panic must reach the submitter");
+        // The pool survives: the next submission runs normally.
+        let (out, _) = pool.run_ordered_exact(&items, 3, |_, &n| n + 1);
+        let expected: Vec<usize> = items.iter().map(|n| n + 1).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn scheduler_variants_agree() {
+        let items: Vec<u32> = (0..33).collect();
+        let expected: Vec<u32> = items.iter().map(|n| n * 3).collect();
+        for scheduler in [Scheduler::Resident, Scheduler::Burst] {
+            let (out, stats) = scheduler.run_ordered(&items, 4, |_, &n| n * 3);
+            assert_eq!(out, expected, "{scheduler:?}");
+            assert_eq!(
+                stats.executed.iter().sum::<u64>(),
+                items.len() as u64,
+                "{scheduler:?}"
+            );
+        }
     }
 
     #[test]

@@ -9,7 +9,11 @@
 #   * the warm pass does zero parse/elaborate work: the `stage parse:
 #     samples=` counter reported by `status` is unchanged between passes,
 #   * a malformed line gets an exit-2 error response without killing the
-#     daemon, and `shutdown` ends the process with exit 0.
+#     daemon, and `shutdown` ends the process with exit 0,
+#   * socket mode serves two *concurrent* connections against the shared
+#     worker pool, and a `shutdown` on one connection drains the other:
+#     the in-flight sibling still receives its complete response, the
+#     daemon exits 0, and it removes its own socket file.
 #
 # Used both locally (./scripts/ci/serve_smoke.sh) and by the CI workflow.
 # Override the binary with HHL_BIN, e.g. HHL_BIN=target/release/hhl.
@@ -89,3 +93,65 @@ test -n "$p1_samples"
 test "$p1_samples" = "$p2_samples"
 
 echo "serve_smoke: $responses responses, warm pass fully cached ($p1_samples unchanged)"
+
+# == Socket transport: two concurrent connections, draining shutdown ==
+# Connection A sends a multi-file check; connection B requests shutdown
+# while A is (likely still) in flight. The drain contract: A receives its
+# complete exit-0 response anyway, the daemon exits 0, and the socket
+# file is gone afterwards.
+socket="$tmp/hhl.sock"
+"$HHL_BIN" serve --socket "$socket" --cache-dir "$tmp/cache-sock" &
+daemon_pid=$!
+python3 - "$socket" <<'PY'
+import json
+import socket
+import sys
+import time
+
+path = sys.argv[1]
+for _ in range(200):
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        probe.connect(path)
+        probe.close()
+        break
+    except OSError:
+        probe.close()
+        time.sleep(0.025)
+else:
+    sys.exit("serve_smoke: daemon socket never came up")
+
+slow = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+slow.connect(path)
+files = [
+    f"examples/specs/{name}"
+    for name in ("ni_c1.hhl", "ni_c2.hhl", "while_sync.hhl", "minimum.hhl")
+]
+request = {
+    "schema": "hhl-request v1",
+    "id": "slow",
+    "command": "check",
+    "files": files,
+    "jobs": 4,
+}
+slow.sendall((json.dumps(request) + "\n").encode())
+time.sleep(0.15)  # the daemon has read the line; shutdown races the dispatch
+
+fast = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+fast.connect(path)
+fast.sendall(b'{"command":"shutdown"}\n')
+bye = fast.makefile().readline()
+assert "shutting down" in bye, f"unexpected shutdown reply: {bye!r}"
+
+reply = slow.makefile().readline()
+response = json.loads(reply)
+assert response["id"] == "slow", reply
+assert response["exit"] == 0, reply
+print("serve_smoke: sibling drained with a complete response during shutdown")
+PY
+wait "$daemon_pid"
+if [ -e "$socket" ]; then
+  echo "serve_smoke: daemon left its socket file behind" >&2
+  exit 1
+fi
+echo "serve_smoke: socket daemon drained two concurrent connections cleanly"

@@ -287,4 +287,12 @@ fn responses_render_and_parse_for_every_engine_outcome() {
         "{}",
         status.stdout
     );
+    assert!(
+        status
+            .stdout
+            .lines()
+            .any(|l| l.starts_with("response-cache: ") && l.contains("evictions=")),
+        "status must report response-cache evictions: {}",
+        status.stdout
+    );
 }

@@ -34,7 +34,7 @@ use hhl_bench::corpus::{self, CorpusEntry};
 use hhl_cli::{parse_spec, run_replay, run_replay_sharded, RunError, Spec};
 use hhl_core::proof::ProofContext;
 use hhl_driver::store::VerdictStore;
-use hhl_driver::{ShardCounters, ShardStats};
+use hhl_driver::{Scheduler, ShardCounters, ShardStats};
 use hhl_proofs::{compile_script, shard_derivation};
 
 const JOB_COUNTS: [usize; 3] = [1, 4, 8];
@@ -62,7 +62,7 @@ fn assert_equivalent(spec: &Spec, cert: &str, what: &str) -> ShardStats {
     let mut baseline: Option<(String, ShardStats)> = None;
     for jobs in JOB_COUNTS {
         let counters = ShardCounters::new();
-        let sharded = run_replay_sharded(spec, cert, jobs, None, &counters);
+        let sharded = run_replay_sharded(spec, cert, jobs, Scheduler::Resident, None, &counters);
         let rendered = match (&whole, &sharded) {
             (Ok(w), Ok(s)) => {
                 assert_eq!(
@@ -119,6 +119,7 @@ fn example_certificates_shard_equivalently() {
         &spec,
         &example("proofs/ni_unrolled.hhlp"),
         4,
+        Scheduler::Resident,
         None,
         &counters,
     )
@@ -207,7 +208,7 @@ fn failed_shards_never_become_spec_verdicts() {
                 step root cons pre={true} post={true} from=a\n";
     for jobs in JOB_COUNTS {
         let counters = ShardCounters::new();
-        let result = run_replay_sharded(&spec, cert, jobs, None, &counters);
+        let result = run_replay_sharded(&spec, cert, jobs, Scheduler::Resident, None, &counters);
         let Err(RunError::Certificate(msg)) = result else {
             panic!("jobs={jobs}: refuted certificate must be a hard error: {result:?}");
         };
@@ -229,7 +230,15 @@ fn warm_store_skips_elaboration_and_postcondition_edits_recheck_only_alignment()
 
     // Cold: every distinct shard re-checked and recorded, plus a summary.
     let cold_counters = ShardCounters::new();
-    let cold = run_replay_sharded(&spec, &cert, 1, Some(&store), &cold_counters).unwrap();
+    let cold = run_replay_sharded(
+        &spec,
+        &cert,
+        1,
+        Scheduler::Resident,
+        Some(&store),
+        &cold_counters,
+    )
+    .unwrap();
     let cold_stats = cold_counters.snapshot();
     assert_eq!(cold_stats.cached, 0, "{cold_stats:?}");
     assert_eq!(cold_stats.rechecked, cold_stats.distinct, "{cold_stats:?}");
@@ -239,7 +248,15 @@ fn warm_store_skips_elaboration_and_postcondition_edits_recheck_only_alignment()
     // Warm: the summary record answers the whole pair — no elaboration, no
     // shards — with byte-identical output.
     let warm_counters = ShardCounters::new();
-    let warm = run_replay_sharded(&spec, &cert, 1, Some(&store), &warm_counters).unwrap();
+    let warm = run_replay_sharded(
+        &spec,
+        &cert,
+        1,
+        Scheduler::Resident,
+        Some(&store),
+        &warm_counters,
+    )
+    .unwrap();
     let warm_stats = warm_counters.snapshot();
     assert_eq!(cold.to_string(), warm.to_string());
     assert_eq!(
@@ -257,7 +274,15 @@ fn warm_store_skips_elaboration_and_postcondition_edits_recheck_only_alignment()
     )
     .unwrap();
     let edit_counters = ShardCounters::new();
-    let incremental = run_replay_sharded(&edited, &cert, 1, Some(&store), &edit_counters).unwrap();
+    let incremental = run_replay_sharded(
+        &edited,
+        &cert,
+        1,
+        Scheduler::Resident,
+        Some(&store),
+        &edit_counters,
+    )
+    .unwrap();
     let edit_stats = edit_counters.snapshot();
     assert_eq!(edit_stats.summaries, 0, "spec changed: summary must miss");
     assert_eq!(edit_stats.cached, cold_stats.distinct + 1, "{edit_stats:?}");
@@ -277,7 +302,15 @@ fn corrupted_obligation_records_recheck_instead_of_replaying_stale_passes() {
     let cert = example("proofs/while_sync.hhlp");
     let store = temp_store("corrupt");
     let cold_counters = ShardCounters::new();
-    let cold = run_replay_sharded(&spec, &cert, 1, Some(&store), &cold_counters).unwrap();
+    let cold = run_replay_sharded(
+        &spec,
+        &cert,
+        1,
+        Scheduler::Resident,
+        Some(&store),
+        &cold_counters,
+    )
+    .unwrap();
     let distinct = cold_counters.snapshot().distinct;
 
     // Corrupt every obligation record (truncation) and delete the summary
@@ -303,7 +336,15 @@ fn corrupted_obligation_records_recheck_instead_of_replaying_stale_passes() {
     );
 
     let counters = ShardCounters::new();
-    let rerun = run_replay_sharded(&spec, &cert, 4, Some(&store), &counters).unwrap();
+    let rerun = run_replay_sharded(
+        &spec,
+        &cert,
+        4,
+        Scheduler::Resident,
+        Some(&store),
+        &counters,
+    )
+    .unwrap();
     let stats = counters.snapshot();
     assert_eq!(cold.to_string(), rerun.to_string());
     assert_eq!(
@@ -354,7 +395,8 @@ fn hostile_certificates_error_spanned_under_sharding() {
             for (what, needle, cert) in &hostile {
                 for jobs in JOB_COUNTS {
                     let counters = ShardCounters::new();
-                    let result = run_replay_sharded(&spec, cert, jobs, None, &counters);
+                    let result =
+                        run_replay_sharded(&spec, cert, jobs, Scheduler::Resident, None, &counters);
                     let Err(RunError::Certificate(msg)) = result else {
                         panic!("{what}: jobs={jobs}: must be a certificate error: {result:?}");
                     };
@@ -382,7 +424,7 @@ fn hostile_certificates_error_spanned_under_sharding() {
                 )
                 .unwrap();
                 let counters = ShardCounters::new();
-                match run_replay_sharded(&spec, &s, 2, None, &counters) {
+                match run_replay_sharded(&spec, &s, 2, Scheduler::Resident, None, &counters) {
                     Ok(outcome) => {
                         let whole = run_replay(&spec, &s).expect("whole agrees");
                         assert_eq!(whole.to_string(), outcome.to_string(), "case {i}");
