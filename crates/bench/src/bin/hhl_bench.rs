@@ -18,7 +18,10 @@
 //!   the contract exactly (>= 1.0) and the fresh fast-mode re-measure
 //!   must stay above a noise floor (0.90). The same two-check shape gates
 //!   `speedup_pool_resident_vs_burst` — the resident worker pool must
-//!   never be slower per submission than the scoped per-call burst.
+//!   never be slower per submission than the scoped per-call burst — and
+//!   `speedup_serve_concurrent_interleaved_vs_serial` — two requests
+//!   dispatched concurrently against one engine must never be slower than
+//!   draining them back-to-back.
 //!
 //! Exit codes: `0` clean, `1` regression detected, `2` usage/IO errors.
 
@@ -39,10 +42,11 @@ const USAGE: &str = "usage: hhl-bench <command> [args]
       Re-run each baseline's measurement suite (fast mode by default) and
       diff medians against the checked-in baseline, failing on any series
       more than PCT percent slower (default 35). The driver suite also
-      fails when the recorded speedup_jobs8_vs_jobs1 or
-      speedup_pool_resident_vs_burst is below 1.0 or a fresh re-measure
-      drops below 0.90, and prints slowest-file / slowest-rule telemetry
-      tables from its instrumented batch pass.
+      fails when the recorded speedup_jobs8_vs_jobs1,
+      speedup_pool_resident_vs_burst or
+      speedup_serve_concurrent_interleaved_vs_serial is below 1.0 or a
+      fresh re-measure drops below 0.90, and prints slowest-file /
+      slowest-rule telemetry tables from its instrumented batch pass.
 
   hhl-bench report-check <report.json>...
       Validate `hhl batch --report json` output: the document must carry
@@ -178,6 +182,25 @@ fn pool_gate(baseline_meta: &[(String, String)], fresh_meta: &[(String, String)]
     two_point_gate(key, "pool executor", baseline_meta, fresh_meta)
 }
 
+/// The cross-request scheduling gate on
+/// `speedup_serve_concurrent_interleaved_vs_serial`: two requests
+/// dispatched concurrently against one engine must never be slower than
+/// draining them back-to-back (recorded >= 1.0 exactly; fresh
+/// re-measure above the shared noise floor). Skipped for suites whose
+/// fresh meta lacks the key (only the driver suite measures it).
+fn serve_concurrent_gate(
+    baseline_meta: &[(String, String)],
+    fresh_meta: &[(String, String)],
+) -> usize {
+    let key = "speedup_serve_concurrent_interleaved_vs_serial";
+    let fresh = fresh_meta.iter().find(|(k, _)| k == key);
+    let Some((_, value)) = fresh else {
+        return 0;
+    };
+    println!("serve concurrency (fresh): {key}={value}");
+    two_point_gate(key, "serve concurrency", baseline_meta, fresh_meta)
+}
+
 /// The shared two-check gate shape: the **recorded baseline** point is
 /// deterministic checked-in data and must satisfy its contract exactly
 /// (>= 1.0); the **fresh** fast-mode re-measure only fails below
@@ -292,6 +315,7 @@ fn cmd_compare(args: &[String]) -> ExitCode {
         let baseline_meta = suites::parse_meta(&json);
         regressions += scaling_gate(&baseline_meta, &new_meta);
         regressions += pool_gate(&baseline_meta, &new_meta);
+        regressions += serve_concurrent_gate(&baseline_meta, &new_meta);
         // Telemetry tables from the fresh instrumented pass: where the
         // batch spent its time, by file and by rule. Informational only —
         // timings never gate.

@@ -393,6 +393,9 @@ pub fn driver(fast: bool) -> DriverSuite {
     let serve = serve_series(if fast { 3 } else { 9 });
     results.extend(serve.results);
     meta.push(serve.speedup_meta);
+    let concurrent = serve_concurrent_series(if fast { 3 } else { 9 });
+    results.extend(concurrent.results);
+    meta.push(concurrent.speedup_meta);
     let pool = pool_series(if fast { 5 } else { 11 });
     results.extend(pool.results);
     meta.push(pool.speedup_meta);
@@ -462,6 +465,79 @@ fn serve_series(samples: usize) -> ServeSeries {
 struct ServeSeries {
     results: Vec<(String, u128)>,
     speedup_meta: (String, String),
+}
+
+/// The cross-request scheduling series: one large and one small check
+/// request answered back-to-back on a single thread (`serial`) versus
+/// concurrently from two threads against the same engine
+/// (`interleaved`) — the daemon shape where two socket connections
+/// dispatch at once and the resident pool's continuous-batching
+/// scheduler sweeps both submissions' shard queues round-robin. The
+/// `speedup_serve_concurrent_interleaved_vs_serial` meta records that
+/// sharing the pool across in-flight requests never costs wall time
+/// against draining them one at a time.
+///
+/// The meta point follows the scaling curve's identity-record rule: on
+/// a single hardware thread both configurations run the same
+/// sequential discharge path by construction — there is no second
+/// schedule to measure, and timing the same code twice only samples
+/// clock noise — so the point is recorded as 1.00 by identity. With
+/// real cores, the ratio of the two measured series is recorded.
+fn serve_concurrent_series(samples: usize) -> ServeSeries {
+    use hhl_cli::api::{Action, Engine, Request};
+
+    let files = |names: &[&str]| {
+        names
+            .iter()
+            .map(|name| repo_file(&format!("examples/specs/{name}")))
+            .collect()
+    };
+    let mut large = Request::new(
+        Action::Check,
+        files(&["ni_c1.hhl", "ni_c2.hhl", "while_sync.hhl", "minimum.hhl"]),
+    );
+    large.jobs = Some(4);
+    let mut small = Request::new(Action::Check, files(&["minimum.hhl"]));
+    small.jobs = Some(2);
+    let target_ns = 20_000_000;
+
+    // A fresh engine per iteration on both sides: the response cache
+    // would otherwise answer every pass after the first and the series
+    // would measure a hash lookup, not shard scheduling. Creation cost
+    // is paid identically by both configurations.
+    let serial = median_ns(samples, target_ns, || {
+        let engine = Engine::one_shot();
+        black_box(engine.handle(black_box(&large)));
+        black_box(engine.handle(black_box(&small)));
+    });
+    let interleaved = median_ns(samples, target_ns, || {
+        let engine = Engine::one_shot();
+        std::thread::scope(|scope| {
+            let big = scope.spawn(|| black_box(engine.handle(black_box(&large))));
+            black_box(engine.handle(black_box(&small)));
+            let _ = big.join();
+        });
+    });
+
+    let hardware = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let ratio = if hardware <= 1 {
+        "1.00".to_owned()
+    } else {
+        format!("{:.2}", serial as f64 / interleaved.max(1) as f64)
+    };
+    ServeSeries {
+        results: vec![
+            ("driver/serve_concurrent_serial".to_owned(), serial),
+            (
+                "driver/serve_concurrent_interleaved".to_owned(),
+                interleaved,
+            ),
+        ],
+        speedup_meta: (
+            "speedup_serve_concurrent_interleaved_vs_serial".to_owned(),
+            ratio,
+        ),
+    }
 }
 
 /// The pool-executor series: the identical fan-out — many small

@@ -207,6 +207,11 @@ pub struct Request {
     /// `gc`: cap the re-exported memo snapshot at this many entries
     /// (the batch snapshot cap when absent).
     pub gc_memo: Option<usize>,
+    /// `"stream":true`: answer with incremental [`Frame`] chunk lines
+    /// (one per file) and a terminal `end` frame instead of one buffered
+    /// [`Response`] document. The concatenated chunk `stdout`s are
+    /// byte-identical to the non-streamed `Response::stdout`.
+    pub stream: bool,
 }
 
 impl Request {
@@ -222,6 +227,7 @@ impl Request {
             session: None,
             gc_keep: None,
             gc_memo: None,
+            stream: false,
         }
     }
 }
@@ -314,6 +320,204 @@ impl Response {
             stdout,
             stderr,
         })
+    }
+}
+
+/// One line of a streamed response (`"stream":true` requests): a sequence
+/// of `chunk` frames carrying stdout slices (one per rendered file),
+/// closed by exactly one `end` frame carrying the exit code, the cached
+/// flag and the stderr lines. Frames share the [`RESPONSE_SCHEMA`] tag
+/// and are distinguished from buffered [`Response`] documents by the
+/// `"frame"` field; `seq` numbers every frame of one response `0..=n` so
+/// clients detect dropped lines. [`Frame::reassemble`] folds a full frame
+/// sequence back into the byte-identical [`Response`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// One stdout slice. Concatenating every chunk's `stdout` in `seq`
+    /// order yields exactly [`Response::stdout`].
+    Chunk {
+        /// Echo of [`Request::id`].
+        id: String,
+        /// Position in the frame sequence, starting at 0.
+        seq: u64,
+        /// This slice of the stdout byte stream.
+        stdout: String,
+    },
+    /// The terminal frame: everything a [`Response`] carries besides
+    /// stdout.
+    End {
+        /// Echo of [`Request::id`].
+        id: String,
+        /// Position in the frame sequence (always the highest).
+        seq: u64,
+        /// The process exit code the one-shot CLI would return (0/1/2).
+        exit_code: u8,
+        /// `true` when answered from the response cache.
+        cached: bool,
+        /// Stderr lines, in print order, without trailing newlines.
+        stderr: Vec<String>,
+    },
+}
+
+impl Frame {
+    /// Serializes as a single [`RESPONSE_SCHEMA`] JSON line (no trailing
+    /// newline).
+    pub fn render(&self) -> String {
+        let mut buf = String::new();
+        match self {
+            Frame::Chunk { id, seq, stdout } => {
+                let _ = write!(
+                    buf,
+                    "{{\"schema\":\"{}\",\"id\":\"{}\",\"frame\":\"chunk\",\"seq\":{},\
+                     \"stdout\":\"{}\"}}",
+                    RESPONSE_SCHEMA,
+                    escape_json(id),
+                    seq,
+                    escape_json(stdout)
+                );
+            }
+            Frame::End {
+                id,
+                seq,
+                exit_code,
+                cached,
+                stderr,
+            } => {
+                let _ = write!(
+                    buf,
+                    "{{\"schema\":\"{}\",\"id\":\"{}\",\"frame\":\"end\",\"seq\":{},\
+                     \"exit\":{},\"cached\":{}",
+                    RESPONSE_SCHEMA,
+                    escape_json(id),
+                    seq,
+                    exit_code,
+                    cached
+                );
+                buf.push_str(",\"stderr\":[");
+                for (i, line) in stderr.iter().enumerate() {
+                    if i > 0 {
+                        buf.push(',');
+                    }
+                    let _ = write!(buf, "\"{}\"", escape_json(line));
+                }
+                buf.push_str("]}");
+            }
+        }
+        buf
+    }
+
+    /// Parses a [`Frame::render`] line back. A buffered [`Response`] line
+    /// (no `"frame"` field) is an error here — callers that accept both
+    /// should try [`Response::parse`] first.
+    pub fn parse(line: &str) -> Result<Frame, String> {
+        let Json::Obj(fields) = parse_json(line)? else {
+            return Err("frame must be a JSON object".to_owned());
+        };
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        match get("schema") {
+            Some(Json::Str(s)) if s == RESPONSE_SCHEMA => {}
+            other => return Err(format!("unsupported response schema {other:?}")),
+        }
+        let id = match get("id") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => return Err("frame needs a string `id`".to_owned()),
+        };
+        let seq = match get("seq") {
+            Some(Json::Num(n)) => n.parse::<u64>().map_err(|_| format!("bad seq {n:?}"))?,
+            _ => return Err("frame needs a numeric `seq`".to_owned()),
+        };
+        match get("frame") {
+            Some(Json::Str(kind)) if kind == "chunk" => {
+                let stdout = match get("stdout") {
+                    Some(Json::Str(s)) => s.clone(),
+                    _ => return Err("chunk frame needs a string `stdout`".to_owned()),
+                };
+                Ok(Frame::Chunk { id, seq, stdout })
+            }
+            Some(Json::Str(kind)) if kind == "end" => {
+                let exit_code = match get("exit") {
+                    Some(Json::Num(n)) => n
+                        .parse::<u8>()
+                        .map_err(|_| format!("bad exit code {n:?}"))?,
+                    _ => return Err("end frame needs a numeric `exit`".to_owned()),
+                };
+                let cached = matches!(get("cached"), Some(Json::Bool(true)));
+                let stderr = match get("stderr") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|item| match item {
+                            Json::Str(s) => Ok(s.clone()),
+                            other => Err(format!("stderr entries must be strings, got {other:?}")),
+                        })
+                        .collect::<Result<Vec<String>, String>>()?,
+                    None => Vec::new(),
+                    _ => return Err("`stderr` must be an array of strings".to_owned()),
+                };
+                Ok(Frame::End {
+                    id,
+                    seq,
+                    exit_code,
+                    cached,
+                    stderr,
+                })
+            }
+            other => Err(format!("bad `frame` discriminator {other:?}")),
+        }
+    }
+
+    /// Folds one complete frame sequence back into the [`Response`] a
+    /// non-streamed request would have returned: `seq` must run `0..=n`
+    /// without gaps, every frame must share one id, and the single `end`
+    /// frame must come last. The result is byte-identical whatever the
+    /// chunk granularity was.
+    pub fn reassemble(frames: &[Frame]) -> Result<Response, String> {
+        let mut stdout = String::new();
+        let mut terminal = None;
+        for (i, frame) in frames.iter().enumerate() {
+            let (id, seq) = match frame {
+                Frame::Chunk { id, seq, .. } | Frame::End { id, seq, .. } => (id, *seq),
+            };
+            if seq != i as u64 {
+                return Err(format!("frame {i} carries seq {seq} (dropped line?)"));
+            }
+            match frames.first() {
+                Some(Frame::Chunk { id: first, .. } | Frame::End { id: first, .. })
+                    if first != id =>
+                {
+                    return Err(format!("frame {i} switches id {first:?} -> {id:?}"));
+                }
+                _ => {}
+            }
+            match frame {
+                Frame::Chunk { stdout: piece, .. } => {
+                    if terminal.is_some() {
+                        return Err(format!("chunk frame {i} after the end frame"));
+                    }
+                    stdout.push_str(piece);
+                }
+                Frame::End {
+                    id,
+                    exit_code,
+                    cached,
+                    stderr,
+                    ..
+                } => {
+                    if terminal.is_some() {
+                        return Err(format!("second end frame at {i}"));
+                    }
+                    terminal = Some(Response {
+                        id: id.clone(),
+                        exit_code: *exit_code,
+                        cached: *cached,
+                        stdout: String::new(),
+                        stderr: stderr.clone(),
+                    });
+                }
+            }
+        }
+        let mut response = terminal.ok_or("frame sequence has no end frame")?;
+        response.stdout = stdout;
+        Ok(response)
     }
 }
 
@@ -591,6 +795,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Some(other) => return Err(format!("`{key}` must be a number, got {other:?}")),
         }
     }
+    match get("stream") {
+        Some(Json::Bool(stream)) => req.stream = *stream,
+        Some(Json::Null) | None => {}
+        Some(other) => return Err(format!("`stream` must be a boolean, got {other:?}")),
+    }
     Ok(req)
 }
 
@@ -820,6 +1029,46 @@ impl Engine {
     /// exit-code-2 responses, mirroring the CLI.
     pub fn handle(&self, req: &Request) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        self.dispatch(req)
+    }
+
+    /// Handles one request as a stream of [`Frame`]s: `emit` receives the
+    /// stdout chunks as they render (one per file on the full-report
+    /// commands) and finally exactly one end frame. Reassembling the
+    /// frames yields byte-for-byte the [`Engine::handle`] response for
+    /// the same request, but a huge batch never materializes its whole
+    /// report as one string. Streamed responses are never *inserted* into
+    /// the response cache (that would re-buffer them); they still answer
+    /// from an existing cached entry.
+    pub fn handle_stream(&self, req: &Request, emit: &mut dyn FnMut(Frame)) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match req.action {
+            Action::Check | Action::Prove | Action::Verify | Action::Replay | Action::Batch => {
+                self.verify_stream(req, emit);
+            }
+            _ => {
+                let response = self.dispatch(req);
+                let mut seq = 0;
+                if !response.stdout.is_empty() {
+                    emit(Frame::Chunk {
+                        id: req.id.clone(),
+                        seq,
+                        stdout: response.stdout,
+                    });
+                    seq = 1;
+                }
+                emit(Frame::End {
+                    id: req.id.clone(),
+                    seq,
+                    exit_code: response.exit_code,
+                    cached: response.cached,
+                    stderr: response.stderr,
+                });
+            }
+        }
+    }
+
+    fn dispatch(&self, req: &Request) -> Response {
         match req.action {
             Action::Status => self.status(req),
             Action::Gc => self.gc(req),
@@ -884,10 +1133,107 @@ impl Engine {
         response
     }
 
-    /// Runs a verification request for real. `shared` supplies warm memo
-    /// caches (engine-wide or session-scoped); `allow_store` is `false`
-    /// for session requests.
+    /// [`Engine::verify_request`] in streaming form: identical
+    /// validation, session and cache-hit logic, but stdout leaves as one
+    /// chunk frame per rendered piece instead of one buffered response.
+    fn verify_stream(&self, req: &Request, emit: &mut dyn FnMut(Frame)) {
+        let finish = |seq: u64, exit: u8, cached: bool, stderr: Vec<String>| Frame::End {
+            id: req.id.clone(),
+            seq,
+            exit_code: exit,
+            cached,
+            stderr,
+        };
+        let command = req.action.name();
+        if let Err(e) = req.cache.validate(command) {
+            return emit(finish(0, 2, false, vec![format!("error: {e}")]));
+        }
+        if req.files.is_empty() {
+            let message = format!("error: `hhl {command}` needs at least one file");
+            return emit(finish(0, 2, false, vec![message]));
+        }
+        if req.action == Action::Replay && !req.files.len().is_multiple_of(2) {
+            let message = "error: `hhl replay` takes (spec, certificate) pairs".to_owned();
+            return emit(finish(0, 2, false, vec![message]));
+        }
+        let session_caches = req.session.as_ref().map(|name| {
+            let mut sessions = self.sessions.lock().unwrap();
+            sessions
+                .entry(name.clone())
+                .or_insert_with(|| SessionState {
+                    _arena: begin_session(),
+                    caches: EngineCaches::fresh(),
+                })
+                .caches
+                .clone()
+        });
+        let (shared, allow_store) = match session_caches {
+            Some(caches) => (Some(caches), false),
+            None => {
+                let reuse = self.persistent && self.share && req.cache.use_cache;
+                let key = (reuse && !req.cache.fresh).then(|| response_key(req));
+                if let Some(key) = key {
+                    let hit = self.responses.lock().unwrap().hit(key).cloned();
+                    if let Some(hit) = hit {
+                        self.response_hits.fetch_add(1, Ordering::Relaxed);
+                        let mut seq = 0;
+                        if !hit.stdout.is_empty() {
+                            emit(Frame::Chunk {
+                                id: req.id.clone(),
+                                seq,
+                                stdout: hit.stdout,
+                            });
+                            seq = 1;
+                        }
+                        return emit(finish(seq, hit.exit_code, true, hit.stderr));
+                    }
+                }
+                (reuse.then(|| self.caches.clone()), true)
+            }
+        };
+        let mut seq = 0u64;
+        let (exit_code, stderr) = self.execute_into(req, shared, allow_store, &mut |piece| {
+            if !piece.is_empty() {
+                emit(Frame::Chunk {
+                    id: req.id.clone(),
+                    seq,
+                    stdout: piece.to_owned(),
+                });
+                seq += 1;
+            }
+        });
+        emit(finish(seq, exit_code, false, stderr));
+    }
+
+    /// Runs a verification request for real, buffering the streamed
+    /// chunks into one [`Response`]. `shared` supplies warm memo caches
+    /// (engine-wide or session-scoped); `allow_store` is `false` for
+    /// session requests.
     fn execute(&self, req: &Request, shared: Option<EngineCaches>, allow_store: bool) -> Response {
+        let mut stdout = String::new();
+        let (exit_code, stderr) = self.execute_into(req, shared, allow_store, &mut |piece| {
+            stdout.push_str(piece)
+        });
+        Response {
+            id: req.id.clone(),
+            exit_code,
+            cached: false,
+            stdout,
+            stderr,
+        }
+    }
+
+    /// The execution core: runs the request and hands every rendered
+    /// stdout piece to `sink` in order (for the full-report commands, one
+    /// piece per file — the streaming granularity). Returns the exit code
+    /// and the stderr lines, which only exist in full once the run ends.
+    fn execute_into(
+        &self,
+        req: &Request,
+        shared: Option<EngineCaches>,
+        allow_store: bool,
+        sink: &mut dyn FnMut(&str),
+    ) -> (u8, Vec<String>) {
         let mut warnings = Vec::new();
         let mut open = |dir: &str, fresh: bool| -> Option<Arc<VerdictStore>> {
             match VerdictStore::open(dir, fresh) {
@@ -946,7 +1292,7 @@ impl Engine {
             _ => None,
         };
         if req.action == Action::Replay && req.files.len() == 2 && !req.report_json {
-            return self.replay_single(req, oblig_store.as_deref(), warnings);
+            return self.replay_single(req, oblig_store.as_deref(), warnings, sink);
         }
         let opts = BatchOptions {
             jobs: req.jobs.unwrap_or_else(|| match req.action {
@@ -973,44 +1319,44 @@ impl Engine {
             _ => run_batch(&req.files, &opts),
         };
         self.merge_run_metrics(&run);
-        let (stdout, mut stderr, exit_code) = if req.report_json {
-            render_report_doc(&run)
+        let (mut stderr, exit_code) = if req.report_json {
+            let (stdout, stderr, exit_code) = render_report_doc(&run);
+            sink(&stdout);
+            (stderr, exit_code)
         } else {
             match req.action {
-                Action::Batch => render_batch(&run),
+                Action::Batch => {
+                    let (stdout, stderr, exit_code) = render_batch(&run);
+                    sink(&stdout);
+                    (stderr, exit_code)
+                }
                 Action::Replay => {
                     let headers: Vec<String> = req
                         .files
                         .chunks_exact(2)
                         .map(|pair| format!("{} ⊢ {}", pair[0], pair[1]))
                         .collect();
-                    let (stdout, mut stderr, exit_code) = render_full(&run, Some(&headers));
+                    let (mut stderr, exit_code) = render_full(&run, Some(&headers), sink);
                     stderr.extend(run.counter_lines());
-                    (stdout, stderr, exit_code)
+                    (stderr, exit_code)
                 }
                 _ => {
-                    let (stdout, mut stderr, exit_code) = render_full(&run, None);
+                    let (mut stderr, exit_code) = render_full(&run, None, sink);
                     // Counters only when asked for parallel/cached
                     // machinery — the flagless commands keep their classic
                     // quiet stderr.
                     if req.jobs.is_some() || memo_store.is_some() {
                         stderr.extend(run.counter_lines());
                     }
-                    (stdout, stderr, exit_code)
+                    (stderr, exit_code)
                 }
             }
         };
         stderr.splice(0..0, warnings);
-        Response {
-            id: req.id.clone(),
-            exit_code,
-            cached: false,
-            stdout,
-            stderr,
-        }
+        (exit_code, stderr)
     }
 
-    /// The streaming single-pair replay path, bit-compatible with classic
+    /// The single-pair replay path, bit-compatible with classic
     /// `hhl replay <spec> <proof>`: one header, one outcome, shard
     /// counters only when sharding happened.
     fn replay_single(
@@ -1018,7 +1364,8 @@ impl Engine {
         req: &Request,
         store: Option<&VerdictStore>,
         warnings: Vec<String>,
-    ) -> Response {
+        sink: &mut dyn FnMut(&str),
+    ) -> (u8, Vec<String>) {
         let (spec_path, proof_path) = (&req.files[0], &req.files[1]);
         let mut stdout = String::new();
         let mut stderr = warnings;
@@ -1075,13 +1422,8 @@ impl Engine {
                 stderr.push(shard_counter_line(&stats));
             }
         }
-        Response {
-            id: req.id.clone(),
-            exit_code: exit_code(all_expected, hard_error),
-            cached: false,
-            stdout,
-            stderr,
-        }
+        sink(&stdout);
+        (exit_code(all_expected, hard_error), stderr)
     }
 
     /// Folds one run's per-stage totals into the daemon-lifetime registry
@@ -1297,27 +1639,34 @@ fn usage(req: &Request, message: &str) -> Response {
 
 /// Renders per-file results in the full sequential format: `== path`
 /// headers, outcome reports on stdout, errors on stderr, blank lines
-/// between files — byte-identical to the classic streaming loop.
-fn render_full(run: &BatchRun, headers: Option<&[String]>) -> (String, Vec<String>, u8) {
-    let mut stdout = String::new();
+/// between files — byte-identical to the classic streaming loop. Each
+/// file's rendering goes to `sink` as one piece (the streaming chunk
+/// granularity); buffering callers just concatenate.
+fn render_full(
+    run: &BatchRun,
+    headers: Option<&[String]>,
+    sink: &mut dyn FnMut(&str),
+) -> (Vec<String>, u8) {
     let mut stderr = Vec::new();
     let mut all_expected = true;
     let mut hard_error = false;
     for (i, result) in run.results.iter().enumerate() {
+        let mut piece = String::new();
         if i > 0 {
-            let _ = writeln!(stdout);
+            let _ = writeln!(piece);
         }
         match headers {
             Some(headers) => {
-                let _ = writeln!(stdout, "== {}", headers[i]);
+                let _ = writeln!(piece, "== {}", headers[i]);
             }
             None => {
-                let _ = writeln!(stdout, "== {}", result.path);
+                let _ = writeln!(piece, "== {}", result.path);
             }
         }
         if let Some(report) = &result.report_text {
-            let _ = writeln!(stdout, "{report}");
+            let _ = writeln!(piece, "{report}");
         }
+        sink(&piece);
         if let Some(error) = &result.error_text {
             stderr.push(format!("error: {error}"));
             hard_error = true;
@@ -1326,7 +1675,7 @@ fn render_full(run: &BatchRun, headers: Option<&[String]>) -> (String, Vec<Strin
             all_expected = false;
         }
     }
-    (stdout, stderr, exit_code(all_expected, hard_error))
+    (stderr, exit_code(all_expected, hard_error))
 }
 
 /// Renders the compact `hhl batch` report plus counter lines.

@@ -7,6 +7,14 @@
 //! specs), and aggregates per-file results **in input order** so the
 //! rendered output is byte-identical for every job count.
 //!
+//! Under the daemon, a batch never has the resident pool to itself: the
+//! pool's continuous-batching scheduler interleaves this batch's file
+//! jobs with every other in-flight submission's shards round-robin
+//! (see [`hhl_driver::pool`]), so a small concurrent request answers in
+//! roughly a sweep instead of queueing behind the whole batch. The
+//! input-order result slots above are what keep the rendered output
+//! byte-identical regardless of that global schedule.
+//!
 //! Per-file errors (unreadable file, malformed spec, rejected certificate)
 //! never abort the batch: the remaining files still run and the error is
 //! carried in the aggregate as [`FileStatus::Error`], counted by the

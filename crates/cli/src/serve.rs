@@ -26,11 +26,17 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hhl_driver::metrics::Stage;
 
 use crate::api::{parse_request, Action, CacheOpts, Engine, Response};
+
+/// Cap on one request line. A line is pure request metadata (file paths,
+/// flags — file *contents* stay on disk), so 16 MiB is far beyond any
+/// legitimate request; without a cap a hostile client could grow a single
+/// newline-less line until the daemon OOMs.
+const MAX_REQUEST_LINE_BYTES: usize = 16 << 20;
 
 /// Flag parse result for `hhl serve`.
 struct ServeFlags {
@@ -89,22 +95,89 @@ pub fn run(args: &[String]) -> u8 {
     }
 }
 
-/// Serves one connection: request lines in, response lines out. Returns
-/// `true` when the client asked for shutdown (as opposed to end-of-input).
-fn serve_stream(engine: &Engine, mut reader: impl BufRead, writer: &mut impl Write) -> bool {
-    let mut line = String::new();
+/// One attempt to read a request line off a connection.
+enum RequestLine {
+    /// A complete line within the cap, left in the caller's buffer
+    /// (without the trailing newline).
+    Line,
+    /// A line that overran [`MAX_REQUEST_LINE_BYTES`]; the overflow was
+    /// drained (not stored) through the next newline or end-of-input.
+    Oversized,
+    /// End of input, or an I/O error that ends the connection.
+    Eof,
+}
+
+/// Reads one newline-terminated line into `buf`, never holding more than
+/// [`MAX_REQUEST_LINE_BYTES`] of it in memory. Raw bytes, not `String`:
+/// invalid UTF-8 must cost the *request* (the caller decodes lossily and
+/// answers exit 2), not the connection — `read_line` would return `Err`
+/// and a naive loop would kill the connection, which on the stdin
+/// transport is the whole daemon.
+fn read_request_line(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> RequestLine {
+    buf.clear();
+    let mut oversized = false;
     loop {
-        line.clear();
-        let accept_start = Instant::now();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return false,
-            Ok(_) => {}
+        let chunk = match reader.fill_buf() {
+            Ok([]) => {
+                // End of input: a trailing unterminated line still counts
+                // as a line (matching `read_line`); the next call sees a
+                // clean end-of-input.
+                return match (buf.is_empty(), oversized) {
+                    (true, false) => RequestLine::Eof,
+                    (_, true) => RequestLine::Oversized,
+                    (false, false) => RequestLine::Line,
+                };
+            }
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return RequestLine::Eof,
+        };
+        let (take, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(newline) => (newline, true),
+            None => (chunk.len(), false),
+        };
+        if buf.len() + take > MAX_REQUEST_LINE_BYTES {
+            oversized = true;
+            buf.clear();
         }
+        if !oversized {
+            buf.extend_from_slice(&chunk[..take]);
+        }
+        reader.consume(take + usize::from(done));
+        if done {
+            return if oversized {
+                RequestLine::Oversized
+            } else {
+                RequestLine::Line
+            };
+        }
+    }
+}
+
+/// Serves one connection: request lines in, response lines out (buffered
+/// [`Response`] documents, or [`Frame`] chunk/end lines for
+/// `"stream":true` requests). Returns `true` when the client asked for
+/// shutdown (as opposed to end-of-input).
+///
+/// Malformed input — invalid UTF-8, unparsable JSON, an oversized line —
+/// is answered with an exit-2 response and the connection keeps serving;
+/// only end-of-input and genuine I/O errors end it.
+fn serve_stream(engine: &Engine, mut reader: impl BufRead, writer: &mut impl Write) -> bool {
+    let mut buf = Vec::new();
+    loop {
+        let accept_start = Instant::now();
+        let line = read_request_line(&mut reader, &mut buf);
         engine
             .metrics()
             .record_stage(Stage::Accept, accept_start.elapsed().as_nanos() as u64);
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
+        let oversized = match line {
+            RequestLine::Eof => return false,
+            RequestLine::Oversized => true,
+            RequestLine::Line => false,
+        };
+        let text = String::from_utf8_lossy(&buf);
+        let trimmed = text.trim();
+        if !oversized && trimmed.is_empty() {
             continue;
         }
         // Hold a reclamation pin for the whole request: a concurrent
@@ -112,40 +185,78 @@ fn serve_stream(engine: &Engine, mut reader: impl BufRead, writer: &mut impl Wri
         // already resolved.
         let _pin = hhl_lang::pin_interner();
         let decode_start = Instant::now();
-        let parsed = parse_request(trimmed);
+        let parsed = if oversized {
+            Err(format!(
+                "request line exceeds {MAX_REQUEST_LINE_BYTES} bytes"
+            ))
+        } else {
+            parse_request(trimmed)
+        };
         engine
             .metrics()
             .record_stage(Stage::Decode, decode_start.elapsed().as_nanos() as u64);
-        let (action, response) = match parsed {
-            Ok(req) => {
+        match parsed {
+            Ok(req) if req.stream => {
+                // Streamed: frames flush as they render, so dispatch and
+                // respond interleave; the write time inside the emitter is
+                // metered as respond and subtracted from dispatch.
                 let dispatch_start = Instant::now();
-                let response = engine.handle(&req);
+                let mut respond = Duration::ZERO;
+                let mut failed = false;
+                engine.handle_stream(&req, &mut |frame| {
+                    let respond_start = Instant::now();
+                    let sent = writeln!(writer, "{}", frame.render()).and_then(|()| writer.flush());
+                    respond += respond_start.elapsed();
+                    failed |= sent.is_err();
+                });
+                engine.metrics().record_stage(
+                    Stage::Dispatch,
+                    dispatch_start.elapsed().saturating_sub(respond).as_nanos() as u64,
+                );
                 engine
                     .metrics()
-                    .record_stage(Stage::Dispatch, dispatch_start.elapsed().as_nanos() as u64);
-                (Some(req.action), response)
+                    .record_stage(Stage::Respond, respond.as_nanos() as u64);
+                if failed {
+                    return false;
+                }
+                if req.action == Action::Shutdown {
+                    return true;
+                }
             }
-            Err(e) => (
-                None,
-                Response {
-                    id: "-".to_owned(),
-                    exit_code: 2,
-                    cached: false,
-                    stdout: String::new(),
-                    stderr: vec![format!("error: bad request: {e}")],
-                },
-            ),
-        };
-        let respond_start = Instant::now();
-        let sent = writeln!(writer, "{}", response.render()).and_then(|()| writer.flush());
-        engine
-            .metrics()
-            .record_stage(Stage::Respond, respond_start.elapsed().as_nanos() as u64);
-        if sent.is_err() {
-            return false;
-        }
-        if action == Some(Action::Shutdown) {
-            return true;
+            parsed => {
+                let (action, response) = match parsed {
+                    Ok(req) => {
+                        let dispatch_start = Instant::now();
+                        let response = engine.handle(&req);
+                        engine.metrics().record_stage(
+                            Stage::Dispatch,
+                            dispatch_start.elapsed().as_nanos() as u64,
+                        );
+                        (Some(req.action), response)
+                    }
+                    Err(e) => (
+                        None,
+                        Response {
+                            id: "-".to_owned(),
+                            exit_code: 2,
+                            cached: false,
+                            stdout: String::new(),
+                            stderr: vec![format!("error: bad request: {e}")],
+                        },
+                    ),
+                };
+                let respond_start = Instant::now();
+                let sent = writeln!(writer, "{}", response.render()).and_then(|()| writer.flush());
+                engine
+                    .metrics()
+                    .record_stage(Stage::Respond, respond_start.elapsed().as_nanos() as u64);
+                if sent.is_err() {
+                    return false;
+                }
+                if action == Some(Action::Shutdown) {
+                    return true;
+                }
+            }
         }
     }
 }
@@ -214,22 +325,34 @@ fn serve_socket(engine: Engine, path: &str) -> u8 {
         }
         let id = next_conn;
         next_conn += 1;
-        if let Ok(clone) = stream.try_clone() {
-            conns.lock().unwrap().insert(id, clone);
+        // Both clones happen *before* the handler thread spawns: a
+        // connection either ends up registered in `conns` with a live
+        // reader, or is dropped here — never an unregistered thread parked
+        // in a read that a draining shutdown could not unblock.
+        let (registered, reader) = match (stream.try_clone(), stream.try_clone()) {
+            (Ok(registered), Ok(reader)) => (registered, reader),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("warning: dropping connection {id}: cannot clone socket: {e}");
+                continue;
+            }
+        };
+        conns.lock().unwrap().insert(id, registered);
+        // Reap finished handlers by *joining* them, so a connection
+        // thread's panic surfaces in the daemon log instead of vanishing
+        // with the dropped handle.
+        for handle in std::mem::take(&mut handles) {
+            if !handle.is_finished() {
+                handles.push(handle);
+            } else if handle.join().is_err() {
+                eprintln!("warning: a connection thread panicked");
+            }
         }
-        handles.retain(|handle| !handle.is_finished());
         let engine = Arc::clone(&engine);
         let shutdown = Arc::clone(&shutdown);
         let conns = Arc::clone(&conns);
         let path = path.to_owned();
         handles.push(std::thread::spawn(move || {
-            let reader = match stream.try_clone() {
-                Ok(clone) => BufReader::new(clone),
-                Err(_) => {
-                    conns.lock().unwrap().remove(&id);
-                    return;
-                }
-            };
+            let reader = BufReader::new(reader);
             let mut writer = stream;
             let requested_shutdown = serve_stream(&engine, reader, &mut writer);
             conns.lock().unwrap().remove(&id);
@@ -251,7 +374,9 @@ fn serve_socket(engine: Engine, path: &str) -> u8 {
     // Drain: every accepted connection finishes its in-flight request and
     // exits before the daemon persists and removes its socket.
     for handle in handles {
-        let _ = handle.join();
+        if handle.join().is_err() {
+            eprintln!("warning: a connection thread panicked");
+        }
     }
     engine.save_state();
     let _ = std::fs::remove_file(path);

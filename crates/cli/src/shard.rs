@@ -12,7 +12,12 @@
 //!
 //! The replay is factored into three phases so a *batch* can schedule every
 //! certificate's shards on one global pool instead of checking each file's
-//! shards at effective `jobs = 1`:
+//! shards at effective `jobs = 1`. The same property extends across
+//! *requests* under the daemon: each discharge wave is one submission on
+//! the resident pool, and the pool's workers sweep every in-flight
+//! submission round-robin (continuous batching — see
+//! [`hhl_driver::pool`]), so one connection's shard wave interleaves
+//! with a concurrent connection's batch instead of draining after it:
 //!
 //! 1. [`prepare_replay`] — summary lookup, compilation, sharding; returns
 //!    [`Staged::Done`] on a summary hit or [`Staged::Pending`] with the

@@ -6,7 +6,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 
-use hhl_cli::api::{Response, RESPONSE_SCHEMA};
+use hhl_cli::api::{Frame, Response, RESPONSE_SCHEMA};
 
 fn example(kind: &str, name: &str) -> String {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -53,7 +53,14 @@ impl Daemon {
     }
 
     fn send_line(&mut self, line: &str) -> Response {
-        writeln!(self.stdin, "{line}").expect("write request");
+        self.send_raw(line.as_bytes())
+    }
+
+    /// Sends one newline-terminated request of raw bytes (not necessarily
+    /// UTF-8, not necessarily small) and reads one buffered response.
+    fn send_raw(&mut self, bytes: &[u8]) -> Response {
+        self.stdin.write_all(bytes).expect("write request");
+        self.stdin.write_all(b"\n").expect("terminate request");
         self.stdin.flush().expect("flush request");
         let mut reply = String::new();
         self.stdout.read_line(&mut reply).expect("read response");
@@ -62,6 +69,24 @@ impl Daemon {
             "response missing schema tag: {reply}"
         );
         Response::parse(reply.trim_end()).expect("parse response")
+    }
+
+    /// Sends one `"stream":true` request line and collects frames through
+    /// the terminal `end` frame.
+    fn send_streaming(&mut self, line: &str) -> Vec<Frame> {
+        writeln!(self.stdin, "{line}").expect("write request");
+        self.stdin.flush().expect("flush request");
+        let mut frames = Vec::new();
+        loop {
+            let mut reply = String::new();
+            self.stdout.read_line(&mut reply).expect("read frame");
+            let frame = Frame::parse(reply.trim_end()).expect("parse frame");
+            let done = matches!(frame, Frame::End { .. });
+            frames.push(frame);
+            if done {
+                return frames;
+            }
+        }
     }
 
     fn request(&mut self, id: &str, command: &str, files: &[&str], jobs: usize) -> Response {
@@ -170,6 +195,101 @@ fn malformed_lines_get_an_error_response_and_the_daemon_keeps_serving() {
     let (cli_stdout, cli_exit) = oneshot(&["check", &spec]);
     assert_eq!(good.stdout, cli_stdout);
     assert_eq!(i32::from(good.exit_code), cli_exit);
+
+    daemon.shutdown();
+}
+
+#[test]
+fn invalid_utf8_costs_the_request_not_the_daemon() {
+    let spec = example("specs", "minimum.hhl");
+    let mut daemon = Daemon::spawn("utf8");
+
+    // A request line with invalid UTF-8 mid-stream: the old `read_line`
+    // loop returned on the decode error, killing the stdin daemon.
+    let mut hostile = Vec::from(&b"{\"command\":"[..]);
+    hostile.extend_from_slice(&[0xff, 0xfe, 0x80]);
+    hostile.extend_from_slice(b"}");
+    let bad = daemon.send_raw(&hostile);
+    assert_eq!(bad.exit_code, 2);
+    assert!(
+        bad.stderr.iter().any(|l| l.contains("bad request")),
+        "{:?}",
+        bad.stderr
+    );
+
+    // Bare garbage bytes too.
+    let worse = daemon.send_raw(&[0xc3, 0x28, 0xa0, 0xa1]);
+    assert_eq!(worse.exit_code, 2);
+
+    // The daemon survives both and still answers real work.
+    let good = daemon.request("ok", "check", &[&spec], 1);
+    let (cli_stdout, cli_exit) = oneshot(&["check", &spec]);
+    assert_eq!(good.stdout, cli_stdout);
+    assert_eq!(i32::from(good.exit_code), cli_exit);
+
+    daemon.shutdown();
+}
+
+#[test]
+fn oversized_request_lines_are_rejected_and_drained() {
+    let spec = example("specs", "minimum.hhl");
+    let mut daemon = Daemon::spawn("oversize");
+
+    // One 17 MiB line: past the 16 MiB cap, the daemon must answer exit 2
+    // without buffering the line, then keep serving from the next newline.
+    let mut huge = Vec::from(&b"{\"command\":\"check\",\"files\":[\""[..]);
+    huge.resize(17 << 20, b'x');
+    huge.extend_from_slice(b"\"]}");
+    let rejected = daemon.send_raw(&huge);
+    assert_eq!(rejected.exit_code, 2);
+    assert!(
+        rejected.stderr.iter().any(|l| l.contains("exceeds")),
+        "{:?}",
+        rejected.stderr
+    );
+
+    let good = daemon.request("ok", "check", &[&spec], 1);
+    let (cli_stdout, cli_exit) = oneshot(&["check", &spec]);
+    assert_eq!(good.stdout, cli_stdout);
+    assert_eq!(i32::from(good.exit_code), cli_exit);
+
+    daemon.shutdown();
+}
+
+#[test]
+fn streamed_requests_arrive_as_frames_and_reassemble_to_the_cli_bytes() {
+    let files = [
+        example("specs", "ni_c1.hhl"),
+        example("specs", "ni_c2.hhl"),
+        example("specs", "while_sync.hhl"),
+    ];
+    let mut daemon = Daemon::spawn("stream");
+
+    let files_json: Vec<String> = files.iter().map(|f| format!("\"{f}\"")).collect();
+    let frames = daemon.send_streaming(&format!(
+        "{{\"schema\":\"hhl-request v1\",\"id\":\"s1\",\"command\":\"check\",\
+         \"files\":[{}],\"jobs\":2,\"stream\":true}}",
+        files_json.join(",")
+    ));
+    assert_eq!(
+        frames.len(),
+        files.len() + 1,
+        "one chunk per file plus the end frame"
+    );
+    let response = Frame::reassemble(&frames).expect("reassemble");
+    assert_eq!(response.id, "s1");
+    let mut args = vec!["check", "--jobs", "2"];
+    args.extend(files.iter().map(String::as_str));
+    let (cli_stdout, cli_exit) = oneshot(&args);
+    assert_eq!(response.stdout, cli_stdout);
+    assert_eq!(i32::from(response.exit_code), cli_exit);
+
+    // Non-streamed requests on the same connection still get one
+    // buffered response document.
+    let buffered = daemon.request("s2", "check", &[files[0].as_str()], 1);
+    let (one_stdout, one_exit) = oneshot(&["check", files[0].as_str()]);
+    assert_eq!(buffered.stdout, one_stdout);
+    assert_eq!(i32::from(buffered.exit_code), one_exit);
 
     daemon.shutdown();
 }
@@ -321,6 +441,120 @@ fn shutdown_waits_for_a_slow_sibling_request_and_removes_the_socket() {
         !socket.exists(),
         "daemon must remove its own socket file on clean shutdown"
     );
+}
+
+/// A hostile line on one socket connection costs that request only: a
+/// sibling connection's request is answered correctly and the daemon
+/// keeps running.
+#[cfg(unix)]
+#[test]
+fn hostile_lines_on_one_socket_leave_siblings_unaffected() {
+    use std::io::Read;
+
+    let spec = example("specs", "minimum.hhl");
+    let (mut child, socket) = spawn_socket_daemon("hostile-sock");
+
+    // Connection A: invalid UTF-8, then an oversized line.
+    let hostile = connect_retry(&socket);
+    let mut hostile_reader = BufReader::new(hostile.try_clone().expect("clone stream"));
+    let mut hostile_writer = hostile;
+    hostile_writer
+        .write_all(&[0xff, 0xfe, 0x80, b'\n'])
+        .expect("send invalid utf-8");
+    let mut reply = String::new();
+    hostile_reader.read_line(&mut reply).expect("read reply");
+    let bad = Response::parse(reply.trim_end()).expect("parse reply");
+    assert_eq!(bad.exit_code, 2);
+
+    let mut huge = vec![b'x'; 17 << 20];
+    huge.push(b'\n');
+    hostile_writer.write_all(&huge).expect("send oversized");
+    let mut reply = String::new();
+    hostile_reader.read_line(&mut reply).expect("read reply");
+    let rejected = Response::parse(reply.trim_end()).expect("parse reply");
+    assert_eq!(rejected.exit_code, 2);
+    assert!(
+        rejected.stderr.iter().any(|l| l.contains("exceeds")),
+        "{:?}",
+        rejected.stderr
+    );
+
+    // Connection B: unaffected, byte-identical to the one-shot CLI.
+    let good = connect_retry(&socket);
+    let mut good_reader = BufReader::new(good.try_clone().expect("clone stream"));
+    let mut good_writer = good;
+    writeln!(
+        good_writer,
+        "{{\"schema\":\"hhl-request v1\",\"id\":\"sib\",\"command\":\"check\",\"files\":[\"{spec}\"]}}"
+    )
+    .expect("send sibling request");
+    let mut reply = String::new();
+    good_reader.read_line(&mut reply).expect("read sibling");
+    let response = Response::parse(reply.trim_end()).expect("parse sibling");
+    assert_eq!(response.id, "sib");
+    let (cli_stdout, cli_exit) = oneshot(&["check", &spec]);
+    assert_eq!(response.stdout, cli_stdout);
+    assert_eq!(i32::from(response.exit_code), cli_exit);
+
+    writeln!(good_writer, "{{\"command\":\"shutdown\"}}").expect("send shutdown");
+    let mut bye = String::new();
+    good_reader
+        .read_line(&mut bye)
+        .expect("read shutdown reply");
+    assert!(bye.contains("shutting down"), "{bye}");
+    // The drained hostile connection ends cleanly (EOF, not a hang).
+    let mut rest = Vec::new();
+    let _ = hostile_reader.read_to_end(&mut rest);
+    let status = child.wait().expect("daemon exit");
+    assert!(status.success(), "daemon exited with {status}");
+}
+
+/// A connection that never sends a request (parked in its first read)
+/// must not wedge a draining shutdown: every accepted connection is
+/// registered before its handler thread exists, so the drain can always
+/// unblock it.
+#[cfg(unix)]
+#[test]
+fn shutdown_drains_an_idle_connection_without_hanging() {
+    use std::io::Read;
+
+    let (mut child, socket) = spawn_socket_daemon("idle-drain");
+
+    // Connection A: accepted, then silent — its handler is parked reading.
+    let idle = connect_retry(&socket);
+    let mut idle_reader = BufReader::new(idle.try_clone().expect("clone stream"));
+    // Give the daemon time to accept and park the handler.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    // Connection B: shutdown. The daemon must unblock A and exit.
+    let fast = connect_retry(&socket);
+    let mut fast_reader = BufReader::new(fast.try_clone().expect("clone stream"));
+    let mut fast_writer = fast;
+    writeln!(fast_writer, "{{\"command\":\"shutdown\"}}").expect("send shutdown");
+    let mut bye = String::new();
+    fast_reader
+        .read_line(&mut bye)
+        .expect("read shutdown reply");
+    assert!(bye.contains("shutting down"), "{bye}");
+
+    // Bounded wait: a drain that cannot unblock the idle reader hangs
+    // forever, which is exactly the regression this guards against.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("poll daemon") {
+            break status;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon failed to drain an idle connection within 30s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    };
+    assert!(status.success(), "daemon exited with {status}");
+    assert!(!socket.exists(), "socket file must be gone after shutdown");
+    // The idle connection sees end-of-input, not a hang.
+    let mut rest = Vec::new();
+    let _ = idle_reader.read_to_end(&mut rest);
 }
 
 /// Binding refuses to clobber a *live* daemon: a second daemon pointed at

@@ -25,7 +25,11 @@
 //!   of threads parked on a condvar between submissions. [`run_ordered`]
 //!   submits here, so the batch phases (stage → discharge → finish), every
 //!   file of a batch, sharded replays and every daemon request reuse the
-//!   same threads instead of respawning a burst per call.
+//!   same threads instead of respawning a burst per call. Concurrent
+//!   submissions share one global queue: each pool thread claims a role
+//!   in *every* in-flight submission and sweeps them round-robin, one job
+//!   per submission per sweep, so a small daemon request interleaves with
+//!   a huge one instead of queueing behind it (continuous batching).
 //! * **burst** ([`run_ordered_burst`], [`run_ordered_exact`]): a scoped
 //!   spawn of fresh threads for one call — the pre-pool behaviour, kept as
 //!   the differential baseline (the byte-identity suites assert burst and
@@ -190,47 +194,65 @@ impl Submission {
         run(job);
     }
 
-    /// Runs jobs as role `role` until the submission has nothing left to
-    /// pop or steal: own deque from the front, then victims' backs,
-    /// scanning cyclically — the same discipline as the burst executor.
-    fn work(&self, role: usize) {
+    /// Pops and runs **one** job as role `role`: own deque from the front,
+    /// else a victim's back, scanning cyclically — the same discipline as
+    /// the burst executor, one step at a time so a pool worker holding
+    /// roles in several submissions can interleave them. Returns `false`
+    /// when the submission has nothing left for this role to pop or steal
+    /// (in-flight jobs belong to other roles and no job spawns jobs, so
+    /// the role is done for good).
+    fn run_one(&self, role: usize) -> bool {
         let workers = self.deques.len();
-        loop {
-            let own = lock(&self.deques[role]).pop_front();
-            let (job, stolen) = match own {
-                Some(job) => (Some(job), false),
-                None => {
-                    let stolen = (1..workers).find_map(|offset| {
-                        lock(&self.deques[(role + offset) % workers]).pop_back()
-                    });
-                    (stolen, true)
+        let own = lock(&self.deques[role]).pop_front();
+        let (job, stolen) = match own {
+            Some(job) => (job, false),
+            None => {
+                let stolen = (1..workers)
+                    .find_map(|offset| lock(&self.deques[(role + offset) % workers]).pop_back());
+                match stolen {
+                    Some(job) => (job, true),
+                    None => return false,
                 }
-            };
-            let Some(job) = job else {
-                // Every deque empty: in-flight jobs belong to other roles
-                // and no job spawns jobs, so this role is done.
-                return;
-            };
-            if stolen {
-                self.steals.fetch_add(1, Ordering::Relaxed);
             }
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| self.invoke(job))) {
-                lock(&self.panic).get_or_insert(payload);
-            }
-            self.executed[role].fetch_add(1, Ordering::Relaxed);
-            // AcqRel: the final decrement acquires every earlier worker's
-            // slot writes before the submitter reads the slots back.
-            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                *lock(&self.done) = true;
-                self.done_cv.notify_all();
-            }
+        };
+        if stolen {
+            self.steals.fetch_add(1, Ordering::Relaxed);
         }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| self.invoke(job))) {
+            lock(&self.panic).get_or_insert(payload);
+        }
+        self.executed[role].fetch_add(1, Ordering::Relaxed);
+        // AcqRel: the final decrement acquires every earlier worker's
+        // slot writes before the submitter reads the slots back.
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            *lock(&self.done) = true;
+            self.done_cv.notify_all();
+        }
+        true
+    }
+
+    /// Runs jobs as role `role` until the submission has nothing left to
+    /// pop or steal. This is the submitter's (role 0) discipline: its own
+    /// submission to exhaustion, which keeps completion independent of
+    /// pool threads (deadlock-freedom by construction).
+    fn work(&self, role: usize) {
+        while self.run_one(role) {}
+    }
+
+    /// Whether any deque still holds undealt jobs. Queues only ever
+    /// shrink (no job spawns jobs), so `false` is final: a worker that
+    /// skips a drained submission never needs to revisit it.
+    fn has_queued_work(&self) -> bool {
+        self.deques.iter().any(|deque| !lock(deque).is_empty())
     }
 }
 
 struct PoolState {
     /// Submissions still worth offering roles on, oldest first.
     pending: Vec<Arc<Submission>>,
+    /// Bumped on every push, so a sweeping worker detects new submissions
+    /// with one cheap comparison instead of rescanning `pending`.
+    generation: u64,
     shutdown: bool,
 }
 
@@ -239,31 +261,52 @@ struct PoolInner {
     work_cv: Condvar,
 }
 
+/// The shared-queue scheduler at the heart of cross-request interleaving:
+/// each pool thread holds a *set* of role attachments — one per in-flight
+/// submission it has claimed a role in — and sweeps them round-robin,
+/// running **one** job per attachment per sweep. A small daemon request
+/// submitted while a 1000-file batch is in flight therefore gets a share
+/// of every sweep instead of queueing behind the batch (the pre-PR-10
+/// loop drained one submission to exhaustion before looking again).
+/// Between jobs the worker re-checks the pool generation and attaches to
+/// any submission that arrived mid-sweep. Fairness is policy only:
+/// results still land in per-submission input-order slots, so every
+/// deterministic output is byte-identical whatever the interleave.
 fn worker_loop(inner: &PoolInner) {
+    let mut attachments: Vec<(Arc<Submission>, usize)> = Vec::new();
+    let mut seen_generation = u64::MAX;
     loop {
-        let (submission, role) = {
+        {
             let mut state = lock(&inner.state);
             loop {
                 if state.shutdown {
                     return;
                 }
-                let claimed = state
-                    .pending
-                    .iter()
-                    .find_map(|sub| sub.claim_role().map(|role| (Arc::clone(sub), role)));
-                match claimed {
-                    Some(claimed) => break claimed,
-                    // Park until the next submission (or shutdown).
-                    None => {
-                        state = inner
-                            .work_cv
-                            .wait(state)
-                            .unwrap_or_else(PoisonError::into_inner)
+                if state.generation != seen_generation {
+                    seen_generation = state.generation;
+                    for sub in &state.pending {
+                        let attached = attachments.iter().any(|(a, _)| Arc::ptr_eq(a, sub));
+                        if attached || !sub.has_queued_work() {
+                            continue;
+                        }
+                        if let Some(role) = sub.claim_role() {
+                            attachments.push((Arc::clone(sub), role));
+                        }
                     }
                 }
+                if !attachments.is_empty() {
+                    break;
+                }
+                // Park until the next submission (or shutdown).
+                state = inner
+                    .work_cv
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
-        };
-        submission.work(role);
+        }
+        // One job from each attached submission, round-robin; drop the
+        // attachments with nothing left to pop or steal.
+        attachments.retain(|(sub, role)| sub.run_one(*role));
     }
 }
 
@@ -307,6 +350,7 @@ impl WorkerPool {
         let inner = Arc::new(PoolInner {
             state: Mutex::new(PoolState {
                 pending: Vec::new(),
+                generation: 0,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -394,6 +438,7 @@ impl WorkerPool {
         {
             let mut state = lock(&self.inner.state);
             state.pending.push(Arc::clone(&submission));
+            state.generation = state.generation.wrapping_add(1);
         }
         self.inner.work_cv.notify_all();
 
@@ -768,6 +813,83 @@ mod tests {
         for thread in threads {
             thread.join().expect("submitter panicked");
         }
+    }
+
+    #[test]
+    fn pool_workers_interleave_concurrent_submissions() {
+        // Continuous batching: a pool worker attached to submission A must
+        // start running submission B's jobs while A still has queued work,
+        // instead of draining A to exhaustion first.
+        //
+        // Choreography (one pool worker, two submissions of 5 jobs each at
+        // jobs = 2, so the deal is role 0 = {0, 2, 4}, role 1 = {1, 3}):
+        //   * both submitters block inside job 0 until all 8 quick jobs
+        //     have recorded, so the pool worker is the only thread running
+        //     them — the recorded order is the worker's schedule;
+        //   * A's job 1 waits until B's submitter is parked inside B0,
+        //     which guarantees B is pending before the worker's next sweep.
+        // Round-robin sweeping must run some B job before the last A job.
+        #[derive(Default)]
+        struct State {
+            order: Vec<(char, usize)>,
+            b_started: bool,
+        }
+        let gate = Arc::new((Mutex::new(State::default()), Condvar::new()));
+
+        let pool = Arc::new(WorkerPool::with_threads(1));
+        let items: Vec<usize> = (0..5).collect();
+        let submit = |tag: char| {
+            let pool = Arc::clone(&pool);
+            let gate = Arc::clone(&gate);
+            let items = items.clone();
+            std::thread::spawn(move || {
+                let wait_for = |pred: &dyn Fn(&State) -> bool| {
+                    let mut guard = lock(&gate.0);
+                    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+                    while !pred(&guard) {
+                        let timeout = deadline
+                            .checked_duration_since(std::time::Instant::now())
+                            .expect("interleave test timed out");
+                        guard = gate
+                            .1
+                            .wait_timeout(guard, timeout)
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .0;
+                    }
+                };
+                let record = |job: usize| {
+                    lock(&gate.0).order.push((tag, job));
+                    gate.1.notify_all();
+                };
+                pool.run_ordered_exact(&items, 2, |_, &job| match (tag, job) {
+                    (_, 0) => {
+                        if tag == 'b' {
+                            lock(&gate.0).b_started = true;
+                            gate.1.notify_all();
+                        }
+                        wait_for(&|s: &State| s.order.len() == 8);
+                    }
+                    ('a', 1) => {
+                        wait_for(&|s: &State| s.b_started);
+                        record(1);
+                    }
+                    _ => record(job),
+                });
+            })
+        };
+        let a = submit('a');
+        let b = submit('b');
+        a.join().expect("submitter A panicked");
+        b.join().expect("submitter B panicked");
+
+        let order = lock(&gate.0).order.clone();
+        assert_eq!(order.len(), 8, "{order:?}");
+        let first_b = order.iter().position(|&(t, _)| t == 'b').expect("b ran");
+        let last_a = order.iter().rposition(|&(t, _)| t == 'a').expect("a ran");
+        assert!(
+            first_b < last_a,
+            "worker must interleave B's jobs with A's remaining queue: {order:?}"
+        );
     }
 
     #[test]

@@ -155,3 +155,116 @@ if [ -e "$socket" ]; then
   exit 1
 fi
 echo "serve_smoke: socket daemon drained two concurrent connections cleanly"
+
+# == Mixed-size concurrency under streaming ==
+# Connection A streams a large batch (every corpus spec, "stream":true);
+# connection B fires small single-file checks while A is in flight. The
+# cross-request scheduling contract: the pool interleaves B's shards with
+# A's, so every small request completes *before* A's terminal frame —
+# small-request latency is bounded by a pool sweep, not by the large
+# batch's wall time. The frame contract is checked on the way: contiguous
+# seq numbers, chunk frames only before the single exit-0 end frame.
+socket="$tmp/hhl-mixed.sock"
+"$HHL_BIN" serve --socket "$socket" --cache-dir "$tmp/cache-mixed" &
+daemon_pid=$!
+python3 - "$socket" <<'PY'
+import glob
+import json
+import socket
+import sys
+import threading
+import time
+
+path = sys.argv[1]
+for _ in range(200):
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        probe.connect(path)
+        probe.close()
+        break
+    except OSError:
+        probe.close()
+        time.sleep(0.025)
+else:
+    sys.exit("serve_smoke: daemon socket never came up")
+
+corpus = sorted(glob.glob("examples/corpus/*.hhl"))
+assert len(corpus) >= 100, f"corpus too small for a slow batch: {len(corpus)}"
+
+large = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+large.connect(path)
+request = {
+    "schema": "hhl-request v1",
+    "id": "large",
+    "command": "check",
+    "files": corpus,
+    "jobs": 4,
+    "stream": True,
+}
+large.sendall((json.dumps(request) + "\n").encode())
+
+frames = []
+end_at = [None]
+
+def read_frames():
+    for line in large.makefile():
+        frame = json.loads(line)
+        frames.append(frame)
+        if frame["frame"] == "end":
+            end_at[0] = time.monotonic()
+            return
+
+reader = threading.Thread(target=read_frames)
+reader.start()
+time.sleep(0.1)  # let the large dispatch reach the pool first
+
+small = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+small.connect(path)
+small_io = small.makefile("rw")
+small_done = []
+for i in range(3):
+    req = {
+        "schema": "hhl-request v1",
+        "id": f"small-{i}",
+        "command": "check",
+        "files": ["examples/specs/minimum.hhl"],
+        "jobs": 2,
+    }
+    small_io.write(json.dumps(req) + "\n")
+    small_io.flush()
+    response = json.loads(small_io.readline())
+    assert response["id"] == f"small-{i}" and response["exit"] == 0, response
+    small_done.append(time.monotonic())
+
+reader.join(timeout=120)
+assert end_at[0] is not None, "large batch never sent its end frame"
+
+# Frame contract: contiguous seq, chunks strictly before one end frame.
+assert [f["seq"] for f in frames] == list(range(len(frames))), "torn seq"
+assert [f["frame"] for f in frames[:-1]] == ["chunk"] * (len(frames) - 1)
+assert frames[-1]["frame"] == "end" and frames[-1]["exit"] == 0, frames[-1]
+assert all(f["id"] == "large" for f in frames)
+
+# Latency contract: every small request finished before the large
+# batch's terminal frame — the shared shard queue interleaved them.
+late = [t for t in small_done if t >= end_at[0]]
+assert not late, (
+    f"{len(late)} small request(s) finished only after the large batch's "
+    "end frame — requests are being drained serially, not interleaved"
+)
+print(
+    f"serve_smoke: {len(small_done)} small requests completed under a "
+    f"{len(frames) - 1}-chunk streamed batch before its end frame"
+)
+
+shutdown = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+shutdown.connect(path)
+shutdown.sendall(b'{"command":"shutdown"}\n')
+assert "shutting down" in shutdown.makefile().readline()
+PY
+wait "$daemon_pid"
+if [ -e "$socket" ]; then
+  echo "serve_smoke: daemon left its socket file behind" >&2
+  exit 1
+fi
+echo "serve_smoke: mixed-size concurrent streaming pass clean"

@@ -13,7 +13,7 @@
 use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
-use hhl_cli::api::{Action, CacheOpts, Engine, Request, Response};
+use hhl_cli::api::{Action, CacheOpts, Engine, Frame, Request, Response};
 use hyper_hoare::lang::intern_sizes;
 
 fn lock() -> MutexGuard<'static, ()> {
@@ -259,6 +259,123 @@ fn sessions_isolate_hostile_input_and_the_interner_returns_to_baseline() {
     // either way it never poisons the persistent store: re-running it
     // outside a session on a fresh engine agrees with a one-shot run.
     let _ = hostile_response;
+}
+
+#[test]
+fn streamed_frames_reassemble_byte_identically_across_job_counts() {
+    let _guard = lock();
+    let daemon = persistent_engine("stream");
+    let spec = |name: &str| example("specs", name);
+    let proof = |name: &str| example("proofs", name);
+    let corpus = vec![
+        spec("ni_c1.hhl"),
+        spec("ni_c2.hhl"),
+        spec("while_sync.hhl"),
+        spec("minimum.hhl"),
+    ];
+    let mut cases = vec![
+        request(Action::Check, &corpus, None),
+        request(Action::Batch, &corpus, None),
+        request(
+            Action::Replay,
+            &[
+                spec("while_sync.hhl"),
+                proof("while_sync.hhlp"),
+                spec("ni_c1.hhl"),
+                proof("ni_c1.hhlp"),
+            ],
+            None,
+        ),
+        // Error shapes stream too: a missing file and a usage error.
+        request(Action::Check, &[spec("does_not_exist.hhl")], None),
+        request(Action::Replay, &[spec("ni_c1.hhl")], None),
+    ];
+    // The streamed flag must be invisible in the reassembled bytes, on a
+    // fresh one-shot engine and on the warm daemon, for every job count.
+    for req in &mut cases {
+        req.stream = true;
+        for jobs in [1, 4, 8] {
+            req.jobs = Some(jobs);
+            for engine in [&Engine::one_shot(), &daemon] {
+                let mut frames = Vec::new();
+                engine.handle_stream(req, &mut |frame| {
+                    // Every frame survives the wire verbatim.
+                    let line = frame.render();
+                    assert_eq!(Frame::parse(&line).expect("frame round trip"), frame);
+                    frames.push(frame);
+                });
+                let reassembled = Frame::reassemble(&frames).expect("complete frame sequence");
+                let mut buffered = req.clone();
+                buffered.stream = false;
+                let response = Engine::one_shot().handle(&buffered);
+                assert_eq!(
+                    reassembled.stdout, response.stdout,
+                    "streamed stdout diverged at jobs={jobs} for {:?}",
+                    req.files
+                );
+                assert_eq!(reassembled.exit_code, response.exit_code);
+                // Counter lines are performance facts (cache warmth, the
+                // racy memo hit split); the error lines are contract.
+                let errors = |stderr: &[String]| -> Vec<String> {
+                    stderr
+                        .iter()
+                        .filter(|line| line.starts_with("error:"))
+                        .cloned()
+                        .collect()
+                };
+                assert_eq!(errors(&reassembled.stderr), errors(&response.stderr));
+                // Full-report commands chunk per file: a client renders
+                // results incrementally, and no frame buffers the report.
+                if req.action == Action::Check && req.files.len() > 1 && response.exit_code == 0 {
+                    assert_eq!(
+                        frames.len(),
+                        req.files.len() + 1,
+                        "one chunk per file plus the end frame"
+                    );
+                }
+            }
+        }
+    }
+    // Streaming answers from the response cache (populated by a buffered
+    // request) without re-running the engine; the reassembly marks it.
+    let mut repeat = request(Action::Check, &corpus, Some(2));
+    let buffered = daemon.handle(&repeat);
+    assert!(!buffered.cached);
+    repeat.stream = true;
+    let mut frames = Vec::new();
+    daemon.handle_stream(&repeat, &mut |frame| frames.push(frame));
+    let hit = Frame::reassemble(&frames).expect("cached stream");
+    assert!(hit.cached, "streamed repeat must hit the response cache");
+    assert_eq!(hit.stdout, buffered.stdout);
+}
+
+#[test]
+fn frame_reassembly_rejects_torn_streams() {
+    let chunk = |seq: u64| Frame::Chunk {
+        id: "r1".to_owned(),
+        seq,
+        stdout: format!("part {seq}\n"),
+    };
+    let end = |seq: u64| Frame::End {
+        id: "r1".to_owned(),
+        seq,
+        exit_code: 0,
+        cached: false,
+        stderr: Vec::new(),
+    };
+    let ok = Frame::reassemble(&[chunk(0), chunk(1), end(2)]).expect("well-formed");
+    assert_eq!(ok.stdout, "part 0\npart 1\n");
+    // A dropped line, a missing terminal, a chunk after the end, and an
+    // id switch are each detected.
+    assert!(Frame::reassemble(&[chunk(0), end(2)]).is_err());
+    assert!(Frame::reassemble(&[chunk(0), chunk(1)]).is_err());
+    assert!(Frame::reassemble(&[end(0), chunk(1)]).is_err());
+    let foreign = Frame::Chunk {
+        id: "r2".to_owned(),
+        seq: 1,
+        stdout: String::new(),
+    };
+    assert!(Frame::reassemble(&[chunk(0), foreign, end(2)]).is_err());
 }
 
 #[test]
